@@ -1,0 +1,187 @@
+// Command ecstore is the client CLI for an AJX erasure-coded storage
+// cluster. It speaks to storaged servers over TCP.
+//
+// Usage:
+//
+//	ecstore -nodes h1:7000,h2:7000,... -k 3 -n 5 [flags] <command> [args]
+//
+// Commands:
+//
+//	put <logical-block>         write stdin (padded) to one block
+//	get <logical-block>         read one block to stdout
+//	store <offset>              stream stdin to the volume at a byte offset
+//	fetch <offset> <length>     stream a byte range to stdout
+//	recover <logical-block>     force recovery of the containing stripe
+//	monitor                     probe touched stripes and repair
+//	scrub                       audit stripes against the code, repair damage
+//	gc                          run one garbage-collection pass
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ecstore"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ecstore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ecstore", flag.ContinueOnError)
+	var (
+		nodes     = fs.String("nodes", "", "comma-separated storaged addresses (exactly n)")
+		k         = fs.Int("k", 3, "erasure code data blocks")
+		n         = fs.Int("n", 5, "erasure code total blocks")
+		blockSize = fs.Int("block-size", 1024, "block size in bytes")
+		clientID  = fs.Uint("client-id", 1, "unique client identity")
+		mode      = fs.String("mode", "parallel", "update mode: serial|parallel|hybrid|broadcast")
+		timeout   = fs.Duration("timeout", 30*time.Second, "operation timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("missing command; see package doc (put|get|store|fetch|recover|monitor|scrub|gc)")
+	}
+	if *nodes == "" {
+		return fmt.Errorf("-nodes is required")
+	}
+	updateMode, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	addrs := strings.Split(*nodes, ",")
+	cluster, err := ecstore.ConnectCluster(ecstore.Options{
+		K: *k, N: *n, BlockSize: *blockSize, Mode: updateMode,
+	}, addrs)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	vol, err := cluster.Volume(uint32(*clientID))
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "put":
+		logical, err := argUint(rest, 0, "logical-block")
+		if err != nil {
+			return err
+		}
+		data := make([]byte, *blockSize)
+		if _, err := io.ReadFull(stdin, data); err != nil && err != io.ErrUnexpectedEOF {
+			return err
+		}
+		return vol.WriteBlock(ctx, logical, data)
+	case "get":
+		logical, err := argUint(rest, 0, "logical-block")
+		if err != nil {
+			return err
+		}
+		blk, err := vol.ReadBlock(ctx, logical)
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(blk)
+		return err
+	case "store":
+		off, err := argUint(rest, 0, "offset")
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(stdin)
+		if err != nil {
+			return err
+		}
+		written, err := vol.WriteAt(ctx, data, int64(off))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "stored %d bytes at offset %d\n", written, off)
+		return nil
+	case "fetch":
+		off, err := argUint(rest, 0, "offset")
+		if err != nil {
+			return err
+		}
+		length, err := argUint(rest, 1, "length")
+		if err != nil {
+			return err
+		}
+		_, err = io.Copy(stdout, vol.Reader(ctx, int64(off), int64(length)))
+		return err
+	case "recover":
+		logical, err := argUint(rest, 0, "logical-block")
+		if err != nil {
+			return err
+		}
+		if err := vol.Recover(ctx, logical); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "stripe recovered")
+		return nil
+	case "monitor":
+		recovered, err := vol.Monitor(ctx, time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "monitor pass complete: %d stripe(s) recovered\n", recovered)
+		return nil
+	case "scrub":
+		clean, busy, repaired, err := vol.Scrub(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "scrub complete: %d clean, %d busy, %d repaired\n", clean, busy, repaired)
+		return nil
+	case "gc":
+		if err := vol.CollectGarbage(ctx); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "garbage collection pass complete")
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func parseMode(s string) (ecstore.UpdateMode, error) {
+	switch s {
+	case "serial":
+		return ecstore.Serial, nil
+	case "parallel":
+		return ecstore.Parallel, nil
+	case "hybrid":
+		return ecstore.Hybrid, nil
+	case "broadcast":
+		return ecstore.Broadcast, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func argUint(args []string, idx int, name string) (uint64, error) {
+	if idx >= len(args) {
+		return 0, fmt.Errorf("missing argument <%s>", name)
+	}
+	v, err := strconv.ParseUint(args[idx], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("argument <%s>: %w", name, err)
+	}
+	return v, nil
+}

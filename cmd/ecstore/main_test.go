@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"ecstore/internal/rpc"
+	"ecstore/internal/storage"
+)
+
+const testBlockSize = 64
+
+// startCluster launches n in-process storaged-equivalent servers and
+// returns the -nodes flag value.
+func startCluster(t *testing.T, n int) string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		node := storage.MustNew(storage.Options{ID: fmt.Sprintf("cli%d", i), BlockSize: testBlockSize})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := rpc.Serve(ln, node)
+		t.Cleanup(func() { _ = srv.Close() })
+		addrs[i] = srv.Addr().String()
+	}
+	return strings.Join(addrs, ",")
+}
+
+func cli(t *testing.T, nodes string, stdin string, args ...string) (string, error) {
+	t.Helper()
+	full := append([]string{
+		"-nodes", nodes, "-k", "2", "-n", "4",
+		"-block-size", fmt.Sprint(testBlockSize),
+	}, args...)
+	var out bytes.Buffer
+	err := run(full, strings.NewReader(stdin), &out)
+	return out.String(), err
+}
+
+func TestCLIPutGet(t *testing.T) {
+	nodes := startCluster(t, 4)
+	if _, err := cli(t, nodes, "hello stripe", "put", "3"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cli(t, nodes, "", "get", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "hello stripe") {
+		t.Fatalf("get returned %q", out[:20])
+	}
+	if len(out) != testBlockSize {
+		t.Fatalf("get returned %d bytes, want the full block", len(out))
+	}
+}
+
+func TestCLIStoreFetch(t *testing.T) {
+	nodes := startCluster(t, 4)
+	payload := strings.Repeat("abcdefgh", 20) // 160 bytes, unaligned
+	out, err := cli(t, nodes, payload, "store", "37")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "stored 160 bytes at offset 37") {
+		t.Fatalf("store output: %q", out)
+	}
+	out, err = cli(t, nodes, "", "fetch", "37", "160")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != payload {
+		t.Fatalf("fetch mismatch: %q", out)
+	}
+}
+
+func TestCLIRecoverMonitorGC(t *testing.T) {
+	nodes := startCluster(t, 4)
+	if _, err := cli(t, nodes, "x", "put", "0"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cli(t, nodes, "", "recover", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "stripe recovered") {
+		t.Fatalf("recover output: %q", out)
+	}
+	out, err = cli(t, nodes, "", "monitor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "monitor pass complete") {
+		t.Fatalf("monitor output: %q", out)
+	}
+	out, err = cli(t, nodes, "", "gc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "garbage collection pass complete") {
+		t.Fatalf("gc output: %q", out)
+	}
+}
+
+func TestCLIModes(t *testing.T) {
+	nodes := startCluster(t, 4)
+	for _, mode := range []string{"serial", "parallel", "hybrid", "broadcast"} {
+		if _, err := cli(t, nodes, "m", "-mode", mode, "put", "1"); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+	if _, err := cli(t, nodes, "", "-mode", "bogus", "get", "1"); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	nodes := startCluster(t, 4)
+	cases := [][]string{
+		{},                      // missing command
+		{"frobnicate"},          // unknown command
+		{"put"},                 // missing argument
+		{"get", "not-a-number"}, // bad argument
+		{"fetch", "0"},          // missing length
+	}
+	for _, args := range cases {
+		if _, err := cli(t, nodes, "", args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	// Missing -nodes entirely.
+	var out bytes.Buffer
+	if err := run([]string{"get", "0"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing -nodes accepted")
+	}
+	// Wrong address count.
+	if err := run([]string{"-nodes", "a,b", "-k", "2", "-n", "4", "get", "0"}, strings.NewReader(""), &out); err == nil {
+		t.Error("wrong address count accepted")
+	}
+}
+
+func TestCLIScrub(t *testing.T) {
+	nodes := startCluster(t, 4)
+	if _, err := cli(t, nodes, "x", "put", "0"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cli(t, nodes, "", "scrub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "scrub complete") {
+		t.Fatalf("scrub output: %q", out)
+	}
+}

@@ -1,0 +1,200 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section.
+//
+// Usage:
+//
+//	experiments [-quick] [fig1 fig8a fig8b fig8c fig9a fig9b fig9c
+//	             fig9d fig10a fig10b fig10c fig10d recovery latency space]
+//
+// With no arguments it runs everything. -quick shrinks the measurement
+// windows so a full run finishes in well under a minute; drop it for
+// the numbers recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ecstore/internal/experiments"
+)
+
+type runner func(ctx context.Context, w io.Writer, quick bool) error
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink measurement windows for a fast pass")
+	flag.Parse()
+	names := flag.Args()
+	if len(names) == 0 {
+		names = []string{
+			"fig1", "fig8a", "fig8b", "fig8c",
+			"fig9a", "fig9b", "fig9c", "fig9d",
+			"fig10a", "fig10b", "fig10c", "fig10d",
+			"recovery", "latency", "readratio", "space", "ablation",
+		}
+	}
+	ctx := context.Background()
+	for _, name := range names {
+		r, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if err := r(ctx, os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func fig9Params(quick bool) experiments.Fig9Params {
+	p := experiments.DefaultFig9Params()
+	if quick {
+		p.PointTime = 120 * time.Millisecond
+		p.Warmup = 50 * time.Millisecond
+		p.Outstanding = []int{1, 4, 16, 64}
+		p.TimeScale = 4
+	}
+	return p
+}
+
+func simParams(quick bool) experiments.SimParams {
+	p := experiments.DefaultSimParams()
+	if quick {
+		p.Duration = 60 * time.Millisecond
+	}
+	return p
+}
+
+func microBudget(quick bool) time.Duration {
+	if quick {
+		return 2 * time.Millisecond
+	}
+	return 20 * time.Millisecond
+}
+
+func printTable(w io.Writer, t *experiments.Table, err error) error {
+	if err != nil {
+		return err
+	}
+	t.Fprint(w)
+	return nil
+}
+
+var runners = map[string]runner{
+	"fig1": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, err := experiments.Fig1Analytic(3, 5)
+		if err := printTable(w, t, err); err != nil {
+			return err
+		}
+		ops := 64
+		if quick {
+			ops = 16
+		}
+		t, err = experiments.Fig1Measured(ctx, 3, 5, 1024, ops)
+		if err := printTable(w, t, err); err != nil {
+			return err
+		}
+		t, err = experiments.Fig1Simulated(8, 10, simParams(quick))
+		return printTable(w, t, err)
+	},
+	"fig8a": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, err := experiments.Fig8a(1024, microBudget(quick))
+		return printTable(w, t, err)
+	},
+	"fig8b": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, err := experiments.Fig8b(1024, microBudget(quick))
+		return printTable(w, t, err)
+	},
+	"fig8c": func(ctx context.Context, w io.Writer, quick bool) error {
+		return printTable(w, experiments.Fig8c(16), nil)
+	},
+	"fig9a": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, err := experiments.Fig9a(ctx, fig9Params(quick))
+		return printTable(w, t, err)
+	},
+	"fig9b": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, err := experiments.Fig9b(ctx, fig9Params(quick))
+		return printTable(w, t, err)
+	},
+	"fig9c": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, err := experiments.Fig9c(ctx, fig9Params(quick))
+		return printTable(w, t, err)
+	},
+	"fig9d": func(ctx context.Context, w io.Writer, quick bool) error {
+		buckets, bucket := 15, 200*time.Millisecond
+		if quick {
+			buckets, bucket = 12, 100*time.Millisecond
+		}
+		t, err := experiments.Fig9d(ctx, fig9Params(quick), buckets, bucket)
+		return printTable(w, t, err)
+	},
+	"fig10a": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, err := experiments.Fig10a(simParams(quick))
+		return printTable(w, t, err)
+	},
+	"fig10b": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, err := experiments.Fig10b(simParams(quick))
+		return printTable(w, t, err)
+	},
+	"fig10c": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, err := experiments.Fig10c(simParams(quick))
+		return printTable(w, t, err)
+	},
+	"fig10d": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, err := experiments.Fig10d(simParams(quick))
+		return printTable(w, t, err)
+	},
+	"recovery": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, err := experiments.RecoveryThroughput(ctx, fig9Params(quick), 3)
+		return printTable(w, t, err)
+	},
+	"readratio": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, err := experiments.ReadWriteRatio(ctx, fig9Params(quick))
+		return printTable(w, t, err)
+	},
+	"latency": func(ctx context.Context, w io.Writer, quick bool) error {
+		writes := 256
+		if quick {
+			writes = 64
+		}
+		t, err := experiments.LatencyBreakdown(ctx, fig9Params(quick), writes)
+		return printTable(w, t, err)
+	},
+	"ablation": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, err := experiments.AblationHybrid(simParams(quick))
+		if err := printTable(w, t, err); err != nil {
+			return err
+		}
+		t, err = experiments.AblationBatchedStripeWrite(simParams(quick))
+		if err := printTable(w, t, err); err != nil {
+			return err
+		}
+		dir, err := os.MkdirTemp("", "ecstore-ablation")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		stripes := 512
+		if quick {
+			stripes = 64
+		}
+		t, err = experiments.AblationWriteBack(dir, 1024, stripes, 4)
+		if err := printTable(w, t, err); err != nil {
+			return err
+		}
+		t, err = experiments.AblationBatchedReal(ctx, fig9Params(quick))
+		return printTable(w, t, err)
+	},
+	"space": func(ctx context.Context, w io.Writer, quick bool) error {
+		blocks := 1024
+		if quick {
+			blocks = 128
+		}
+		t, err := experiments.SpaceOverhead(ctx, 1024, blocks)
+		return printTable(w, t, err)
+	},
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestEveryRunnerQuick exercises every experiment runner in quick mode
+// and checks that each prints at least one table. This is the CLI's
+// integration test; the numeric shape assertions live in
+// internal/experiments.
+func TestEveryRunnerQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full runner sweep skipped in -short mode")
+	}
+	ctx := context.Background()
+	for name, r := range runners {
+		name, r := name, r
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := r(ctx, &buf, true); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "== ") {
+				t.Fatalf("%s produced no table:\n%s", name, out)
+			}
+			if !strings.Contains(out, "---") {
+				t.Fatalf("%s table has no separator", name)
+			}
+		})
+	}
+}
+
+func TestRunnerNamesCoverDefaultList(t *testing.T) {
+	defaults := []string{
+		"fig1", "fig8a", "fig8b", "fig8c",
+		"fig9a", "fig9b", "fig9c", "fig9d",
+		"fig10a", "fig10b", "fig10c", "fig10d",
+		"recovery", "latency", "readratio", "space", "ablation",
+	}
+	for _, name := range defaults {
+		if _, ok := runners[name]; !ok {
+			t.Errorf("default experiment %q has no runner", name)
+		}
+	}
+	if len(runners) != len(defaults) {
+		t.Errorf("runners map has %d entries, default list has %d — keep them in sync", len(runners), len(defaults))
+	}
+}

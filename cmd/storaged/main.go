@@ -1,0 +1,111 @@
+// Command storaged runs one AJX storage node: a thin server exposing
+// the protocol's operations (swap, add, read, locks, recovery,
+// garbage collection) over TCP. Storage is in-memory, matching the
+// paper's evaluation setup.
+//
+// Usage:
+//
+//	storaged -addr :7000 -block-size 1024 -k 3 -n 5
+//	storaged -addr :7001 -block-size 1024 -k 3 -n 5 -replacement
+//
+// The -k/-n parameters let the node apply erasure-code coefficients
+// itself when clients use the broadcast write optimization. Start a
+// node with -replacement when it substitutes for a crashed one: its
+// blocks begin in INIT mode and recovery repopulates them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ecstore/internal/blockstore"
+	"ecstore/internal/erasure"
+	"ecstore/internal/rpc"
+	"ecstore/internal/storage"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7000", "listen address")
+		blockSize   = flag.Int("block-size", 1024, "block size in bytes")
+		k           = flag.Int("k", 0, "erasure code data blocks (enables broadcast adds)")
+		n           = flag.Int("n", 0, "erasure code total blocks (enables broadcast adds)")
+		replacement = flag.Bool("replacement", false, "start as a replacement node (blocks in INIT mode)")
+		lease       = flag.Duration("lock-lease", 10*time.Second, "recovery-lock lease before expiry (0 disables)")
+		id          = flag.String("id", "", "node identifier (defaults to the listen address)")
+		dataDir     = flag.String("data-dir", "", "persist blocks in this directory (empty: RAM only, like the paper's evaluation)")
+		writeBack   = flag.Int("write-back", 64, "dirty blocks buffered before flushing to disk (0: write-through)")
+		trust       = flag.Bool("trust-data", false, "serve persisted blocks as valid after a restart (only when the node provably missed no writes)")
+	)
+	flag.Parse()
+	if err := run(*addr, *blockSize, *k, *n, *replacement, *lease, *id, *dataDir, *writeBack, *trust); err != nil {
+		fmt.Fprintln(os.Stderr, "storaged:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, blockSize, k, n int, replacement bool, lease time.Duration, id, dataDir string, writeBack int, trust bool) error {
+	srv, node, err := setup(addr, blockSize, k, n, replacement, lease, id, dataDir, writeBack, trust)
+	if err != nil {
+		return err
+	}
+	log.Printf("storaged %s listening on %s (block size %d, replacement=%v)", node.ID(), srv.Addr(), blockSize, replacement)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("storaged %s shutting down", node.ID())
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	return node.Shutdown()
+}
+
+// setup builds the node and starts serving; main waits for a signal,
+// tests drive the returned handles directly.
+func setup(addr string, blockSize, k, n int, replacement bool, lease time.Duration, id, dataDir string, writeBack int, trust bool) (*rpc.Server, *storage.Node, error) {
+	opts := storage.Options{
+		ID:             id,
+		BlockSize:      blockSize,
+		Replacement:    replacement,
+		LockLease:      lease,
+		TrustPersisted: trust,
+	}
+	if opts.ID == "" {
+		opts.ID = addr
+	}
+	if dataDir != "" {
+		store, clean, err := blockstore.OpenFile(blockstore.FileOptions{
+			Dir: dataDir, BlockSize: blockSize, WriteBackLimit: writeBack,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if trust && !clean {
+			log.Printf("storaged: WARNING: -trust-data set but the previous shutdown was unclean; serving blocks as valid anyway")
+		}
+		opts.Store = store
+	}
+	if k > 0 || n > 0 {
+		code, err := erasure.New(k, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Code = code
+	}
+	node, err := storage.New(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rpc.Serve(ln, node), node, nil
+}

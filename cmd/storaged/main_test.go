@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"ecstore/internal/proto"
+	"ecstore/internal/rpc"
+)
+
+func TestSetupServesAndPersists(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	blk := bytes.Repeat([]byte{0x5C}, 128)
+
+	srv, node, err := setup("127.0.0.1:0", 128, 2, 4, false, time.Second, "t0", dir, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := rpc.Dial(srv.Addr().String())
+	rep, err := cl.Swap(ctx, &proto.SwapReq{Stripe: 1, Slot: 0, Value: blk, NTID: proto.TID{Seq: 1, Block: 0, Client: 1}})
+	if err != nil || !rep.OK {
+		t.Fatalf("swap over TCP: %v %+v", err, rep)
+	}
+	_ = cl.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same data dir with -trust-data: the block serves.
+	srv2, node2, err := setup("127.0.0.1:0", 128, 2, 4, false, time.Second, "t0'", dir, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	defer node2.Shutdown()
+	cl2 := rpc.Dial(srv2.Addr().String())
+	defer cl2.Close()
+	got, err := cl2.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0})
+	if err != nil || !got.OK || !bytes.Equal(got.Block, blk) {
+		t.Fatalf("read after restart: %v %+v", err, got)
+	}
+}
+
+func TestSetupValidation(t *testing.T) {
+	if _, _, err := setup("127.0.0.1:0", 128, 4, 4, false, 0, "bad", "", 0, false); err == nil {
+		t.Fatal("invalid code accepted")
+	}
+	if _, _, err := setup("127.0.0.1:0", 0, 0, 0, false, 0, "bad", "", 0, false); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+	if _, _, err := setup("256.0.0.1:99999", 128, 0, 0, false, 0, "bad", "", 0, false); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+func TestSetupReplacementMode(t *testing.T) {
+	srv, node, err := setup("127.0.0.1:0", 64, 0, 0, true, 0, "repl", "", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer node.Shutdown()
+	cl := rpc.Dial(srv.Addr().String())
+	defer cl.Close()
+	rep, err := cl.Read(context.Background(), &proto.ReadReq{Stripe: 0, Slot: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("replacement node served a read from an INIT slot")
+	}
+}

@@ -1,0 +1,502 @@
+// Package ecstore is a distributed block store that keeps data
+// erasure-coded across storage nodes using the AJX protocol (Aguilera,
+// Janakiraman, Xu — "Using Erasure Codes Efficiently for Storage in a
+// Distributed System", DSN 2005).
+//
+// A k-of-n Reed-Solomon code spreads every stripe of k data blocks and
+// n-k redundant blocks over n storage nodes, tolerating node crashes
+// with far less space than replication. Reads cost one round trip to
+// one node; writes cost a swap on the data node plus parity deltas on
+// the n-k redundant nodes — no locks, no two-phase commit, and no
+// old-version logs, even with concurrent writers. Node crashes are
+// repaired online by a three-phase recovery procedure.
+//
+// # Quick start
+//
+//	cluster, _ := ecstore.NewLocalCluster(ecstore.Options{
+//		K: 3, N: 5, BlockSize: 1024,
+//	})
+//	vol, _ := cluster.Volume(1)
+//	_ = vol.WriteBlock(ctx, 42, data)
+//	got, _ := vol.ReadBlock(ctx, 42)
+//
+// NewLocalCluster runs everything in-process (development, testing,
+// experiments). ConnectCluster speaks the same protocol to storaged
+// servers over TCP (cmd/storaged).
+package ecstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ecstore/internal/blockstore"
+	"ecstore/internal/core"
+	"ecstore/internal/directory"
+	"ecstore/internal/erasure"
+	"ecstore/internal/proto"
+	"ecstore/internal/resilience"
+	"ecstore/internal/rpc"
+	"ecstore/internal/storage"
+	"ecstore/internal/stripe"
+	"ecstore/internal/transport"
+)
+
+// UpdateMode selects how writes update the redundant nodes.
+type UpdateMode = resilience.UpdateMode
+
+// Update modes. Parallel gives 2-round-trip writes; Serial tolerates
+// more simultaneous failures (Theorem 1 vs 2); Hybrid interpolates;
+// Broadcast sends one unmultiplied delta to all redundant nodes.
+const (
+	Serial    = resilience.Serial
+	Parallel  = resilience.Parallel
+	Hybrid    = resilience.Hybrid
+	Broadcast = resilience.Broadcast
+)
+
+// Errors re-exported from the protocol core.
+var (
+	// ErrUnrecoverable: too many failures; the stripe cannot be rebuilt.
+	ErrUnrecoverable = core.ErrUnrecoverable
+	// ErrWriteExhausted: a write kept being interrupted and gave up.
+	ErrWriteExhausted = core.ErrWriteExhausted
+)
+
+// Options configures a cluster.
+type Options struct {
+	// K is the number of data blocks per stripe; N the total including
+	// redundancy. Required: 2 <= K < N, and N-K <= K for the
+	// resiliency theorems to apply.
+	K, N int
+	// BlockSize is the fixed block size in bytes. Required.
+	BlockSize int
+	// Mode selects the redundant-update strategy. Default: Parallel.
+	Mode UpdateMode
+	// TP is the number of simultaneous client crashes to tolerate
+	// (affects recovery slack and hybrid grouping). Default 0.
+	TP int
+	// LockLease expires recovery locks whose holder vanished, for
+	// deployments without an external failure detector. Local clusters
+	// default to 5 seconds; 0 keeps the default, negative disables.
+	LockLease time.Duration
+	// DataDir, when set on a local cluster, persists every node's
+	// blocks under DataDir/node-<i>. Reopening a cluster on the same
+	// directory restores the data; because a restarting deployment
+	// provably missed no writes (every node restarts together), blocks
+	// are served as valid.
+	DataDir string
+}
+
+func (o *Options) normalize() error {
+	if o.K < 1 || o.N <= o.K {
+		return fmt.Errorf("ecstore: invalid code K=%d N=%d", o.K, o.N)
+	}
+	if o.BlockSize <= 0 {
+		return fmt.Errorf("ecstore: BlockSize must be positive, got %d", o.BlockSize)
+	}
+	if o.Mode == 0 {
+		o.Mode = Parallel
+	}
+	if o.LockLease == 0 {
+		o.LockLease = 5 * time.Second
+	}
+	if o.LockLease < 0 {
+		o.LockLease = 0
+	}
+	return nil
+}
+
+// Cluster is a handle on a deployment: an erasure code, a set of
+// storage nodes, and a directory mapping stripes to nodes. Obtain
+// Volumes from it to do I/O.
+type Cluster struct {
+	opts   Options
+	code   *erasure.Code
+	layout stripe.Layout
+	dir    *directory.Service
+
+	local []*storage.Node // non-nil for local clusters
+	conns []*rpc.Client   // non-nil for TCP clusters
+	gen   int
+}
+
+// NewLocalCluster builds an in-process cluster with N in-memory
+// storage nodes. Crashed nodes are automatically replaced by fresh
+// INIT nodes, which recovery then repopulates.
+func NewLocalCluster(opts Options) (*Cluster, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	code, err := erasure.New(opts.K, opts.N)
+	if err != nil {
+		return nil, err
+	}
+	layout := stripe.MustLayout(opts.K, opts.N)
+	c := &Cluster{opts: opts, code: code, layout: layout}
+
+	handles := make([]proto.StorageNode, opts.N)
+	c.local = make([]*storage.Node, opts.N)
+	for i := 0; i < opts.N; i++ {
+		nodeOpts := storage.Options{
+			ID:        fmt.Sprintf("local-%d", i),
+			BlockSize: opts.BlockSize,
+			Code:      code,
+			LockLease: opts.LockLease,
+		}
+		if opts.DataDir != "" {
+			store, _, err := blockstore.OpenFile(blockstore.FileOptions{
+				Dir:            filepath.Join(opts.DataDir, fmt.Sprintf("node-%d", i)),
+				BlockSize:      opts.BlockSize,
+				WriteBackLimit: 64,
+			})
+			if err != nil {
+				return nil, err
+			}
+			nodeOpts.Store = store
+			nodeOpts.TrustPersisted = true
+		}
+		node, err := storage.New(nodeOpts)
+		if err != nil {
+			return nil, err
+		}
+		c.local[i] = node
+		handles[i] = node
+	}
+	dir, err := directory.New(layout, handles, c.replaceLocal)
+	if err != nil {
+		return nil, err
+	}
+	c.dir = dir
+	return c, nil
+}
+
+func (c *Cluster) replaceLocal(phys int) proto.StorageNode {
+	c.gen++
+	node := storage.MustNew(storage.Options{
+		ID:          fmt.Sprintf("local-%d.%d", phys, c.gen),
+		BlockSize:   c.opts.BlockSize,
+		Code:        c.code,
+		Replacement: true,
+		LockLease:   c.opts.LockLease,
+		GarbageSeed: int64(phys)<<16 | int64(c.gen),
+	})
+	c.local[phys] = node
+	return node
+}
+
+// ConnectCluster dials N storaged servers (cmd/storaged) over TCP.
+// addrs must have exactly N entries, in slot order. Failed nodes are
+// not replaced automatically: start a replacement storaged with
+// -replacement and install it with ReplaceNode.
+func ConnectCluster(opts Options, addrs []string) (*Cluster, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	if len(addrs) != opts.N {
+		return nil, fmt.Errorf("ecstore: %d addresses for N=%d nodes", len(addrs), opts.N)
+	}
+	code, err := erasure.New(opts.K, opts.N)
+	if err != nil {
+		return nil, err
+	}
+	layout := stripe.MustLayout(opts.K, opts.N)
+	c := &Cluster{opts: opts, code: code, layout: layout}
+	handles := make([]proto.StorageNode, opts.N)
+	for i, addr := range addrs {
+		cl := rpc.Dial(addr)
+		c.conns = append(c.conns, cl)
+		handles[i] = cl
+	}
+	dir, err := directory.New(layout, handles, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.dir = dir
+	return c, nil
+}
+
+// ReplaceNode points physical node index phys at a replacement
+// storaged server (TCP clusters).
+func (c *Cluster) ReplaceNode(phys int, addr string) error {
+	if phys < 0 || phys >= c.opts.N {
+		return fmt.Errorf("ecstore: node index %d out of range [0,%d)", phys, c.opts.N)
+	}
+	cl := rpc.Dial(addr)
+	c.conns = append(c.conns, cl)
+	c.dir.ReplaceNode(phys, cl)
+	return nil
+}
+
+// CrashNode fail-stops a local node (testing and demos). It returns an
+// error for TCP clusters — crash those by stopping the server.
+func (c *Cluster) CrashNode(phys int) error {
+	if c.local == nil {
+		return errors.New("ecstore: CrashNode only applies to local clusters")
+	}
+	if phys < 0 || phys >= len(c.local) {
+		return fmt.Errorf("ecstore: node index %d out of range", phys)
+	}
+	c.local[phys].Crash()
+	return nil
+}
+
+// Close releases TCP connections and flushes/close-marks any
+// persistent local stores.
+func (c *Cluster) Close() error {
+	var first error
+	for _, conn := range c.conns {
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, node := range c.local {
+		if err := node.Shutdown(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// BlockSize returns the configured block size.
+func (c *Cluster) BlockSize() int { return c.opts.BlockSize }
+
+// Code returns (k, n).
+func (c *Cluster) Code() (k, n int) { return c.opts.K, c.opts.N }
+
+// Volume opens a client handle with the given non-zero client ID.
+// Every concurrent writer (process or thread pool) should use its own
+// ID; IDs are embedded in write identifiers for ordering and recovery.
+func (c *Cluster) Volume(clientID uint32) (*Volume, error) {
+	cl, err := core.NewClient(core.Config{
+		ID:        proto.ClientID(clientID),
+		Code:      c.code,
+		Resolver:  c.dir,
+		BlockSize: c.opts.BlockSize,
+		Mode:      c.opts.Mode,
+		TP:        c.opts.TP,
+		Multicast: transport.Parallel{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Volume{cluster: c, cl: cl}, nil
+}
+
+// Volume is a logical-block view of the cluster for one client
+// identity. Applications address flat logical blocks; striping,
+// rotation, and the erasure code are hidden (Section 2's design goal).
+// Volumes are safe for concurrent use.
+type Volume struct {
+	cluster *Cluster
+	cl      *core.Client
+}
+
+// BlockSize returns the volume's block size in bytes.
+func (v *Volume) BlockSize() int { return v.cluster.opts.BlockSize }
+
+// ReadBlock reads one logical block. Unwritten blocks read as zeros.
+func (v *Volume) ReadBlock(ctx context.Context, logical uint64) ([]byte, error) {
+	s, slot := v.cluster.layout.Locate(logical)
+	return v.cl.ReadBlock(ctx, s, slot)
+}
+
+// WriteBlock writes one logical block. data must be exactly BlockSize
+// bytes.
+func (v *Volume) WriteBlock(ctx context.Context, logical uint64, data []byte) error {
+	s, slot := v.cluster.layout.Locate(logical)
+	return v.cl.WriteBlock(ctx, s, slot, data)
+}
+
+// readAtConcurrency bounds the parallel block fetches of a large
+// ReadAt (each fetch is one round trip; reads never contend on
+// redundant nodes, so fanning out is free parallelism).
+const readAtConcurrency = 8
+
+// ReadAt reads len(p) bytes at byte offset off, spanning blocks as
+// needed. Blocks are fetched concurrently (bounded fan-out), which is
+// what makes large sequential reads pipeline across storage nodes the
+// way Section 3.11 intends.
+func (v *Volume) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("ecstore: negative offset")
+	}
+	bs := int64(v.cluster.opts.BlockSize)
+
+	// Carve p into per-block spans.
+	type span struct {
+		logical uint64
+		within  int64 // offset inside the block
+		dst     []byte
+	}
+	var spans []span
+	for read := 0; read < len(p); {
+		pos := off + int64(read)
+		within := pos % bs
+		size := int(min(int64(len(p)-read), bs-within))
+		spans = append(spans, span{
+			logical: uint64(pos / bs),
+			within:  within,
+			dst:     p[read : read+size],
+		})
+		read += size
+	}
+
+	sem := make(chan struct{}, readAtConcurrency)
+	errs := make([]error, len(spans))
+	var wg sync.WaitGroup
+	for i := range spans {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			blk, err := v.ReadBlock(ctx, spans[i].logical)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			copy(spans[i].dst, blk[spans[i].within:])
+		}(i)
+	}
+	wg.Wait()
+	// Report the contiguous prefix that definitely succeeded.
+	read := 0
+	for i, err := range errs {
+		if err != nil {
+			return read, err
+		}
+		read += len(spans[i].dst)
+	}
+	return read, nil
+}
+
+// WriteAt writes p at byte offset off, spanning blocks as needed.
+// Spans aligned to full stripes go through the batched stripe write
+// (Section 3.11's sequential optimization: k swaps plus one combined
+// parity delta per redundant node). Unaligned head and tail blocks are
+// read-modify-written; the read-modify-write is not atomic with
+// respect to concurrent writers of the same block.
+func (v *Volume) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("ecstore: negative offset")
+	}
+	bs := int64(v.cluster.opts.BlockSize)
+	k := int64(v.cluster.opts.K)
+	stripeBytes := bs * k
+	written := 0
+	for written < len(p) {
+		pos := off + int64(written)
+		within := pos % bs
+		logical := uint64(pos / bs)
+
+		// Fast path: a stripe-aligned span covering k whole blocks.
+		if within == 0 && pos%stripeBytes == 0 && int64(len(p)-written) >= stripeBytes {
+			values := make([][]byte, k)
+			for i := int64(0); i < k; i++ {
+				values[i] = p[written+int(i*bs) : written+int((i+1)*bs)]
+			}
+			if err := v.cl.WriteStripe(ctx, logical/uint64(k), values); err != nil {
+				return written, err
+			}
+			written += int(stripeBytes)
+			continue
+		}
+
+		var blk []byte
+		if within == 0 && len(p)-written >= int(bs) {
+			blk = p[written : written+int(bs)]
+		} else {
+			old, err := v.ReadBlock(ctx, logical)
+			if err != nil {
+				return written, err
+			}
+			blk = old
+			copy(blk[within:], p[written:])
+		}
+		if err := v.WriteBlock(ctx, logical, blk); err != nil {
+			return written, err
+		}
+		written += int(min(int64(len(p)-written), bs-within))
+	}
+	return written, nil
+}
+
+// WriteStripeBlocks writes the k logical blocks of one stripe (those
+// with logical indices stripe*k .. stripe*k+k-1) in a single batched
+// operation.
+func (v *Volume) WriteStripeBlocks(ctx context.Context, stripe uint64, values [][]byte) error {
+	return v.cl.WriteStripe(ctx, stripe, values)
+}
+
+// Recover runs the recovery procedure for the stripe containing the
+// given logical block. Normally recovery is triggered automatically
+// when reads or writes stumble on a failure.
+func (v *Volume) Recover(ctx context.Context, logical uint64) error {
+	s, _ := v.cluster.layout.Locate(logical)
+	err := v.cl.Recover(ctx, s)
+	if errors.Is(err, core.ErrRecoveryBusy) {
+		return nil // someone else is already repairing it
+	}
+	return err
+}
+
+// CollectGarbage runs one pass of the two-phase GC protocol over every
+// stripe this volume has touched, trimming write-id lists at the
+// storage nodes. Run it periodically; two consecutive passes fully
+// retire completed writes.
+func (v *Volume) CollectGarbage(ctx context.Context) error {
+	_, err := v.cl.CollectGarbage(ctx)
+	return err
+}
+
+// Monitor probes every touched stripe for partial writes older than
+// maxAge and for crashed nodes, triggering recovery where needed
+// (Section 3.10). It returns the number of stripes recovered.
+func (v *Volume) Monitor(ctx context.Context, maxAge time.Duration) (int, error) {
+	report, err := v.cl.MonitorTracked(ctx, maxAge)
+	if err != nil {
+		return 0, err
+	}
+	return len(report.Recovered), nil
+}
+
+// Scrub audits every stripe this volume has touched against the
+// erasure code, repairing localizable damage (missing blocks, single
+// silent corruptions). It returns counts of clean, busy (skipped, try
+// again later), and repaired stripes.
+func (v *Volume) Scrub(ctx context.Context) (clean, busy, repaired int, err error) {
+	return v.cl.ScrubTracked(ctx)
+}
+
+// Stats exposes protocol event counters (reads, writes, recoveries...).
+func (v *Volume) Stats() *core.ClientStats { return v.cl.Stats() }
+
+// Reader returns an io.Reader streaming nBytes from byte offset off.
+func (v *Volume) Reader(ctx context.Context, off, nBytes int64) io.Reader {
+	return &volumeReader{v: v, ctx: ctx, off: off, remaining: nBytes}
+}
+
+type volumeReader struct {
+	v         *Volume
+	ctx       context.Context
+	off       int64
+	remaining int64
+}
+
+func (r *volumeReader) Read(p []byte) (int, error) {
+	if r.remaining <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > r.remaining {
+		p = p[:r.remaining]
+	}
+	n, err := r.v.ReadAt(r.ctx, p, r.off)
+	r.off += int64(n)
+	r.remaining -= int64(n)
+	return n, err
+}

@@ -1,0 +1,448 @@
+package ecstore_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"ecstore"
+	"ecstore/internal/rpc"
+	"ecstore/internal/storage"
+)
+
+const blockSize = 256
+
+func localCluster(t *testing.T, k, n int) *ecstore.Cluster {
+	t.Helper()
+	c, err := ecstore.NewLocalCluster(ecstore.Options{K: k, N: n, BlockSize: blockSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func vol(t *testing.T, c *ecstore.Cluster, id uint32) *ecstore.Volume {
+	t.Helper()
+	v, err := c.Volume(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestOptionsValidation(t *testing.T) {
+	bad := []ecstore.Options{
+		{K: 0, N: 4, BlockSize: 64},
+		{K: 4, N: 4, BlockSize: 64},
+		{K: 2, N: 4, BlockSize: 0},
+	}
+	for _, opts := range bad {
+		if _, err := ecstore.NewLocalCluster(opts); err == nil {
+			t.Errorf("options %+v accepted", opts)
+		}
+	}
+}
+
+func TestVolumeBlockRoundTrip(t *testing.T) {
+	c := localCluster(t, 2, 4)
+	v := vol(t, c, 1)
+	ctx := ctxT(t)
+	data := bytes.Repeat([]byte{0xAB}, blockSize)
+	if err := v.WriteBlock(ctx, 7, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadBlock(ctx, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if v.BlockSize() != blockSize {
+		t.Fatalf("BlockSize = %d", v.BlockSize())
+	}
+	if k, n := c.Code(); k != 2 || n != 4 {
+		t.Fatalf("Code = %d, %d", k, n)
+	}
+}
+
+func TestVolumeReadWriteAtUnaligned(t *testing.T) {
+	c := localCluster(t, 3, 5)
+	v := vol(t, c, 1)
+	ctx := ctxT(t)
+	payload := make([]byte, 3*blockSize+100)
+	rand.New(rand.NewSource(1)).Read(payload)
+	const off = 57 // unaligned
+	n, err := v.WriteAt(ctx, payload, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(payload) {
+		t.Fatalf("wrote %d of %d", n, len(payload))
+	}
+	got := make([]byte, len(payload))
+	if _, err := v.ReadAt(ctx, got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("unaligned ReadAt/WriteAt mismatch")
+	}
+	// Bytes before the write must be untouched (zero).
+	head := make([]byte, off)
+	if _, err := v.ReadAt(ctx, head, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(head, make([]byte, off)) {
+		t.Fatal("WriteAt corrupted bytes before the offset")
+	}
+}
+
+func TestVolumeNegativeOffsets(t *testing.T) {
+	c := localCluster(t, 2, 4)
+	v := vol(t, c, 1)
+	ctx := ctxT(t)
+	if _, err := v.ReadAt(ctx, make([]byte, 4), -1); err == nil {
+		t.Error("negative read offset accepted")
+	}
+	if _, err := v.WriteAt(ctx, make([]byte, 4), -1); err == nil {
+		t.Error("negative write offset accepted")
+	}
+}
+
+func TestVolumeReader(t *testing.T) {
+	c := localCluster(t, 2, 4)
+	v := vol(t, c, 1)
+	ctx := ctxT(t)
+	payload := make([]byte, 2*blockSize+33)
+	rand.New(rand.NewSource(2)).Read(payload)
+	if _, err := v.WriteAt(ctx, payload, 11); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(v.Reader(ctx, 11, int64(len(payload))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("Reader stream mismatch")
+	}
+}
+
+func TestCrashAndOnlineRecovery(t *testing.T) {
+	c := localCluster(t, 2, 4)
+	v := vol(t, c, 1)
+	ctx := ctxT(t)
+	data := bytes.Repeat([]byte{0x5A}, blockSize)
+	if err := v.WriteBlock(ctx, 3, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CrashNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CrashNode(2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadBlock(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data lost after double crash")
+	}
+	if err := c.CrashNode(-1); err == nil {
+		t.Error("out-of-range crash accepted")
+	}
+}
+
+func TestExplicitRecoverAndMonitor(t *testing.T) {
+	c := localCluster(t, 2, 4)
+	v := vol(t, c, 1)
+	ctx := ctxT(t)
+	if err := v.WriteBlock(ctx, 0, make([]byte, blockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Recover(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CrashNode(1); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := v.Monitor(ctx, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 1 {
+		t.Fatalf("monitor recovered %d stripes, want 1", recovered)
+	}
+}
+
+func TestGarbageCollectionThroughFacade(t *testing.T) {
+	c := localCluster(t, 2, 4)
+	v := vol(t, c, 1)
+	ctx := ctxT(t)
+	for i := uint64(0); i < 8; i++ {
+		if err := v.WriteBlock(ctx, i, make([]byte, blockSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.CollectGarbage(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.CollectGarbage(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v.Stats().Writes.Load() != 8 {
+		t.Fatalf("stats writes = %d", v.Stats().Writes.Load())
+	}
+}
+
+func TestMultipleVolumesShareData(t *testing.T) {
+	c := localCluster(t, 2, 4)
+	v1 := vol(t, c, 1)
+	v2 := vol(t, c, 2)
+	ctx := ctxT(t)
+	data := bytes.Repeat([]byte{9}, blockSize)
+	if err := v1.WriteBlock(ctx, 5, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v2.ReadBlock(ctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("second volume does not see first volume's write")
+	}
+}
+
+func TestVolumeZeroClientIDRejected(t *testing.T) {
+	c := localCluster(t, 2, 4)
+	if _, err := c.Volume(0); err == nil {
+		t.Fatal("client ID 0 accepted")
+	}
+}
+
+func TestAllModesThroughFacade(t *testing.T) {
+	for _, mode := range []ecstore.UpdateMode{ecstore.Serial, ecstore.Parallel, ecstore.Hybrid, ecstore.Broadcast} {
+		c, err := ecstore.NewLocalCluster(ecstore.Options{K: 2, N: 5, BlockSize: blockSize, Mode: mode, TP: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := vol(t, c, 1)
+		ctx := ctxT(t)
+		data := bytes.Repeat([]byte{byte(mode)}, blockSize)
+		if err := v.WriteBlock(ctx, 1, data); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		got, err := v.ReadBlock(ctx, 1)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("%v: read mismatch (%v)", mode, err)
+		}
+	}
+}
+
+func TestConnectClusterOverTCP(t *testing.T) {
+	const k, n = 2, 4
+	addrs := make([]string, n)
+	nodes := make([]*storage.Node, n)
+	for i := 0; i < n; i++ {
+		node := storage.MustNew(storage.Options{ID: "tcp", BlockSize: blockSize})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := rpc.Serve(ln, node)
+		t.Cleanup(func() { _ = srv.Close() })
+		addrs[i] = srv.Addr().String()
+		nodes[i] = node
+	}
+	c, err := ecstore.ConnectCluster(ecstore.Options{K: k, N: n, BlockSize: blockSize}, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	v := vol(t, c, 1)
+	ctx := ctxT(t)
+	data := bytes.Repeat([]byte{0xCD}, blockSize)
+	if err := v.WriteBlock(ctx, 9, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadBlock(ctx, 9)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("TCP round trip failed: %v", err)
+	}
+	// Crash a node server-side and replace it via ReplaceNode.
+	nodes[1].Crash()
+	repl := storage.MustNew(storage.Options{ID: "tcp-repl", BlockSize: blockSize, Replacement: true})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.Serve(ln, repl)
+	t.Cleanup(func() { _ = srv.Close() })
+	if err := c.ReplaceNode(1, srv.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	got, err = v.ReadBlock(ctx, 9)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after TCP node replacement failed: %v", err)
+	}
+	if err := c.CrashNode(0); err == nil {
+		t.Error("CrashNode on a TCP cluster should error")
+	}
+	if err := c.ReplaceNode(99, "x"); err == nil {
+		t.Error("out-of-range ReplaceNode accepted")
+	}
+}
+
+func TestConnectClusterAddressCount(t *testing.T) {
+	_, err := ecstore.ConnectCluster(ecstore.Options{K: 2, N: 4, BlockSize: 64}, []string{"a"})
+	if err == nil {
+		t.Fatal("wrong address count accepted")
+	}
+}
+
+func TestErrorsExported(t *testing.T) {
+	if ecstore.ErrUnrecoverable == nil || ecstore.ErrWriteExhausted == nil {
+		t.Fatal("exported errors are nil")
+	}
+	if errors.Is(ecstore.ErrUnrecoverable, ecstore.ErrWriteExhausted) {
+		t.Fatal("distinct errors compare equal")
+	}
+}
+
+func TestWriteAtUsesStripeFastPath(t *testing.T) {
+	c := localCluster(t, 3, 5)
+	v := vol(t, c, 1)
+	ctx := ctxT(t)
+	// A 4-stripe aligned payload: the fast path must kick in.
+	payload := make([]byte, 4*3*blockSize)
+	rand.New(rand.NewSource(9)).Read(payload)
+	n, err := v.WriteAt(ctx, payload, 0)
+	if err != nil || n != len(payload) {
+		t.Fatalf("WriteAt: %d, %v", n, err)
+	}
+	if got := v.Stats().StripeWrites.Load(); got != 4 {
+		t.Fatalf("stripe writes = %d, want 4", got)
+	}
+	if got := v.Stats().Writes.Load(); got != 0 {
+		t.Fatalf("per-block writes = %d, want 0 on the aligned span", got)
+	}
+	back := make([]byte, len(payload))
+	if _, err := v.ReadAt(ctx, back, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, payload) {
+		t.Fatal("fast-path write round trip failed")
+	}
+	// Survives crashes like any other write.
+	_ = c.CrashNode(1)
+	_ = c.CrashNode(3)
+	if _, err := v.ReadAt(ctx, back, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, payload) {
+		t.Fatal("fast-path data lost after crashes")
+	}
+}
+
+func TestWriteStripeBlocksFacade(t *testing.T) {
+	c := localCluster(t, 2, 4)
+	v := vol(t, c, 1)
+	ctx := ctxT(t)
+	values := [][]byte{bytes.Repeat([]byte{1}, blockSize), bytes.Repeat([]byte{2}, blockSize)}
+	if err := v.WriteStripeBlocks(ctx, 3, values); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadBlock(ctx, 7) // stripe 3, slot 1 => logical 3*2+1
+	if err != nil || !bytes.Equal(got, values[1]) {
+		t.Fatalf("stripe block read mismatch: %v", err)
+	}
+}
+
+func TestLocalClusterPersistence(t *testing.T) {
+	dir := t.TempDir()
+	ctx := ctxT(t)
+	opts := ecstore.Options{K: 2, N: 4, BlockSize: blockSize, DataDir: dir}
+
+	c1, err := ecstore.NewLocalCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := c1.Volume(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x42}, blockSize)
+	for i := uint64(0); i < 6; i++ {
+		if err := v1.WriteBlock(ctx, i, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen on the same directory: data persists.
+	c2, err := ecstore.NewLocalCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	v2, err := c2.Volume(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 6; i++ {
+		got, err := v2.ReadBlock(ctx, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("block %d lost across cluster restart", i)
+		}
+	}
+}
+
+func TestVolumeScrub(t *testing.T) {
+	c := localCluster(t, 2, 4)
+	v := vol(t, c, 1)
+	ctx := ctxT(t)
+	if err := v.WriteBlock(ctx, 0, bytes.Repeat([]byte{1}, blockSize)); err != nil {
+		t.Fatal(err)
+	}
+	// Quiesce via GC, then scrub: clean.
+	for pass := 0; pass < 2; pass++ {
+		if err := v.CollectGarbage(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clean, busy, repaired, err := v.Scrub(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean != 1 || busy != 0 || repaired != 0 {
+		t.Fatalf("scrub = %d/%d/%d, want 1/0/0", clean, busy, repaired)
+	}
+	// Crash a node; scrub must repair.
+	if err := c.CrashNode(0); err != nil {
+		t.Fatal(err)
+	}
+	_, _, repaired, err = v.Scrub(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired != 1 {
+		t.Fatalf("scrub repaired = %d, want 1", repaired)
+	}
+}

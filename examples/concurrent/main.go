@@ -1,0 +1,149 @@
+// Concurrent: the paper's Fig. 3 scenario live. Multiple writers
+// update blocks coupled by the same erasure-code stripe — including
+// races on the same block — with zero client-to-client coordination:
+// no locks, no two-phase commit. Afterward the stripes are verified
+// block-for-block against the erasure code, and one writer is
+// "crashed" mid-write to show the monitoring mechanism restoring full
+// redundancy (Section 3.10).
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"ecstore/internal/cluster"
+	"ecstore/internal/proto"
+)
+
+const (
+	blockSize = 256
+	writers   = 4
+	rounds    = 40
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// internal/cluster exposes the erasure-code verification hooks the
+	// public facade deliberately hides.
+	c, err := cluster.New(cluster.Options{
+		K: 2, N: 4, BlockSize: blockSize, Clients: writers,
+		RetryDelay: 200 * time.Microsecond,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase 1: every writer hammers its own block of stripe 0 — the
+	// blocks are different but coupled through the parity nodes.
+	fmt.Printf("%d writers, %d rounds each, distinct blocks of one stripe...\n", 2, rounds)
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				v := make([]byte, blockSize)
+				binary.BigEndian.PutUint64(v, uint64(w*1000+r))
+				if err := c.Clients[w].WriteBlock(ctx, 0, w, v); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if ok, err := c.VerifyStripe(0); err != nil || !ok {
+		return fmt.Errorf("stripe 0 inconsistent after concurrent writes (ok=%v err=%v)", ok, err)
+	}
+	fmt.Println("stripe 0 parity verified: interleaved adds commuted perfectly")
+
+	// Phase 2: all writers race on the SAME block. The swap/otid chain
+	// orders them; the final stripe is consistent and holds exactly
+	// one of the written values.
+	fmt.Printf("%d writers, %d rounds each, the SAME block...\n", writers, rounds/2)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds/2; r++ {
+				v := make([]byte, blockSize)
+				binary.BigEndian.PutUint64(v, uint64(10000+w*100+r))
+				if err := c.Clients[w].WriteBlock(ctx, 1, 0, v); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if ok, err := c.VerifyStripe(1); err != nil || !ok {
+		return fmt.Errorf("stripe 1 inconsistent after same-block races (ok=%v err=%v)", ok, err)
+	}
+	final, err := c.Clients[0].ReadBlock(ctx, 1, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stripe 1 parity verified; final value %d (one of the racers)\n",
+		binary.BigEndian.Uint64(final))
+
+	// Phase 3: a client "crashes" after its swap but before its adds,
+	// leaving the stripe's redundancy stale. The monitoring mechanism
+	// spots the lingering write identifier and repairs the stripe.
+	node, err := c.Dir.Node(2, 0)
+	if err != nil {
+		return err
+	}
+	orphan := make([]byte, blockSize)
+	for i := range orphan {
+		orphan[i] = 0xDD
+	}
+	if _, err := node.Swap(ctx, &proto.SwapReq{
+		Stripe: 2, Slot: 0, Value: orphan,
+		NTID: proto.TID{Seq: 1, Block: 0, Client: 99},
+	}); err != nil {
+		return err
+	}
+	if ok, _ := c.VerifyStripe(2); ok {
+		return fmt.Errorf("expected stripe 2 to be inconsistent after the partial write")
+	}
+	fmt.Println("injected a partial write (client crash between swap and adds)")
+	report, err := c.Clients[0].MonitorStripes(ctx, []uint64{2}, 0)
+	if err != nil {
+		return err
+	}
+	if ok, err := c.VerifyStripe(2); err != nil || !ok {
+		return fmt.Errorf("monitor did not restore stripe 2 (ok=%v err=%v)", ok, err)
+	}
+	fmt.Printf("monitoring pass recovered %d stripe(s); full redundancy restored\n", len(report.Recovered))
+
+	for w, cl := range c.Clients {
+		s := cl.Stats()
+		fmt.Printf("  client %d: writes=%d restarts=%d order-waits=%d recoveries=%d\n",
+			w+1, s.Writes.Load(), s.WriteRestarts.Load(), s.OrderWaits.Load(),
+			s.Recoveries.Load()+s.RecoveryPickups.Load())
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Filestore: use the volume's byte-addressed API as a reliable backing
+// store for file contents — the "distributed disk array" deployment
+// the paper's conclusion envisions. A pseudo-file is streamed in at an
+// unaligned offset, two storage nodes crash, a garbage-collection pass
+// trims protocol metadata, and the file streams back out intact
+// (verified by checksum).
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"time"
+
+	"ecstore"
+)
+
+const (
+	blockSize = 512
+	fileSize  = 64*blockSize + 123 // deliberately unaligned
+	fileOff   = 200                // deliberately unaligned
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	cluster, err := ecstore.NewLocalCluster(ecstore.Options{
+		K: 4, N: 6, BlockSize: blockSize, Mode: ecstore.Parallel,
+	})
+	if err != nil {
+		return err
+	}
+	vol, err := cluster.Volume(1)
+	if err != nil {
+		return err
+	}
+
+	// Fabricate a "file" and remember its digest.
+	file := make([]byte, fileSize)
+	rand.New(rand.NewSource(42)).Read(file)
+	wantSum := sha256.Sum256(file)
+
+	// Store it at an unaligned byte offset: head and tail blocks go
+	// through read-modify-write, full blocks are written directly.
+	start := time.Now()
+	n, err := vol.WriteAt(ctx, file, fileOff)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	fmt.Printf("stored %d bytes (%.1f KiB) in %v\n", n, float64(n)/1024, time.Since(start).Round(time.Millisecond))
+
+	// Trim the protocol's write-id lists (two passes retire them).
+	for i := 0; i < 2; i++ {
+		if err := vol.CollectGarbage(ctx); err != nil {
+			return err
+		}
+	}
+	fmt.Println("garbage collection complete: storage nodes keep no per-write state")
+
+	// Lose two of six nodes — the code's full tolerance.
+	for _, phys := range []int{1, 4} {
+		if err := cluster.CrashNode(phys); err != nil {
+			return err
+		}
+	}
+	fmt.Println("crashed storage nodes 1 and 4")
+
+	// Stream the file back through the io.Reader adapter.
+	start = time.Now()
+	got, err := io.ReadAll(vol.Reader(ctx, fileOff, fileSize))
+	if err != nil {
+		return fmt.Errorf("fetch after crashes: %w", err)
+	}
+	if sha256.Sum256(got) != wantSum {
+		return fmt.Errorf("checksum mismatch: file corrupted")
+	}
+	fmt.Printf("fetched %d bytes after double node loss in %v — checksum OK\n",
+		len(got), time.Since(start).Round(time.Millisecond))
+
+	// Sanity: bytes around the file are untouched zeros.
+	edge := make([]byte, fileOff)
+	if _, err := vol.ReadAt(ctx, edge, 0); err != nil {
+		return err
+	}
+	if !bytes.Equal(edge, make([]byte, fileOff)) {
+		return fmt.Errorf("bytes before the file were corrupted")
+	}
+	fmt.Println("surrounding bytes untouched; done")
+	return nil
+}

@@ -1,0 +1,79 @@
+// Simulate: explore protocol design points with the discrete-event
+// simulator — no wall-clock time, fully deterministic. It sweeps a few
+// questions a storage architect would ask before deploying: how do the
+// AJX variants compare with the FAB/GWGR baselines, what does
+// redundancy cost, and what do the broadcast and batched-stripe
+// optimizations buy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ecstore/internal/sim"
+)
+
+func run1(cfg sim.Config) sim.Result {
+	r, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+func main() {
+	const blockSize = 1024
+	dur := 250 * time.Millisecond
+
+	fmt.Println("== protocol face-off: 8-of-10 code, 8 clients, random 1 KB writes ==")
+	for _, p := range []sim.Protocol{sim.AJXPar, sim.AJXBcast, sim.AJXSer, sim.FAB, sim.GWGR} {
+		cfg := sim.DefaultConfig(8, 10, blockSize, 8, 16, p, sim.RandomWrite)
+		cfg.Duration = dur
+		r := run1(cfg)
+		fmt.Printf("  %-10s %8.1f MB/s   avg latency %v\n", p, r.ThroughputMBps(), r.AvgLatency.Round(time.Microsecond))
+	}
+
+	fmt.Println("\n== the price of redundancy: k=8, 1 client, random writes ==")
+	for _, p := range []int{1, 2, 4, 8} {
+		cfg := sim.DefaultConfig(8, 8+p, blockSize, 1, 16, sim.AJXPar, sim.RandomWrite)
+		cfg.Duration = dur
+		r := run1(cfg)
+		fmt.Printf("  p=%-2d  %8.1f MB/s\n", p, r.ThroughputMBps())
+	}
+
+	fmt.Println("\n== broadcast optimization: same sweep with one uplink payload ==")
+	for _, p := range []int{1, 2, 4, 8} {
+		cfg := sim.DefaultConfig(8, 8+p, blockSize, 1, 16, sim.AJXBcast, sim.RandomWrite)
+		cfg.Duration = dur
+		r := run1(cfg)
+		fmt.Printf("  p=%-2d  %8.1f MB/s\n", p, r.ThroughputMBps())
+	}
+
+	fmt.Println("\n== sequential stripe writes: per-block vs batched parity deltas ==")
+	for _, kn := range [][2]int{{4, 6}, {8, 10}, {8, 16}} {
+		per := run1(func() sim.Config {
+			c := sim.DefaultConfig(kn[0], kn[1], blockSize, 1, 8, sim.AJXPar, sim.SequentialWrite)
+			c.Duration = dur
+			return c
+		}())
+		bat := run1(func() sim.Config {
+			c := sim.DefaultConfig(kn[0], kn[1], blockSize, 1, 8, sim.AJXPar, sim.SequentialWriteBatched)
+			c.Duration = dur
+			return c
+		}())
+		fmt.Printf("  %d-of-%-2d  per-block %7.1f MB/s   batched %7.1f MB/s   (%.1fx)\n",
+			kn[0], kn[1], per.ThroughputMBps(), bat.ThroughputMBps(),
+			bat.ThroughputMBps()/per.ThroughputMBps())
+	}
+
+	fmt.Println("\n== node utilization at saturation: 14-of-16, 64 clients ==")
+	cfg := sim.DefaultConfig(14, 16, blockSize, 64, 16, sim.AJXPar, sim.RandomWrite)
+	cfg.Duration = dur
+	r := run1(cfg)
+	fmt.Printf("  aggregate %0.1f MB/s; storage-node NIC utilization:", r.ThroughputMBps())
+	for _, u := range r.NodeUtilization {
+		fmt.Printf(" %2.0f%%", u*100)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,118 @@
+// TCP cluster: the real deployment path. Five storage-node servers
+// are started on loopback TCP (the same servers cmd/storaged runs),
+// a client connects over the network, writes data, one server is
+// killed, a replacement is started and installed, and recovery
+// rebuilds the lost blocks onto it — all over real sockets.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"ecstore"
+	"ecstore/internal/rpc"
+	"ecstore/internal/storage"
+)
+
+const blockSize = 1024
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func startNode(replacement bool) (*rpc.Server, error) {
+	node, err := storage.New(storage.Options{
+		ID:          "tcp-node",
+		BlockSize:   blockSize,
+		Replacement: replacement,
+		LockLease:   5 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return rpc.Serve(ln, node), nil
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const k, n = 3, 5
+	servers := make([]*rpc.Server, n)
+	addrs := make([]string, n)
+	for i := range servers {
+		srv, err := startNode(false)
+		if err != nil {
+			return err
+		}
+		servers[i] = srv
+		addrs[i] = srv.Addr().String()
+		defer srv.Close()
+	}
+	fmt.Printf("started %d storage servers on loopback TCP\n", n)
+
+	cluster, err := ecstore.ConnectCluster(ecstore.Options{
+		K: k, N: n, BlockSize: blockSize,
+	}, addrs)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	vol, err := cluster.Volume(1)
+	if err != nil {
+		return err
+	}
+
+	blocks := 9
+	for i := 0; i < blocks; i++ {
+		data := bytes.Repeat([]byte{byte(i + 1)}, blockSize)
+		if err := vol.WriteBlock(ctx, uint64(i), data); err != nil {
+			return fmt.Errorf("write over TCP: %w", err)
+		}
+	}
+	fmt.Printf("wrote %d blocks over the network\n", blocks)
+
+	// Kill one server for real.
+	if err := servers[2].Close(); err != nil {
+		return err
+	}
+	fmt.Println("killed storage server 2")
+
+	// Start a fresh replacement (INIT blocks) and install it in the
+	// directory — the operator workflow with cmd/storaged -replacement.
+	repl, err := startNode(true)
+	if err != nil {
+		return err
+	}
+	defer repl.Close()
+	if err := cluster.ReplaceNode(2, repl.Addr().String()); err != nil {
+		return err
+	}
+	fmt.Printf("installed replacement server at %s\n", repl.Addr())
+
+	// Reads trigger recovery stripe by stripe; data comes back intact.
+	for i := 0; i < blocks; i++ {
+		got, err := vol.ReadBlock(ctx, uint64(i))
+		if err != nil {
+			return fmt.Errorf("read block %d after node loss: %w", i, err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte{byte(i + 1)}, blockSize)) {
+			return fmt.Errorf("block %d corrupted", i)
+		}
+	}
+	fmt.Println("all blocks verified after node replacement — recovery rebuilt the lost data")
+
+	stats := vol.Stats()
+	fmt.Printf("recoveries run: %d\n", stats.Recoveries.Load()+stats.RecoveryPickups.Load())
+	return nil
+}

@@ -1,0 +1,117 @@
+// Package baseline captures the analytic protocol-cost comparison of
+// the paper's Fig. 1: failure-free latency, message counts, and
+// bandwidth for the AJX variants and the FAB and Goodson-et-al (GWGR)
+// baselines, as functions of the erasure code parameters.
+//
+// The experiment harness cross-checks the AJX columns against message
+// counts measured on the real implementation (transport.Counting), and
+// the simulator (internal/sim) embodies the same schedules as
+// executable models.
+package baseline
+
+import "fmt"
+
+// Scheme names a protocol column of Fig. 1.
+type Scheme string
+
+// Schemes compared in Fig. 1.
+const (
+	AJXPar   Scheme = "AJX-par"
+	AJXBcast Scheme = "AJX-bcast"
+	AJXSer   Scheme = "AJX-ser"
+	FAB      Scheme = "FAB"
+	GWGR     Scheme = "GWGR"
+)
+
+// Costs is one row of Fig. 1 instantiated for a concrete k-of-n code.
+// Bandwidth is expressed in units of the block size B.
+type Costs struct {
+	Scheme Scheme
+	// MinWriteGranularity is the smallest write unit in blocks.
+	MinWriteGranularity int
+	// ReadLatencyRT / WriteLatencyRT are failure-free latencies in
+	// round trips.
+	ReadLatencyRT  int
+	WriteLatencyRT int
+	// ReadMsgs / WriteMsgs count wire messages per operation.
+	ReadMsgs  int
+	WriteMsgs int
+	// ReadBandwidthB / WriteBandwidthB are data volumes in block-size
+	// units.
+	ReadBandwidthB  float64
+	WriteBandwidthB float64
+}
+
+// Fig1 instantiates the comparison table for a k-of-n code.
+func Fig1(k, n int) ([]Costs, error) {
+	if k < 1 || n <= k {
+		return nil, fmt.Errorf("baseline: invalid code %d-of-%d", k, n)
+	}
+	p := n - k
+	return []Costs{
+		{
+			Scheme:              AJXPar,
+			MinWriteGranularity: 1,
+			ReadLatencyRT:       1,
+			WriteLatencyRT:      2,
+			ReadMsgs:            2,
+			WriteMsgs:           2 * (p + 1),
+			ReadBandwidthB:      1,
+			WriteBandwidthB:     float64(p + 2),
+		},
+		{
+			Scheme:              AJXBcast,
+			MinWriteGranularity: 1,
+			ReadLatencyRT:       1,
+			WriteLatencyRT:      2,
+			ReadMsgs:            2,
+			WriteMsgs:           p + 3,
+			ReadBandwidthB:      1,
+			WriteBandwidthB:     3,
+		},
+		{
+			Scheme:              AJXSer,
+			MinWriteGranularity: 1,
+			ReadLatencyRT:       1,
+			WriteLatencyRT:      p + 1,
+			ReadMsgs:            2,
+			WriteMsgs:           2 * (p + 1),
+			ReadBandwidthB:      1,
+			WriteBandwidthB:     float64(p + 2),
+		},
+		{
+			Scheme:              FAB,
+			MinWriteGranularity: 1,
+			ReadLatencyRT:       1,
+			WriteLatencyRT:      2,
+			ReadMsgs:            2 * k,
+			WriteMsgs:           4 * n,
+			ReadBandwidthB:      1,
+			WriteBandwidthB:     float64(2*n + 1),
+		},
+		{
+			Scheme:              GWGR,
+			MinWriteGranularity: k,
+			ReadLatencyRT:       1,
+			WriteLatencyRT:      2,
+			ReadMsgs:            2 * n,
+			WriteMsgs:           4 * n,
+			ReadBandwidthB:      float64(n),
+			WriteBandwidthB:     float64(n),
+		},
+	}, nil
+}
+
+// Row returns one scheme's costs for a k-of-n code.
+func Row(s Scheme, k, n int) (Costs, error) {
+	rows, err := Fig1(k, n)
+	if err != nil {
+		return Costs{}, err
+	}
+	for _, r := range rows {
+		if r.Scheme == s {
+			return r, nil
+		}
+	}
+	return Costs{}, fmt.Errorf("baseline: unknown scheme %q", s)
+}

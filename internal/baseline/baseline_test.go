@@ -1,0 +1,82 @@
+package baseline
+
+import "testing"
+
+func TestFig1KnownValues(t *testing.T) {
+	// 3-of-5 code: p = 2.
+	rows, err := Fig1(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byScheme := make(map[Scheme]Costs)
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+	}
+	par := byScheme[AJXPar]
+	if par.WriteMsgs != 6 || par.WriteBandwidthB != 4 || par.WriteLatencyRT != 2 {
+		t.Errorf("AJX-par: %+v", par)
+	}
+	bc := byScheme[AJXBcast]
+	if bc.WriteMsgs != 5 || bc.WriteBandwidthB != 3 {
+		t.Errorf("AJX-bcast: %+v", bc)
+	}
+	ser := byScheme[AJXSer]
+	if ser.WriteLatencyRT != 3 || ser.WriteMsgs != 6 {
+		t.Errorf("AJX-ser: %+v", ser)
+	}
+	fab := byScheme[FAB]
+	if fab.ReadMsgs != 6 || fab.WriteMsgs != 20 || fab.WriteBandwidthB != 11 {
+		t.Errorf("FAB: %+v", fab)
+	}
+	gw := byScheme[GWGR]
+	if gw.ReadMsgs != 10 || gw.WriteMsgs != 20 || gw.MinWriteGranularity != 3 || gw.ReadBandwidthB != 5 {
+		t.Errorf("GWGR: %+v", gw)
+	}
+}
+
+func TestFig1AJXIndependentOfN(t *testing.T) {
+	// The AJX columns depend only on p, not on n: that is the paper's
+	// core scaling claim. Compare 4-of-6 and 14-of-16 (both p=2).
+	small, _ := Fig1(4, 6)
+	large, _ := Fig1(14, 16)
+	for i, s := range small {
+		l := large[i]
+		if s.Scheme == FAB || s.Scheme == GWGR {
+			if l.WriteMsgs <= s.WriteMsgs {
+				t.Errorf("%s write msgs should grow with n", s.Scheme)
+			}
+			continue
+		}
+		if s.WriteMsgs != l.WriteMsgs || s.WriteBandwidthB != l.WriteBandwidthB {
+			t.Errorf("%s costs changed with n at fixed p: %+v vs %+v", s.Scheme, s, l)
+		}
+	}
+}
+
+func TestRow(t *testing.T) {
+	r, err := Row(FAB, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scheme != FAB || r.WriteMsgs != 16 {
+		t.Fatalf("Row(FAB, 2, 4) = %+v", r)
+	}
+	if _, err := Row("nope", 2, 4); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := Row(FAB, 4, 4); err == nil {
+		t.Error("invalid code accepted")
+	}
+}
+
+func TestFig1Validation(t *testing.T) {
+	if _, err := Fig1(0, 4); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Fig1(4, 3); err == nil {
+		t.Error("n<k accepted")
+	}
+}

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"ecstore/internal/core"
+	"ecstore/internal/proto"
+	"ecstore/internal/resilience"
+	"ecstore/internal/transport"
+)
+
+func opts() Options {
+	return Options{K: 2, N: 4, BlockSize: 64, RetryDelay: 100 * time.Microsecond}
+}
+
+func TestNewDefaults(t *testing.T) {
+	c, err := New(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clients) != 1 {
+		t.Fatalf("clients = %d, want default 1", len(c.Clients))
+	}
+	if c.Clients[0].Mode() != resilience.Parallel {
+		t.Fatalf("mode = %v, want default Parallel", c.Clients[0].Mode())
+	}
+	if c.Code.K() != 2 || c.Code.N() != 4 {
+		t.Fatal("code mismatch")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := opts()
+	bad.K = 0
+	if _, err := New(bad); err == nil {
+		t.Error("invalid code accepted")
+	}
+	bad = opts()
+	bad.BlockSize = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero block size accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(Options{})
+}
+
+func TestWrapNodeApplied(t *testing.T) {
+	ctr := &transport.Counters{}
+	o := opts()
+	o.WrapNode = func(phys int, n proto.StorageNode) proto.StorageNode {
+		return transport.NewCounting(n, ctr)
+	}
+	c, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Clients[0].WriteBlock(ctx, 0, 0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.TotalMessages() == 0 {
+		t.Fatal("wrapper saw no traffic")
+	}
+}
+
+func TestCrashAndReplacement(t *testing.T) {
+	c, err := New(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cl := c.Clients[0]
+	want := bytes.Repeat([]byte{7}, 64)
+	if err := cl.WriteBlock(ctx, 0, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	phys := c.CrashNodeForStripeSlot(0, 0)
+	if !c.Node(phys).Crashed() {
+		t.Fatal("node not crashed")
+	}
+	got, err := cl.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("data lost across crash")
+	}
+	// The replacement node must be a different instance.
+	if c.Node(phys).Crashed() {
+		t.Fatal("directory still points at the crashed node")
+	}
+}
+
+func TestNoReplacements(t *testing.T) {
+	o := opts()
+	o.NoReplacements = true
+	c, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashNodeForStripeSlot(0, 0)
+	// With no replacement available the read must keep failing until
+	// the context expires — not fabricate data.
+	if _, err := cl.ReadBlock(ctx, 0, 0); err == nil {
+		t.Fatal("read succeeded with a dead, unreplaced node")
+	}
+}
+
+func TestFailClientExpiresLocksEverywhere(t *testing.T) {
+	c, err := New(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for phys := 0; phys < 4; phys++ {
+		if _, err := c.Node(phys).TryLock(ctx, &proto.TryLockReq{Stripe: 0, Slot: int32(phys), Mode: proto.L1, Caller: 42}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.FailClient(42)
+	for phys := 0; phys < 4; phys++ {
+		st, err := c.Node(phys).GetState(ctx, &proto.GetStateReq{Stripe: 0, Slot: int32(phys)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.LockMode != proto.Expired {
+			t.Fatalf("node %d lock = %v, want EXP", phys, st.LockMode)
+		}
+	}
+}
+
+func TestStripeBlocksAndVerify(t *testing.T) {
+	c, err := New(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cl := c.Clients[0]
+	for i := 0; i < 2; i++ {
+		if err := cl.WriteBlock(ctx, 3, i, bytes.Repeat([]byte{byte(i + 1)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks := c.StripeBlocks(3)
+	if len(blocks) != 4 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	for slot, b := range blocks {
+		if b == nil {
+			t.Fatalf("slot %d missing", slot)
+		}
+	}
+	ok, err := c.VerifyStripe(3)
+	if err != nil || !ok {
+		t.Fatalf("VerifyStripe = %v, %v", ok, err)
+	}
+	// A crashed, un-remapped slot yields an error from VerifyStripe.
+	c.CrashNodeForStripeSlot(3, 1)
+	if _, err := c.VerifyStripe(3); err == nil {
+		t.Fatal("VerifyStripe of a stripe with missing blocks should error")
+	}
+}
+
+func TestMulticastOptionWiring(t *testing.T) {
+	o := opts()
+	o.Mode = resilience.Broadcast
+	o.Multicast = transport.Parallel{}
+	c, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Clients[0].WriteBlock(ctx, 0, 1, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.VerifyStripe(0); err != nil || !ok {
+		t.Fatalf("broadcast write left stripe inconsistent: %v %v", ok, err)
+	}
+}
+
+func TestClientTweak(t *testing.T) {
+	o := opts()
+	o.ClientTweak = func(cfg *core.Config) { cfg.OrderRetryLimit = 3 }
+	c, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c
+}

@@ -1,0 +1,302 @@
+// Package core implements the client side of the AJX erasure-coded
+// storage protocol — the paper's primary contribution (Figs. 4-7).
+//
+// A Client orchestrates thin storage nodes to read, write, recover,
+// and garbage-collect erasure-coded stripes:
+//
+//   - READ: one round trip to the data node in the failure-free case.
+//   - WRITE: swap on the data node, then alpha*(v-w) add deltas on the
+//     p = n-k redundant nodes — serially, in parallel, in hybrid
+//     groups, or via broadcast, per the configured update mode. No
+//     locks, no two-phase commit, no old-version logs.
+//   - Recovery: a three-phase, lock-based, restartable procedure that
+//     reconstructs lost blocks online.
+//   - Garbage collection: a two-phase protocol that trims the write-id
+//     lists kept by storage nodes.
+//   - Monitoring: probes that detect partial writes and crashed nodes
+//     and trigger recovery to restore full resiliency.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecstore/internal/erasure"
+	"ecstore/internal/proto"
+	"ecstore/internal/resilience"
+)
+
+// Resolver locates the storage node serving a stripe slot and accepts
+// failure reports that may remap the slot to a replacement node
+// (Section 3.5). directory.Service implements it.
+type Resolver interface {
+	Node(stripeID uint64, slot int) (proto.StorageNode, error)
+	ReportFailure(stripeID uint64, slot int, seen proto.StorageNode)
+}
+
+// Config parameterizes a Client.
+type Config struct {
+	// ID is this client's unique identity; it is embedded in write
+	// identifiers. Required (non-zero).
+	ID proto.ClientID
+	// Code is the erasure code shared by all participants. Required.
+	Code *erasure.Code
+	// Resolver locates storage nodes. Required.
+	Resolver Resolver
+	// BlockSize is the fixed block size in bytes. Required.
+	BlockSize int
+	// Mode selects the redundant-update strategy. Defaults to Parallel.
+	Mode resilience.UpdateMode
+	// TP is the client-failure threshold t_p used for recovery slack
+	// and hybrid group sizing. Defaults to 0.
+	TP int
+	// TD overrides the storage-failure budget t_d. When zero it is
+	// derived from the code and mode via the paper's theorems.
+	TD int
+	// Multicast optionally provides broadcast delivery for the
+	// Broadcast mode; without it the client falls back to parallel
+	// unicast of unmultiplied deltas.
+	Multicast proto.Multicaster
+	// RetryDelay is the pause between retries of rejected operations.
+	// Defaults to 500 microseconds.
+	RetryDelay time.Duration
+	// OrderRetryLimit bounds consecutive ORDER rejections tolerated
+	// before the writer suspects a crashed predecessor and starts
+	// recovery ("tired of looping"). Defaults to 8.
+	OrderRetryLimit int
+	// MaxWriteAttempts bounds full WRITE restarts (re-swap) before
+	// giving up. Defaults to 16.
+	MaxWriteAttempts int
+	// RecoveryPollLimit bounds phase-2 polling rounds while waiting for
+	// outstanding writes to complete. Defaults to 256.
+	RecoveryPollLimit int
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.ID == 0:
+		return errors.New("core: Config.ID must be non-zero")
+	case c.Code == nil:
+		return errors.New("core: Config.Code is required")
+	case c.Resolver == nil:
+		return errors.New("core: Config.Resolver is required")
+	case c.BlockSize <= 0:
+		return fmt.Errorf("core: Config.BlockSize must be positive, got %d", c.BlockSize)
+	case c.TP < 0:
+		return fmt.Errorf("core: Config.TP must be >= 0, got %d", c.TP)
+	}
+	return nil
+}
+
+func (c *Config) applyDefaults() {
+	if c.Mode == 0 {
+		c.Mode = resilience.Parallel
+	}
+	if c.TD == 0 {
+		c.TD = resilience.D(c.Mode, c.Code.P(), c.TP)
+	}
+	if c.RetryDelay == 0 {
+		c.RetryDelay = 500 * time.Microsecond
+	}
+	if c.OrderRetryLimit == 0 {
+		c.OrderRetryLimit = 8
+	}
+	if c.MaxWriteAttempts == 0 {
+		c.MaxWriteAttempts = 16
+	}
+	if c.RecoveryPollLimit == 0 {
+		c.RecoveryPollLimit = 256
+	}
+}
+
+// Errors surfaced by the client.
+var (
+	// ErrRecoveryBusy reports that another client holds the recovery
+	// locks; the operation should be retried after a pause.
+	ErrRecoveryBusy = errors.New("core: recovery in progress elsewhere")
+	// ErrUnrecoverable reports that recovery could not assemble enough
+	// consistent blocks — the failure budget was exceeded.
+	ErrUnrecoverable = errors.New("core: stripe unrecoverable: too few consistent blocks")
+	// ErrWriteExhausted reports that a WRITE did not complete within
+	// MaxWriteAttempts restarts.
+	ErrWriteExhausted = errors.New("core: write attempts exhausted")
+)
+
+// Client is a protocol client. It is safe for concurrent use by
+// multiple goroutines; concurrent operations map to the paper's
+// multiple outstanding client threads.
+type Client struct {
+	cfg Config
+	seq atomic.Uint64
+
+	// recovering deduplicates concurrent local recoveries per stripe.
+	recmu      sync.Mutex
+	recovering map[uint64]*recoveryTicket
+
+	// gc tracks completed writes pending garbage collection:
+	// stripe -> slot -> tids, in two generations (paper Fig. 7's gc[]
+	// and old[]).
+	gcmu    sync.Mutex
+	gcNew   map[uint64]map[int][]proto.TID
+	gcAging map[uint64]map[int][]proto.TID
+
+	// tracked remembers stripes this client touched, for monitoring
+	// and GC sweeps.
+	trackmu sync.Mutex
+	tracked map[uint64]struct{}
+
+	stats ClientStats
+}
+
+// ClientStats counts protocol events, for experiments and tests.
+type ClientStats struct {
+	Reads            atomic.Uint64
+	Writes           atomic.Uint64
+	StripeWrites     atomic.Uint64
+	WriteRestarts    atomic.Uint64
+	Recoveries       atomic.Uint64
+	RecoveryPickups  atomic.Uint64 // continuations of a crashed client's recovery
+	RecoveryBusy     atomic.Uint64
+	OrderWaits       atomic.Uint64
+	GCRounds         atomic.Uint64
+	MonitorTriggered atomic.Uint64
+}
+
+type recoveryTicket struct {
+	done chan struct{}
+	err  error
+}
+
+// NewClient validates the configuration and returns a Client.
+func NewClient(cfg Config) (*Client, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	return &Client{
+		cfg:        cfg,
+		recovering: make(map[uint64]*recoveryTicket),
+		gcNew:      make(map[uint64]map[int][]proto.TID),
+		gcAging:    make(map[uint64]map[int][]proto.TID),
+		tracked:    make(map[uint64]struct{}),
+	}, nil
+}
+
+// ID returns the client's identity.
+func (c *Client) ID() proto.ClientID { return c.cfg.ID }
+
+// Mode returns the configured update mode.
+func (c *Client) Mode() resilience.UpdateMode { return c.cfg.Mode }
+
+// Stats exposes the client's event counters.
+func (c *Client) Stats() *ClientStats { return &c.stats }
+
+// ReadBlock implements READ(i) (Fig. 4): fetch data block i of a
+// stripe with a single round trip in the failure-free case. When the
+// data node rejects the read (crashed-and-remapped node, or a lock
+// held by recovery), the client triggers or awaits recovery and
+// retries.
+func (c *Client) ReadBlock(ctx context.Context, stripeID uint64, i int) ([]byte, error) {
+	if err := c.checkDataSlot(i); err != nil {
+		return nil, err
+	}
+	c.track(stripeID)
+	c.stats.Reads.Add(1)
+	for {
+		node, err := c.cfg.Resolver.Node(stripeID, i)
+		if err != nil {
+			return nil, fmt.Errorf("core: resolve slot %d: %w", i, err)
+		}
+		rep, err := node.Read(ctx, &proto.ReadReq{Stripe: stripeID, Slot: int32(i)})
+		switch {
+		case err != nil:
+			c.cfg.Resolver.ReportFailure(stripeID, i, node)
+		case rep.OK:
+			return rep.Block, nil
+		case rep.LockMode == proto.Unlocked || rep.LockMode == proto.Expired:
+			// Nobody is running recovery: we do it (line 4 of Fig. 4).
+			if rerr := c.Recover(ctx, stripeID); rerr != nil && !errors.Is(rerr, ErrRecoveryBusy) {
+				return nil, rerr
+			}
+		default:
+			// Locked by a recovery in progress: wait and retry.
+		}
+		if err := c.pause(ctx); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (c *Client) checkDataSlot(i int) error {
+	if i < 0 || i >= c.cfg.Code.K() {
+		return fmt.Errorf("core: data slot %d out of range [0,%d)", i, c.cfg.Code.K())
+	}
+	return nil
+}
+
+// pause sleeps for the retry delay, honoring context cancellation.
+func (c *Client) pause(ctx context.Context) error {
+	t := time.NewTimer(c.cfg.RetryDelay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (c *Client) track(stripeID uint64) {
+	c.trackmu.Lock()
+	c.tracked[stripeID] = struct{}{}
+	c.trackmu.Unlock()
+}
+
+// TrackedStripes returns the stripes this client has touched, for
+// monitoring and garbage-collection sweeps.
+func (c *Client) TrackedStripes() []uint64 {
+	c.trackmu.Lock()
+	defer c.trackmu.Unlock()
+	out := make([]uint64, 0, len(c.tracked))
+	for s := range c.tracked {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (c *Client) nextTID(i int) proto.TID {
+	return proto.TID{Seq: c.seq.Add(1), Block: uint32(i), Client: c.cfg.ID}
+}
+
+// slotSet is a small set of stripe slot indices.
+type slotSet map[int]struct{}
+
+func newSlotSet(slots ...int) slotSet {
+	s := make(slotSet, len(slots))
+	for _, v := range slots {
+		s[v] = struct{}{}
+	}
+	return s
+}
+
+func (s slotSet) add(v int)      { s[v] = struct{}{} }
+func (s slotSet) remove(v int)   { delete(s, v) }
+func (s slotSet) has(v int) bool { _, ok := s[v]; return ok }
+func (s slotSet) size() int      { return len(s) }
+func (s slotSet) sorted() []int {
+	out := make([]int, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	// insertion sort: sets are tiny (<= n)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"testing"
+
+	"ecstore/internal/proto"
+)
+
+// mkState builds a GetStateReply for findConsistentK tests.
+func mkState(mode proto.OpMode, recent, old []proto.TID) *proto.GetStateReply {
+	st := &proto.GetStateReply{OpMode: mode, BlockValid: mode != proto.Init}
+	for i, t := range recent {
+		st.RecentList = append(st.RecentList, proto.TIDTime{TID: t, Time: uint64(i + 1)})
+	}
+	for i, t := range old {
+		st.OldList = append(st.OldList, proto.TIDTime{TID: t, Time: uint64(i + 1)})
+	}
+	return st
+}
+
+func wtid(seq uint64, block uint32) proto.TID {
+	return proto.TID{Seq: seq, Block: block, Client: 1}
+}
+
+func assertSet(t *testing.T, got slotSet, want ...int) {
+	t.Helper()
+	if got.size() != len(want) {
+		t.Fatalf("consistent set = %v, want %v", got.sorted(), want)
+	}
+	for _, j := range want {
+		if !got.has(j) {
+			t.Fatalf("consistent set = %v, want %v", got.sorted(), want)
+		}
+	}
+}
+
+func TestFindConsistentAllClean(t *testing.T) {
+	// No outstanding writes: every NORM node is consistent.
+	states := []*proto.GetStateReply{
+		mkState(proto.Norm, nil, nil),
+		mkState(proto.Norm, nil, nil),
+		mkState(proto.Norm, nil, nil),
+		mkState(proto.Norm, nil, nil),
+	}
+	assertSet(t, findConsistentK(states, 2), 0, 1, 2, 3)
+}
+
+func TestFindConsistentCompleteWrite(t *testing.T) {
+	// A write fully applied everywhere is consistent.
+	w := wtid(1, 0)
+	states := []*proto.GetStateReply{
+		mkState(proto.Norm, []proto.TID{w}, nil),
+		mkState(proto.Norm, nil, nil),
+		mkState(proto.Norm, []proto.TID{w}, nil),
+		mkState(proto.Norm, []proto.TID{w}, nil),
+	}
+	assertSet(t, findConsistentK(states, 2), 0, 1, 2, 3)
+}
+
+func TestFindConsistentPartialWriteExcludesDataNode(t *testing.T) {
+	// The swap landed but no adds: the data node disagrees with every
+	// redundant node, so the maximal set is everyone else.
+	w := wtid(1, 0)
+	states := []*proto.GetStateReply{
+		mkState(proto.Norm, []proto.TID{w}, nil),
+		mkState(proto.Norm, nil, nil),
+		mkState(proto.Norm, nil, nil),
+		mkState(proto.Norm, nil, nil),
+	}
+	assertSet(t, findConsistentK(states, 2), 1, 2, 3)
+}
+
+func TestFindConsistentPartialAddsSplitGroups(t *testing.T) {
+	// 2-of-6: the write reached the data node and redundant slots 2,3
+	// but not 4,5. Candidates: {0?,1,2,3} with the write vs {1,4,5}
+	// without it. The group including the write is larger.
+	w := wtid(1, 0)
+	states := []*proto.GetStateReply{
+		mkState(proto.Norm, []proto.TID{w}, nil),
+		mkState(proto.Norm, nil, nil),
+		mkState(proto.Norm, []proto.TID{w}, nil),
+		mkState(proto.Norm, []proto.TID{w}, nil),
+		mkState(proto.Norm, nil, nil),
+		mkState(proto.Norm, nil, nil),
+	}
+	assertSet(t, findConsistentK(states, 2), 0, 1, 2, 3)
+}
+
+func TestFindConsistentOldlistNeutralizes(t *testing.T) {
+	// A tid present in some node's oldlist belongs to a completed
+	// write: nodes still carrying it in recentlist must not be treated
+	// as divergent.
+	w := wtid(1, 0)
+	states := []*proto.GetStateReply{
+		mkState(proto.Norm, []proto.TID{w}, nil), // still in recentlist
+		mkState(proto.Norm, nil, nil),
+		mkState(proto.Norm, nil, []proto.TID{w}), // moved to oldlist
+		mkState(proto.Norm, []proto.TID{w}, nil),
+	}
+	assertSet(t, findConsistentK(states, 2), 0, 1, 2, 3)
+}
+
+func TestFindConsistentExcludesInitAndNil(t *testing.T) {
+	states := []*proto.GetStateReply{
+		mkState(proto.Norm, nil, nil),
+		mkState(proto.Init, nil, nil),
+		nil,
+		mkState(proto.Norm, nil, nil),
+	}
+	assertSet(t, findConsistentK(states, 2), 0, 3)
+}
+
+func TestFindConsistentExcludesRecons(t *testing.T) {
+	// Condition (1) is opmode == NORM strictly; RECONS nodes are
+	// handled by the pickup path, not by find_consistent.
+	states := []*proto.GetStateReply{
+		mkState(proto.Norm, nil, nil),
+		mkState(proto.Recons, nil, nil),
+		mkState(proto.Norm, nil, nil),
+		mkState(proto.Norm, nil, nil),
+	}
+	assertSet(t, findConsistentK(states, 2), 0, 2, 3)
+}
+
+func TestFindConsistentTwoConcurrentWrites(t *testing.T) {
+	// Writes to slots 0 and 1 both fully applied, interleaved
+	// arbitrarily in the lists: all nodes consistent.
+	w0 := wtid(1, 0)
+	w1 := wtid(2, 1)
+	states := []*proto.GetStateReply{
+		mkState(proto.Norm, []proto.TID{w0}, nil),
+		mkState(proto.Norm, []proto.TID{w1}, nil),
+		mkState(proto.Norm, []proto.TID{w0, w1}, nil),
+		mkState(proto.Norm, []proto.TID{w1, w0}, nil),
+	}
+	assertSet(t, findConsistentK(states, 2), 0, 1, 2, 3)
+}
+
+func TestFindConsistentMixedCompleteAndPartial(t *testing.T) {
+	// w0 complete everywhere; w1 (slot 1) swap-only. Slot 1 must drop.
+	w0 := wtid(1, 0)
+	w1 := wtid(2, 1)
+	states := []*proto.GetStateReply{
+		mkState(proto.Norm, []proto.TID{w0}, nil),
+		mkState(proto.Norm, []proto.TID{w1}, nil),
+		mkState(proto.Norm, []proto.TID{w0}, nil),
+		mkState(proto.Norm, []proto.TID{w0}, nil),
+	}
+	assertSet(t, findConsistentK(states, 2), 0, 2, 3)
+}
+
+func TestFindConsistentAllDataFallback(t *testing.T) {
+	// Redundant nodes diverge from everything; the all-data candidate
+	// must win when it is the largest.
+	wA := wtid(1, 0)
+	wB := wtid(2, 0)
+	states := []*proto.GetStateReply{
+		mkState(proto.Norm, nil, nil),
+		mkState(proto.Norm, nil, nil),
+		mkState(proto.Norm, nil, nil),
+		mkState(proto.Norm, []proto.TID{wA}, nil), // saw only wA
+		mkState(proto.Norm, []proto.TID{wB}, nil), // saw only wB
+	}
+	// k=3: all-data = {0,1,2} (size 3); group {3} -> data slots with
+	// f(j)=required: slot 0 has f={} but required={wA} -> excluded;
+	// slots 1,2 included -> size 3. Tie resolves to either; both are
+	// maximal with size 3. Accept any set of size 3 that is internally
+	// consistent.
+	got := findConsistentK(states, 3)
+	if got.size() != 3 {
+		t.Fatalf("consistent set = %v, want size 3", got.sorted())
+	}
+}
+
+func TestSlotSetSorted(t *testing.T) {
+	s := newSlotSet(5, 1, 3, 2)
+	got := s.sorted()
+	want := []int{1, 2, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", got, want)
+		}
+	}
+	s.remove(3)
+	if s.has(3) || s.size() != 3 {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestTIDTimesEqual(t *testing.T) {
+	a := []proto.TIDTime{{TID: wtid(1, 0), Time: 1}}
+	b := []proto.TIDTime{{TID: wtid(1, 0), Time: 1}}
+	if !tidTimesEqual(a, b) {
+		t.Fatal("equal lists reported unequal")
+	}
+	if tidTimesEqual(a, b[:0]) {
+		t.Fatal("different lengths reported equal")
+	}
+	b[0].Time = 2
+	if tidTimesEqual(a, b) {
+		t.Fatal("different times reported equal")
+	}
+}
+
+func TestSignatureKeyCanonical(t *testing.T) {
+	s1 := tidSet{wtid(1, 0): {}, wtid(2, 1): {}}
+	s2 := tidSet{wtid(2, 1): {}, wtid(1, 0): {}}
+	if signatureKey(s1) != signatureKey(s2) {
+		t.Fatal("signature depends on insertion order")
+	}
+	s3 := tidSet{wtid(3, 0): {}}
+	if signatureKey(s1) == signatureKey(s3) {
+		t.Fatal("different sets share a signature")
+	}
+	if signatureKey(tidSet{}) != "" {
+		t.Fatal("empty set signature must be empty")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := func() Config {
+		return Config{ID: 1, Code: testCode(t), Resolver: stubResolver{}, BlockSize: 64}
+	}
+	if _, err := NewClient(base()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := base()
+	bad.ID = 0
+	if _, err := NewClient(bad); err == nil {
+		t.Error("zero ID accepted")
+	}
+	bad = base()
+	bad.Code = nil
+	if _, err := NewClient(bad); err == nil {
+		t.Error("nil code accepted")
+	}
+	bad = base()
+	bad.Resolver = nil
+	if _, err := NewClient(bad); err == nil {
+		t.Error("nil resolver accepted")
+	}
+	bad = base()
+	bad.BlockSize = 0
+	if _, err := NewClient(bad); err == nil {
+		t.Error("zero block size accepted")
+	}
+	bad = base()
+	bad.TP = -1
+	if _, err := NewClient(bad); err == nil {
+		t.Error("negative TP accepted")
+	}
+}
+
+func TestClientAccessorsAndBounds(t *testing.T) {
+	cl, err := NewClient(Config{ID: 7, Code: testCode(t), Resolver: stubResolver{}, BlockSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.ID() != 7 {
+		t.Fatalf("ID = %d", cl.ID())
+	}
+	ctx := testCtx(t)
+	if _, err := cl.ReadBlock(ctx, 0, -1); err == nil {
+		t.Error("negative slot accepted")
+	}
+	if _, err := cl.ReadBlock(ctx, 0, 2); err == nil {
+		t.Error("slot >= k accepted")
+	}
+	if err := cl.WriteBlock(ctx, 0, 0, make([]byte, 3)); err == nil {
+		t.Error("wrong-size value accepted")
+	}
+}

@@ -1,0 +1,376 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/cluster"
+	"ecstore/internal/proto"
+	"ecstore/internal/resilience"
+)
+
+// hookSet holds injectable callbacks fired before selected operations
+// reach the storage node. Callbacks run on the calling goroutine, so
+// they can mutate cluster state "between" protocol steps
+// deterministically.
+type hookSet struct {
+	mu             sync.Mutex
+	beforeAdd      func(*proto.AddReq)
+	beforeGetState func(*proto.GetStateReq)
+	beforeSwap     func(*proto.SwapReq)
+}
+
+func (h *hookSet) setBeforeAdd(f func(*proto.AddReq)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.beforeAdd = f
+}
+
+func (h *hookSet) setBeforeGetState(f func(*proto.GetStateReq)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.beforeGetState = f
+}
+
+func (h *hookSet) getAdd() func(*proto.AddReq) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.beforeAdd
+}
+
+func (h *hookSet) getGetState() func(*proto.GetStateReq) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.beforeGetState
+}
+
+func (h *hookSet) getSwap() func(*proto.SwapReq) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.beforeSwap
+}
+
+// hookedNode wraps a storage node with the hook set. It forwards every
+// operation; hooked ones fire their callback first.
+type hookedNode struct {
+	proto.StorageNode
+
+	h *hookSet
+}
+
+func (hn hookedNode) Add(ctx context.Context, req *proto.AddReq) (*proto.AddReply, error) {
+	if f := hn.h.getAdd(); f != nil {
+		f(req)
+	}
+	return hn.StorageNode.Add(ctx, req)
+}
+
+func (hn hookedNode) GetState(ctx context.Context, req *proto.GetStateReq) (*proto.GetStateReply, error) {
+	if f := hn.h.getGetState(); f != nil {
+		f(req)
+	}
+	return hn.StorageNode.GetState(ctx, req)
+}
+
+func (hn hookedNode) Swap(ctx context.Context, req *proto.SwapReq) (*proto.SwapReply, error) {
+	if f := hn.h.getSwap(); f != nil {
+		f(req)
+	}
+	return hn.StorageNode.Swap(ctx, req)
+}
+
+func hookedCluster(t *testing.T, opts cluster.Options) (*cluster.Cluster, *hookSet) {
+	t.Helper()
+	h := &hookSet{}
+	opts.WrapNode = func(phys int, n proto.StorageNode) proto.StorageNode {
+		return hookedNode{StorageNode: n, h: h}
+	}
+	return testCluster(t, opts), h
+}
+
+// TestCheckTIDGCPath drives the Section 3.9 race deterministically: a
+// predecessor write W1 completes everywhere, and the garbage collector
+// retires its tid AFTER the successor's swap observed otid=W1 but
+// BEFORE the successor's adds land. The redundant nodes answer ORDER
+// (they no longer remember W1), and the successor must discover via
+// checktid that W1 was collected — ordering globally satisfied — and
+// proceed without it. No recovery may be involved, and the stripe must
+// end consistent.
+func TestCheckTIDGCPath(t *testing.T) {
+	c, hooks := hookedCluster(t, cluster.Options{K: 2, N: 4, Clients: 2})
+	ctx := ctxT(t)
+	a, b := c.Clients[0], c.Clients[1]
+
+	// Predecessor W1: a COMPLETE write by client A (swap + all adds).
+	if err := a.WriteBlock(ctx, 0, 0, val(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// When B's first ordered add arrives (the only non-zero-OTID adds
+	// in flight are B's), run both GC phases synchronously: W1 moves
+	// recentlist -> oldlist everywhere, then is discarded. B's swap has
+	// already returned otid=W1 by the time any add is issued.
+	var once sync.Once
+	hooks.setBeforeAdd(func(req *proto.AddReq) {
+		if req.OTID.IsZero() {
+			return
+		}
+		once.Do(func() {
+			for pass := 0; pass < 2; pass++ {
+				if _, err := a.CollectGarbage(ctx); err != nil {
+					t.Errorf("gc pass %d: %v", pass, err)
+				}
+			}
+		})
+	})
+
+	if err := b.WriteBlock(ctx, 0, 0, val(2)); err != nil {
+		t.Fatal(err)
+	}
+	hooks.setBeforeAdd(nil)
+	if b.Stats().OrderWaits.Load() == 0 {
+		t.Fatal("write never hit the ORDER path; hook did not fire as intended")
+	}
+	if b.Stats().Recoveries.Load()+b.Stats().RecoveryPickups.Load() != 0 {
+		t.Fatal("the GC ordering path must not need recovery")
+	}
+	got, err := b.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(2)) {
+		t.Fatal("successor write lost")
+	}
+	mustVerify(t, c, 0)
+}
+
+// TestStorageCrashDuringRecoveryPhase2 injects a second node crash
+// while recovery is reading states: the recovery must ride through it
+// (report, remap, retry) and still restore the stripe — the paper's
+// "slack" scenario.
+func TestStorageCrashDuringRecoveryPhase2(t *testing.T) {
+	c, hooks := hookedCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	for i := 0; i < 2; i++ {
+		if err := cl.WriteBlock(ctx, 0, i, val(uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First crash: redundant slot 3.
+	c.CrashNodeForStripeSlot(0, 3)
+	// Second crash mid-recovery: when recovery reads slot 1's state,
+	// kill slot 2's node (once).
+	var once sync.Once
+	hooks.setBeforeGetState(func(req *proto.GetStateReq) {
+		if req.Slot == 1 {
+			once.Do(func() { c.CrashNodeForStripeSlot(0, 2) })
+		}
+	})
+	if err := cl.Recover(ctx, 0); err != nil {
+		t.Fatalf("recovery with mid-flight crash: %v", err)
+	}
+	hooks.setBeforeGetState(nil)
+	for i := 0; i < 2; i++ {
+		got, err := cl.ReadBlock(ctx, 0, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, val(uint64(i+1))) {
+			t.Fatalf("slot %d lost after cascaded crashes", i)
+		}
+	}
+	mustVerify(t, c, 0)
+}
+
+// TestPartialFinalizeIsCompleted drives a client crash between
+// finalize calls: some nodes are back to NORM at the new epoch, others
+// are stuck in RECONS with expired locks. The next client must
+// complete the recovery without corrupting anything.
+func TestPartialFinalizeIsCompleted(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4, Clients: 2})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	for i := 0; i < 2; i++ {
+		if err := cl.WriteBlock(ctx, 0, i, val(uint64(i+5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Manual recovery by "client 88": lock, reconstruct all, finalize
+	// only the redundant slots, then crash.
+	const aID = proto.ClientID(88)
+	blocks := c.StripeBlocks(0)
+	cset := []int32{0, 1, 2, 3}
+	for j := 0; j < 4; j++ {
+		node, _ := c.Dir.Node(0, j)
+		if rep, err := node.TryLock(ctx, &proto.TryLockReq{Stripe: 0, Slot: int32(j), Mode: proto.L1, Caller: aID}); err != nil || !rep.OK {
+			t.Fatalf("manual lock %d: %v %+v", j, err, rep)
+		}
+	}
+	for j := 0; j < 4; j++ {
+		node, _ := c.Dir.Node(0, j)
+		if _, err := node.Reconstruct(ctx, &proto.ReconstructReq{Stripe: 0, Slot: int32(j), CSet: cset, Block: blocks[j]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 2; j < 4; j++ { // finalize only the parity slots
+		node, _ := c.Dir.Node(0, j)
+		if _, err := node.Finalize(ctx, &proto.FinalizeReq{Stripe: 0, Slot: int32(j), Epoch: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.FailClient(aID) // expire the locks still held on slots 0, 1
+
+	// Client B reads a data block: EXP lock triggers recovery, which
+	// must pick up the RECONS state and finish.
+	b := c.Clients[1]
+	got, err := b.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(5)) {
+		t.Fatal("partially finalized recovery corrupted data")
+	}
+	if b.Stats().RecoveryPickups.Load() == 0 {
+		t.Fatal("completion did not take the pickup path")
+	}
+	mustVerify(t, c, 0)
+}
+
+// TestWriterSurvivesRecoveryInterleaving injects a full recovery
+// between a writer's swap and its adds: the adds arrive with a stale
+// epoch and are rejected, forcing the write to restart — and the
+// restarted write must win.
+func TestWriterSurvivesRecoveryInterleaving(t *testing.T) {
+	c, hooks := hookedCluster(t, cluster.Options{K: 2, N: 4, Clients: 2})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	other := c.Clients[1]
+	if err := cl.WriteBlock(ctx, 0, 0, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	var once sync.Once
+	hooks.setBeforeAdd(func(req *proto.AddReq) {
+		once.Do(func() {
+			// A full recovery completes between the swap and this add.
+			if err := other.Recover(ctx, 0); err != nil {
+				t.Errorf("interleaved recovery: %v", err)
+			}
+		})
+	})
+	if err := cl.WriteBlock(ctx, 0, 0, val(2)); err != nil {
+		t.Fatal(err)
+	}
+	hooks.setBeforeAdd(nil)
+	if cl.Stats().WriteRestarts.Load() == 0 {
+		t.Fatal("stale-epoch adds did not force a write restart")
+	}
+	got, err := cl.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(2)) {
+		t.Fatal("restarted write lost")
+	}
+	mustVerify(t, c, 0)
+}
+
+// TestCrashStormWithinBudget runs seeds of a randomized crash schedule
+// that stays within the failure budget; every seed must end with a
+// fully consistent, correct stripe set.
+func TestCrashStormWithinBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash storm skipped in -short mode")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(time.Now().Format("")+"seed", func(t *testing.T) {
+			c := testCluster(t, cluster.Options{K: 2, N: 5, Clients: 2})
+			ctx := ctxT(t)
+			last := make(map[[2]uint64]uint64)
+			x := uint64(seed * 1000)
+			for round := 0; round < 40; round++ {
+				stripeID := uint64(round % 3)
+				slot := round % 2
+				x++
+				if err := c.Clients[round%2].WriteBlock(ctx, stripeID, slot, val(x)); err != nil {
+					t.Fatalf("seed %d round %d: %v", seed, round, err)
+				}
+				last[[2]uint64{stripeID, uint64(slot)}] = x
+				// One crash per ~13 rounds, p=3 budget never exceeded
+				// between recoveries (reads repair on access).
+				if round%13 == int(seed)%13 {
+					c.CrashNodeForStripeSlot(stripeID, round%5)
+				}
+			}
+			for key, want := range last {
+				got, err := c.Clients[0].ReadBlock(ctx, key[0], int(key[1]))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, val(want)) {
+					t.Fatalf("seed %d: stripe %d slot %d lost its last write", seed, key[0], key[1])
+				}
+			}
+			for s := uint64(0); s < 3; s++ {
+				if _, err := c.Clients[0].MonitorStripes(ctx, []uint64{s}, 0); err != nil {
+					t.Fatal(err)
+				}
+				mustVerify(t, c, s)
+			}
+		})
+	}
+}
+
+// TestTheorem1BudgetOneClientOneStorage exercises the paper's "1c1s"
+// cell of Fig. 8(c): with p=2 and serial updates at tp=1, the system
+// survives one client crash (a partial write) plus one storage crash,
+// in either order.
+func TestTheorem1BudgetOneClientOneStorage(t *testing.T) {
+	for _, order := range []string{"client-then-storage", "storage-then-client"} {
+		order := order
+		t.Run(order, func(t *testing.T) {
+			c := testCluster(t, cluster.Options{
+				K: 2, N: 4, Clients: 2, Mode: resilience.Serial, TP: 1,
+			})
+			ctx := ctxT(t)
+			cl := c.Clients[0]
+			for i := 0; i < 2; i++ {
+				if err := cl.WriteBlock(ctx, 0, i, val(uint64(i+1))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if order == "client-then-storage" {
+				partialWrite(t, c, 0, 0, val(9), 99) // crashed client
+				c.CrashNodeForStripeSlot(0, 2)       // then a storage crash
+			} else {
+				c.CrashNodeForStripeSlot(0, 2)
+				partialWrite(t, c, 0, 0, val(9), 99)
+			}
+			// Reads must still return correct data (old or the crashed
+			// writer's value for slot 0; exactly the old value for slot 1).
+			got, err := c.Clients[1].ReadBlock(ctx, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, val(1)) && !bytes.Equal(got, val(9)) {
+				t.Fatal("slot 0 returned a never-written value")
+			}
+			got, err = c.Clients[1].ReadBlock(ctx, 0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, val(2)) {
+				t.Fatal("slot 1 lost its value inside the 1c1s budget")
+			}
+			// A monitoring pass restores full redundancy.
+			if _, err := c.Clients[1].MonitorStripes(ctx, []uint64{0}, 0); err != nil {
+				t.Fatal(err)
+			}
+			mustVerify(t, c, 0)
+		})
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ecstore/internal/proto"
+)
+
+// recordGC remembers a completed write's tid at every slot it touched,
+// so a later CollectGarbage pass can retire it from the storage nodes'
+// recentlists (Fig. 7's gc[j] accumulation).
+func (c *Client) recordGC(stripeID uint64, ntid proto.TID, slots slotSet) {
+	c.gcmu.Lock()
+	defer c.gcmu.Unlock()
+	perSlot := c.gcNew[stripeID]
+	if perSlot == nil {
+		perSlot = make(map[int][]proto.TID)
+		c.gcNew[stripeID] = perSlot
+	}
+	for j := range slots {
+		perSlot[j] = append(perSlot[j], ntid)
+	}
+}
+
+// CollectGarbage runs one pass of the two-phase garbage collection
+// algorithm (Fig. 7) over every stripe with pending work:
+//
+//	phase 1: gc_old  — discard previously-aged tids from oldlists;
+//	phase 2: gc_recent — move freshly completed tids from recentlists
+//	         to oldlists;
+//	then promote the fresh generation to the aging one.
+//
+// Two phases are what make client crashes harmless: a tid reaches an
+// oldlist only after its write completed at all nodes, so recovery may
+// treat any oldlist member as globally applied even if lists diverge.
+//
+// Stripes whose nodes are locked or recovering are skipped and retried
+// on the next pass. The pass returns the number of stripes fully
+// collected.
+func (c *Client) CollectGarbage(ctx context.Context) (int, error) {
+	c.stats.GCRounds.Add(1)
+	c.gcmu.Lock()
+	stripes := make([]uint64, 0, len(c.gcNew)+len(c.gcAging))
+	seen := make(map[uint64]bool)
+	for s := range c.gcAging {
+		if !seen[s] {
+			stripes = append(stripes, s)
+			seen[s] = true
+		}
+	}
+	for s := range c.gcNew {
+		if !seen[s] {
+			stripes = append(stripes, s)
+			seen[s] = true
+		}
+	}
+	c.gcmu.Unlock()
+
+	collected := 0
+	for _, s := range stripes {
+		if err := ctx.Err(); err != nil {
+			return collected, err
+		}
+		ok, err := c.collectStripe(ctx, s)
+		if err != nil {
+			return collected, err
+		}
+		if ok {
+			collected++
+		}
+	}
+	return collected, nil
+}
+
+// collectStripe runs both GC phases for one stripe. It reports false
+// (without error) when a node rejected the pass because the stripe is
+// locked; pending lists are kept for the next attempt.
+func (c *Client) collectStripe(ctx context.Context, stripeID uint64) (bool, error) {
+	// Snapshot the two generations without clearing them; the lists are
+	// only rotated after both phases succeed.
+	c.gcmu.Lock()
+	aging := copyGCLists(c.gcAging[stripeID])
+	fresh := copyGCLists(c.gcNew[stripeID])
+	c.gcmu.Unlock()
+	if len(aging) == 0 && len(fresh) == 0 {
+		return true, nil
+	}
+
+	// Phase 1: discard aged tids from oldlists.
+	if ok, err := c.gcPhase(ctx, stripeID, aging, func(node proto.StorageNode, slot int, tids []proto.TID) (proto.Status, error) {
+		rep, err := node.GCOld(ctx, &proto.GCOldReq{Stripe: stripeID, Slot: int32(slot), TIDs: tids})
+		if err != nil {
+			return 0, err
+		}
+		return rep.Status, nil
+	}); err != nil || !ok {
+		return false, err
+	}
+
+	// Phase 2: move completed tids from recentlists to oldlists.
+	if ok, err := c.gcPhase(ctx, stripeID, fresh, func(node proto.StorageNode, slot int, tids []proto.TID) (proto.Status, error) {
+		rep, err := node.GCRecent(ctx, &proto.GCRecentReq{Stripe: stripeID, Slot: int32(slot), TIDs: tids})
+		if err != nil {
+			return 0, err
+		}
+		return rep.Status, nil
+	}); err != nil || !ok {
+		return false, err
+	}
+
+	// Rotate generations: old[j] <- gc[j]; gc[j] <- {} (Fig. 7 line 8).
+	// Entries recorded by writes that completed during this pass stay
+	// in gcNew for the next one.
+	c.gcmu.Lock()
+	if len(fresh) == 0 {
+		delete(c.gcAging, stripeID)
+	} else {
+		c.gcAging[stripeID] = fresh
+	}
+	cur := c.gcNew[stripeID]
+	for slot, tids := range fresh {
+		cur[slot] = trimPrefix(cur[slot], tids)
+		if len(cur[slot]) == 0 {
+			delete(cur, slot)
+		}
+	}
+	if len(cur) == 0 {
+		delete(c.gcNew, stripeID)
+	}
+	c.gcmu.Unlock()
+	return true, nil
+}
+
+// gcPhase applies one GC operation to every slot with pending tids, in
+// parallel. It reports false when any node returned UNAVAIL (stripe
+// locked — retry later).
+func (c *Client) gcPhase(ctx context.Context, stripeID uint64, lists map[int][]proto.TID, op func(proto.StorageNode, int, []proto.TID) (proto.Status, error)) (bool, error) {
+	if len(lists) == 0 {
+		return true, nil
+	}
+	type result struct {
+		status proto.Status
+		err    error
+	}
+	slots := make([]int, 0, len(lists))
+	for slot := range lists {
+		slots = append(slots, slot)
+	}
+	results := make([]result, len(slots))
+	var wg sync.WaitGroup
+	for idx, slot := range slots {
+		wg.Add(1)
+		go func(idx, slot int) {
+			defer wg.Done()
+			node, err := c.cfg.Resolver.Node(stripeID, slot)
+			if err != nil {
+				results[idx] = result{err: err}
+				return
+			}
+			status, err := op(node, slot, lists[slot])
+			if err != nil {
+				// The node crashed: its lists died with it; a remapped
+				// replacement has nothing to collect. Treat as done.
+				c.cfg.Resolver.ReportFailure(stripeID, slot, node)
+				results[idx] = result{status: proto.StatusOK}
+				return
+			}
+			results[idx] = result{status: status}
+		}(idx, slot)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			return false, fmt.Errorf("core: gc pass on stripe %d: %w", stripeID, r.err)
+		}
+		if r.status != proto.StatusOK {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// PendingGC reports the number of tids awaiting collection (both
+// generations), for tests and monitoring.
+func (c *Client) PendingGC() int {
+	c.gcmu.Lock()
+	defer c.gcmu.Unlock()
+	total := 0
+	for _, per := range c.gcNew {
+		for _, tids := range per {
+			total += len(tids)
+		}
+	}
+	for _, per := range c.gcAging {
+		for _, tids := range per {
+			total += len(tids)
+		}
+	}
+	return total
+}
+
+func copyGCLists(m map[int][]proto.TID) map[int][]proto.TID {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[int][]proto.TID, len(m))
+	for slot, tids := range m {
+		out[slot] = append([]proto.TID(nil), tids...)
+	}
+	return out
+}
+
+// trimPrefix removes the leading entries of cur that were snapshotted
+// into done (appends only happen at the tail, so the snapshot is
+// always a prefix).
+func trimPrefix(cur, done []proto.TID) []proto.TID {
+	if len(done) >= len(cur) {
+		return nil
+	}
+	return append([]proto.TID(nil), cur[len(done):]...)
+}

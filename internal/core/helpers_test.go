@@ -1,0 +1,36 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ecstore/internal/erasure"
+	"ecstore/internal/proto"
+)
+
+func testCode(t *testing.T) *erasure.Code {
+	t.Helper()
+	code, err := erasure.New(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// stubResolver satisfies Resolver for configuration tests; its Node
+// method always fails, so operations error out quickly via context.
+type stubResolver struct{}
+
+func (stubResolver) Node(uint64, int) (proto.StorageNode, error) {
+	return nil, errors.New("stub: no nodes")
+}
+func (stubResolver) ReportFailure(uint64, int, proto.StorageNode) {}

@@ -1,0 +1,828 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/cluster"
+	"ecstore/internal/core"
+	"ecstore/internal/proto"
+	"ecstore/internal/resilience"
+	"ecstore/internal/transport"
+)
+
+const blockSize = 64
+
+func testCluster(t *testing.T, opts cluster.Options) *cluster.Cluster {
+	t.Helper()
+	if opts.BlockSize == 0 {
+		opts.BlockSize = blockSize
+	}
+	if opts.RetryDelay == 0 {
+		opts.RetryDelay = 100 * time.Microsecond
+	}
+	c, err := cluster.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// val builds a distinguishable block: an 8-byte counter plus fill.
+func val(x uint64) []byte {
+	b := make([]byte, blockSize)
+	binary.BigEndian.PutUint64(b, x)
+	for i := 8; i < blockSize; i++ {
+		b[i] = byte(x)
+	}
+	return b
+}
+
+func mustVerify(t *testing.T, c *cluster.Cluster, stripeID uint64) {
+	t.Helper()
+	ok, err := c.VerifyStripe(stripeID)
+	if err != nil {
+		t.Fatalf("stripe %d: %v", stripeID, err)
+	}
+	if !ok {
+		t.Fatalf("stripe %d: erasure code inconsistent", stripeID)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	for stripeID := uint64(0); stripeID < 3; stripeID++ {
+		for i := 0; i < c.Code.K(); i++ {
+			want := val(stripeID*10 + uint64(i))
+			if err := cl.WriteBlock(ctx, stripeID, i, want); err != nil {
+				t.Fatalf("write stripe %d slot %d: %v", stripeID, i, err)
+			}
+			got, err := cl.ReadBlock(ctx, stripeID, i)
+			if err != nil {
+				t.Fatalf("read stripe %d slot %d: %v", stripeID, i, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("stripe %d slot %d: read mismatch", stripeID, i)
+			}
+		}
+		mustVerify(t, c, stripeID)
+	}
+}
+
+func TestReadUnwrittenBlockIsZero(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 3, N: 5})
+	got, err := c.Clients[0].ReadBlock(ctxT(t), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, blockSize)) {
+		t.Fatal("unwritten block is not zero")
+	}
+}
+
+func TestOverwriteSameBlock(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	for x := uint64(1); x <= 10; x++ {
+		if err := cl.WriteBlock(ctx, 0, 0, val(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := cl.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(10)) {
+		t.Fatal("read does not return last write")
+	}
+	mustVerify(t, c, 0)
+}
+
+func TestAllUpdateModes(t *testing.T) {
+	modes := []resilience.UpdateMode{
+		resilience.Serial, resilience.Parallel, resilience.Hybrid, resilience.Broadcast,
+	}
+	for _, mode := range modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			opts := cluster.Options{K: 3, N: 6, Mode: mode, TP: 1}
+			if mode == resilience.Broadcast {
+				opts.Multicast = transport.Parallel{}
+			}
+			c := testCluster(t, opts)
+			ctx := ctxT(t)
+			cl := c.Clients[0]
+			for i := 0; i < 3; i++ {
+				if err := cl.WriteBlock(ctx, 5, i, val(uint64(100+i))); err != nil {
+					t.Fatalf("write slot %d: %v", i, err)
+				}
+			}
+			for i := 0; i < 3; i++ {
+				got, err := cl.ReadBlock(ctx, 5, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, val(uint64(100+i))) {
+					t.Fatalf("slot %d mismatch", i)
+				}
+			}
+			mustVerify(t, c, 5)
+		})
+	}
+}
+
+func TestBroadcastWithoutMulticasterFallsBack(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4, Mode: resilience.Broadcast})
+	ctx := ctxT(t)
+	if err := c.Clients[0].WriteBlock(ctx, 0, 1, val(9)); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, c, 0)
+}
+
+func TestConcurrentWritersDifferentBlocks(t *testing.T) {
+	// The Fig. 3 scenario: writers updating different data blocks of
+	// the same stripe, concurrently, with zero coordination. The
+	// stripe must converge to the encode of the final data.
+	c := testCluster(t, cluster.Options{K: 2, N: 4, Clients: 2})
+	ctx := ctxT(t)
+	const rounds = 25
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := c.Clients[w]
+			for r := 0; r < rounds; r++ {
+				if err := cl.WriteBlock(ctx, 0, w, val(uint64(w*1000+r))); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	mustVerify(t, c, 0)
+	for w := 0; w < 2; w++ {
+		got, err := c.Clients[0].ReadBlock(ctx, 0, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, val(uint64(w*1000+rounds-1))) {
+			t.Fatalf("slot %d does not hold its writer's last value", w)
+		}
+	}
+}
+
+func TestConcurrentWritersSameBlock(t *testing.T) {
+	// Writers racing on one block: the otid ordering chain must keep
+	// the stripe consistent, and the final content must be one of the
+	// written values.
+	c := testCluster(t, cluster.Options{K: 2, N: 4, Clients: 3})
+	ctx := ctxT(t)
+	const rounds = 10
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.Clients))
+	written := make(map[uint64]bool)
+	var mu sync.Mutex
+	for w := range c.Clients {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				x := uint64(w*1000 + r + 1)
+				mu.Lock()
+				written[x] = true
+				mu.Unlock()
+				if err := c.Clients[w].WriteBlock(ctx, 0, 0, val(x)); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	mustVerify(t, c, 0)
+	got, err := c.Clients[0].ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := binary.BigEndian.Uint64(got)
+	if !written[x] {
+		t.Fatalf("final value %d was never written", x)
+	}
+}
+
+func TestReadRecoversAfterDataNodeCrash(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	for i := 0; i < 2; i++ {
+		if err := cl.WriteBlock(ctx, 0, i, val(uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.CrashNodeForStripeSlot(0, 0) // kill the node holding data slot 0
+	got, err := cl.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(1)) {
+		t.Fatal("recovered read returned wrong data")
+	}
+	if cl.Stats().Recoveries.Load()+cl.Stats().RecoveryPickups.Load() == 0 {
+		t.Fatal("crash did not trigger recovery")
+	}
+	mustVerify(t, c, 0)
+}
+
+func TestWriteRecoversAfterRedundantNodeCrash(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashNodeForStripeSlot(0, 2) // kill a parity node
+	if err := cl.WriteBlock(ctx, 0, 0, val(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(2)) {
+		t.Fatal("write after crash lost data")
+	}
+	mustVerify(t, c, 0)
+}
+
+func TestExplicitRecoveryRestoresAllBlocks(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 3, N: 5})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	want := make([][]byte, 3)
+	for i := 0; i < 3; i++ {
+		want[i] = val(uint64(40 + i))
+		if err := cl.WriteBlock(ctx, 7, i, want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.StripeBlocks(7)
+	c.CrashNodeForStripeSlot(7, 1)
+	c.CrashNodeForStripeSlot(7, 4)
+	// Touch the stripe so the directory learns about the crashes and
+	// remaps, then recover explicitly.
+	if err := cl.Recover(ctx, 7); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	after := c.StripeBlocks(7)
+	for slot := range after {
+		if after[slot] == nil {
+			t.Fatalf("slot %d missing after recovery", slot)
+		}
+		if !bytes.Equal(after[slot], before[slot]) {
+			t.Fatalf("slot %d content changed across recovery", slot)
+		}
+	}
+	mustVerify(t, c, 7)
+	for i := 0; i < 3; i++ {
+		got, err := cl.ReadBlock(ctx, 7, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("slot %d data lost", i)
+		}
+	}
+}
+
+func TestRecoveryToleratesMaxCrashes(t *testing.T) {
+	// p = 2, tp = 0 => t_d = 2: crash two nodes at once and recover.
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	for i := 0; i < 2; i++ {
+		if err := cl.WriteBlock(ctx, 0, i, val(uint64(i+7))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.CrashNodeForStripeSlot(0, 0)
+	c.CrashNodeForStripeSlot(0, 3)
+	for i := 0; i < 2; i++ {
+		got, err := cl.ReadBlock(ctx, 0, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, val(uint64(i+7))) {
+			t.Fatalf("slot %d data lost after double crash", i)
+		}
+	}
+	mustVerify(t, c, 0)
+}
+
+// partialWrite simulates a client that crashed after its swap but
+// before any adds: the fingerprint of the paper's fragile state.
+func partialWrite(t *testing.T, c *cluster.Cluster, stripeID uint64, slot int, v []byte, id proto.ClientID) proto.TID {
+	t.Helper()
+	node, err := c.Dir.Node(stripeID, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ntid := proto.TID{Seq: 999999, Block: uint32(slot), Client: id}
+	rep, err := node.Swap(context.Background(), &proto.SwapReq{Stripe: stripeID, Slot: int32(slot), Value: v, NTID: ntid})
+	if err != nil || !rep.OK {
+		t.Fatalf("partial swap failed: %v %+v", err, rep)
+	}
+	return ntid
+}
+
+func TestMonitorRepairsPartialWrite(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4, Clients: 2})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Client 99 "crashes" mid-write leaving the stripe inconsistent.
+	partialWrite(t, c, 0, 0, val(2), 99)
+	if ok, _ := c.VerifyStripe(0); ok {
+		t.Fatal("partial write unexpectedly left stripe consistent")
+	}
+	// The monitoring pass detects the stale recentlist entry and
+	// triggers recovery.
+	mon := c.Clients[1]
+	report, err := mon.MonitorStripes(ctx, []uint64{0}, 0 /* any pending write is stale */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Recovered) != 1 {
+		t.Fatalf("monitor recovered %v, want stripe 0", report.Recovered)
+	}
+	mustVerify(t, c, 0)
+	// The recovered value must be the old or the new one.
+	got, err := cl.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(1)) && !bytes.Equal(got, val(2)) {
+		t.Fatal("recovery produced a value that was never written")
+	}
+}
+
+func TestMonitorCleanStripeNoRecovery(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	report, err := cl.MonitorStripes(ctx, []uint64{0}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Recovered) != 0 {
+		t.Fatalf("monitor recovered %v on a healthy stripe", report.Recovered)
+	}
+}
+
+func TestMonitorDetectsInitNode(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(3)); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashNodeForStripeSlot(0, 2)
+	report, err := cl.MonitorStripes(ctx, []uint64{0}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Recovered) != 1 {
+		t.Fatalf("monitor report = %+v, want one recovery", report)
+	}
+	mustVerify(t, c, 0)
+}
+
+func TestCrashedRecoveryIsPickedUp(t *testing.T) {
+	// Client A starts recovery, writes RECONS state to every node,
+	// then crashes before finalizing. Client B must complete exactly
+	// A's recovery (the recons_set path) once A's locks expire.
+	c := testCluster(t, cluster.Options{K: 2, N: 4, Clients: 2})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	for i := 0; i < 2; i++ {
+		if err := cl.WriteBlock(ctx, 0, i, val(uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Manually run A's recovery up to (and including) reconstruct.
+	const aID = proto.ClientID(77)
+	blocks := c.StripeBlocks(0)
+	var cset []int32
+	for j := 0; j < 4; j++ {
+		cset = append(cset, int32(j))
+	}
+	for j := 0; j < 4; j++ {
+		node, _ := c.Dir.Node(0, j)
+		if _, err := node.TryLock(ctx, &proto.TryLockReq{Stripe: 0, Slot: int32(j), Mode: proto.L1, Caller: aID}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 0; j < 4; j++ {
+		node, _ := c.Dir.Node(0, j)
+		if _, err := node.Reconstruct(ctx, &proto.ReconstructReq{Stripe: 0, Slot: int32(j), CSet: cset, Block: blocks[j]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A crashes; the oracle failure detector expires its locks.
+	c.FailClient(aID)
+	// B reads: sees EXP, runs recovery, picks up A's recons_set.
+	b := c.Clients[1]
+	got, err := b.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(1)) {
+		t.Fatal("pickup recovery corrupted data")
+	}
+	if b.Stats().RecoveryPickups.Load() == 0 {
+		t.Fatal("recovery did not take the pickup path")
+	}
+	mustVerify(t, c, 0)
+}
+
+func TestGarbageCollection(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	for x := uint64(1); x <= 5; x++ {
+		if err := cl.WriteBlock(ctx, 0, 0, val(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cl.PendingGC() == 0 {
+		t.Fatal("no pending GC after writes")
+	}
+	// Pass 1 moves tids to oldlists; pass 2 discards them.
+	if _, err := cl.CollectGarbage(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.CollectGarbage(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.PendingGC(); got != 0 {
+		t.Fatalf("pending GC = %d after two passes", got)
+	}
+	// Every node's lists for the stripe must now be empty.
+	for slot := 0; slot < 4; slot++ {
+		node, _ := c.Dir.Node(0, slot)
+		st, err := node.GetState(ctx, &proto.GetStateReq{Stripe: 0, Slot: int32(slot)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.RecentList) != 0 || len(st.OldList) != 0 {
+			t.Fatalf("slot %d lists not collected: recent=%d old=%d", slot, len(st.RecentList), len(st.OldList))
+		}
+	}
+	// Writes must still work and order correctly after GC.
+	if err := cl.WriteBlock(ctx, 0, 0, val(42)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(42)) {
+		t.Fatal("write after GC failed")
+	}
+	mustVerify(t, c, 0)
+}
+
+func TestGCSkipsLockedStripe(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.CollectGarbage(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Lock one node: the second pass must skip (not error, not lose
+	// the pending list).
+	node, _ := c.Dir.Node(0, 2)
+	if _, err := node.SetLock(ctx, &proto.SetLockReq{Stripe: 0, Slot: 2, Mode: proto.L1, Caller: 9}); err != nil {
+		t.Fatal(err)
+	}
+	pendingBefore := cl.PendingGC()
+	if _, err := cl.CollectGarbage(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if cl.PendingGC() != pendingBefore {
+		t.Fatal("GC dropped pending tids for a locked stripe")
+	}
+	// Unlock and finish.
+	if _, err := node.SetLock(ctx, &proto.SetLockReq{Stripe: 0, Slot: 2, Mode: proto.Unlocked, Caller: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.CollectGarbage(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.CollectGarbage(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if cl.PendingGC() != 0 {
+		t.Fatal("GC did not finish after unlock")
+	}
+}
+
+func TestStuckOrderTriggersRecovery(t *testing.T) {
+	// A predecessor write swapped but never added ("crashed client"):
+	// a successor writing the same block keeps getting ORDER, tires of
+	// looping, recovers, and completes.
+	c := testCluster(t, cluster.Options{K: 2, N: 4, Clients: 2, ClientTweak: func(cfg *core.Config) {
+		cfg.OrderRetryLimit = 2
+	}})
+	ctx := ctxT(t)
+	if err := c.Clients[0].WriteBlock(ctx, 0, 0, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	partialWrite(t, c, 0, 0, val(2), 99)
+	// Successor write to the same block.
+	b := c.Clients[1]
+	if err := b.WriteBlock(ctx, 0, 0, val(3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(3)) {
+		t.Fatal("successor write lost")
+	}
+	if b.Stats().OrderWaits.Load() == 0 {
+		t.Fatal("write never hit the ORDER path")
+	}
+	if b.Stats().Recoveries.Load() == 0 {
+		t.Fatal("stuck ordering did not trigger recovery")
+	}
+	mustVerify(t, c, 0)
+}
+
+func TestRegularRegisterSemantics(t *testing.T) {
+	// Single writer bumping a counter; concurrent reader. Every read
+	// must return a written (or initial) value, and at least the last
+	// value whose write completed before the read started.
+	c := testCluster(t, cluster.Options{K: 2, N: 4, Clients: 2})
+	ctx := ctxT(t)
+	var lastCompleted int64
+	var mu sync.Mutex
+	stop := make(chan struct{})
+	writerErr := make(chan error, 1)
+	go func() {
+		defer close(writerErr)
+		for x := uint64(1); x <= 60; x++ {
+			if err := c.Clients[0].WriteBlock(ctx, 0, 0, val(x)); err != nil {
+				writerErr <- err
+				return
+			}
+			mu.Lock()
+			lastCompleted = int64(x)
+			mu.Unlock()
+		}
+	}()
+	go func() {
+		<-writerErr
+		close(stop)
+	}()
+
+	reader := c.Clients[1]
+	for done := false; !done; {
+		select {
+		case <-stop:
+			done = true
+		default:
+		}
+		mu.Lock()
+		floor := lastCompleted
+		mu.Unlock()
+		got, err := reader.ReadBlock(ctx, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := int64(binary.BigEndian.Uint64(got))
+		if x < floor {
+			t.Fatalf("read returned %d, but write %d had already completed (stale read)", x, floor)
+		}
+		if x > 60 {
+			t.Fatalf("read returned %d, which was never written", x)
+		}
+	}
+	if err := <-writerErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedChaos(t *testing.T) {
+	// Randomized workload with storage crashes sprinkled in. After the
+	// dust settles, a monitoring pass must restore full consistency
+	// and reads must return the last completed value per block.
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	c := testCluster(t, cluster.Options{K: 2, N: 5, Clients: 2})
+	ctx := ctxT(t)
+	rng := rand.New(rand.NewSource(12345))
+	last := make(map[int]uint64)
+	seq := uint64(100)
+	for round := 0; round < 60; round++ {
+		slot := rng.Intn(2)
+		seq++
+		if err := c.Clients[rng.Intn(2)].WriteBlock(ctx, 3, slot, val(seq)); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		last[slot] = seq
+		if round == 20 || round == 40 {
+			c.CrashNodeForStripeSlot(3, rng.Intn(5))
+		}
+	}
+	if _, err := c.Clients[0].MonitorStripes(ctx, []uint64{3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	for slot, want := range last {
+		got, err := c.Clients[1].ReadBlock(ctx, 3, slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if binary.BigEndian.Uint64(got) != want {
+			t.Fatalf("slot %d: read %d, want %d", slot, binary.BigEndian.Uint64(got), want)
+		}
+	}
+	mustVerify(t, c, 3)
+}
+
+func TestManyStripesIndependent(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	const stripes = 20
+	for s := uint64(0); s < stripes; s++ {
+		if err := cl.WriteBlock(ctx, s, int(s%2), val(s+500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := uint64(0); s < stripes; s++ {
+		got, err := cl.ReadBlock(ctx, s, int(s%2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, val(s+500)) {
+			t.Fatalf("stripe %d mismatch", s)
+		}
+		mustVerify(t, c, s)
+	}
+	if got := len(cl.TrackedStripes()); got != stripes {
+		t.Fatalf("tracked %d stripes, want %d", got, stripes)
+	}
+}
+
+func TestWriteToStripeWithHigherSlots(t *testing.T) {
+	// Rotation means stripe 1's slots sit on different physical nodes
+	// than stripe 0's; exercise several stripes across all slots.
+	c := testCluster(t, cluster.Options{K: 3, N: 5})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	for s := uint64(0); s < 5; s++ {
+		for i := 0; i < 3; i++ {
+			if err := cl.WriteBlock(ctx, s, i, val(s*10+uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mustVerify(t, c, s)
+	}
+}
+
+func TestRecoverIsIdempotent(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(5)); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		if err := cl.Recover(ctx, 0); err != nil {
+			t.Fatalf("recovery round %d: %v", round, err)
+		}
+	}
+	got, err := cl.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(5)) {
+		t.Fatal("repeated recovery corrupted data")
+	}
+	mustVerify(t, c, 0)
+}
+
+func TestEpochBumpAcrossRecovery(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	node, _ := c.Dir.Node(0, 0)
+	before, _ := node.Probe(ctx, &proto.ProbeReq{Stripe: 0, Slot: 0})
+	if err := cl.Recover(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := node.Probe(ctx, &proto.ProbeReq{Stripe: 0, Slot: 0})
+	if after.Epoch <= before.Epoch {
+		t.Fatalf("epoch did not advance: %d -> %d", before.Epoch, after.Epoch)
+	}
+}
+
+func TestUnrecoverableStripeReportsError(t *testing.T) {
+	// Crash more nodes than the code can tolerate: recovery must fail
+	// with ErrUnrecoverable rather than fabricate data.
+	c := testCluster(t, cluster.Options{K: 2, N: 4, ClientTweak: func(cfg *core.Config) {
+		cfg.RecoveryPollLimit = 4
+	}})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 3; slot++ { // 3 crashes > p = 2
+		c.CrashNodeForStripeSlot(0, slot)
+	}
+	// Touch the dead nodes so the directory remaps them to INIT
+	// replacements, then attempt recovery.
+	rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	err := cl.Recover(rctx, 0)
+	if err == nil {
+		t.Fatal("recovery of an unrecoverable stripe succeeded")
+	}
+}
+
+func TestRunMonitorLoopRepairs(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4, Clients: 2})
+	ctx, cancel := context.WithCancel(ctxT(t))
+	defer cancel()
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Background monitor on client 1 (which must track the stripe).
+	if _, err := c.Clients[1].ReadBlock(ctx, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Clients[1].RunMonitor(ctx, 5*time.Millisecond, 0)
+	}()
+	// Injected partial write: the loop must repair it.
+	partialWrite(t, c, 0, 0, val(2), 99)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ok, _ := c.VerifyStripe(0); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("monitor loop did not repair the stripe in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("RunMonitor returned %v, want context.Canceled", err)
+	}
+}

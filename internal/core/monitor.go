@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"ecstore/internal/proto"
+)
+
+// MonitorReport summarizes one monitoring pass (Section 3.10).
+type MonitorReport struct {
+	// StripesProbed counts stripes examined.
+	StripesProbed int
+	// Recovered lists stripes for which the pass triggered recovery.
+	Recovered []uint64
+	// Skipped lists stripes whose recovery was already in progress
+	// elsewhere.
+	Skipped []uint64
+}
+
+// MonitorStripes runs the monitoring mechanism of Section 3.10 over
+// the given stripes: for every storage slot it probes for (1) a
+// recentlist entry older than maxAge — a started but unfinished write
+// — or (2) an INIT or expired-lock slot — a crashed node or client.
+// Either finding triggers recovery, restoring the system's full
+// resiliency. The mechanism works even after more than t_p client
+// crashes, as long as no storage node has crashed since.
+func (c *Client) MonitorStripes(ctx context.Context, stripes []uint64, maxAge time.Duration) (*MonitorReport, error) {
+	report := &MonitorReport{}
+	for _, s := range stripes {
+		if err := ctx.Err(); err != nil {
+			return report, err
+		}
+		report.StripesProbed++
+		needs, err := c.stripeNeedsRecovery(ctx, s, maxAge)
+		if err != nil {
+			return report, err
+		}
+		if !needs {
+			continue
+		}
+		c.stats.MonitorTriggered.Add(1)
+		switch err := c.Recover(ctx, s); {
+		case err == nil:
+			report.Recovered = append(report.Recovered, s)
+		case err == ErrRecoveryBusy:
+			report.Skipped = append(report.Skipped, s)
+		default:
+			return report, err
+		}
+	}
+	return report, nil
+}
+
+// MonitorTracked monitors every stripe this client has touched.
+func (c *Client) MonitorTracked(ctx context.Context, maxAge time.Duration) (*MonitorReport, error) {
+	return c.MonitorStripes(ctx, c.TrackedStripes(), maxAge)
+}
+
+// stripeNeedsRecovery probes all slots of a stripe. An unreachable
+// node also triggers recovery: it is reported to the directory and its
+// replacement will need reconstruction.
+func (c *Client) stripeNeedsRecovery(ctx context.Context, stripeID uint64, maxAge time.Duration) (bool, error) {
+	n := c.cfg.Code.N()
+	for j := 0; j < n; j++ {
+		node, err := c.cfg.Resolver.Node(stripeID, j)
+		if err != nil {
+			return false, err
+		}
+		rep, err := node.Probe(ctx, &proto.ProbeReq{Stripe: stripeID, Slot: int32(j)})
+		if err != nil {
+			c.cfg.Resolver.ReportFailure(stripeID, j, node)
+			return true, nil
+		}
+		if rep.OpMode == proto.Init || rep.LockMode == proto.Expired {
+			return true, nil
+		}
+		if rep.HasRecent && rep.OldestAge > uint64(maxAge) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// RunMonitor loops MonitorTracked every interval until the context is
+// cancelled. It is the "periodic pings from some monitoring facility"
+// deployment of Section 3.5/3.10; run it from one designated client.
+func (c *Client) RunMonitor(ctx context.Context, interval, maxAge time.Duration) error {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			if _, err := c.MonitorTracked(ctx, maxAge); err != nil && err != context.Canceled {
+				return err
+			}
+		}
+	}
+}

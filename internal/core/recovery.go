@@ -1,0 +1,595 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"ecstore/internal/proto"
+)
+
+// maxRecoveryTime bounds one forked recovery attempt; it exists only
+// as a backstop against a wedged transport.
+const maxRecoveryTime = 60 * time.Second
+
+// Recover runs the three-phase recovery procedure (Fig. 6) for a
+// stripe. Like the paper's start_recovery, the procedure is *forked*:
+// it runs detached from the triggering operation's context, because a
+// recovery aborted halfway leaves locked, half-reconstructed state
+// that some other client must then clean up — strictly worse than
+// finishing. The caller waits for the fork (or its own cancellation)
+// and gets the recovery's result. If this client is already recovering
+// the stripe, the call joins that attempt. It returns ErrRecoveryBusy
+// when a different client holds the recovery locks; callers then retry
+// their operation after a pause.
+func (c *Client) Recover(ctx context.Context, stripeID uint64) error {
+	t := c.ensureRecovery(ctx, stripeID)
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.done:
+		return t.err
+	}
+}
+
+// StartRecovery forks the recovery procedure without waiting for its
+// result — the literal start_recovery() of Figs. 4-6. Writers MUST use
+// this form: recovery's phase 2 waits for outstanding writes to finish
+// their adds under the L0 lock, so a writer that blocked waiting for
+// recovery would deadlock against it.
+func (c *Client) StartRecovery(ctx context.Context, stripeID uint64) {
+	c.ensureRecovery(ctx, stripeID)
+}
+
+// ensureRecovery returns the in-flight recovery ticket for a stripe,
+// forking a new attempt if none is running.
+func (c *Client) ensureRecovery(ctx context.Context, stripeID uint64) *recoveryTicket {
+	c.recmu.Lock()
+	defer c.recmu.Unlock()
+	if t, ok := c.recovering[stripeID]; ok {
+		return t
+	}
+	t := &recoveryTicket{done: make(chan struct{})}
+	c.recovering[stripeID] = t
+	go func() {
+		rctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), maxRecoveryTime)
+		defer cancel()
+		t.err = c.recoverStripe(rctx, stripeID, nil)
+		c.recmu.Lock()
+		delete(c.recovering, stripeID)
+		c.recmu.Unlock()
+		close(t.done)
+	}()
+	return t
+}
+
+// recoverStripe is one recovery attempt. A non-empty exclude set
+// forces the named slots OUT of the consistent set so phase 3
+// recomputes them — the scrub path uses it to rebuild blocks it has
+// localized as corrupted (bit rot sits outside the paper's fail-stop
+// model, but the same reconstruction machinery repairs it).
+func (c *Client) recoverStripe(ctx context.Context, stripeID uint64, exclude slotSet) error {
+	n := c.cfg.Code.N()
+	k := c.cfg.Code.K()
+
+	// --- Phase 1: lock all blocks, in slot order to avoid deadlock ---
+	type held struct {
+		slot    int
+		oldMode proto.LockMode
+	}
+	var locks []held
+	release := func(toExpired bool) {
+		// Best-effort lock release. On a clean abort we restore the
+		// previous modes; after partial phase-3 writes we expire the
+		// locks instead, so the next client to stumble on them re-runs
+		// recovery rather than trusting half-recovered state.
+		for _, h := range locks {
+			mode := h.oldMode
+			if toExpired {
+				mode = proto.Expired
+			}
+			if node, err := c.cfg.Resolver.Node(stripeID, h.slot); err == nil {
+				_, _ = node.SetLock(context.WithoutCancel(ctx), &proto.SetLockReq{
+					Stripe: stripeID, Slot: int32(h.slot), Mode: mode, Caller: c.cfg.ID,
+				})
+			}
+		}
+	}
+
+	for j := 0; j < n; j++ {
+		rep, err := c.tryLockSlot(ctx, stripeID, j)
+		if err != nil {
+			release(false)
+			return err
+		}
+		if !rep.OK {
+			// Somebody else locked: back out (Fig. 6 lines 4-6).
+			release(false)
+			c.stats.RecoveryBusy.Add(1)
+			return ErrRecoveryBusy
+		}
+		locks = append(locks, held{slot: j, oldMode: rep.OldMode})
+	}
+	c.stats.Recoveries.Add(1)
+
+	// --- Phase 2: running solo; read state from all storage nodes ---
+	states := c.getStates(ctx, stripeID, allSlots(n))
+
+	var cset slotSet
+	pickup := -1
+	for j, st := range states {
+		if st != nil && st.OpMode == proto.Recons {
+			pickup = j
+			break
+		}
+	}
+	if pickup >= 0 {
+		// Another client crashed during recovery after writing
+		// RECONS state: finish exactly what it started, using its
+		// saved consistent set minus nodes that died since.
+		c.stats.RecoveryPickups.Add(1)
+		cset = newSlotSet()
+		for _, j := range states[pickup].ReconsSet {
+			if st := states[int(j)]; st != nil && st.OpMode != proto.Init && st.BlockValid {
+				cset.add(int(j))
+			}
+		}
+	} else {
+		var err error
+		cset, err = c.waitForConsistentSet(ctx, stripeID, states)
+		if err != nil {
+			release(true)
+			return err
+		}
+	}
+	for j := range exclude {
+		cset.remove(j)
+	}
+	if cset.size() < k {
+		release(true)
+		return fmt.Errorf("%w: stripe %d has %d consistent blocks, need %d", ErrUnrecoverable, stripeID, cset.size(), k)
+	}
+
+	// --- Phase 3: decode, write back, finalize ---
+	stripeBlocks := make([][]byte, n)
+	for j := range cset {
+		if states[j] == nil || !states[j].BlockValid {
+			release(true)
+			return fmt.Errorf("%w: consistent slot %d has no readable block", ErrUnrecoverable, j)
+		}
+		stripeBlocks[j] = states[j].Block
+	}
+	if err := c.cfg.Code.Reconstruct(stripeBlocks); err != nil {
+		release(true)
+		return fmt.Errorf("core: decode during recovery of stripe %d: %w", stripeID, err)
+	}
+
+	cset32 := make([]int32, 0, cset.size())
+	for _, j := range cset.sorted() {
+		cset32 = append(cset32, int32(j))
+	}
+	epochs := make([]uint64, n)
+	if err := c.forEachSlot(ctx, n, func(j int) error {
+		rep, err := c.callReconstruct(ctx, stripeID, j, cset32, stripeBlocks[j])
+		if err != nil {
+			return err
+		}
+		epochs[j] = rep.Epoch
+		return nil
+	}); err != nil {
+		release(true)
+		return err
+	}
+	maxEpoch := uint64(0)
+	for _, e := range epochs {
+		maxEpoch = max(maxEpoch, e)
+	}
+	if err := c.forEachSlot(ctx, n, func(j int) error {
+		return c.callFinalize(ctx, stripeID, j, maxEpoch+1)
+	}); err != nil {
+		release(true)
+		return err
+	}
+	// finalize unlocked every node; nothing to release.
+	return nil
+}
+
+// tryLockSlot acquires the L1 lock on one slot, retrying through node
+// remaps (a replacement node starts unlocked, so the retry succeeds).
+func (c *Client) tryLockSlot(ctx context.Context, stripeID uint64, j int) (*proto.TryLockReply, error) {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		node, err := c.cfg.Resolver.Node(stripeID, j)
+		if err != nil {
+			return nil, fmt.Errorf("core: resolve slot %d: %w", j, err)
+		}
+		rep, err := node.TryLock(ctx, &proto.TryLockReq{Stripe: stripeID, Slot: int32(j), Mode: proto.L1, Caller: c.cfg.ID})
+		if err == nil {
+			return rep, nil
+		}
+		c.cfg.Resolver.ReportFailure(stripeID, j, node)
+		if attempt >= 3 {
+			return nil, fmt.Errorf("core: slot %d unreachable during recovery: %w", j, err)
+		}
+		if err := c.pause(ctx); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// getStates reads get_state from the given slots in parallel. An
+// unreachable slot (even after a remap retry) yields a nil entry,
+// which the callers treat like INIT.
+func (c *Client) getStates(ctx context.Context, stripeID uint64, slots []int) []*proto.GetStateReply {
+	states := make([]*proto.GetStateReply, c.cfg.Code.N())
+	var wg sync.WaitGroup
+	for _, j := range slots {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			for attempt := 0; attempt < 2; attempt++ {
+				node, err := c.cfg.Resolver.Node(stripeID, j)
+				if err != nil {
+					return
+				}
+				rep, err := node.GetState(ctx, &proto.GetStateReq{Stripe: stripeID, Slot: int32(j)})
+				if err == nil {
+					states[j] = rep
+					return
+				}
+				c.cfg.Resolver.ReportFailure(stripeID, j, node)
+			}
+		}(j)
+	}
+	wg.Wait()
+	return states
+}
+
+// waitForConsistentSet implements Fig. 6 lines 11-20: find a
+// consistent set of at least k+slack blocks, weakening locks to L0 so
+// outstanding writes can finish their adds, then re-locking with
+// getrecent before trusting the result.
+func (c *Client) waitForConsistentSet(ctx context.Context, stripeID uint64, states []*proto.GetStateReply) (slotSet, error) {
+	n, k := c.cfg.Code.N(), c.cfg.Code.K()
+	redundant := make([]int, 0, n-k)
+	for j := k; j < n; j++ {
+		redundant = append(redundant, j)
+	}
+
+	need := func() int {
+		initCount := 0
+		for _, st := range states {
+			if st == nil || st.OpMode == proto.Init {
+				initCount++
+			}
+		}
+		slack := c.cfg.TD - initCount
+		if slack < 0 {
+			slack = 0
+		}
+		return k + slack
+	}
+
+	cset := findConsistentK(states, k)
+	rounds := 0
+	settled := false
+	for cset.size() < need() && !settled {
+		// Let outstanding writes complete their adds (L0 admits adds
+		// but the L1 lock on data nodes keeps blocking swaps, so no
+		// new writes start).
+		if err := c.forEachSlotList(ctx, redundant, func(j int) error {
+			return c.setLockSlot(ctx, stripeID, j, proto.L0)
+		}); err != nil {
+			return nil, err
+		}
+		for cset.size() < need() {
+			rounds++
+			if rounds > c.cfg.RecoveryPollLimit {
+				// The consistent set stopped growing: the missing adds
+				// belong to crashed clients and will never arrive
+				// (t_p was exceeded). Per Section 3.10 the system must
+				// still be repairable while no storage node has
+				// crashed, so settle for any consistent set of at
+				// least k blocks — decoding from it is safe; only the
+				// slack hedge against further storage crashes is lost.
+				if cset.size() >= k {
+					settled = true
+					break
+				}
+				if debugRecovery {
+					dumpStates(stripeID, states)
+				}
+				return nil, fmt.Errorf("%w: stripe %d: %d consistent of %d needed after %d polls",
+					ErrUnrecoverable, stripeID, cset.size(), need(), rounds)
+			}
+			if err := c.pause(ctx); err != nil {
+				return nil, err
+			}
+			fresh := c.getStates(ctx, stripeID, redundant)
+			for _, j := range redundant {
+				states[j] = fresh[j]
+			}
+			cset = findConsistentK(states, k)
+		}
+		// Re-lock before further adds slip in; any redundant node whose
+		// recentlist moved between get_state and getrecent is dropped
+		// from the set (Fig. 6 lines 19-20).
+		lists := make([][]proto.TIDTime, n)
+		if err := c.forEachSlotList(ctx, redundant, func(j int) error {
+			node, err := c.cfg.Resolver.Node(stripeID, j)
+			if err != nil {
+				return err
+			}
+			rep, err := node.GetRecent(ctx, &proto.GetRecentReq{Stripe: stripeID, Slot: int32(j), Mode: proto.L1, Caller: c.cfg.ID})
+			if err != nil {
+				c.cfg.Resolver.ReportFailure(stripeID, j, node)
+				lists[j] = nil
+				return nil // treat as changed; the slot drops from cset
+			}
+			lists[j] = rep.RecentList
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for _, j := range redundant {
+			if !cset.has(j) {
+				continue
+			}
+			if states[j] == nil || !tidTimesEqual(lists[j], states[j].RecentList) {
+				cset.remove(j)
+			}
+		}
+	}
+	return cset, nil
+}
+
+func (c *Client) setLockSlot(ctx context.Context, stripeID uint64, j int, mode proto.LockMode) error {
+	node, err := c.cfg.Resolver.Node(stripeID, j)
+	if err != nil {
+		return err
+	}
+	if _, err := node.SetLock(ctx, &proto.SetLockReq{Stripe: stripeID, Slot: int32(j), Mode: mode, Caller: c.cfg.ID}); err != nil {
+		c.cfg.Resolver.ReportFailure(stripeID, j, node)
+	}
+	return nil
+}
+
+// callReconstruct writes recovered content to a slot, retrying once
+// through a remap (the replacement accepts reconstruct in INIT mode).
+func (c *Client) callReconstruct(ctx context.Context, stripeID uint64, j int, cset []int32, blk []byte) (*proto.ReconstructReply, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		node, err := c.cfg.Resolver.Node(stripeID, j)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := node.Reconstruct(ctx, &proto.ReconstructReq{Stripe: stripeID, Slot: int32(j), CSet: cset, Block: blk})
+		if err == nil {
+			return rep, nil
+		}
+		c.cfg.Resolver.ReportFailure(stripeID, j, node)
+		lastErr = err
+	}
+	return nil, fmt.Errorf("core: reconstruct slot %d: %w", j, lastErr)
+}
+
+func (c *Client) callFinalize(ctx context.Context, stripeID uint64, j int, epoch uint64) error {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		node, err := c.cfg.Resolver.Node(stripeID, j)
+		if err != nil {
+			return err
+		}
+		if _, err := node.Finalize(ctx, &proto.FinalizeReq{Stripe: stripeID, Slot: int32(j), Epoch: epoch}); err == nil {
+			return nil
+		} else {
+			c.cfg.Resolver.ReportFailure(stripeID, j, node)
+			lastErr = err
+		}
+	}
+	return fmt.Errorf("core: finalize slot %d: %w", j, lastErr)
+}
+
+// forEachSlot runs fn for slots 0..n-1 in parallel and returns the
+// first error.
+func (c *Client) forEachSlot(ctx context.Context, n int, fn func(j int) error) error {
+	return c.forEachSlotList(ctx, allSlots(n), fn)
+}
+
+func (c *Client) forEachSlotList(ctx context.Context, slots []int, fn func(j int) error) error {
+	errs := make([]error, len(slots))
+	var wg sync.WaitGroup
+	for idx, j := range slots {
+		wg.Add(1)
+		go func(idx, j int) {
+			defer wg.Done()
+			errs[idx] = fn(j)
+		}(idx, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	_ = ctx
+	return nil
+}
+
+func allSlots(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// --- find_consistent (Fig. 6) -------------------------------------------
+
+type tidSet map[proto.TID]struct{}
+
+func (s tidSet) equal(o tidSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for t := range s {
+		if _, ok := o[t]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// findConsistentK returns a maximal set S of slots such that
+// (1) every member is in NORM mode,
+// (2) all redundant members saw the same set of writes, and
+// (3) for every redundant member r and data member j, the writes r saw
+// originating from j are exactly the writes j saw —
+// all modulo the union G of oldlists: a tid in any oldlist belongs to
+// a write that completed at every node (GC phase 2 runs only after
+// the write finished everywhere), so it is consistent by construction
+// and excluded from the comparison.
+//
+// The search space is one candidate per redundant-signature group plus
+// the all-data candidate; the true maximal set always has this shape
+// because condition (2) forces all redundant members of S to share a
+// signature.
+func findConsistentK(states []*proto.GetStateReply, k int) slotSet {
+	n := len(states)
+	// Collect candidates and the oldlist union G.
+	g := make(tidSet)
+	norm := make([]bool, n)
+	for j, st := range states {
+		if st == nil || st.OpMode != proto.Norm {
+			continue
+		}
+		norm[j] = true
+		for _, e := range st.OldList {
+			g[e.TID] = struct{}{}
+		}
+	}
+	// f(j) = recentlist tids minus G.
+	f := make([]tidSet, n)
+	for j, st := range states {
+		if !norm[j] {
+			continue
+		}
+		fs := make(tidSet)
+		for _, e := range st.RecentList {
+			if _, inG := g[e.TID]; !inG {
+				fs[e.TID] = struct{}{}
+			}
+		}
+		f[j] = fs
+	}
+
+	// Group redundant candidates by their signature f(r).
+	groups := make(map[string][]int)
+	for j := k; j < n; j++ {
+		if norm[j] {
+			key := signatureKey(f[j])
+			groups[key] = append(groups[key], j)
+		}
+	}
+
+	// The all-data candidate: with no redundant members, conditions
+	// (2) and (3) are vacuous.
+	best := newSlotSet()
+	for j := 0; j < k; j++ {
+		if norm[j] {
+			best.add(j)
+		}
+	}
+
+	// One candidate per signature group: the group's redundant slots
+	// plus every data slot whose own writes match the group's view of
+	// that slot.
+	for _, members := range groups {
+		fg := f[members[0]]
+		cand := newSlotSet(members...)
+		for j := 0; j < k; j++ {
+			if !norm[j] {
+				continue
+			}
+			required := make(tidSet)
+			for t := range fg {
+				if int(t.Block) == j {
+					required[t] = struct{}{}
+				}
+			}
+			if f[j].equal(required) {
+				cand.add(j)
+			}
+		}
+		if cand.size() > best.size() {
+			best = cand
+		}
+	}
+	return best
+}
+
+// tidTimesEqual compares two recentlists entry-wise.
+func tidTimesEqual(a, b []proto.TIDTime) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// signatureKey builds a canonical byte-string key for a tid set.
+func signatureKey(s tidSet) string {
+	tids := make([]proto.TID, 0, len(s))
+	for t := range s {
+		tids = append(tids, t)
+	}
+	// Sort for canonical order (tiny sets; insertion sort).
+	for i := 1; i < len(tids); i++ {
+		for j := i; j > 0 && tidLess(tids[j], tids[j-1]); j-- {
+			tids[j], tids[j-1] = tids[j-1], tids[j]
+		}
+	}
+	buf := make([]byte, 0, len(tids)*16)
+	var tmp [16]byte
+	for _, t := range tids {
+		binary.BigEndian.PutUint64(tmp[0:8], t.Seq)
+		binary.BigEndian.PutUint32(tmp[8:12], t.Block)
+		binary.BigEndian.PutUint32(tmp[12:16], uint32(t.Client))
+		buf = append(buf, tmp[:]...)
+	}
+	return string(buf)
+}
+
+func tidLess(a, b proto.TID) bool {
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
+	}
+	if a.Block != b.Block {
+		return a.Block < b.Block
+	}
+	return a.Client < b.Client
+}
+
+// debugRecovery enables state dumps when recovery cannot settle.
+var debugRecovery = os.Getenv("ECSTORE_DEBUG_RECOVERY") != ""
+
+func dumpStates(stripeID uint64, states []*proto.GetStateReply) {
+	fmt.Fprintf(os.Stderr, "--- unsettled stripe %d ---\n", stripeID)
+	for j, st := range states {
+		if st == nil {
+			fmt.Fprintf(os.Stderr, "  slot %d: <nil>\n", j)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  slot %d: op=%v lock=%v epoch=%d recent=%v old=%v\n",
+			j, st.OpMode, st.LockMode, st.Epoch, proto.TIDsOf(st.RecentList), proto.TIDsOf(st.OldList))
+	}
+}

@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ecstore/internal/cluster"
+	"ecstore/internal/regcheck"
+	"ecstore/internal/resilience"
+)
+
+// runRegularityWorkload hammers one block with concurrent writers and
+// readers, recording a history, and verifies multi-writer regular
+// register semantics (Section 3.1) with the regcheck oracle.
+func runRegularityWorkload(t *testing.T, c *cluster.Cluster, crashes []int) {
+	t.Helper()
+	ctx := ctxT(t)
+	h := regcheck.New()
+	var seq atomic.Uint64
+	const writers, readers, opsEach = 2, 2, 20
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := c.Clients[w%len(c.Clients)]
+			for i := 0; i < opsEach; i++ {
+				x := seq.Add(1)
+				tok := h.BeginWrite(x)
+				if err := cl.WriteBlock(ctx, 0, 0, val(x)); err != nil {
+					errs <- err
+					return
+				}
+				h.EndWrite(tok)
+			}
+		}(w)
+	}
+	crashed := make(chan struct{})
+	go func() {
+		defer close(crashed)
+		for _, phys := range crashes {
+			c.CrashNode(phys)
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cl := c.Clients[(r+1)%len(c.Clients)]
+			for i := 0; i < opsEach; i++ {
+				tok := h.BeginRead()
+				got, err := cl.ReadBlock(ctx, 0, 0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				h.EndRead(tok, binary.BigEndian.Uint64(got))
+			}
+		}(r)
+	}
+	wg.Wait()
+	<-crashed
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := h.Check(); err != nil {
+		t.Fatalf("regularity violated: %v", err)
+	}
+	ws, rs := h.Counts()
+	if ws != writers*opsEach || rs != readers*opsEach {
+		t.Fatalf("history incomplete: %d writes, %d reads", ws, rs)
+	}
+}
+
+func TestRegularityFailureFree(t *testing.T) {
+	for _, mode := range []resilience.UpdateMode{resilience.Parallel, resilience.Serial} {
+		t.Run(mode.String(), func(t *testing.T) {
+			c := testCluster(t, cluster.Options{K: 2, N: 4, Clients: 2, Mode: mode})
+			runRegularityWorkload(t, c, nil)
+		})
+	}
+}
+
+func TestRegularityUnderCrash(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4, Clients: 2})
+	runRegularityWorkload(t, c, []int{2})
+}
+
+func TestRegularityUnderDoubleCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	c := testCluster(t, cluster.Options{K: 3, N: 6, Clients: 2})
+	runRegularityWorkload(t, c, []int{1, 4})
+}

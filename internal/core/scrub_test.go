@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ecstore/internal/cluster"
+	"ecstore/internal/core"
+	"ecstore/internal/proto"
+)
+
+// scrubCluster writes a stripe and garbage-collects it so the stripe
+// is quiescent (empty tid lists) — the precondition for a meaningful
+// scrub.
+func scrubCluster(t *testing.T) (*cluster.Cluster, *core.Client) {
+	t.Helper()
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	for i := 0; i < 2; i++ {
+		if err := cl.WriteBlock(ctx, 0, i, val(uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		if _, err := cl.CollectGarbage(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, cl
+}
+
+func TestScrubCleanStripe(t *testing.T) {
+	_, cl := scrubCluster(t)
+	res, err := cl.ScrubStripe(ctxT(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != core.ScrubClean {
+		t.Fatalf("scrub = %v, want clean", res)
+	}
+}
+
+func TestScrubBusyStripe(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	// A write without GC leaves recentlist entries: busy.
+	if err := cl.WriteBlock(ctx, 0, 0, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.ScrubStripe(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != core.ScrubBusy {
+		t.Fatalf("scrub = %v, want busy", res)
+	}
+}
+
+func TestScrubDetectsBitRot(t *testing.T) {
+	c, cl := scrubCluster(t)
+	ctx := ctxT(t)
+	// Corrupt one parity block directly on the node — silent bit rot
+	// that no read would notice (reads only touch data nodes).
+	rotParity(t, c, 0)
+
+	res, err := cl.ScrubStripe(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != core.ScrubRepaired {
+		t.Fatalf("scrub = %v, want repaired", res)
+	}
+	mustVerify(t, c, 0)
+	// Data must be intact after the repair.
+	got, err := cl.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(1)) {
+		t.Fatal("scrub repair corrupted data")
+	}
+}
+
+func TestScrubRepairsCrashedNode(t *testing.T) {
+	c, cl := scrubCluster(t)
+	ctx := ctxT(t)
+	c.CrashNodeForStripeSlot(0, 1)
+	res, err := cl.ScrubStripe(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != core.ScrubRepaired {
+		t.Fatalf("scrub = %v, want repaired", res)
+	}
+	mustVerify(t, c, 0)
+}
+
+func TestScrubTrackedCounts(t *testing.T) {
+	c, cl := scrubCluster(t) // stripe 0: written + GC'd => clean
+	ctx := ctxT(t)
+	// Stripe 2: written, GC'd, then one parity block silently rotted.
+	if err := cl.WriteBlock(ctx, 2, 0, val(10)); err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		if _, err := cl.CollectGarbage(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rotParity(t, c, 2)
+	// Stripe 1: written WITHOUT GC => busy (in-flight tids).
+	if err := cl.WriteBlock(ctx, 1, 0, val(9)); err != nil {
+		t.Fatal(err)
+	}
+	clean, busy, repaired, err := cl.ScrubTracked(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean != 1 || busy != 1 || repaired != 1 {
+		t.Fatalf("clean/busy/repaired = %d/%d/%d, want 1/1/1", clean, busy, repaired)
+	}
+	mustVerify(t, c, 2)
+}
+
+// rotParity flips a bit in one quiescent parity block of the stripe,
+// simulating silent corruption (reconstruct+finalize keeps the tid
+// lists empty and the slot NORM).
+func rotParity(t *testing.T, c *cluster.Cluster, stripeID uint64) {
+	t.Helper()
+	ctx := ctxT(t)
+	node, _ := c.Dir.Node(stripeID, 3)
+	st, err := node.GetState(ctx, &proto.GetStateReq{Stripe: stripeID, Slot: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotted := append([]byte(nil), st.Block...)
+	rotted[7] ^= 0x10
+	if _, err := node.Reconstruct(ctx, &proto.ReconstructReq{Stripe: stripeID, Slot: 3, CSet: nil, Block: rotted}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Finalize(ctx, &proto.FinalizeReq{Stripe: stripeID, Slot: 3, Epoch: st.Epoch}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := c.VerifyStripe(stripeID); ok {
+		t.Fatal("bit rot injection failed")
+	}
+}
+
+func TestScrubResultString(t *testing.T) {
+	for res, want := range map[core.ScrubResult]string{
+		core.ScrubClean: "clean", core.ScrubBusy: "busy", core.ScrubRepaired: "repaired",
+		core.ScrubResult(9): "ScrubResult(9)",
+	} {
+		if got := res.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", res, got, want)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package core_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ecstore/internal/cluster"
+	"ecstore/internal/proto"
+)
+
+// TestSoakEverythingTogether is the capstone integration test: three
+// clients mix single-block writes, batched stripe writes, reads, GC
+// passes, and scrubs across several stripes while storage nodes crash
+// (within budget). At the end, a monitor pass restores everything and
+// every block must hold the last value its per-block history says it
+// should.
+func TestSoakEverythingTogether(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const (
+		stripes = 4
+		k, n    = 2, 5 // p=3: survives the 2 crashes injected below
+		rounds  = 30
+	)
+	c := testCluster(t, cluster.Options{K: k, N: n, Clients: 3})
+	ctx := ctxT(t)
+
+	// last[stripe][slot] tracks the most recent completed write per
+	// block, guarded by per-block mutexes so the expectation is exact
+	// (writers to the same block serialize in the test harness; the
+	// protocol still sees plenty of cross-block concurrency).
+	var mu [stripes][k]sync.Mutex
+	var last [stripes][k]uint64
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 7))
+			cl := c.Clients[w]
+			for r := 0; r < rounds; r++ {
+				s := uint64(rng.Intn(stripes))
+				switch rng.Intn(5) {
+				case 0: // batched stripe write
+					vals := make([][]byte, k)
+					xs := make([]uint64, k)
+					for i := range vals {
+						xs[i] = uint64(w*100000 + r*100 + i + 1)
+						vals[i] = val(xs[i])
+					}
+					for i := 0; i < k; i++ {
+						mu[s][i].Lock()
+					}
+					if err := cl.WriteStripe(ctx, s, vals); err != nil {
+						for i := k - 1; i >= 0; i-- {
+							mu[s][i].Unlock()
+						}
+						errs <- err
+						return
+					}
+					for i := 0; i < k; i++ {
+						last[s][i] = xs[i]
+					}
+					for i := k - 1; i >= 0; i-- {
+						mu[s][i].Unlock()
+					}
+				case 1: // read and validate against the tracked value
+					slot := rng.Intn(k)
+					mu[s][slot].Lock()
+					want := last[s][slot]
+					got, err := cl.ReadBlock(ctx, s, slot)
+					if err != nil {
+						mu[s][slot].Unlock()
+						errs <- err
+						return
+					}
+					x := binary.BigEndian.Uint64(got)
+					mu[s][slot].Unlock()
+					if x != want {
+						t.Errorf("stripe %d slot %d: read %d, want %d", s, slot, x, want)
+					}
+				case 2: // garbage collection
+					if _, err := cl.CollectGarbage(ctx); err != nil {
+						errs <- err
+						return
+					}
+				case 3: // scrub (busy results are fine)
+					if _, err := cl.ScrubStripe(ctx, s); err != nil {
+						errs <- err
+						return
+					}
+				default: // single-block write
+					slot := rng.Intn(k)
+					x := uint64(w*100000 + r*100 + 50)
+					mu[s][slot].Lock()
+					if err := cl.WriteBlock(ctx, s, slot, val(x)); err != nil {
+						mu[s][slot].Unlock()
+						errs <- err
+						return
+					}
+					last[s][slot] = x
+					mu[s][slot].Unlock()
+				}
+			}
+		}(w)
+	}
+	// Two storage crashes while the storm runs (p=3 budget).
+	crashDone := make(chan struct{})
+	go func() {
+		defer close(crashDone)
+		c.CrashNode(1)
+		c.CrashNode(3)
+	}()
+	wg.Wait()
+	<-crashDone
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Restore full redundancy and verify every block and stripe.
+	for s := uint64(0); s < stripes; s++ {
+		if _, err := c.Clients[0].MonitorStripes(ctx, []uint64{s}, 0); err != nil {
+			t.Fatal(err)
+		}
+		for slot := 0; slot < k; slot++ {
+			got, err := c.Clients[1].ReadBlock(ctx, s, slot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, val(last[s][slot])) {
+				t.Fatalf("stripe %d slot %d: final value %d, want %d",
+					s, slot, binary.BigEndian.Uint64(got), last[s][slot])
+			}
+		}
+		mustVerify(t, c, s)
+	}
+}
+
+// TestGCPhaseWithCrashedNode: a node crash mid-GC must not wedge the
+// pass — the crashed node's lists died with it, so the pass treats it
+// as collected.
+func TestGCPhaseWithCrashedNode(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	for x := uint64(1); x <= 4; x++ {
+		if err := cl.WriteBlock(ctx, 0, 0, val(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.CrashNodeForStripeSlot(0, 2)
+	// The first pass must not error: the dead node's lists died with
+	// it. But its INIT replacement rejects collection (UNAVAIL), so the
+	// pending lists are RETAINED for retry — collecting before the
+	// stripe is healthy would be wrong.
+	if _, err := cl.CollectGarbage(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if cl.PendingGC() == 0 {
+		t.Fatal("GC collected everything while the stripe had an INIT slot")
+	}
+	// Reads don't touch the dead parity slot, so access-driven healing
+	// never fires; the monitoring pass (Section 3.10) is what heals
+	// here. Recovery's finalize clears the server-side lists, so the
+	// retried client-side entries become no-ops.
+	if _, err := cl.MonitorStripes(ctx, []uint64{0}, 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(4)) {
+		t.Fatal("data lost")
+	}
+	for pass := 0; pass < 2; pass++ {
+		if _, err := cl.CollectGarbage(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cl.PendingGC() != 0 {
+		t.Fatalf("pending GC = %d after healing and two passes", cl.PendingGC())
+	}
+}
+
+// TestProbeAfterBatchWrite: monitoring sees batch-written tids like
+// any others (they age and trigger recovery if never collected).
+func TestProbeAfterBatchWrite(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteStripe(ctx, 0, stripeValues(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	node, _ := c.Dir.Node(0, 2)
+	rep, err := node.Probe(ctx, &proto.ProbeReq{Stripe: 0, Slot: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasRecent || rep.RecentCount != 2 {
+		t.Fatalf("probe after batch = %+v, want 2 recent tids", rep)
+	}
+	// Monitor with a huge age threshold: healthy, no recovery.
+	report, err := cl.MonitorStripes(ctx, []uint64{0}, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Recovered) != 0 {
+		t.Fatal("healthy batch-written stripe was recovered")
+	}
+}

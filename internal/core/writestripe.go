@@ -1,0 +1,306 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ecstore/internal/gf"
+	"ecstore/internal/proto"
+)
+
+// WriteStripe writes all k data blocks of one stripe as a single
+// operation: k parallel swaps followed by one combined batch-add per
+// redundant node (Section 3.11's sequential-I/O optimization). Against
+// per-block writes this cuts the message count from 2k(p+1) to
+// 2(k+p) and the client's parity upload from k*p blocks to p blocks —
+// the redundant nodes absorb the whole stripe's parity change in one
+// delta, since XOR deltas compose:
+//
+//	Delta_j = sum_i alpha_ji * (v_i XOR w_i)
+//
+// Consistency is the same as for k individual writes issued together:
+// per-slot ordering still flows through the swap-returned otids, which
+// the batch carries for every slot and storage nodes check atomically.
+func (c *Client) WriteStripe(ctx context.Context, stripeID uint64, values [][]byte) error {
+	k, n := c.cfg.Code.K(), c.cfg.Code.N()
+	if len(values) != k {
+		return fmt.Errorf("core: WriteStripe needs %d blocks, got %d", k, len(values))
+	}
+	for i, v := range values {
+		if len(v) != c.cfg.BlockSize {
+			return fmt.Errorf("core: stripe block %d has %d bytes, want %d", i, len(v), c.cfg.BlockSize)
+		}
+	}
+	c.track(stripeID)
+	c.stats.StripeWrites.Add(1)
+	for attempt := 0; attempt < c.cfg.MaxWriteAttempts; attempt++ {
+		if attempt > 0 {
+			c.stats.WriteRestarts.Add(1)
+		}
+		done, err := c.writeStripeOnce(ctx, stripeID, values, k, n)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w (stripe %d, full-stripe write)", ErrWriteExhausted, stripeID)
+}
+
+// writeStripeOnce performs one swap-all-then-batch-add round. It
+// reports done=false when the whole operation must restart (e.g. a
+// recovery bumped the epoch underneath it).
+func (c *Client) writeStripeOnce(ctx context.Context, stripeID uint64, values [][]byte, k, n int) (bool, error) {
+	// --- parallel swaps on every data slot ---
+	type swapOut struct {
+		old   []byte
+		otid  proto.TID
+		epoch uint64
+		err   error
+	}
+	outs := make([]swapOut, k)
+	ntids := make([]proto.TID, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		ntids[i] = c.nextTID(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = c.swapWithRetry(ctx, stripeID, i, values[i], ntids[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range outs {
+		if outs[i].err != nil {
+			return false, outs[i].err
+		}
+	}
+	// All swaps must share an epoch; a mismatch means recovery ran in
+	// between, and the batch would be half-stale.
+	epoch := outs[0].epoch
+	for _, o := range outs[1:] {
+		if o.epoch != epoch {
+			return false, nil // restart
+		}
+	}
+
+	// --- combined deltas ---
+	raws := make([][]byte, k) // v_i XOR w_i
+	for i := range raws {
+		raw := make([]byte, c.cfg.BlockSize)
+		copy(raw, values[i])
+		gf.AddSlice(raw, outs[i].old)
+		raws[i] = raw
+	}
+	deltas := make([][]byte, 0, n-k)
+	for j := k; j < n; j++ {
+		d := make([]byte, c.cfg.BlockSize)
+		for i := 0; i < k; i++ {
+			gf.MulAddSlice(c.cfg.Code.Coef(j, i), d, raws[i])
+		}
+		deltas = append(deltas, d)
+	}
+	entries := make([]proto.BatchEntry, k)
+	for i := 0; i < k; i++ {
+		entries[i] = proto.BatchEntry{DataSlot: int32(i), NTID: ntids[i], OTID: outs[i].otid}
+	}
+
+	// --- batch-add loop over the redundant slots ---
+	todo := newSlotSet()
+	for j := k; j < n; j++ {
+		todo.add(j)
+	}
+	completed := newSlotSet()
+	orderRounds, rounds := 0, 0
+	for todo.size() > 0 {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		if rounds++; rounds > c.cfg.RecoveryPollLimit {
+			return false, nil
+		}
+		type result struct {
+			node  proto.StorageNode
+			reply *proto.BatchAddReply
+			err   error
+		}
+		slots := todo.sorted()
+		results := make([]result, len(slots))
+		var awg sync.WaitGroup
+		for idx, j := range slots {
+			awg.Add(1)
+			go func(idx, j int) {
+				defer awg.Done()
+				node, err := c.cfg.Resolver.Node(stripeID, j)
+				if err != nil {
+					results[idx] = result{err: err}
+					return
+				}
+				rep, err := node.BatchAdd(ctx, &proto.BatchAddReq{
+					Stripe: stripeID, Slot: int32(j),
+					Delta: deltas[j-k], Entries: entries, Epoch: epoch,
+				})
+				results[idx] = result{node: node, reply: rep, err: err}
+			}(idx, j)
+		}
+		awg.Wait()
+
+		retry := newSlotSet()
+		needRecovery := false
+		anyOrder := false
+		var blockers []int32
+		for idx, j := range slots {
+			res := results[idx]
+			if res.err != nil {
+				c.cfg.Resolver.ReportFailure(stripeID, j, res.node)
+				retry.add(j)
+				continue
+			}
+			r := res.reply
+			switch r.Status {
+			case proto.StatusOK:
+				completed.add(j)
+			case proto.StatusOrder:
+				anyOrder = true
+				retry.add(j)
+				blockers = append(blockers, r.Blockers...)
+			default:
+				if r.LockMode != proto.Unlocked && r.LockMode != proto.L0 {
+					retry.add(j)
+				}
+				// stale epoch at NORM+UNL: drop; restart below.
+			}
+			if r.LockMode == proto.Expired || (r.OpMode != proto.Norm && r.LockMode == proto.Unlocked) {
+				needRecovery = true
+			}
+		}
+		if anyOrder && orderRounds >= c.cfg.OrderRetryLimit {
+			needRecovery = true
+		}
+		if needRecovery {
+			c.StartRecovery(ctx, stripeID)
+		}
+		if anyOrder {
+			c.stats.OrderWaits.Add(1)
+			orderRounds++
+			// Resolve blocked slots via checktid at their data nodes:
+			// a GC answer clears that slot's ordering constraint; INIT
+			// means we lost the swap and must restart.
+			restart, err := c.resolveBatchBlockers(ctx, stripeID, entries, blockers)
+			if err != nil {
+				return false, err
+			}
+			if restart {
+				return false, nil
+			}
+		}
+		todo = retry
+		if todo.size() > 0 {
+			if err := c.pause(ctx); err != nil {
+				return false, err
+			}
+		}
+	}
+	if completed.size() != n-k {
+		return false, nil
+	}
+	for i := 0; i < k; i++ {
+		slots := newSlotSet(i)
+		for j := k; j < n; j++ {
+			slots.add(j)
+		}
+		c.recordGC(stripeID, ntids[i], slots)
+	}
+	return true, nil
+}
+
+// swapWithRetry is the Fig. 5 swap loop shared by WriteStripe.
+func (c *Client) swapWithRetry(ctx context.Context, stripeID uint64, i int, v []byte, ntid proto.TID) (out struct {
+	old   []byte
+	otid  proto.TID
+	epoch uint64
+	err   error
+}) {
+	// A stripe write's k swaps can straddle a recovery's lock grab: the
+	// already-swapped slots look like outstanding writes, and recovery
+	// waits its full poll budget before settling without them. The swap
+	// budget must exceed that, or the write gives up just before the
+	// system unwedges itself.
+	budget := 4 * c.cfg.RecoveryPollLimit
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			out.err = err
+			return out
+		}
+		if attempt > budget {
+			out.err = fmt.Errorf("%w: data slot %d unavailable", ErrWriteExhausted, i)
+			return out
+		}
+		node, err := c.cfg.Resolver.Node(stripeID, i)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		rep, err := node.Swap(ctx, &proto.SwapReq{Stripe: stripeID, Slot: int32(i), Value: v, NTID: ntid})
+		if err != nil {
+			c.cfg.Resolver.ReportFailure(stripeID, i, node)
+			if err := c.pause(ctx); err != nil {
+				out.err = err
+				return out
+			}
+			continue
+		}
+		if rep.OK {
+			out.old = rep.Block
+			out.otid = rep.OTID
+			out.epoch = rep.Epoch
+			return out
+		}
+		if rep.LockMode == proto.Unlocked || rep.LockMode == proto.Expired {
+			c.StartRecovery(ctx, stripeID)
+		}
+		if err := c.pause(ctx); err != nil {
+			out.err = err
+			return out
+		}
+	}
+}
+
+// resolveBatchBlockers runs checktid at the data node of every blocked
+// slot (Section 3.9 adapted to batches). A GC verdict clears that
+// entry's OTID in place; an INIT verdict (our own swap's tid is gone)
+// demands a restart.
+func (c *Client) resolveBatchBlockers(ctx context.Context, stripeID uint64, entries []proto.BatchEntry, blockers []int32) (restart bool, err error) {
+	seen := make(map[int32]bool, len(blockers))
+	for _, slot := range blockers {
+		if seen[slot] {
+			continue
+		}
+		seen[slot] = true
+		idx := int(slot)
+		if idx < 0 || idx >= len(entries) {
+			continue
+		}
+		node, nerr := c.cfg.Resolver.Node(stripeID, idx)
+		if nerr != nil {
+			return false, nerr
+		}
+		rep, cerr := node.CheckTID(ctx, &proto.CheckTIDReq{
+			Stripe: stripeID, Slot: slot,
+			NTID: entries[idx].NTID, OTID: entries[idx].OTID,
+		})
+		if cerr != nil {
+			c.cfg.Resolver.ReportFailure(stripeID, idx, node)
+			return true, nil // data node lost: restart
+		}
+		switch rep.Status {
+		case proto.StatusGC:
+			entries[idx].OTID = proto.TID{}
+		case proto.StatusInit:
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,262 @@
+package core_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"ecstore/internal/cluster"
+	"ecstore/internal/core"
+	"ecstore/internal/proto"
+	"ecstore/internal/transport"
+)
+
+func stripeValues(k int, base uint64) [][]byte {
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = val(base + uint64(i))
+	}
+	return out
+}
+
+func TestWriteStripeRoundTrip(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 3, N: 5})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	vals := stripeValues(3, 100)
+	if err := cl.WriteStripe(ctx, 4, vals); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := cl.ReadBlock(ctx, 4, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, vals[i]) {
+			t.Fatalf("slot %d mismatch", i)
+		}
+	}
+	mustVerify(t, c, 4)
+	if cl.Stats().StripeWrites.Load() != 1 {
+		t.Fatal("stripe write not counted")
+	}
+}
+
+func TestWriteStripeOverwrites(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	// Per-block writes first, then a stripe write on top, then
+	// per-block again: the delta paths must compose.
+	if err := cl.WriteBlock(ctx, 0, 0, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WriteStripe(ctx, 0, stripeValues(2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WriteBlock(ctx, 0, 1, val(30)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := cl.ReadBlock(ctx, 0, 0)
+	if !bytes.Equal(got, val(10)) {
+		t.Fatal("slot 0 lost the stripe write")
+	}
+	got, _ = cl.ReadBlock(ctx, 0, 1)
+	if !bytes.Equal(got, val(30)) {
+		t.Fatal("slot 1 lost the follow-up write")
+	}
+	mustVerify(t, c, 0)
+}
+
+func TestWriteStripeValidation(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteStripe(ctx, 0, stripeValues(3, 1)); err == nil {
+		t.Error("wrong block count accepted")
+	}
+	bad := stripeValues(2, 1)
+	bad[1] = []byte{1, 2, 3}
+	if err := cl.WriteStripe(ctx, 0, bad); err == nil {
+		t.Error("wrong block size accepted")
+	}
+}
+
+func TestWriteStripeMessageCount(t *testing.T) {
+	// The whole point: 2(k+p) messages instead of 2k(p+1).
+	ctr := &transport.Counters{}
+	c := testCluster(t, cluster.Options{K: 3, N: 5, WrapNode: func(phys int, n proto.StorageNode) proto.StorageNode {
+		return transport.NewCounting(n, ctr)
+	}})
+	ctx := ctxT(t)
+	if err := c.Clients[0].WriteStripe(ctx, 0, stripeValues(3, 50)); err != nil {
+		t.Fatal(err)
+	}
+	msgs := ctr.Swap.Messages.Load() + ctr.BatchAdd.Messages.Load()
+	want := uint64(2 * (3 + 2)) // 2(k+p) = 10, vs 2k(p+1) = 18 per-block
+	if msgs != want {
+		t.Fatalf("stripe write used %d messages, want %d", msgs, want)
+	}
+}
+
+func TestWriteStripeConcurrentWithBlockWrites(t *testing.T) {
+	// A stripe writer racing per-block writers on the same stripe: the
+	// otid chains order each slot, and the stripe must stay consistent.
+	c := testCluster(t, cluster.Options{K: 2, N: 4, Clients: 2})
+	ctx := ctxT(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 15; r++ {
+			if err := c.Clients[0].WriteStripe(ctx, 0, stripeValues(2, uint64(1000+10*r))); err != nil {
+				errs[0] = err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 15; r++ {
+			if err := c.Clients[1].WriteBlock(ctx, 0, r%2, val(uint64(5000+r))); err != nil {
+				errs[1] = err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	mustVerify(t, c, 0)
+}
+
+func TestWriteStripeConcurrentStripeWriters(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4, Clients: 2})
+	ctx := ctxT(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 15; r++ {
+				if err := c.Clients[w].WriteStripe(ctx, 0, stripeValues(2, uint64((w+1)*1000+10*r))); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	mustVerify(t, c, 0)
+}
+
+func TestWriteStripeAfterCrashRecovers(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteStripe(ctx, 0, stripeValues(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashNodeForStripeSlot(0, 3) // redundant node
+	if err := cl.WriteStripe(ctx, 0, stripeValues(2, 20)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := cl.ReadBlock(ctx, 0, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, val(uint64(20+i))) {
+			t.Fatalf("slot %d lost across crash", i)
+		}
+	}
+	mustVerify(t, c, 0)
+}
+
+func TestWriteStripeOrderedAfterPartialWrite(t *testing.T) {
+	// A crashed predecessor left a swap-only partial write on slot 0:
+	// the stripe write's batch gets ORDER, tires, forces recovery, and
+	// completes after a restart.
+	c := testCluster(t, cluster.Options{K: 2, N: 4, Clients: 2, ClientTweak: tweakOrderLimit})
+	ctx := ctxT(t)
+	if err := c.Clients[0].WriteBlock(ctx, 0, 0, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	partialWrite(t, c, 0, 0, val(2), 99)
+	b := c.Clients[1]
+	if err := b.WriteStripe(ctx, 0, stripeValues(2, 70)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(70)) {
+		t.Fatal("stripe write lost")
+	}
+	if b.Stats().OrderWaits.Load() == 0 {
+		t.Fatal("batch never hit the ORDER path")
+	}
+	mustVerify(t, c, 0)
+}
+
+func TestBatchAddStorageSemantics(t *testing.T) {
+	// Direct storage-level checks for the batch operation.
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	node, _ := c.Dir.Node(0, 2)
+	delta := val(3)
+	entries := []proto.BatchEntry{
+		{DataSlot: 0, NTID: proto.TID{Seq: 1, Block: 0, Client: 9}},
+		{DataSlot: 1, NTID: proto.TID{Seq: 2, Block: 1, Client: 9}},
+	}
+	rep, err := node.BatchAdd(ctx, &proto.BatchAddReq{Stripe: 0, Slot: 2, Delta: delta, Entries: entries})
+	if err != nil || rep.Status != proto.StatusOK {
+		t.Fatalf("batch add: %v %+v", err, rep)
+	}
+	// Duplicate delivery: acknowledged, not re-applied.
+	rep, err = node.BatchAdd(ctx, &proto.BatchAddReq{Stripe: 0, Slot: 2, Delta: delta, Entries: entries})
+	if err != nil || rep.Status != proto.StatusOK {
+		t.Fatalf("duplicate batch: %v %+v", err, rep)
+	}
+	st, _ := node.GetState(ctx, &proto.GetStateReq{Stripe: 0, Slot: 2})
+	if !bytes.Equal(st.Block, delta) {
+		t.Fatal("duplicate batch re-applied the delta")
+	}
+	if len(st.RecentList) != 2 {
+		t.Fatalf("recentlist = %d entries, want 2", len(st.RecentList))
+	}
+	// Ordering: a batch blocked on an unseen otid reports the blocker.
+	blocked := []proto.BatchEntry{
+		{DataSlot: 0, NTID: proto.TID{Seq: 5, Block: 0, Client: 9}, OTID: proto.TID{Seq: 4, Block: 0, Client: 8}},
+		{DataSlot: 1, NTID: proto.TID{Seq: 6, Block: 1, Client: 9}},
+	}
+	rep, err = node.BatchAdd(ctx, &proto.BatchAddReq{Stripe: 0, Slot: 2, Delta: delta, Entries: blocked})
+	if err != nil || rep.Status != proto.StatusOrder {
+		t.Fatalf("blocked batch: %v %+v", err, rep)
+	}
+	if len(rep.Blockers) != 1 || rep.Blockers[0] != 0 {
+		t.Fatalf("blockers = %v, want [0]", rep.Blockers)
+	}
+	// Nothing applied, nothing recorded.
+	st, _ = node.GetState(ctx, &proto.GetStateReq{Stripe: 0, Slot: 2})
+	if len(st.RecentList) != 2 {
+		t.Fatal("blocked batch mutated the recentlist")
+	}
+	// Empty batches are a caller bug.
+	if _, err := node.BatchAdd(ctx, &proto.BatchAddReq{Stripe: 0, Slot: 2, Delta: delta}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func tweakOrderLimit(cfg *core.Config) { cfg.OrderRetryLimit = 2 }

@@ -1,0 +1,107 @@
+// Package directory implements the node-remap mechanism of Section
+// 3.5: clients address logical storage nodes; when a node fails, the
+// directory points the logical identity at a fresh replacement node
+// whose slots start in INIT mode. The protocol's recovery path then
+// reconstructs the lost blocks onto it.
+package directory
+
+import (
+	"fmt"
+	"sync"
+
+	"ecstore/internal/proto"
+	"ecstore/internal/stripe"
+)
+
+// Replacer provisions a replacement storage node for a failed physical
+// index. Implementations typically return a fresh storage.Node with
+// Replacement set (INIT slots), wrapped in the deployment's transport.
+// Returning nil means no replacement is available yet; the directory
+// keeps the old (dead) mapping and clients keep failing until a
+// replacement appears.
+type Replacer func(phys int) proto.StorageNode
+
+// Service is a thread-safe directory of physical node handles with
+// failure-triggered remapping. It also fixes the stripe layout so that
+// clients resolve (stripe, slot) pairs in one call.
+type Service struct {
+	layout stripe.Layout
+
+	mu       sync.RWMutex
+	nodes    []proto.StorageNode
+	remaps   []int // remap count per physical index
+	replacer Replacer
+}
+
+// New builds a directory over the given physical nodes. The node count
+// must match the layout's n.
+func New(layout stripe.Layout, nodes []proto.StorageNode, replacer Replacer) (*Service, error) {
+	if len(nodes) != layout.N() {
+		return nil, fmt.Errorf("directory: %d nodes for layout with n=%d", len(nodes), layout.N())
+	}
+	for i, n := range nodes {
+		if n == nil {
+			return nil, fmt.Errorf("directory: node %d is nil", i)
+		}
+	}
+	return &Service{
+		layout:   layout,
+		nodes:    append([]proto.StorageNode(nil), nodes...),
+		remaps:   make([]int, len(nodes)),
+		replacer: replacer,
+	}, nil
+}
+
+// Layout returns the stripe layout the directory serves.
+func (s *Service) Layout() stripe.Layout { return s.layout }
+
+// Node resolves the storage node currently serving the given stripe
+// slot.
+func (s *Service) Node(stripeID uint64, slot int) (proto.StorageNode, error) {
+	phys := s.layout.PhysicalNode(stripeID, slot)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nodes[phys], nil
+}
+
+// Physical resolves a node by physical index (used by monitoring).
+func (s *Service) Physical(phys int) proto.StorageNode {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nodes[phys]
+}
+
+// ReportFailure tells the directory that `seen` — the handle the
+// caller was using for this stripe slot — appears to have failed. If
+// the directory still maps that handle and a replacer is configured,
+// the logical identity is remapped to a fresh node. The comparison
+// against `seen` makes concurrent reports idempotent: only the first
+// one remaps.
+func (s *Service) ReportFailure(stripeID uint64, slot int, seen proto.StorageNode) {
+	phys := s.layout.PhysicalNode(stripeID, slot)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nodes[phys] != seen || s.replacer == nil {
+		return
+	}
+	if repl := s.replacer(phys); repl != nil {
+		s.nodes[phys] = repl
+		s.remaps[phys]++
+	}
+}
+
+// RemapCount returns how many times a physical index was remapped.
+func (s *Service) RemapCount(phys int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.remaps[phys]
+}
+
+// ReplaceNode force-installs a node at a physical index (test and
+// administrative use).
+func (s *Service) ReplaceNode(phys int, n proto.StorageNode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nodes[phys] = n
+	s.remaps[phys]++
+}

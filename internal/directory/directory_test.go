@@ -1,0 +1,192 @@
+package directory
+
+import (
+	"sync"
+	"testing"
+
+	"ecstore/internal/proto"
+	"ecstore/internal/storage"
+	"ecstore/internal/stripe"
+)
+
+func newNodes(t *testing.T, n int) []proto.StorageNode {
+	t.Helper()
+	out := make([]proto.StorageNode, n)
+	for i := range out {
+		out[i] = storage.MustNew(storage.Options{ID: "d", BlockSize: 64})
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	layout := stripe.MustLayout(2, 4)
+	if _, err := New(layout, newNodes(t, 3), nil); err == nil {
+		t.Error("wrong node count accepted")
+	}
+	nodes := newNodes(t, 4)
+	nodes[2] = nil
+	if _, err := New(layout, nodes, nil); err == nil {
+		t.Error("nil node accepted")
+	}
+	if _, err := New(layout, newNodes(t, 4), nil); err != nil {
+		t.Errorf("valid directory rejected: %v", err)
+	}
+}
+
+func TestNodeResolvesThroughRotation(t *testing.T) {
+	layout := stripe.MustLayout(2, 4)
+	nodes := newNodes(t, 4)
+	d, err := New(layout, nodes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := uint64(0); s < 8; s++ {
+		for slot := 0; slot < 4; slot++ {
+			got, err := d.Node(s, slot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := nodes[layout.PhysicalNode(s, slot)]
+			if got != want {
+				t.Fatalf("stripe %d slot %d resolved to the wrong node", s, slot)
+			}
+		}
+	}
+}
+
+func TestReportFailureRemaps(t *testing.T) {
+	layout := stripe.MustLayout(2, 4)
+	nodes := newNodes(t, 4)
+	replacements := 0
+	repl := storage.MustNew(storage.Options{ID: "repl", BlockSize: 64, Replacement: true})
+	d, err := New(layout, nodes, func(phys int) proto.StorageNode {
+		replacements++
+		return repl
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, _ := d.Node(0, 1)
+	d.ReportFailure(0, 1, old)
+	got, _ := d.Node(0, 1)
+	if got != repl {
+		t.Fatal("failure report did not remap")
+	}
+	if replacements != 1 {
+		t.Fatalf("replacer called %d times", replacements)
+	}
+	phys := layout.PhysicalNode(0, 1)
+	if d.RemapCount(phys) != 1 {
+		t.Fatalf("remap count = %d", d.RemapCount(phys))
+	}
+}
+
+func TestReportFailureIdempotent(t *testing.T) {
+	// A stale report (the handle was already replaced) must not remap
+	// again.
+	layout := stripe.MustLayout(2, 4)
+	nodes := newNodes(t, 4)
+	calls := 0
+	d, err := New(layout, nodes, func(phys int) proto.StorageNode {
+		calls++
+		return storage.MustNew(storage.Options{ID: "repl", BlockSize: 64, Replacement: true})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, _ := d.Node(0, 0)
+	d.ReportFailure(0, 0, old)
+	d.ReportFailure(0, 0, old) // stale: current mapping is the replacement
+	if calls != 1 {
+		t.Fatalf("replacer called %d times, want 1", calls)
+	}
+}
+
+func TestReportFailureNoReplacer(t *testing.T) {
+	layout := stripe.MustLayout(2, 4)
+	nodes := newNodes(t, 4)
+	d, err := New(layout, nodes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, _ := d.Node(0, 0)
+	d.ReportFailure(0, 0, old) // must be a no-op, not a panic
+	got, _ := d.Node(0, 0)
+	if got != old {
+		t.Fatal("mapping changed with no replacer")
+	}
+}
+
+func TestReplacerReturningNilKeepsMapping(t *testing.T) {
+	layout := stripe.MustLayout(2, 4)
+	nodes := newNodes(t, 4)
+	d, err := New(layout, nodes, func(phys int) proto.StorageNode { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, _ := d.Node(0, 0)
+	d.ReportFailure(0, 0, old)
+	got, _ := d.Node(0, 0)
+	if got != old {
+		t.Fatal("nil replacement changed the mapping")
+	}
+	if d.RemapCount(layout.PhysicalNode(0, 0)) != 0 {
+		t.Fatal("nil replacement counted as a remap")
+	}
+}
+
+func TestReplaceNodeForce(t *testing.T) {
+	layout := stripe.MustLayout(2, 4)
+	d, err := New(layout, newNodes(t, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl := storage.MustNew(storage.Options{ID: "forced", BlockSize: 64})
+	d.ReplaceNode(2, repl)
+	if d.Physical(2) != repl {
+		t.Fatal("ReplaceNode did not install the node")
+	}
+	if d.RemapCount(2) != 1 {
+		t.Fatal("forced replacement not counted")
+	}
+}
+
+func TestLayoutAccessor(t *testing.T) {
+	layout := stripe.MustLayout(3, 5)
+	d, err := New(layout, newNodes(t, 5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Layout().K() != 3 || d.Layout().N() != 5 {
+		t.Fatal("Layout accessor mismatch")
+	}
+}
+
+func TestConcurrentReportsRaceSafely(t *testing.T) {
+	layout := stripe.MustLayout(2, 4)
+	nodes := newNodes(t, 4)
+	var calls int
+	var mu sync.Mutex
+	d, err := New(layout, nodes, func(phys int) proto.StorageNode {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return storage.MustNew(storage.Options{ID: "r", BlockSize: 64, Replacement: true})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, _ := d.Node(0, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.ReportFailure(0, 0, old)
+		}()
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("replacer called %d times under concurrent reports, want 1", calls)
+	}
+}

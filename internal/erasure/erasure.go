@@ -1,0 +1,316 @@
+// Package erasure implements systematic k-of-n maximum distance
+// separable (MDS) Reed-Solomon codes over GF(2^8).
+//
+// A stripe consists of k data blocks b_1..b_k and p = n-k redundant
+// blocks b_{k+1}..b_n, where each redundant block is a linear
+// combination b_j = sum_i alpha_ji * b_i. Any k blocks of a stripe
+// reconstruct all n.
+//
+// Because the code is linear over a characteristic-2 field, a data
+// block can be updated in place: when block i changes from w to v,
+// each redundant block j changes by alpha_ji * (v XOR w). This is the
+// property the distributed protocol in internal/core exploits — the
+// paper's swap/add write path never reads the other data blocks.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+
+	"ecstore/internal/gf"
+)
+
+// MaxShards bounds n; GF(2^8) Vandermonde construction admits at most
+// 256 distinct evaluation points.
+const MaxShards = 256
+
+var (
+	// ErrShort is returned when fewer than k blocks are available for
+	// reconstruction.
+	ErrShort = errors.New("erasure: not enough blocks to reconstruct")
+	// ErrShape is returned when block counts or lengths do not match
+	// the code parameters.
+	ErrShape = errors.New("erasure: block shape mismatch")
+)
+
+// Code is a systematic k-of-n Reed-Solomon code. It is immutable after
+// construction and safe for concurrent use.
+type Code struct {
+	k int
+	n int
+	// gen is the n-by-k generator matrix. The top k rows form the
+	// identity (the code is systematic); row j >= k holds the
+	// coefficients alpha_j* of redundant block j.
+	gen *gf.Matrix
+}
+
+// New constructs a systematic k-of-n code. It requires 1 <= k < n <=
+// MaxShards. The paper's protocol additionally assumes k >= 2 and
+// n-k <= k for its resiliency theorems, but the code itself does not.
+func New(k, n int) (*Code, error) {
+	if k < 1 || n <= k || n > MaxShards {
+		return nil, fmt.Errorf("erasure: invalid parameters k=%d n=%d", k, n)
+	}
+	// Build an n-by-k Vandermonde matrix and normalize its top k rows
+	// to the identity by right-multiplying with the inverse of the top
+	// square. Row selections of the result remain invertible, so the
+	// MDS property is preserved and the code becomes systematic.
+	v := gf.VandermondeMatrix(n, k)
+	top := v.SubMatrix(seq(0, k))
+	topInv, err := top.Invert()
+	if err != nil {
+		// Cannot happen: any k rows of a Vandermonde matrix over
+		// distinct points are linearly independent.
+		return nil, fmt.Errorf("erasure: vandermonde top square singular: %w", err)
+	}
+	return &Code{k: k, n: n, gen: v.Mul(topInv)}, nil
+}
+
+// Must is New for static configurations; it panics on invalid
+// parameters.
+func Must(k, n int) *Code {
+	c, err := New(k, n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// K returns the number of data blocks per stripe.
+func (c *Code) K() int { return c.k }
+
+// N returns the total number of blocks per stripe.
+func (c *Code) N() int { return c.n }
+
+// P returns the number of redundant blocks per stripe, n-k.
+func (c *Code) P() int { return c.n - c.k }
+
+// Coef returns alpha_ji, the generator coefficient applied to data
+// block i (0-based, i < k) in redundant block j (0-based, k <= j < n).
+func (c *Code) Coef(j, i int) byte {
+	if j < c.k || j >= c.n || i < 0 || i >= c.k {
+		panic(fmt.Sprintf("erasure: Coef(%d, %d) out of range for %d-of-%d", j, i, c.k, c.n))
+	}
+	return c.gen.At(j, i)
+}
+
+// String describes the code, e.g. "RS(3,5)".
+func (c *Code) String() string { return fmt.Sprintf("RS(%d,%d)", c.k, c.n) }
+
+// Encode computes the p redundant blocks for the given k data blocks.
+// All data blocks must share a length; the returned blocks have the
+// same length. This is the "full encode" used by recovery, not by the
+// common-case write path.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if err := c.checkBlocks(data, c.k); err != nil {
+		return nil, err
+	}
+	blockLen := len(data[0])
+	parity := make([][]byte, c.P())
+	for j := range parity {
+		parity[j] = make([]byte, blockLen)
+	}
+	c.EncodeInto(parity, data)
+	return parity, nil
+}
+
+// EncodeInto computes redundant blocks into caller-provided storage.
+// parity must hold P() blocks of the same length as the data blocks.
+func (c *Code) EncodeInto(parity, data [][]byte) {
+	for j := 0; j < c.P(); j++ {
+		row := c.gen.Row(c.k + j)
+		clear(parity[j])
+		for i := 0; i < c.k; i++ {
+			gf.MulAddSlice(row[i], parity[j], data[i])
+		}
+	}
+}
+
+// EncodeStripe returns the full stripe (data followed by parity) for
+// the given data blocks. Data blocks are copied, so mutating the
+// result does not alias the input.
+func (c *Code) EncodeStripe(data [][]byte) ([][]byte, error) {
+	parity, err := c.Encode(data)
+	if err != nil {
+		return nil, err
+	}
+	stripe := make([][]byte, 0, c.n)
+	for _, d := range data {
+		stripe = append(stripe, append([]byte(nil), d...))
+	}
+	return append(stripe, parity...), nil
+}
+
+// Delta returns alpha_ji * (v XOR w): the quantity a writer adds to
+// redundant block j when data block i changes from w to v. v and w
+// must share a length.
+func (c *Code) Delta(j, i int, v, w []byte) []byte {
+	if len(v) != len(w) {
+		panic("erasure: Delta length mismatch")
+	}
+	d := make([]byte, len(v))
+	copy(d, v)
+	gf.AddSlice(d, w) // v - w (XOR)
+	gf.MulSlice(c.Coef(j, i), d, d)
+	return d
+}
+
+// RawDelta returns v XOR w, the un-multiplied delta a writer broadcasts
+// when storage nodes apply the coefficient themselves (AJX-bcast).
+func RawDelta(v, w []byte) []byte {
+	if len(v) != len(w) {
+		panic("erasure: RawDelta length mismatch")
+	}
+	d := make([]byte, len(v))
+	copy(d, v)
+	gf.AddSlice(d, w)
+	return d
+}
+
+// Reconstruct rebuilds the complete stripe from any k available
+// blocks. stripe must have length n; present blocks are identified by
+// non-nil entries and must share a length. Missing entries are filled
+// in place (fresh slices are allocated for them). It returns ErrShort
+// when fewer than k blocks are present.
+func (c *Code) Reconstruct(stripe [][]byte) error {
+	if len(stripe) != c.n {
+		return fmt.Errorf("%w: got %d blocks, want n=%d", ErrShape, len(stripe), c.n)
+	}
+	avail := make([]int, 0, c.k)
+	blockLen := -1
+	for idx, b := range stripe {
+		if b == nil {
+			continue
+		}
+		if blockLen == -1 {
+			blockLen = len(b)
+		} else if len(b) != blockLen {
+			return fmt.Errorf("%w: block %d has length %d, want %d", ErrShape, idx, len(b), blockLen)
+		}
+		if len(avail) < c.k {
+			avail = append(avail, idx)
+		}
+	}
+	if len(avail) < c.k {
+		return fmt.Errorf("%w: have %d, need %d", ErrShort, len(avail), c.k)
+	}
+
+	data, err := c.decodeData(stripe, avail, blockLen)
+	if err != nil {
+		return err
+	}
+	// Fill in every missing block from the recovered data blocks.
+	for idx := range stripe {
+		if stripe[idx] != nil {
+			continue
+		}
+		if idx < c.k {
+			stripe[idx] = data[idx]
+			continue
+		}
+		out := make([]byte, blockLen)
+		row := c.gen.Row(idx)
+		for i := 0; i < c.k; i++ {
+			gf.MulAddSlice(row[i], out, data[i])
+		}
+		stripe[idx] = out
+	}
+	return nil
+}
+
+// DecodeData recovers the k data blocks from any k available blocks of
+// a stripe. stripe must have length n with nil marking missing blocks.
+// The returned slices never alias the input.
+func (c *Code) DecodeData(stripe [][]byte) ([][]byte, error) {
+	if len(stripe) != c.n {
+		return nil, fmt.Errorf("%w: got %d blocks, want n=%d", ErrShape, len(stripe), c.n)
+	}
+	avail := make([]int, 0, c.k)
+	blockLen := -1
+	for idx, b := range stripe {
+		if b == nil {
+			continue
+		}
+		if blockLen == -1 {
+			blockLen = len(b)
+		} else if len(b) != blockLen {
+			return nil, fmt.Errorf("%w: block %d has length %d, want %d", ErrShape, idx, len(b), blockLen)
+		}
+		if len(avail) < c.k {
+			avail = append(avail, idx)
+		}
+	}
+	if len(avail) < c.k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrShort, len(avail), c.k)
+	}
+	return c.decodeData(stripe, avail, blockLen)
+}
+
+// decodeData solves for the data blocks using the k rows named by
+// avail. It always allocates fresh output blocks.
+func (c *Code) decodeData(stripe [][]byte, avail []int, blockLen int) ([][]byte, error) {
+	sub := c.gen.SubMatrix(avail)
+	dec, err := sub.Invert()
+	if err != nil {
+		// Cannot happen for a correctly constructed MDS code.
+		return nil, fmt.Errorf("erasure: decode submatrix singular: %w", err)
+	}
+	in := make([][]byte, c.k)
+	for i, idx := range avail {
+		in[i] = stripe[idx]
+	}
+	data := make([][]byte, c.k)
+	for i := range data {
+		data[i] = make([]byte, blockLen)
+	}
+	dec.MulVec(data, in)
+	return data, nil
+}
+
+// Verify reports whether a complete stripe is internally consistent:
+// every redundant block equals the coded combination of the data
+// blocks. It is used by tests and by the recovery audit path.
+func (c *Code) Verify(stripe [][]byte) (bool, error) {
+	if err := c.checkBlocks(stripe, c.n); err != nil {
+		return false, err
+	}
+	blockLen := len(stripe[0])
+	buf := make([]byte, blockLen)
+	for j := c.k; j < c.n; j++ {
+		row := c.gen.Row(j)
+		clear(buf)
+		for i := 0; i < c.k; i++ {
+			gf.MulAddSlice(row[i], buf, stripe[i])
+		}
+		for b := range buf {
+			if buf[b] != stripe[j][b] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func (c *Code) checkBlocks(blocks [][]byte, want int) error {
+	if len(blocks) != want {
+		return fmt.Errorf("%w: got %d blocks, want %d", ErrShape, len(blocks), want)
+	}
+	blockLen := len(blocks[0])
+	for i, b := range blocks {
+		if b == nil {
+			return fmt.Errorf("%w: block %d is nil", ErrShape, i)
+		}
+		if len(b) != blockLen {
+			return fmt.Errorf("%w: block %d has length %d, want %d", ErrShape, i, len(b), blockLen)
+		}
+	}
+	return nil
+}
+
+func seq(lo, hi int) []int {
+	s := make([]int, hi-lo)
+	for i := range s {
+		s[i] = lo + i
+	}
+	return s
+}

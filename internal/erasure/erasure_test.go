@@ -1,0 +1,462 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecstore/internal/gf"
+)
+
+func randBlocks(rng *rand.Rand, count, blockLen int) [][]byte {
+	blocks := make([][]byte, count)
+	for i := range blocks {
+		blocks[i] = make([]byte, blockLen)
+		rng.Read(blocks[i])
+	}
+	return blocks
+}
+
+func TestNewParameterValidation(t *testing.T) {
+	tests := []struct {
+		k, n   int
+		wantOK bool
+	}{
+		{2, 4, true},
+		{1, 2, true},
+		{16, 32, true},
+		{255, 256, true},
+		{0, 4, false},
+		{4, 4, false},
+		{5, 4, false},
+		{2, 257, false},
+		{-1, 3, false},
+	}
+	for _, tt := range tests {
+		_, err := New(tt.k, tt.n)
+		if (err == nil) != tt.wantOK {
+			t.Errorf("New(%d, %d): err = %v, wantOK %v", tt.k, tt.n, err, tt.wantOK)
+		}
+	}
+}
+
+func TestMustPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Must(4, 4) did not panic")
+		}
+	}()
+	Must(4, 4)
+}
+
+func TestAccessors(t *testing.T) {
+	c := Must(3, 5)
+	if c.K() != 3 || c.N() != 5 || c.P() != 2 {
+		t.Fatalf("K/N/P = %d/%d/%d, want 3/5/2", c.K(), c.N(), c.P())
+	}
+	if c.String() != "RS(3,5)" {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
+
+func TestSystematicIdentity(t *testing.T) {
+	// Data blocks must pass through unchanged: encoding must not alter
+	// them, and reconstruction with all data present returns them.
+	c := Must(4, 7)
+	rng := rand.New(rand.NewSource(11))
+	data := randBlocks(rng, 4, 128)
+	stripe, err := c.EncodeStripe(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(stripe[i], data[i]) {
+			t.Fatalf("systematic property violated at block %d", i)
+		}
+	}
+	ok, err := c.Verify(stripe)
+	if err != nil || !ok {
+		t.Fatalf("Verify = %v, %v; want true, nil", ok, err)
+	}
+}
+
+func TestReconstructFromEverySubset(t *testing.T) {
+	// For a small code, erase every possible subset of n-k blocks and
+	// confirm full reconstruction. This is the MDS property end to end.
+	c := Must(3, 6)
+	rng := rand.New(rand.NewSource(5))
+	data := randBlocks(rng, 3, 64)
+	orig, err := c.EncodeStripe(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.N()
+	// Iterate over all bitmasks with exactly p bits set.
+	for mask := 0; mask < 1<<n; mask++ {
+		if popcount(mask) != c.P() {
+			continue
+		}
+		stripe := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				stripe[i] = append([]byte(nil), orig[i]...)
+			}
+		}
+		if err := c.Reconstruct(stripe); err != nil {
+			t.Fatalf("mask %b: %v", mask, err)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(stripe[i], orig[i]) {
+				t.Fatalf("mask %b: block %d mismatch", mask, i)
+			}
+		}
+	}
+}
+
+func TestReconstructTooFewBlocks(t *testing.T) {
+	c := Must(3, 5)
+	stripe := make([][]byte, 5)
+	stripe[0] = make([]byte, 16)
+	stripe[1] = make([]byte, 16)
+	if err := c.Reconstruct(stripe); !errors.Is(err, ErrShort) {
+		t.Fatalf("err = %v, want ErrShort", err)
+	}
+}
+
+func TestReconstructShapeErrors(t *testing.T) {
+	c := Must(2, 4)
+	if err := c.Reconstruct(make([][]byte, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("wrong stripe length: err = %v, want ErrShape", err)
+	}
+	stripe := [][]byte{make([]byte, 8), make([]byte, 16), nil, nil}
+	if err := c.Reconstruct(stripe); !errors.Is(err, ErrShape) {
+		t.Fatalf("mismatched block lengths: err = %v, want ErrShape", err)
+	}
+}
+
+func TestDecodeData(t *testing.T) {
+	c := Must(4, 6)
+	rng := rand.New(rand.NewSource(9))
+	data := randBlocks(rng, 4, 100)
+	stripe, _ := c.EncodeStripe(data)
+	// Remove two data blocks; decode from the rest.
+	stripe[0] = nil
+	stripe[2] = nil
+	got, err := c.DecodeData(stripe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(got[i], data[i]) {
+			t.Fatalf("data block %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeDataErrors(t *testing.T) {
+	c := Must(2, 4)
+	if _, err := c.DecodeData(make([][]byte, 2)); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+	stripe := make([][]byte, 4)
+	stripe[3] = make([]byte, 8)
+	if _, err := c.DecodeData(stripe); !errors.Is(err, ErrShort) {
+		t.Fatalf("err = %v, want ErrShort", err)
+	}
+	stripe[2] = make([]byte, 9)
+	if _, err := c.DecodeData(stripe); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestDeltaUpdateEquivalentToReencode(t *testing.T) {
+	// The heart of the protocol: updating redundant blocks with
+	// alpha*(v-w) deltas must produce exactly the stripe obtained by
+	// re-encoding the new data. Checked across codes and block indices.
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][2]int{{2, 4}, {3, 5}, {5, 7}, {8, 12}} {
+		c := Must(dims[0], dims[1])
+		data := randBlocks(rng, c.K(), 256)
+		stripe, _ := c.EncodeStripe(data)
+		for i := 0; i < c.K(); i++ {
+			v := make([]byte, 256)
+			rng.Read(v)
+			w := stripe[i]
+			for j := c.K(); j < c.N(); j++ {
+				gf.AddSlice(stripe[j], c.Delta(j, i, v, w))
+			}
+			stripe[i] = v
+			data[i] = v
+			want, _ := c.Encode(data)
+			for j := c.K(); j < c.N(); j++ {
+				if !bytes.Equal(stripe[j], want[j-c.K()]) {
+					t.Fatalf("%s: delta update of block %d diverged at redundant %d", c, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestConcurrentDeltaOrderIndependence(t *testing.T) {
+	// Fig. 3(C) of the paper: two writers updating different data
+	// blocks may interleave their adds in any order, and the stripe
+	// still converges to the encode of the final data. XOR commutes,
+	// so order must not matter.
+	c := Must(2, 4)
+	rng := rand.New(rand.NewSource(21))
+	data := randBlocks(rng, 2, 32)
+	stripe, _ := c.EncodeStripe(data)
+	v0 := make([]byte, 32)
+	v1 := make([]byte, 32)
+	rng.Read(v0)
+	rng.Read(v1)
+	d0j2 := c.Delta(2, 0, v0, stripe[0])
+	d0j3 := c.Delta(3, 0, v0, stripe[0])
+	d1j2 := c.Delta(2, 1, v1, stripe[1])
+	d1j3 := c.Delta(3, 1, v1, stripe[1])
+
+	// Interleaving A: writer0 then writer1 on node 2; reversed on 3.
+	gf.AddSlice(stripe[2], d0j2)
+	gf.AddSlice(stripe[2], d1j2)
+	gf.AddSlice(stripe[3], d1j3)
+	gf.AddSlice(stripe[3], d0j3)
+	stripe[0], stripe[1] = v0, v1
+
+	want, _ := c.Encode([][]byte{v0, v1})
+	if !bytes.Equal(stripe[2], want[0]) || !bytes.Equal(stripe[3], want[1]) {
+		t.Fatal("interleaved deltas did not converge to re-encoded stripe")
+	}
+}
+
+func TestRawDelta(t *testing.T) {
+	v := []byte{1, 2, 3}
+	w := []byte{4, 5, 6}
+	d := RawDelta(v, w)
+	for i := range d {
+		if d[i] != v[i]^w[i] {
+			t.Fatal("RawDelta is not XOR")
+		}
+	}
+	// Node-side multiply must match client-side Delta.
+	c := Must(2, 4)
+	vb := make([]byte, 16)
+	wb := make([]byte, 16)
+	rand.New(rand.NewSource(2)).Read(vb)
+	raw := RawDelta(vb, wb)
+	scaled := make([]byte, 16)
+	gf.MulSlice(c.Coef(3, 1), scaled, raw)
+	if !bytes.Equal(scaled, c.Delta(3, 1, vb, wb)) {
+		t.Fatal("server-side multiply of RawDelta != client-side Delta")
+	}
+}
+
+func TestDeltaLengthMismatchPanics(t *testing.T) {
+	c := Must(2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Delta with mismatched lengths did not panic")
+		}
+	}()
+	c.Delta(2, 0, make([]byte, 4), make([]byte, 8))
+}
+
+func TestCoefRangePanics(t *testing.T) {
+	c := Must(2, 4)
+	for _, args := range [][2]int{{0, 0}, {1, 0}, {4, 0}, {2, -1}, {2, 2}} {
+		func() {
+			defer func() { recover() }()
+			c.Coef(args[0], args[1])
+			t.Errorf("Coef(%d, %d) did not panic", args[0], args[1])
+		}()
+	}
+	// Valid coefficients are non-zero for an MDS code.
+	for j := 2; j < 4; j++ {
+		for i := 0; i < 2; i++ {
+			if c.Coef(j, i) == 0 {
+				t.Errorf("Coef(%d, %d) = 0; MDS coefficients must be non-zero", j, i)
+			}
+		}
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	c := Must(3, 5)
+	rng := rand.New(rand.NewSource(13))
+	stripe, _ := c.EncodeStripe(randBlocks(rng, 3, 50))
+	ok, err := c.Verify(stripe)
+	if err != nil || !ok {
+		t.Fatalf("clean stripe: Verify = %v, %v", ok, err)
+	}
+	stripe[1][7] ^= 0x40
+	ok, err = c.Verify(stripe)
+	if err != nil || ok {
+		t.Fatalf("corrupt stripe: Verify = %v, %v; want false", ok, err)
+	}
+}
+
+func TestVerifyShapeError(t *testing.T) {
+	c := Must(2, 4)
+	if _, err := c.Verify(make([][]byte, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestEncodeShapeErrors(t *testing.T) {
+	c := Must(3, 5)
+	if _, err := c.Encode(make([][]byte, 2)); !errors.Is(err, ErrShape) {
+		t.Fatalf("wrong count: err = %v, want ErrShape", err)
+	}
+	blocks := [][]byte{make([]byte, 4), nil, make([]byte, 4)}
+	if _, err := c.Encode(blocks); !errors.Is(err, ErrShape) {
+		t.Fatalf("nil block: err = %v, want ErrShape", err)
+	}
+	blocks[1] = make([]byte, 5)
+	if _, err := c.Encode(blocks); !errors.Is(err, ErrShape) {
+		t.Fatalf("ragged blocks: err = %v, want ErrShape", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: for random data and a random erasure pattern of size
+	// <= p, reconstruction restores the original stripe exactly.
+	c := Must(5, 8)
+	cfg := &quick.Config{MaxCount: 40}
+	err := quick.Check(func(seed int64, eraseMask uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := randBlocks(rng, c.K(), 48)
+		orig, err := c.EncodeStripe(data)
+		if err != nil {
+			return false
+		}
+		stripe := make([][]byte, c.N())
+		erased := 0
+		for i := 0; i < c.N(); i++ {
+			if eraseMask&(1<<i) != 0 && erased < c.P() {
+				erased++
+				continue
+			}
+			stripe[i] = append([]byte(nil), orig[i]...)
+		}
+		if err := c.Reconstruct(stripe); err != nil {
+			return false
+		}
+		for i := range stripe {
+			if !bytes.Equal(stripe[i], orig[i]) {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeCodes(t *testing.T) {
+	// The paper evaluates codes up to n=32, k=16. Spot-check a large
+	// shape for correct reconstruction with maximal erasures.
+	c := Must(16, 32)
+	rng := rand.New(rand.NewSource(99))
+	data := randBlocks(rng, 16, 64)
+	orig, _ := c.EncodeStripe(data)
+	stripe := make([][]byte, 32)
+	for i := 16; i < 32; i++ { // erase all data blocks... keep parity only
+		stripe[i] = append([]byte(nil), orig[i]...)
+	}
+	if err := c.Reconstruct(stripe); err != nil {
+		t.Fatal(err)
+	}
+	for i := range stripe {
+		if !bytes.Equal(stripe[i], orig[i]) {
+			t.Fatalf("block %d mismatch", i)
+		}
+	}
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// TestDeltaPropertyRandomCodes drives the delta-update identity across
+// random code shapes, update slots, and block contents with
+// testing/quick: applying alpha*(v-w) to every redundant block always
+// re-establishes the codeword.
+func TestDeltaPropertyRandomCodes(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	err := quick.Check(func(seed int64, kRaw, nRaw, slotRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw%6) + 2     // 2..7
+		n := k + int(nRaw%4) + 1 // k+1..k+4
+		i := int(slotRaw) % k    // update slot
+		c, err := New(k, n)
+		if err != nil {
+			return false
+		}
+		data := randBlocks(rng, k, 40)
+		stripe, err := c.EncodeStripe(data)
+		if err != nil {
+			return false
+		}
+		v := make([]byte, 40)
+		rng.Read(v)
+		for j := k; j < n; j++ {
+			gf.AddSlice(stripe[j], c.Delta(j, i, v, stripe[i]))
+		}
+		stripe[i] = v
+		ok, err := c.Verify(stripe)
+		return err == nil && ok
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReconstructPropertyRandomErasures checks decode-from-any-k over
+// random shapes and random erasure patterns.
+func TestReconstructPropertyRandomErasures(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	err := quick.Check(func(seed int64, kRaw, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw%6) + 2
+		n := k + int(nRaw%4) + 1
+		c, err := New(k, n)
+		if err != nil {
+			return false
+		}
+		data := randBlocks(rng, k, 32)
+		orig, err := c.EncodeStripe(data)
+		if err != nil {
+			return false
+		}
+		// Erase a random subset of size p.
+		perm := rng.Perm(n)
+		erased := make(map[int]bool, n-k)
+		for _, idx := range perm[:n-k] {
+			erased[idx] = true
+		}
+		work := make([][]byte, n)
+		for idx := range orig {
+			if !erased[idx] {
+				work[idx] = append([]byte(nil), orig[idx]...)
+			}
+		}
+		if err := c.Reconstruct(work); err != nil {
+			return false
+		}
+		for idx := range orig {
+			if !bytes.Equal(work[idx], orig[idx]) {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"ecstore/internal/blockstore"
+	"ecstore/internal/core"
+	"ecstore/internal/resilience"
+	"ecstore/internal/sim"
+)
+
+// AblationHybrid quantifies the hybrid parallel-serial trade-off
+// (Theorem 3): sweeping the add-group size from 1 (serial) to p
+// (parallel) trades write latency against the client-crash tolerance
+// the serial discipline buys.
+func AblationHybrid(p SimParams) (*Table, error) {
+	const k, n, tp = 8, 16, 1
+	redundancy := n - k
+	t := &Table{
+		ID:    "ablation-hybrid",
+		Title: fmt.Sprintf("hybrid group-size ablation, %d-of-%d, tp=%d", k, n, tp),
+		Header: []string{
+			"group size", "write latency (RTs, analytic)", "avg latency (sim, us)",
+			"1-client MB/s (sim)", "theorem bound holds (r <= d_serial)",
+		},
+	}
+	dSerial := resilience.DSerial(redundancy, tp)
+	for _, group := range []int{1, 2, 4, 8} {
+		cfg := sim.DefaultConfig(k, n, p.BlockSize, 1, 1, sim.AJXHybrid, sim.RandomWrite)
+		cfg.Model.HybridGroup = group
+		cfg.Duration = p.Duration
+		lat, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfgT := cfg
+		cfgT.ThreadsPerClient = p.Threads
+		thr, err := sim.Run(cfgT)
+		if err != nil {
+			return nil, err
+		}
+		analytic := 1 + (redundancy+group-1)/group
+		holds := "yes"
+		if group > dSerial {
+			holds = fmt.Sprintf("no (d_serial=%d)", dSerial)
+		}
+		t.Rows = append(t.Rows, []string{
+			icell(group), icell(analytic), usCell(lat.AvgLatency),
+			fcell(thr.ThroughputMBps()), holds,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"group size 1 = AJX-ser (max client-crash tolerance), group size p = AJX-par (2-RT writes)",
+		"Theorem 3 requires group size <= d_serial to keep the serial failure bound")
+	return t, nil
+}
+
+// AblationBatchedStripeWrite compares sequential full-stripe writes
+// block-by-block against the batched path (Section 3.11 /
+// core.WriteStripe): k swaps + p combined deltas instead of k(p+1)
+// exchanges.
+func AblationBatchedStripeWrite(p SimParams) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-batch",
+		Title:  "sequential stripe writes: per-block vs batched parity deltas (MB/s)",
+		Header: []string{"code", "per-block, 1 client", "batched, 1 client", "per-block, 8 clients", "batched, 8 clients"},
+	}
+	for _, kn := range [][2]int{{4, 6}, {8, 10}, {8, 16}} {
+		row := []string{fmt.Sprintf("%d-of-%d", kn[0], kn[1])}
+		for _, clients := range []int{1, 8} {
+			per, err := runSim(kn[0], kn[1], clients, sim.AJXPar, sim.SequentialWrite, p)
+			if err != nil {
+				return nil, err
+			}
+			bat, err := runSim(kn[0], kn[1], clients, sim.AJXPar, sim.SequentialWriteBatched, p)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fcell(per.ThroughputMBps()), fcell(bat.ThroughputMBps()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"batching cuts a stripe's messages from 2k(p+1) to 2(k+p) and client parity upload from k*p to p blocks")
+	return t, nil
+}
+
+// AblationWriteBack measures the deferred-parity-flush optimization of
+// Section 3.11 at the block-persistence layer: how many disk writes a
+// sequential workload costs with and without write-back buffering.
+func AblationWriteBack(dir string, blockSize, stripes, k int) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-writeback",
+		Title:  fmt.Sprintf("deferred parity flush: disk writes for %d sequential stripe updates", stripes),
+		Header: []string{"write-back limit", "puts", "disk writes", "coalescing factor"},
+	}
+	for _, limit := range []int{0, 16, 256} {
+		store, _, err := blockstore.OpenFile(blockstore.FileOptions{
+			Dir:            fmt.Sprintf("%s/wb%d", dir, limit),
+			BlockSize:      blockSize,
+			WriteBackLimit: limit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// A sequential workload repeatedly updates the same parity
+		// block while streaming data blocks (the paper's scenario: a
+		// redundant block absorbs one delta per data-block write).
+		buf := make([]byte, blockSize)
+		for s := 0; s < stripes; s++ {
+			for i := 0; i < k; i++ {
+				buf[0] = byte(s + i)
+				// data block: written once
+				if err := store.Put(blockstore.Key{Stripe: uint64(s), Slot: int32(i)}, buf); err != nil {
+					return nil, err
+				}
+				// parity block: updated k times per stripe
+				if err := store.Put(blockstore.Key{Stripe: uint64(s), Slot: int32(k)}, buf); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := store.Flush(); err != nil {
+			return nil, err
+		}
+		puts, writes := store.Stats()
+		factor := float64(puts) / float64(writes)
+		t.Rows = append(t.Rows, []string{icell(limit), icell(int(puts)), icell(int(writes)), fcell(factor)})
+		if err := store.Close(); err != nil {
+			return nil, err
+		}
+	}
+	t.Notes = append(t.Notes,
+		"limit 0 = write-through; larger limits coalesce repeated parity updates before they reach disk (Section 3.11)")
+	return t, nil
+}
+
+// AblationBatchedReal measures the batched stripe write on the REAL
+// implementation over the shaped transport (the sim table above is the
+// modeled counterpart): one client streams full stripes sequentially,
+// per-block versus core.WriteStripe.
+func AblationBatchedReal(ctx context.Context, p Fig9Params) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-batch-real",
+		Title:  "sequential stripe writes on the real protocol (shaped transport, MB/s)",
+		Header: []string{"code", "per-block", "batched", "speedup"},
+	}
+	for _, kn := range [][2]int{{3, 5}, {4, 8}} {
+		k := kn[0]
+		sc, err := NewShapedCluster(ShapedOptions{
+			K: k, N: kn[1], BlockSize: p.BlockSize, Clients: 1, TimeScale: p.TimeScale,
+		})
+		if err != nil {
+			return nil, err
+		}
+		values := make([][]byte, k)
+		for i := range values {
+			values[i] = make([]byte, p.BlockSize)
+		}
+		var stripeSeq atomic.Uint64
+		perBlock := func(ctx context.Context, cl *core.Client, worker int) (int, error) {
+			s := stripeSeq.Add(1) % p.Stripes
+			for i := 0; i < k; i++ {
+				if err := cl.WriteBlock(ctx, s, i, values[i]); err != nil {
+					return 0, err
+				}
+			}
+			return k * p.BlockSize, nil
+		}
+		batched := func(ctx context.Context, cl *core.Client, worker int) (int, error) {
+			s := stripeSeq.Add(1) % p.Stripes
+			if err := cl.WriteStripe(ctx, s, values); err != nil {
+				return 0, err
+			}
+			return k * p.BlockSize, nil
+		}
+		per := RunLoad(ctx, sc.Clients, 8, p.Warmup, p.PointTime, perBlock)
+		bat := RunLoad(ctx, sc.Clients, 8, p.Warmup, p.PointTime, batched)
+		perMB := per.MBps() * sc.Scale
+		batMB := bat.MBps() * sc.Scale
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d-of-%d", kn[0], kn[1]),
+			fcell(perMB), fcell(batMB), fcell(batMB / perMB),
+		})
+	}
+	t.Notes = append(t.Notes, "8 outstanding stripe operations; testbed-equivalent units")
+	return t, nil
+}

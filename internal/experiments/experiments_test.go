@@ -1,0 +1,455 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fastFig9() Fig9Params {
+	return Fig9Params{
+		BlockSize:   1024,
+		Stripes:     512,
+		PointTime:   150 * time.Millisecond,
+		Warmup:      60 * time.Millisecond,
+		Outstanding: []int{1, 8, 32},
+		TimeScale:   4,
+	}
+}
+
+func fastSim() SimParams {
+	return SimParams{BlockSize: 1024, Threads: 8, Duration: 50 * time.Millisecond}
+}
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a number: %v", s, err)
+	}
+	return v
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"note"},
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "a", "bb", "note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1Analytic(t *testing.T) {
+	tab, err := Fig1Analytic(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if _, err := Fig1Analytic(5, 5); err == nil {
+		t.Fatal("invalid code accepted")
+	}
+}
+
+func TestFig1MeasuredMatchesAnalytic(t *testing.T) {
+	tab, err := Fig1Measured(ctxT(t), 3, 5, 1024, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every measured msgs/op must equal the analytic count exactly in
+	// failure-free runs.
+	for _, row := range tab.Rows {
+		analytic := cellFloat(t, row[2])
+		measured := cellFloat(t, row[3])
+		if analytic != measured {
+			t.Errorf("%s %s: measured %.2f msgs/op, analytic %.2f", row[0], row[1], measured, analytic)
+		}
+	}
+}
+
+func TestFig8a(t *testing.T) {
+	tab, err := Fig8a(1024, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Delta and Add must be in the microsecond range, far below a
+	// millisecond (the paper's "fast enough for storage" conclusion).
+	for _, row := range tab.Rows {
+		if d := cellFloat(t, row[2]); d <= 0 || d > 1000 {
+			t.Errorf("%s: Delta = %v us", row[0], d)
+		}
+		if a := cellFloat(t, row[3]); a <= 0 || a > 1000 {
+			t.Errorf("%s: Add = %v us", row[0], a)
+		}
+	}
+}
+
+func TestFig8bDeltaFlatEncodeGrows(t *testing.T) {
+	tab, err := Fig8b(1024, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tab.Rows[0]
+	last := tab.Rows[len(tab.Rows)-1]
+	encFirst, encLast := cellFloat(t, first[1]), cellFloat(t, last[1])
+	daFirst, daLast := cellFloat(t, first[2]), cellFloat(t, last[2])
+	// Full encode must grow substantially from 2-of-4 to 16-of-32.
+	if encLast < 3*encFirst {
+		t.Errorf("encode time did not grow with k: %.2f -> %.2f us", encFirst, encLast)
+	}
+	// Delta+Add must stay approximately constant (< 3x drift).
+	if daLast > 3*daFirst+1 {
+		t.Errorf("Delta+Add grew with k: %.2f -> %.2f us", daFirst, daLast)
+	}
+}
+
+func TestFig8c(t *testing.T) {
+	tab := Fig8c(8)
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[1][1] != "1c1s, 0c2s" {
+		t.Fatalf("p=2 serial resiliency = %q", tab.Rows[1][1])
+	}
+}
+
+func TestFig9aThroughputGrowsWithOutstanding(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing-sensitive experiment; skipped under -race")
+	}
+	tab, err := Fig9a(ctxT(t), fastFig9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The p=3 column must saturate below the p=2 columns (more parity
+	// bytes per write on the same uplink).
+	lastRow := tab.Rows[len(tab.Rows)-1]
+	if cellFloat(t, lastRow[4]) >= cellFloat(t, lastRow[1]) {
+		t.Errorf("p=3 saturation (%s) not below p=2 (%s)", lastRow[4], lastRow[1])
+	}
+	// 32 outstanding must beat 1 outstanding for every code.
+	for col := 1; col <= 4; col++ {
+		low := cellFloat(t, tab.Rows[0][col])
+		high := cellFloat(t, tab.Rows[len(tab.Rows)-1][col])
+		if high <= low {
+			t.Errorf("column %d: throughput did not grow with outstanding requests (%.2f -> %.2f)", col, low, high)
+		}
+	}
+}
+
+func TestFig9bMoreClientsMoreThroughput(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing-sensitive experiment; skipped under -race")
+	}
+	tab, err := Fig9b(ctxT(t), fastFig9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cellFloat(t, tab.Rows[0][1])
+	last := cellFloat(t, tab.Rows[len(tab.Rows)-1][1])
+	if last <= first {
+		t.Errorf("2-of-4 throughput did not grow with clients: %.2f -> %.2f", first, last)
+	}
+}
+
+func TestFig9cThroughputFallsWithRedundancy(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing-sensitive experiment; skipped under -race")
+	}
+	tab, err := Fig9c(ctxT(t), fastFig9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := 1; col <= 2; col++ {
+		p1 := cellFloat(t, tab.Rows[0][col])
+		p3 := cellFloat(t, tab.Rows[2][col])
+		if p3 >= p1 {
+			t.Errorf("column %d: throughput did not fall with redundancy (%.2f -> %.2f)", col, p1, p3)
+		}
+	}
+	// With one client the per-write cost depends only on p, so the two
+	// columns should fall comparably; allow measurement noise.
+	dropK2 := 1 - cellFloat(t, tab.Rows[2][1])/cellFloat(t, tab.Rows[0][1])
+	dropK4 := 1 - cellFloat(t, tab.Rows[2][2])/cellFloat(t, tab.Rows[0][2])
+	if dropK4 > dropK2+0.25 {
+		t.Errorf("k=4 drop (%.0f%%) wildly above k=2 drop (%.0f%%)", dropK4*100, dropK2*100)
+	}
+}
+
+func TestFig9dCrashDipsAndRecovers(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing-sensitive experiment; skipped under -race")
+	}
+	const buckets = 12
+	tab, err := Fig9d(ctxT(t), fastFig9(), buckets, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != buckets {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	crashAt := buckets / 3
+	avg := func(from, to int) float64 {
+		sum := 0.0
+		for i := from; i < to; i++ {
+			sum += cellFloat(t, tab.Rows[i][1])
+		}
+		return sum / float64(to-from)
+	}
+	before := avg(0, crashAt)
+	dip := avg(crashAt, crashAt+3)
+	tail := avg(buckets-3, buckets)
+	if dip >= before*0.7 {
+		t.Errorf("no clear throughput dip at the crash: %.2f -> %.2f", before, dip)
+	}
+	if tail <= dip*1.1 {
+		t.Errorf("throughput did not climb back after the crash: dip %.2f, tail %.2f", dip, tail)
+	}
+}
+
+func TestRecoveryThroughput(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing-sensitive experiment; skipped under -race")
+	}
+	tab, err := RecoveryThroughput(ctxT(t), fastFig9(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if mbps := cellFloat(t, tab.Rows[2][1]); mbps <= 0 {
+		t.Errorf("recovery throughput = %v", mbps)
+	}
+}
+
+func TestLatencyBreakdownComputationSmall(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing-sensitive experiment; skipped under -race")
+	}
+	tab, err := LatencyBreakdown(ctxT(t), fastFig9(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := cellFloat(t, tab.Rows[2][1])
+	if frac <= 0 || frac >= 10 {
+		t.Errorf("computation share = %.2f%%, paper reports < 5%%", frac)
+	}
+}
+
+func TestSpaceOverheadSmallAfterGC(t *testing.T) {
+	tab, err := SpaceOverhead(ctxT(t), 1024, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady := cellFloat(t, tab.Rows[1][1])
+	if steady > 64 {
+		t.Errorf("steady-state overhead %.1f bytes/block, want <= 64", steady)
+	}
+	peak := cellFloat(t, tab.Rows[0][1])
+	if peak <= steady {
+		t.Errorf("peak (%.1f) not above steady state (%.1f)", peak, steady)
+	}
+}
+
+func TestFig10aWriteThroughputScales(t *testing.T) {
+	tab, err := Fig10a(fastSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 clients beat 1 client for every code.
+	first := tab.Rows[0]
+	last := tab.Rows[len(tab.Rows)-1]
+	for col := 1; col < len(first); col++ {
+		if cellFloat(t, last[col]) <= cellFloat(t, first[col]) {
+			t.Errorf("column %d (%s): no scaling with clients", col, tab.Header[col])
+		}
+	}
+}
+
+func TestFig10bReadIndependentOfK(t *testing.T) {
+	tab, err := Fig10b(fastSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Codes 8-of-16 and 14-of-16 share n=16: read throughput at 64
+	// clients must be within 10%.
+	var col816, col1416 int
+	for i, h := range tab.Header {
+		switch h {
+		case "8-of-16":
+			col816 = i
+		case "14-of-16":
+			col1416 = i
+		}
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	a := cellFloat(t, last[col816])
+	b := cellFloat(t, last[col1416])
+	if diff := (a - b) / a; diff < -0.1 || diff > 0.1 {
+		t.Errorf("read throughput differs %.0f%% between k=8 and k=14 at n=16", diff*100)
+	}
+}
+
+func TestFig10cThroughputFallsWithP(t *testing.T) {
+	tab, err := Fig10c(fastSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cellFloat(t, tab.Rows[0][1])
+	last := cellFloat(t, tab.Rows[len(tab.Rows)-1][1])
+	if last >= first {
+		t.Errorf("max write throughput did not fall with redundancy: %.2f -> %.2f", first, last)
+	}
+}
+
+func TestFig10dBroadcastFlat(t *testing.T) {
+	tab, err := Fig10d(fastSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1-client broadcast: p=8 within 25% of p=1. Unicast falls more.
+	b1 := cellFloat(t, tab.Rows[0][1])
+	b8 := cellFloat(t, tab.Rows[len(tab.Rows)-1][1])
+	u1 := cellFloat(t, tab.Rows[0][3])
+	u8 := cellFloat(t, tab.Rows[len(tab.Rows)-1][3])
+	bDrop := (b1 - b8) / b1
+	uDrop := (u1 - u8) / u1
+	if bDrop > 0.25 {
+		t.Errorf("broadcast dropped %.0f%% with redundancy, want ~flat", bDrop*100)
+	}
+	if uDrop < 2*bDrop {
+		t.Errorf("unicast drop %.0f%% not clearly worse than broadcast %.0f%%", uDrop*100, bDrop*100)
+	}
+}
+
+func TestFig1Simulated(t *testing.T) {
+	tab, err := Fig1Simulated(8, 10, fastSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AJX-par random write throughput must beat FAB and GWGR.
+	var ajx, fab, gwgr float64
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "AJX-par":
+			ajx = cellFloat(t, row[1])
+		case "FAB":
+			fab = cellFloat(t, row[1])
+		case "GWGR":
+			gwgr = cellFloat(t, row[1])
+		}
+	}
+	if ajx <= fab || ajx <= gwgr {
+		t.Errorf("AJX (%.2f) does not beat FAB (%.2f) and GWGR (%.2f) on random writes", ajx, fab, gwgr)
+	}
+}
+
+func TestAblationHybridLatencyMonotone(t *testing.T) {
+	tab, err := AblationHybrid(fastSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Larger groups => fewer rounds => lower latency.
+	prev := 1e18
+	for _, row := range tab.Rows {
+		lat := cellFloat(t, row[2])
+		if lat >= prev {
+			t.Fatalf("latency did not fall with group size: %v", tab.Rows)
+		}
+		prev = lat
+	}
+	// The largest group must violate the Theorem 3 bound in this config.
+	if tab.Rows[3][4] == "yes" {
+		t.Fatal("group size 8 cannot satisfy r <= d_serial at tp=1, p=8")
+	}
+}
+
+func TestAblationBatchedBeatsPerBlock(t *testing.T) {
+	tab, err := AblationBatchedStripeWrite(fastSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if cellFloat(t, row[2]) <= cellFloat(t, row[1]) {
+			t.Errorf("%s: batched (1 client) not faster than per-block", row[0])
+		}
+		if cellFloat(t, row[4]) <= cellFloat(t, row[3]) {
+			t.Errorf("%s: batched (8 clients) not faster than per-block", row[0])
+		}
+	}
+}
+
+func TestAblationWriteBackCoalesces(t *testing.T) {
+	tab, err := AblationWriteBack(t.TempDir(), 256, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	through := cellFloat(t, tab.Rows[0][3])
+	buffered := cellFloat(t, tab.Rows[2][3])
+	if through != 1.0 {
+		t.Fatalf("write-through coalescing factor = %v, want 1.0", through)
+	}
+	if buffered <= 1.3 {
+		t.Fatalf("buffered coalescing factor = %v, want > 1.3", buffered)
+	}
+}
+
+func TestAblationBatchedRealBeatsPerBlock(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing-sensitive experiment; skipped under -race")
+	}
+	tab, err := AblationBatchedReal(ctxT(t), fastFig9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if speedup := cellFloat(t, row[3]); speedup <= 1.0 {
+			t.Errorf("%s: batched speedup = %.2f, want > 1", row[0], speedup)
+		}
+	}
+}
+
+func TestReadWriteRatio(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing-sensitive experiment; skipped under -race")
+	}
+	tab, err := ReadWriteRatio(ctxT(t), fastFig9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		ratio := cellFloat(t, row[3])
+		if ratio < 2 || ratio > 12 {
+			t.Errorf("%s: read/write ratio = %.2f, expected a clear multiple (paper: 4-5x)", row[0], ratio)
+		}
+	}
+}

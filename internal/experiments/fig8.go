@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ecstore/internal/erasure"
+	"ecstore/internal/gf"
+	"ecstore/internal/resilience"
+)
+
+// timeOp measures the average duration of one call to fn, running it
+// repeatedly for at least minDur (with a warm-up pass).
+func timeOp(minDur time.Duration, fn func()) time.Duration {
+	fn() // warm up
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minDur {
+			return elapsed / time.Duration(iters)
+		}
+		if elapsed <= 0 {
+			iters *= 1000
+			continue
+		}
+		// Scale the iteration count toward the budget.
+		iters = int(float64(iters)*float64(minDur)/float64(elapsed)) + 1
+	}
+}
+
+func usCell(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e3) }
+
+// codeTimes measures the Fig. 8 microbenchmark columns for one code:
+// Delta (client-side subtract+multiply of a block), Add (node-side
+// XOR), and full stripe encode/decode.
+func codeTimes(code *erasure.Code, blockSize int, budget time.Duration) (delta, add, encode, decode time.Duration) {
+	rng := rand.New(rand.NewSource(7))
+	v := make([]byte, blockSize)
+	w := make([]byte, blockSize)
+	rng.Read(v)
+	rng.Read(w)
+	delta = timeOp(budget, func() { _ = code.Delta(code.K(), 0, v, w) })
+
+	dst := make([]byte, blockSize)
+	add = timeOp(budget, func() { gf.AddSlice(dst, v) })
+
+	data := make([][]byte, code.K())
+	for i := range data {
+		data[i] = make([]byte, blockSize)
+		rng.Read(data[i])
+	}
+	parity := make([][]byte, code.P())
+	for i := range parity {
+		parity[i] = make([]byte, blockSize)
+	}
+	encode = timeOp(budget, func() { code.EncodeInto(parity, data) })
+
+	stripe, _ := code.EncodeStripe(data)
+	decode = timeOp(budget, func() {
+		work := make([][]byte, code.N())
+		// Erase the p data blocks with the highest indices: a worst
+		// case that forces a real matrix inversion.
+		for i := range stripe {
+			if i >= code.K()-code.P() && i < code.K() {
+				continue
+			}
+			work[i] = stripe[i]
+		}
+		if err := code.Reconstruct(work); err != nil {
+			panic(err)
+		}
+	})
+	return delta, add, encode, decode
+}
+
+// Fig8a reproduces Fig. 8(a): the erasure codes used for 4-7 storage
+// nodes, their failure resiliency, and their computation times for the
+// given block size (the paper uses 1 KB).
+func Fig8a(blockSize int, budget time.Duration) (*Table, error) {
+	t := &Table{
+		ID:    "fig8a",
+		Title: fmt.Sprintf("erasure codes for 4-7 storage nodes, %d-byte blocks", blockSize),
+		Header: []string{
+			"code", "resiliency (serial upd)", "Delta (us)", "Add (us)",
+			"full encode (us)", "full decode (us)",
+		},
+	}
+	shapes := [][2]int{{2, 4}, {3, 5}, {2, 5}, {4, 6}, {3, 6}, {5, 7}, {4, 7}, {3, 7}}
+	for _, s := range shapes {
+		code, err := erasure.New(s[0], s[1])
+		if err != nil {
+			return nil, err
+		}
+		delta, add, enc, dec := codeTimes(code, blockSize, budget)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d-of-%d", s[0], s[1]),
+			resilience.ResiliencyString(resilience.Serial, s[1]-s[0]),
+			usCell(delta), usCell(add), usCell(enc), usCell(dec),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"resiliency strings list tolerated (client,storage) crash combinations, e.g. 1c1s",
+		"Delta and Add are the only computations on the common-case write path")
+	return t, nil
+}
+
+// Fig8b reproduces Fig. 8(b): computation time versus k for the larger
+// codes used in the simulations. Full encode grows with k while
+// Delta+Add stays flat — the property that lets the protocol scale to
+// highly-efficient codes.
+func Fig8b(blockSize int, budget time.Duration) (*Table, error) {
+	t := &Table{
+		ID:     "fig8b",
+		Title:  fmt.Sprintf("computation time vs code size, %d-byte blocks", blockSize),
+		Header: []string{"code", "full encode (us)", "Delta+Add (us)"},
+	}
+	shapes := [][2]int{{2, 4}, {4, 6}, {4, 8}, {6, 10}, {8, 12}, {8, 16}, {12, 20}, {16, 24}, {16, 32}}
+	for _, s := range shapes {
+		code, err := erasure.New(s[0], s[1])
+		if err != nil {
+			return nil, err
+		}
+		delta, add, enc, _ := codeTimes(code, blockSize, budget)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d-of-%d", s[0], s[1]),
+			usCell(enc),
+			usCell(delta + add),
+		})
+	}
+	t.Notes = append(t.Notes, "full encode is used only by recovery; common-case writes pay Delta+Add")
+	return t, nil
+}
+
+// Fig8c reproduces Fig. 8(c): tolerated client and storage crash
+// combinations as a function of the redundancy p = n-k, for both the
+// serial and parallel update disciplines. The table depends only on p,
+// not on n or k individually.
+func Fig8c(maxP int) *Table {
+	t := &Table{
+		ID:     "fig8c",
+		Title:  "tolerated (client, storage) crash combinations vs redundancy",
+		Header: []string{"p = n-k", "serial updates", "parallel updates", "hybrid write latency (RTs, tp=1)"},
+	}
+	for p := 1; p <= maxP; p++ {
+		t.Rows = append(t.Rows, []string{
+			icell(p),
+			resilience.ResiliencyString(resilience.Serial, p),
+			resilience.ResiliencyString(resilience.Parallel, p),
+			icell(resilience.WriteLatency(resilience.Hybrid, p, 1)),
+		})
+	}
+	t.Notes = append(t.Notes, "depends only on p = n-k (Theorems 1-2, Corollary 1)")
+	return t
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ecstore/internal/cluster"
+)
+
+// SpaceOverhead reproduces Section 6.5: the protocol's control-state
+// overhead per block at the storage nodes, in steady state (after
+// garbage collection) and at its transient peak (before GC).
+func SpaceOverhead(ctx context.Context, blockSize, blocks int) (*Table, error) {
+	c, err := cluster.New(cluster.Options{
+		K: 2, N: 4, BlockSize: blockSize,
+		RetryDelay: 50 * time.Microsecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl := c.Clients[0]
+	v := make([]byte, blockSize)
+	for b := 0; b < blocks; b++ {
+		v[0] = byte(b)
+		if err := cl.WriteBlock(ctx, uint64(b/2), b%2, v); err != nil {
+			return nil, err
+		}
+	}
+	peakTotal, peakSlots := 0, 0
+	for phys := 0; phys < 4; phys++ {
+		tot, slots := c.Node(phys).ControlOverhead()
+		peakTotal += tot
+		peakSlots += slots
+	}
+
+	// Two GC passes retire every tid.
+	if _, err := cl.CollectGarbage(ctx); err != nil {
+		return nil, err
+	}
+	if _, err := cl.CollectGarbage(ctx); err != nil {
+		return nil, err
+	}
+	steadyTotal, steadySlots := 0, 0
+	for phys := 0; phys < 4; phys++ {
+		tot, slots := c.Node(phys).ControlOverhead()
+		steadyTotal += tot
+		steadySlots += slots
+	}
+
+	t := &Table{
+		ID:     "space",
+		Title:  fmt.Sprintf("storage-node control overhead, %d blocks of %d bytes", blocks, blockSize),
+		Header: []string{"state", "bytes/block", "overhead vs block (%)"},
+		Rows: [][]string{
+			{"before GC (peak)", fcell(float64(peakTotal) / float64(peakSlots)), fcell(float64(peakTotal) / float64(peakSlots) / float64(blockSize) * 100)},
+			{"after GC (steady)", fcell(float64(steadyTotal) / float64(steadySlots)), fcell(float64(steadyTotal) / float64(steadySlots) / float64(blockSize) * 100)},
+		},
+	}
+	t.Notes = append(t.Notes,
+		"paper: ~10 bytes/block (1% of a 1 KB block); ours differs by Go's in-memory representation",
+		"no old-version data is ever logged — overhead is O(1) per block between GC passes")
+	return t, nil
+}

@@ -1,0 +1,186 @@
+// Package gf implements arithmetic over the finite field GF(2^8).
+//
+// The field is constructed with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the conventional choice for
+// Reed-Solomon codes in storage systems. Addition and subtraction are
+// both XOR; multiplication and division go through logarithm and
+// exponential tables so that every scalar operation is a couple of
+// table lookups.
+//
+// The package also provides slice kernels (MulSlice, MulAddSlice,
+// AddSlice) that apply one coefficient across a whole block. These are
+// the operations on the hot path of the erasure-coded storage protocol:
+// a client computes Delta = alpha*(v-w) per redundant node, and a
+// storage node folds deltas into its block with XOR.
+package gf
+
+// Polynomial is the primitive polynomial used to construct the field,
+// x^8 + x^4 + x^3 + x^2 + 1.
+const Polynomial = 0x11D
+
+// Order is the number of elements in the field.
+const Order = 256
+
+var (
+	expTable [510]byte      // expTable[i] = g^i for i in [0, 509]; doubled to skip mod 255
+	logTable [256]byte      // logTable[x] = log_g(x) for x != 0
+	mulTable [256][256]byte // mulTable[a][b] = a*b
+	invTable [256]byte      // invTable[x] = x^-1 for x != 0
+)
+
+func init() {
+	// Generate exp/log tables from the generator element 2.
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		expTable[i+255] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x >= Order {
+			x ^= Polynomial
+		}
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if a == 0 || b == 0 {
+				mulTable[a][b] = 0
+				continue
+			}
+			mulTable[a][b] = expTable[int(logTable[a])+int(logTable[b])]
+		}
+	}
+	for a := 1; a < 256; a++ {
+		invTable[a] = expTable[255-int(logTable[a])]
+	}
+}
+
+// Add returns a+b in GF(2^8). Addition is XOR.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a-b in GF(2^8). Subtraction is identical to addition.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte { return mulTable[a][b] }
+
+// Div returns a/b in GF(2^8). Division by zero panics, mirroring the
+// behaviour of integer division: it is a programming error, not a
+// runtime condition to handle.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+255-int(logTable[b])]
+}
+
+// Inv returns the multiplicative inverse of a. Inv(0) panics.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return invTable[a]
+}
+
+// Exp returns g^e where g is the field generator (2).
+func Exp(e int) byte {
+	e %= 255
+	if e < 0 {
+		e += 255
+	}
+	return expTable[e]
+}
+
+// Log returns log_g(a). Log(0) panics.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// Pow returns a^e in GF(2^8). Pow(0, 0) is 1 by convention.
+func Pow(a byte, e int) byte {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	le := (int(logTable[a]) * e) % 255
+	if le < 0 {
+		le += 255
+	}
+	return expTable[le]
+}
+
+// MulRow returns the 256-entry lookup row for coefficient c, i.e.
+// row[x] = c*x. Storage nodes use it to apply a coefficient to a whole
+// block when the client broadcasts unmultiplied deltas.
+func MulRow(c byte) *[256]byte { return &mulTable[c] }
+
+// MulSlice sets dst[i] = c*src[i] for every i. dst and src must have
+// the same length; they may alias.
+func MulSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		clear(dst)
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c*src[i] for every i, accumulating a
+// scaled block into dst. dst and src must have the same length and must
+// not alias.
+func MulAddSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: MulAddSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		AddSlice(dst, src)
+		return
+	}
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// AddSlice sets dst[i] ^= src[i] for every i. This is both addition and
+// subtraction in the field, applied blockwise.
+func AddSlice(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: AddSlice length mismatch")
+	}
+	n := len(dst)
+	i := 0
+	// Process 8 bytes at a time; the compiler keeps this in registers.
+	for ; i+8 <= n; i += 8 {
+		dst[i] ^= src[i]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+		dst[i+4] ^= src[i+4]
+		dst[i+5] ^= src[i+5]
+		dst[i+6] ^= src[i+6]
+		dst[i+7] ^= src[i+7]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}

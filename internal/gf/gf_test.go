@@ -1,0 +1,276 @@
+package gf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0x53, 0xCA) != 0x53^0xCA {
+		t.Fatalf("Add(0x53, 0xCA) = %#x, want %#x", Add(0x53, 0xCA), 0x53^0xCA)
+	}
+	if Sub(0x53, 0xCA) != Add(0x53, 0xCA) {
+		t.Fatal("Sub must equal Add in characteristic-2 fields")
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	tests := []struct {
+		a, b, want byte
+	}{
+		{0, 0, 0},
+		{0, 7, 0},
+		{1, 1, 1},
+		{1, 0xFF, 0xFF},
+		{2, 2, 4},
+		{2, 0x80, 0x1D}, // 0x100 reduced by 0x11D
+	}
+	for _, tt := range tests {
+		if got := Mul(tt.a, tt.b); got != tt.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// mulSlow is a bitwise carry-less multiply with reduction, used as an
+// independent oracle for the table-driven implementation.
+func mulSlow(a, b byte) byte {
+	var prod int
+	ai, bi := int(a), int(b)
+	for i := 0; i < 8; i++ {
+		if bi&(1<<i) != 0 {
+			prod ^= ai << i
+		}
+	}
+	for i := 15; i >= 8; i-- {
+		if prod&(1<<i) != 0 {
+			prod ^= Polynomial << (i - 8)
+		}
+	}
+	return byte(prod)
+}
+
+func TestMulMatchesBitwiseOracle(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := Mul(byte(a), byte(b)), mulSlow(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%#x, %#x) = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsProperty(t *testing.T) {
+	// Commutativity and associativity of multiplication.
+	if err := quick.Check(func(a, b, c byte) bool {
+		return Mul(a, b) == Mul(b, a) && Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Distributivity over addition.
+	if err := quick.Check(func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Multiplicative identity and inverse.
+	if err := quick.Check(func(a byte) bool {
+		if a == 0 {
+			return Mul(a, 1) == 0
+		}
+		return Mul(a, 1) == a && Mul(a, Inv(a)) == 1
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiv(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			q := Div(byte(a), byte(b))
+			if Mul(q, byte(b)) != byte(a) {
+				t.Fatalf("Div(%#x, %#x)*%#x != %#x", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div(1, 0) did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestLogZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log(0) did not panic")
+		}
+	}()
+	Log(0)
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Exp(Log(byte(a))) != byte(a) {
+			t.Fatalf("Exp(Log(%#x)) != %#x", a, a)
+		}
+	}
+}
+
+func TestExpNegativeAndLarge(t *testing.T) {
+	if Exp(-1) != Exp(254) {
+		t.Errorf("Exp(-1) = %#x, want Exp(254) = %#x", Exp(-1), Exp(254))
+	}
+	if Exp(255) != Exp(0) {
+		t.Errorf("Exp(255) = %#x, want Exp(0) = %#x", Exp(255), Exp(0))
+	}
+	if Exp(1000) != Exp(1000%255) {
+		t.Error("Exp does not reduce large exponents")
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(0, 0) != 1 {
+		t.Error("Pow(0, 0) must be 1 by convention")
+	}
+	if Pow(0, 5) != 0 {
+		t.Error("Pow(0, 5) must be 0")
+	}
+	for a := 1; a < 256; a++ {
+		acc := byte(1)
+		for e := 0; e < 10; e++ {
+			if got := Pow(byte(a), e); got != acc {
+				t.Fatalf("Pow(%#x, %d) = %#x, want %#x", a, e, got, acc)
+			}
+			acc = Mul(acc, byte(a))
+		}
+	}
+}
+
+func TestGeneratorHasFullOrder(t *testing.T) {
+	seen := make(map[byte]bool)
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		if seen[x] {
+			t.Fatalf("generator cycle shorter than 255 (repeat at %d)", i)
+		}
+		seen[x] = true
+		x = Mul(x, 2)
+	}
+	if x != 1 {
+		t.Fatal("generator^255 != 1")
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 3, 0x80, 0xFF}
+	dst := make([]byte, len(src))
+	MulSlice(0x1B, dst, src)
+	for i := range src {
+		if dst[i] != Mul(0x1B, src[i]) {
+			t.Fatalf("MulSlice mismatch at %d", i)
+		}
+	}
+	// c == 0 clears, c == 1 copies.
+	MulSlice(0, dst, src)
+	if !bytes.Equal(dst, make([]byte, len(src))) {
+		t.Error("MulSlice(0, ...) did not clear dst")
+	}
+	MulSlice(1, dst, src)
+	if !bytes.Equal(dst, src) {
+		t.Error("MulSlice(1, ...) did not copy src")
+	}
+}
+
+func TestMulSliceAliasing(t *testing.T) {
+	buf := []byte{1, 2, 3, 4}
+	want := make([]byte, len(buf))
+	MulSlice(7, want, buf)
+	MulSlice(7, buf, buf)
+	if !bytes.Equal(buf, want) {
+		t.Error("in-place MulSlice differs from out-of-place")
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := []byte{5, 6, 7, 8}
+	dst := []byte{1, 2, 3, 4}
+	want := make([]byte, 4)
+	for i := range want {
+		want[i] = dst[i] ^ Mul(9, src[i])
+	}
+	MulAddSlice(9, dst, src)
+	if !bytes.Equal(dst, want) {
+		t.Errorf("MulAddSlice = %v, want %v", dst, want)
+	}
+	// Coefficient zero must be a no-op.
+	cp := append([]byte(nil), dst...)
+	MulAddSlice(0, dst, src)
+	if !bytes.Equal(dst, cp) {
+		t.Error("MulAddSlice(0, ...) modified dst")
+	}
+}
+
+func TestAddSlice(t *testing.T) {
+	a := make([]byte, 37) // odd size exercises the tail loop
+	b := make([]byte, 37)
+	for i := range a {
+		a[i] = byte(i)
+		b[i] = byte(3 * i)
+	}
+	want := make([]byte, 37)
+	for i := range want {
+		want[i] = a[i] ^ b[i]
+	}
+	AddSlice(a, b)
+	if !bytes.Equal(a, want) {
+		t.Error("AddSlice mismatch")
+	}
+	// Applying the same addition twice must restore the original.
+	AddSlice(a, b)
+	for i := range a {
+		if a[i] != byte(i) {
+			t.Fatal("AddSlice is not an involution")
+		}
+	}
+}
+
+func TestSliceLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MulSlice":    func() { MulSlice(1, make([]byte, 2), make([]byte, 3)) },
+		"MulAddSlice": func() { MulAddSlice(1, make([]byte, 2), make([]byte, 3)) },
+		"AddSlice":    func() { AddSlice(make([]byte, 2), make([]byte, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMulRow(t *testing.T) {
+	row := MulRow(0x35)
+	for x := 0; x < 256; x++ {
+		if row[x] != Mul(0x35, byte(x)) {
+			t.Fatalf("MulRow(0x35)[%#x] incorrect", x)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package gf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Matrix is a dense matrix over GF(2^8), stored row-major. Rows may be
+// manipulated individually; all arithmetic helpers treat entries as
+// field elements.
+type Matrix struct {
+	Rows int
+	Cols int
+	data []byte
+}
+
+// ErrSingular is returned when a matrix that must be invertible is not.
+var ErrSingular = errors.New("gf: matrix is singular")
+
+// NewMatrix returns a zero matrix with the given dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("gf: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, data: make([]byte, rows*cols)}
+}
+
+// IdentityMatrix returns the n-by-n identity matrix.
+func IdentityMatrix(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// VandermondeMatrix returns the rows-by-cols matrix with entry
+// (r, c) = r^c, using distinct field elements 0..rows-1 as evaluation
+// points. Every square submatrix formed by choosing any `cols` rows is
+// invertible, which is the MDS property Reed-Solomon relies on.
+func VandermondeMatrix(rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, Pow(byte(r), c))
+		}
+	}
+	return m
+}
+
+// At returns the entry at row r, column c.
+func (m *Matrix) At(r, c int) byte { return m.data[r*m.Cols+c] }
+
+// Set assigns the entry at row r, column c.
+func (m *Matrix) Set(r, c int, v byte) { m.data[r*m.Cols+c] = v }
+
+// Row returns a view of row r. Mutating the returned slice mutates the
+// matrix.
+func (m *Matrix) Row(r int) []byte { return m.data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Mul returns the matrix product m*other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic(fmt.Sprintf("gf: cannot multiply %dx%d by %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < other.Cols; c++ {
+			var acc byte
+			for k := 0; k < m.Cols; k++ {
+				acc ^= Mul(m.At(r, k), other.At(k, c))
+			}
+			out.Set(r, c, acc)
+		}
+	}
+	return out
+}
+
+// SubMatrix returns the matrix formed by the given rows, in order.
+func (m *Matrix) SubMatrix(rows []int) *Matrix {
+	out := NewMatrix(len(rows), m.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// Invert returns the inverse of a square matrix, or ErrSingular.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("gf: cannot invert %dx%d matrix", m.Rows, m.Cols))
+	}
+	n := m.Rows
+	work := m.Clone()
+	inv := IdentityMatrix(n)
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			work.swapRows(pivot, col)
+			inv.swapRows(pivot, col)
+		}
+		// Scale the pivot row so the pivot entry is 1.
+		if p := work.At(col, col); p != 1 {
+			pi := Inv(p)
+			scaleRow(work.Row(col), pi)
+			scaleRow(inv.Row(col), pi)
+		}
+		// Eliminate the column from every other row.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := work.At(r, col)
+			if f == 0 {
+				continue
+			}
+			MulAddSlice(f, work.Row(r), work.Row(col))
+			MulAddSlice(f, inv.Row(r), inv.Row(col))
+		}
+	}
+	return inv, nil
+}
+
+// MulVec computes the matrix-vector product over blocks: given one
+// input block per matrix column, it produces one output block per
+// matrix row, out[r] = sum_c m[r][c] * in[c]. All blocks must share a
+// length; out rows are fully overwritten.
+func (m *Matrix) MulVec(out, in [][]byte) {
+	if len(in) != m.Cols || len(out) != m.Rows {
+		panic("gf: MulVec shape mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		clear(out[r])
+		for c := 0; c < m.Cols; c++ {
+			MulAddSlice(m.At(r, c), out[r], in[c])
+		}
+	}
+}
+
+func (m *Matrix) swapRows(a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+func scaleRow(row []byte, c byte) { MulSlice(c, row, row) }
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for r := 0; r < m.Rows; r++ {
+		s += fmt.Sprintf("%v\n", m.Row(r))
+	}
+	return s
+}

@@ -1,0 +1,216 @@
+package gf
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestIdentityMatrix(t *testing.T) {
+	m := IdentityMatrix(4)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if m.At(r, c) != want {
+				t.Fatalf("identity[%d][%d] = %d", r, c, m.At(r, c))
+			}
+		}
+	}
+}
+
+func TestMatrixMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(3, 3)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			m.Set(r, c, byte(rng.Intn(256)))
+		}
+	}
+	got := m.Mul(IdentityMatrix(3))
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if got.At(r, c) != m.At(r, c) {
+				t.Fatal("M*I != M")
+			}
+		}
+	}
+}
+
+func TestMatrixInvert(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		m := NewMatrix(n, n)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				m.Set(r, c, byte(rng.Intn(256)))
+			}
+		}
+		inv, err := m.Invert()
+		if err != nil {
+			continue // singular random matrix; skip
+		}
+		prod := m.Mul(inv)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				want := byte(0)
+				if r == c {
+					want = 1
+				}
+				if prod.At(r, c) != want {
+					t.Fatalf("trial %d: M*M^-1 != I at (%d,%d)", trial, r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 3)
+	m.Set(0, 1, 5)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 5)
+	if _, err := m.Invert(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Invert of singular matrix: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestInvertZeroMatrix(t *testing.T) {
+	m := NewMatrix(3, 3)
+	if _, err := m.Invert(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Invert of zero matrix: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestVandermondeAnyKRowsInvertible(t *testing.T) {
+	// The defining property for MDS codes: every selection of `cols`
+	// rows from a Vandermonde matrix over distinct points is
+	// invertible. Check exhaustively for a small shape.
+	const rows, cols = 8, 3
+	v := VandermondeMatrix(rows, cols)
+	var sel [cols]int
+	var recurse func(start, depth int)
+	count := 0
+	recurse = func(start, depth int) {
+		if depth == cols {
+			sub := v.SubMatrix(sel[:])
+			if _, err := sub.Invert(); err != nil {
+				t.Fatalf("rows %v not invertible", sel)
+			}
+			count++
+			return
+		}
+		for r := start; r < rows; r++ {
+			sel[depth] = r
+			recurse(r+1, depth+1)
+		}
+	}
+	recurse(0, 0)
+	if count != 56 { // C(8,3)
+		t.Fatalf("checked %d selections, want 56", count)
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	v := VandermondeMatrix(5, 2)
+	sub := v.SubMatrix([]int{4, 1})
+	for c := 0; c < 2; c++ {
+		if sub.At(0, c) != v.At(4, c) || sub.At(1, c) != v.At(1, c) {
+			t.Fatal("SubMatrix copied wrong rows")
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	// Multiplying blocks through an invertible matrix and then its
+	// inverse must restore the original blocks.
+	rng := rand.New(rand.NewSource(7))
+	const n, blockLen = 4, 64
+	var m *Matrix
+	for {
+		m = NewMatrix(n, n)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				m.Set(r, c, byte(rng.Intn(256)))
+			}
+		}
+		if _, err := m.Invert(); err == nil {
+			break
+		}
+	}
+	inv, _ := m.Invert()
+
+	in := make([][]byte, n)
+	mid := make([][]byte, n)
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		in[i] = make([]byte, blockLen)
+		rng.Read(in[i])
+		mid[i] = make([]byte, blockLen)
+		out[i] = make([]byte, blockLen)
+	}
+	m.MulVec(mid, in)
+	inv.MulVec(out, mid)
+	for i := 0; i < n; i++ {
+		for j := 0; j < blockLen; j++ {
+			if out[i][j] != in[i][j] {
+				t.Fatalf("MulVec round trip mismatch at block %d byte %d", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m := VandermondeMatrix(3, 3)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	if s := IdentityMatrix(2).String(); s == "" {
+		t.Fatal("String returned empty")
+	}
+}
+
+func TestNewMatrixInvalidDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(0, 1) did not panic")
+		}
+	}()
+	NewMatrix(0, 1)
+}
+
+func TestMatrixMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul with mismatched shapes did not panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func TestMatrixInvertNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Invert of non-square matrix did not panic")
+		}
+	}()
+	_, _ = NewMatrix(2, 3).Invert()
+}
+
+func TestMulVecShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulVec with wrong shapes did not panic")
+		}
+	}()
+	IdentityMatrix(2).MulVec(make([][]byte, 3), make([][]byte, 2))
+}

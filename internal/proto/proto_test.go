@@ -1,0 +1,94 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpModeStrings(t *testing.T) {
+	tests := map[OpMode]string{
+		Norm: "NORM", Recons: "RECONS", Init: "INIT", OpMode(9): "OpMode(9)",
+	}
+	for m, want := range tests {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestLockModeStrings(t *testing.T) {
+	tests := map[LockMode]string{
+		Unlocked: "UNL", L0: "L0", L1: "L1", Expired: "EXP", LockMode(9): "LockMode(9)",
+	}
+	for m, want := range tests {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestLocked(t *testing.T) {
+	if Unlocked.Locked() || Expired.Locked() {
+		t.Error("UNL/EXP report locked")
+	}
+	if !L0.Locked() || !L1.Locked() {
+		t.Error("L0/L1 report unlocked")
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	tests := map[Status]string{
+		StatusOK: "OK", StatusOrder: "ORDER", StatusUnavail: "UNAVAIL",
+		StatusInit: "INIT", StatusGC: "GC", StatusNoChange: "NOCHANGE",
+		Status(99): "Status(99)",
+	}
+	for s, want := range tests {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestTIDZeroAndString(t *testing.T) {
+	var zero TID
+	if !zero.IsZero() {
+		t.Error("zero TID not IsZero")
+	}
+	if zero.String() != "tid<none>" {
+		t.Errorf("zero TID string = %q", zero.String())
+	}
+	tid := TID{Seq: 7, Block: 2, Client: 3}
+	if tid.IsZero() {
+		t.Error("non-zero TID IsZero")
+	}
+	if !strings.Contains(tid.String(), "7") || !strings.Contains(tid.String(), "c3") {
+		t.Errorf("TID string = %q", tid.String())
+	}
+}
+
+func TestTIDsOf(t *testing.T) {
+	if TIDsOf(nil) != nil {
+		t.Error("TIDsOf(nil) != nil")
+	}
+	list := []TIDTime{
+		{TID: TID{Seq: 1, Client: 1}, Time: 10},
+		{TID: TID{Seq: 2, Client: 1}, Time: 20},
+	}
+	got := TIDsOf(list)
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Errorf("TIDsOf = %v", got)
+	}
+}
+
+func TestContainsTID(t *testing.T) {
+	list := []TIDTime{{TID: TID{Seq: 5, Client: 2}, Time: 1}}
+	if !ContainsTID(list, TID{Seq: 5, Client: 2}) {
+		t.Error("present tid not found")
+	}
+	if ContainsTID(list, TID{Seq: 6, Client: 2}) {
+		t.Error("absent tid found")
+	}
+	if ContainsTID(nil, TID{}) {
+		t.Error("empty list contains something")
+	}
+}

@@ -1,0 +1,202 @@
+// Package regcheck verifies execution histories against the
+// consistency contract of the paper's Section 3.1: multi-writer
+// regular registers (Lamport's regular registers generalized to
+// multiple writers, after Shao-Pierce-Welch). Informally: a read never
+// returns a value that was never written or that was already
+// overwritten when the read began; a read concurrent with writes may
+// return any of their values or the previously written one.
+//
+// Concurrent protocol operations append begin/end events to a History;
+// Check then validates every read:
+//
+//	read r may return write w  iff
+//	  (1) w began before r ended, and
+//	  (2) no write w2 exists with  w.End < w2.Start  and  w2.End < r.Start
+//	      (w was strictly overwritten before r began).
+//
+// The initial value behaves like a virtual write that precedes
+// everything: it is legal exactly while no real write completed before
+// the read began.
+package regcheck
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// InitialValue is the register's content before any write (the zero
+// block, in the storage system).
+const InitialValue = uint64(0)
+
+type writeRec struct {
+	value uint64
+	start time.Time
+	end   time.Time
+	open  bool // still in flight (its writer may have crashed)
+}
+
+type readRec struct {
+	value uint64
+	start time.Time
+	end   time.Time
+}
+
+// History collects operations on ONE register (one logical block).
+// It is safe for concurrent use; Check may be called after the
+// recorded workload has quiesced.
+type History struct {
+	mu     sync.Mutex
+	writes []writeRec
+	reads  []readRec
+	now    func() time.Time
+}
+
+// New returns an empty history. Values written must be unique and
+// non-zero (InitialValue is reserved for the pre-write content).
+func New() *History {
+	return &History{now: time.Now}
+}
+
+// WriteToken identifies an in-flight write.
+type WriteToken struct {
+	idx int
+}
+
+// BeginWrite records a write invocation of the given value.
+func (h *History) BeginWrite(value uint64) WriteToken {
+	if value == InitialValue {
+		panic("regcheck: value 0 is reserved for the initial content")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.writes = append(h.writes, writeRec{value: value, start: h.now(), open: true})
+	return WriteToken{idx: len(h.writes) - 1}
+}
+
+// EndWrite records the write's completion. A write whose EndWrite is
+// never called models a crashed writer; its value stays legal for
+// concurrent-or-later reads (it may or may not have taken effect).
+func (h *History) EndWrite(t WriteToken) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w := &h.writes[t.idx]
+	w.end = h.now()
+	w.open = false
+}
+
+// ReadToken identifies an in-flight read.
+type ReadToken struct {
+	start time.Time
+}
+
+// BeginRead records a read invocation.
+func (h *History) BeginRead() ReadToken {
+	return ReadToken{start: h.nowFn()()}
+}
+
+func (h *History) nowFn() func() time.Time {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.now
+}
+
+// EndRead records the read's response.
+func (h *History) EndRead(t ReadToken, value uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.reads = append(h.reads, readRec{value: value, start: t.start, end: h.now()})
+}
+
+// Violation describes one read that no write can justify.
+type Violation struct {
+	Value     uint64
+	ReadStart time.Time
+	ReadEnd   time.Time
+	Reason    string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("regcheck: read of %d at [%s, %s] violates regularity: %s",
+		v.Value, v.ReadStart.Format("15:04:05.000000"), v.ReadEnd.Format("15:04:05.000000"), v.Reason)
+}
+
+// Check validates every recorded read and returns the first violation,
+// or nil. Cost is O(reads x writes^2) in the worst case; histories from
+// tests are small.
+func (h *History) Check() error {
+	h.mu.Lock()
+	writes := append([]writeRec(nil), h.writes...)
+	reads := append([]readRec(nil), h.reads...)
+	h.mu.Unlock()
+
+	byValue := make(map[uint64]*writeRec, len(writes))
+	for i := range writes {
+		w := &writes[i]
+		if prev, dup := byValue[w.value]; dup {
+			_ = prev
+			return fmt.Errorf("regcheck: value %d written twice; values must be unique", w.value)
+		}
+		byValue[w.value] = w
+	}
+
+	// overwrittenBefore reports whether write w was strictly
+	// superseded before time t: some w2 started after w ended and
+	// completed before t.
+	overwrittenBefore := func(w *writeRec, t time.Time) bool {
+		for i := range writes {
+			w2 := &writes[i]
+			if w2 == w || w2.open {
+				continue
+			}
+			if (w == nil || (!w.open && w.end.Before(w2.start))) && w2.end.Before(t) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, r := range reads {
+		if r.value == InitialValue {
+			// Initial content: legal iff nothing was overwriting it —
+			// i.e. no write completed before the read began.
+			if overwrittenBefore(nil, r.start) {
+				return &Violation{
+					Value: r.value, ReadStart: r.start, ReadEnd: r.end,
+					Reason: "returned the initial value although a write had completed before the read began",
+				}
+			}
+			continue
+		}
+		w, ok := byValue[r.value]
+		if !ok {
+			return &Violation{
+				Value: r.value, ReadStart: r.start, ReadEnd: r.end,
+				Reason: "value was never written",
+			}
+		}
+		// (1) the write must have begun before the read ended.
+		if w.start.After(r.end) {
+			return &Violation{
+				Value: r.value, ReadStart: r.start, ReadEnd: r.end,
+				Reason: "write began after the read ended (read from the future)",
+			}
+		}
+		// (2) the write must not have been strictly overwritten before
+		// the read began.
+		if overwrittenBefore(w, r.start) {
+			return &Violation{
+				Value: r.value, ReadStart: r.start, ReadEnd: r.end,
+				Reason: "write was strictly overwritten before the read began (stale read)",
+			}
+		}
+	}
+	return nil
+}
+
+// Counts reports recorded operation totals.
+func (h *History) Counts() (writes, reads int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.writes), len(h.reads)
+}

@@ -1,0 +1,231 @@
+package regcheck
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scripted builds a history from explicit timestamps for deterministic
+// violation tests.
+type scripted struct {
+	h   *History
+	t   time.Time
+	seq int
+}
+
+func newScripted() *scripted {
+	base := time.Unix(1000, 0)
+	s := &scripted{h: New(), t: base}
+	s.h.now = func() time.Time {
+		s.seq++
+		return base.Add(time.Duration(s.seq) * time.Millisecond)
+	}
+	return s
+}
+
+func TestSequentialHistoryValid(t *testing.T) {
+	s := newScripted()
+	h := s.h
+	w := h.BeginWrite(1)
+	h.EndWrite(w)
+	r := h.BeginRead()
+	h.EndRead(r, 1)
+	w = h.BeginWrite(2)
+	h.EndWrite(w)
+	r = h.BeginRead()
+	h.EndRead(r, 2)
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialValueValidBeforeWrites(t *testing.T) {
+	s := newScripted()
+	h := s.h
+	r := h.BeginRead()
+	h.EndRead(r, InitialValue)
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialValueInvalidAfterCompletedWrite(t *testing.T) {
+	s := newScripted()
+	h := s.h
+	w := h.BeginWrite(1)
+	h.EndWrite(w)
+	r := h.BeginRead()
+	h.EndRead(r, InitialValue)
+	err := h.Check()
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("err = %v, want Violation", err)
+	}
+	if !strings.Contains(v.Error(), "initial value") {
+		t.Fatalf("unexpected reason: %v", v)
+	}
+}
+
+func TestInitialValueValidDuringConcurrentWrite(t *testing.T) {
+	s := newScripted()
+	h := s.h
+	w := h.BeginWrite(1)
+	r := h.BeginRead()
+	h.EndRead(r, InitialValue) // write still in flight: old value OK
+	h.EndWrite(w)
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeverWrittenValueInvalid(t *testing.T) {
+	s := newScripted()
+	h := s.h
+	r := h.BeginRead()
+	h.EndRead(r, 99)
+	err := h.Check()
+	var v *Violation
+	if !errors.As(err, &v) || !strings.Contains(v.Error(), "never written") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStaleReadInvalid(t *testing.T) {
+	// w1 completes, then w2 completes, THEN a read returns w1: stale.
+	s := newScripted()
+	h := s.h
+	w1 := h.BeginWrite(1)
+	h.EndWrite(w1)
+	w2 := h.BeginWrite(2)
+	h.EndWrite(w2)
+	r := h.BeginRead()
+	h.EndRead(r, 1)
+	err := h.Check()
+	var v *Violation
+	if !errors.As(err, &v) || !strings.Contains(v.Error(), "stale") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentWritesEitherValueValid(t *testing.T) {
+	// Two overlapping writes; concurrent read may return either, and a
+	// later read may return whichever "won".
+	s := newScripted()
+	h := s.h
+	w1 := h.BeginWrite(1)
+	w2 := h.BeginWrite(2)
+	r := h.BeginRead()
+	h.EndRead(r, 2)
+	h.EndWrite(w1)
+	h.EndWrite(w2)
+	r2 := h.BeginRead()
+	h.EndRead(r2, 1) // concurrent writes: no strict order, both legal
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFromTheFutureInvalid(t *testing.T) {
+	s := newScripted()
+	h := s.h
+	r := h.BeginRead()
+	h.EndRead(r, 1) // read ends...
+	w := h.BeginWrite(1)
+	h.EndWrite(w) // ...before the write even begins
+	err := h.Check()
+	var v *Violation
+	if !errors.As(err, &v) || !strings.Contains(v.Error(), "future") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCrashedWriterValueStaysLegal(t *testing.T) {
+	// A write that never completes is concurrent with everything after
+	// it; reads may keep returning it (it may have taken effect).
+	s := newScripted()
+	h := s.h
+	_ = h.BeginWrite(1) // never ended: crashed writer
+	r := h.BeginRead()
+	h.EndRead(r, 1)
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashedWriterDoesNotOverwrite(t *testing.T) {
+	// The crashed write must NOT count as overwriting the previous
+	// value: a read after it may still return the old value.
+	s := newScripted()
+	h := s.h
+	w1 := h.BeginWrite(1)
+	h.EndWrite(w1)
+	_ = h.BeginWrite(2) // crashes mid-write
+	r := h.BeginRead()
+	h.EndRead(r, 1)
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateValuesRejected(t *testing.T) {
+	s := newScripted()
+	h := s.h
+	w := h.BeginWrite(1)
+	h.EndWrite(w)
+	w = h.BeginWrite(1)
+	h.EndWrite(w)
+	if err := h.Check(); err == nil {
+		t.Fatal("duplicate write values accepted")
+	}
+}
+
+func TestZeroValueWritePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BeginWrite(0) did not panic")
+		}
+	}()
+	New().BeginWrite(InitialValue)
+}
+
+func TestCounts(t *testing.T) {
+	h := New()
+	w := h.BeginWrite(1)
+	h.EndWrite(w)
+	r := h.BeginRead()
+	h.EndRead(r, 1)
+	ws, rs := h.Counts()
+	if ws != 1 || rs != 1 {
+		t.Fatalf("counts = %d, %d", ws, rs)
+	}
+}
+
+func TestConcurrentRecordingIsSafe(t *testing.T) {
+	h := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				w := h.BeginWrite(uint64(g*1000 + i + 1))
+				h.EndWrite(w)
+				r := h.BeginRead()
+				h.EndRead(r, uint64(g*1000+i+1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	ws, rs := h.Counts()
+	if ws != 400 || rs != 400 {
+		t.Fatalf("counts = %d, %d", ws, rs)
+	}
+	// NOTE: no Check() here — this test only exercises concurrent
+	// recording; the fabricated read-own-write responses are not
+	// guaranteed to satisfy regularity under arbitrary interleavings
+	// (another goroutine's write can complete between a write and its
+	// paired read).
+}

@@ -1,0 +1,220 @@
+// Package resilience implements the failure-tolerance arithmetic of
+// the AJX protocol (Theorems 1-3 and Corollary 1 of the paper).
+//
+// With a k-of-n code (p = n-k redundant blocks), a threshold t_p of
+// tolerated client crashes, and a write-update mode, the theorems
+// bound the number t_d of storage-node crashes the protocol survives:
+//
+//	serial adds:   t_d <= ceil(p/(t_p+1) - t_p/2)
+//	parallel adds: t_d <= ceil(p/2^t_p  - t_p/2)
+//
+// Inverting, the redundancy needed to tolerate (t_p, t_d) is
+//
+//	serial/hybrid: delta = 1 + (t_p+1)(t_d + t_p/2 - 1)
+//	parallel:      delta = 1 + 2^t_p (t_d + t_p/2 - 1)
+//
+// and the common-case write latency (round trips) is 1+delta for
+// serial updates, 2 for parallel updates, and 1 + ceil(delta/d_serial)
+// for the hybrid parallel-serial scheme.
+package resilience
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UpdateMode selects how a writer applies add operations to the
+// redundant storage nodes.
+type UpdateMode int
+
+const (
+	// Serial applies adds one node at a time (AJX-ser).
+	Serial UpdateMode = iota + 1
+	// Parallel applies all adds concurrently (AJX-par).
+	Parallel
+	// Hybrid applies adds in groups: parallel within a group, groups in
+	// series (Theorem 3).
+	Hybrid
+	// Broadcast sends one unmultiplied delta to all redundant nodes
+	// (Section 3.11). Its failure analysis matches Parallel: all adds
+	// are outstanding at once.
+	Broadcast
+)
+
+// String returns the paper's name for the mode.
+func (m UpdateMode) String() string {
+	switch m {
+	case Serial:
+		return "AJX-ser"
+	case Parallel:
+		return "AJX-par"
+	case Hybrid:
+		return "AJX-hybrid"
+	case Broadcast:
+		return "AJX-bcast"
+	default:
+		return fmt.Sprintf("UpdateMode(%d)", int(m))
+	}
+}
+
+// ceilDiv returns ceil(a/b) for b > 0, correct for negative a.
+func ceilDiv(a, b int) int {
+	q := a / b
+	if a%b > 0 {
+		q++
+	}
+	return q
+}
+
+// DSerial returns the maximum tolerated storage-node failures t_d for
+// serial (or hybrid) updates with p redundant blocks and client-crash
+// threshold tp (Theorem 1): ceil(p/(tp+1) - tp/2), floored at zero.
+func DSerial(p, tp int) int {
+	if p < 0 || tp < 0 {
+		panic(fmt.Sprintf("resilience: DSerial(%d, %d) out of domain", p, tp))
+	}
+	// ceil(p/(tp+1) - tp/2) = ceil((2p - tp(tp+1)) / (2(tp+1)))
+	d := ceilDiv(2*p-tp*(tp+1), 2*(tp+1))
+	return max(d, 0)
+}
+
+// DParallel returns the maximum tolerated storage-node failures t_d
+// for parallel updates (Theorem 2): ceil(p/2^tp - tp/2), floored at
+// zero. tp is capped at 62 to avoid shift overflow; beyond ~30 the
+// result is always zero anyway.
+func DParallel(p, tp int) int {
+	if p < 0 || tp < 0 {
+		panic(fmt.Sprintf("resilience: DParallel(%d, %d) out of domain", p, tp))
+	}
+	if tp > 62 {
+		return 0
+	}
+	pow := 1 << tp
+	// ceil(p/2^tp - tp/2) = ceil((2p - tp*2^tp) / (2*2^tp))
+	d := ceilDiv(2*p-tp*pow, 2*pow)
+	return max(d, 0)
+}
+
+// D returns the tolerated storage failures for the given mode.
+func D(mode UpdateMode, p, tp int) int {
+	switch mode {
+	case Serial, Hybrid:
+		return DSerial(p, tp)
+	case Parallel, Broadcast:
+		return DParallel(p, tp)
+	default:
+		panic(fmt.Sprintf("resilience: unknown mode %v", mode))
+	}
+}
+
+// DeltaSerial returns the redundancy (number of redundant storage
+// nodes) required to tolerate tp client and td storage failures with
+// serial or hybrid updates (Corollary 1). td must be >= 1.
+func DeltaSerial(td, tp int) int {
+	if td < 1 || tp < 0 {
+		panic(fmt.Sprintf("resilience: DeltaSerial(%d, %d) out of domain", td, tp))
+	}
+	// 1 + (tp+1)(td + tp/2 - 1); the product is always integral.
+	return 1 + (tp+1)*(2*td+tp-2)/2
+}
+
+// DeltaParallel returns the redundancy required to tolerate tp client
+// and td storage failures with parallel updates (Corollary 1).
+func DeltaParallel(td, tp int) int {
+	if td < 1 || tp < 0 {
+		panic(fmt.Sprintf("resilience: DeltaParallel(%d, %d) out of domain", td, tp))
+	}
+	return 1 + (1<<tp)*(2*td+tp-2)/2
+}
+
+// WriteLatency returns the common-case WRITE latency rho in round
+// trips for the given mode, redundancy p, and client threshold tp
+// (Corollary 1 and Theorem 3).
+func WriteLatency(mode UpdateMode, p, tp int) int {
+	switch mode {
+	case Serial:
+		return 1 + p
+	case Parallel, Broadcast:
+		return 2
+	case Hybrid:
+		d := DSerial(p, tp)
+		if d <= 0 {
+			// Degenerate: hybrid provides no tolerance; group size 1
+			// reduces to serial.
+			return 1 + p
+		}
+		return 1 + ceilDiv(p, d)
+	default:
+		panic(fmt.Sprintf("resilience: unknown mode %v", mode))
+	}
+}
+
+// HybridGroupSize returns the largest group size r that preserves
+// Theorem 3's guarantee (r <= d_serial), given p redundant nodes and
+// client threshold tp. The returned size is at least 1 so the hybrid
+// scheme degrades to serial updates rather than failing.
+func HybridGroupSize(p, tp int) int {
+	return max(DSerial(p, tp), 1)
+}
+
+// HybridGroups partitions the redundant node indices 0..p-1 into
+// groups of at most HybridGroupSize(p, tp) entries, preserving order.
+func HybridGroups(p, tp int) [][]int {
+	if p <= 0 {
+		return nil
+	}
+	r := HybridGroupSize(p, tp)
+	groups := make([][]int, 0, ceilDiv(p, r))
+	for start := 0; start < p; start += r {
+		end := min(start+r, p)
+		g := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			g = append(g, i)
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// Tolerance is one tolerated failure combination: Clients simultaneous
+// client crashes together with Storage simultaneous storage-node
+// crashes.
+type Tolerance struct {
+	Clients int
+	Storage int
+}
+
+// Tolerances enumerates, for redundancy p and a mode, the tolerated
+// (clients, storage) combinations with Storage >= 1, ordered by
+// decreasing client tolerance. This reproduces Fig. 8(c): the result
+// depends only on p = n-k.
+func Tolerances(mode UpdateMode, p int) []Tolerance {
+	var out []Tolerance
+	for tp := 0; ; tp++ {
+		td := D(mode, p, tp)
+		if td < 1 {
+			break
+		}
+		out = append(out, Tolerance{Clients: tp, Storage: td})
+	}
+	// Reverse so the highest client tolerance is listed first, matching
+	// the paper's "1c1s, 0c2s" presentation.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// ResiliencyString renders tolerances in the paper's Fig. 8(a)
+// notation, e.g. "1c1s, 0c2s".
+func ResiliencyString(mode UpdateMode, p int) string {
+	tols := Tolerances(mode, p)
+	if len(tols) == 0 {
+		return "0c0s"
+	}
+	parts := make([]string, len(tols))
+	for i, tol := range tols {
+		parts[i] = fmt.Sprintf("%dc%ds", tol.Clients, tol.Storage)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,261 @@
+package resilience
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDSerialKnownValues(t *testing.T) {
+	tests := []struct {
+		p, tp, want int
+	}{
+		// p=2 (e.g. 2-of-4): paper's example "1c1s, 0c2s".
+		{2, 0, 2},
+		{2, 1, 1},
+		{2, 2, 0},
+		// p=1: single parity tolerates one storage crash, no client crash.
+		{1, 0, 1},
+		{1, 1, 0},
+		// p=3.
+		{3, 0, 3},
+		{3, 1, 1},
+		{3, 2, 0},
+		// p=6.
+		{6, 0, 6},
+		{6, 1, 3},
+		{6, 2, 1},
+		{6, 3, 0},
+		{0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := DSerial(tt.p, tt.tp); got != tt.want {
+			t.Errorf("DSerial(%d, %d) = %d, want %d", tt.p, tt.tp, got, tt.want)
+		}
+	}
+}
+
+func TestDParallelKnownValues(t *testing.T) {
+	tests := []struct {
+		p, tp, want int
+	}{
+		{2, 0, 2},
+		{2, 1, 1},  // ceil(2/2 - 1/2) = 1
+		{2, 2, 0},  // ceil(2/4 - 1) = 0
+		{4, 1, 2},  // ceil(2 - 0.5) = 2
+		{4, 2, 0},  // ceil(1 - 1) = 0
+		{8, 2, 1},  // ceil(2 - 1) = 1
+		{8, 3, 0},  // ceil(1 - 1.5) = 0
+		{16, 3, 1}, // ceil(2 - 1.5) = 1
+		{16, 0, 16},
+		{0, 5, 0},
+	}
+	for _, tt := range tests {
+		if got := DParallel(tt.p, tt.tp); got != tt.want {
+			t.Errorf("DParallel(%d, %d) = %d, want %d", tt.p, tt.tp, got, tt.want)
+		}
+	}
+}
+
+func TestDParallelHugeTp(t *testing.T) {
+	if got := DParallel(1000, 63); got != 0 {
+		t.Fatalf("DParallel(1000, 63) = %d, want 0", got)
+	}
+	if got := DParallel(1000, 100); got != 0 {
+		t.Fatalf("DParallel(1000, 100) = %d, want 0", got)
+	}
+}
+
+func TestDomainPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"DSerial":       func() { DSerial(-1, 0) },
+		"DParallel":     func() { DParallel(0, -1) },
+		"DeltaSerial":   func() { DeltaSerial(0, 0) },
+		"DeltaParallel": func() { DeltaParallel(1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on bad domain", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestCorollaryInvertsTheorems verifies the paper's internal
+// consistency: provisioning delta redundant nodes per Corollary 1
+// yields exactly td tolerated storage failures under the matching
+// theorem. Algebraically DSerial(DeltaSerial(td, tp), tp) == td.
+func TestCorollaryInvertsTheorems(t *testing.T) {
+	for tp := 0; tp <= 8; tp++ {
+		for td := 1; td <= 8; td++ {
+			ds := DeltaSerial(td, tp)
+			if got := DSerial(ds, tp); got != td {
+				t.Errorf("DSerial(DeltaSerial(%d, %d)=%d, %d) = %d, want %d", td, tp, ds, tp, got, td)
+			}
+			dp := DeltaParallel(td, tp)
+			if got := DParallel(dp, tp); got != td {
+				t.Errorf("DParallel(DeltaParallel(%d, %d)=%d, %d) = %d, want %d", td, tp, dp, tp, got, td)
+			}
+		}
+	}
+}
+
+func TestDeltaMonotonicityProperty(t *testing.T) {
+	// More tolerated failures can never need less redundancy, and
+	// parallel updates never need less redundancy than serial.
+	err := quick.Check(func(tdRaw, tpRaw uint8) bool {
+		td := int(tdRaw%6) + 1
+		tp := int(tpRaw % 6)
+		if DeltaSerial(td+1, tp) < DeltaSerial(td, tp) {
+			return false
+		}
+		if DeltaSerial(td, tp+1) < DeltaSerial(td, tp) {
+			return false
+		}
+		return DeltaParallel(td, tp) >= DeltaSerial(td, tp)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDDependsOnlyOnP(t *testing.T) {
+	// Fig. 8(c): tolerance depends only on n-k, not n or k separately.
+	// This is structural (the functions take p), but confirm the
+	// enumeration is stable and non-empty for p >= 1.
+	for p := 1; p <= 16; p++ {
+		if len(Tolerances(Serial, p)) == 0 {
+			t.Errorf("Tolerances(Serial, %d) empty", p)
+		}
+	}
+}
+
+func TestTolerancesOrdering(t *testing.T) {
+	tols := Tolerances(Serial, 2)
+	want := []Tolerance{{Clients: 1, Storage: 1}, {Clients: 0, Storage: 2}}
+	if len(tols) != len(want) {
+		t.Fatalf("Tolerances(Serial, 2) = %v, want %v", tols, want)
+	}
+	for i := range want {
+		if tols[i] != want[i] {
+			t.Fatalf("Tolerances(Serial, 2)[%d] = %v, want %v", i, tols[i], want[i])
+		}
+	}
+}
+
+func TestResiliencyString(t *testing.T) {
+	tests := []struct {
+		mode UpdateMode
+		p    int
+		want string
+	}{
+		{Serial, 2, "1c1s, 0c2s"}, // the paper's Fig. 8(a) example
+		{Serial, 1, "0c1s"},
+		{Serial, 0, "0c0s"},
+		{Parallel, 2, "1c1s, 0c2s"},
+		{Serial, 3, "1c1s, 0c3s"},
+	}
+	for _, tt := range tests {
+		if got := ResiliencyString(tt.mode, tt.p); got != tt.want {
+			t.Errorf("ResiliencyString(%v, %d) = %q, want %q", tt.mode, tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestWriteLatency(t *testing.T) {
+	tests := []struct {
+		mode UpdateMode
+		p    int
+		tp   int
+		want int
+	}{
+		{Parallel, 5, 0, 2},
+		{Broadcast, 5, 3, 2},
+		{Serial, 3, 0, 4}, // 1 + p
+		{Serial, 0, 0, 1},
+		{Hybrid, 4, 0, 2},  // d_serial = 4 >= p, one parallel batch
+		{Hybrid, 4, 1, 3},  // d_serial = ceil(4/2-1/2)=2 -> 2 groups
+		{Hybrid, 6, 2, 7},  // d_serial(6,2)=1 -> serial-equivalent
+		{Hybrid, 3, 10, 4}, // degenerate: falls back to serial
+	}
+	for _, tt := range tests {
+		if got := WriteLatency(tt.mode, tt.p, tt.tp); got != tt.want {
+			t.Errorf("WriteLatency(%v, %d, %d) = %d, want %d", tt.mode, tt.p, tt.tp, got, tt.want)
+		}
+	}
+}
+
+func TestHybridGroups(t *testing.T) {
+	groups := HybridGroups(4, 1) // group size d_serial(4,1)=ceil(2-0.5)=2
+	if len(groups) != 2 || len(groups[0]) != 2 || len(groups[1]) != 2 {
+		t.Fatalf("HybridGroups(4, 1) = %v", groups)
+	}
+	// Indices must cover 0..p-1 in order.
+	idx := 0
+	for _, g := range groups {
+		for _, i := range g {
+			if i != idx {
+				t.Fatalf("group element %d, want %d", i, idx)
+			}
+			idx++
+		}
+	}
+	if HybridGroups(0, 0) != nil {
+		t.Fatal("HybridGroups(0, 0) should be nil")
+	}
+	// Group size must never exceed d_serial when d_serial >= 1.
+	for p := 1; p <= 12; p++ {
+		for tp := 0; tp <= 4; tp++ {
+			d := DSerial(p, tp)
+			if d < 1 {
+				continue
+			}
+			for _, g := range HybridGroups(p, tp) {
+				if len(g) > d {
+					t.Fatalf("p=%d tp=%d: group size %d exceeds d_serial %d", p, tp, len(g), d)
+				}
+			}
+		}
+	}
+}
+
+func TestDModeDispatch(t *testing.T) {
+	if D(Serial, 4, 1) != DSerial(4, 1) {
+		t.Error("D(Serial) mismatch")
+	}
+	if D(Hybrid, 4, 1) != DSerial(4, 1) {
+		t.Error("D(Hybrid) must use the serial bound (Theorem 3)")
+	}
+	if D(Parallel, 4, 1) != DParallel(4, 1) {
+		t.Error("D(Parallel) mismatch")
+	}
+	if D(Broadcast, 4, 1) != DParallel(4, 1) {
+		t.Error("D(Broadcast) must use the parallel bound")
+	}
+}
+
+func TestUpdateModeString(t *testing.T) {
+	tests := map[UpdateMode]string{
+		Serial:        "AJX-ser",
+		Parallel:      "AJX-par",
+		Hybrid:        "AJX-hybrid",
+		Broadcast:     "AJX-bcast",
+		UpdateMode(9): "UpdateMode(9)",
+	}
+	for mode, want := range tests {
+		if got := mode.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(mode), got, want)
+		}
+	}
+}
+
+func TestUnknownModePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("D with unknown mode did not panic")
+		}
+	}()
+	D(UpdateMode(0), 1, 0)
+}

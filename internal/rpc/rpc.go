@@ -1,0 +1,429 @@
+// Package rpc carries the AJX storage protocol over TCP. It mirrors
+// the paper's implementation choice of user-mode RPC on TCP: a Server
+// exposes one storage node on a listener, and a Client implements
+// proto.StorageNode by multiplexing concurrent calls over a single
+// connection with pipelining.
+//
+// Framing (see package wire): u32 frame length (type + id + payload),
+// u8 message type, u64 request id, payload. Replies carry the same
+// request id; a TError frame carries a server-side failure as text.
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"ecstore/internal/proto"
+	"ecstore/internal/wire"
+)
+
+// MaxFrame bounds a frame's length to keep a corrupt or hostile peer
+// from forcing huge allocations (16 MiB covers any sane block size).
+const MaxFrame = 16 << 20
+
+// errServer wraps a remote error string delivered in a TError frame.
+type errServer struct{ msg string }
+
+func (e *errServer) Error() string { return "rpc: server error: " + e.msg }
+
+// --- Server ----------------------------------------------------------------
+
+// Server serves one storage node over a listener.
+type Server struct {
+	node proto.StorageNode
+	ln   net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving node on ln. It returns immediately; accept and
+// request handling run on background goroutines until Close.
+func Serve(ln net.Listener, node proto.StorageNode) *Server {
+	s := &Server{node: node, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the listener and all connections, then waits for
+// handler goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	var wmu sync.Mutex
+	w := bufio.NewWriterSize(conn, 64<<10)
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		mt, id, payload, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			reply := s.dispatch(mt, payload)
+			wmu.Lock()
+			defer wmu.Unlock()
+			if err := writeReply(w, id, reply); err != nil {
+				_ = conn.Close()
+				return
+			}
+			_ = w.Flush()
+		}()
+	}
+}
+
+// dispatch decodes a request, invokes the node, and returns the reply
+// message (or an error to be sent as TError).
+func (s *Server) dispatch(mt wire.MsgType, payload []byte) any {
+	msg, err := wire.Decode(mt, payload)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	var (
+		rep any
+		e   error
+	)
+	switch req := msg.(type) {
+	case *proto.ReadReq:
+		rep, e = s.node.Read(ctx, req)
+	case *proto.SwapReq:
+		rep, e = s.node.Swap(ctx, req)
+	case *proto.AddReq:
+		rep, e = s.node.Add(ctx, req)
+	case *proto.BatchAddReq:
+		rep, e = s.node.BatchAdd(ctx, req)
+	case *proto.CheckTIDReq:
+		rep, e = s.node.CheckTID(ctx, req)
+	case *proto.TryLockReq:
+		rep, e = s.node.TryLock(ctx, req)
+	case *proto.SetLockReq:
+		rep, e = s.node.SetLock(ctx, req)
+	case *proto.GetStateReq:
+		rep, e = s.node.GetState(ctx, req)
+	case *proto.GetRecentReq:
+		rep, e = s.node.GetRecent(ctx, req)
+	case *proto.ReconstructReq:
+		rep, e = s.node.Reconstruct(ctx, req)
+	case *proto.FinalizeReq:
+		rep, e = s.node.Finalize(ctx, req)
+	case *proto.GCOldReq:
+		rep, e = s.node.GCOld(ctx, req)
+	case *proto.GCRecentReq:
+		rep, e = s.node.GCRecent(ctx, req)
+	case *proto.ProbeReq:
+		rep, e = s.node.Probe(ctx, req)
+	default:
+		e = fmt.Errorf("rpc: unexpected request type %T", msg)
+	}
+	if e != nil {
+		return e
+	}
+	return rep
+}
+
+// --- framing ---------------------------------------------------------------
+
+func readFrame(r io.Reader) (wire.MsgType, uint64, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[:])
+	if length < 9 || length > MaxFrame {
+		return 0, 0, nil, fmt.Errorf("rpc: bad frame length %d", length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, err
+	}
+	mt := wire.MsgType(body[0])
+	id := binary.BigEndian.Uint64(body[1:9])
+	return mt, id, body[9:], nil
+}
+
+func writeFrame(w io.Writer, mt wire.MsgType, id uint64, payload []byte) error {
+	var hdr [13]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(9+len(payload)))
+	hdr[4] = byte(mt)
+	binary.BigEndian.PutUint64(hdr[5:13], id)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func writeReply(w io.Writer, id uint64, reply any) error {
+	if err, ok := reply.(error); ok {
+		return writeFrame(w, wire.TError, id, []byte(err.Error()))
+	}
+	mt, payload, err := wire.Encode(reply)
+	if err != nil {
+		return writeFrame(w, wire.TError, id, []byte(err.Error()))
+	}
+	return writeFrame(w, mt, id, payload)
+}
+
+// --- Client ----------------------------------------------------------------
+
+// Client is a proto.StorageNode stub over TCP. It is safe for
+// concurrent use; calls are pipelined over one connection. A broken
+// connection fails in-flight calls with ErrNodeDown and is re-dialed
+// lazily on the next call.
+type Client struct {
+	addr   string
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	conn    net.Conn
+	w       *bufio.Writer
+	pending map[uint64]chan frameOrErr
+	closed  bool
+}
+
+type frameOrErr struct {
+	mt      wire.MsgType
+	payload []byte
+	err     error
+}
+
+// Dial creates a client for the given address. The connection is
+// established lazily on first use.
+func Dial(addr string) *Client {
+	return &Client{addr: addr, pending: make(map[uint64]chan frameOrErr)}
+}
+
+var _ proto.StorageNode = (*Client)(nil)
+
+// Close shuts the connection down; subsequent calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.failAllLocked(proto.ErrNodeDown)
+	c.conn = nil
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// ensureConn dials if needed. Caller must hold c.mu.
+func (c *Client) ensureConnLocked() error {
+	if c.closed {
+		return proto.ErrNodeDown
+	}
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("%w: %v", proto.ErrNodeDown, err)
+	}
+	c.conn = conn
+	c.w = bufio.NewWriterSize(conn, 64<<10)
+	go c.readLoop(conn)
+	return nil
+}
+
+func (c *Client) readLoop(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		mt, id, payload, err := readFrame(r)
+		if err != nil {
+			c.mu.Lock()
+			if c.conn == conn {
+				c.failAllLocked(fmt.Errorf("%w: %v", proto.ErrNodeDown, err))
+				c.conn = nil
+			}
+			c.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ok {
+			ch <- frameOrErr{mt: mt, payload: payload}
+		}
+	}
+}
+
+func (c *Client) failAllLocked(err error) {
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- frameOrErr{err: err}
+	}
+}
+
+// call performs one RPC: write the request frame, wait for the reply.
+func (c *Client) call(ctx context.Context, req any) (any, error) {
+	mt, payload, err := wire.Encode(req)
+	if err != nil {
+		return nil, err
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan frameOrErr, 1)
+
+	c.mu.Lock()
+	if err := c.ensureConnLocked(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[id] = ch
+	werr := writeFrame(c.w, mt, id, payload)
+	if werr == nil {
+		werr = c.w.Flush()
+	}
+	if werr != nil {
+		delete(c.pending, id)
+		conn := c.conn
+		c.failAllLocked(proto.ErrNodeDown)
+		c.conn = nil
+		c.mu.Unlock()
+		if conn != nil {
+			_ = conn.Close()
+		}
+		return nil, fmt.Errorf("%w: %v", proto.ErrNodeDown, werr)
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	case f := <-ch:
+		if f.err != nil {
+			return nil, f.err
+		}
+		if f.mt == wire.TError {
+			return nil, &errServer{msg: string(f.payload)}
+		}
+		return wire.Decode(f.mt, f.payload)
+	}
+}
+
+func callTyped[Rep any](c *Client, ctx context.Context, req any) (Rep, error) {
+	var zero Rep
+	rep, err := c.call(ctx, req)
+	if err != nil {
+		return zero, err
+	}
+	typed, ok := rep.(Rep)
+	if !ok {
+		return zero, fmt.Errorf("rpc: unexpected reply type %T", rep)
+	}
+	return typed, nil
+}
+
+func (c *Client) Read(ctx context.Context, req *proto.ReadReq) (*proto.ReadReply, error) {
+	return callTyped[*proto.ReadReply](c, ctx, req)
+}
+func (c *Client) Swap(ctx context.Context, req *proto.SwapReq) (*proto.SwapReply, error) {
+	return callTyped[*proto.SwapReply](c, ctx, req)
+}
+func (c *Client) Add(ctx context.Context, req *proto.AddReq) (*proto.AddReply, error) {
+	return callTyped[*proto.AddReply](c, ctx, req)
+}
+func (c *Client) BatchAdd(ctx context.Context, req *proto.BatchAddReq) (*proto.BatchAddReply, error) {
+	return callTyped[*proto.BatchAddReply](c, ctx, req)
+}
+func (c *Client) CheckTID(ctx context.Context, req *proto.CheckTIDReq) (*proto.CheckTIDReply, error) {
+	return callTyped[*proto.CheckTIDReply](c, ctx, req)
+}
+func (c *Client) TryLock(ctx context.Context, req *proto.TryLockReq) (*proto.TryLockReply, error) {
+	return callTyped[*proto.TryLockReply](c, ctx, req)
+}
+func (c *Client) SetLock(ctx context.Context, req *proto.SetLockReq) (*proto.SetLockReply, error) {
+	return callTyped[*proto.SetLockReply](c, ctx, req)
+}
+func (c *Client) GetState(ctx context.Context, req *proto.GetStateReq) (*proto.GetStateReply, error) {
+	return callTyped[*proto.GetStateReply](c, ctx, req)
+}
+func (c *Client) GetRecent(ctx context.Context, req *proto.GetRecentReq) (*proto.GetRecentReply, error) {
+	return callTyped[*proto.GetRecentReply](c, ctx, req)
+}
+func (c *Client) Reconstruct(ctx context.Context, req *proto.ReconstructReq) (*proto.ReconstructReply, error) {
+	return callTyped[*proto.ReconstructReply](c, ctx, req)
+}
+func (c *Client) Finalize(ctx context.Context, req *proto.FinalizeReq) (*proto.FinalizeReply, error) {
+	return callTyped[*proto.FinalizeReply](c, ctx, req)
+}
+func (c *Client) GCOld(ctx context.Context, req *proto.GCOldReq) (*proto.GCReply, error) {
+	return callTyped[*proto.GCReply](c, ctx, req)
+}
+func (c *Client) GCRecent(ctx context.Context, req *proto.GCRecentReq) (*proto.GCReply, error) {
+	return callTyped[*proto.GCReply](c, ctx, req)
+}
+func (c *Client) Probe(ctx context.Context, req *proto.ProbeReq) (*proto.ProbeReply, error) {
+	return callTyped[*proto.ProbeReply](c, ctx, req)
+}
+
+// IsServerError reports whether err was produced by the remote node
+// rather than the transport.
+func IsServerError(err error) bool {
+	var se *errServer
+	return errors.As(err, &se)
+}

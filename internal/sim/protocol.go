@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Msg is one request/reply exchange with a storage node.
+type Msg struct {
+	Node       int // physical node index
+	ReqBytes   int
+	RepBytes   int
+	ServerTime time.Duration
+}
+
+// Round is a set of exchanges issued together; the next round starts
+// only when every exchange of this one has completed. Broadcast rounds
+// charge the client uplink once for the shared payload (plus a header
+// per extra recipient).
+type Round struct {
+	Broadcast bool
+	Msgs      []Msg
+}
+
+// Op is one client operation: optional client CPU work followed by a
+// sequence of rounds. PayloadBytes is the application data moved,
+// which throughput is measured in.
+type Op struct {
+	CPU          time.Duration
+	Rounds       []Round
+	PayloadBytes int
+}
+
+// OpGen produces the next operation for a client thread. Generators
+// are pure functions of the rng, so runs are deterministic per seed.
+type OpGen func(rng *rand.Rand) Op
+
+// Protocol identifies a message-schedule model.
+type Protocol int
+
+// Protocols available to the simulator.
+const (
+	AJXPar Protocol = iota + 1
+	AJXSer
+	AJXHybrid
+	AJXBcast
+	FAB
+	GWGR
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case AJXPar:
+		return "AJX-par"
+	case AJXSer:
+		return "AJX-ser"
+	case AJXHybrid:
+		return "AJX-hybrid"
+	case AJXBcast:
+		return "AJX-bcast"
+	case FAB:
+		return "FAB"
+	case GWGR:
+		return "GWGR"
+	default:
+		return "unknown"
+	}
+}
+
+// CostModel captures the parameters that determine message schedules.
+type CostModel struct {
+	K, N        int
+	BlockSize   int
+	HeaderBytes int           // per-message framing + op arguments
+	ServerTime  time.Duration // storage-node service time per request
+	CPUPerBlock time.Duration // client field-arithmetic time per block
+	HybridGroup int           // group size for AJXHybrid (<= d_serial)
+}
+
+func (m CostModel) p() int { return m.N - m.K }
+
+// stripeNodes places a random stripe: the data node serving slot i and
+// the rotated redundant nodes.
+func (m CostModel) stripeNodes(rng *rand.Rand) (dataNode int, redundant []int) {
+	stripeRot := rng.Intn(m.N)
+	slot := rng.Intn(m.K)
+	dataNode = (slot + stripeRot) % m.N
+	redundant = make([]int, 0, m.p())
+	for j := m.K; j < m.N; j++ {
+		redundant = append(redundant, (j+stripeRot)%m.N)
+	}
+	return dataNode, redundant
+}
+
+func (m CostModel) small() int { return m.HeaderBytes }
+func (m CostModel) big() int   { return m.HeaderBytes + m.BlockSize }
+
+// WriteOp returns the operation generator for single-block writes
+// under the given protocol.
+func (m CostModel) WriteOp(p Protocol) OpGen {
+	switch p {
+	case AJXPar:
+		return m.ajxWriteGrouped(m.p()) // one parallel batch
+	case AJXSer:
+		return m.ajxWriteGrouped(1) // one node per round
+	case AJXHybrid:
+		g := m.HybridGroup
+		if g < 1 {
+			g = 1
+		}
+		return m.ajxWriteGrouped(g)
+	case AJXBcast:
+		return m.ajxWriteBcast()
+	case FAB:
+		return m.fabWrite()
+	case GWGR:
+		// GWGR writes whole stripes; a single-block update is a
+		// client-level read-modify-write of the stripe.
+		return m.gwgrBlockUpdate()
+	default:
+		panic("sim: unknown protocol")
+	}
+}
+
+// ReadOp returns the generator for single-block reads.
+func (m CostModel) ReadOp(p Protocol) OpGen {
+	switch p {
+	case AJXPar, AJXSer, AJXHybrid, AJXBcast:
+		return func(rng *rand.Rand) Op {
+			dataNode, _ := m.stripeNodes(rng)
+			return Op{
+				Rounds: []Round{{Msgs: []Msg{
+					{Node: dataNode, ReqBytes: m.small(), RepBytes: m.big(), ServerTime: m.ServerTime},
+				}}},
+				PayloadBytes: m.BlockSize,
+			}
+		}
+	case FAB:
+		// FAB reads contact k nodes (2k messages); one reply carries
+		// the block (read bandwidth B in Fig. 1).
+		return func(rng *rand.Rand) Op {
+			_, _ = m.stripeNodes(rng)
+			first := rng.Intn(m.N)
+			msgs := make([]Msg, 0, m.K)
+			for i := 0; i < m.K; i++ {
+				rep := m.small()
+				if i == 0 {
+					rep = m.big()
+				}
+				msgs = append(msgs, Msg{Node: (first + i) % m.N, ReqBytes: m.small(), RepBytes: rep, ServerTime: m.ServerTime})
+			}
+			return Op{Rounds: []Round{{Msgs: msgs}}, PayloadBytes: m.BlockSize}
+		}
+	case GWGR:
+		// GWGR reads the whole stripe from all n nodes (2n messages,
+		// nB bandwidth) to return k blocks of data.
+		return func(rng *rand.Rand) Op {
+			msgs := make([]Msg, 0, m.N)
+			for j := 0; j < m.N; j++ {
+				msgs = append(msgs, Msg{Node: j, ReqBytes: m.small(), RepBytes: m.big(), ServerTime: m.ServerTime})
+			}
+			return Op{Rounds: []Round{{Msgs: msgs}}, PayloadBytes: m.BlockSize * m.K}
+		}
+	default:
+		panic("sim: unknown protocol")
+	}
+}
+
+// ajxWriteGrouped models the AJX write: a swap exchange with the data
+// node (block out, old block back), then the p redundant adds in
+// groups of the given size — p groups of 1 for AJX-ser, one group of p
+// for AJX-par, d_serial-sized groups for the hybrid scheme. The client
+// pays field-arithmetic CPU per redundant delta.
+func (m CostModel) ajxWriteGrouped(group int) OpGen {
+	return func(rng *rand.Rand) Op {
+		dataNode, redundant := m.stripeNodes(rng)
+		rounds := []Round{{Msgs: []Msg{
+			{Node: dataNode, ReqBytes: m.big(), RepBytes: m.big(), ServerTime: m.ServerTime},
+		}}}
+		for start := 0; start < len(redundant); start += group {
+			end := min(start+group, len(redundant))
+			var msgs []Msg
+			for _, node := range redundant[start:end] {
+				msgs = append(msgs, Msg{Node: node, ReqBytes: m.big(), RepBytes: m.small(), ServerTime: m.ServerTime})
+			}
+			rounds = append(rounds, Round{Msgs: msgs})
+		}
+		return Op{
+			CPU:          time.Duration(m.p()) * m.CPUPerBlock,
+			Rounds:       rounds,
+			PayloadBytes: m.BlockSize,
+		}
+	}
+}
+
+// ajxWriteBcast models the broadcast write: swap, then one broadcast
+// delta that crosses the client uplink once; storage nodes do the
+// coefficient multiplication, so the client pays CPU for a single
+// delta.
+func (m CostModel) ajxWriteBcast() OpGen {
+	return func(rng *rand.Rand) Op {
+		dataNode, redundant := m.stripeNodes(rng)
+		var msgs []Msg
+		for _, node := range redundant {
+			msgs = append(msgs, Msg{Node: node, ReqBytes: m.big(), RepBytes: m.small(), ServerTime: m.ServerTime})
+		}
+		return Op{
+			CPU: m.CPUPerBlock,
+			Rounds: []Round{
+				{Msgs: []Msg{{Node: dataNode, ReqBytes: m.big(), RepBytes: m.big(), ServerTime: m.ServerTime}}},
+				{Broadcast: true, Msgs: msgs},
+			},
+			PayloadBytes: m.BlockSize,
+		}
+	}
+}
+
+// fabWrite models FAB's erasure-coded write: every write engages all n
+// nodes for two rounds (4n messages), moving about (2n+1)B — the
+// update data twice (log, then commit-apply) plus the old block.
+func (m CostModel) fabWrite() OpGen {
+	return func(rng *rand.Rand) Op {
+		var r1, r2 []Msg
+		for j := 0; j < m.N; j++ {
+			rep := m.small()
+			if j == 0 {
+				rep = m.big() // old-version read-back
+			}
+			r1 = append(r1, Msg{Node: j, ReqBytes: m.big(), RepBytes: rep, ServerTime: m.ServerTime})
+			r2 = append(r2, Msg{Node: j, ReqBytes: m.big(), RepBytes: m.small(), ServerTime: m.ServerTime})
+		}
+		return Op{
+			CPU:          time.Duration(m.p()) * m.CPUPerBlock,
+			Rounds:       []Round{{Msgs: r1}, {Msgs: r2}},
+			PayloadBytes: m.BlockSize,
+		}
+	}
+}
+
+// gwgrStripeWrite models GWGR's native operation: write an entire
+// stripe (two rounds to all n nodes, nB of data).
+func (m CostModel) gwgrStripeWrite() OpGen {
+	return func(rng *rand.Rand) Op {
+		var r1, r2 []Msg
+		for j := 0; j < m.N; j++ {
+			r1 = append(r1, Msg{Node: j, ReqBytes: m.big(), RepBytes: m.small(), ServerTime: m.ServerTime})
+			r2 = append(r2, Msg{Node: j, ReqBytes: m.small(), RepBytes: m.small(), ServerTime: m.ServerTime})
+		}
+		return Op{
+			CPU:          time.Duration(m.N) * m.CPUPerBlock,
+			Rounds:       []Round{{Msgs: r1}, {Msgs: r2}},
+			PayloadBytes: m.BlockSize * m.K,
+		}
+	}
+}
+
+// gwgrBlockUpdate models updating one block under GWGR: read the
+// stripe, re-encode, write the stripe back (the paper notes GWGR's
+// minimum write granularity is k blocks).
+func (m CostModel) gwgrBlockUpdate() OpGen {
+	read := m.ReadOp(GWGR)
+	write := m.gwgrStripeWrite()
+	return func(rng *rand.Rand) Op {
+		r := read(rng)
+		w := write(rng)
+		return Op{
+			CPU:          w.CPU,
+			Rounds:       append(r.Rounds, w.Rounds...),
+			PayloadBytes: m.BlockSize, // one logical block updated
+		}
+	}
+}
+
+// StripeWriteBatchedOp models the batched full-stripe write of
+// Section 3.11 as implemented by core.WriteStripe: k parallel swaps,
+// then one combined delta per redundant node. Only the AJX protocols
+// support it.
+func (m CostModel) StripeWriteBatchedOp(p Protocol) OpGen {
+	switch p {
+	case AJXPar, AJXSer, AJXHybrid, AJXBcast:
+	default:
+		panic("sim: batched stripe writes are an AJX operation")
+	}
+	return func(rng *rand.Rand) Op {
+		stripeRot := rng.Intn(m.N)
+		swaps := make([]Msg, 0, m.K)
+		for i := 0; i < m.K; i++ {
+			swaps = append(swaps, Msg{Node: (i + stripeRot) % m.N, ReqBytes: m.big(), RepBytes: m.big(), ServerTime: m.ServerTime})
+		}
+		batches := make([]Msg, 0, m.p())
+		for j := m.K; j < m.N; j++ {
+			batches = append(batches, Msg{Node: (j + stripeRot) % m.N, ReqBytes: m.big(), RepBytes: m.small(), ServerTime: m.ServerTime})
+		}
+		return Op{
+			CPU:          time.Duration(m.K*m.p()) * m.CPUPerBlock,
+			Rounds:       []Round{{Msgs: swaps}, {Msgs: batches}},
+			PayloadBytes: m.BlockSize * m.K,
+		}
+	}
+}
+
+// StripeWriteOp exposes the protocols' best-case sequential write:
+// full-stripe writes. AJX writes each block in turn (k swaps + k*p
+// adds, pipelined by the runner's threads); GWGR uses its native
+// stripe write; FAB writes each block.
+func (m CostModel) StripeWriteOp(p Protocol) OpGen {
+	if p == GWGR {
+		return m.gwgrStripeWrite()
+	}
+	single := m.WriteOp(p)
+	return func(rng *rand.Rand) Op {
+		var rounds []Round
+		var cpu time.Duration
+		for i := 0; i < m.K; i++ {
+			op := single(rng)
+			rounds = append(rounds, op.Rounds...)
+			cpu += op.CPU
+		}
+		return Op{CPU: cpu, Rounds: rounds, PayloadBytes: m.BlockSize * m.K}
+	}
+}

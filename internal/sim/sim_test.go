@@ -1,0 +1,452 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.At(30*time.Millisecond, func() { order = append(order, 3) })
+	eng.At(10*time.Millisecond, func() { order = append(order, 1) })
+	eng.At(20*time.Millisecond, func() { order = append(order, 2) })
+	eng.Run(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if eng.Now() != 30*time.Millisecond {
+		t.Fatalf("now = %v", eng.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		eng.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	eng.Run(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	eng.At(2*time.Second, func() { fired = true })
+	eng.Run(time.Second)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+}
+
+func TestEnginePastEventClamped(t *testing.T) {
+	eng := NewEngine()
+	var at time.Duration
+	eng.At(10*time.Millisecond, func() {
+		eng.At(5*time.Millisecond, func() { at = eng.Now() }) // in the past
+	})
+	eng.Run(time.Second)
+	if at != 10*time.Millisecond {
+		t.Fatalf("past event fired at %v", at)
+	}
+}
+
+func TestResourceQueues(t *testing.T) {
+	var r Resource
+	d1 := r.Acquire(0, 10*time.Millisecond)
+	d2 := r.Acquire(0, 10*time.Millisecond)
+	d3 := r.Acquire(25*time.Millisecond, 10*time.Millisecond)
+	if d1 != 10*time.Millisecond || d2 != 20*time.Millisecond || d3 != 35*time.Millisecond {
+		t.Fatalf("acquisitions: %v %v %v", d1, d2, d3)
+	}
+	if got := r.Utilization(100 * time.Millisecond); got < 0.29 || got > 0.31 {
+		t.Fatalf("utilization = %v, want 0.30", got)
+	}
+}
+
+func TestLinkSend(t *testing.T) {
+	l := NewLink(1e6) // 1 MB/s
+	done := l.Send(0, 1000)
+	if done != time.Millisecond {
+		t.Fatalf("1000 bytes at 1 MB/s = %v, want 1ms", done)
+	}
+}
+
+func TestLinkPanicsOnBadBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLink(0) did not panic")
+		}
+	}()
+	NewLink(0)
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := DefaultConfig(2, 4, 1024, 1, 1, AJXPar, RandomWrite)
+	cfg.Clients = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero clients accepted")
+	}
+	cfg = DefaultConfig(2, 4, 1024, 1, 1, AJXPar, RandomWrite)
+	cfg.Model.K = 4
+	if _, err := Run(cfg); err == nil {
+		t.Error("invalid code accepted")
+	}
+	cfg = DefaultConfig(2, 4, 1024, 1, 1, AJXPar, RandomWrite)
+	cfg.Duration = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero duration accepted")
+	}
+	cfg = DefaultConfig(2, 4, 1024, 1, 1, AJXPar, WorkloadKind(99))
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := DefaultConfig(3, 5, 1024, 2, 8, AJXPar, RandomWrite)
+	cfg.Duration = 200 * time.Millisecond
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Ops != r2.Ops || r1.PayloadBytes != r2.PayloadBytes {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d ops/bytes", r1.Ops, r1.PayloadBytes, r2.Ops, r2.PayloadBytes)
+	}
+}
+
+func TestWriteThroughputBoundedByClientUplink(t *testing.T) {
+	// One client, AJX-par, p=2: each written block pushes ~(p+1)B up
+	// the client link, so payload throughput <= ClientBW/(p+1).
+	cfg := DefaultConfig(2, 4, 1024, 1, 32, AJXPar, RandomWrite)
+	cfg.Duration = 500 * time.Millisecond
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxPayload := cfg.ClientBW / 3 // (p+1) = 3 block-size transmissions per write
+	if r.ThroughputBps > maxPayload*1.05 {
+		t.Fatalf("throughput %.0f exceeds uplink bound %.0f", r.ThroughputBps, maxPayload)
+	}
+	if r.ThroughputBps < maxPayload*0.5 {
+		t.Fatalf("throughput %.0f is far below the uplink bound %.0f — pipelining broken?", r.ThroughputBps, maxPayload)
+	}
+}
+
+func TestReadsFasterThanWrites(t *testing.T) {
+	// Section 6.2: read throughput is ~4-5x write throughput (reads
+	// move one block; writes move p+2).
+	w, err := Run(DefaultConfig(3, 5, 1024, 2, 32, AJXPar, RandomWrite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(DefaultConfig(3, 5, 1024, 2, 32, AJXPar, RandomRead))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r.ThroughputBps / w.ThroughputBps
+	if ratio < 2 {
+		t.Fatalf("read/write throughput ratio = %.2f, want clearly > 2", ratio)
+	}
+}
+
+func TestMoreClientsMoreThroughput(t *testing.T) {
+	// Fig. 10(a): aggregate write throughput grows with the client
+	// count until storage nodes saturate.
+	t1, err := Run(DefaultConfig(4, 6, 1024, 1, 16, AJXPar, RandomWrite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := Run(DefaultConfig(4, 6, 1024, 4, 16, AJXPar, RandomWrite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4.ThroughputBps <= t1.ThroughputBps*1.5 {
+		t.Fatalf("4 clients (%.0f) not clearly faster than 1 (%.0f)", t4.ThroughputBps, t1.ThroughputBps)
+	}
+}
+
+func TestWriteThroughputDecreasesWithRedundancy(t *testing.T) {
+	// Fig. 9(c)/10(c): more redundancy, less client write throughput.
+	prev := 1e18
+	for _, p := range []int{1, 2, 4} {
+		cfg := DefaultConfig(4, 4+p, 1024, 1, 32, AJXPar, RandomWrite)
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ThroughputBps >= prev {
+			t.Fatalf("throughput did not decrease at p=%d: %.0f >= %.0f", p, r.ThroughputBps, prev)
+		}
+		prev = r.ThroughputBps
+	}
+}
+
+func TestBroadcastFlatInRedundancy(t *testing.T) {
+	// Fig. 10(d): with broadcast, a single client's write throughput
+	// barely depends on n-k.
+	r1, err := Run(DefaultConfig(4, 5, 1024, 1, 32, AJXBcast, RandomWrite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(DefaultConfig(4, 12, 1024, 1, 32, AJXBcast, RandomWrite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := (r1.ThroughputBps - r8.ThroughputBps) / r1.ThroughputBps
+	// Headers cost a little per extra recipient, so "flat" means a
+	// drop well under what the extra p-1 payload copies would cost.
+	if drop > 0.25 {
+		t.Fatalf("broadcast throughput dropped %.0f%% from p=1 to p=8, want ~flat", drop*100)
+	}
+	// Whereas unicast parallel drops sharply across the same span.
+	u1, _ := Run(DefaultConfig(4, 5, 1024, 1, 32, AJXPar, RandomWrite))
+	u8, _ := Run(DefaultConfig(4, 12, 1024, 1, 32, AJXPar, RandomWrite))
+	uniDrop := (u1.ThroughputBps - u8.ThroughputBps) / u1.ThroughputBps
+	if uniDrop < 0.4 {
+		t.Fatalf("unicast dropped only %.0f%% from p=1 to p=8, expected a sharp decline", uniDrop*100)
+	}
+	if uniDrop < 2*drop {
+		t.Fatalf("unicast drop (%.0f%%) not clearly worse than broadcast drop (%.0f%%)", uniDrop*100, drop*100)
+	}
+}
+
+func TestAJXBeatsFABAndGWGROnRandomWrites(t *testing.T) {
+	// Fig. 1's punchline: for random single-block writes with an
+	// efficient code (large k, small p), AJX touches 1+p nodes while
+	// FAB touches n and GWGR rewrites whole stripes.
+	const k, n = 8, 10
+	ajx, err := Run(DefaultConfig(k, n, 1024, 4, 16, AJXPar, RandomWrite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := Run(DefaultConfig(k, n, 1024, 4, 16, FAB, RandomWrite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwgr, err := Run(DefaultConfig(k, n, 1024, 4, 16, GWGR, RandomWrite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ajx.ThroughputBps < 1.5*fab.ThroughputBps {
+		t.Fatalf("AJX (%.0f) not clearly ahead of FAB (%.0f)", ajx.ThroughputBps, fab.ThroughputBps)
+	}
+	if ajx.ThroughputBps < 1.5*gwgr.ThroughputBps {
+		t.Fatalf("AJX (%.0f) not clearly ahead of GWGR (%.0f)", ajx.ThroughputBps, gwgr.ThroughputBps)
+	}
+}
+
+func TestSerialWriteHigherLatencyThanParallel(t *testing.T) {
+	// In the latency-dominated regime (huge bandwidth), the round-trip
+	// counts of Fig. 1 show directly: serial takes 1+p round trips vs
+	// 2 for parallel, so with p=4 the ratio approaches 2.5.
+	mk := func(proto Protocol) Config {
+		cfg := DefaultConfig(4, 8, 1024, 1, 1, proto, RandomWrite)
+		cfg.ClientBW = 1e12
+		cfg.NodeBW = 1e12
+		return cfg
+	}
+	ser, err := Run(mk(AJXSer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(mk(AJXPar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.AvgLatency <= par.AvgLatency*2 {
+		t.Fatalf("serial latency %v not clearly above parallel %v (p=4)", ser.AvgLatency, par.AvgLatency)
+	}
+}
+
+func TestHybridLatencyBetweenSerAndPar(t *testing.T) {
+	cfg := DefaultConfig(4, 8, 1024, 1, 1, AJXHybrid, RandomWrite)
+	cfg.Model.HybridGroup = 2 // 2 groups of 2
+	hyb, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, _ := Run(DefaultConfig(4, 8, 1024, 1, 1, AJXSer, RandomWrite))
+	par, _ := Run(DefaultConfig(4, 8, 1024, 1, 1, AJXPar, RandomWrite))
+	if !(par.AvgLatency < hyb.AvgLatency && hyb.AvgLatency < ser.AvgLatency) {
+		t.Fatalf("latencies not ordered: par %v, hybrid %v, ser %v", par.AvgLatency, hyb.AvgLatency, ser.AvgLatency)
+	}
+}
+
+func TestReadThroughputIndependentOfK(t *testing.T) {
+	// Fig. 10(b): AJX reads never touch redundant nodes, so read
+	// throughput depends on n (node count) but not on k.
+	a, err := Run(DefaultConfig(4, 8, 1024, 2, 32, AJXPar, RandomRead))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(DefaultConfig(6, 8, 1024, 2, 32, AJXPar, RandomRead))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := (a.ThroughputBps - b.ThroughputBps) / a.ThroughputBps
+	if diff < -0.1 || diff > 0.1 {
+		t.Fatalf("read throughput varied %.0f%% with k at fixed n", diff*100)
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	for p, want := range map[Protocol]string{
+		AJXPar: "AJX-par", AJXSer: "AJX-ser", AJXHybrid: "AJX-hybrid",
+		AJXBcast: "AJX-bcast", FAB: "FAB", GWGR: "GWGR", Protocol(0): "unknown",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+	for w, want := range map[WorkloadKind]string{
+		RandomWrite: "random-write", RandomRead: "random-read",
+		SequentialWrite: "sequential-write", WorkloadKind(0): "unknown",
+	} {
+		if got := w.String(); got != want {
+			t.Errorf("workload %d = %q, want %q", w, got, want)
+		}
+	}
+}
+
+func TestCostModelMessageCounts(t *testing.T) {
+	// The generated schedules must carry exactly the message counts of
+	// Fig. 1 (requests; replies are implicit).
+	m := DefaultModel(4, 7, 1024) // p = 3
+	rng := rand.New(rand.NewSource(1))
+	count := func(op Op) int {
+		total := 0
+		for _, r := range op.Rounds {
+			total += len(r.Msgs)
+		}
+		return total
+	}
+	if got := count(m.WriteOp(AJXPar)(rng)); got != 1+3 {
+		t.Errorf("AJX-par write msgs = %d, want 4 (2(p+1) wire msgs)", got)
+	}
+	if got := count(m.ReadOp(AJXPar)(rng)); got != 1 {
+		t.Errorf("AJX read msgs = %d, want 1", got)
+	}
+	if got := count(m.WriteOp(FAB)(rng)); got != 2*7 {
+		t.Errorf("FAB write msgs = %d, want 2n", got)
+	}
+	if got := count(m.ReadOp(FAB)(rng)); got != 4 {
+		t.Errorf("FAB read msgs = %d, want k", got)
+	}
+	if got := count(m.ReadOp(GWGR)(rng)); got != 7 {
+		t.Errorf("GWGR read msgs = %d, want n", got)
+	}
+	if got := count(m.WriteOp(GWGR)(rng)); got != 7+2*7 {
+		t.Errorf("GWGR block update msgs = %d, want n (read) + 2n (write)", got)
+	}
+	// Rounds: par = 2, ser = 1+p, hybrid(group 2) = 1+2.
+	if got := len(m.WriteOp(AJXPar)(rng).Rounds); got != 2 {
+		t.Errorf("AJX-par rounds = %d", got)
+	}
+	if got := len(m.WriteOp(AJXSer)(rng).Rounds); got != 4 {
+		t.Errorf("AJX-ser rounds = %d", got)
+	}
+	mh := m
+	mh.HybridGroup = 2
+	if got := len(mh.WriteOp(AJXHybrid)(rng).Rounds); got != 3 {
+		t.Errorf("AJX-hybrid rounds = %d", got)
+	}
+	if got := len(m.WriteOp(AJXBcast)(rng).Rounds); got != 2 {
+		t.Errorf("AJX-bcast rounds = %d", got)
+	}
+}
+
+func TestSequentialWritePayload(t *testing.T) {
+	m := DefaultModel(4, 6, 1024)
+	rng := rand.New(rand.NewSource(2))
+	op := m.StripeWriteOp(AJXPar)(rng)
+	if op.PayloadBytes != 4*1024 {
+		t.Fatalf("stripe write payload = %d", op.PayloadBytes)
+	}
+	gw := m.StripeWriteOp(GWGR)(rng)
+	if gw.PayloadBytes != 4*1024 {
+		t.Fatalf("GWGR stripe write payload = %d", gw.PayloadBytes)
+	}
+}
+
+func TestBatchedStripeWriteFasterThanPerBlock(t *testing.T) {
+	per, err := Run(DefaultConfig(8, 12, 1024, 1, 8, AJXPar, SequentialWrite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := Run(DefaultConfig(8, 12, 1024, 1, 8, AJXPar, SequentialWriteBatched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bat.ThroughputBps <= per.ThroughputBps {
+		t.Fatalf("batched (%.0f) not faster than per-block (%.0f)", bat.ThroughputBps, per.ThroughputBps)
+	}
+}
+
+func TestBatchedStripeWriteRejectsBaselines(t *testing.T) {
+	if _, err := Run(DefaultConfig(4, 6, 1024, 1, 1, FAB, SequentialWriteBatched)); err == nil {
+		t.Fatal("FAB accepted a batched stripe write workload")
+	}
+}
+
+func TestSharedNetworkBandwidthCaps(t *testing.T) {
+	// With a constrained shared fabric, aggregate throughput must cap
+	// near NetworkBW divided by the bytes-per-payload factor, no matter
+	// how many clients push.
+	cfg := DefaultConfig(2, 4, 1024, 8, 16, AJXPar, RandomWrite)
+	cfg.NetworkBW = 8e6 // 8 MB/s shared fabric — far below the NICs
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each write moves ~(p+2)B + headers + replies through the fabric
+	// (both directions): payload throughput well under NetworkBW.
+	if r.ThroughputBps > cfg.NetworkBW {
+		t.Fatalf("payload throughput %.0f exceeds the shared fabric bandwidth %.0f", r.ThroughputBps, cfg.NetworkBW)
+	}
+	// And the cap must bind: an unconstrained run is much faster.
+	cfg2 := cfg
+	cfg2.NetworkBW = 0
+	r2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ThroughputBps < 2*r.ThroughputBps {
+		t.Fatalf("removing the fabric cap did not help (%.0f vs %.0f)", r2.ThroughputBps, r.ThroughputBps)
+	}
+}
+
+func TestUtilizationReporting(t *testing.T) {
+	cfg := DefaultConfig(2, 4, 1024, 2, 16, AJXPar, RandomWrite)
+	cfg.Duration = 100 * time.Millisecond
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ClientUtilization) != 2 || len(r.NodeUtilization) != 4 {
+		t.Fatalf("utilization lengths: %d clients, %d nodes", len(r.ClientUtilization), len(r.NodeUtilization))
+	}
+	for i, u := range r.ClientUtilization {
+		if u <= 0 || u > 1.01 {
+			t.Fatalf("client %d utilization = %v", i, u)
+		}
+	}
+	total := 0
+	for _, ops := range r.PerClientOps {
+		total += ops
+	}
+	if total != r.Ops {
+		t.Fatalf("per-client ops sum %d != total %d", total, r.Ops)
+	}
+}

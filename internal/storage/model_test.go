@@ -1,0 +1,276 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecstore/internal/gf"
+	"ecstore/internal/proto"
+)
+
+// refSlot is an executable specification of one storage slot, kept
+// deliberately dumb: plain lists, linear scans, no indexes. The
+// model-based test below drives random operation sequences against
+// both the real node and this reference and demands identical
+// observable behaviour — it guards the node's optimizations (tid set
+// indexes, write-back persistence) against semantic drift.
+type refSlot struct {
+	block  []byte
+	opmode proto.OpMode
+	lmode  proto.LockMode
+	epoch  uint64
+	recent []proto.TID
+	old    []proto.TID
+}
+
+func newRefSlot(size int) *refSlot {
+	return &refSlot{block: make([]byte, size), opmode: proto.Norm, lmode: proto.Unlocked}
+}
+
+func (r *refSlot) has(list []proto.TID, t proto.TID) bool {
+	for _, x := range list {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refSlot) swap(v []byte, ntid proto.TID) (ok bool, old []byte, otid proto.TID) {
+	if r.opmode != proto.Norm || r.lmode != proto.Unlocked {
+		return false, nil, proto.TID{}
+	}
+	old = r.block
+	r.block = append([]byte(nil), v...)
+	if len(r.recent) > 0 {
+		otid = r.recent[len(r.recent)-1]
+	}
+	r.recent = append(r.recent, ntid)
+	return true, old, otid
+}
+
+func (r *refSlot) add(delta []byte, ntid, otid proto.TID, epoch uint64) proto.Status {
+	if r.opmode != proto.Norm || (r.lmode != proto.Unlocked && r.lmode != proto.L0) || epoch < r.epoch {
+		return proto.StatusUnavail
+	}
+	if r.has(r.recent, ntid) || r.has(r.old, ntid) {
+		return proto.StatusOK
+	}
+	if !otid.IsZero() && !r.has(r.recent, otid) && !r.has(r.old, otid) {
+		return proto.StatusOrder
+	}
+	for i := range r.block {
+		r.block[i] ^= delta[i]
+	}
+	r.recent = append(r.recent, ntid)
+	return proto.StatusOK
+}
+
+func (r *refSlot) gcRecent(tids []proto.TID) {
+	if r.opmode != proto.Norm || r.lmode != proto.Unlocked {
+		return
+	}
+	var kept []proto.TID
+	for _, t := range r.recent {
+		moved := false
+		for _, g := range tids {
+			if t == g {
+				moved = true
+				break
+			}
+		}
+		if moved {
+			r.old = append(r.old, t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	r.recent = kept
+}
+
+func (r *refSlot) gcOld(tids []proto.TID) {
+	if r.opmode != proto.Norm || r.lmode != proto.Unlocked {
+		return
+	}
+	var kept []proto.TID
+	for _, t := range r.old {
+		drop := false
+		for _, g := range tids {
+			if t == g {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			kept = append(kept, t)
+		}
+	}
+	r.old = kept
+}
+
+func (r *refSlot) finalize(epoch uint64) {
+	r.epoch = epoch
+	r.recent = nil
+	r.old = nil
+	if r.opmode == proto.Recons {
+		r.opmode = proto.Norm
+	}
+	r.lmode = proto.Unlocked
+}
+
+// TestNodeMatchesReferenceModel drives random operation sequences
+// against the real node and the reference slot in lockstep.
+func TestNodeMatchesReferenceModel(t *testing.T) {
+	const size = 32
+	ctx := context.Background()
+	cfg := &quick.Config{MaxCount: 60}
+	err := quick.Check(func(seed int64, opsRaw []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		node := MustNew(Options{ID: "model", BlockSize: size})
+		ref := newRefSlot(size)
+		tids := make([]proto.TID, 0, 16)
+		randTID := func() proto.TID {
+			// Bias toward reuse so duplicate/ordering paths fire.
+			if len(tids) > 0 && rng.Intn(2) == 0 {
+				return tids[rng.Intn(len(tids))]
+			}
+			t := proto.TID{Seq: rng.Uint64() % 1000, Block: 0, Client: proto.ClientID(rng.Uint32()%4 + 1)}
+			tids = append(tids, t)
+			return t
+		}
+		block := func() []byte {
+			b := make([]byte, size)
+			rng.Read(b)
+			return b
+		}
+		for _, op := range opsRaw {
+			switch op % 7 {
+			case 0: // swap
+				v := block()
+				ntid := randTID()
+				rep, err := node.Swap(ctx, &proto.SwapReq{Stripe: 1, Slot: 0, Value: v, NTID: ntid})
+				if err != nil {
+					return false
+				}
+				ok, old, otid := ref.swap(v, ntid)
+				if rep.OK != ok {
+					return false
+				}
+				if ok && (!bytes.Equal(rep.Block, old) || rep.OTID != otid) {
+					return false
+				}
+			case 1: // add
+				d := block()
+				ntid, otid := randTID(), proto.TID{}
+				if rng.Intn(2) == 0 {
+					otid = randTID()
+				}
+				epoch := uint64(rng.Intn(3))
+				rep, err := node.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 0, Delta: d, Premultiplied: true, NTID: ntid, OTID: otid, Epoch: epoch})
+				if err != nil {
+					return false
+				}
+				if rep.Status != ref.add(d, ntid, otid, epoch) {
+					return false
+				}
+			case 2: // gc_recent on a random subset
+				var subset []proto.TID
+				for _, t := range tids {
+					if rng.Intn(3) == 0 {
+						subset = append(subset, t)
+					}
+				}
+				if _, err := node.GCRecent(ctx, &proto.GCRecentReq{Stripe: 1, Slot: 0, TIDs: subset}); err != nil {
+					return false
+				}
+				ref.gcRecent(subset)
+			case 3: // gc_old
+				var subset []proto.TID
+				for _, t := range tids {
+					if rng.Intn(3) == 0 {
+						subset = append(subset, t)
+					}
+				}
+				if _, err := node.GCOld(ctx, &proto.GCOldReq{Stripe: 1, Slot: 0, TIDs: subset}); err != nil {
+					return false
+				}
+				ref.gcOld(subset)
+			case 4: // lock toggling
+				mode := []proto.LockMode{proto.Unlocked, proto.L0, proto.L1}[rng.Intn(3)]
+				if _, err := node.SetLock(ctx, &proto.SetLockReq{Stripe: 1, Slot: 0, Mode: mode, Caller: 1}); err != nil {
+					return false
+				}
+				ref.lmode = mode
+			case 5: // finalize with a random epoch bump
+				e := ref.epoch + uint64(rng.Intn(2))
+				if _, err := node.Finalize(ctx, &proto.FinalizeReq{Stripe: 1, Slot: 0, Epoch: e}); err != nil {
+					return false
+				}
+				ref.finalize(e)
+			default: // read
+				rep, err := node.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0})
+				if err != nil {
+					return false
+				}
+				wantOK := ref.opmode == proto.Norm && ref.lmode == proto.Unlocked
+				if rep.OK != wantOK {
+					return false
+				}
+				if wantOK && !bytes.Equal(rep.Block, ref.block) {
+					return false
+				}
+			}
+		}
+		// Final state comparison.
+		st, err := node.GetState(ctx, &proto.GetStateReq{Stripe: 1, Slot: 0})
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(st.Block, ref.block) || st.Epoch != ref.epoch {
+			return false
+		}
+		if len(st.RecentList) != len(ref.recent) || len(st.OldList) != len(ref.old) {
+			return false
+		}
+		for i, e := range st.RecentList {
+			if e.TID != ref.recent[i] {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAddDeltaAlgebra property-checks the XOR-delta algebra that the
+// whole protocol rests on: applying deltas in any order yields the
+// same block (gf.AddSlice is commutative and associative).
+func TestAddDeltaAlgebra(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const size = 24
+		deltas := make([][]byte, 5)
+		for i := range deltas {
+			deltas[i] = make([]byte, size)
+			rng.Read(deltas[i])
+		}
+		a := make([]byte, size)
+		b := make([]byte, size)
+		for _, d := range deltas {
+			gf.AddSlice(a, d)
+		}
+		perm := rng.Perm(len(deltas))
+		for _, i := range perm {
+			gf.AddSlice(b, deltas[i])
+		}
+		return bytes.Equal(a, b)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}

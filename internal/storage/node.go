@@ -1,0 +1,689 @@
+// Package storage implements the thin storage node of the AJX
+// protocol. A node stores one block per (stripe, slot) pair together
+// with the per-slot protocol state of the paper's Figs. 4-7: operation
+// mode, lock mode, epoch, recentlist/oldlist of write identifiers, and
+// the saved reconstruction set.
+//
+// The node is deliberately dumb: every operation is a short,
+// independent critical section with no cross-slot coordination, no log
+// of old data versions, and no knowledge of other nodes. All
+// orchestration lives in the client (internal/core).
+package storage
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecstore/internal/blockstore"
+	"ecstore/internal/erasure"
+	"ecstore/internal/gf"
+	"ecstore/internal/proto"
+)
+
+// Options configures a Node.
+type Options struct {
+	// ID names the node in errors and logs.
+	ID string
+	// BlockSize is the fixed block size in bytes. Required.
+	BlockSize int
+	// Code lets the node apply erasure-code coefficients itself when a
+	// client sends unmultiplied (broadcast) deltas. Optional: nodes
+	// serving only premultiplied adds don't need it.
+	Code *erasure.Code
+	// Replacement marks a node that replaces a crashed one: every slot
+	// starts in INIT mode with garbage content (paper Section 3.5).
+	Replacement bool
+	// LockLease, when non-zero, expires locks whose holder has not
+	// completed recovery within the lease. Deployments without an
+	// external failure detector use this to realize the paper's
+	// "upon failure of lid" transition to EXP. Zero disables leases;
+	// the FailClient method is then the only expiry path.
+	LockLease time.Duration
+	// Now injects a clock for tests. Defaults to time.Now.
+	Now func() time.Time
+	// GarbageSeed seeds the random content of INIT slots so tests can
+	// reproduce the paper's "random blocks after fail-remap".
+	GarbageSeed int64
+	// Store optionally persists block contents (internal/blockstore).
+	// Nil keeps blocks in memory only — the paper's evaluation setup.
+	Store blockstore.Store
+	// TrustPersisted lets a node restarted on top of a Store serve its
+	// persisted blocks as valid (NORM). Leave false unless the
+	// deployment can prove the node missed no writes while down;
+	// otherwise the slots start INIT and recovery rebuilds them, which
+	// is always safe.
+	TrustPersisted bool
+}
+
+// Node is an in-memory storage node. It is safe for concurrent use.
+// The zero value is not usable; construct with New.
+type Node struct {
+	opts Options
+	now  func() time.Time
+
+	crashed atomic.Bool
+
+	mu    sync.Mutex
+	slots map[slotKey]*slotState
+	clock uint64 // logical timestamp, strictly monotonic per node
+	rng   *rand.Rand
+
+	// stats are monotonic operation counters, readable via Stats.
+	stats Stats
+}
+
+// Stats counts operations served, for experiments and tests.
+type Stats struct {
+	Reads, Swaps, Adds, BatchAdds, CheckTIDs           uint64
+	TryLocks, SetLocks, GetStates, GetRecents          uint64
+	Reconstructs, Finalizes, GCOlds, GCRecents, Probes uint64
+	RejectedAdds, OrderRejects, StaleEpochs            uint64
+}
+
+type slotKey struct {
+	stripe uint64
+	slot   int32
+}
+
+type slotState struct {
+	block      []byte
+	opmode     proto.OpMode
+	lmode      proto.LockMode
+	epoch      uint64
+	recent     []proto.TIDTime
+	old        []proto.TIDTime
+	recentSet  map[proto.TID]struct{} // membership index over recent
+	oldSet     map[proto.TID]struct{} // membership index over old
+	lid        proto.ClientID
+	lockExpiry time.Time
+	reconsSet  []int32
+}
+
+func (st *slotState) inRecent(t proto.TID) bool {
+	_, ok := st.recentSet[t]
+	return ok
+}
+
+func (st *slotState) inOld(t proto.TID) bool {
+	_, ok := st.oldSet[t]
+	return ok
+}
+
+func (st *slotState) appendRecent(e proto.TIDTime) {
+	st.recent = append(st.recent, e)
+	st.recentSet[e.TID] = struct{}{}
+}
+
+// New constructs a storage node.
+func New(opts Options) (*Node, error) {
+	if opts.BlockSize <= 0 {
+		return nil, fmt.Errorf("storage: BlockSize must be positive, got %d", opts.BlockSize)
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Node{
+		opts:  opts,
+		now:   opts.Now,
+		slots: make(map[slotKey]*slotState),
+		rng:   rand.New(rand.NewSource(opts.GarbageSeed)),
+	}, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(opts Options) *Node {
+	n, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ID returns the node's configured identifier.
+func (n *Node) ID() string { return n.opts.ID }
+
+// Crash fail-stops the node: every subsequent operation returns
+// ErrNodeDown and all state is discarded (the paper assumes a crashed
+// node may never recover; a replacement node is remapped in its
+// place).
+func (n *Node) Crash() {
+	n.crashed.Store(true)
+	n.mu.Lock()
+	n.slots = make(map[slotKey]*slotState)
+	n.mu.Unlock()
+}
+
+// Crashed reports whether the node has fail-stopped.
+func (n *Node) Crashed() bool { return n.crashed.Load() }
+
+// FailClient implements the paper's "upon failure of lid" rule with an
+// oracle failure detector: every slot locked by the failed client has
+// its lock expired. Deployments without an oracle use LockLease.
+func (n *Node) FailClient(id proto.ClientID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, st := range n.slots {
+		if st.lmode.Locked() && st.lid == id {
+			st.lmode = proto.Expired
+		}
+	}
+}
+
+// getSlot returns the slot state, creating it lazily in the node's
+// initial mode. Callers must hold n.mu.
+func (n *Node) getSlot(stripe uint64, slot int32) *slotState {
+	key := slotKey{stripe: stripe, slot: slot}
+	st, ok := n.slots[key]
+	if !ok {
+		st = &slotState{
+			block:     make([]byte, n.opts.BlockSize),
+			opmode:    proto.Norm,
+			lmode:     proto.Unlocked,
+			recentSet: make(map[proto.TID]struct{}),
+			oldSet:    make(map[proto.TID]struct{}),
+		}
+		if n.opts.Store != nil {
+			if blk, found := n.opts.Store.Get(blockstore.Key{Stripe: stripe, Slot: slot}); found {
+				copy(st.block, blk)
+				if !n.opts.TrustPersisted {
+					// Persisted bytes survive, but the node cannot
+					// prove it missed no writes while down: treat the
+					// slot as uninitialized and let recovery decide.
+					st.opmode = proto.Init
+				}
+			} else if n.opts.Replacement {
+				st.opmode = proto.Init
+				n.rng.Read(st.block)
+			}
+		} else if n.opts.Replacement {
+			st.opmode = proto.Init
+			n.rng.Read(st.block) // uninitialized garbage
+		}
+		n.slots[key] = st
+	}
+	n.maybeExpireLease(st)
+	return st
+}
+
+// maybeExpireLease applies lease-based lock expiry. Callers hold n.mu.
+func (n *Node) maybeExpireLease(st *slotState) {
+	if n.opts.LockLease <= 0 || !st.lmode.Locked() {
+		return
+	}
+	if n.now().After(st.lockExpiry) {
+		st.lmode = proto.Expired
+	}
+}
+
+// tick returns a strictly increasing logical timestamp derived from
+// the wall clock. Callers hold n.mu.
+func (n *Node) tick() uint64 {
+	t := uint64(n.now().UnixNano())
+	if t <= n.clock {
+		t = n.clock + 1
+	}
+	n.clock = t
+	return t
+}
+
+func (n *Node) checkUp() error {
+	if n.crashed.Load() {
+		return proto.ErrNodeDown
+	}
+	return nil
+}
+
+var _ proto.StorageNode = (*Node)(nil)
+
+// Read implements the paper's read operation (Fig. 4).
+func (n *Node) Read(_ context.Context, req *proto.ReadReq) (*proto.ReadReply, error) {
+	if err := n.checkUp(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Reads++
+	st := n.getSlot(req.Stripe, req.Slot)
+	if st.opmode != proto.Norm || st.lmode != proto.Unlocked {
+		return &proto.ReadReply{OK: false, LockMode: st.lmode}, nil
+	}
+	return &proto.ReadReply{OK: true, Block: cloneBytes(st.block), LockMode: st.lmode}, nil
+}
+
+// Swap implements the paper's swap operation (Fig. 5): atomically
+// replace the block, returning its previous content, the slot epoch,
+// and the identifier of the previous write.
+func (n *Node) Swap(_ context.Context, req *proto.SwapReq) (*proto.SwapReply, error) {
+	if err := n.checkUp(); err != nil {
+		return nil, err
+	}
+	if len(req.Value) != n.opts.BlockSize {
+		return nil, fmt.Errorf("storage: swap value has %d bytes, want %d", len(req.Value), n.opts.BlockSize)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Swaps++
+	st := n.getSlot(req.Stripe, req.Slot)
+	if st.opmode != proto.Norm || st.lmode != proto.Unlocked {
+		return &proto.SwapReply{OK: false, Epoch: st.epoch, LockMode: st.lmode}, nil
+	}
+	old := st.block
+	st.block = cloneBytes(req.Value)
+	if err := n.persist(req.Stripe, req.Slot, st.block); err != nil {
+		st.block = old
+		return nil, err
+	}
+	var otid proto.TID
+	if len(st.recent) > 0 {
+		// Entries are appended with strictly increasing times, so the
+		// last one is the previous write.
+		otid = st.recent[len(st.recent)-1].TID
+	}
+	st.appendRecent(proto.TIDTime{TID: req.NTID, Time: n.tick()})
+	return &proto.SwapReply{OK: true, Block: old, Epoch: st.epoch, OTID: otid, LockMode: st.lmode}, nil
+}
+
+// Add implements the paper's add operation (Fig. 5): fold a delta into
+// a redundant block, enforcing write ordering via otid and epoch
+// freshness.
+func (n *Node) Add(_ context.Context, req *proto.AddReq) (*proto.AddReply, error) {
+	if err := n.checkUp(); err != nil {
+		return nil, err
+	}
+	if len(req.Delta) != n.opts.BlockSize {
+		return nil, fmt.Errorf("storage: add delta has %d bytes, want %d", len(req.Delta), n.opts.BlockSize)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Adds++
+	st := n.getSlot(req.Stripe, req.Slot)
+	if st.opmode != proto.Norm || (st.lmode != proto.Unlocked && st.lmode != proto.L0) || req.Epoch < st.epoch {
+		if req.Epoch < st.epoch {
+			n.stats.StaleEpochs++
+		}
+		n.stats.RejectedAdds++
+		return &proto.AddReply{Status: proto.StatusUnavail, OpMode: st.opmode, LockMode: st.lmode}, nil
+	}
+	if st.inRecent(req.NTID) || st.inOld(req.NTID) {
+		// Duplicate delivery of an already-applied add must not fold
+		// the delta twice (XOR would cancel it).
+		return &proto.AddReply{Status: proto.StatusOK, OpMode: st.opmode, LockMode: st.lmode}, nil
+	}
+	if !req.OTID.IsZero() && !st.inRecent(req.OTID) && !st.inOld(req.OTID) {
+		n.stats.OrderRejects++
+		return &proto.AddReply{Status: proto.StatusOrder, OpMode: st.opmode, LockMode: st.lmode}, nil
+	}
+	if req.Premultiplied {
+		gf.AddSlice(st.block, req.Delta)
+	} else {
+		if n.opts.Code == nil {
+			return nil, fmt.Errorf("storage: node %s received broadcast add but has no code configured", n.opts.ID)
+		}
+		gf.MulAddSlice(n.opts.Code.Coef(int(req.Slot), int(req.DataSlot)), st.block, req.Delta)
+	}
+	if err := n.persist(req.Stripe, req.Slot, st.block); err != nil {
+		return nil, err
+	}
+	st.appendRecent(proto.TIDTime{TID: req.NTID, Time: n.tick()})
+	return &proto.AddReply{Status: proto.StatusOK, OpMode: st.opmode, LockMode: st.lmode}, nil
+}
+
+// BatchAdd implements the sequential-I/O optimization (Section 3.11):
+// one combined delta carries a full-stripe write's contribution to
+// this redundant slot. The batch is atomic — the delta is applied and
+// all entry tids recorded only if every entry's ordering constraint
+// holds.
+func (n *Node) BatchAdd(_ context.Context, req *proto.BatchAddReq) (*proto.BatchAddReply, error) {
+	if err := n.checkUp(); err != nil {
+		return nil, err
+	}
+	if len(req.Delta) != n.opts.BlockSize {
+		return nil, fmt.Errorf("storage: batch-add delta has %d bytes, want %d", len(req.Delta), n.opts.BlockSize)
+	}
+	if len(req.Entries) == 0 {
+		return nil, fmt.Errorf("storage: batch-add with no entries")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.BatchAdds++
+	st := n.getSlot(req.Stripe, req.Slot)
+	if st.opmode != proto.Norm || (st.lmode != proto.Unlocked && st.lmode != proto.L0) || req.Epoch < st.epoch {
+		if req.Epoch < st.epoch {
+			n.stats.StaleEpochs++
+		}
+		n.stats.RejectedAdds++
+		return &proto.BatchAddReply{Status: proto.StatusUnavail, OpMode: st.opmode, LockMode: st.lmode}, nil
+	}
+	// Duplicate delivery: batches apply atomically, so seeing any
+	// entry's tid means the whole batch was applied.
+	for _, e := range req.Entries {
+		if st.inRecent(e.NTID) || st.inOld(e.NTID) {
+			return &proto.BatchAddReply{Status: proto.StatusOK, OpMode: st.opmode, LockMode: st.lmode}, nil
+		}
+	}
+	var blockers []int32
+	for _, e := range req.Entries {
+		if !e.OTID.IsZero() && !st.inRecent(e.OTID) && !st.inOld(e.OTID) {
+			blockers = append(blockers, e.DataSlot)
+		}
+	}
+	if len(blockers) > 0 {
+		n.stats.OrderRejects++
+		return &proto.BatchAddReply{Status: proto.StatusOrder, OpMode: st.opmode, LockMode: st.lmode, Blockers: blockers}, nil
+	}
+	gf.AddSlice(st.block, req.Delta)
+	if err := n.persist(req.Stripe, req.Slot, st.block); err != nil {
+		gf.AddSlice(st.block, req.Delta) // roll back (XOR is its own inverse)
+		return nil, err
+	}
+	for _, e := range req.Entries {
+		st.appendRecent(proto.TIDTime{TID: e.NTID, Time: n.tick()})
+	}
+	return &proto.BatchAddReply{Status: proto.StatusOK, OpMode: st.opmode, LockMode: st.lmode}, nil
+}
+
+// CheckTID implements the paper's checktid operation (Fig. 5 /
+// Section 3.9).
+func (n *Node) CheckTID(_ context.Context, req *proto.CheckTIDReq) (*proto.CheckTIDReply, error) {
+	if err := n.checkUp(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.CheckTIDs++
+	st := n.getSlot(req.Stripe, req.Slot)
+	switch {
+	case !st.inRecent(req.NTID):
+		// Our own write's tid is gone: the node crashed and was
+		// remapped (or recovery finalized past us).
+		return &proto.CheckTIDReply{Status: proto.StatusInit}, nil
+	case !st.inRecent(req.OTID):
+		// The awaited previous write's tid was garbage collected, so it
+		// completed at every node.
+		return &proto.CheckTIDReply{Status: proto.StatusGC}, nil
+	default:
+		return &proto.CheckTIDReply{Status: proto.StatusNoChange}, nil
+	}
+}
+
+// TryLock implements the paper's trylock operation (Fig. 6).
+func (n *Node) TryLock(_ context.Context, req *proto.TryLockReq) (*proto.TryLockReply, error) {
+	if err := n.checkUp(); err != nil {
+		return nil, err
+	}
+	if !req.Mode.Locked() {
+		return nil, fmt.Errorf("storage: trylock with non-lock mode %v", req.Mode)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.TryLocks++
+	st := n.getSlot(req.Stripe, req.Slot)
+	if st.lmode.Locked() {
+		return &proto.TryLockReply{OK: false, OldMode: st.lmode}, nil
+	}
+	old := st.lmode
+	st.lmode = req.Mode
+	st.lid = req.Caller
+	st.lockExpiry = n.now().Add(n.opts.LockLease)
+	return &proto.TryLockReply{OK: true, OldMode: old}, nil
+}
+
+// SetLock implements the paper's setlock operation (Fig. 6).
+func (n *Node) SetLock(_ context.Context, req *proto.SetLockReq) (*proto.SetLockReply, error) {
+	if err := n.checkUp(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.SetLocks++
+	st := n.getSlot(req.Stripe, req.Slot)
+	st.lmode = req.Mode
+	st.lid = req.Caller
+	st.lockExpiry = n.now().Add(n.opts.LockLease)
+	return &proto.SetLockReply{}, nil
+}
+
+// GetState implements the paper's get_state operation (Fig. 6). The
+// block is reported valid in NORM and RECONS modes: a RECONS slot
+// holds recovered content that a recovery-completing client may reuse.
+func (n *Node) GetState(_ context.Context, req *proto.GetStateReq) (*proto.GetStateReply, error) {
+	if err := n.checkUp(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.GetStates++
+	st := n.getSlot(req.Stripe, req.Slot)
+	reply := &proto.GetStateReply{
+		OpMode:     st.opmode,
+		LockMode:   st.lmode,
+		Epoch:      st.epoch,
+		ReconsSet:  append([]int32(nil), st.reconsSet...),
+		OldList:    append([]proto.TIDTime(nil), st.old...),
+		RecentList: append([]proto.TIDTime(nil), st.recent...),
+	}
+	if st.opmode != proto.Init {
+		reply.Block = cloneBytes(st.block)
+		reply.BlockValid = true
+	}
+	return reply, nil
+}
+
+// GetRecent implements the paper's getrecent operation (Fig. 6):
+// atomically change the lock mode and return the recentlist.
+func (n *Node) GetRecent(_ context.Context, req *proto.GetRecentReq) (*proto.GetRecentReply, error) {
+	if err := n.checkUp(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.GetRecents++
+	st := n.getSlot(req.Stripe, req.Slot)
+	st.lmode = req.Mode
+	st.lid = req.Caller
+	st.lockExpiry = n.now().Add(n.opts.LockLease)
+	return &proto.GetRecentReply{RecentList: append([]proto.TIDTime(nil), st.recent...)}, nil
+}
+
+// Reconstruct implements the paper's reconstruct operation (Fig. 6):
+// store recovered content, remember the consistent set, enter RECONS.
+func (n *Node) Reconstruct(_ context.Context, req *proto.ReconstructReq) (*proto.ReconstructReply, error) {
+	if err := n.checkUp(); err != nil {
+		return nil, err
+	}
+	if len(req.Block) != n.opts.BlockSize {
+		return nil, fmt.Errorf("storage: reconstruct block has %d bytes, want %d", len(req.Block), n.opts.BlockSize)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Reconstructs++
+	st := n.getSlot(req.Stripe, req.Slot)
+	st.opmode = proto.Recons
+	st.reconsSet = append([]int32(nil), req.CSet...)
+	st.block = cloneBytes(req.Block)
+	if err := n.persist(req.Stripe, req.Slot, st.block); err != nil {
+		return nil, err
+	}
+	return &proto.ReconstructReply{Epoch: st.epoch}, nil
+}
+
+// Finalize implements the paper's finalize operation (Fig. 6): advance
+// the epoch, clear the tid lists, return to NORM, and unlock.
+func (n *Node) Finalize(_ context.Context, req *proto.FinalizeReq) (*proto.FinalizeReply, error) {
+	if err := n.checkUp(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Finalizes++
+	st := n.getSlot(req.Stripe, req.Slot)
+	st.epoch = req.Epoch
+	st.recent = nil
+	st.old = nil
+	st.recentSet = make(map[proto.TID]struct{})
+	st.oldSet = make(map[proto.TID]struct{})
+	st.reconsSet = nil
+	if st.opmode == proto.Recons {
+		st.opmode = proto.Norm
+	}
+	st.lmode = proto.Unlocked
+	return &proto.FinalizeReply{}, nil
+}
+
+// GCOld implements gc_old (Fig. 7): discard tids from the oldlist.
+func (n *Node) GCOld(_ context.Context, req *proto.GCOldReq) (*proto.GCReply, error) {
+	if err := n.checkUp(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.GCOlds++
+	st := n.getSlot(req.Stripe, req.Slot)
+	if st.opmode != proto.Norm || st.lmode != proto.Unlocked {
+		return &proto.GCReply{Status: proto.StatusUnavail}, nil
+	}
+	if len(req.TIDs) > 0 {
+		drop := make(map[proto.TID]bool, len(req.TIDs))
+		for _, t := range req.TIDs {
+			drop[t] = true
+		}
+		kept := st.old[:0]
+		for _, e := range st.old {
+			if drop[e.TID] {
+				delete(st.oldSet, e.TID)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		st.old = kept
+	}
+	return &proto.GCReply{Status: proto.StatusOK}, nil
+}
+
+// GCRecent implements gc_recent (Fig. 7): move tids from recentlist to
+// oldlist.
+func (n *Node) GCRecent(_ context.Context, req *proto.GCRecentReq) (*proto.GCReply, error) {
+	if err := n.checkUp(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.GCRecents++
+	st := n.getSlot(req.Stripe, req.Slot)
+	if st.opmode != proto.Norm || st.lmode != proto.Unlocked {
+		return &proto.GCReply{Status: proto.StatusUnavail}, nil
+	}
+	if len(req.TIDs) > 0 {
+		move := make(map[proto.TID]bool, len(req.TIDs))
+		for _, t := range req.TIDs {
+			move[t] = true
+		}
+		kept := st.recent[:0]
+		for _, e := range st.recent {
+			if move[e.TID] {
+				st.old = append(st.old, e)
+				st.oldSet[e.TID] = struct{}{}
+				delete(st.recentSet, e.TID)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		st.recent = kept
+	}
+	return &proto.GCReply{Status: proto.StatusOK}, nil
+}
+
+// Probe implements the monitoring check of Section 3.10.
+func (n *Node) Probe(_ context.Context, req *proto.ProbeReq) (*proto.ProbeReply, error) {
+	if err := n.checkUp(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Probes++
+	st := n.getSlot(req.Stripe, req.Slot)
+	reply := &proto.ProbeReply{
+		OpMode:      st.opmode,
+		LockMode:    st.lmode,
+		RecentCount: int32(len(st.recent)),
+		Epoch:       st.epoch,
+	}
+	if len(st.recent) > 0 {
+		oldest := st.recent[0].Time
+		nowT := uint64(n.now().UnixNano())
+		if nowT > oldest {
+			reply.OldestAge = nowT - oldest
+		}
+		reply.HasRecent = true
+	}
+	return reply, nil
+}
+
+// Stats returns a snapshot of the node's operation counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ControlOverhead reports the protocol's per-slot control state in
+// bytes (everything beyond the block itself), averaged across slots.
+// The paper's Section 6.5 reports ~10 bytes per block; ours differs by
+// the size of Go's in-memory representation but stays O(1) per block
+// between garbage collections.
+func (n *Node) ControlOverhead() (totalBytes int, slots int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	const (
+		tidTimeBytes = 24                // 8 seq + 4 block + 4 client + 8 time
+		fixedBytes   = 1 + 1 + 8 + 8 + 4 // opmode, lmode, epoch, lease, lid
+	)
+	for _, st := range n.slots {
+		totalBytes += fixedBytes
+		totalBytes += (len(st.recent) + len(st.old)) * tidTimeBytes
+		totalBytes += len(st.reconsSet) * 4
+	}
+	return totalBytes, len(n.slots)
+}
+
+// SlotCount returns the number of materialized slots (for tests).
+func (n *Node) SlotCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.slots)
+}
+
+// persist writes a slot's block to the configured store, if any.
+// Callers hold n.mu.
+func (n *Node) persist(stripe uint64, slot int32, block []byte) error {
+	if n.opts.Store == nil {
+		return nil
+	}
+	if err := n.opts.Store.Put(blockstore.Key{Stripe: stripe, Slot: slot}, block); err != nil {
+		return fmt.Errorf("storage: persist block: %w", err)
+	}
+	return nil
+}
+
+// Flush forces buffered block writes to the backing store.
+func (n *Node) Flush() error {
+	if n.opts.Store == nil {
+		return nil
+	}
+	return n.opts.Store.Flush()
+}
+
+// Shutdown flushes and closes the backing store (clean shutdown). The
+// node keeps serving from memory afterwards only if it has no store.
+func (n *Node) Shutdown() error {
+	if n.opts.Store == nil {
+		return nil
+	}
+	return n.opts.Store.Close()
+}
+
+func cloneBytes(b []byte) []byte { return append([]byte(nil), b...) }

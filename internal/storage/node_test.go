@@ -1,0 +1,643 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/erasure"
+	"ecstore/internal/gf"
+	"ecstore/internal/proto"
+)
+
+const testBlockSize = 64
+
+func newTestNode(t *testing.T) *Node {
+	t.Helper()
+	n, err := New(Options{ID: "s0", BlockSize: testBlockSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func tid(seq uint64, block uint32, client proto.ClientID) proto.TID {
+	return proto.TID{Seq: seq, Block: block, Client: client}
+}
+
+func block(fill byte) []byte {
+	b := make([]byte, testBlockSize)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{BlockSize: 0}); err == nil {
+		t.Fatal("New with BlockSize 0 should fail")
+	}
+	if _, err := New(Options{BlockSize: -5}); err == nil {
+		t.Fatal("New with negative BlockSize should fail")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(Options{})
+}
+
+func TestReadInitialBlockIsZero(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	r, err := n.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatal("initial read rejected")
+	}
+	if !bytes.Equal(r.Block, make([]byte, testBlockSize)) {
+		t.Fatal("initial block is not zero")
+	}
+	if r.LockMode != proto.Unlocked {
+		t.Fatalf("lock mode = %v, want UNL", r.LockMode)
+	}
+}
+
+func TestSwapReturnsOldContentAndOTID(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	t1 := tid(1, 0, 7)
+	r1, err := n.Swap(ctx, &proto.SwapReq{Stripe: 3, Slot: 0, Value: block(0xAA), NTID: t1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.OK {
+		t.Fatal("first swap rejected")
+	}
+	if !r1.OTID.IsZero() {
+		t.Fatalf("first swap OTID = %v, want zero", r1.OTID)
+	}
+	if !bytes.Equal(r1.Block, make([]byte, testBlockSize)) {
+		t.Fatal("first swap did not return the zero block")
+	}
+
+	t2 := tid(2, 0, 7)
+	r2, err := n.Swap(ctx, &proto.SwapReq{Stripe: 3, Slot: 0, Value: block(0xBB), NTID: t2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.OTID != t1 {
+		t.Fatalf("second swap OTID = %v, want %v", r2.OTID, t1)
+	}
+	if !bytes.Equal(r2.Block, block(0xAA)) {
+		t.Fatal("second swap did not return first value")
+	}
+
+	rd, _ := n.Read(ctx, &proto.ReadReq{Stripe: 3, Slot: 0})
+	if !bytes.Equal(rd.Block, block(0xBB)) {
+		t.Fatal("read does not see latest swap")
+	}
+}
+
+func TestSwapWrongSizeRejected(t *testing.T) {
+	n := newTestNode(t)
+	if _, err := n.Swap(context.Background(), &proto.SwapReq{Value: []byte{1, 2}}); err == nil {
+		t.Fatal("swap with wrong block size should error")
+	}
+}
+
+func TestSwapValueNotAliased(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	v := block(0x11)
+	if _, err := n.Swap(ctx, &proto.SwapReq{Stripe: 1, Slot: 0, Value: v, NTID: tid(1, 0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	v[0] = 0xFF // caller mutates its buffer after the call
+	rd, _ := n.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0})
+	if rd.Block[0] != 0x11 {
+		t.Fatal("node aliased the caller's swap buffer")
+	}
+}
+
+func TestAddAppliesPremultipliedDelta(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	delta := block(0x0F)
+	r, err := n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 3, Delta: delta, Premultiplied: true, NTID: tid(1, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != proto.StatusOK {
+		t.Fatalf("add status = %v", r.Status)
+	}
+	st, _ := n.GetState(ctx, &proto.GetStateReq{Stripe: 1, Slot: 3})
+	if !bytes.Equal(st.Block, delta) {
+		t.Fatal("add did not XOR the delta into the zero block")
+	}
+}
+
+func TestAddBroadcastMultipliesByCoefficient(t *testing.T) {
+	code := erasure.Must(2, 4)
+	n := MustNew(Options{ID: "s3", BlockSize: testBlockSize, Code: code})
+	ctx := context.Background()
+	raw := block(0x21)
+	r, err := n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 3, Delta: raw, DataSlot: 1, Premultiplied: false, NTID: tid(1, 1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != proto.StatusOK {
+		t.Fatalf("add status = %v", r.Status)
+	}
+	want := make([]byte, testBlockSize)
+	gf.MulAddSlice(code.Coef(3, 1), want, raw)
+	st, _ := n.GetState(ctx, &proto.GetStateReq{Stripe: 1, Slot: 3})
+	if !bytes.Equal(st.Block, want) {
+		t.Fatal("broadcast add did not multiply by alpha")
+	}
+}
+
+func TestAddBroadcastWithoutCodeErrors(t *testing.T) {
+	n := newTestNode(t)
+	_, err := n.Add(context.Background(), &proto.AddReq{Stripe: 1, Slot: 3, Delta: block(1), Premultiplied: false, NTID: tid(1, 0, 1)})
+	if err == nil {
+		t.Fatal("broadcast add without code should error")
+	}
+}
+
+func TestAddOrderEnforcement(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	prev := tid(9, 0, 2)
+	// Add ordered after prev, which this node has not seen: ORDER.
+	r, err := n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 3, Delta: block(1), Premultiplied: true, NTID: tid(10, 0, 2), OTID: prev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != proto.StatusOrder {
+		t.Fatalf("status = %v, want ORDER", r.Status)
+	}
+	// Deliver prev, then the ordered add succeeds.
+	if r, _ = n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 3, Delta: block(2), Premultiplied: true, NTID: prev}); r.Status != proto.StatusOK {
+		t.Fatalf("prev add status = %v", r.Status)
+	}
+	if r, _ = n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 3, Delta: block(1), Premultiplied: true, NTID: tid(10, 0, 2), OTID: prev}); r.Status != proto.StatusOK {
+		t.Fatalf("ordered add status = %v, want OK", r.Status)
+	}
+}
+
+func TestAddOrderSatisfiedByOldList(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	prev := tid(1, 0, 1)
+	if r, _ := n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 3, Delta: block(1), Premultiplied: true, NTID: prev}); r.Status != proto.StatusOK {
+		t.Fatal("setup add failed")
+	}
+	// Move prev to the oldlist; ordering must still be satisfied.
+	if r, _ := n.GCRecent(ctx, &proto.GCRecentReq{Stripe: 1, Slot: 3, TIDs: []proto.TID{prev}}); r.Status != proto.StatusOK {
+		t.Fatal("gc_recent failed")
+	}
+	r, _ := n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 3, Delta: block(2), Premultiplied: true, NTID: tid(2, 0, 1), OTID: prev})
+	if r.Status != proto.StatusOK {
+		t.Fatalf("status = %v, want OK (otid in oldlist)", r.Status)
+	}
+}
+
+func TestAddDuplicateIsIdempotent(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	req := &proto.AddReq{Stripe: 1, Slot: 3, Delta: block(0x55), Premultiplied: true, NTID: tid(1, 0, 1)}
+	if r, _ := n.Add(ctx, req); r.Status != proto.StatusOK {
+		t.Fatal("first add failed")
+	}
+	if r, _ := n.Add(ctx, req); r.Status != proto.StatusOK {
+		t.Fatal("duplicate add not acknowledged")
+	}
+	st, _ := n.GetState(ctx, &proto.GetStateReq{Stripe: 1, Slot: 3})
+	if !bytes.Equal(st.Block, block(0x55)) {
+		t.Fatal("duplicate add was applied twice (XOR cancelled)")
+	}
+}
+
+func TestAddStaleEpochRejected(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	// Finalize to epoch 5.
+	if _, err := n.Finalize(ctx, &proto.FinalizeReq{Stripe: 1, Slot: 3, Epoch: 5}); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 3, Delta: block(1), Premultiplied: true, NTID: tid(1, 0, 1), Epoch: 4})
+	if r.Status != proto.StatusUnavail {
+		t.Fatalf("stale-epoch add status = %v, want UNAVAIL", r.Status)
+	}
+	r, _ = n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 3, Delta: block(1), Premultiplied: true, NTID: tid(2, 0, 1), Epoch: 5})
+	if r.Status != proto.StatusOK {
+		t.Fatalf("current-epoch add status = %v, want OK", r.Status)
+	}
+}
+
+func TestAddAllowedUnderL0RejectedUnderL1(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	if _, err := n.SetLock(ctx, &proto.SetLockReq{Stripe: 1, Slot: 3, Mode: proto.L0, Caller: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 3, Delta: block(1), Premultiplied: true, NTID: tid(1, 0, 1)}); r.Status != proto.StatusOK {
+		t.Fatalf("add under L0 = %v, want OK", r.Status)
+	}
+	if _, err := n.SetLock(ctx, &proto.SetLockReq{Stripe: 1, Slot: 3, Mode: proto.L1, Caller: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 3, Delta: block(1), Premultiplied: true, NTID: tid(2, 0, 1)}); r.Status != proto.StatusUnavail {
+		t.Fatalf("add under L1 = %v, want UNAVAIL", r.Status)
+	}
+	// Swap must be rejected under both lock modes.
+	if _, err := n.SetLock(ctx, &proto.SetLockReq{Stripe: 1, Slot: 3, Mode: proto.L0, Caller: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := n.Swap(ctx, &proto.SwapReq{Stripe: 1, Slot: 3, Value: block(1), NTID: tid(3, 0, 1)}); r.OK {
+		t.Fatal("swap under L0 succeeded, want rejection")
+	}
+	// Read must be rejected while locked.
+	if r, _ := n.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 3}); r.OK {
+		t.Fatal("read under L0 succeeded, want rejection")
+	}
+}
+
+func TestCheckTID(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	nt := tid(5, 0, 1)
+	ot := tid(4, 0, 2)
+	// Node never saw nt: INIT.
+	r, _ := n.CheckTID(ctx, &proto.CheckTIDReq{Stripe: 1, Slot: 3, NTID: nt, OTID: ot})
+	if r.Status != proto.StatusInit {
+		t.Fatalf("status = %v, want INIT", r.Status)
+	}
+	// Apply nt; ot still unseen: GC (treated as collected).
+	if rr, _ := n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 3, Delta: block(1), Premultiplied: true, NTID: nt}); rr.Status != proto.StatusOK {
+		t.Fatal("add failed")
+	}
+	r, _ = n.CheckTID(ctx, &proto.CheckTIDReq{Stripe: 1, Slot: 3, NTID: nt, OTID: ot})
+	if r.Status != proto.StatusGC {
+		t.Fatalf("status = %v, want GC", r.Status)
+	}
+	// Apply ot as well: NOCHANGE.
+	if rr, _ := n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 3, Delta: block(1), Premultiplied: true, NTID: ot}); rr.Status != proto.StatusOK {
+		t.Fatal("add failed")
+	}
+	r, _ = n.CheckTID(ctx, &proto.CheckTIDReq{Stripe: 1, Slot: 3, NTID: nt, OTID: ot})
+	if r.Status != proto.StatusNoChange {
+		t.Fatalf("status = %v, want NOCHANGE", r.Status)
+	}
+}
+
+func TestTryLockSemantics(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	r1, _ := n.TryLock(ctx, &proto.TryLockReq{Stripe: 1, Slot: 0, Mode: proto.L1, Caller: 1})
+	if !r1.OK || r1.OldMode != proto.Unlocked {
+		t.Fatalf("first trylock = %+v", r1)
+	}
+	r2, _ := n.TryLock(ctx, &proto.TryLockReq{Stripe: 1, Slot: 0, Mode: proto.L1, Caller: 2})
+	if r2.OK {
+		t.Fatal("second trylock succeeded on a locked slot")
+	}
+	if r2.OldMode != proto.L1 {
+		t.Fatalf("second trylock reports mode %v", r2.OldMode)
+	}
+	// Unlock, then an expired lock must also be acquirable.
+	if _, err := n.SetLock(ctx, &proto.SetLockReq{Stripe: 1, Slot: 0, Mode: proto.Expired, Caller: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r3, _ := n.TryLock(ctx, &proto.TryLockReq{Stripe: 1, Slot: 0, Mode: proto.L1, Caller: 3})
+	if !r3.OK || r3.OldMode != proto.Expired {
+		t.Fatalf("trylock over EXP = %+v", r3)
+	}
+}
+
+func TestTryLockInvalidMode(t *testing.T) {
+	n := newTestNode(t)
+	if _, err := n.TryLock(context.Background(), &proto.TryLockReq{Mode: proto.Unlocked}); err == nil {
+		t.Fatal("trylock with UNL mode should error")
+	}
+}
+
+func TestGetStateReportsInitGarbage(t *testing.T) {
+	n := MustNew(Options{ID: "fresh", BlockSize: testBlockSize, Replacement: true, GarbageSeed: 42})
+	ctx := context.Background()
+	st, err := n.GetState(ctx, &proto.GetStateReq{Stripe: 1, Slot: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OpMode != proto.Init {
+		t.Fatalf("opmode = %v, want INIT", st.OpMode)
+	}
+	if st.BlockValid || st.Block != nil {
+		t.Fatal("INIT slot must not report a valid block")
+	}
+	// Reads and swaps must be rejected on INIT slots.
+	if r, _ := n.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 2}); r.OK {
+		t.Fatal("read of INIT slot succeeded")
+	}
+	if r, _ := n.Swap(ctx, &proto.SwapReq{Stripe: 1, Slot: 2, Value: block(1), NTID: tid(1, 0, 1)}); r.OK {
+		t.Fatal("swap of INIT slot succeeded")
+	}
+	if r, _ := n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 2, Delta: block(1), Premultiplied: true, NTID: tid(1, 0, 1)}); r.Status != proto.StatusUnavail {
+		t.Fatal("add to INIT slot not rejected")
+	}
+}
+
+func TestReconstructFinalizeCycle(t *testing.T) {
+	n := MustNew(Options{ID: "fresh", BlockSize: testBlockSize, Replacement: true})
+	ctx := context.Background()
+	rec, err := n.Reconstruct(ctx, &proto.ReconstructReq{Stripe: 1, Slot: 2, CSet: []int32{0, 1, 3}, Block: block(0x77)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != 0 {
+		t.Fatalf("epoch = %d, want 0", rec.Epoch)
+	}
+	st, _ := n.GetState(ctx, &proto.GetStateReq{Stripe: 1, Slot: 2})
+	if st.OpMode != proto.Recons {
+		t.Fatalf("opmode = %v, want RECONS", st.OpMode)
+	}
+	if !st.BlockValid || !bytes.Equal(st.Block, block(0x77)) {
+		t.Fatal("RECONS slot must expose recovered block for recovery continuation")
+	}
+	if len(st.ReconsSet) != 3 {
+		t.Fatalf("recons_set = %v", st.ReconsSet)
+	}
+	if _, err := n.Finalize(ctx, &proto.FinalizeReq{Stripe: 1, Slot: 2, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = n.GetState(ctx, &proto.GetStateReq{Stripe: 1, Slot: 2})
+	if st.OpMode != proto.Norm || st.LockMode != proto.Unlocked || st.Epoch != 1 {
+		t.Fatalf("after finalize: %+v", st)
+	}
+	if len(st.RecentList) != 0 || len(st.OldList) != 0 {
+		t.Fatal("finalize did not clear tid lists")
+	}
+	rd, _ := n.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 2})
+	if !rd.OK || !bytes.Equal(rd.Block, block(0x77)) {
+		t.Fatal("recovered block not readable after finalize")
+	}
+}
+
+func TestGetRecentSetsLockAtomically(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	if r, _ := n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 3, Delta: block(1), Premultiplied: true, NTID: tid(1, 0, 1)}); r.Status != proto.StatusOK {
+		t.Fatal("setup add failed")
+	}
+	rep, err := n.GetRecent(ctx, &proto.GetRecentReq{Stripe: 1, Slot: 3, Mode: proto.L1, Caller: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RecentList) != 1 || rep.RecentList[0].TID != tid(1, 0, 1) {
+		t.Fatalf("recentlist = %v", rep.RecentList)
+	}
+	st, _ := n.GetState(ctx, &proto.GetStateReq{Stripe: 1, Slot: 3})
+	if st.LockMode != proto.L1 {
+		t.Fatalf("lock mode after getrecent = %v, want L1", st.LockMode)
+	}
+}
+
+func TestGCOldAndRecent(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	t1, t2 := tid(1, 0, 1), tid(2, 0, 1)
+	for _, tt := range []proto.TID{t1, t2} {
+		if r, _ := n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 3, Delta: block(1), Premultiplied: true, NTID: tt}); r.Status != proto.StatusOK {
+			t.Fatal("setup add failed")
+		}
+	}
+	if r, _ := n.GCRecent(ctx, &proto.GCRecentReq{Stripe: 1, Slot: 3, TIDs: []proto.TID{t1}}); r.Status != proto.StatusOK {
+		t.Fatal("gc_recent failed")
+	}
+	st, _ := n.GetState(ctx, &proto.GetStateReq{Stripe: 1, Slot: 3})
+	if len(st.RecentList) != 1 || st.RecentList[0].TID != t2 {
+		t.Fatalf("recentlist after gc_recent = %v", st.RecentList)
+	}
+	if len(st.OldList) != 1 || st.OldList[0].TID != t1 {
+		t.Fatalf("oldlist after gc_recent = %v", st.OldList)
+	}
+	if r, _ := n.GCOld(ctx, &proto.GCOldReq{Stripe: 1, Slot: 3, TIDs: []proto.TID{t1}}); r.Status != proto.StatusOK {
+		t.Fatal("gc_old failed")
+	}
+	st, _ = n.GetState(ctx, &proto.GetStateReq{Stripe: 1, Slot: 3})
+	if len(st.OldList) != 0 {
+		t.Fatalf("oldlist after gc_old = %v", st.OldList)
+	}
+}
+
+func TestGCRejectedWhileLocked(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	if _, err := n.SetLock(ctx, &proto.SetLockReq{Stripe: 1, Slot: 3, Mode: proto.L1, Caller: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := n.GCOld(ctx, &proto.GCOldReq{Stripe: 1, Slot: 3}); r.Status != proto.StatusUnavail {
+		t.Fatal("gc_old on locked slot not rejected")
+	}
+	if r, _ := n.GCRecent(ctx, &proto.GCRecentReq{Stripe: 1, Slot: 3}); r.Status != proto.StatusUnavail {
+		t.Fatal("gc_recent on locked slot not rejected")
+	}
+}
+
+func TestCrashMakesNodeUnreachable(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	n.Crash()
+	if !n.Crashed() {
+		t.Fatal("Crashed() = false after Crash()")
+	}
+	if _, err := n.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0}); !errors.Is(err, proto.ErrNodeDown) {
+		t.Fatalf("read after crash: err = %v, want ErrNodeDown", err)
+	}
+	if _, err := n.Swap(ctx, &proto.SwapReq{Stripe: 1, Slot: 0, Value: block(1), NTID: tid(1, 0, 1)}); !errors.Is(err, proto.ErrNodeDown) {
+		t.Fatalf("swap after crash: err = %v", err)
+	}
+	if _, err := n.Probe(ctx, &proto.ProbeReq{Stripe: 1, Slot: 0}); !errors.Is(err, proto.ErrNodeDown) {
+		t.Fatalf("probe after crash: err = %v", err)
+	}
+}
+
+func TestFailClientExpiresLocks(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	if _, err := n.TryLock(ctx, &proto.TryLockReq{Stripe: 1, Slot: 0, Mode: proto.L1, Caller: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.TryLock(ctx, &proto.TryLockReq{Stripe: 2, Slot: 0, Mode: proto.L0, Caller: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.TryLock(ctx, &proto.TryLockReq{Stripe: 3, Slot: 0, Mode: proto.L1, Caller: 7}); err != nil {
+		t.Fatal(err)
+	}
+	n.FailClient(42)
+	for _, stripe := range []uint64{1, 2} {
+		st, _ := n.GetState(ctx, &proto.GetStateReq{Stripe: stripe, Slot: 0})
+		if st.LockMode != proto.Expired {
+			t.Fatalf("stripe %d lock = %v, want EXP", stripe, st.LockMode)
+		}
+	}
+	st, _ := n.GetState(ctx, &proto.GetStateReq{Stripe: 3, Slot: 0})
+	if st.LockMode != proto.L1 {
+		t.Fatalf("other client's lock = %v, want L1", st.LockMode)
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	n := MustNew(Options{
+		ID:        "leased",
+		BlockSize: testBlockSize,
+		LockLease: time.Second,
+		Now:       func() time.Time { return now },
+	})
+	ctx := context.Background()
+	if _, err := n.TryLock(ctx, &proto.TryLockReq{Stripe: 1, Slot: 0, Mode: proto.L1, Caller: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Within the lease the lock holds.
+	now = now.Add(500 * time.Millisecond)
+	st, _ := n.GetState(ctx, &proto.GetStateReq{Stripe: 1, Slot: 0})
+	if st.LockMode != proto.L1 {
+		t.Fatalf("lock = %v before lease expiry", st.LockMode)
+	}
+	// Past the lease it expires.
+	now = now.Add(time.Second)
+	st, _ = n.GetState(ctx, &proto.GetStateReq{Stripe: 1, Slot: 0})
+	if st.LockMode != proto.Expired {
+		t.Fatalf("lock = %v after lease expiry, want EXP", st.LockMode)
+	}
+}
+
+func TestProbe(t *testing.T) {
+	base := time.Unix(2000, 0)
+	now := base
+	n := MustNew(Options{ID: "p", BlockSize: testBlockSize, Now: func() time.Time { return now }})
+	ctx := context.Background()
+	r, _ := n.Probe(ctx, &proto.ProbeReq{Stripe: 1, Slot: 3})
+	if r.HasRecent || r.RecentCount != 0 {
+		t.Fatalf("empty probe = %+v", r)
+	}
+	if rr, _ := n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 3, Delta: block(1), Premultiplied: true, NTID: tid(1, 0, 1)}); rr.Status != proto.StatusOK {
+		t.Fatal("add failed")
+	}
+	now = now.Add(3 * time.Second)
+	r, _ = n.Probe(ctx, &proto.ProbeReq{Stripe: 1, Slot: 3})
+	if !r.HasRecent || r.RecentCount != 1 {
+		t.Fatalf("probe = %+v", r)
+	}
+	if r.OldestAge < uint64(2*time.Second) {
+		t.Fatalf("oldest age = %d, want >= 2s in nanos", r.OldestAge)
+	}
+}
+
+func TestControlOverheadSmall(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	// Simulate steady state: blocks written once and garbage collected
+	// (empty tid lists), as after a GC pass.
+	for s := uint64(0); s < 100; s++ {
+		if r, _ := n.Swap(ctx, &proto.SwapReq{Stripe: s, Slot: 0, Value: block(1), NTID: tid(s, 0, 1)}); !r.OK {
+			t.Fatal("swap failed")
+		}
+		if r, _ := n.GCRecent(ctx, &proto.GCRecentReq{Stripe: s, Slot: 0, TIDs: []proto.TID{tid(s, 0, 1)}}); r.Status != proto.StatusOK {
+			t.Fatal("gc_recent failed")
+		}
+		if r, _ := n.GCOld(ctx, &proto.GCOldReq{Stripe: s, Slot: 0, TIDs: []proto.TID{tid(s, 0, 1)}}); r.Status != proto.StatusOK {
+			t.Fatal("gc_old failed")
+		}
+	}
+	total, slots := n.ControlOverhead()
+	if slots != 100 {
+		t.Fatalf("slots = %d", slots)
+	}
+	perBlock := total / slots
+	// Paper reports ~10 bytes/block; our fixed state is 22 bytes. Assert
+	// it stays O(1) and small relative to even a 1 KB block.
+	if perBlock > 64 {
+		t.Fatalf("control overhead %d bytes/block, want <= 64", perBlock)
+	}
+}
+
+func TestConcurrentMixedOperations(t *testing.T) {
+	// Hammer one node from many goroutines; the race detector checks
+	// synchronization, and the final state must reflect every add once.
+	n := newTestNode(t)
+	ctx := context.Background()
+	const writers = 8
+	const perWriter = 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				d := block(byte(w*perWriter + i))
+				if _, err := n.Add(ctx, &proto.AddReq{
+					Stripe: 7, Slot: 3, Delta: d, Premultiplied: true,
+					NTID: tid(uint64(i), 0, proto.ClientID(w)),
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := make([]byte, testBlockSize)
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			gf.AddSlice(want, block(byte(w*perWriter+i)))
+		}
+	}
+	st, _ := n.GetState(ctx, &proto.GetStateReq{Stripe: 7, Slot: 3})
+	if !bytes.Equal(st.Block, want) {
+		t.Fatal("concurrent adds did not all apply exactly once")
+	}
+	if len(st.RecentList) != writers*perWriter {
+		t.Fatalf("recentlist has %d entries, want %d", len(st.RecentList), writers*perWriter)
+	}
+	// Recentlist times must be strictly increasing.
+	for i := 1; i < len(st.RecentList); i++ {
+		if st.RecentList[i].Time <= st.RecentList[i-1].Time {
+			t.Fatal("recentlist times not strictly increasing")
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	_, _ = n.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0})
+	_, _ = n.Swap(ctx, &proto.SwapReq{Stripe: 1, Slot: 0, Value: block(1), NTID: tid(1, 0, 1)})
+	_, _ = n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 2, Delta: block(1), Premultiplied: true, NTID: tid(1, 0, 1)})
+	s := n.Stats()
+	if s.Reads != 1 || s.Swaps != 1 || s.Adds != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSlotCount(t *testing.T) {
+	n := newTestNode(t)
+	ctx := context.Background()
+	_, _ = n.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0})
+	_, _ = n.Read(ctx, &proto.ReadReq{Stripe: 2, Slot: 0})
+	_, _ = n.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0})
+	if got := n.SlotCount(); got != 2 {
+		t.Fatalf("SlotCount = %d, want 2", got)
+	}
+}

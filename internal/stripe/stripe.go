@@ -1,0 +1,89 @@
+// Package stripe maps a flat logical-block address space onto erasure
+// code stripes and physical storage nodes.
+//
+// Following Section 3.11 of the paper, consecutive logical blocks are
+// mapped to different storage nodes and different stripes, and the
+// redundant blocks rotate with each stripe so no node becomes a parity
+// bottleneck during sequential I/O:
+//
+//	logical block b  ->  stripe b/k, data slot b%k
+//	(stripe s, slot j) -> physical node (j + s) mod n
+//
+// Slots 0..k-1 of a stripe hold data; slots k..n-1 hold redundancy.
+// Applications never see any of this: they address logical blocks.
+package stripe
+
+import "fmt"
+
+// Layout describes the striping of a volume over n storage nodes with
+// a k-of-n code.
+type Layout struct {
+	k, n int
+}
+
+// NewLayout builds a layout. It requires 1 <= k < n.
+func NewLayout(k, n int) (Layout, error) {
+	if k < 1 || n <= k {
+		return Layout{}, fmt.Errorf("stripe: invalid layout k=%d n=%d", k, n)
+	}
+	return Layout{k: k, n: n}, nil
+}
+
+// MustLayout is NewLayout for static configurations.
+func MustLayout(k, n int) Layout {
+	l, err := NewLayout(k, n)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// K returns the number of data slots per stripe.
+func (l Layout) K() int { return l.k }
+
+// N returns the total number of slots per stripe.
+func (l Layout) N() int { return l.n }
+
+// Locate maps a logical block to its stripe and data slot.
+func (l Layout) Locate(logical uint64) (stripeID uint64, slot int) {
+	return logical / uint64(l.k), int(logical % uint64(l.k))
+}
+
+// Logical maps a (stripe, data slot) pair back to the logical block.
+func (l Layout) Logical(stripeID uint64, slot int) uint64 {
+	if slot < 0 || slot >= l.k {
+		panic(fmt.Sprintf("stripe: Logical slot %d out of range [0,%d)", slot, l.k))
+	}
+	return stripeID*uint64(l.k) + uint64(slot)
+}
+
+// PhysicalNode maps a stripe slot to the physical node index serving
+// it, applying per-stripe rotation so redundancy slots move around the
+// node set.
+func (l Layout) PhysicalNode(stripeID uint64, slot int) int {
+	if slot < 0 || slot >= l.n {
+		panic(fmt.Sprintf("stripe: PhysicalNode slot %d out of range [0,%d)", slot, l.n))
+	}
+	return (slot + int(stripeID%uint64(l.n))) % l.n
+}
+
+// SlotOnNode is the inverse of PhysicalNode: the stripe slot that the
+// given physical node serves for the given stripe.
+func (l Layout) SlotOnNode(stripeID uint64, phys int) int {
+	if phys < 0 || phys >= l.n {
+		panic(fmt.Sprintf("stripe: SlotOnNode node %d out of range [0,%d)", phys, l.n))
+	}
+	return ((phys-int(stripeID%uint64(l.n)))%l.n + l.n) % l.n
+}
+
+// IsData reports whether a stripe slot holds application data.
+func (l Layout) IsData(slot int) bool { return slot >= 0 && slot < l.k }
+
+// RedundantSlots returns the redundant slot indices k..n-1.
+func (l Layout) RedundantSlots() []int {
+	out := make([]int, l.n-l.k)
+	for i := range out {
+		out[i] = l.k + i
+	}
+	return out
+}

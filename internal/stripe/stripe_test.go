@@ -1,0 +1,141 @@
+package stripe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLayoutValidation(t *testing.T) {
+	if _, err := NewLayout(0, 4); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewLayout(4, 4); err == nil {
+		t.Error("k=n accepted")
+	}
+	if _, err := NewLayout(5, 4); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := NewLayout(2, 4); err != nil {
+		t.Errorf("valid layout rejected: %v", err)
+	}
+}
+
+func TestMustLayoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLayout(4, 4) did not panic")
+		}
+	}()
+	MustLayout(4, 4)
+}
+
+func TestLocateLogicalRoundTrip(t *testing.T) {
+	l := MustLayout(3, 5)
+	err := quick.Check(func(b uint64) bool {
+		s, slot := l.Locate(b)
+		return l.Logical(s, slot) == b && slot >= 0 && slot < l.K()
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConsecutiveBlocksSpreadOverNodes(t *testing.T) {
+	// Section 3.11: consecutive logical blocks must land on different
+	// physical nodes so sequential I/O pipelines across the cluster.
+	l := MustLayout(3, 5)
+	prevNode := -1
+	for b := uint64(0); b < 30; b++ {
+		s, slot := l.Locate(b)
+		node := l.PhysicalNode(s, slot)
+		if node == prevNode {
+			t.Fatalf("blocks %d and %d share node %d", b-1, b, node)
+		}
+		prevNode = node
+	}
+}
+
+func TestRedundancyRotates(t *testing.T) {
+	// The parity slots must not pin to the same physical nodes for
+	// every stripe.
+	l := MustLayout(2, 4)
+	first := l.PhysicalNode(0, 2)
+	rotated := false
+	for s := uint64(1); s < 4; s++ {
+		if l.PhysicalNode(s, 2) != first {
+			rotated = true
+		}
+	}
+	if !rotated {
+		t.Fatal("redundant slot 2 maps to the same node for all stripes")
+	}
+}
+
+func TestPhysicalSlotInverse(t *testing.T) {
+	l := MustLayout(3, 7)
+	for s := uint64(0); s < 20; s++ {
+		for slot := 0; slot < l.N(); slot++ {
+			phys := l.PhysicalNode(s, slot)
+			if phys < 0 || phys >= l.N() {
+				t.Fatalf("PhysicalNode out of range: %d", phys)
+			}
+			if got := l.SlotOnNode(s, phys); got != slot {
+				t.Fatalf("SlotOnNode(%d, %d) = %d, want %d", s, phys, got, slot)
+			}
+		}
+	}
+}
+
+func TestStripeSlotsBijective(t *testing.T) {
+	// For one stripe, the n slots must occupy n distinct physical nodes.
+	l := MustLayout(4, 6)
+	for s := uint64(0); s < 12; s++ {
+		seen := make(map[int]bool)
+		for slot := 0; slot < l.N(); slot++ {
+			p := l.PhysicalNode(s, slot)
+			if seen[p] {
+				t.Fatalf("stripe %d: node %d serves two slots", s, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestIsDataAndRedundantSlots(t *testing.T) {
+	l := MustLayout(2, 5)
+	for slot := 0; slot < 2; slot++ {
+		if !l.IsData(slot) {
+			t.Errorf("IsData(%d) = false", slot)
+		}
+	}
+	for slot := 2; slot < 5; slot++ {
+		if l.IsData(slot) {
+			t.Errorf("IsData(%d) = true", slot)
+		}
+	}
+	if l.IsData(-1) || l.IsData(5) {
+		t.Error("IsData out of range must be false")
+	}
+	rs := l.RedundantSlots()
+	if len(rs) != 3 || rs[0] != 2 || rs[2] != 4 {
+		t.Errorf("RedundantSlots = %v", rs)
+	}
+}
+
+func TestPanicsOnOutOfRange(t *testing.T) {
+	l := MustLayout(2, 4)
+	for name, fn := range map[string]func(){
+		"Logical":      func() { l.Logical(0, 2) },
+		"PhysicalNode": func() { l.PhysicalNode(0, 4) },
+		"SlotOnNode":   func() { l.SlotOnNode(0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,275 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"ecstore/internal/proto"
+	"ecstore/internal/wire"
+)
+
+// Host models one machine's network interface as a virtual-time
+// transmission ledger: every message reserves NIC time proportional to
+// its size, and concurrent transfers queue behind each other. This is
+// what makes a shaped in-process cluster reproduce the paper's
+// bandwidth-saturation effects (client uplink limits write throughput;
+// storage-node links saturate as clients are added) without real
+// hardware.
+type Host struct {
+	name string
+
+	mu       sync.Mutex
+	perByte  time.Duration // transmission time per byte
+	nextFree time.Time     // ledger: when the NIC is next idle
+	busy     time.Duration // total booked transmission time
+}
+
+// NewHost builds a host whose NIC sustains bytesPerSec in each usage
+// (the ledger is shared by send and receive, matching the low-end
+// half-duplex-ish gigabit cards the paper measured at 500 Mbit/s).
+func NewHost(name string, bytesPerSec float64) *Host {
+	if bytesPerSec <= 0 {
+		panic("transport: NIC bandwidth must be positive")
+	}
+	return &Host{
+		name:    name,
+		perByte: time.Duration(float64(time.Second) / bytesPerSec),
+	}
+}
+
+// Name returns the host's label.
+func (h *Host) Name() string { return h.name }
+
+// reserve books size bytes of NIC time starting no earlier than `at`,
+// returning the completion time.
+func (h *Host) reserve(at time.Time, size int) time.Time {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	start := at
+	if h.nextFree.After(start) {
+		start = h.nextFree
+	}
+	done := start.Add(time.Duration(size) * h.perByte)
+	h.nextFree = done
+	h.busy += time.Duration(size) * h.perByte
+	return done
+}
+
+// ShapeConfig sets the network model parameters.
+type ShapeConfig struct {
+	// Latency is the one-way network latency (the paper's testbed:
+	// 50 us ping RTT => 25 us one-way).
+	Latency time.Duration
+	// ServerTime is the storage node's per-operation service time.
+	ServerTime time.Duration
+}
+
+// DefaultShape mirrors the paper's testbed: 500 Mbit/s per node,
+// 50 us RTT, and a few microseconds of service time.
+func DefaultShape() ShapeConfig {
+	return ShapeConfig{Latency: 25 * time.Microsecond, ServerTime: 5 * time.Microsecond}
+}
+
+// DefaultBytesPerSec is 500 Mbit/s, the Netperf-measured node
+// bandwidth of the paper's testbed.
+const DefaultBytesPerSec = 500e6 / 8
+
+// Shaped wraps a storage node handle with the network model for calls
+// originating at one specific client host. Each (client, node) pair
+// needs its own Shaped handle; server hosts are shared across clients.
+type Shaped struct {
+	inner  proto.StorageNode
+	client *Host
+	server *Host
+	cfg    ShapeConfig
+}
+
+var _ proto.StorageNode = (*Shaped)(nil)
+
+// NewShaped wraps inner with the network model.
+func NewShaped(inner proto.StorageNode, client, server *Host, cfg ShapeConfig) *Shaped {
+	return &Shaped{inner: inner, client: client, server: server, cfg: cfg}
+}
+
+// Inner returns the wrapped node.
+func (s *Shaped) Inner() proto.StorageNode { return s.inner }
+
+// sleepUntil blocks until t (or ctx cancellation).
+func sleepUntil(ctx context.Context, t time.Time) error {
+	d := time.Until(t)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// shapedCall models one RPC as a fluid-approximation booking: all the
+// call's bytes (request out + reply back) are booked on the client and
+// server NICs at issue time, and the delivery completes when the more
+// loaded of the two has transmitted them, plus two propagation
+// latencies and the service time. Booking at issue time (rather than
+// chaining future-dated reservations hop by hop) is what keeps the
+// ledgers free of false idle holes under concurrency: bandwidth is
+// conserved exactly, FCFS order follows real issuance order, and the
+// goroutine sleeps once per RPC. The inner call executes eagerly —
+// still one point inside the RPC's real-time window — while the
+// ledgers carry the timing.
+func shapedCall[Req any, Rep any](ctx context.Context, s *Shaped, req Req, call func() (Rep, error)) (Rep, error) {
+	var zero Rep
+	rep, err := call()
+	if err != nil {
+		return zero, err
+	}
+	bytes := wire.Size(req) + wire.Size(rep)
+	now := time.Now()
+	clientDone := s.client.reserve(now, bytes)
+	serverDone := s.server.reserve(now, bytes)
+	delivered := maxTime(clientDone, serverDone).Add(2*s.cfg.Latency + s.cfg.ServerTime)
+	if err := sleepUntil(ctx, delivered); err != nil {
+		return zero, err
+	}
+	return rep, nil
+}
+
+func maxTime(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}
+
+func (s *Shaped) Read(ctx context.Context, req *proto.ReadReq) (*proto.ReadReply, error) {
+	return shapedCall(ctx, s, req, func() (*proto.ReadReply, error) { return s.inner.Read(ctx, req) })
+}
+func (s *Shaped) Swap(ctx context.Context, req *proto.SwapReq) (*proto.SwapReply, error) {
+	return shapedCall(ctx, s, req, func() (*proto.SwapReply, error) { return s.inner.Swap(ctx, req) })
+}
+func (s *Shaped) Add(ctx context.Context, req *proto.AddReq) (*proto.AddReply, error) {
+	return shapedCall(ctx, s, req, func() (*proto.AddReply, error) { return s.inner.Add(ctx, req) })
+}
+func (s *Shaped) BatchAdd(ctx context.Context, req *proto.BatchAddReq) (*proto.BatchAddReply, error) {
+	return shapedCall(ctx, s, req, func() (*proto.BatchAddReply, error) { return s.inner.BatchAdd(ctx, req) })
+}
+func (s *Shaped) CheckTID(ctx context.Context, req *proto.CheckTIDReq) (*proto.CheckTIDReply, error) {
+	return shapedCall(ctx, s, req, func() (*proto.CheckTIDReply, error) { return s.inner.CheckTID(ctx, req) })
+}
+func (s *Shaped) TryLock(ctx context.Context, req *proto.TryLockReq) (*proto.TryLockReply, error) {
+	return shapedCall(ctx, s, req, func() (*proto.TryLockReply, error) { return s.inner.TryLock(ctx, req) })
+}
+func (s *Shaped) SetLock(ctx context.Context, req *proto.SetLockReq) (*proto.SetLockReply, error) {
+	return shapedCall(ctx, s, req, func() (*proto.SetLockReply, error) { return s.inner.SetLock(ctx, req) })
+}
+func (s *Shaped) GetState(ctx context.Context, req *proto.GetStateReq) (*proto.GetStateReply, error) {
+	return shapedCall(ctx, s, req, func() (*proto.GetStateReply, error) { return s.inner.GetState(ctx, req) })
+}
+func (s *Shaped) GetRecent(ctx context.Context, req *proto.GetRecentReq) (*proto.GetRecentReply, error) {
+	return shapedCall(ctx, s, req, func() (*proto.GetRecentReply, error) { return s.inner.GetRecent(ctx, req) })
+}
+func (s *Shaped) Reconstruct(ctx context.Context, req *proto.ReconstructReq) (*proto.ReconstructReply, error) {
+	return shapedCall(ctx, s, req, func() (*proto.ReconstructReply, error) { return s.inner.Reconstruct(ctx, req) })
+}
+func (s *Shaped) Finalize(ctx context.Context, req *proto.FinalizeReq) (*proto.FinalizeReply, error) {
+	return shapedCall(ctx, s, req, func() (*proto.FinalizeReply, error) { return s.inner.Finalize(ctx, req) })
+}
+func (s *Shaped) GCOld(ctx context.Context, req *proto.GCOldReq) (*proto.GCReply, error) {
+	return shapedCall(ctx, s, req, func() (*proto.GCReply, error) { return s.inner.GCOld(ctx, req) })
+}
+func (s *Shaped) GCRecent(ctx context.Context, req *proto.GCRecentReq) (*proto.GCReply, error) {
+	return shapedCall(ctx, s, req, func() (*proto.GCReply, error) { return s.inner.GCRecent(ctx, req) })
+}
+func (s *Shaped) Probe(ctx context.Context, req *proto.ProbeReq) (*proto.ProbeReply, error) {
+	return shapedCall(ctx, s, req, func() (*proto.ProbeReply, error) { return s.inner.Probe(ctx, req) })
+}
+
+// ShapedMulticaster implements the broadcast optimization under the
+// network model: the shared payload crosses the client uplink once,
+// and each recipient then pays only its own receive, service, and
+// reply costs. Targets must be *Shaped handles created by the same
+// deployment (sharing the client host).
+type ShapedMulticaster struct {
+	client *Host
+	cfg    ShapeConfig
+}
+
+var _ proto.Multicaster = (*ShapedMulticaster)(nil)
+
+// NewShapedMulticaster builds a broadcast path out of a client host.
+func NewShapedMulticaster(client *Host, cfg ShapeConfig) *ShapedMulticaster {
+	return &ShapedMulticaster{client: client, cfg: cfg}
+}
+
+// MulticastAdd broadcasts one add payload: the shared delta crosses
+// the client uplink once (plus a header per extra recipient and the
+// small replies), while each recipient's own NIC pays its full
+// request + reply cost.
+func (m *ShapedMulticaster) MulticastAdd(ctx context.Context, calls []proto.AddCall) []proto.AddResult {
+	results := make([]proto.AddResult, len(calls))
+	if len(calls) == 0 {
+		return results
+	}
+	// Execute the adds eagerly so reply sizes are known, then book.
+	type outcome struct {
+		rep *proto.AddReply
+		err error
+		sh  *Shaped
+	}
+	outcomes := make([]outcome, len(calls))
+	clientBytes := wire.Size(calls[0].Req) + (len(calls)-1)*wire.FrameOverhead
+	for i := range calls {
+		if sh, ok := calls[i].Node.(*Shaped); ok {
+			rep, err := sh.inner.Add(ctx, calls[i].Req)
+			outcomes[i] = outcome{rep: rep, err: err, sh: sh}
+			if err == nil {
+				clientBytes += wire.Size(rep)
+			}
+		} else {
+			rep, err := calls[i].Node.Add(ctx, calls[i].Req)
+			outcomes[i] = outcome{rep: rep, err: err}
+		}
+	}
+	now := time.Now()
+	clientDone := m.client.reserve(now, clientBytes)
+
+	var wg sync.WaitGroup
+	for i := range calls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := outcomes[i]
+			if o.err != nil {
+				results[i] = proto.AddResult{Err: o.err}
+				return
+			}
+			if o.sh == nil {
+				results[i] = proto.AddResult{Reply: o.rep}
+				return
+			}
+			serverBytes := wire.Size(calls[i].Req) + wire.Size(o.rep)
+			serverDone := o.sh.server.reserve(now, serverBytes)
+			delivered := maxTime(clientDone, serverDone).Add(2*m.cfg.Latency + m.cfg.ServerTime)
+			if err := sleepUntil(ctx, delivered); err != nil {
+				results[i] = proto.AddResult{Err: err}
+				return
+			}
+			results[i] = proto.AddResult{Reply: o.rep}
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// Booked returns the total transmission time ever reserved on the
+// host's NIC and the current ledger horizon (diagnostics).
+func (h *Host) Booked() (busy time.Duration, horizon time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.busy, h.nextFree
+}

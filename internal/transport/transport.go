@@ -1,0 +1,40 @@
+// Package transport provides node-handle middleware for the AJX
+// protocol: direct in-process access, message/byte accounting (used to
+// validate the paper's Fig. 1 cost table), a bandwidth/latency-shaped
+// wrapper that emulates the paper's gigabit-LAN testbed on one
+// machine, and multicast delivery for the broadcast write optimization.
+//
+// All wrappers implement proto.StorageNode, so clients compose them
+// freely: counting over shaping over a real node, or over a TCP stub.
+package transport
+
+import (
+	"context"
+	"sync"
+
+	"ecstore/internal/proto"
+)
+
+// Parallel is a proto.Multicaster that simply issues every add
+// concurrently. It provides the broadcast API without any bandwidth
+// advantage — suitable for in-process tests and TCP deployments where
+// no true broadcast medium exists.
+type Parallel struct{}
+
+var _ proto.Multicaster = Parallel{}
+
+// MulticastAdd delivers each call on its own goroutine.
+func (Parallel) MulticastAdd(ctx context.Context, calls []proto.AddCall) []proto.AddResult {
+	results := make([]proto.AddResult, len(calls))
+	var wg sync.WaitGroup
+	for i := range calls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := calls[i].Node.Add(ctx, calls[i].Req)
+			results[i] = proto.AddResult{Reply: rep, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return results
+}

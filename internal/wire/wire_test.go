@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ecstore/internal/proto"
+)
+
+// sampleMessages returns one populated instance of every message type.
+func sampleMessages() []any {
+	t1 := proto.TID{Seq: 42, Block: 3, Client: 7}
+	t2 := proto.TID{Seq: 43, Block: 1, Client: 9}
+	tt := []proto.TIDTime{{TID: t1, Time: 100}, {TID: t2, Time: 200}}
+	blk := []byte{1, 2, 3, 4, 5}
+	return []any{
+		&proto.ReadReq{Stripe: 9, Slot: 2},
+		&proto.ReadReply{OK: true, Block: blk, LockMode: proto.L1},
+		&proto.SwapReq{Stripe: 9, Slot: 2, Value: blk, NTID: t1},
+		&proto.SwapReply{OK: true, Block: blk, Epoch: 5, OTID: t2, LockMode: proto.Unlocked},
+		&proto.AddReq{Stripe: 9, Slot: 4, Delta: blk, DataSlot: 1, Premultiplied: true, NTID: t1, OTID: t2, Epoch: 3},
+		&proto.AddReply{Status: proto.StatusOrder, OpMode: proto.Norm, LockMode: proto.L0},
+		&proto.CheckTIDReq{Stripe: 9, Slot: 4, NTID: t1, OTID: t2},
+		&proto.CheckTIDReply{Status: proto.StatusGC},
+		&proto.TryLockReq{Stripe: 9, Slot: 0, Mode: proto.L1, Caller: 3},
+		&proto.TryLockReply{OK: true, OldMode: proto.Expired},
+		&proto.SetLockReq{Stripe: 9, Slot: 0, Mode: proto.L0, Caller: 3},
+		&proto.SetLockReply{},
+		&proto.GetStateReq{Stripe: 9, Slot: 1},
+		&proto.GetStateReply{
+			OpMode: proto.Recons, LockMode: proto.L1, Epoch: 7,
+			ReconsSet: []int32{0, 1, 3}, OldList: tt, RecentList: tt[:1],
+			Block: blk, BlockValid: true,
+		},
+		&proto.GetRecentReq{Stripe: 9, Slot: 4, Mode: proto.L1, Caller: 3},
+		&proto.GetRecentReply{RecentList: tt},
+		&proto.ReconstructReq{Stripe: 9, Slot: 1, CSet: []int32{0, 2}, Block: blk},
+		&proto.ReconstructReply{Epoch: 11},
+		&proto.FinalizeReq{Stripe: 9, Slot: 1, Epoch: 12},
+		&proto.FinalizeReply{},
+		&proto.GCOldReq{Stripe: 9, Slot: 1, TIDs: []proto.TID{t1, t2}},
+		&proto.GCRecentReq{Stripe: 9, Slot: 1, TIDs: []proto.TID{t1}},
+		&proto.GCReply{Status: proto.StatusOK},
+		&proto.ProbeReq{Stripe: 9, Slot: 1},
+		&proto.ProbeReply{OpMode: proto.Norm, LockMode: proto.Unlocked, RecentCount: 4, OldestAge: 999, HasRecent: true, Epoch: 2},
+	}
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	for _, msg := range sampleMessages() {
+		mt, buf, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", msg, err)
+		}
+		got, err := Decode(mt, buf)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", msg, err)
+		}
+		if !reflect.DeepEqual(msg, got) {
+			t.Errorf("%T: round trip mismatch:\n enc %+v\n dec %+v", msg, msg, got)
+		}
+	}
+}
+
+func TestSizeMatchesEncoding(t *testing.T) {
+	for _, msg := range sampleMessages() {
+		_, buf, err := Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := Size(msg), len(buf)+FrameOverhead; got != want {
+			t.Errorf("%T: Size = %d, want %d", msg, got, want)
+		}
+	}
+}
+
+func TestRoundTripEmptyFields(t *testing.T) {
+	// nil slices and zero TIDs must survive the round trip as nil/zero.
+	msgs := []any{
+		&proto.ReadReply{},
+		&proto.SwapReply{},
+		&proto.GetStateReply{},
+		&proto.GetRecentReply{},
+		&proto.GCOldReq{},
+		&proto.AddReq{},
+	}
+	for _, msg := range msgs {
+		mt, buf, err := Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(mt, buf)
+		if err != nil {
+			t.Fatalf("%T: %v", msg, err)
+		}
+		if !reflect.DeepEqual(msg, got) {
+			t.Errorf("%T: empty round trip mismatch: %+v vs %+v", msg, msg, got)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	for _, msg := range sampleMessages() {
+		mt, buf, err := Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		for _, cut := range []int{1, len(buf) / 2, len(buf) - 1} {
+			if cut >= len(buf) {
+				continue
+			}
+			if _, err := Decode(mt, buf[:cut]); err == nil {
+				t.Errorf("%T: decode of %d/%d bytes succeeded", msg, cut, len(buf))
+			}
+		}
+	}
+}
+
+func TestDecodeTrailingGarbage(t *testing.T) {
+	mt, buf, _ := Encode(&proto.ReadReq{Stripe: 1, Slot: 0})
+	if _, err := Decode(mt, append(buf, 0xFF)); err == nil {
+		t.Fatal("decode with trailing bytes succeeded")
+	}
+}
+
+func TestDecodeUnknownType(t *testing.T) {
+	if _, err := Decode(MsgType(200), nil); !errors.Is(err, ErrBadType) {
+		t.Fatalf("err = %v, want ErrBadType", err)
+	}
+}
+
+func TestEncodeUnknownType(t *testing.T) {
+	if _, _, err := Encode(struct{}{}); err == nil {
+		t.Fatal("encode of unknown type succeeded")
+	}
+}
+
+func TestDecodeCorruptCountsDoNotPanic(t *testing.T) {
+	// A hostile or corrupt frame with a huge element count must fail
+	// cleanly rather than allocating or panicking.
+	rng := rand.New(rand.NewSource(1))
+	for _, mt := range []MsgType{TGetStateReply, TGetRecentReply, TGCOld, TGCRecent, TReconstruct} {
+		for trial := 0; trial < 200; trial++ {
+			n := rng.Intn(40)
+			buf := make([]byte, n)
+			rng.Read(buf)
+			_, _ = Decode(mt, buf) // must not panic
+		}
+		// Explicit huge count.
+		huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+		if _, err := Decode(mt, huge); err == nil {
+			t.Errorf("type %d: decode of huge count succeeded", mt)
+		}
+	}
+}
+
+func TestFrameOverheadConstant(t *testing.T) {
+	if FrameOverhead != 13 {
+		t.Fatalf("FrameOverhead = %d; update the protocol docs if this changes", FrameOverhead)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"ecstore/internal/erasure"
 	"ecstore/internal/experiments"
 	"ecstore/internal/gf"
+	"ecstore/internal/obs"
 	"ecstore/internal/resilience"
 	"ecstore/internal/sim"
 	"ecstore/internal/wire"
@@ -397,6 +398,47 @@ func BenchmarkWriteStripe(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkObsOverhead compares the 16 KiB write hot path with
+// instrumentation disabled (nil registry: every observation is a no-op
+// on a nil receiver) against fully enabled. The enabled/noop ratio is
+// the overhead budget the obs package has to stay inside (< 2%).
+func BenchmarkObsOverhead(b *testing.B) {
+	const obsBlock = 16 << 10
+	for _, bc := range []struct {
+		name string
+		reg  *obs.Registry
+	}{
+		{"noop", nil},
+		{"enabled", obs.NewRegistry()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			c, err := cluster.New(cluster.Options{
+				K: 3, N: 5, BlockSize: obsBlock,
+				RetryDelay: 50 * time.Microsecond,
+				Obs:        bc.reg,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl := c.Clients[0]
+			ctx := context.Background()
+			v := make([]byte, obsBlock)
+			rand.New(rand.NewSource(9)).Read(v)
+			b.SetBytes(obsBlock)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cl.WriteBlock(ctx, uint64(i%64), i%3, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if _, err := cl.CollectGarbage(ctx); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
 }
 
 // BenchmarkBlockstoreFilePut measures persistent block writes with and

@@ -15,6 +15,10 @@
 //	monitor                     probe touched stripes and repair
 //	scrub                       audit stripes against the code, repair damage
 //	gc                          run one garbage-collection pass
+//
+// With -stats, a JSON metrics snapshot (per-op RPC counts, latency
+// histograms, protocol counters) is printed to stderr after the
+// command completes.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"ecstore"
+	"ecstore/internal/obs"
 )
 
 func main() {
@@ -47,6 +52,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		clientID  = fs.Uint("client-id", 1, "unique client identity")
 		mode      = fs.String("mode", "parallel", "update mode: serial|parallel|hybrid|broadcast")
 		timeout   = fs.Duration("timeout", 30*time.Second, "operation timeout")
+		stats     = fs.Bool("stats", false, "print a JSON metrics snapshot to stderr after the command")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,9 +67,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+		defer func() { _ = reg.WriteJSON(os.Stderr) }()
+	}
 	addrs := strings.Split(*nodes, ",")
 	cluster, err := ecstore.ConnectCluster(ecstore.Options{
-		K: *k, N: *n, BlockSize: *blockSize, Mode: updateMode,
+		K: *k, N: *n, BlockSize: *blockSize, Mode: updateMode, Obs: reg,
 	}, addrs)
 	if err != nil {
 		return err

@@ -3,16 +3,20 @@
 //
 // Usage:
 //
-//	experiments [-quick] [fig1 fig8a fig8b fig8c fig9a fig9b fig9c
+//	experiments [-quick] [-metrics-out metrics.jsonl]
+//	            [fig1 fig8a fig8b fig8c fig9a fig9b fig9c
 //	             fig9d fig10a fig10b fig10c fig10d recovery latency space]
 //
 // With no arguments it runs everything. -quick shrinks the measurement
 // windows so a full run finishes in well under a minute; drop it for
-// the numbers recorded in EXPERIMENTS.md.
+// the numbers recorded in EXPERIMENTS.md. -metrics-out appends one
+// JSON line per experiment ({"experiment": ..., "metrics": {...}})
+// with the protocol and transport metrics behind each figure.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,12 +24,14 @@ import (
 	"time"
 
 	"ecstore/internal/experiments"
+	"ecstore/internal/obs"
 )
 
 type runner func(ctx context.Context, w io.Writer, quick bool) error
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink measurement windows for a fast pass")
+	metricsOut := flag.String("metrics-out", "", "append one JSON line of metrics per experiment to this file")
 	flag.Parse()
 	names := flag.Args()
 	if len(names) == 0 {
@@ -36,6 +42,16 @@ func main() {
 			"recovery", "latency", "readratio", "space", "ablation",
 		}
 	}
+	var metricsFile *os.File
+	if *metricsOut != "" {
+		f, err := os.OpenFile(*metricsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		metricsFile = f
+		defer f.Close()
+	}
 	ctx := context.Background()
 	for _, name := range names {
 		r, ok := runners[name]
@@ -43,11 +59,36 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
+		if metricsFile != nil {
+			// A fresh registry per experiment keeps each JSON line
+			// attributable to one figure.
+			experiments.SetObsRegistry(obs.NewRegistry())
+		}
 		if err := r(ctx, os.Stdout, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		if metricsFile != nil {
+			if err := writeMetricsLine(metricsFile, name); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// writeMetricsLine appends {"experiment": name, "metrics": {...}} from
+// the current registry as one JSON line.
+func writeMetricsLine(w io.Writer, name string) error {
+	line, err := json.Marshal(map[string]any{
+		"experiment": name,
+		"metrics":    experiments.ObsRegistry().Snapshot(),
+	})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", line)
+	return err
 }
 
 func fig9Params(quick bool) experiments.Fig9Params {

@@ -7,11 +7,17 @@
 //
 //	storaged -addr :7000 -block-size 1024 -k 3 -n 5
 //	storaged -addr :7001 -block-size 1024 -k 3 -n 5 -replacement
+//	storaged -addr :7000 -block-size 1024 -metrics-addr :7070
 //
 // The -k/-n parameters let the node apply erasure-code coefficients
 // itself when clients use the broadcast write optimization. Start a
 // node with -replacement when it substitutes for a crashed one: its
 // blocks begin in INIT mode and recovery repopulates them.
+//
+// With -metrics-addr set, the node serves GET /debug/metrics on that
+// address: a JSON snapshot of per-operation request counts, error
+// counts, latency histograms, byte totals, and (with -data-dir) block
+// store counters.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,86 +33,160 @@ import (
 
 	"ecstore/internal/blockstore"
 	"ecstore/internal/erasure"
+	"ecstore/internal/obs"
 	"ecstore/internal/rpc"
 	"ecstore/internal/storage"
 )
 
+// config collects every knob of one storaged instance.
+type config struct {
+	addr        string
+	blockSize   int
+	k, n        int
+	replacement bool
+	lease       time.Duration
+	id          string
+	dataDir     string
+	writeBack   int
+	trust       bool
+	metricsAddr string
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", ":7000", "listen address")
-		blockSize   = flag.Int("block-size", 1024, "block size in bytes")
-		k           = flag.Int("k", 0, "erasure code data blocks (enables broadcast adds)")
-		n           = flag.Int("n", 0, "erasure code total blocks (enables broadcast adds)")
-		replacement = flag.Bool("replacement", false, "start as a replacement node (blocks in INIT mode)")
-		lease       = flag.Duration("lock-lease", 10*time.Second, "recovery-lock lease before expiry (0 disables)")
-		id          = flag.String("id", "", "node identifier (defaults to the listen address)")
-		dataDir     = flag.String("data-dir", "", "persist blocks in this directory (empty: RAM only, like the paper's evaluation)")
-		writeBack   = flag.Int("write-back", 64, "dirty blocks buffered before flushing to disk (0: write-through)")
-		trust       = flag.Bool("trust-data", false, "serve persisted blocks as valid after a restart (only when the node provably missed no writes)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":7000", "listen address")
+	flag.IntVar(&cfg.blockSize, "block-size", 1024, "block size in bytes")
+	flag.IntVar(&cfg.k, "k", 0, "erasure code data blocks (enables broadcast adds)")
+	flag.IntVar(&cfg.n, "n", 0, "erasure code total blocks (enables broadcast adds)")
+	flag.BoolVar(&cfg.replacement, "replacement", false, "start as a replacement node (blocks in INIT mode)")
+	flag.DurationVar(&cfg.lease, "lock-lease", 10*time.Second, "recovery-lock lease before expiry (0 disables)")
+	flag.StringVar(&cfg.id, "id", "", "node identifier (defaults to the listen address)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "persist blocks in this directory (empty: RAM only, like the paper's evaluation)")
+	flag.IntVar(&cfg.writeBack, "write-back", 64, "dirty blocks buffered before flushing to disk (0: write-through)")
+	flag.BoolVar(&cfg.trust, "trust-data", false, "serve persisted blocks as valid after a restart (only when the node provably missed no writes)")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /debug/metrics JSON on this address (empty: metrics disabled)")
 	flag.Parse()
-	if err := run(*addr, *blockSize, *k, *n, *replacement, *lease, *id, *dataDir, *writeBack, *trust); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "storaged:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, blockSize, k, n int, replacement bool, lease time.Duration, id, dataDir string, writeBack int, trust bool) error {
-	srv, node, err := setup(addr, blockSize, k, n, replacement, lease, id, dataDir, writeBack, trust)
+func run(cfg config) error {
+	d, err := setup(cfg)
 	if err != nil {
 		return err
 	}
-	log.Printf("storaged %s listening on %s (block size %d, replacement=%v)", node.ID(), srv.Addr(), blockSize, replacement)
+	log.Printf("storaged %s listening on %s (block size %d, replacement=%v)", d.node.ID(), d.srv.Addr(), cfg.blockSize, cfg.replacement)
+	if d.metricsLn != nil {
+		log.Printf("storaged %s metrics on http://%s/debug/metrics", d.node.ID(), d.MetricsAddr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("storaged %s shutting down", node.ID())
-	if err := srv.Close(); err != nil {
+	log.Printf("storaged %s shutting down", d.node.ID())
+	return d.Close()
+}
+
+// daemon holds one running storaged instance: the RPC server, the
+// storage node behind it, and (optionally) the metrics endpoint.
+type daemon struct {
+	srv  *rpc.Server
+	node *storage.Node
+
+	reg       *obs.Registry // nil when metrics are disabled
+	metricsLn net.Listener  // nil when metrics are disabled
+	metricsWg chan struct{}
+}
+
+// MetricsAddr returns the bound metrics listen address, or "" when
+// metrics are disabled.
+func (d *daemon) MetricsAddr() string {
+	if d.metricsLn == nil {
+		return ""
+	}
+	return d.metricsLn.Addr().String()
+}
+
+// Close stops serving and flushes the node's store.
+func (d *daemon) Close() error {
+	if d.metricsLn != nil {
+		_ = d.metricsLn.Close()
+		<-d.metricsWg
+	}
+	if err := d.srv.Close(); err != nil {
 		return err
 	}
-	return node.Shutdown()
+	return d.node.Shutdown()
 }
 
 // setup builds the node and starts serving; main waits for a signal,
-// tests drive the returned handles directly.
-func setup(addr string, blockSize, k, n int, replacement bool, lease time.Duration, id, dataDir string, writeBack int, trust bool) (*rpc.Server, *storage.Node, error) {
+// tests drive the returned daemon directly.
+func setup(cfg config) (*daemon, error) {
+	d := &daemon{}
+	if cfg.metricsAddr != "" {
+		d.reg = obs.NewRegistry()
+	}
 	opts := storage.Options{
-		ID:             id,
-		BlockSize:      blockSize,
-		Replacement:    replacement,
-		LockLease:      lease,
-		TrustPersisted: trust,
+		ID:             cfg.id,
+		BlockSize:      cfg.blockSize,
+		Replacement:    cfg.replacement,
+		LockLease:      cfg.lease,
+		TrustPersisted: cfg.trust,
 	}
 	if opts.ID == "" {
-		opts.ID = addr
+		opts.ID = cfg.addr
 	}
-	if dataDir != "" {
+	if cfg.dataDir != "" {
 		store, clean, err := blockstore.OpenFile(blockstore.FileOptions{
-			Dir: dataDir, BlockSize: blockSize, WriteBackLimit: writeBack,
+			Dir: cfg.dataDir, BlockSize: cfg.blockSize, WriteBackLimit: cfg.writeBack, Obs: d.reg,
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		if trust && !clean {
+		if cfg.trust && !clean {
 			log.Printf("storaged: WARNING: -trust-data set but the previous shutdown was unclean; serving blocks as valid anyway")
 		}
 		opts.Store = store
 	}
-	if k > 0 || n > 0 {
-		code, err := erasure.New(k, n)
+	if cfg.k > 0 || cfg.n > 0 {
+		code, err := erasure.New(cfg.k, cfg.n)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		opts.Code = code
 	}
 	node, err := storage.New(opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return rpc.Serve(ln, node), node, nil
+	d.node = node
+	var rpcm *rpc.Metrics
+	if d.reg != nil {
+		rpcm = rpc.NewMetrics(d.reg, "rpc")
+	}
+	d.srv = rpc.Serve(ln, node, rpc.WithMetrics(rpcm))
+
+	if cfg.metricsAddr != "" {
+		mln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			_ = d.srv.Close()
+			_ = node.Shutdown()
+			return nil, err
+		}
+		d.metricsLn = mln
+		d.metricsWg = make(chan struct{})
+		mux := http.NewServeMux()
+		mux.Handle("/debug/metrics", d.reg.Handler())
+		go func() {
+			defer close(d.metricsWg)
+			_ = http.Serve(mln, mux)
+		}()
+	}
+	return d, nil
 }

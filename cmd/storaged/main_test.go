@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"testing"
 	"time"
 
@@ -15,31 +18,27 @@ func TestSetupServesAndPersists(t *testing.T) {
 	ctx := context.Background()
 	blk := bytes.Repeat([]byte{0x5C}, 128)
 
-	srv, node, err := setup("127.0.0.1:0", 128, 2, 4, false, time.Second, "t0", dir, 8, false)
+	d, err := setup(config{addr: "127.0.0.1:0", blockSize: 128, k: 2, n: 4, lease: time.Second, id: "t0", dataDir: dir, writeBack: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl := rpc.Dial(srv.Addr().String())
+	cl := rpc.Dial(d.srv.Addr().String())
 	rep, err := cl.Swap(ctx, &proto.SwapReq{Stripe: 1, Slot: 0, Value: blk, NTID: proto.TID{Seq: 1, Block: 0, Client: 1}})
 	if err != nil || !rep.OK {
 		t.Fatalf("swap over TCP: %v %+v", err, rep)
 	}
 	_ = cl.Close()
-	if err := srv.Close(); err != nil {
-		t.Fatal(err)
-	}
-	if err := node.Shutdown(); err != nil {
+	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
 
 	// Restart on the same data dir with -trust-data: the block serves.
-	srv2, node2, err := setup("127.0.0.1:0", 128, 2, 4, false, time.Second, "t0'", dir, 8, true)
+	d2, err := setup(config{addr: "127.0.0.1:0", blockSize: 128, k: 2, n: 4, lease: time.Second, id: "t0'", dataDir: dir, writeBack: 8, trust: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv2.Close()
-	defer node2.Shutdown()
-	cl2 := rpc.Dial(srv2.Addr().String())
+	defer d2.Close()
+	cl2 := rpc.Dial(d2.srv.Addr().String())
 	defer cl2.Close()
 	got, err := cl2.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0})
 	if err != nil || !got.OK || !bytes.Equal(got.Block, blk) {
@@ -48,25 +47,24 @@ func TestSetupServesAndPersists(t *testing.T) {
 }
 
 func TestSetupValidation(t *testing.T) {
-	if _, _, err := setup("127.0.0.1:0", 128, 4, 4, false, 0, "bad", "", 0, false); err == nil {
+	if _, err := setup(config{addr: "127.0.0.1:0", blockSize: 128, k: 4, n: 4, id: "bad"}); err == nil {
 		t.Fatal("invalid code accepted")
 	}
-	if _, _, err := setup("127.0.0.1:0", 0, 0, 0, false, 0, "bad", "", 0, false); err == nil {
+	if _, err := setup(config{addr: "127.0.0.1:0", id: "bad"}); err == nil {
 		t.Fatal("zero block size accepted")
 	}
-	if _, _, err := setup("256.0.0.1:99999", 128, 0, 0, false, 0, "bad", "", 0, false); err == nil {
+	if _, err := setup(config{addr: "256.0.0.1:99999", blockSize: 128, id: "bad"}); err == nil {
 		t.Fatal("bad listen address accepted")
 	}
 }
 
 func TestSetupReplacementMode(t *testing.T) {
-	srv, node, err := setup("127.0.0.1:0", 64, 0, 0, true, 0, "repl", "", 0, false)
+	d, err := setup(config{addr: "127.0.0.1:0", blockSize: 64, replacement: true, id: "repl"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
-	defer node.Shutdown()
-	cl := rpc.Dial(srv.Addr().String())
+	defer d.Close()
+	cl := rpc.Dial(d.srv.Addr().String())
 	defer cl.Close()
 	rep, err := cl.Read(context.Background(), &proto.ReadReq{Stripe: 0, Slot: 0})
 	if err != nil {
@@ -74,5 +72,47 @@ func TestSetupReplacementMode(t *testing.T) {
 	}
 	if rep.OK {
 		t.Fatal("replacement node served a read from an INIT slot")
+	}
+}
+
+// TestMetricsEndpoint drives one RPC through a metrics-enabled daemon
+// and checks /debug/metrics reports it: op counts, a latency
+// histogram, and byte totals.
+func TestMetricsEndpoint(t *testing.T) {
+	d, err := setup(config{addr: "127.0.0.1:0", blockSize: 64, id: "m0", metricsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.MetricsAddr() == "" {
+		t.Fatal("metrics listener not bound")
+	}
+
+	cl := rpc.Dial(d.srv.Addr().String())
+	defer cl.Close()
+	blk := bytes.Repeat([]byte{7}, 64)
+	rep, err := cl.Swap(context.Background(), &proto.SwapReq{Stripe: 3, Slot: 0, Value: blk, NTID: proto.TID{Seq: 1, Block: 0, Client: 9}})
+	if err != nil || !rep.OK {
+		t.Fatalf("swap: %v %+v", err, rep)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/metrics", d.MetricsAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("endpoint did not return JSON: %v", err)
+	}
+	if got, _ := snap["rpc.swap.calls"].(float64); got < 1 {
+		t.Fatalf("rpc.swap.calls = %v, want >= 1 (snapshot: %v)", snap["rpc.swap.calls"], snap)
+	}
+	hist, ok := snap["rpc.swap.latency"].(map[string]any)
+	if !ok || hist["count"].(float64) < 1 {
+		t.Fatalf("rpc.swap.latency histogram missing or empty: %v", snap["rpc.swap.latency"])
+	}
+	if got, _ := snap["rpc.bytes_in"].(float64); got <= 0 {
+		t.Fatalf("rpc.bytes_in = %v, want > 0", snap["rpc.bytes_in"])
 	}
 }

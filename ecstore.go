@@ -38,6 +38,7 @@ import (
 	"ecstore/internal/core"
 	"ecstore/internal/directory"
 	"ecstore/internal/erasure"
+	"ecstore/internal/obs"
 	"ecstore/internal/proto"
 	"ecstore/internal/resilience"
 	"ecstore/internal/rpc"
@@ -90,6 +91,11 @@ type Options struct {
 	// provably missed no writes (every node restarts together), blocks
 	// are served as valid.
 	DataDir string
+	// Obs optionally collects metrics from every layer the cluster
+	// touches — protocol clients, the RPC stubs of a TCP cluster, and
+	// the persistent block stores of a local one. Nil (the default)
+	// disables instrumentation entirely.
+	Obs *obs.Registry
 }
 
 func (o *Options) normalize() error {
@@ -122,6 +128,7 @@ type Cluster struct {
 
 	local []*storage.Node // non-nil for local clusters
 	conns []*rpc.Client   // non-nil for TCP clusters
+	rpcm  *rpc.Metrics    // shared by all TCP stubs (nil when Obs unset)
 	gen   int
 }
 
@@ -153,6 +160,7 @@ func NewLocalCluster(opts Options) (*Cluster, error) {
 				Dir:            filepath.Join(opts.DataDir, fmt.Sprintf("node-%d", i)),
 				BlockSize:      opts.BlockSize,
 				WriteBackLimit: 64,
+				Obs:            opts.Obs,
 			})
 			if err != nil {
 				return nil, err
@@ -206,9 +214,12 @@ func ConnectCluster(opts Options, addrs []string) (*Cluster, error) {
 	}
 	layout := stripe.MustLayout(opts.K, opts.N)
 	c := &Cluster{opts: opts, code: code, layout: layout}
+	if opts.Obs != nil {
+		c.rpcm = rpc.NewMetrics(opts.Obs, "rpc")
+	}
 	handles := make([]proto.StorageNode, opts.N)
 	for i, addr := range addrs {
-		cl := rpc.Dial(addr)
+		cl := rpc.Dial(addr, rpc.WithMetrics(c.rpcm))
 		c.conns = append(c.conns, cl)
 		handles[i] = cl
 	}
@@ -226,7 +237,7 @@ func (c *Cluster) ReplaceNode(phys int, addr string) error {
 	if phys < 0 || phys >= c.opts.N {
 		return fmt.Errorf("ecstore: node index %d out of range [0,%d)", phys, c.opts.N)
 	}
-	cl := rpc.Dial(addr)
+	cl := rpc.Dial(addr, rpc.WithMetrics(c.rpcm))
 	c.conns = append(c.conns, cl)
 	c.dir.ReplaceNode(phys, cl)
 	return nil
@@ -280,6 +291,7 @@ func (c *Cluster) Volume(clientID uint32) (*Volume, error) {
 		Mode:      c.opts.Mode,
 		TP:        c.opts.TP,
 		Multicast: transport.Parallel{},
+		Obs:       c.opts.Obs,
 	})
 	if err != nil {
 		return nil, err

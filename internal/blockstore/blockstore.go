@@ -30,6 +30,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"ecstore/internal/obs"
 )
 
 // Key addresses one block: a stripe and a slot within it.
@@ -136,6 +138,10 @@ type File struct {
 	// stats
 	puts       uint64
 	diskWrites uint64
+	flushes    uint64
+	gets       uint64
+
+	obsGets, obsPuts, obsDiskWrites, obsFlushes *obs.Counter
 }
 
 // FileOptions configures a File store.
@@ -148,6 +154,10 @@ type FileOptions struct {
 	// automatic flush (the deferred-parity-write optimization). Zero
 	// means write-through.
 	WriteBackLimit int
+	// Obs optionally receives the store's metrics: blockstore.gets,
+	// blockstore.puts, blockstore.disk_writes, blockstore.flushes, and a
+	// live blockstore.dirty_blocks gauge.
+	Obs *obs.Registry
 }
 
 const idxRecordSize = 8 + 4 + 8 + 4 // stripe, slot, offset, crc
@@ -205,6 +215,13 @@ func OpenFile(opts FileOptions) (*File, bool, error) {
 		_ = idx.Close()
 		return nil, false, fmt.Errorf("blockstore: replay index: %w", err)
 	}
+	if reg := opts.Obs; reg != nil {
+		f.obsGets = reg.Counter("blockstore.gets")
+		f.obsPuts = reg.Counter("blockstore.puts")
+		f.obsDiskWrites = reg.Counter("blockstore.disk_writes")
+		f.obsFlushes = reg.Counter("blockstore.flushes")
+		reg.Func("blockstore.dirty_blocks", func() int64 { return int64(f.DirtyCount()) })
+	}
 	return f, wasClean, nil
 }
 
@@ -254,11 +271,13 @@ var _ Store = (*File)(nil)
 
 // Get implements Store: dirty cache first, then the data file.
 func (f *File) Get(key Key) ([]byte, bool) {
+	f.obsGets.Inc()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
 		return nil, false
 	}
+	f.gets++
 	if b, ok := f.dirty[key]; ok {
 		return b, true
 	}
@@ -286,6 +305,7 @@ func (f *File) Put(key Key, block []byte) error {
 		return errClosed
 	}
 	f.puts++
+	f.obsPuts.Inc()
 	f.dirty[key] = append([]byte(nil), block...)
 	if len(f.dirty) > f.dirtyLimit {
 		return f.flushLocked()
@@ -330,6 +350,8 @@ func (f *File) flushLocked() error {
 	if len(f.dirty) == 0 {
 		return nil
 	}
+	f.flushes++
+	f.obsFlushes.Inc()
 	keys := make([]Key, 0, len(f.dirty))
 	for k := range f.dirty {
 		keys = append(keys, k)
@@ -351,6 +373,7 @@ func (f *File) flushLocked() error {
 			return err
 		}
 		f.diskWrites++
+		f.obsDiskWrites.Inc()
 		if !known {
 			var rec [idxRecordSize]byte
 			binary.BigEndian.PutUint64(rec[0:8], key.Stripe)

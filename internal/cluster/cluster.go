@@ -14,6 +14,7 @@ import (
 	"ecstore/internal/core"
 	"ecstore/internal/directory"
 	"ecstore/internal/erasure"
+	"ecstore/internal/obs"
 	"ecstore/internal/proto"
 	"ecstore/internal/resilience"
 	"ecstore/internal/storage"
@@ -48,6 +49,8 @@ type Options struct {
 	RetryDelay time.Duration
 	// ClientTweak, when set, may adjust each client config before use.
 	ClientTweak func(*core.Config)
+	// Obs optionally collects every client's metrics in one registry.
+	Obs *obs.Registry
 }
 
 // Cluster is an assembled in-process deployment.
@@ -124,6 +127,7 @@ func New(opts Options) (*Cluster, error) {
 			TP:         opts.TP,
 			Multicast:  opts.Multicast,
 			RetryDelay: opts.RetryDelay,
+			Obs:        opts.Obs,
 		}
 		if opts.ClientTweak != nil {
 			opts.ClientTweak(&cfg)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"ecstore/internal/erasure"
+	"ecstore/internal/obs"
 	"ecstore/internal/proto"
 	"ecstore/internal/resilience"
 )
@@ -74,6 +75,10 @@ type Config struct {
 	// RecoveryPollLimit bounds phase-2 polling rounds while waiting for
 	// outstanding writes to complete. Defaults to 256.
 	RecoveryPollLimit int
+	// Obs optionally receives the client's metrics (latency histograms,
+	// retry counters, recovery phase timings). Nil disables
+	// instrumentation at no cost to the hot path.
+	Obs *obs.Registry
 }
 
 func (c *Config) validate() error {
@@ -150,6 +155,7 @@ type Client struct {
 	tracked map[uint64]struct{}
 
 	stats ClientStats
+	obs   clientObs
 }
 
 // ClientStats counts protocol events, for experiments and tests.
@@ -177,13 +183,15 @@ func NewClient(cfg Config) (*Client, error) {
 		return nil, err
 	}
 	cfg.applyDefaults()
-	return &Client{
+	c := &Client{
 		cfg:        cfg,
 		recovering: make(map[uint64]*recoveryTicket),
 		gcNew:      make(map[uint64]map[int][]proto.TID),
 		gcAging:    make(map[uint64]map[int][]proto.TID),
 		tracked:    make(map[uint64]struct{}),
-	}, nil
+	}
+	c.obs = newClientObs(cfg.Obs, &c.stats)
+	return c, nil
 }
 
 // ID returns the client's identity.
@@ -206,6 +214,7 @@ func (c *Client) ReadBlock(ctx context.Context, stripeID uint64, i int) ([]byte,
 	}
 	c.track(stripeID)
 	c.stats.Reads.Add(1)
+	sp := obs.StartSpan(c.obs.readLatency)
 	for {
 		node, err := c.cfg.Resolver.Node(stripeID, i)
 		if err != nil {
@@ -216,6 +225,7 @@ func (c *Client) ReadBlock(ctx context.Context, stripeID uint64, i int) ([]byte,
 		case err != nil:
 			c.cfg.Resolver.ReportFailure(stripeID, i, node)
 		case rep.OK:
+			sp.End()
 			return rep.Block, nil
 		case rep.LockMode == proto.Unlocked || rep.LockMode == proto.Expired:
 			// Nobody is running recovery: we do it (line 4 of Fig. 4).

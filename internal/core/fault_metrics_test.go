@@ -1,0 +1,138 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"ecstore/internal/cluster"
+	"ecstore/internal/core"
+	"ecstore/internal/obs"
+	"ecstore/internal/proto"
+)
+
+// obsCluster builds a test cluster with a shared metrics registry and
+// returns both.
+func obsCluster(t *testing.T, opts cluster.Options) (*cluster.Cluster, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	opts.Obs = reg
+	return testCluster(t, opts), reg
+}
+
+// snapInt reads a func-mirrored counter out of a snapshot.
+func snapInt(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	v, ok := reg.Snapshot()[name]
+	if !ok {
+		t.Fatalf("metric %q missing from snapshot", name)
+	}
+	n, ok := v.(int64)
+	if !ok {
+		t.Fatalf("metric %q has type %T, want int64", name, v)
+	}
+	return n
+}
+
+// TestMetricsWriteRetryOnNodeCrash crashes a redundant node under a
+// write: the first add fails, the directory reroutes to a replacement,
+// and the retry counters must record the detour.
+func TestMetricsWriteRetryOnNodeCrash(t *testing.T) {
+	c, reg := obsCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	before := reg.Counter("core.add_retries").Value()
+	c.CrashNodeForStripeSlot(0, 3)
+	if err := cl.WriteBlock(ctx, 0, 0, val(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("core.add_retries").Value(); got <= before {
+		t.Fatalf("core.add_retries = %d, want > %d after a redundant-node crash mid-write", got, before)
+	}
+	if reg.Counter("core.add_calls").Value() == 0 {
+		t.Fatal("core.add_calls never incremented")
+	}
+	if reg.Counter("core.swap_calls").Value() == 0 {
+		t.Fatal("core.swap_calls never incremented")
+	}
+	lat := reg.Histogram("core.write_latency")
+	if lat.Count() < 2 {
+		t.Fatalf("core.write_latency count = %d, want >= 2", lat.Count())
+	}
+	mustVerify(t, c, 0)
+}
+
+// TestMetricsRecoveryLockConflict holds foreign L1 locks on every slot
+// so Recover hits the busy path, then releases them so a second
+// attempt succeeds: the busy counter and the three per-phase recovery
+// histograms must both reflect what happened.
+func TestMetricsRecoveryLockConflict(t *testing.T) {
+	c, reg := obsCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	for i := 0; i < 2; i++ {
+		if err := cl.WriteBlock(ctx, 0, i, val(uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A foreign, live client holds recovery locks on the whole stripe.
+	const holder = proto.ClientID(99)
+	for j := 0; j < 4; j++ {
+		node, _ := c.Dir.Node(0, j)
+		rep, err := node.TryLock(ctx, &proto.TryLockReq{Stripe: 0, Slot: int32(j), Mode: proto.L1, Caller: holder})
+		if err != nil || !rep.OK {
+			t.Fatalf("foreign lock on slot %d: %v %+v", j, err, rep)
+		}
+	}
+	if err := cl.Recover(ctx, 0); !errors.Is(err, core.ErrRecoveryBusy) {
+		t.Fatalf("Recover with foreign locks = %v, want ErrRecoveryBusy", err)
+	}
+	if got := snapInt(t, reg, "core.recovery_busy"); got < 1 {
+		t.Fatalf("core.recovery_busy = %d, want >= 1", got)
+	}
+
+	// Expire the foreign client's locks; the retried recovery must run
+	// all three phases and time each one.
+	c.FailClient(holder)
+	if err := cl.Recover(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := snapInt(t, reg, "core.recoveries"); got < 1 {
+		t.Fatalf("core.recoveries = %d, want >= 1", got)
+	}
+	for _, name := range []string{"core.recovery_phase1", "core.recovery_phase2", "core.recovery_phase3"} {
+		if n := reg.Histogram(name).Count(); n < 1 {
+			t.Fatalf("%s count = %d, want >= 1 after a completed recovery", name, n)
+		}
+	}
+	mustVerify(t, c, 0)
+}
+
+// TestMetricsGCRounds runs the two-phase garbage collector twice over
+// written stripes: round and reclaimed-entry counters must advance.
+func TestMetricsGCRounds(t *testing.T) {
+	c, reg := obsCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	for i := 0; i < 8; i++ {
+		if err := cl.WriteBlock(ctx, uint64(i%2), i%2, val(uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pass 1 ages recent tids; pass 2 discards them.
+	for pass := 0; pass < 2; pass++ {
+		if _, err := cl.CollectGarbage(ctx); err != nil {
+			t.Fatalf("gc pass %d: %v", pass, err)
+		}
+	}
+	if got := snapInt(t, reg, "core.gc_rounds"); got < 2 {
+		t.Fatalf("core.gc_rounds = %d, want >= 2", got)
+	}
+	if got := reg.Counter("core.gc_reclaimed").Value(); got == 0 {
+		t.Fatal("core.gc_reclaimed = 0, want > 0 after two full GC passes")
+	}
+	mustVerify(t, c, 0)
+	mustVerify(t, c, 1)
+}

@@ -110,6 +110,12 @@ func (c *Client) collectStripe(ctx context.Context, stripeID uint64) (bool, erro
 		return false, err
 	}
 
+	// Both phases succeeded: the aged tids are gone from the nodes'
+	// oldlists for good.
+	for _, tids := range aging {
+		c.obs.gcReclaimed.Add(uint64(len(tids)))
+	}
+
 	// Rotate generations: old[j] <- gc[j]; gc[j] <- {} (Fig. 7 line 8).
 	// Entries recorded by writes that completed during this pass stay
 	// in gcNew for the next one.

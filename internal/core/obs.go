@@ -1,0 +1,63 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"ecstore/internal/obs"
+)
+
+// clientObs holds the client's registered metrics. All fields are nil
+// when Config.Obs is unset, so every observation is a no-op branch.
+type clientObs struct {
+	// End-to-end operation latency.
+	readLatency  *obs.Histogram
+	writeLatency *obs.Histogram
+
+	// Write-path breakdown: the swap on the data node vs. the add
+	// deltas on the p redundant nodes (paper Fig. 5).
+	swapCalls   *obs.Counter
+	swapRetries *obs.Counter
+	addCalls    *obs.Counter
+	addRetries  *obs.Counter
+
+	// Recovery phase timings (Fig. 6's three phases).
+	recPhase1 *obs.Histogram // acquire locks
+	recPhase2 *obs.Histogram // collect states, settle on a consistent set
+	recPhase3 *obs.Histogram // decode, reconstruct, finalize
+
+	gcReclaimed *obs.Counter
+}
+
+// newClientObs registers the client's metrics and mirrors the existing
+// ClientStats counters into the registry as live funcs, so one
+// snapshot shows both.
+func newClientObs(reg *obs.Registry, stats *ClientStats) clientObs {
+	o := clientObs{
+		readLatency:  reg.Histogram("core.read_latency"),
+		writeLatency: reg.Histogram("core.write_latency"),
+		swapCalls:    reg.Counter("core.swap_calls"),
+		swapRetries:  reg.Counter("core.swap_retries"),
+		addCalls:     reg.Counter("core.add_calls"),
+		addRetries:   reg.Counter("core.add_retries"),
+		recPhase1:    reg.Histogram("core.recovery_phase1"),
+		recPhase2:    reg.Histogram("core.recovery_phase2"),
+		recPhase3:    reg.Histogram("core.recovery_phase3"),
+		gcReclaimed:  reg.Counter("core.gc_reclaimed"),
+	}
+	if reg != nil {
+		mirror := func(name string, u *atomic.Uint64) {
+			reg.Func(name, func() int64 { return int64(u.Load()) })
+		}
+		mirror("core.reads", &stats.Reads)
+		mirror("core.writes", &stats.Writes)
+		mirror("core.stripe_writes", &stats.StripeWrites)
+		mirror("core.write_restarts", &stats.WriteRestarts)
+		mirror("core.recoveries", &stats.Recoveries)
+		mirror("core.recovery_pickups", &stats.RecoveryPickups)
+		mirror("core.recovery_busy", &stats.RecoveryBusy)
+		mirror("core.order_waits", &stats.OrderWaits)
+		mirror("core.gc_rounds", &stats.GCRounds)
+		mirror("core.monitor_triggered", &stats.MonitorTriggered)
+	}
+	return o
+}

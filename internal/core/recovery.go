@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"ecstore/internal/obs"
 	"ecstore/internal/proto"
 )
 
@@ -99,6 +100,7 @@ func (c *Client) recoverStripe(ctx context.Context, stripeID uint64, exclude slo
 		}
 	}
 
+	sp := obs.StartSpan(c.obs.recPhase1)
 	for j := 0; j < n; j++ {
 		rep, err := c.tryLockSlot(ctx, stripeID, j)
 		if err != nil {
@@ -114,6 +116,7 @@ func (c *Client) recoverStripe(ctx context.Context, stripeID uint64, exclude slo
 		locks = append(locks, held{slot: j, oldMode: rep.OldMode})
 	}
 	c.stats.Recoveries.Add(1)
+	sp = sp.Next(c.obs.recPhase2)
 
 	// --- Phase 2: running solo; read state from all storage nodes ---
 	states := c.getStates(ctx, stripeID, allSlots(n))
@@ -154,6 +157,7 @@ func (c *Client) recoverStripe(ctx context.Context, stripeID uint64, exclude slo
 	}
 
 	// --- Phase 3: decode, write back, finalize ---
+	sp = sp.Next(c.obs.recPhase3)
 	stripeBlocks := make([][]byte, n)
 	for j := range cset {
 		if states[j] == nil || !states[j].BlockValid {
@@ -194,6 +198,7 @@ func (c *Client) recoverStripe(ctx context.Context, stripeID uint64, exclude slo
 		return err
 	}
 	// finalize unlocked every node; nothing to release.
+	sp.End()
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"ecstore/internal/erasure"
+	"ecstore/internal/obs"
 	"ecstore/internal/proto"
 	"ecstore/internal/resilience"
 )
@@ -23,6 +24,7 @@ func (c *Client) WriteBlock(ctx context.Context, stripeID uint64, i int, v []byt
 	}
 	c.track(stripeID)
 	c.stats.Writes.Add(1)
+	sp := obs.StartSpan(c.obs.writeLatency)
 	// The outer `repeat ... until D = {i, k+1..n}` loop: a restart
 	// re-swaps with a fresh tid (e.g. after a recovery bumped the
 	// epoch under our adds).
@@ -35,6 +37,7 @@ func (c *Client) WriteBlock(ctx context.Context, stripeID uint64, i int, v []byt
 			return err
 		}
 		if done {
+			sp.End()
 			return nil
 		}
 	}
@@ -61,8 +64,10 @@ func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte
 		if err != nil {
 			return false, fmt.Errorf("core: resolve slot %d: %w", i, err)
 		}
+		c.obs.swapCalls.Inc()
 		rep, err := node.Swap(ctx, &proto.SwapReq{Stripe: stripeID, Slot: int32(i), Value: v, NTID: ntid})
 		if err != nil {
+			c.obs.swapRetries.Inc()
 			c.cfg.Resolver.ReportFailure(stripeID, i, node)
 			if err := c.pause(ctx); err != nil {
 				return false, err
@@ -118,6 +123,7 @@ func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte
 			if res.Err != nil {
 				// Node unreachable: remap and retry; the replacement
 				// will answer INIT, which routes us into recovery.
+				c.obs.addRetries.Inc()
 				c.cfg.Resolver.ReportFailure(stripeID, j, res.Node)
 				retry.add(j)
 				continue
@@ -232,6 +238,7 @@ func (c *Client) addOne(ctx context.Context, stripeID uint64, j int, req *proto.
 	if err != nil {
 		return addResult{Err: err}
 	}
+	c.obs.addCalls.Inc()
 	rep, err := node.Add(ctx, req)
 	return addResult{Node: node, Reply: rep, Err: err}
 }
@@ -318,6 +325,7 @@ func (c *Client) addBroadcast(ctx context.Context, stripeID uint64, i int, v, w 
 	for j, res := range resolveErr {
 		out[j] = res
 	}
+	c.obs.addCalls.Add(uint64(len(calls)))
 	if c.cfg.Multicast != nil {
 		results := c.cfg.Multicast.MulticastAdd(ctx, calls)
 		for idx, r := range results {

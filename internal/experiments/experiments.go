@@ -21,6 +21,7 @@ import (
 	"ecstore/internal/core"
 	"ecstore/internal/directory"
 	"ecstore/internal/erasure"
+	"ecstore/internal/obs"
 	"ecstore/internal/proto"
 	"ecstore/internal/resilience"
 	"ecstore/internal/storage"
@@ -76,6 +77,30 @@ func (t *Table) Fprint(w io.Writer) {
 // cell formats helpers.
 func fcell(v float64) string { return fmt.Sprintf("%.2f", v) }
 func icell(v int) string     { return fmt.Sprintf("%d", v) }
+
+// --- observability ----------------------------------------------------------
+
+var (
+	obsMu  sync.Mutex
+	obsReg *obs.Registry
+)
+
+// SetObsRegistry points every subsequently built experiment cluster
+// (shaped or plain) at reg, so cmd/experiments can emit a metrics
+// snapshot alongside each figure. Nil (the default) disables
+// instrumentation.
+func SetObsRegistry(reg *obs.Registry) {
+	obsMu.Lock()
+	obsReg = reg
+	obsMu.Unlock()
+}
+
+// ObsRegistry returns the registry installed by SetObsRegistry, or nil.
+func ObsRegistry() *obs.Registry {
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	return obsReg
+}
 
 // --- shaped cluster ---------------------------------------------------------
 
@@ -152,6 +177,7 @@ func NewShapedCluster(opts ShapedOptions) (*ShapedCluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := ObsRegistry()
 	sc := &ShapedCluster{
 		Code:      code,
 		Layout:    layout,
@@ -167,10 +193,13 @@ func NewShapedCluster(opts ShapedOptions) (*ShapedCluster, error) {
 			BlockSize: opts.BlockSize,
 			Code:      code,
 		})
-		sc.serverHosts = append(sc.serverHosts, transport.NewHost(fmt.Sprintf("s%d", i), opts.BytesPerSec))
+		host := transport.NewHost(fmt.Sprintf("s%d", i), opts.BytesPerSec)
+		host.PublishTo(reg)
+		sc.serverHosts = append(sc.serverHosts, host)
 	}
 	for c := 0; c < opts.Clients; c++ {
 		clientHost := transport.NewHost(fmt.Sprintf("c%d", c), opts.BytesPerSec)
+		clientHost.PublishTo(reg)
 		sc.clientHosts = append(sc.clientHosts, clientHost)
 		handles := make([]proto.StorageNode, opts.N)
 		for i := 0; i < opts.N; i++ {
@@ -187,6 +216,7 @@ func NewShapedCluster(opts ShapedOptions) (*ShapedCluster, error) {
 			BlockSize: opts.BlockSize,
 			Mode:      opts.Mode,
 			TP:        opts.TP,
+			Obs:       reg,
 		}
 		if opts.Broadcast {
 			cfg.Multicast = transport.NewShapedMulticaster(clientHost, shape)

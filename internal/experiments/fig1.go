@@ -71,6 +71,7 @@ func Fig1Measured(ctx context.Context, k, n, blockSize, opsPerMode int) (*Table,
 			K: k, N: n, BlockSize: blockSize,
 			Mode:       m.mode,
 			RetryDelay: 50 * time.Microsecond,
+			Obs:        ObsRegistry(),
 			WrapNode: func(phys int, node proto.StorageNode) proto.StorageNode {
 				return transport.NewCounting(node, ctr)
 			},

@@ -15,6 +15,7 @@ func SpaceOverhead(ctx context.Context, blockSize, blocks int) (*Table, error) {
 	c, err := cluster.New(cluster.Options{
 		K: 2, N: 4, BlockSize: blockSize,
 		RetryDelay: 50 * time.Microsecond,
+		Obs:        ObsRegistry(),
 	})
 	if err != nil {
 		return nil, err

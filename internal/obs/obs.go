@@ -1,0 +1,365 @@
+// Package obs is the zero-dependency observability substrate for the
+// store: atomic counters, gauges, and fixed-bucket latency histograms,
+// collected in a Registry that exports an expvar-compatible JSON
+// snapshot. The hot path is lock-free (a few atomic adds), and the
+// whole layer degrades to a no-op when disabled: every metric type is
+// safe to use through a nil pointer, and a nil *Registry hands out nil
+// metrics, so instrumented code pays only an untaken branch.
+//
+// Naming convention: dotted lowercase paths, subsystem first —
+// "rpc.swap.calls", "core.write_latency", "blockstore.dirty_blocks".
+// Registration is get-or-create: asking twice for the same name yields
+// the same instance, so several clients sharing a registry aggregate
+// into one set of series. Func gauges registered under one name are
+// summed at snapshot time for the same reason.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// --- Counter -----------------------------------------------------------------
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; a nil *Counter ignores updates.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// --- Gauge -------------------------------------------------------------------
+
+// Gauge is an instantaneous signed value (queue depth, open conns).
+// The zero value is ready to use; a nil *Gauge ignores updates.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+// defaultBounds are exponential latency buckets from 1 microsecond to
+// ~8.6 seconds (doubling), in nanoseconds. Anything slower lands in
+// the overflow bucket. The range covers everything from an in-process
+// add (~1 us) to a wedged recovery poll loop.
+var defaultBounds = func() []int64 {
+	bounds := make([]int64, 24)
+	b := int64(time.Microsecond)
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}()
+
+// Histogram counts duration observations into fixed exponential
+// buckets. Observations are lock-free: one binary search plus three
+// atomic adds. A nil *Histogram ignores observations.
+type Histogram struct {
+	bounds  []int64 // ascending upper bounds, ns
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // total ns
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	v := int64(d)
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed time (0 for nil).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0..1):
+// the upper bound of the bucket holding the q-th observation. The
+// overflow bucket reports the largest finite bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			if i < len(h.bounds) {
+				return time.Duration(h.bounds[i])
+			}
+			return time.Duration(h.bounds[len(h.bounds)-1])
+		}
+	}
+	return time.Duration(h.bounds[len(h.bounds)-1])
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count uint64 `json:"count"`
+	SumNs int64  `json:"sum_ns"`
+	AvgNs int64  `json:"avg_ns"`
+	P50Ns int64  `json:"p50_ns"`
+	P99Ns int64  `json:"p99_ns"`
+	// Buckets maps each bucket's upper bound (formatted duration, or
+	// "+inf" for the overflow bucket) to its observation count. Empty
+	// buckets are omitted.
+	Buckets map[string]uint64 `json:"buckets"`
+}
+
+func (h *Histogram) snapshot() *HistogramSnapshot {
+	s := &HistogramSnapshot{
+		Count:   h.count.Load(),
+		SumNs:   h.sum.Load(),
+		Buckets: make(map[string]uint64),
+	}
+	if s.Count > 0 {
+		s.AvgNs = s.SumNs / int64(s.Count)
+		s.P50Ns = int64(h.Quantile(0.50))
+		s.P99Ns = int64(h.Quantile(0.99))
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		label := "+inf"
+		if i < len(h.bounds) {
+			label = time.Duration(h.bounds[i]).String()
+		}
+		s.Buckets[label] = n
+	}
+	return s
+}
+
+// --- Registry ----------------------------------------------------------------
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+	kindFunc
+)
+
+type entry struct {
+	kind  metricKind
+	ctr   *Counter
+	gauge *Gauge
+	hist  *Histogram
+	funcs []func() int64 // summed at snapshot time
+}
+
+// Registry holds named metrics. A nil *Registry is the no-op sink: it
+// hands out nil metrics and empty snapshots.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+func (r *Registry) get(name string, kind metricKind) *entry {
+	e, ok := r.entries[name]
+	if !ok {
+		e = &entry{kind: kind}
+		switch kind {
+		case kindCounter:
+			e.ctr = &Counter{}
+		case kindGauge:
+			e.gauge = &Gauge{}
+		case kindHistogram:
+			e.hist = newHistogram(defaultBounds)
+		}
+		r.entries[name] = e
+		return e
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+	}
+	return e
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. Repeated calls return the same instance.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.get(name, kindCounter).ctr
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.get(name, kindGauge).gauge
+}
+
+// Histogram returns the latency histogram registered under name
+// (default exponential buckets, 1 us .. ~8.6 s), creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.get(name, kindHistogram).hist
+}
+
+// Func registers a gauge computed on demand. Several funcs registered
+// under one name are summed at snapshot time, so per-instance sources
+// (one per client, one per NIC) aggregate naturally.
+func (r *Registry) Func(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.get(name, kindFunc)
+	e.funcs = append(e.funcs, fn)
+}
+
+// Snapshot returns the current value of every metric, JSON-marshalable:
+// counters as uint64, gauges and func gauges as int64, histograms as
+// *HistogramSnapshot. A nil registry returns an empty map.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.entries))
+	entries := make([]*entry, 0, len(r.entries))
+	for name, e := range r.entries {
+		names = append(names, name)
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	// Funcs run outside the registry lock: they may take their owner's
+	// locks (blockstore cache, NIC ledger).
+	for i, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			out[names[i]] = e.ctr.Value()
+		case kindGauge:
+			out[names[i]] = e.gauge.Value()
+		case kindHistogram:
+			out[names[i]] = e.hist.snapshot()
+		case kindFunc:
+			var sum int64
+			for _, fn := range e.funcs {
+				sum += fn()
+			}
+			out[names[i]] = sum
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as one JSON object with sorted keys.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// String renders the snapshot as JSON, which makes a Registry usable as
+// an expvar.Var (expvar.Publish("ecstore", reg)).
+func (r *Registry) String() string {
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// Handler returns an http.Handler serving the JSON snapshot — mount it
+// at /debug/metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}

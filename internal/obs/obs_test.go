@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines; the
+// final value must be exact (run under -race in CI).
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test.hits")
+	const workers, per = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter lost updates: got %d want %d", got, workers*per)
+	}
+}
+
+// TestHistogramConcurrent checks that concurrent observations conserve
+// count, sum, and per-bucket totals.
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test.latency")
+	durations := []time.Duration{
+		500 * time.Nanosecond, // below the first bound
+		time.Microsecond,
+		17 * time.Microsecond,
+		3 * time.Millisecond,
+		2 * time.Second,
+		time.Minute, // overflow bucket
+	}
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(durations[(w+i)%len(durations)])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	wantCount := uint64(workers * per)
+	if h.Count() != wantCount {
+		t.Fatalf("count %d, want %d", h.Count(), wantCount)
+	}
+	var wantSum time.Duration
+	for w := 0; w < workers; w++ {
+		for i := 0; i < per; i++ {
+			wantSum += durations[(w+i)%len(durations)] // same multiset as observed
+		}
+	}
+	if h.Sum() != wantSum {
+		t.Fatalf("sum %v, want %v", h.Sum(), wantSum)
+	}
+	snap := h.snapshot()
+	var bucketTotal uint64
+	for _, n := range snap.Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != wantCount {
+		t.Fatalf("buckets hold %d observations, want %d", bucketTotal, wantCount)
+	}
+	if snap.Buckets["+inf"] == 0 {
+		t.Fatal("minute-long observation did not land in the overflow bucket")
+	}
+}
+
+// TestHistogramQuantile sanity-checks the bucket-bound quantile
+// estimate.
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram(defaultBounds)
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Microsecond) // first bucket
+	}
+	h.Observe(time.Second)
+	if q := h.Quantile(0.5); q != time.Microsecond {
+		t.Fatalf("p50 = %v, want 1us", q)
+	}
+	if q := h.Quantile(0.999); q < time.Second {
+		t.Fatalf("p99.9 = %v, want >= 1s", q)
+	}
+	var empty *Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile must be 0")
+	}
+}
+
+// TestNilSafety exercises every operation through nil receivers — the
+// disabled-metrics configuration must be a total no-op, not a panic.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	g := reg.Gauge("y")
+	h := reg.Histogram("z")
+	reg.Func("f", func() int64 { return 1 })
+	c.Inc()
+	c.Add(10)
+	g.Set(5)
+	g.Add(-2)
+	h.Observe(time.Second)
+	sp := StartSpan(h)
+	sp.End()
+	sp = StartSpan(nil).Next(nil)
+	sp.End()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	if len(reg.Snapshot()) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	if reg.String() != "{}" {
+		t.Fatalf("nil registry String() = %q", reg.String())
+	}
+}
+
+// TestGetOrCreate verifies registration is idempotent and that kind
+// conflicts are programmer errors.
+func TestGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dup")
+	b := reg.Counter("dup")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict must panic")
+		}
+	}()
+	reg.Gauge("dup")
+}
+
+// TestFuncSum checks that several funcs under one name aggregate.
+func TestFuncSum(t *testing.T) {
+	reg := NewRegistry()
+	reg.Func("agg", func() int64 { return 3 })
+	reg.Func("agg", func() int64 { return 4 })
+	if got := reg.Snapshot()["agg"]; got != int64(7) {
+		t.Fatalf("func sum = %v, want 7", got)
+	}
+}
+
+// TestSnapshotJSON round-trips a populated registry through its JSON
+// export.
+func TestSnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.calls").Add(3)
+	reg.Gauge("a.depth").Set(-2)
+	reg.Histogram("a.latency").Observe(5 * time.Microsecond)
+	reg.Func("a.live", func() int64 { return 9 })
+
+	var sb strings.Builder
+	if err := reg.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if got["a.calls"].(float64) != 3 || got["a.depth"].(float64) != -2 || got["a.live"].(float64) != 9 {
+		t.Fatalf("unexpected snapshot: %v", got)
+	}
+	hist, ok := got["a.latency"].(map[string]any)
+	if !ok || hist["count"].(float64) != 1 {
+		t.Fatalf("histogram snapshot malformed: %v", got["a.latency"])
+	}
+}
+
+// TestHandler serves the snapshot over HTTP the way cmd/storaged
+// mounts it.
+func TestHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("h.calls").Inc()
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var got map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["h.calls"].(float64) != 1 {
+		t.Fatalf("endpoint returned %v", got)
+	}
+}
+
+// TestSpanPhases verifies Next() records each phase exactly once.
+func TestSpanPhases(t *testing.T) {
+	reg := NewRegistry()
+	p1, p2 := reg.Histogram("sp.p1"), reg.Histogram("sp.p2")
+	sp := StartSpan(p1)
+	sp = sp.Next(p2)
+	sp.End()
+	if p1.Count() != 1 || p2.Count() != 1 {
+		t.Fatalf("phase counts %d/%d, want 1/1", p1.Count(), p2.Count())
+	}
+}

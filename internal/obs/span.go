@@ -1,0 +1,51 @@
+package obs
+
+import "time"
+
+// Span times one step of a multi-step operation into a histogram. It
+// is a value, not a pointer: starting a span against a nil histogram
+// skips the clock read entirely, which is what keeps disabled metrics
+// off the hot path.
+//
+//	sp := obs.StartSpan(m.lockLatency)   // phase 1
+//	...
+//	sp = sp.Next(m.stateLatency)         // record, start phase 2
+//	...
+//	sp.End()                             // record phase 2
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing into h. With a nil histogram the span is
+// inert: no clock read, End is a no-op.
+func StartSpan(h *Histogram) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, start: time.Now()}
+}
+
+// End records the elapsed time into the span's histogram.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.start))
+}
+
+// Next ends this span and starts a new one into next, sharing one
+// clock read at the phase boundary.
+func (s Span) Next(next *Histogram) Span {
+	if s.h == nil && next == nil {
+		return Span{}
+	}
+	now := time.Now()
+	if s.h != nil {
+		s.h.Observe(now.Sub(s.start))
+	}
+	if next == nil {
+		return Span{}
+	}
+	return Span{h: next, start: now}
+}

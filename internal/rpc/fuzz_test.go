@@ -1,0 +1,71 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"ecstore/internal/wire"
+)
+
+// frameSeed builds a raw frame: a big-endian u32 length prefix
+// (claiming `claim` bytes) followed by `body`.
+func frameSeed(claim uint32, body []byte) []byte {
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf[:4], claim)
+	copy(buf[4:], body)
+	return buf
+}
+
+// FuzzReadFrame throws arbitrary byte streams at the frame reader. It
+// must never panic and never allocate past MaxFrame, whatever the
+// length prefix claims.
+func FuzzReadFrame(f *testing.F) {
+	// A well-formed frame.
+	var good bytes.Buffer
+	if err := writeFrame(&good, wire.TProbe, 42, []byte{1, 2, 3}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	// Length-prefix edge cases around the 9-byte minimum and MaxFrame.
+	f.Add(frameSeed(0, nil))
+	f.Add(frameSeed(8, make([]byte, 8)))
+	f.Add(frameSeed(9, make([]byte, 9)))
+	f.Add(frameSeed(MaxFrame, make([]byte, 64)))
+	f.Add(frameSeed(MaxFrame+1, make([]byte, 64)))
+	f.Add(frameSeed(^uint32(0), make([]byte, 64)))
+	// Truncated header and truncated body.
+	f.Add([]byte{0x00, 0x00})
+	f.Add(frameSeed(16, []byte{1, 2, 3}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mt, id, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			if len(data) >= 4 {
+				length := binary.BigEndian.Uint32(data[:4])
+				if (length < 9 || length > MaxFrame) && !errors.Is(err, errBadFrame) &&
+					!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("impossible length %d rejected with unexpected error: %v", length, err)
+				}
+			}
+			return
+		}
+		// Accepted frames must be internally consistent and re-framable.
+		if len(payload) > MaxFrame {
+			t.Fatalf("payload of %d bytes exceeds MaxFrame", len(payload))
+		}
+		var out bytes.Buffer
+		if err := writeFrame(&out, mt, id, payload); err != nil {
+			t.Fatalf("re-framing accepted frame failed: %v", err)
+		}
+		mt2, id2, payload2, err := readFrame(&out)
+		if err != nil {
+			t.Fatalf("re-reading re-framed frame failed: %v", err)
+		}
+		if mt2 != mt || id2 != id || !bytes.Equal(payload, payload2) {
+			t.Fatalf("frame round-trip mismatch: (%d,%d,%x) vs (%d,%d,%x)", mt, id, payload, mt2, id2, payload2)
+		}
+	})
+}

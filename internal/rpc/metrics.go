@@ -1,0 +1,134 @@
+package rpc
+
+import (
+	"ecstore/internal/obs"
+	"ecstore/internal/wire"
+)
+
+// opNames maps each request message type to its metric label.
+var opNames = map[wire.MsgType]string{
+	wire.TRead:        "read",
+	wire.TSwap:        "swap",
+	wire.TAdd:         "add",
+	wire.TBatchAdd:    "batch_add",
+	wire.TCheckTID:    "checktid",
+	wire.TTryLock:     "trylock",
+	wire.TSetLock:     "setlock",
+	wire.TGetState:    "getstate",
+	wire.TGetRecent:   "getrecent",
+	wire.TReconstruct: "reconstruct",
+	wire.TFinalize:    "finalize",
+	wire.TGCOld:       "gc_old",
+	wire.TGCRecent:    "gc_recent",
+	wire.TProbe:       "probe",
+}
+
+// OpMetrics instruments one protocol operation.
+type OpMetrics struct {
+	// Calls counts requests (server: received; client: issued).
+	Calls *obs.Counter
+	// Errors counts failed calls: server-side handler errors, transport
+	// failures, and TError replies.
+	Errors *obs.Counter
+	// Latency is the per-call wall time (server: dispatch to reply
+	// written; client: request sent to reply decoded).
+	Latency *obs.Histogram
+}
+
+// Metrics instruments one rpc endpoint (a Server or one or more
+// Clients). Build it with NewMetrics and install it with WithMetrics;
+// a nil *Metrics — the default — is a total no-op.
+type Metrics struct {
+	// BytesIn / BytesOut count framed bytes received / sent, including
+	// the 13-byte frame header.
+	BytesIn, BytesOut *obs.Counter
+	// BadFrames counts malformed or oversized frames (MaxFrame).
+	BadFrames *obs.Counter
+	// Timeouts counts client calls abandoned by context cancellation.
+	Timeouts *obs.Counter
+
+	ops map[wire.MsgType]*OpMetrics
+}
+
+// NewMetrics registers an rpc metric set under the given prefix
+// (e.g. "rpc" yields "rpc.swap.calls", "rpc.bytes_in"). A nil registry
+// yields a no-op metric set, which callers may still install.
+func NewMetrics(reg *obs.Registry, prefix string) *Metrics {
+	m := &Metrics{
+		BytesIn:   reg.Counter(prefix + ".bytes_in"),
+		BytesOut:  reg.Counter(prefix + ".bytes_out"),
+		BadFrames: reg.Counter(prefix + ".bad_frames"),
+		Timeouts:  reg.Counter(prefix + ".timeouts"),
+		ops:       make(map[wire.MsgType]*OpMetrics, len(opNames)),
+	}
+	for mt, name := range opNames {
+		m.ops[mt] = &OpMetrics{
+			Calls:   reg.Counter(prefix + "." + name + ".calls"),
+			Errors:  reg.Counter(prefix + "." + name + ".errors"),
+			Latency: reg.Histogram(prefix + "." + name + ".latency"),
+		}
+	}
+	return m
+}
+
+// Op returns the metrics for a request type, or nil for unknown types
+// or a nil metric set.
+func (m *Metrics) Op(mt wire.MsgType) *OpMetrics {
+	if m == nil {
+		return nil
+	}
+	return m.ops[mt]
+}
+
+func (o *OpMetrics) noteError() {
+	if o != nil {
+		o.Errors.Inc()
+	}
+}
+
+func (m *Metrics) noteIn(n int) {
+	if m != nil {
+		m.BytesIn.Add(uint64(n))
+	}
+}
+
+func (m *Metrics) noteOut(n int) {
+	if m != nil {
+		m.BytesOut.Add(uint64(n))
+	}
+}
+
+func (m *Metrics) noteBadFrame() {
+	if m != nil {
+		m.BadFrames.Inc()
+	}
+}
+
+func (m *Metrics) noteTimeout() {
+	if m != nil {
+		m.Timeouts.Inc()
+	}
+}
+
+// Option configures a Server or Client.
+type Option func(*options)
+
+type options struct {
+	metrics *Metrics
+}
+
+// WithMetrics instruments the endpoint with m. Servers record per-op
+// request counts and handler latency; clients record per-op call
+// counts, round-trip latency, transport errors, and timeouts. Both
+// account framed bytes in each direction.
+func WithMetrics(m *Metrics) Option {
+	return func(o *options) { o.metrics = m }
+}
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ecstore/internal/obs"
 	"ecstore/internal/proto"
 	"ecstore/internal/wire"
 )
@@ -37,8 +38,9 @@ func (e *errServer) Error() string { return "rpc: server error: " + e.msg }
 
 // Server serves one storage node over a listener.
 type Server struct {
-	node proto.StorageNode
-	ln   net.Listener
+	node    proto.StorageNode
+	ln      net.Listener
+	metrics *Metrics
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -48,8 +50,9 @@ type Server struct {
 
 // Serve starts serving node on ln. It returns immediately; accept and
 // request handling run on background goroutines until Close.
-func Serve(ln net.Listener, node proto.StorageNode) *Server {
-	s := &Server{node: node, ln: ln, conns: make(map[net.Conn]struct{})}
+func Serve(ln net.Listener, node proto.StorageNode, opts ...Option) *Server {
+	o := applyOptions(opts)
+	s := &Server{node: node, ln: ln, metrics: o.metrics, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -112,19 +115,37 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		mt, id, payload, err := readFrame(r)
 		if err != nil {
+			if errors.Is(err, errBadFrame) {
+				s.metrics.noteBadFrame()
+			}
 			return
 		}
+		s.metrics.noteIn(frameHeaderSize + len(payload))
 		handlers.Add(1)
 		go func() {
 			defer handlers.Done()
+			op := s.metrics.Op(mt)
+			var sp obs.Span
+			if op != nil {
+				op.Calls.Inc()
+				sp = obs.StartSpan(op.Latency)
+			}
 			reply := s.dispatch(mt, payload)
+			if op != nil {
+				if _, failed := reply.(error); failed {
+					op.noteError()
+				}
+			}
 			wmu.Lock()
 			defer wmu.Unlock()
-			if err := writeReply(w, id, reply); err != nil {
+			n, err := writeReply(w, id, reply)
+			if err != nil {
 				_ = conn.Close()
 				return
 			}
 			_ = w.Flush()
+			s.metrics.noteOut(n)
+			sp.End()
 		}()
 	}
 }
@@ -181,6 +202,14 @@ func (s *Server) dispatch(mt wire.MsgType, payload []byte) any {
 
 // --- framing ---------------------------------------------------------------
 
+// frameHeaderSize is the framed overhead per message: u32 length, u8
+// type, u64 request id.
+const frameHeaderSize = 4 + 1 + 8
+
+// errBadFrame reports a frame whose length prefix is impossible (too
+// short for a header, or beyond MaxFrame).
+var errBadFrame = errors.New("rpc: bad frame length")
+
 func readFrame(r io.Reader) (wire.MsgType, uint64, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -188,7 +217,7 @@ func readFrame(r io.Reader) (wire.MsgType, uint64, []byte, error) {
 	}
 	length := binary.BigEndian.Uint32(hdr[:])
 	if length < 9 || length > MaxFrame {
-		return 0, 0, nil, fmt.Errorf("rpc: bad frame length %d", length)
+		return 0, 0, nil, fmt.Errorf("%w %d", errBadFrame, length)
 	}
 	body := make([]byte, length)
 	if _, err := io.ReadFull(r, body); err != nil {
@@ -211,15 +240,18 @@ func writeFrame(w io.Writer, mt wire.MsgType, id uint64, payload []byte) error {
 	return err
 }
 
-func writeReply(w io.Writer, id uint64, reply any) error {
+// writeReply writes the reply frame and returns its size on the wire.
+func writeReply(w io.Writer, id uint64, reply any) (int, error) {
 	if err, ok := reply.(error); ok {
-		return writeFrame(w, wire.TError, id, []byte(err.Error()))
+		msg := []byte(err.Error())
+		return frameHeaderSize + len(msg), writeFrame(w, wire.TError, id, msg)
 	}
 	mt, payload, err := wire.Encode(reply)
 	if err != nil {
-		return writeFrame(w, wire.TError, id, []byte(err.Error()))
+		msg := []byte(err.Error())
+		return frameHeaderSize + len(msg), writeFrame(w, wire.TError, id, msg)
 	}
-	return writeFrame(w, mt, id, payload)
+	return frameHeaderSize + len(payload), writeFrame(w, mt, id, payload)
 }
 
 // --- Client ----------------------------------------------------------------
@@ -229,8 +261,9 @@ func writeReply(w io.Writer, id uint64, reply any) error {
 // connection fails in-flight calls with ErrNodeDown and is re-dialed
 // lazily on the next call.
 type Client struct {
-	addr   string
-	nextID atomic.Uint64
+	addr    string
+	metrics *Metrics
+	nextID  atomic.Uint64
 
 	mu      sync.Mutex
 	conn    net.Conn
@@ -247,8 +280,9 @@ type frameOrErr struct {
 
 // Dial creates a client for the given address. The connection is
 // established lazily on first use.
-func Dial(addr string) *Client {
-	return &Client{addr: addr, pending: make(map[uint64]chan frameOrErr)}
+func Dial(addr string, opts ...Option) *Client {
+	o := applyOptions(opts)
+	return &Client{addr: addr, metrics: o.metrics, pending: make(map[uint64]chan frameOrErr)}
 }
 
 var _ proto.StorageNode = (*Client)(nil)
@@ -322,12 +356,19 @@ func (c *Client) call(ctx context.Context, req any) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	op := c.metrics.Op(mt)
+	var sp obs.Span
+	if op != nil {
+		op.Calls.Inc()
+		sp = obs.StartSpan(op.Latency)
+	}
 	id := c.nextID.Add(1)
 	ch := make(chan frameOrErr, 1)
 
 	c.mu.Lock()
 	if err := c.ensureConnLocked(); err != nil {
 		c.mu.Unlock()
+		op.noteError()
 		return nil, err
 	}
 	c.pending[id] = ch
@@ -344,21 +385,29 @@ func (c *Client) call(ctx context.Context, req any) (any, error) {
 		if conn != nil {
 			_ = conn.Close()
 		}
+		op.noteError()
 		return nil, fmt.Errorf("%w: %v", proto.ErrNodeDown, werr)
 	}
 	c.mu.Unlock()
+	c.metrics.noteOut(frameHeaderSize + len(payload))
 
 	select {
 	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		c.metrics.noteTimeout()
+		op.noteError()
 		return nil, ctx.Err()
 	case f := <-ch:
 		if f.err != nil {
+			op.noteError()
 			return nil, f.err
 		}
+		c.metrics.noteIn(frameHeaderSize + len(f.payload))
+		sp.End()
 		if f.mt == wire.TError {
+			op.noteError()
 			return nil, &errServer{msg: string(f.payload)}
 		}
 		return wire.Decode(f.mt, f.payload)

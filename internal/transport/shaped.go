@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"ecstore/internal/obs"
 	"ecstore/internal/proto"
 	"ecstore/internal/wire"
 )
@@ -272,4 +273,25 @@ func (h *Host) Booked() (busy time.Duration, horizon time.Time) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.busy, h.nextFree
+}
+
+// PublishTo registers live gauges for this host's NIC ledger:
+// transport.<name>.nic_busy_ns (total booked transmission time) and
+// transport.<name>.nic_backlog_ns (how far the ledger horizon sits in
+// the future — the current queue depth in time units).
+func (h *Host) PublishTo(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Func("transport."+h.name+".nic_busy_ns", func() int64 {
+		busy, _ := h.Booked()
+		return int64(busy)
+	})
+	reg.Func("transport."+h.name+".nic_backlog_ns", func() int64 {
+		_, horizon := h.Booked()
+		if d := time.Until(horizon); d > 0 {
+			return int64(d)
+		}
+		return 0
+	})
 }

@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"ecstore/internal/proto"
+)
+
+// seedMessages returns one representative of every encodable message
+// type — the fuzz corpus starts from a valid frame of each, so the
+// fuzzer mutates real structure instead of rediscovering it.
+func seedMessages() []any {
+	tid := proto.TID{Seq: 7, Block: 2, Client: 3}
+	tt := []proto.TIDTime{{TID: tid, Time: 99}}
+	return []any{
+		&proto.ReadReq{Stripe: 1, Slot: 0},
+		&proto.ReadReply{OK: true, Block: []byte{1, 2, 3}, LockMode: proto.L1},
+		&proto.SwapReq{Stripe: 1, Slot: 0, Value: []byte{4, 5}, NTID: tid},
+		&proto.SwapReply{OK: true, Block: []byte{6}, Epoch: 2, OTID: tid, LockMode: proto.Unlocked},
+		&proto.AddReq{Stripe: 1, Slot: 3, Delta: []byte{7}, DataSlot: 0, Premultiplied: true, NTID: tid, OTID: tid, Epoch: 1},
+		&proto.AddReply{Status: proto.StatusOK, OpMode: proto.Norm, LockMode: proto.Unlocked},
+		&proto.BatchAddReq{Stripe: 1, Slot: 3, Delta: []byte{8}, Entries: []proto.BatchEntry{{DataSlot: 0, NTID: tid, OTID: tid}}, Epoch: 1},
+		&proto.BatchAddReply{Status: proto.StatusOrder, OpMode: proto.Norm, LockMode: proto.L0, Blockers: []int32{1, 2}},
+		&proto.CheckTIDReq{Stripe: 1, Slot: 0, NTID: tid, OTID: tid},
+		&proto.CheckTIDReply{Status: proto.StatusGC},
+		&proto.TryLockReq{Stripe: 1, Slot: 0, Mode: proto.L1, Caller: 5},
+		&proto.TryLockReply{OK: true, OldMode: proto.Unlocked},
+		&proto.SetLockReq{Stripe: 1, Slot: 0, Mode: proto.L0, Caller: 5},
+		&proto.SetLockReply{},
+		&proto.GetStateReq{Stripe: 1, Slot: 0},
+		&proto.GetStateReply{OpMode: proto.Recons, LockMode: proto.L1, Epoch: 3, ReconsSet: []int32{0, 3}, OldList: tt, RecentList: tt, Block: []byte{9}, BlockValid: true},
+		&proto.GetRecentReq{Stripe: 1, Slot: 3, Mode: proto.L1, Caller: 5},
+		&proto.GetRecentReply{RecentList: tt},
+		&proto.ReconstructReq{Stripe: 1, Slot: 0, CSet: []int32{0, 1, 4}, Block: []byte{10}},
+		&proto.ReconstructReply{Epoch: 4},
+		&proto.FinalizeReq{Stripe: 1, Slot: 0, Epoch: 5},
+		&proto.FinalizeReply{},
+		&proto.GCOldReq{Stripe: 1, Slot: 0, TIDs: []proto.TID{tid}},
+		&proto.GCRecentReq{Stripe: 1, Slot: 0, TIDs: []proto.TID{tid}},
+		&proto.GCReply{Status: proto.StatusOK},
+		&proto.ProbeReq{Stripe: 1, Slot: 0},
+		&proto.ProbeReply{OpMode: proto.Norm, LockMode: proto.Unlocked, RecentCount: 1, OldestAge: 12, HasRecent: true, Epoch: 6},
+	}
+}
+
+// FuzzDecode feeds arbitrary (type, payload) pairs through the codec:
+// Decode must never panic, and anything it accepts must round-trip —
+// re-Encode to the same type, re-Decode to an equal message, with Size
+// honoring its contract.
+func FuzzDecode(f *testing.F) {
+	for _, msg := range seedMessages() {
+		mt, buf, err := Encode(msg)
+		if err != nil {
+			f.Fatalf("seed %T: %v", msg, err)
+		}
+		f.Add(byte(mt), buf)
+	}
+	f.Add(byte(0), []byte{})
+	f.Add(byte(255), []byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, typeRaw byte, buf []byte) {
+		msg, err := Decode(MsgType(typeRaw), buf)
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		mt2, buf2, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("decoded %T but cannot re-encode: %v", msg, err)
+		}
+		if mt2 != MsgType(typeRaw) {
+			t.Fatalf("type changed across round-trip: %d -> %d", typeRaw, mt2)
+		}
+		if Size(msg) != len(buf2)+FrameOverhead {
+			t.Fatalf("Size(%T) = %d, want %d", msg, Size(msg), len(buf2)+FrameOverhead)
+		}
+		msg2, err := Decode(mt2, buf2)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded %T failed: %v", msg, err)
+		}
+		if !reflect.DeepEqual(msg, msg2) {
+			t.Fatalf("round-trip mismatch:\n  first:  %#v\n  second: %#v", msg, msg2)
+		}
+	})
+}

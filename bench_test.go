@@ -441,6 +441,58 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkDegradedRead16KiB compares the normal 1-RTT read (Fig. 4)
+// against the degraded k-survivor fallback at 16 KiB blocks: the data
+// node is crashed with no replacement, so every read pays a parallel
+// getstate sweep plus a local decode. Recorded in BENCH_robustness.json.
+func BenchmarkDegradedRead16KiB(b *testing.B) {
+	const dblock = 16 << 10
+	for _, bc := range []struct {
+		name     string
+		degraded bool
+	}{
+		{"normal", false},
+		{"degraded", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			c, err := cluster.New(cluster.Options{
+				K: 3, N: 5, BlockSize: dblock,
+				NoReplacements: true,
+				RetryDelay:     50 * time.Microsecond,
+				Retry: core.RetryPolicy{
+					BaseDelay:     50 * time.Microsecond,
+					MaxDelay:      200 * time.Microsecond,
+					DegradedAfter: 1,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl := c.Clients[0]
+			ctx := context.Background()
+			v := make([]byte, dblock)
+			rand.New(rand.NewSource(10)).Read(v)
+			if err := cl.WriteBlock(ctx, 0, 0, v); err != nil {
+				b.Fatal(err)
+			}
+			if bc.degraded {
+				c.CrashNodeForStripeSlot(0, 0)
+			}
+			b.SetBytes(dblock)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.ReadBlock(ctx, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if bc.degraded && cl.Stats().DegradedReads.Load() == 0 {
+				b.Fatal("degraded case never took the fallback path")
+			}
+		})
+	}
+}
+
 // BenchmarkBlockstoreFilePut measures persistent block writes with and
 // without write-back buffering.
 func BenchmarkBlockstoreFilePut(b *testing.B) {

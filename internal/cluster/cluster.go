@@ -47,6 +47,8 @@ type Options struct {
 	LockLease time.Duration
 	// RetryDelay overrides the clients' retry pause (speeds up tests).
 	RetryDelay time.Duration
+	// Retry overrides the clients' backoff/deadline/budget policy.
+	Retry core.RetryPolicy
 	// ClientTweak, when set, may adjust each client config before use.
 	ClientTweak func(*core.Config)
 	// Obs optionally collects every client's metrics in one registry.
@@ -127,6 +129,7 @@ func New(opts Options) (*Cluster, error) {
 			TP:         opts.TP,
 			Multicast:  opts.Multicast,
 			RetryDelay: opts.RetryDelay,
+			Retry:      opts.Retry,
 			Obs:        opts.Obs,
 		}
 		if opts.ClientTweak != nil {

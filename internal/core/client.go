@@ -62,9 +62,14 @@ type Config struct {
 	// Broadcast mode; without it the client falls back to parallel
 	// unicast of unmultiplied deltas.
 	Multicast proto.Multicaster
-	// RetryDelay is the pause between retries of rejected operations.
-	// Defaults to 500 microseconds.
+	// RetryDelay is the base pause between retries of rejected
+	// operations; it seeds Retry.BaseDelay and paces recovery's
+	// progress polling. Defaults to 500 microseconds.
 	RetryDelay time.Duration
+	// Retry governs backoff, per-attempt deadlines, and the bounded
+	// retry budget for operations riding through failures. Zero fields
+	// take defaults (see RetryPolicy).
+	Retry RetryPolicy
 	// OrderRetryLimit bounds consecutive ORDER rejections tolerated
 	// before the writer suspects a crashed predecessor and starts
 	// recovery ("tired of looping"). Defaults to 8.
@@ -116,6 +121,7 @@ func (c *Config) applyDefaults() {
 	if c.RecoveryPollLimit == 0 {
 		c.RecoveryPollLimit = 256
 	}
+	c.Retry.applyDefaults(c.RetryDelay)
 }
 
 // Errors surfaced by the client.
@@ -127,8 +133,9 @@ var (
 	// consistent blocks — the failure budget was exceeded.
 	ErrUnrecoverable = errors.New("core: stripe unrecoverable: too few consistent blocks")
 	// ErrWriteExhausted reports that a WRITE did not complete within
-	// MaxWriteAttempts restarts.
-	ErrWriteExhausted = errors.New("core: write attempts exhausted")
+	// MaxWriteAttempts restarts. It wraps ErrUnavailable: an exhausted
+	// write is one face of the bounded retry budget.
+	ErrWriteExhausted = fmt.Errorf("core: write attempts exhausted: %w", ErrUnavailable)
 )
 
 // Client is a protocol client. It is safe for concurrent use by
@@ -170,6 +177,8 @@ type ClientStats struct {
 	OrderWaits       atomic.Uint64
 	GCRounds         atomic.Uint64
 	MonitorTriggered atomic.Uint64
+	DegradedReads    atomic.Uint64 // reads served by k-survivor reconstruction
+	Unavailable      atomic.Uint64 // operations that exhausted their retry budget
 }
 
 type recoveryTicket struct {
@@ -207,7 +216,12 @@ func (c *Client) Stats() *ClientStats { return &c.stats }
 // stripe with a single round trip in the failure-free case. When the
 // data node rejects the read (crashed-and-remapped node, or a lock
 // held by recovery), the client triggers or awaits recovery and
-// retries.
+// retries with capped exponential backoff. When the data node keeps
+// *erroring* — transport failure, not rejection — the read falls back
+// after Retry.DegradedAfter consecutive errors to a degraded read:
+// fetch any k consistent surviving blocks and decode locally. The
+// retry budget is bounded; an exhausted budget returns ErrUnavailable
+// with the attempt history instead of spinning until ctx cancellation.
 func (c *Client) ReadBlock(ctx context.Context, stripeID uint64, i int) ([]byte, error) {
 	if err := c.checkDataSlot(i); err != nil {
 		return nil, err
@@ -215,30 +229,57 @@ func (c *Client) ReadBlock(ctx context.Context, stripeID uint64, i int) ([]byte,
 	c.track(stripeID)
 	c.stats.Reads.Add(1)
 	sp := obs.StartSpan(c.obs.readLatency)
-	for {
+	bo := c.newBackoff()
+	att := newAttempts("read", stripeID, i)
+	nodeErrs := 0
+	for attempt := 0; attempt < c.cfg.Retry.MaxAttempts; attempt++ {
 		node, err := c.cfg.Resolver.Node(stripeID, i)
 		if err != nil {
 			return nil, fmt.Errorf("core: resolve slot %d: %w", i, err)
 		}
-		rep, err := node.Read(ctx, &proto.ReadReq{Stripe: stripeID, Slot: int32(i)})
+		actx, cancel := c.retryCtx(ctx, attempt)
+		rep, err := node.Read(actx, &proto.ReadReq{Stripe: stripeID, Slot: int32(i)})
+		cancel()
 		switch {
 		case err != nil:
+			att.note(err)
+			nodeErrs++
 			c.cfg.Resolver.ReportFailure(stripeID, i, node)
+			if nodeErrs >= c.cfg.Retry.DegradedAfter {
+				if blk, derr := c.readDegraded(ctx, stripeID, i); derr == nil {
+					sp.End()
+					return blk, nil
+				} else if ctx.Err() != nil {
+					return nil, ctx.Err()
+				} else {
+					att.note(derr)
+				}
+			}
 		case rep.OK:
 			sp.End()
 			return rep.Block, nil
 		case rep.LockMode == proto.Unlocked || rep.LockMode == proto.Expired:
+			nodeErrs = 0
 			// Nobody is running recovery: we do it (line 4 of Fig. 4).
 			if rerr := c.Recover(ctx, stripeID); rerr != nil && !errors.Is(rerr, ErrRecoveryBusy) {
+				// Recovery failed outright (e.g. too few survivors to
+				// restore full redundancy) — but a degraded read needs
+				// only k consistent blocks, which may still exist.
+				if blk, derr := c.readDegraded(ctx, stripeID, i); derr == nil {
+					sp.End()
+					return blk, nil
+				}
 				return nil, rerr
 			}
 		default:
 			// Locked by a recovery in progress: wait and retry.
+			nodeErrs = 0
 		}
-		if err := c.pause(ctx); err != nil {
+		if err := bo.pause(ctx); err != nil {
 			return nil, err
 		}
 	}
+	return nil, c.unavailable(att)
 }
 
 func (c *Client) checkDataSlot(i int) error {

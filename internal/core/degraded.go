@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"context"
+
+	"ecstore/internal/obs"
+)
+
+// readDegraded serves READ(i) without the data node: it collects
+// get_state from all n slots, picks a mutually consistent set of at
+// least k readable blocks with find_consistent (the same selection
+// recovery phase 2 uses, so a half-landed write can never leak a
+// never-written value), and decodes block i locally. No locks are
+// taken and nothing is written back — the stripe stays degraded until
+// recovery or monitoring repairs it, but the read completes at the
+// paper's availability bound: any k survivors suffice.
+//
+// Regularity is preserved: the consistent set reflects either a state
+// before or after any concurrent write's adds, both of which are legal
+// results for a read that overlaps the write.
+func (c *Client) readDegraded(ctx context.Context, stripeID uint64, i int) ([]byte, error) {
+	k, n := c.cfg.Code.K(), c.cfg.Code.N()
+	sp := obs.StartSpan(c.obs.readFallback)
+
+	states := c.getStates(ctx, stripeID, allSlots(n))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cset := findConsistentK(states, k)
+	// If the data node answered get_state, its block is consistent —
+	// the Read error was transient; serve straight from the state.
+	if cset.has(i) && states[i] != nil && states[i].BlockValid {
+		c.stats.DegradedReads.Add(1)
+		c.obs.degradedReads.Inc()
+		sp.End()
+		return states[i].Block, nil
+	}
+	for j := range cset {
+		if states[j] == nil || !states[j].BlockValid {
+			cset.remove(j)
+		}
+	}
+	if cset.size() < k {
+		return nil, fmt.Errorf("core: degraded read of stripe %d slot %d: %d consistent survivors, need %d",
+			stripeID, i, cset.size(), k)
+	}
+	stripeBlocks := make([][]byte, n)
+	for j := range cset {
+		stripeBlocks[j] = states[j].Block
+	}
+	data, err := c.cfg.Code.DecodeData(stripeBlocks)
+	if err != nil {
+		return nil, fmt.Errorf("core: degraded decode of stripe %d: %w", stripeID, err)
+	}
+	c.stats.DegradedReads.Add(1)
+	c.obs.degradedReads.Inc()
+	sp.End()
+	return data[i], nil
+}

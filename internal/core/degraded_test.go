@@ -1,0 +1,131 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"ecstore/internal/cluster"
+	"ecstore/internal/core"
+)
+
+// fastRetry is a tight retry policy for tests that exercise budget
+// exhaustion: small delays so an unavailable verdict arrives quickly.
+func fastRetry() core.RetryPolicy {
+	return core.RetryPolicy{
+		BaseDelay:   50 * time.Microsecond,
+		MaxDelay:    500 * time.Microsecond,
+		MaxAttempts: 12,
+	}
+}
+
+// TestDegradedReadNoReplacement is the headline robustness scenario:
+// the data node is dead and never replaced, and ReadBlock must still
+// return the correct block by decoding from k surviving slots.
+func TestDegradedReadNoReplacement(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4, NoReplacements: true})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WriteBlock(ctx, 0, 1, val(8)); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashNodeForStripeSlot(0, 0)
+
+	got, err := cl.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatalf("degraded read: %v", err)
+	}
+	if !bytes.Equal(got, val(7)) {
+		t.Fatal("degraded read returned the wrong block")
+	}
+	if cl.Stats().DegradedReads.Load() == 0 {
+		t.Fatal("degraded-read counter did not move")
+	}
+
+	// The sibling slot's data node is alive: its read must stay on the
+	// normal 1-RTT path.
+	before := cl.Stats().DegradedReads.Load()
+	got, err = cl.ReadBlock(ctx, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(8)) {
+		t.Fatal("healthy slot returned the wrong block")
+	}
+	if cl.Stats().DegradedReads.Load() != before {
+		t.Fatal("healthy read took the degraded path")
+	}
+}
+
+// TestDegradedReadUnwrittenSlot checks the fallback also serves slots
+// that were never written (zero blocks are part of the code's initial
+// state, not fabricated data).
+func TestDegradedReadUnwrittenSlot(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4, NoReplacements: true})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	// Write only slot 1; slot 0 stays at its initial zero block.
+	if err := cl.WriteBlock(ctx, 0, 1, val(3)); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashNodeForStripeSlot(0, 0)
+	got, err := cl.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatalf("degraded read of unwritten slot: %v", err)
+	}
+	if !bytes.Equal(got, make([]byte, blockSize)) {
+		t.Fatal("unwritten slot must decode to the zero block")
+	}
+}
+
+// TestReadUnavailableBeyondBudget kills more nodes than the code can
+// tolerate: with fewer than k survivors even the degraded path cannot
+// reconstruct, and the bounded retry budget must surface a typed
+// ErrUnavailable instead of spinning until ctx expiry.
+func TestReadUnavailableBeyondBudget(t *testing.T) {
+	c := testCluster(t, cluster.Options{
+		K: 2, N: 4, NoReplacements: true, Retry: fastRetry(),
+	})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	for phys := 0; phys < 3; phys++ {
+		c.CrashNode(phys)
+	}
+	_, err := cl.ReadBlock(ctx, 0, 0)
+	if !errors.Is(err, core.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	var ue *core.UnavailableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %T, want *core.UnavailableError", err)
+	}
+	if ue.Attempts == 0 || len(ue.History) == 0 {
+		t.Fatalf("unavailable error lacks attempt history: %+v", ue)
+	}
+	if cl.Stats().Unavailable.Load() == 0 {
+		t.Fatal("unavailable counter did not move")
+	}
+}
+
+// TestWriteUnavailableBeyondBudget: a dead, unreplaced data node makes
+// the swap impossible; the write must exhaust its budget and surface
+// ErrUnavailable rather than retrying forever.
+func TestWriteUnavailableBeyondBudget(t *testing.T) {
+	c := testCluster(t, cluster.Options{
+		K: 2, N: 4, NoReplacements: true, Retry: fastRetry(),
+	})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	c.CrashNodeForStripeSlot(0, 0)
+	err := cl.WriteBlock(ctx, 0, 0, val(5))
+	if !errors.Is(err, core.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+}

@@ -2,7 +2,6 @@ package core_test
 
 import (
 	"bytes"
-	"context"
 	"sync"
 	"testing"
 	"time"
@@ -10,83 +9,63 @@ import (
 	"ecstore/internal/cluster"
 	"ecstore/internal/proto"
 	"ecstore/internal/resilience"
+	"ecstore/internal/transport"
 )
 
-// hookSet holds injectable callbacks fired before selected operations
-// reach the storage node. Callbacks run on the calling goroutine, so
-// they can mutate cluster state "between" protocol steps
-// deterministically.
+// hookSet drives transport.Faulty hooks across every wrapper the
+// cluster creates — initial nodes and replacements alike — so tests
+// can run callbacks "between" protocol steps deterministically (hooks
+// fire on the calling goroutine before the request reaches storage).
 type hookSet struct {
-	mu             sync.Mutex
-	beforeAdd      func(*proto.AddReq)
-	beforeGetState func(*proto.GetStateReq)
-	beforeSwap     func(*proto.SwapReq)
+	mu       sync.Mutex
+	wrappers []*transport.Faulty
+	hooks    map[transport.Op]func(any)
+}
+
+func (h *hookSet) track(w *transport.Faulty) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.wrappers = append(h.wrappers, w)
+	for op, fn := range h.hooks {
+		w.SetHook(op, fn)
+	}
+}
+
+func (h *hookSet) set(op transport.Op, fn func(any)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.hooks == nil {
+		h.hooks = make(map[transport.Op]func(any))
+	}
+	h.hooks[op] = fn
+	for _, w := range h.wrappers {
+		w.SetHook(op, fn)
+	}
 }
 
 func (h *hookSet) setBeforeAdd(f func(*proto.AddReq)) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.beforeAdd = f
+	if f == nil {
+		h.set(transport.OpAdd, nil)
+		return
+	}
+	h.set(transport.OpAdd, func(req any) { f(req.(*proto.AddReq)) })
 }
 
 func (h *hookSet) setBeforeGetState(f func(*proto.GetStateReq)) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.beforeGetState = f
-}
-
-func (h *hookSet) getAdd() func(*proto.AddReq) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.beforeAdd
-}
-
-func (h *hookSet) getGetState() func(*proto.GetStateReq) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.beforeGetState
-}
-
-func (h *hookSet) getSwap() func(*proto.SwapReq) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.beforeSwap
-}
-
-// hookedNode wraps a storage node with the hook set. It forwards every
-// operation; hooked ones fire their callback first.
-type hookedNode struct {
-	proto.StorageNode
-
-	h *hookSet
-}
-
-func (hn hookedNode) Add(ctx context.Context, req *proto.AddReq) (*proto.AddReply, error) {
-	if f := hn.h.getAdd(); f != nil {
-		f(req)
+	if f == nil {
+		h.set(transport.OpGetState, nil)
+		return
 	}
-	return hn.StorageNode.Add(ctx, req)
-}
-
-func (hn hookedNode) GetState(ctx context.Context, req *proto.GetStateReq) (*proto.GetStateReply, error) {
-	if f := hn.h.getGetState(); f != nil {
-		f(req)
-	}
-	return hn.StorageNode.GetState(ctx, req)
-}
-
-func (hn hookedNode) Swap(ctx context.Context, req *proto.SwapReq) (*proto.SwapReply, error) {
-	if f := hn.h.getSwap(); f != nil {
-		f(req)
-	}
-	return hn.StorageNode.Swap(ctx, req)
+	h.set(transport.OpGetState, func(req any) { f(req.(*proto.GetStateReq)) })
 }
 
 func hookedCluster(t *testing.T, opts cluster.Options) (*cluster.Cluster, *hookSet) {
 	t.Helper()
 	h := &hookSet{}
 	opts.WrapNode = func(phys int, n proto.StorageNode) proto.StorageNode {
-		return hookedNode{StorageNode: n, h: h}
+		w := transport.NewFaulty(n, transport.FaultConfig{})
+		h.track(w)
+		return w
 	}
 	return testCluster(t, opts), h
 }

@@ -90,7 +90,9 @@ func (c *Client) collectStripe(ctx context.Context, stripeID uint64) (bool, erro
 
 	// Phase 1: discard aged tids from oldlists.
 	if ok, err := c.gcPhase(ctx, stripeID, aging, func(node proto.StorageNode, slot int, tids []proto.TID) (proto.Status, error) {
-		rep, err := node.GCOld(ctx, &proto.GCOldReq{Stripe: stripeID, Slot: int32(slot), TIDs: tids})
+		actx, cancel := c.attemptCtx(ctx)
+		defer cancel()
+		rep, err := node.GCOld(actx, &proto.GCOldReq{Stripe: stripeID, Slot: int32(slot), TIDs: tids})
 		if err != nil {
 			return 0, err
 		}
@@ -101,7 +103,9 @@ func (c *Client) collectStripe(ctx context.Context, stripeID uint64) (bool, erro
 
 	// Phase 2: move completed tids from recentlists to oldlists.
 	if ok, err := c.gcPhase(ctx, stripeID, fresh, func(node proto.StorageNode, slot int, tids []proto.TID) (proto.Status, error) {
-		rep, err := node.GCRecent(ctx, &proto.GCRecentReq{Stripe: stripeID, Slot: int32(slot), TIDs: tids})
+		actx, cancel := c.attemptCtx(ctx)
+		defer cancel()
+		rep, err := node.GCRecent(actx, &proto.GCRecentReq{Stripe: stripeID, Slot: int32(slot), TIDs: tids})
 		if err != nil {
 			return 0, err
 		}

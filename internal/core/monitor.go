@@ -67,7 +67,9 @@ func (c *Client) stripeNeedsRecovery(ctx context.Context, stripeID uint64, maxAg
 		if err != nil {
 			return false, err
 		}
-		rep, err := node.Probe(ctx, &proto.ProbeReq{Stripe: stripeID, Slot: int32(j)})
+		actx, cancel := c.attemptCtx(ctx)
+		rep, err := node.Probe(actx, &proto.ProbeReq{Stripe: stripeID, Slot: int32(j)})
+		cancel()
 		if err != nil {
 			c.cfg.Resolver.ReportFailure(stripeID, j, node)
 			return true, nil

@@ -13,6 +13,13 @@ type clientObs struct {
 	readLatency  *obs.Histogram
 	writeLatency *obs.Histogram
 
+	// Degraded-read fallback: reads served by k-survivor decode, and
+	// the latency of the fallback path (get_state sweep + local decode).
+	degradedReads *obs.Counter
+	readFallback  *obs.Histogram
+	// Retry budgets exhausted (typed ErrUnavailable surfaced).
+	unavailable *obs.Counter
+
 	// Write-path breakdown: the swap on the data node vs. the add
 	// deltas on the p redundant nodes (paper Fig. 5).
 	swapCalls   *obs.Counter
@@ -33,16 +40,19 @@ type clientObs struct {
 // snapshot shows both.
 func newClientObs(reg *obs.Registry, stats *ClientStats) clientObs {
 	o := clientObs{
-		readLatency:  reg.Histogram("core.read_latency"),
-		writeLatency: reg.Histogram("core.write_latency"),
-		swapCalls:    reg.Counter("core.swap_calls"),
-		swapRetries:  reg.Counter("core.swap_retries"),
-		addCalls:     reg.Counter("core.add_calls"),
-		addRetries:   reg.Counter("core.add_retries"),
-		recPhase1:    reg.Histogram("core.recovery_phase1"),
-		recPhase2:    reg.Histogram("core.recovery_phase2"),
-		recPhase3:    reg.Histogram("core.recovery_phase3"),
-		gcReclaimed:  reg.Counter("core.gc_reclaimed"),
+		readLatency:   reg.Histogram("core.read_latency"),
+		writeLatency:  reg.Histogram("core.write_latency"),
+		degradedReads: reg.Counter("core.degraded_reads"),
+		readFallback:  reg.Histogram("core.read_fallback_latency"),
+		unavailable:   reg.Counter("core.unavailable_errors"),
+		swapCalls:     reg.Counter("core.swap_calls"),
+		swapRetries:   reg.Counter("core.swap_retries"),
+		addCalls:      reg.Counter("core.add_calls"),
+		addRetries:    reg.Counter("core.add_retries"),
+		recPhase1:     reg.Histogram("core.recovery_phase1"),
+		recPhase2:     reg.Histogram("core.recovery_phase2"),
+		recPhase3:     reg.Histogram("core.recovery_phase3"),
+		gcReclaimed:   reg.Counter("core.gc_reclaimed"),
 	}
 	if reg != nil {
 		mirror := func(name string, u *atomic.Uint64) {

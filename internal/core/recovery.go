@@ -204,7 +204,10 @@ func (c *Client) recoverStripe(ctx context.Context, stripeID uint64, exclude slo
 
 // tryLockSlot acquires the L1 lock on one slot, retrying through node
 // remaps (a replacement node starts unlocked, so the retry succeeds).
+// A slot that stays unreachable surfaces a typed ErrUnavailable.
 func (c *Client) tryLockSlot(ctx context.Context, stripeID uint64, j int) (*proto.TryLockReply, error) {
+	bo := c.newBackoff()
+	att := newAttempts("trylock", stripeID, j)
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -213,15 +216,18 @@ func (c *Client) tryLockSlot(ctx context.Context, stripeID uint64, j int) (*prot
 		if err != nil {
 			return nil, fmt.Errorf("core: resolve slot %d: %w", j, err)
 		}
-		rep, err := node.TryLock(ctx, &proto.TryLockReq{Stripe: stripeID, Slot: int32(j), Mode: proto.L1, Caller: c.cfg.ID})
+		actx, cancel := c.attemptCtx(ctx)
+		rep, err := node.TryLock(actx, &proto.TryLockReq{Stripe: stripeID, Slot: int32(j), Mode: proto.L1, Caller: c.cfg.ID})
+		cancel()
 		if err == nil {
 			return rep, nil
 		}
+		att.note(err)
 		c.cfg.Resolver.ReportFailure(stripeID, j, node)
 		if attempt >= 3 {
-			return nil, fmt.Errorf("core: slot %d unreachable during recovery: %w", j, err)
+			return nil, c.unavailable(att)
 		}
-		if err := c.pause(ctx); err != nil {
+		if err := bo.pause(ctx); err != nil {
 			return nil, err
 		}
 	}
@@ -242,7 +248,9 @@ func (c *Client) getStates(ctx context.Context, stripeID uint64, slots []int) []
 				if err != nil {
 					return
 				}
-				rep, err := node.GetState(ctx, &proto.GetStateReq{Stripe: stripeID, Slot: int32(j)})
+				actx, cancel := c.attemptCtx(ctx)
+				rep, err := node.GetState(actx, &proto.GetStateReq{Stripe: stripeID, Slot: int32(j)})
+				cancel()
 				if err == nil {
 					states[j] = rep
 					return

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrUnavailable reports that an operation exhausted its retry budget
+// against unreachable storage. Errors returned on that path satisfy
+// errors.Is(err, ErrUnavailable) and carry the attempt history as an
+// *UnavailableError.
+var ErrUnavailable = errors.New("core: storage unavailable")
+
+// RetryPolicy governs how the client retries operations that hit
+// transport failures or transient rejections: capped exponential
+// backoff with jitter between attempts, a deadline per attempt, and a
+// bounded total budget that surfaces ErrUnavailable instead of
+// looping forever.
+type RetryPolicy struct {
+	// BaseDelay is the first backoff pause. Defaults to the client's
+	// RetryDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff pause. Defaults to 20ms (or
+	// BaseDelay if that is larger).
+	MaxDelay time.Duration
+	// Multiplier grows the pause each retry. Defaults to 2.
+	Multiplier float64
+	// Jitter spreads each pause uniformly over ±Jitter/2 of its value
+	// (0.2 = ±10%). Defaults to 0.2; negative disables.
+	Jitter float64
+	// MaxAttempts bounds one operation's retries before it returns
+	// ErrUnavailable. Defaults to 256.
+	MaxAttempts int
+	// AttemptTimeout is the deadline applied to each individual RPC
+	// attempt, so one wedged call cannot absorb the whole budget.
+	// Defaults to 5s; negative disables.
+	AttemptTimeout time.Duration
+	// DegradedAfter is the number of consecutive data-node errors a
+	// READ tolerates before falling back to a degraded read (decode
+	// from any k survivors). Defaults to 3.
+	DegradedAfter int
+}
+
+func (p *RetryPolicy) applyDefaults(base time.Duration) {
+	if p.BaseDelay == 0 {
+		p.BaseDelay = base
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 20 * time.Millisecond
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = p.BaseDelay
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 256
+	}
+	if p.AttemptTimeout == 0 {
+		p.AttemptTimeout = 5 * time.Second
+	}
+	if p.DegradedAfter == 0 {
+		p.DegradedAfter = 3
+	}
+}
+
+// UnavailableError is the typed failure of an exhausted retry loop.
+// It wraps the most recent attempt errors, so errors.Is also matches
+// the underlying transport error (e.g. proto.ErrNodeDown).
+type UnavailableError struct {
+	Op       string
+	Stripe   uint64
+	Slot     int
+	Attempts int
+	Elapsed  time.Duration
+	History  []error // most recent attempt errors, oldest first
+}
+
+func (e *UnavailableError) Error() string {
+	last := "no attempt errors recorded"
+	if n := len(e.History); n > 0 {
+		last = fmt.Sprintf("last: %v", e.History[n-1])
+	}
+	return fmt.Sprintf("core: %s stripe %d slot %d unavailable after %d attempts in %v (%s)",
+		e.Op, e.Stripe, e.Slot, e.Attempts, e.Elapsed.Round(time.Microsecond), last)
+}
+
+// Is makes errors.Is(err, ErrUnavailable) match.
+func (e *UnavailableError) Is(target error) bool { return target == ErrUnavailable }
+
+// Unwrap exposes the attempt history to errors.Is/As chains.
+func (e *UnavailableError) Unwrap() []error { return e.History }
+
+// attemptErrKeep bounds how many attempt errors an UnavailableError
+// retains.
+const attemptErrKeep = 4
+
+// attempts tracks one retry loop's failure history.
+type attempts struct {
+	op     string
+	stripe uint64
+	slot   int
+	start  time.Time
+	count  int
+	errs   []error
+}
+
+func newAttempts(op string, stripe uint64, slot int) *attempts {
+	return &attempts{op: op, stripe: stripe, slot: slot, start: time.Now()}
+}
+
+func (a *attempts) note(err error) {
+	a.count++
+	if len(a.errs) == attemptErrKeep {
+		copy(a.errs, a.errs[1:])
+		a.errs[attemptErrKeep-1] = err
+		return
+	}
+	a.errs = append(a.errs, err)
+}
+
+func (a *attempts) exhausted() *UnavailableError {
+	return &UnavailableError{
+		Op: a.op, Stripe: a.stripe, Slot: a.slot,
+		Attempts: a.count, Elapsed: time.Since(a.start),
+		History: append([]error(nil), a.errs...),
+	}
+}
+
+// unavailable finalizes an exhausted retry loop: it counts the event
+// and returns the typed error.
+func (c *Client) unavailable(a *attempts) error {
+	c.stats.Unavailable.Add(1)
+	c.obs.unavailable.Inc()
+	return a.exhausted()
+}
+
+// backoffJitter is the shared jitter source; pauses are not part of
+// any determinism contract, so one locked PRNG is fine.
+var (
+	backoffMu  sync.Mutex
+	backoffRng = rand.New(rand.NewSource(1))
+)
+
+// backoff produces capped exponential pauses with jitter.
+type backoff struct {
+	pol  *RetryPolicy
+	next time.Duration
+}
+
+func (c *Client) newBackoff() backoff {
+	return backoff{pol: &c.cfg.Retry, next: c.cfg.Retry.BaseDelay}
+}
+
+// pause sleeps for the current backoff delay (with jitter), grows the
+// next one, and honors context cancellation.
+func (b *backoff) pause(ctx context.Context) error {
+	d := b.next
+	grown := time.Duration(float64(b.next) * b.pol.Multiplier)
+	if grown > b.pol.MaxDelay || grown < b.next {
+		grown = b.pol.MaxDelay
+	}
+	b.next = grown
+	if j := b.pol.Jitter; j > 0 && d > 0 {
+		if span := int64(float64(d) * j); span > 0 {
+			backoffMu.Lock()
+			off := backoffRng.Int63n(span)
+			backoffMu.Unlock()
+			d += time.Duration(off - span/2)
+		}
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// attemptCtx bounds one RPC attempt with the policy's per-attempt
+// deadline.
+func (c *Client) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if d := c.cfg.Retry.AttemptTimeout; d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return ctx, func() {}
+}
+
+// retryCtx is attemptCtx for loops with a hot first attempt: attempt 0
+// runs under the caller's context alone, so the failure-free fast path
+// pays nothing for deadline insurance (context.WithTimeout costs ~1 µs
+// per call — several percent of an in-process 16 KiB write). A hung
+// first call is still bounded by the caller's deadline or the rpc
+// layer's per-call timeout; every retry gets the per-attempt deadline.
+func (c *Client) retryCtx(ctx context.Context, attempt int) (context.Context, context.CancelFunc) {
+	if attempt == 0 {
+		return ctx, func() {}
+	}
+	return c.attemptCtx(ctx)
+}

@@ -51,6 +51,8 @@ func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte
 
 	// --- swap v into the data node (Fig. 5 lines 3-6) ---
 	var srep *proto.SwapReply
+	bo := c.newBackoff()
+	att := newAttempts("swap", stripeID, i)
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return false, err
@@ -65,11 +67,19 @@ func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte
 			return false, fmt.Errorf("core: resolve slot %d: %w", i, err)
 		}
 		c.obs.swapCalls.Inc()
-		rep, err := node.Swap(ctx, &proto.SwapReq{Stripe: stripeID, Slot: int32(i), Value: v, NTID: ntid})
+		actx, cancel := c.retryCtx(ctx, attempt)
+		rep, err := node.Swap(actx, &proto.SwapReq{Stripe: stripeID, Slot: int32(i), Value: v, NTID: ntid})
+		cancel()
 		if err != nil {
 			c.obs.swapRetries.Inc()
+			att.note(err)
 			c.cfg.Resolver.ReportFailure(stripeID, i, node)
-			if err := c.pause(ctx); err != nil {
+			if att.count >= c.cfg.Retry.MaxAttempts {
+				// The data node keeps erroring (not rejecting): the
+				// budget is spent; surface the typed failure.
+				return false, c.unavailable(att)
+			}
+			if err := bo.pause(ctx); err != nil {
 				return false, err
 			}
 			continue
@@ -83,7 +93,7 @@ func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte
 			// (start_recovery) and keep retrying the swap.
 			c.StartRecovery(ctx, stripeID)
 		}
-		if err := c.pause(ctx); err != nil {
+		if err := bo.pause(ctx); err != nil {
 			return false, err
 		}
 	}
@@ -106,6 +116,7 @@ func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte
 
 	orderRounds := 0
 	rounds := 0
+	abo := c.newBackoff()
 	for todo.size() > 0 && done.size() > 0 {
 		if err := ctx.Err(); err != nil {
 			return false, err
@@ -114,7 +125,11 @@ func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte
 			// Liveness backstop: restart the write from the swap.
 			return false, nil
 		}
-		results := c.issueAdds(ctx, stripeID, i, v, oldBlk, todo.sorted(), ntid, otid, epoch)
+		// Retry rounds get a per-round deadline covering their adds; the
+		// first round is the fast path and rides the caller's context.
+		actx, cancel := c.retryCtx(ctx, rounds-1)
+		results := c.issueAdds(actx, stripeID, i, v, oldBlk, todo.sorted(), ntid, otid, epoch)
+		cancel()
 
 		retry := newSlotSet()
 		needRecovery := false
@@ -178,7 +193,7 @@ func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte
 		}
 		todo = retry
 		if todo.size() > 0 {
-			if err := c.pause(ctx); err != nil {
+			if err := abo.pause(ctx); err != nil {
 				return false, err
 			}
 		}

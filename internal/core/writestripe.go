@@ -114,6 +114,7 @@ func (c *Client) writeStripeOnce(ctx context.Context, stripeID uint64, values []
 	}
 	completed := newSlotSet()
 	orderRounds, rounds := 0, 0
+	bo := c.newBackoff()
 	for todo.size() > 0 {
 		if err := ctx.Err(); err != nil {
 			return false, err
@@ -138,7 +139,9 @@ func (c *Client) writeStripeOnce(ctx context.Context, stripeID uint64, values []
 					results[idx] = result{err: err}
 					return
 				}
-				rep, err := node.BatchAdd(ctx, &proto.BatchAddReq{
+				actx, cancel := c.retryCtx(ctx, rounds-1)
+				defer cancel()
+				rep, err := node.BatchAdd(actx, &proto.BatchAddReq{
 					Stripe: stripeID, Slot: int32(j),
 					Delta: deltas[j-k], Entries: entries, Epoch: epoch,
 				})
@@ -198,7 +201,7 @@ func (c *Client) writeStripeOnce(ctx context.Context, stripeID uint64, values []
 		}
 		todo = retry
 		if todo.size() > 0 {
-			if err := c.pause(ctx); err != nil {
+			if err := bo.pause(ctx); err != nil {
 				return false, err
 			}
 		}
@@ -229,6 +232,8 @@ func (c *Client) swapWithRetry(ctx context.Context, stripeID uint64, i int, v []
 	// budget must exceed that, or the write gives up just before the
 	// system unwedges itself.
 	budget := 4 * c.cfg.RecoveryPollLimit
+	bo := c.newBackoff()
+	att := newAttempts("stripe-swap", stripeID, i)
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			out.err = err
@@ -243,10 +248,17 @@ func (c *Client) swapWithRetry(ctx context.Context, stripeID uint64, i int, v []
 			out.err = err
 			return out
 		}
-		rep, err := node.Swap(ctx, &proto.SwapReq{Stripe: stripeID, Slot: int32(i), Value: v, NTID: ntid})
+		actx, cancel := c.retryCtx(ctx, attempt)
+		rep, err := node.Swap(actx, &proto.SwapReq{Stripe: stripeID, Slot: int32(i), Value: v, NTID: ntid})
+		cancel()
 		if err != nil {
+			att.note(err)
 			c.cfg.Resolver.ReportFailure(stripeID, i, node)
-			if err := c.pause(ctx); err != nil {
+			if att.count >= c.cfg.Retry.MaxAttempts {
+				out.err = c.unavailable(att)
+				return out
+			}
+			if err := bo.pause(ctx); err != nil {
 				out.err = err
 				return out
 			}

@@ -1,6 +1,8 @@
 package rpc
 
 import (
+	"time"
+
 	"ecstore/internal/obs"
 	"ecstore/internal/wire"
 )
@@ -46,6 +48,11 @@ type Metrics struct {
 	BadFrames *obs.Counter
 	// Timeouts counts client calls abandoned by context cancellation.
 	Timeouts *obs.Counter
+	// Dials counts TCP dial attempts actually made by clients;
+	// DialErrors the failed ones; DialsSuppressed the calls that failed
+	// fast inside a post-failure dial cooldown window without touching
+	// the network.
+	Dials, DialErrors, DialsSuppressed *obs.Counter
 
 	ops map[wire.MsgType]*OpMetrics
 }
@@ -55,11 +62,14 @@ type Metrics struct {
 // yields a no-op metric set, which callers may still install.
 func NewMetrics(reg *obs.Registry, prefix string) *Metrics {
 	m := &Metrics{
-		BytesIn:   reg.Counter(prefix + ".bytes_in"),
-		BytesOut:  reg.Counter(prefix + ".bytes_out"),
-		BadFrames: reg.Counter(prefix + ".bad_frames"),
-		Timeouts:  reg.Counter(prefix + ".timeouts"),
-		ops:       make(map[wire.MsgType]*OpMetrics, len(opNames)),
+		BytesIn:         reg.Counter(prefix + ".bytes_in"),
+		BytesOut:        reg.Counter(prefix + ".bytes_out"),
+		BadFrames:       reg.Counter(prefix + ".bad_frames"),
+		Timeouts:        reg.Counter(prefix + ".timeouts"),
+		Dials:           reg.Counter(prefix + ".dials"),
+		DialErrors:      reg.Counter(prefix + ".dial_errors"),
+		DialsSuppressed: reg.Counter(prefix + ".dials_suppressed"),
+		ops:             make(map[wire.MsgType]*OpMetrics, len(opNames)),
 	}
 	for mt, name := range opNames {
 		m.ops[mt] = &OpMetrics{
@@ -110,11 +120,52 @@ func (m *Metrics) noteTimeout() {
 	}
 }
 
+func (m *Metrics) noteDial() {
+	if m != nil {
+		m.Dials.Inc()
+	}
+}
+
+func (m *Metrics) noteDialError() {
+	if m != nil {
+		m.DialErrors.Inc()
+	}
+}
+
+func (m *Metrics) noteDialSuppressed() {
+	if m != nil {
+		m.DialsSuppressed.Inc()
+	}
+}
+
+// DefaultDialCooldown is the post-failure dial backoff applied to
+// clients that don't override it with WithDialCooldown.
+const DefaultDialCooldown = 100 * time.Millisecond
+
 // Option configures a Server or Client.
 type Option func(*options)
 
 type options struct {
-	metrics *Metrics
+	metrics         *Metrics
+	dialCooldown    time.Duration
+	dialCooldownSet bool
+	callTimeout     time.Duration
+}
+
+// WithDialCooldown sets the client's post-failure dial backoff: after
+// a failed dial, calls within d fail fast (wrapping proto.ErrNodeDown)
+// without another dial attempt. Zero disables the cooldown. Servers
+// ignore it.
+func WithDialCooldown(d time.Duration) Option {
+	return func(o *options) { o.dialCooldown = d; o.dialCooldownSet = true }
+}
+
+// WithCallTimeout bounds every call issued by the client with a
+// per-call deadline, layered under whatever deadline the caller's
+// context already carries. Zero (the default) adds none. Servers
+// ignore it.
+func WithCallTimeout(d time.Duration) Option {
+	return func(o *options) { o.callTimeout = d }
 }
 
 // WithMetrics instruments the endpoint with m. Servers record per-op

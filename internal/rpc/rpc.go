@@ -19,6 +19,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ecstore/internal/obs"
 	"ecstore/internal/proto"
@@ -261,15 +262,19 @@ func writeReply(w io.Writer, id uint64, reply any) (int, error) {
 // connection fails in-flight calls with ErrNodeDown and is re-dialed
 // lazily on the next call.
 type Client struct {
-	addr    string
-	metrics *Metrics
-	nextID  atomic.Uint64
+	addr        string
+	metrics     *Metrics
+	cooldown    time.Duration
+	callTimeout time.Duration
+	nextID      atomic.Uint64
 
-	mu      sync.Mutex
-	conn    net.Conn
-	w       *bufio.Writer
-	pending map[uint64]chan frameOrErr
-	closed  bool
+	mu          sync.Mutex
+	conn        net.Conn
+	w           *bufio.Writer
+	pending     map[uint64]chan frameOrErr
+	closed      bool
+	lastDialErr error     // cause of the most recent failed dial
+	lastDialAt  time.Time // when that dial failed (zero: none pending)
 }
 
 type frameOrErr struct {
@@ -279,10 +284,24 @@ type frameOrErr struct {
 }
 
 // Dial creates a client for the given address. The connection is
-// established lazily on first use.
+// established lazily on first use; after a failed dial the client
+// backs off for a cooldown window (DefaultDialCooldown unless
+// overridden by WithDialCooldown) during which calls fail fast
+// without touching the network — a dead node costs one dial attempt
+// per window, not one per RPC.
 func Dial(addr string, opts ...Option) *Client {
 	o := applyOptions(opts)
-	return &Client{addr: addr, metrics: o.metrics, pending: make(map[uint64]chan frameOrErr)}
+	cooldown := DefaultDialCooldown
+	if o.dialCooldownSet {
+		cooldown = o.dialCooldown
+	}
+	return &Client{
+		addr:        addr,
+		metrics:     o.metrics,
+		cooldown:    cooldown,
+		callTimeout: o.callTimeout,
+		pending:     make(map[uint64]chan frameOrErr),
+	}
 }
 
 var _ proto.StorageNode = (*Client)(nil)
@@ -301,22 +320,51 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// ensureConn dials if needed. Caller must hold c.mu.
-func (c *Client) ensureConnLocked() error {
+// ensureConnLocked dials if needed, honoring the post-failure dial
+// cooldown: within cooldown of a failed dial, calls fail fast with
+// the cached cause instead of dialing again. Caller must hold c.mu.
+func (c *Client) ensureConnLocked(ctx context.Context) error {
 	if c.closed {
 		return proto.ErrNodeDown
 	}
 	if c.conn != nil {
 		return nil
 	}
-	conn, err := net.Dial("tcp", c.addr)
+	if c.cooldown > 0 && !c.lastDialAt.IsZero() && time.Since(c.lastDialAt) < c.cooldown {
+		c.metrics.noteDialSuppressed()
+		return fmt.Errorf("%w: %s in dial cooldown after: %v", proto.ErrNodeDown, c.addr, c.lastDialErr)
+	}
+	c.metrics.noteDial()
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
+		c.metrics.noteDialError()
+		c.lastDialErr = err
+		c.lastDialAt = time.Now()
 		return fmt.Errorf("%w: %v", proto.ErrNodeDown, err)
 	}
+	c.lastDialErr = nil
+	c.lastDialAt = time.Time{}
 	c.conn = conn
 	c.w = bufio.NewWriterSize(conn, 64<<10)
 	go c.readLoop(conn)
 	return nil
+}
+
+// Connected reports whether a TCP connection is currently up.
+func (c *Client) Connected() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn != nil
+}
+
+// TryConnect is a reconnect-aware health probe: it ensures a live
+// connection, dialing (subject to the cooldown) if none exists, and
+// sends nothing. A nil return means the transport is up.
+func (c *Client) TryConnect(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ensureConnLocked(ctx)
 }
 
 func (c *Client) readLoop(conn net.Conn) {
@@ -352,6 +400,11 @@ func (c *Client) failAllLocked(err error) {
 
 // call performs one RPC: write the request frame, wait for the reply.
 func (c *Client) call(ctx context.Context, req any) (any, error) {
+	if c.callTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.callTimeout)
+		defer cancel()
+	}
 	mt, payload, err := wire.Encode(req)
 	if err != nil {
 		return nil, err
@@ -366,7 +419,7 @@ func (c *Client) call(ctx context.Context, req any) (any, error) {
 	ch := make(chan frameOrErr, 1)
 
 	c.mu.Lock()
-	if err := c.ensureConnLocked(); err != nil {
+	if err := c.ensureConnLocked(ctx); err != nil {
 		c.mu.Unlock()
 		op.noteError()
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"ecstore/internal/obs"
 	"ecstore/internal/proto"
 	"ecstore/internal/storage"
 )
@@ -221,6 +222,116 @@ func TestReconnectAfterServerRestart(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatalf("client did not reconnect: %v", lastErr)
+}
+
+func TestDialCooldownLimitsDialAttempts(t *testing.T) {
+	// Grab an address nothing listens on by closing a fresh listener.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	m := NewMetrics(obs.NewRegistry(), "rpc")
+	cl := Dial(addr, WithMetrics(m), WithDialCooldown(time.Minute))
+	defer cl.Close()
+	ctx := context.Background()
+	const calls = 25
+	for i := 0; i < calls; i++ {
+		_, err := cl.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0})
+		if !errors.Is(err, proto.ErrNodeDown) {
+			t.Fatalf("call %d: err = %v, want ErrNodeDown", i, err)
+		}
+	}
+	if got := m.Dials.Value(); got != 1 {
+		t.Fatalf("dials = %d, want exactly 1 inside the cooldown window", got)
+	}
+	if got := m.DialErrors.Value(); got != 1 {
+		t.Fatalf("dial errors = %d, want 1", got)
+	}
+	if got := m.DialsSuppressed.Value(); got != calls-1 {
+		t.Fatalf("suppressed = %d, want %d", got, calls-1)
+	}
+}
+
+func TestDialCooldownExpires(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	m := NewMetrics(obs.NewRegistry(), "rpc")
+	cl := Dial(addr, WithMetrics(m), WithDialCooldown(10*time.Millisecond))
+	defer cl.Close()
+	ctx := context.Background()
+	cl.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0})
+	time.Sleep(20 * time.Millisecond)
+	cl.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0})
+	if got := m.Dials.Value(); got != 2 {
+		t.Fatalf("dials = %d, want 2 (cooldown expired between calls)", got)
+	}
+}
+
+func TestPerCallTimeout(t *testing.T) {
+	// A listener that accepts connections but never replies.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+
+	m := NewMetrics(obs.NewRegistry(), "rpc")
+	cl := Dial(ln.Addr().String(), WithMetrics(m), WithCallTimeout(50*time.Millisecond))
+	defer cl.Close()
+	start := time.Now()
+	_, err = cl.Read(context.Background(), &proto.ReadReq{Stripe: 1, Slot: 0})
+	if err == nil {
+		t.Fatal("call against a mute server succeeded")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("per-call timeout did not bound the call (%v)", el)
+	}
+	if got := m.Timeouts.Value(); got != 1 {
+		t.Fatalf("timeouts = %d, want 1", got)
+	}
+}
+
+func TestConnectedAndTryConnect(t *testing.T) {
+	srv, cl := startServer(t)
+	if cl.Connected() {
+		t.Fatal("Connected() true before any call (dialing is lazy)")
+	}
+	ctx := context.Background()
+	if err := cl.TryConnect(ctx); err != nil {
+		t.Fatalf("TryConnect against a live server: %v", err)
+	}
+	if !cl.Connected() {
+		t.Fatal("Connected() false after TryConnect")
+	}
+	_ = srv.Close()
+	// After the server goes away the probe must eventually fail.
+	var probeErr error
+	for i := 0; i < 100; i++ {
+		if probeErr = cl.TryConnect(ctx); probeErr != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if probeErr == nil {
+		t.Fatal("TryConnect kept succeeding against a closed server")
+	}
 }
 
 func TestServerRejectsBadFrameLength(t *testing.T) {

@@ -1,0 +1,427 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecstore/internal/proto"
+)
+
+// Op identifies one StorageNode operation for per-op fault rates and
+// hooks.
+type Op int
+
+const (
+	OpRead Op = iota
+	OpSwap
+	OpAdd
+	OpBatchAdd
+	OpCheckTID
+	OpTryLock
+	OpSetLock
+	OpGetState
+	OpGetRecent
+	OpReconstruct
+	OpFinalize
+	OpGCOld
+	OpGCRecent
+	OpProbe
+	NumOps // count sentinel
+)
+
+var opNames = [NumOps]string{
+	"read", "swap", "add", "batch_add", "checktid", "trylock", "setlock",
+	"getstate", "getrecent", "reconstruct", "finalize", "gc_old",
+	"gc_recent", "probe",
+}
+
+func (o Op) String() string {
+	if o < 0 || o >= NumOps {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// DefaultGrayLatency is the extra per-call delay of a gray (slow but
+// alive) node when FaultConfig.GrayLatency is zero.
+const DefaultGrayLatency = 2 * time.Millisecond
+
+// FaultConfig parameterizes a Faulty wrapper. The zero value injects
+// nothing; faults then come only from the runtime controls (Crash,
+// SetPartitioned, SetGray) or a Scenario.
+type FaultConfig struct {
+	// Seed makes the error rolls deterministic. Two wrappers with the
+	// same seed and the same call sequence inject the same faults.
+	Seed int64
+	// ErrorRate is the probability in [0,1] that a call fails with an
+	// injected error (wrapping proto.ErrNodeDown) before reaching the
+	// node.
+	ErrorRate float64
+	// OpErrorRate overrides ErrorRate for specific operations.
+	OpErrorRate map[Op]float64
+	// Latency is a fixed delay added to every call.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) to every call.
+	Jitter time.Duration
+	// GrayLatency is the extra delay while the node is gray; zero means
+	// DefaultGrayLatency.
+	GrayLatency time.Duration
+}
+
+// FaultStats counts what the wrapper did, for test assertions.
+type FaultStats struct {
+	Calls            atomic.Uint64 // total calls entering the wrapper
+	InjectedErrors   atomic.Uint64 // failed by the seeded error roll
+	RefusedCrash     atomic.Uint64 // failed because the node was crashed
+	RefusedPartition atomic.Uint64 // failed because the node was partitioned
+	Delayed          atomic.Uint64 // calls that slept (latency/jitter/gray)
+}
+
+// Faulty wraps a proto.StorageNode with deterministic, runtime-
+// controllable fault injection: seeded per-op error rates, added
+// latency and jitter, crash/restart, network partition, and a "gray"
+// slow-node mode. It composes with the other wrappers in this package
+// (put it outside Counting to model faults before the wire, inside to
+// model faults behind it) and is drivable from a Scenario.
+//
+// Injected failures wrap proto.ErrNodeDown, so clients treat them
+// exactly like a crashed node: transport error, not protocol
+// rejection. Hooks fire before any fault decision, preserving the
+// "callback between protocol steps" semantics tests rely on.
+type Faulty struct {
+	inner proto.StorageNode
+	cfg   FaultConfig
+
+	down        atomic.Bool
+	partitioned atomic.Bool
+	gray        atomic.Bool
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	hooks [NumOps]func(req any)
+
+	stats FaultStats
+}
+
+var _ proto.StorageNode = (*Faulty)(nil)
+
+// NewFaulty wraps inner with fault injection.
+func NewFaulty(inner proto.StorageNode, cfg FaultConfig) *Faulty {
+	return &Faulty{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Inner returns the wrapped node.
+func (f *Faulty) Inner() proto.StorageNode { return f.inner }
+
+// Stats exposes the wrapper's fault counters.
+func (f *Faulty) Stats() *FaultStats { return &f.stats }
+
+// Crash makes every call fail with proto.ErrNodeDown until Restart.
+// Unlike storage.Node.Crash it keeps the node's state intact, modeling
+// the transient unavailability that dominates production traces.
+func (f *Faulty) Crash() { f.down.Store(true) }
+
+// Restart ends a Crash.
+func (f *Faulty) Restart() { f.down.Store(false) }
+
+// Down reports whether the wrapper is in the crashed state.
+func (f *Faulty) Down() bool { return f.down.Load() }
+
+// SetPartitioned isolates the node: calls fail with proto.ErrNodeDown
+// while set. Semantically identical to Crash from a single client's
+// viewpoint; kept separate so scenarios and stats can distinguish the
+// two.
+func (f *Faulty) SetPartitioned(v bool) { f.partitioned.Store(v) }
+
+// Partitioned reports whether the node is partitioned away.
+func (f *Faulty) Partitioned() bool { return f.partitioned.Load() }
+
+// SetGray toggles gray mode: the node answers, but every call pays
+// GrayLatency extra — the slow-but-alive failure mode.
+func (f *Faulty) SetGray(v bool) { f.gray.Store(v) }
+
+// Gray reports whether the node is in gray mode.
+func (f *Faulty) Gray() bool { return f.gray.Load() }
+
+// SetHook installs fn to run (on the calling goroutine) before every
+// op-typed request is processed, with the request as argument. A nil
+// fn removes the hook. Hooks fire before fault decisions, so they see
+// calls even to a crashed node.
+func (f *Faulty) SetHook(op Op, fn func(req any)) {
+	f.mu.Lock()
+	f.hooks[op] = fn
+	f.mu.Unlock()
+}
+
+func (f *Faulty) hook(op Op) func(req any) {
+	f.mu.Lock()
+	fn := f.hooks[op]
+	f.mu.Unlock()
+	return fn
+}
+
+// roll decides whether to inject an error for one call of op.
+func (f *Faulty) roll(op Op) bool {
+	rate := f.cfg.ErrorRate
+	if r, ok := f.cfg.OpErrorRate[op]; ok {
+		rate = r
+	}
+	if rate <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	v := f.rng.Float64()
+	f.mu.Unlock()
+	return v < rate
+}
+
+// delay computes this call's injected latency.
+func (f *Faulty) delay() time.Duration {
+	d := f.cfg.Latency
+	if f.gray.Load() {
+		if g := f.cfg.GrayLatency; g > 0 {
+			d += g
+		} else {
+			d += DefaultGrayLatency
+		}
+	}
+	if f.cfg.Jitter > 0 {
+		f.mu.Lock()
+		d += time.Duration(f.rng.Int63n(int64(f.cfg.Jitter)))
+		f.mu.Unlock()
+	}
+	return d
+}
+
+func faultCall[Req any, Rep any](ctx context.Context, f *Faulty, op Op, req Req, call func() (Rep, error)) (Rep, error) {
+	var zero Rep
+	f.stats.Calls.Add(1)
+	if fn := f.hook(op); fn != nil {
+		fn(req)
+	}
+	if f.down.Load() {
+		f.stats.RefusedCrash.Add(1)
+		return zero, fmt.Errorf("%w: injected crash (%s)", proto.ErrNodeDown, op)
+	}
+	if f.partitioned.Load() {
+		f.stats.RefusedPartition.Add(1)
+		return zero, fmt.Errorf("%w: injected partition (%s)", proto.ErrNodeDown, op)
+	}
+	if f.roll(op) {
+		f.stats.InjectedErrors.Add(1)
+		return zero, fmt.Errorf("%w: injected fault (%s)", proto.ErrNodeDown, op)
+	}
+	if d := f.delay(); d > 0 {
+		f.stats.Delayed.Add(1)
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		case <-t.C:
+		}
+	}
+	return call()
+}
+
+func (f *Faulty) Read(ctx context.Context, req *proto.ReadReq) (*proto.ReadReply, error) {
+	return faultCall(ctx, f, OpRead, req, func() (*proto.ReadReply, error) { return f.inner.Read(ctx, req) })
+}
+func (f *Faulty) Swap(ctx context.Context, req *proto.SwapReq) (*proto.SwapReply, error) {
+	return faultCall(ctx, f, OpSwap, req, func() (*proto.SwapReply, error) { return f.inner.Swap(ctx, req) })
+}
+func (f *Faulty) Add(ctx context.Context, req *proto.AddReq) (*proto.AddReply, error) {
+	return faultCall(ctx, f, OpAdd, req, func() (*proto.AddReply, error) { return f.inner.Add(ctx, req) })
+}
+func (f *Faulty) BatchAdd(ctx context.Context, req *proto.BatchAddReq) (*proto.BatchAddReply, error) {
+	return faultCall(ctx, f, OpBatchAdd, req, func() (*proto.BatchAddReply, error) { return f.inner.BatchAdd(ctx, req) })
+}
+func (f *Faulty) CheckTID(ctx context.Context, req *proto.CheckTIDReq) (*proto.CheckTIDReply, error) {
+	return faultCall(ctx, f, OpCheckTID, req, func() (*proto.CheckTIDReply, error) { return f.inner.CheckTID(ctx, req) })
+}
+func (f *Faulty) TryLock(ctx context.Context, req *proto.TryLockReq) (*proto.TryLockReply, error) {
+	return faultCall(ctx, f, OpTryLock, req, func() (*proto.TryLockReply, error) { return f.inner.TryLock(ctx, req) })
+}
+func (f *Faulty) SetLock(ctx context.Context, req *proto.SetLockReq) (*proto.SetLockReply, error) {
+	return faultCall(ctx, f, OpSetLock, req, func() (*proto.SetLockReply, error) { return f.inner.SetLock(ctx, req) })
+}
+func (f *Faulty) GetState(ctx context.Context, req *proto.GetStateReq) (*proto.GetStateReply, error) {
+	return faultCall(ctx, f, OpGetState, req, func() (*proto.GetStateReply, error) { return f.inner.GetState(ctx, req) })
+}
+func (f *Faulty) GetRecent(ctx context.Context, req *proto.GetRecentReq) (*proto.GetRecentReply, error) {
+	return faultCall(ctx, f, OpGetRecent, req, func() (*proto.GetRecentReply, error) { return f.inner.GetRecent(ctx, req) })
+}
+func (f *Faulty) Reconstruct(ctx context.Context, req *proto.ReconstructReq) (*proto.ReconstructReply, error) {
+	return faultCall(ctx, f, OpReconstruct, req, func() (*proto.ReconstructReply, error) { return f.inner.Reconstruct(ctx, req) })
+}
+func (f *Faulty) Finalize(ctx context.Context, req *proto.FinalizeReq) (*proto.FinalizeReply, error) {
+	return faultCall(ctx, f, OpFinalize, req, func() (*proto.FinalizeReply, error) { return f.inner.Finalize(ctx, req) })
+}
+func (f *Faulty) GCOld(ctx context.Context, req *proto.GCOldReq) (*proto.GCReply, error) {
+	return faultCall(ctx, f, OpGCOld, req, func() (*proto.GCReply, error) { return f.inner.GCOld(ctx, req) })
+}
+func (f *Faulty) GCRecent(ctx context.Context, req *proto.GCRecentReq) (*proto.GCReply, error) {
+	return faultCall(ctx, f, OpGCRecent, req, func() (*proto.GCReply, error) { return f.inner.GCRecent(ctx, req) })
+}
+func (f *Faulty) Probe(ctx context.Context, req *proto.ProbeReq) (*proto.ProbeReply, error) {
+	return faultCall(ctx, f, OpProbe, req, func() (*proto.ProbeReply, error) { return f.inner.Probe(ctx, req) })
+}
+
+// --- scenarios --------------------------------------------------------------
+
+// FaultAction is one state change applied to a Faulty wrapper.
+type FaultAction int
+
+const (
+	ActCrash FaultAction = iota + 1 // transient crash (state preserved)
+	ActRestart
+	ActPartition
+	ActHeal
+	ActSlow // enter gray mode
+	ActNormal
+)
+
+var actNames = map[FaultAction]string{
+	ActCrash: "crash", ActRestart: "restart",
+	ActPartition: "partition", ActHeal: "heal",
+	ActSlow: "slow", ActNormal: "normal",
+}
+
+func (a FaultAction) String() string {
+	if s, ok := actNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// recovery maps a fault action to the action that undoes it.
+func (a FaultAction) recovery() FaultAction {
+	switch a {
+	case ActCrash:
+		return ActRestart
+	case ActPartition:
+		return ActHeal
+	default:
+		return ActNormal
+	}
+}
+
+// FaultEvent schedules one action on one node at an offset from the
+// scenario's start.
+type FaultEvent struct {
+	After time.Duration
+	Node  int
+	Act   FaultAction
+}
+
+// Scenario is a deterministic schedule of fault events — the spec
+// format chaos tests and the soak harness run against.
+type Scenario struct {
+	Events []FaultEvent
+}
+
+// apply performs one event's action on its target wrapper.
+func (e FaultEvent) apply(nodes []*Faulty) {
+	if e.Node < 0 || e.Node >= len(nodes) {
+		return
+	}
+	f := nodes[e.Node]
+	switch e.Act {
+	case ActCrash:
+		f.Crash()
+	case ActRestart:
+		f.Restart()
+	case ActPartition:
+		f.SetPartitioned(true)
+	case ActHeal:
+		f.SetPartitioned(false)
+	case ActSlow:
+		f.SetGray(true)
+	case ActNormal:
+		f.SetGray(false)
+	}
+}
+
+// Run replays the scenario against the wrappers in real time, sorted
+// by event offset. It returns when every event has fired or the
+// context is canceled; on cancellation all pending heal-type events
+// are applied immediately so no node is left faulted.
+func (s Scenario) Run(ctx context.Context, nodes []*Faulty) error {
+	events := append([]FaultEvent(nil), s.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].After < events[j].After })
+	start := time.Now()
+	for i, e := range events {
+		if d := e.After - time.Since(start); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				for _, rest := range events[i:] {
+					if rest.Act == ActRestart || rest.Act == ActHeal || rest.Act == ActNormal {
+						rest.apply(nodes)
+					}
+				}
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+		e.apply(nodes)
+	}
+	return nil
+}
+
+// RandomScenario generates a deterministic random fault schedule:
+// nodes enter crash/partition/gray windows of bounded length, with at
+// most maxConcurrent nodes faulted at any instant, and every fault is
+// healed — the final events restore all nodes, so a soak test can
+// assert convergence after Run returns.
+func RandomScenario(seed int64, nodes int, total time.Duration, maxConcurrent int) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	var events []FaultEvent
+	faulted := make(map[int]FaultAction)
+	step := total / 24
+	if step <= 0 {
+		step = time.Millisecond
+	}
+	acts := []FaultAction{ActCrash, ActPartition, ActSlow}
+	at := time.Duration(0)
+	for {
+		at += time.Duration(rng.Int63n(int64(step))) + step/2
+		if at >= total {
+			break
+		}
+		node := rng.Intn(nodes)
+		if act, ok := faulted[node]; ok {
+			events = append(events, FaultEvent{After: at, Node: node, Act: act.recovery()})
+			delete(faulted, node)
+			continue
+		}
+		if len(faulted) >= maxConcurrent {
+			continue
+		}
+		act := acts[rng.Intn(len(acts))]
+		events = append(events, FaultEvent{After: at, Node: node, Act: act})
+		faulted[node] = act
+	}
+	still := make([]int, 0, len(faulted))
+	for node := range faulted {
+		still = append(still, node)
+	}
+	sort.Ints(still)
+	for _, node := range still {
+		events = append(events, FaultEvent{After: total, Node: node, Act: faulted[node].recovery()})
+	}
+	return Scenario{Events: events}
+}

@@ -1,0 +1,302 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/proto"
+)
+
+func faultyPair(t *testing.T, cfg FaultConfig) (*Faulty, *Faulty) {
+	t.Helper()
+	return NewFaulty(newNode(t), cfg), NewFaulty(newNode(t), cfg)
+}
+
+// TestFaultyDeterministicSeed: two wrappers with the same seed and the
+// same call sequence must inject exactly the same faults.
+func TestFaultyDeterministicSeed(t *testing.T) {
+	cfg := FaultConfig{Seed: 42, ErrorRate: 0.5}
+	a, b := faultyPair(t, cfg)
+	ctx := context.Background()
+	req := &proto.ReadReq{Stripe: 0, Slot: 0}
+	var pa, pb []bool
+	for i := 0; i < 200; i++ {
+		_, errA := a.Read(ctx, req)
+		_, errB := b.Read(ctx, req)
+		pa = append(pa, errA != nil)
+		pb = append(pb, errB != nil)
+		if errA != nil && !errors.Is(errA, proto.ErrNodeDown) {
+			t.Fatalf("injected error does not wrap ErrNodeDown: %v", errA)
+		}
+	}
+	if !reflect.DeepEqual(pa, pb) {
+		t.Fatal("same seed produced different fault patterns")
+	}
+	inj := a.Stats().InjectedErrors.Load()
+	if inj == 0 || inj == 200 {
+		t.Fatalf("error rate 0.5 injected %d/200 faults", inj)
+	}
+	if a.Stats().InjectedErrors.Load() != b.Stats().InjectedErrors.Load() {
+		t.Fatal("same seed produced different injection counts")
+	}
+}
+
+// TestFaultyCrashPreservesState: a Faulty crash refuses calls (wrapping
+// proto.ErrNodeDown) but keeps the node's contents, unlike a real
+// storage crash — the transient-failure model.
+func TestFaultyCrashPreservesState(t *testing.T) {
+	f := NewFaulty(newNode(t), FaultConfig{})
+	ctx := context.Background()
+	nt := proto.TID{Seq: 1, Block: 0, Client: 1}
+	if _, err := f.Swap(ctx, &proto.SwapReq{Stripe: 0, Slot: 0, Value: blk(), NTID: nt}); err != nil {
+		t.Fatal(err)
+	}
+
+	f.Crash()
+	if !f.Down() {
+		t.Fatal("Down() false after Crash")
+	}
+	if _, err := f.Read(ctx, &proto.ReadReq{Stripe: 0, Slot: 0}); !errors.Is(err, proto.ErrNodeDown) {
+		t.Fatalf("crashed read err = %v, want ErrNodeDown", err)
+	}
+	if f.Stats().RefusedCrash.Load() != 1 {
+		t.Fatal("RefusedCrash not counted")
+	}
+
+	f.Restart()
+	st, err := f.GetState(ctx, &proto.GetStateReq{Stripe: 0, Slot: 0})
+	if err != nil {
+		t.Fatalf("getstate after restart: %v", err)
+	}
+	if len(st.RecentList) != 1 || st.RecentList[0].TID != nt {
+		t.Fatal("node state lost across a transient crash")
+	}
+}
+
+func TestFaultyPartition(t *testing.T) {
+	f := NewFaulty(newNode(t), FaultConfig{})
+	ctx := context.Background()
+	f.SetPartitioned(true)
+	if _, err := f.Probe(ctx, &proto.ProbeReq{}); !errors.Is(err, proto.ErrNodeDown) {
+		t.Fatalf("partitioned probe err = %v, want ErrNodeDown", err)
+	}
+	if f.Stats().RefusedPartition.Load() != 1 {
+		t.Fatal("RefusedPartition not counted")
+	}
+	f.SetPartitioned(false)
+	if _, err := f.Probe(ctx, &proto.ProbeReq{}); err != nil {
+		t.Fatalf("probe after heal: %v", err)
+	}
+}
+
+// TestFaultyGrayAddsLatency: gray mode keeps the node answering but
+// slows every call by at least GrayLatency.
+func TestFaultyGrayAddsLatency(t *testing.T) {
+	const gray = 20 * time.Millisecond
+	f := NewFaulty(newNode(t), FaultConfig{GrayLatency: gray})
+	ctx := context.Background()
+	f.SetGray(true)
+	start := time.Now()
+	if _, err := f.Probe(ctx, &proto.ProbeReq{}); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < gray {
+		t.Fatalf("gray call took %v, want >= %v", el, gray)
+	}
+	if f.Stats().Delayed.Load() == 0 {
+		t.Fatal("Delayed not counted")
+	}
+
+	// A canceled context aborts the injected sleep.
+	cctx, cancel := context.WithTimeout(ctx, time.Millisecond)
+	defer cancel()
+	if _, err := f.Probe(cctx, &proto.ProbeReq{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("gray call under deadline err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestFaultyHooksFireBeforeFaults: hooks observe the request on the
+// calling goroutine, even when the node is crashed, and a nil hook
+// uninstalls.
+func TestFaultyHooksFireBeforeFaults(t *testing.T) {
+	f := NewFaulty(newNode(t), FaultConfig{})
+	ctx := context.Background()
+	var seen []int32
+	f.SetHook(OpRead, func(req any) {
+		seen = append(seen, req.(*proto.ReadReq).Slot)
+	})
+	f.Crash()
+	f.Read(ctx, &proto.ReadReq{Stripe: 0, Slot: 3})
+	if len(seen) != 1 || seen[0] != 3 {
+		t.Fatalf("hook saw %v, want [3] (must fire even on a crashed node)", seen)
+	}
+	f.SetHook(OpRead, nil)
+	f.Read(ctx, &proto.ReadReq{Stripe: 0, Slot: 4})
+	if len(seen) != 1 {
+		t.Fatal("nil hook did not uninstall")
+	}
+}
+
+// TestFaultyComposesWithCounting checks both stacking orders:
+// Counting(Faulty(node)) accounts refused calls (faults happen "behind
+// the wire"), Faulty(Counting(node)) hides them (faults happen before
+// the wire).
+func TestFaultyComposesWithCounting(t *testing.T) {
+	ctx := context.Background()
+
+	ctr := &Counters{}
+	f := NewFaulty(newNode(t), FaultConfig{})
+	f.Crash()
+	outer := NewCounting(f, ctr)
+	if _, err := outer.Read(ctx, &proto.ReadReq{}); !errors.Is(err, proto.ErrNodeDown) {
+		t.Fatal("crash not propagated through Counting")
+	}
+	if ctr.Read.Calls.Load() != 1 {
+		t.Fatal("Counting outside Faulty must account the refused call")
+	}
+
+	ctr2 := &Counters{}
+	f2 := NewFaulty(NewCounting(newNode(t), ctr2), FaultConfig{})
+	f2.Crash()
+	if _, err := f2.Read(ctx, &proto.ReadReq{}); !errors.Is(err, proto.ErrNodeDown) {
+		t.Fatal("crash not injected")
+	}
+	if ctr2.Read.Calls.Load() != 0 {
+		t.Fatal("Faulty outside Counting must refuse before the call is accounted")
+	}
+}
+
+// TestFaultyConcurrentToggles hammers one wrapper from many goroutines
+// while another flips crash/partition/gray — the -race target for the
+// wrapper itself.
+func TestFaultyConcurrentToggles(t *testing.T) {
+	f := NewFaulty(newNode(t), FaultConfig{Seed: 7, ErrorRate: 0.05, Jitter: 10 * time.Microsecond})
+	ctx := context.Background()
+	const (
+		workers = 8
+		calls   = 200
+	)
+	var workersWG, togglerWG sync.WaitGroup
+	stop := make(chan struct{})
+	togglerWG.Add(1)
+	go func() {
+		defer togglerWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 6 {
+			case 0:
+				f.Crash()
+			case 1:
+				f.Restart()
+			case 2:
+				f.SetPartitioned(true)
+			case 3:
+				f.SetPartitioned(false)
+			case 4:
+				f.SetGray(true)
+			case 5:
+				f.SetGray(false)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		workersWG.Add(1)
+		go func(w int) {
+			defer workersWG.Done()
+			for i := 0; i < calls; i++ {
+				switch i % 3 {
+				case 0:
+					f.Read(ctx, &proto.ReadReq{Stripe: uint64(w), Slot: 0})
+				case 1:
+					f.Probe(ctx, &proto.ProbeReq{})
+				case 2:
+					f.GetState(ctx, &proto.GetStateReq{Stripe: uint64(w), Slot: 0})
+				}
+			}
+		}(w)
+	}
+	workersWG.Wait()
+	close(stop)
+	togglerWG.Wait()
+	if got := f.Stats().Calls.Load(); got != workers*calls {
+		t.Fatalf("Calls = %d, want %d", got, workers*calls)
+	}
+}
+
+// TestRandomScenarioDeterministic: the generator is a pure function of
+// its seed, bounds concurrent faults, and always ends fully healed.
+func TestRandomScenarioDeterministic(t *testing.T) {
+	const (
+		nodes         = 5
+		total         = time.Second
+		maxConcurrent = 2
+	)
+	a := RandomScenario(3, nodes, total, maxConcurrent)
+	b := RandomScenario(3, nodes, total, maxConcurrent)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different scenarios")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("scenario generated no events")
+	}
+	if reflect.DeepEqual(a, RandomScenario(4, nodes, total, maxConcurrent)) {
+		t.Fatal("different seeds produced identical scenarios")
+	}
+
+	// Simulate the schedule: concurrency stays bounded and every node
+	// ends healthy.
+	faulted := map[int]bool{}
+	for _, e := range a.Events {
+		if e.After > total {
+			t.Fatalf("event %+v beyond scenario end", e)
+		}
+		switch e.Act {
+		case ActCrash, ActPartition, ActSlow:
+			faulted[e.Node] = true
+		case ActRestart, ActHeal, ActNormal:
+			delete(faulted, e.Node)
+		}
+		if len(faulted) > maxConcurrent {
+			t.Fatalf("%d nodes faulted at once, cap %d", len(faulted), maxConcurrent)
+		}
+	}
+	if len(faulted) != 0 {
+		t.Fatalf("scenario left nodes %v faulted", faulted)
+	}
+}
+
+// TestScenarioRunHealsOnCancel: cancellation mid-run still applies the
+// pending heal-type events so no node stays faulted.
+func TestScenarioRunHealsOnCancel(t *testing.T) {
+	f := NewFaulty(newNode(t), FaultConfig{})
+	sc := Scenario{Events: []FaultEvent{
+		{After: 0, Node: 0, Act: ActCrash},
+		{After: time.Hour, Node: 0, Act: ActRestart},
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- sc.Run(ctx, []*Faulty{f}) }()
+	// Wait until the crash event landed, then cancel.
+	for i := 0; i < 1000 && !f.Down(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if !f.Down() {
+		t.Fatal("crash event never applied")
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run err = %v, want context.Canceled", err)
+	}
+	if f.Down() {
+		t.Fatal("pending restart not applied on cancellation")
+	}
+}

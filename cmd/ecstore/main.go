@@ -5,6 +5,12 @@
 //
 //	ecstore -nodes h1:7000,h2:7000,... -k 3 -n 5 [flags] <command> [args]
 //
+// With the default -groups=1, -nodes must list exactly n servers (one
+// per slot). With -groups=G (G > 1), -nodes is a site pool of any size
+// >= n: the address space is split into G stripe groups and each group
+// is placed on the n pool sites its rendezvous hash picks, so many
+// groups share a larger pool.
+//
 // Commands:
 //
 //	put <logical-block>         write stdin (padded) to one block
@@ -53,6 +59,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		mode      = fs.String("mode", "parallel", "update mode: serial|parallel|hybrid|broadcast")
 		timeout   = fs.Duration("timeout", 30*time.Second, "operation timeout")
 		stats     = fs.Bool("stats", false, "print a JSON metrics snapshot to stderr after the command")
+		groups    = fs.Int("groups", 1, "stripe groups to place over the node pool")
+		bpg       = fs.Uint64("blocks-per-group", 0, "blocks per stripe group (multiple of k; default k<<20)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,16 +81,34 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		defer func() { _ = reg.WriteJSON(os.Stderr) }()
 	}
 	addrs := strings.Split(*nodes, ",")
-	cluster, err := ecstore.ConnectCluster(ecstore.Options{
-		K: *k, N: *n, BlockSize: *blockSize, Mode: updateMode, Obs: reg,
-	}, addrs)
-	if err != nil {
-		return err
-	}
-	defer cluster.Close()
-	vol, err := cluster.Volume(uint32(*clientID))
-	if err != nil {
-		return err
+	var vol volumeAPI
+	if *groups > 1 {
+		sv, err := ecstore.ConnectShardedVolume(ecstore.ShardedOptions{
+			Options: ecstore.Options{
+				K: *k, N: *n, BlockSize: *blockSize, Mode: updateMode, Obs: reg,
+			},
+			Groups:         *groups,
+			BlocksPerGroup: *bpg,
+			ClientID:       uint32(*clientID),
+		}, addrs)
+		if err != nil {
+			return err
+		}
+		defer sv.Close()
+		vol = sv
+	} else {
+		cluster, err := ecstore.ConnectCluster(ecstore.Options{
+			K: *k, N: *n, BlockSize: *blockSize, Mode: updateMode, Obs: reg,
+		}, addrs)
+		if err != nil {
+			return err
+		}
+		defer cluster.Close()
+		v, err := cluster.Volume(uint32(*clientID))
+		if err != nil {
+			return err
+		}
+		vol = v
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -169,6 +195,19 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// volumeAPI is the command surface shared by a single-group
+// *ecstore.Volume and a multi-group *ecstore.ShardedVolume.
+type volumeAPI interface {
+	ReadBlock(ctx context.Context, logical uint64) ([]byte, error)
+	WriteBlock(ctx context.Context, logical uint64, data []byte) error
+	WriteAt(ctx context.Context, p []byte, off int64) (int, error)
+	Reader(ctx context.Context, off, nBytes int64) io.Reader
+	Recover(ctx context.Context, logical uint64) error
+	Monitor(ctx context.Context, maxAge time.Duration) (int, error)
+	Scrub(ctx context.Context) (clean, busy, repaired int, err error)
+	CollectGarbage(ctx context.Context) error
 }
 
 func parseMode(s string) (ecstore.UpdateMode, error) {

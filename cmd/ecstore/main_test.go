@@ -156,3 +156,54 @@ func TestCLIScrub(t *testing.T) {
 		t.Fatalf("scrub output: %q", out)
 	}
 }
+
+func TestCLISharded(t *testing.T) {
+	// A 7-server pool hosting 8 groups of n=4; each group uses the 4
+	// sites its rendezvous hash picks. One pass writes a block in
+	// several different groups and reads them back through fresh CLI
+	// invocations (placement must be deterministic across processes).
+	nodes := startCluster(t, 7)
+	sharded := []string{"-groups", "8", "-blocks-per-group", "8"}
+	for _, blk := range []string{"0", "9", "26", "63"} {
+		args := append(append([]string{}, sharded...), "put", blk)
+		if _, err := cli(t, nodes, "payload-"+blk, args...); err != nil {
+			t.Fatalf("put %s: %v", blk, err)
+		}
+	}
+	for _, blk := range []string{"0", "9", "26", "63"} {
+		args := append(append([]string{}, sharded...), "get", blk)
+		out, err := cli(t, nodes, "", args...)
+		if err != nil {
+			t.Fatalf("get %s: %v", blk, err)
+		}
+		if !strings.HasPrefix(out, "payload-"+blk) {
+			t.Fatalf("get %s returned %q", blk, out[:16])
+		}
+	}
+	// Streaming across a group boundary (blocks 7..8 span groups 0/1).
+	payload := strings.Repeat("0123456789abcdef", 10) // 160 bytes
+	args := append(append([]string{}, sharded...), "store", "450")
+	if _, err := cli(t, nodes, payload, args...); err != nil {
+		t.Fatal(err)
+	}
+	args = append(append([]string{}, sharded...), "fetch", "450", "160")
+	out, err := cli(t, nodes, "", args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != payload {
+		t.Fatalf("sharded fetch mismatch: %q", out)
+	}
+	// Maintenance commands route across every touched group.
+	for _, cmd := range []string{"gc", "scrub", "monitor"} {
+		args := append(append([]string{}, sharded...), cmd)
+		if _, err := cli(t, nodes, "", args...); err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+	}
+	// A pool smaller than n is rejected.
+	args = append([]string{"-groups", "2"}, "get", "0")
+	if _, err := cli(t, "a:1,b:2", "", args...); err == nil {
+		t.Fatal("pool smaller than n accepted")
+	}
+}

@@ -40,6 +40,7 @@ func main() {
 			"fig9a", "fig9b", "fig9c", "fig9d",
 			"fig10a", "fig10b", "fig10c", "fig10d",
 			"recovery", "latency", "readratio", "space", "ablation",
+			"multigroup",
 		}
 	}
 	var metricsFile *os.File
@@ -203,6 +204,10 @@ var runners = map[string]runner{
 			writes = 64
 		}
 		t, err := experiments.LatencyBreakdown(ctx, fig9Params(quick), writes)
+		return printTable(w, t, err)
+	},
+	"multigroup": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, err := experiments.MultiGroup(ctx, quick)
 		return printTable(w, t, err)
 	},
 	"ablation": func(ctx context.Context, w io.Writer, quick bool) error {

@@ -179,6 +179,7 @@ func NewLocalCluster(opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	dir.Instrument(opts.Obs)
 	c.dir = dir
 	return c, nil
 }
@@ -227,6 +228,7 @@ func ConnectCluster(opts Options, addrs []string) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	dir.Instrument(opts.Obs)
 	c.dir = dir
 	return c, nil
 }

@@ -117,6 +117,7 @@ func New(opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	dir.Instrument(opts.Obs)
 	c.Dir = dir
 
 	for i := 0; i < opts.Clients; i++ {

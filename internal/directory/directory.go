@@ -8,7 +8,9 @@ package directory
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"ecstore/internal/obs"
 	"ecstore/internal/proto"
 	"ecstore/internal/stripe"
 )
@@ -31,6 +33,20 @@ type Service struct {
 	nodes    []proto.StorageNode
 	remaps   []int // remap count per physical index
 	replacer Replacer
+
+	// metrics is nil until Instrument is called; loaded atomically so
+	// the resolve path stays lock-free about its own instrumentation.
+	metrics atomic.Pointer[dirMetrics]
+}
+
+// dirMetrics holds the directory's registered metrics. Several
+// directories instrumented into one registry aggregate, which is what
+// a multi-group volume wants: one remap series for the deployment.
+type dirMetrics struct {
+	resolves *obs.Counter
+	latency  *obs.Histogram
+	remaps   *obs.Counter
+	reports  *obs.Counter
 }
 
 // New builds a directory over the given physical nodes. The node count
@@ -52,16 +68,41 @@ func New(layout stripe.Layout, nodes []proto.StorageNode, replacer Replacer) (*S
 	}, nil
 }
 
+// Instrument registers the directory's metrics — resolve count and
+// latency, remap count, and failure reports received — in reg. A nil
+// registry is a no-op.
+func (s *Service) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.metrics.Store(&dirMetrics{
+		resolves: reg.Counter("directory.resolves"),
+		latency:  reg.Histogram("directory.resolve_latency"),
+		remaps:   reg.Counter("directory.remaps"),
+		reports:  reg.Counter("directory.failure_reports"),
+	})
+}
+
 // Layout returns the stripe layout the directory serves.
 func (s *Service) Layout() stripe.Layout { return s.layout }
 
 // Node resolves the storage node currently serving the given stripe
 // slot.
 func (s *Service) Node(stripeID uint64, slot int) (proto.StorageNode, error) {
+	m := s.metrics.Load()
+	var sp obs.Span
+	if m != nil {
+		sp = obs.StartSpan(m.latency)
+	}
 	phys := s.layout.PhysicalNode(stripeID, slot)
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.nodes[phys], nil
+	n := s.nodes[phys]
+	s.mu.RUnlock()
+	if m != nil {
+		m.resolves.Inc()
+		sp.End()
+	}
+	return n, nil
 }
 
 // Physical resolves a node by physical index (used by monitoring).
@@ -78,6 +119,10 @@ func (s *Service) Physical(phys int) proto.StorageNode {
 // against `seen` makes concurrent reports idempotent: only the first
 // one remaps.
 func (s *Service) ReportFailure(stripeID uint64, slot int, seen proto.StorageNode) {
+	m := s.metrics.Load()
+	if m != nil {
+		m.reports.Inc()
+	}
 	phys := s.layout.PhysicalNode(stripeID, slot)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -87,6 +132,9 @@ func (s *Service) ReportFailure(stripeID uint64, slot int, seen proto.StorageNod
 	if repl := s.replacer(phys); repl != nil {
 		s.nodes[phys] = repl
 		s.remaps[phys]++
+		if m != nil {
+			m.remaps.Inc()
+		}
 	}
 }
 
@@ -104,4 +152,7 @@ func (s *Service) ReplaceNode(phys int, n proto.StorageNode) {
 	defer s.mu.Unlock()
 	s.nodes[phys] = n
 	s.remaps[phys]++
+	if m := s.metrics.Load(); m != nil {
+		m.remaps.Inc()
+	}
 }

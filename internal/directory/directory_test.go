@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"ecstore/internal/obs"
 	"ecstore/internal/proto"
 	"ecstore/internal/storage"
 	"ecstore/internal/stripe"
@@ -188,5 +189,55 @@ func TestConcurrentReportsRaceSafely(t *testing.T) {
 	wg.Wait()
 	if calls != 1 {
 		t.Fatalf("replacer called %d times under concurrent reports, want 1", calls)
+	}
+}
+
+func TestInstrumentMetrics(t *testing.T) {
+	layout := stripe.MustLayout(2, 4)
+	nodes := newNodes(t, 4)
+	d, err := New(layout, nodes, func(phys int) proto.StorageNode {
+		return storage.MustNew(storage.Options{ID: "repl", BlockSize: 64, Replacement: true})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	d.Instrument(reg)
+
+	for s := uint64(0); s < 5; s++ {
+		if _, err := d.Node(s, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen, _ := d.Node(7, 2)
+	d.ReportFailure(7, 2, seen)
+	d.ReportFailure(7, 2, seen) // stale handle: counted as a report, not a remap
+	d.ReplaceNode(0, storage.MustNew(storage.Options{ID: "force", BlockSize: 64}))
+
+	snap := reg.Snapshot()
+	if got := snap["directory.resolves"].(uint64); got != 6 {
+		t.Fatalf("directory.resolves = %d, want 6", got)
+	}
+	if got := snap["directory.failure_reports"].(uint64); got != 2 {
+		t.Fatalf("directory.failure_reports = %d, want 2", got)
+	}
+	if got := snap["directory.remaps"].(uint64); got != 2 {
+		t.Fatalf("directory.remaps = %d, want 2 (one report-driven, one forced)", got)
+	}
+	hist := snap["directory.resolve_latency"].(*obs.HistogramSnapshot)
+	if hist.Count != 6 {
+		t.Fatalf("directory.resolve_latency count = %d, want 6", hist.Count)
+	}
+}
+
+func TestInstrumentNilRegistryNoop(t *testing.T) {
+	layout := stripe.MustLayout(2, 4)
+	d, err := New(layout, newNodes(t, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Instrument(nil)
+	if _, err := d.Node(0, 0); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ecstore/internal/volume"
+)
+
+// MultiGroup measures what sharding the store into rendezvous-placed
+// stripe groups buys over one monolithic group: placement balance
+// across the pool, and the blast radius of a single site failure (the
+// fraction of groups disturbed, which rendezvous hashing keeps at
+// roughly n/sites instead of 1).
+func MultiGroup(ctx context.Context, quick bool) (*Table, error) {
+	const (
+		k, n      = 2, 4
+		sites     = 12
+		blockSize = 1024
+	)
+	blocksPerGroup := uint64(64)
+	if quick {
+		blocksPerGroup = 16
+	}
+
+	t := &Table{
+		ID:    "multigroup",
+		Title: fmt.Sprintf("sharded volume over a %d-site pool (%d-of-%d groups)", sites, k, n),
+		Header: []string{
+			"groups", "site load min/max", "write MB/s", "read MB/s",
+			"groups hit by 1 crash", "recovered",
+		},
+		Notes: []string{
+			"site load: stripe-group slots hosted per site (rendezvous placement)",
+			"groups hit: groups whose site set contains the crashed site; only those remap",
+		},
+	}
+
+	for _, groups := range []int{1, 4, 16} {
+		l, err := volume.NewLocal(volume.LocalOptions{
+			K: k, N: n, BlockSize: blockSize,
+			Groups:         groups,
+			Sites:          sites,
+			BlocksPerGroup: blocksPerGroup,
+			RetryDelay:     50 * time.Microsecond,
+			Obs:            ObsRegistry(),
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		capacity := l.Capacity()
+		buf := make([]byte, blockSize)
+		start := time.Now()
+		for addr := uint64(0); addr < capacity; addr++ {
+			buf[0] = byte(addr)
+			if err := l.WriteBlock(ctx, addr, buf); err != nil {
+				return nil, err
+			}
+		}
+		writeMBs := mbs(capacity, blockSize, time.Since(start))
+		start = time.Now()
+		for addr := uint64(0); addr < capacity; addr++ {
+			if _, err := l.ReadBlock(ctx, addr); err != nil {
+				return nil, err
+			}
+		}
+		readMBs := mbs(capacity, blockSize, time.Since(start))
+
+		// Placement balance: slots hosted per site.
+		load := make(map[string]int, sites)
+		victim := ""
+		for g := 0; g < groups; g++ {
+			gs, err := l.GroupSites(uint64(g))
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range gs {
+				load[s.ID]++
+			}
+			if g == 0 {
+				victim = gs[0].ID
+			}
+		}
+		minLoad, maxLoad := -1, 0
+		for _, c := range load {
+			if minLoad < 0 || c < minLoad {
+				minLoad = c
+			}
+			if c > maxLoad {
+				maxLoad = c
+			}
+		}
+
+		hit := 0
+		for g := 0; g < groups; g++ {
+			gs, err := l.GroupSites(uint64(g))
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range gs {
+				if s.ID == victim {
+					hit++
+					break
+				}
+			}
+		}
+
+		// Crash the site and verify every block survives.
+		l.CrashSite(victim)
+		recovered := true
+		for addr := uint64(0); addr < capacity; addr++ {
+			got, err := l.ReadBlock(ctx, addr)
+			if err != nil || got[0] != byte(addr) {
+				recovered = false
+				break
+			}
+		}
+
+		t.Rows = append(t.Rows, []string{
+			icell(groups),
+			fmt.Sprintf("%d/%d", minLoad, maxLoad),
+			fcell(writeMBs),
+			fcell(readMBs),
+			fmt.Sprintf("%d of %d", hit, groups),
+			fmt.Sprintf("%v", recovered),
+		})
+		if err := l.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func mbs(blocks uint64, blockSize int, d time.Duration) float64 {
+	return float64(blocks) * float64(blockSize) / (1 << 20) / d.Seconds()
+}

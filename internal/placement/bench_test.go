@@ -1,0 +1,31 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPlace measures one group→nodes resolution over pools of
+// production-ish sizes. This cost is paid only on cache misses (first
+// touch of a group, or an epoch bump), but it bounds how fast a volume
+// can warm up G groups.
+func BenchmarkPlace(b *testing.B) {
+	for _, size := range []int{8, 64, 256} {
+		nodes := make([]Node, size)
+		for i := range nodes {
+			nodes[i] = Node{ID: fmt.Sprintf("node-%03d", i)}
+		}
+		p, err := NewPool(nodes...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("pool=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := p.Place(uint64(i), 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,30 @@
+package placement
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzKeyEncoding checks the injectivity claim EncodeKey's scoring
+// depends on: distinct (group, node) pairs must never hash from the
+// same bytes, or two different assignments would collapse onto one
+// rendezvous score. (A length-prefix bug or a delimiter-based encoding
+// with IDs containing the delimiter are the classic ways this breaks.)
+func FuzzKeyEncoding(f *testing.F) {
+	f.Add(uint64(0), "", uint64(0), "")
+	f.Add(uint64(1), "node-a", uint64(1), "node-b")
+	f.Add(uint64(0x0100), "x", uint64(0), "\x00\x00\x00\x00\x00\x00\x01\x00x")
+	f.Add(uint64(7), "s1", uint64(7), "s10")
+	f.Fuzz(func(t *testing.T, g1 uint64, id1 string, g2 uint64, id2 string) {
+		k1 := EncodeKey(g1, id1)
+		k2 := EncodeKey(g2, id2)
+		same := g1 == g2 && id1 == id2
+		if same != bytes.Equal(k1, k2) {
+			t.Fatalf("EncodeKey not injective: (%d,%q)->%x vs (%d,%q)->%x",
+				g1, id1, k1, g2, id2, k2)
+		}
+		if len(k1) != 8+len(id1) {
+			t.Fatalf("EncodeKey(%d,%q) has length %d, want %d", g1, id1, len(k1), 8+len(id1))
+		}
+	})
+}

@@ -1,0 +1,136 @@
+// Package placement assigns stripe groups to physical storage nodes
+// with weighted rendezvous (highest-random-weight, HRW) hashing.
+//
+// A single AJX stripe group is defined over exactly n nodes; scaling
+// past one group means spreading many groups over a larger pool and
+// routing clients to the right n-node subset. Rendezvous hashing gives
+// that mapping three properties the volume layer depends on:
+//
+//   - Determinism: any process that knows the pool membership computes
+//     the same group→nodes assignment — no coordination service.
+//   - Weighted balance: a node with twice the weight receives (in
+//     expectation) twice the share of group slots.
+//   - Minimal movement: removing one node relocates only the slots that
+//     node held; every other (group, node) pairing is untouched. This
+//     is what keeps repair traffic proportional to the failure, not to
+//     the pool size (cf. arXiv:1309.0186 on recovery network cost).
+//
+// Scores use Efraimidis–Spirakis keys: hash the (group, node) pair to
+// a uniform u in (0,1) and rank by -ln(u)/weight, smallest first. The
+// n best-ranked nodes serve the group, which makes the selection
+// exactly a weighted sampling of n nodes without replacement — the
+// multi-slot generalization of weighted rendezvous hashing. (The
+// classic -weight/ln(u) score is proportional only for the single
+// winner; under top-n selection it over-places heavy nodes.)
+package placement
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Node is a pool member: a physical storage site that can hold one
+// slot of a stripe group.
+type Node struct {
+	// ID uniquely names the node (an address, a hostname). Required.
+	ID string
+	// Weight scales the node's share of assignments. Zero means 1.
+	Weight float64
+}
+
+func (n Node) weight() float64 {
+	if n.Weight <= 0 {
+		return 1
+	}
+	return n.Weight
+}
+
+// EncodeKey produces the hash input for a (group, node) pair. The
+// encoding is injective — distinct pairs never encode equal — because
+// the group occupies a fixed-width prefix and the node ID follows
+// verbatim. (The CI fuzz target FuzzKeyEncoding exercises exactly this
+// property.)
+func EncodeKey(group uint64, nodeID string) []byte {
+	buf := make([]byte, 8+len(nodeID))
+	binary.BigEndian.PutUint64(buf, group)
+	copy(buf[8:], nodeID)
+	return buf
+}
+
+// finalize is a bijective avalanche mixer (the MurmurHash3/splitmix64
+// finalizer). FNV-1a alone is too weak here: node IDs in one pool
+// typically differ in a few trailing bytes ("host-1".."host-N"), and
+// raw FNV maps such near-identical keys to strongly correlated values,
+// which collapses the per-group score spread and skews placement.
+func finalize(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// score returns the weighted rendezvous score of node for group.
+// Lower wins. FNV-1a (plus finalize) is deterministic across processes
+// and architectures, unlike hash/maphash.
+func score(group uint64, n Node) float64 {
+	h := fnv.New64a()
+	h.Write(EncodeKey(group, n.ID))
+	// Map the top 53 bits to a uniform float in (0,1): the +0.5 keeps
+	// u strictly positive so ln(u) is finite.
+	u := (float64(finalize(h.Sum64())>>11) + 0.5) / (1 << 53)
+	return -math.Log(u) / n.weight()
+}
+
+// Rank orders the candidate nodes for a group, best first. The input
+// slice is not modified. Ties (possible only through hash collision)
+// break by ID so the order stays total and deterministic.
+func Rank(group uint64, nodes []Node) []Node {
+	type scored struct {
+		n Node
+		s float64
+	}
+	ranked := make([]scored, len(nodes))
+	for i, n := range nodes {
+		ranked[i] = scored{n: n, s: score(group, n)}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].s != ranked[j].s {
+			return ranked[i].s < ranked[j].s
+		}
+		return ranked[i].n.ID < ranked[j].n.ID
+	})
+	out := make([]Node, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.n
+	}
+	return out
+}
+
+// Assign returns the n distinct nodes serving a group, best-ranked
+// first. It fails if the candidate set has fewer than n members or a
+// duplicate ID (duplicates would let one physical node hold two slots
+// of the same stripe, silently halving the failure budget).
+func Assign(group uint64, nodes []Node, n int) ([]Node, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("placement: need n >= 1, got %d", n)
+	}
+	seen := make(map[string]struct{}, len(nodes))
+	for _, node := range nodes {
+		if node.ID == "" {
+			return nil, fmt.Errorf("placement: node with empty ID")
+		}
+		if _, dup := seen[node.ID]; dup {
+			return nil, fmt.Errorf("placement: duplicate node ID %q", node.ID)
+		}
+		seen[node.ID] = struct{}{}
+	}
+	if len(nodes) < n {
+		return nil, fmt.Errorf("placement: pool has %d nodes, group needs %d", len(nodes), n)
+	}
+	return Rank(group, nodes)[:n], nil
+}

@@ -1,0 +1,133 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ecstore/internal/obs"
+)
+
+// Pool is a mutable, epoch-versioned node membership. Every
+// membership change (add or remove) bumps the epoch; consumers cache
+// group→nodes resolutions tagged with the epoch and re-resolve only
+// when it moves, so the steady-state routing path never touches the
+// pool lock for placement math.
+type Pool struct {
+	mu    sync.RWMutex
+	epoch uint64
+	nodes map[string]Node
+
+	resolves *obs.Counter
+	latency  *obs.Histogram
+}
+
+// NewPool builds a pool from the initial membership. IDs must be
+// non-empty and unique.
+func NewPool(nodes ...Node) (*Pool, error) {
+	p := &Pool{nodes: make(map[string]Node, len(nodes))}
+	for _, n := range nodes {
+		if n.ID == "" {
+			return nil, fmt.Errorf("placement: node with empty ID")
+		}
+		if _, dup := p.nodes[n.ID]; dup {
+			return nil, fmt.Errorf("placement: duplicate node ID %q", n.ID)
+		}
+		p.nodes[n.ID] = n
+	}
+	return p, nil
+}
+
+// Instrument registers the pool's metrics: resolve count and latency,
+// plus live epoch and size gauges. Safe to call on an already-used
+// pool; a nil registry is a no-op.
+func (p *Pool) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.mu.Lock()
+	p.resolves = reg.Counter("placement.resolves")
+	p.latency = reg.Histogram("placement.resolve_latency")
+	p.mu.Unlock()
+	reg.Func("placement.epoch", func() int64 { return int64(p.Epoch()) })
+	reg.Func("placement.pool_size", func() int64 { return int64(p.Size()) })
+}
+
+// Epoch returns the current membership version. It starts at 0 and
+// increases by one per Add or Remove.
+func (p *Pool) Epoch() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.epoch
+}
+
+// Size returns the current number of members.
+func (p *Pool) Size() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.nodes)
+}
+
+// Nodes returns the current membership sorted by ID.
+func (p *Pool) Nodes() []Node {
+	p.mu.RLock()
+	out := make([]Node, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		out = append(out, n)
+	}
+	p.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Add introduces a node and bumps the epoch.
+func (p *Pool) Add(n Node) error {
+	if n.ID == "" {
+		return fmt.Errorf("placement: node with empty ID")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.nodes[n.ID]; dup {
+		return fmt.Errorf("placement: node %q already in pool", n.ID)
+	}
+	p.nodes[n.ID] = n
+	p.epoch++
+	return nil
+}
+
+// Remove drops a node (failure or drain) and bumps the epoch. Removing
+// an unknown node is an error so concurrent failure reports can tell
+// who actually retired it.
+func (p *Pool) Remove(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.nodes[id]; !ok {
+		return fmt.Errorf("placement: node %q not in pool", id)
+	}
+	delete(p.nodes, id)
+	p.epoch++
+	return nil
+}
+
+// Place resolves the n distinct nodes serving a group under the
+// current membership, best-ranked first, together with the epoch the
+// resolution is valid for. Callers cache the result and re-resolve
+// when Epoch() moves past the returned value.
+func (p *Pool) Place(group uint64, n int) ([]Node, uint64, error) {
+	p.mu.RLock()
+	resolves, latency := p.resolves, p.latency
+	epoch := p.epoch
+	nodes := make([]Node, 0, len(p.nodes))
+	for _, node := range p.nodes {
+		nodes = append(nodes, node)
+	}
+	p.mu.RUnlock()
+	sp := obs.StartSpan(latency)
+	assigned, err := Assign(group, nodes, n)
+	if err != nil {
+		return nil, epoch, err
+	}
+	resolves.Inc()
+	sp.End()
+	return assigned, epoch, nil
+}

@@ -1,0 +1,55 @@
+package volume
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkVolume16KiB measures 16 KiB stripe-aligned writes and reads
+// through a 1-group and an 8-group volume (K=4, 4 KiB blocks: one op
+// is exactly one stripe). The delta between the two is the cost of the
+// volume routing layer — address split, group lookup, epoch check —
+// which should be noise against the erasure-coded write itself.
+func BenchmarkVolume16KiB(b *testing.B) {
+	for _, groups := range []int{1, 8} {
+		l, err := NewLocal(LocalOptions{
+			K: 4, N: 6, BlockSize: 4096,
+			Groups:         groups,
+			Sites:          12,
+			BlocksPerGroup: 1 << 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		payload := make([]byte, 16<<10)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		stripeBytes := int64(len(payload))
+		spanBlocks := uint64(4)
+		capBlocks := l.Capacity()
+
+		b.Run(fmt.Sprintf("write/groups=%d", groups), func(b *testing.B) {
+			b.SetBytes(stripeBytes)
+			for i := 0; i < b.N; i++ {
+				addr := (uint64(i) * spanBlocks) % capBlocks
+				if _, err := l.WriteAt(ctx, payload, int64(addr)*4096); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("read/groups=%d", groups), func(b *testing.B) {
+			b.SetBytes(stripeBytes)
+			buf := make([]byte, len(payload))
+			for i := 0; i < b.N; i++ {
+				addr := (uint64(i) * spanBlocks) % capBlocks
+				if _, err := l.ReadAt(ctx, buf, int64(addr)*4096); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		_ = l.Close()
+	}
+}

@@ -1,0 +1,604 @@
+// Package volume scales the AJX protocol past a single stripe group.
+//
+// The paper defines the protocol over one k-of-n group: one directory,
+// one set of n nodes. A Volume multiplexes G such groups over a larger
+// physical node pool: a flat block address space is split into
+// contiguous group-sized extents (group = addr / BlocksPerGroup), each
+// group is deterministically assigned n distinct pool sites by
+// weighted rendezvous hashing (internal/placement), and every group
+// runs the unmodified per-group machinery — its own directory.Service
+// and core.Client — over its assigned sites.
+//
+// Stripe IDs are namespaced per group (group in the high bits) so two
+// groups sharing a physical site never collide in its block store.
+//
+// Placement resolutions are cached per group and tagged with the
+// pool's membership epoch; a pool change (add, remove, failure)
+// invalidates lazily on the next access, and only the slots whose site
+// actually changed are remapped — the rendezvous hash's minimal-
+// movement property keeps that set small. A remapped slot gets a fresh
+// INIT shard on its new site, and the paper's Section 3.5 recovery
+// path rebuilds the lost blocks online, exactly as it would after a
+// single-group node replacement.
+package volume
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecstore/internal/core"
+	"ecstore/internal/directory"
+	"ecstore/internal/erasure"
+	"ecstore/internal/obs"
+	"ecstore/internal/placement"
+	"ecstore/internal/proto"
+	"ecstore/internal/resilience"
+	"ecstore/internal/stripe"
+)
+
+// groupShift positions the group ID in the high bits of a stripe ID.
+// Local stripe numbers keep the low 40 bits (a trillion stripes per
+// group); group IDs get the high 24.
+const groupShift = 40
+
+// Options configures a Volume.
+type Options struct {
+	// K, N are the per-group erasure code parameters. Required.
+	K, N int
+	// BlockSize in bytes. Required.
+	BlockSize int
+	// Groups is the number of stripe groups G. Required (>= 1).
+	Groups int
+	// BlocksPerGroup sizes each group's extent of the flat address
+	// space. Must be a multiple of K (stripes never straddle groups).
+	// Defaults to K << 20.
+	BlocksPerGroup uint64
+	// Pool is the physical site membership groups are placed over.
+	// Required; it must hold at least N sites.
+	Pool *placement.Pool
+	// OpenShard returns the storage handle for one group's slot on a
+	// site. Required. With replacement=true the handle must behave as
+	// a fresh INIT node (paper Section 3.5) — deployments that cannot
+	// provision INIT shards (plain TCP fan-out) should return an error,
+	// which leaves the old mapping in place.
+	OpenShard func(site placement.Node, group uint64, replacement bool) (proto.StorageNode, error)
+	// NoRemap disables failure-driven site retirement: a dead site
+	// stays mapped and clients keep erroring (degraded reads still
+	// work). Administrative pool changes still refresh placements.
+	NoRemap bool
+
+	// ClientID identifies this volume's protocol clients. Defaults 1.
+	ClientID proto.ClientID
+	// Mode, TP, Multicast, RetryDelay, Retry configure each group's
+	// core.Client exactly as in core.Config.
+	Mode       resilience.UpdateMode
+	TP         int
+	Multicast  proto.Multicaster
+	RetryDelay time.Duration
+	Retry      core.RetryPolicy
+	// Obs collects metrics across every layer: placement resolves,
+	// per-group directories (aggregated), protocol clients, and the
+	// volume's own routing counters.
+	Obs *obs.Registry
+}
+
+func (o *Options) validate() error {
+	switch {
+	case o.K < 1 || o.N <= o.K:
+		return fmt.Errorf("volume: invalid code K=%d N=%d", o.K, o.N)
+	case o.BlockSize <= 0:
+		return fmt.Errorf("volume: BlockSize must be positive, got %d", o.BlockSize)
+	case o.Groups < 1:
+		return fmt.Errorf("volume: Groups must be >= 1, got %d", o.Groups)
+	case o.Groups >= 1<<(64-groupShift):
+		return fmt.Errorf("volume: Groups %d exceeds the %d-bit namespace", o.Groups, 64-groupShift)
+	case o.Pool == nil:
+		return errors.New("volume: Pool is required")
+	case o.OpenShard == nil:
+		return errors.New("volume: OpenShard is required")
+	}
+	if o.BlocksPerGroup == 0 {
+		o.BlocksPerGroup = uint64(o.K) << 20
+	}
+	if o.BlocksPerGroup%uint64(o.K) != 0 {
+		return fmt.Errorf("volume: BlocksPerGroup %d must be a multiple of K=%d", o.BlocksPerGroup, o.K)
+	}
+	if o.BlocksPerGroup/uint64(o.K) > 1<<groupShift {
+		return fmt.Errorf("volume: BlocksPerGroup %d exceeds %d stripes per group", o.BlocksPerGroup, uint64(1)<<groupShift)
+	}
+	if o.ClientID == 0 {
+		o.ClientID = 1
+	}
+	return nil
+}
+
+// Volume routes a flat block address space across G stripe groups.
+// It is safe for concurrent use.
+type Volume struct {
+	opts   Options
+	code   *erasure.Code
+	layout stripe.Layout
+
+	mu     sync.Mutex
+	groups map[uint64]*group
+
+	groupInits    *obs.Counter
+	remappedSlots *obs.Counter
+	refreshErrors *obs.Counter
+}
+
+// New builds a volume. Groups are instantiated lazily on first access,
+// so a freshly built volume costs nothing per group.
+func New(opts Options) (*Volume, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	code, err := erasure.New(opts.K, opts.N)
+	if err != nil {
+		return nil, err
+	}
+	v := &Volume{
+		opts:   opts,
+		code:   code,
+		layout: stripe.MustLayout(opts.K, opts.N),
+		groups: make(map[uint64]*group),
+	}
+	if reg := opts.Obs; reg != nil {
+		opts.Pool.Instrument(reg)
+		v.groupInits = reg.Counter("volume.group_inits")
+		v.remappedSlots = reg.Counter("volume.remapped_slots")
+		v.refreshErrors = reg.Counter("volume.refresh_errors")
+		reg.Func("volume.groups_active", func() int64 {
+			v.mu.Lock()
+			defer v.mu.Unlock()
+			return int64(len(v.groups))
+		})
+	}
+	return v, nil
+}
+
+// BlockSize returns the volume's block size in bytes.
+func (v *Volume) BlockSize() int { return v.opts.BlockSize }
+
+// Groups returns the configured group count G.
+func (v *Volume) Groups() int { return v.opts.Groups }
+
+// Capacity returns the number of addressable blocks (G * BlocksPerGroup).
+func (v *Volume) Capacity() uint64 {
+	return uint64(v.opts.Groups) * v.opts.BlocksPerGroup
+}
+
+// locate routes a flat block address to its owning group and the
+// group-namespaced (stripe, slot) pair.
+func (v *Volume) locate(addr uint64) (g uint64, stripeID uint64, slot int, err error) {
+	g = addr / v.opts.BlocksPerGroup
+	if g >= uint64(v.opts.Groups) {
+		return 0, 0, 0, fmt.Errorf("volume: address %d beyond capacity %d", addr, v.Capacity())
+	}
+	local := addr % v.opts.BlocksPerGroup
+	ls, slot := v.layout.Locate(local)
+	return g, g<<groupShift | ls, slot, nil
+}
+
+// ReadBlock reads one block of the flat address space.
+func (v *Volume) ReadBlock(ctx context.Context, addr uint64) ([]byte, error) {
+	g, stripeID, slot, err := v.locate(addr)
+	if err != nil {
+		return nil, err
+	}
+	grp, err := v.group(g)
+	if err != nil {
+		return nil, err
+	}
+	return grp.cl.ReadBlock(ctx, stripeID, slot)
+}
+
+// WriteBlock writes one block. data must be exactly BlockSize bytes.
+func (v *Volume) WriteBlock(ctx context.Context, addr uint64, data []byte) error {
+	g, stripeID, slot, err := v.locate(addr)
+	if err != nil {
+		return err
+	}
+	grp, err := v.group(g)
+	if err != nil {
+		return err
+	}
+	return grp.cl.WriteBlock(ctx, stripeID, slot, data)
+}
+
+// Recover forces recovery of the stripe containing addr. A recovery
+// already running elsewhere is not an error.
+func (v *Volume) Recover(ctx context.Context, addr uint64) error {
+	g, stripeID, _, err := v.locate(addr)
+	if err != nil {
+		return err
+	}
+	grp, err := v.group(g)
+	if err != nil {
+		return err
+	}
+	if err := grp.cl.Recover(ctx, stripeID); err != nil && !errors.Is(err, core.ErrRecoveryBusy) {
+		return err
+	}
+	return nil
+}
+
+// ReadAt reads len(p) bytes at byte offset off, spanning blocks and
+// groups as needed.
+func (v *Volume) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("volume: negative offset")
+	}
+	bs := int64(v.opts.BlockSize)
+	read := 0
+	for read < len(p) {
+		pos := off + int64(read)
+		within := pos % bs
+		blk, err := v.ReadBlock(ctx, uint64(pos/bs))
+		if err != nil {
+			return read, err
+		}
+		read += copy(p[read:], blk[within:])
+	}
+	return read, nil
+}
+
+// WriteAt writes p at byte offset off. Stripe-aligned full-stripe
+// spans go through the batched stripe write (Section 3.11); partial
+// head and tail blocks are read-modify-written (not atomic against
+// concurrent writers of the same block).
+func (v *Volume) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("volume: negative offset")
+	}
+	bs := int64(v.opts.BlockSize)
+	k := int64(v.opts.K)
+	stripeBytes := bs * k
+	written := 0
+	for written < len(p) {
+		pos := off + int64(written)
+		within := pos % bs
+		addr := uint64(pos / bs)
+
+		// Fast path: a stripe-aligned span of k whole blocks. Group
+		// extents are stripe-aligned (BlocksPerGroup % K == 0), so the
+		// span never straddles groups.
+		if within == 0 && pos%stripeBytes == 0 && int64(len(p)-written) >= stripeBytes {
+			g, stripeID, _, err := v.locate(addr)
+			if err != nil {
+				return written, err
+			}
+			grp, err := v.group(g)
+			if err != nil {
+				return written, err
+			}
+			values := make([][]byte, k)
+			for i := int64(0); i < k; i++ {
+				values[i] = p[written+int(i*bs) : written+int((i+1)*bs)]
+			}
+			if err := grp.cl.WriteStripe(ctx, stripeID, values); err != nil {
+				return written, err
+			}
+			written += int(stripeBytes)
+			continue
+		}
+
+		var blk []byte
+		if within == 0 && len(p)-written >= int(bs) {
+			blk = p[written : written+int(bs)]
+		} else {
+			old, err := v.ReadBlock(ctx, addr)
+			if err != nil {
+				return written, err
+			}
+			blk = old
+			copy(blk[within:], p[written:])
+		}
+		if err := v.WriteBlock(ctx, addr, blk); err != nil {
+			return written, err
+		}
+		written += int(min(int64(len(p)-written), bs-within))
+	}
+	return written, nil
+}
+
+// CollectGarbage runs one GC pass in every instantiated group.
+func (v *Volume) CollectGarbage(ctx context.Context) error {
+	for _, grp := range v.activeGroups() {
+		if _, err := grp.cl.CollectGarbage(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Monitor probes every instantiated group's touched stripes, returning
+// the total number of stripes recovered.
+func (v *Volume) Monitor(ctx context.Context, maxAge time.Duration) (int, error) {
+	total := 0
+	for _, grp := range v.activeGroups() {
+		report, err := grp.cl.MonitorTracked(ctx, maxAge)
+		if err != nil {
+			return total, err
+		}
+		total += len(report.Recovered)
+	}
+	return total, nil
+}
+
+// Scrub audits every instantiated group's touched stripes.
+func (v *Volume) Scrub(ctx context.Context) (clean, busy, repaired int, err error) {
+	for _, grp := range v.activeGroups() {
+		c, b, r, err := grp.cl.ScrubTracked(ctx)
+		clean += c
+		busy += b
+		repaired += r
+		if err != nil {
+			return clean, busy, repaired, err
+		}
+	}
+	return clean, busy, repaired, nil
+}
+
+// GroupStats returns the protocol counters of one group's client, or
+// nil if the group was never touched.
+func (v *Volume) GroupStats(g uint64) *core.ClientStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if grp, ok := v.groups[g]; ok {
+		return grp.cl.Stats()
+	}
+	return nil
+}
+
+// GroupSites resolves (instantiating if needed) the sites serving a
+// group, indexed by physical slot.
+func (v *Volume) GroupSites(g uint64) ([]placement.Node, error) {
+	if g >= uint64(v.opts.Groups) {
+		return nil, fmt.Errorf("volume: group %d out of range [0,%d)", g, v.opts.Groups)
+	}
+	grp, err := v.group(g)
+	if err != nil {
+		return nil, err
+	}
+	grp.pmu.Lock()
+	defer grp.pmu.Unlock()
+	return append([]placement.Node(nil), grp.sites...), nil
+}
+
+func (v *Volume) activeGroups() []*group {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]*group, 0, len(v.groups))
+	for _, grp := range v.groups {
+		out = append(out, grp)
+	}
+	return out
+}
+
+// --- per-group state ---------------------------------------------------------
+
+// group is one stripe group's slice of the volume: a directory over
+// its n assigned sites and a protocol client, plus the epoch-tagged
+// placement cache.
+type group struct {
+	v   *Volume
+	id  uint64
+	dir *directory.Service
+	cl  *core.Client
+
+	// epoch is the pool epoch the cached placement reflects.
+	epoch atomic.Uint64
+
+	// pmu guards sites. It is held only for short reads/writes of the
+	// slice, never across directory, pool, or OpenShard calls, so it
+	// cannot participate in a lock cycle with any of them.
+	pmu   sync.Mutex
+	sites []placement.Node // physical slot -> site
+
+	// refreshMu serializes placement refreshes.
+	refreshMu sync.Mutex
+}
+
+// group returns the per-group state, instantiating it on first touch
+// and refreshing its placement if the pool epoch moved.
+func (v *Volume) group(g uint64) (*group, error) {
+	v.mu.Lock()
+	grp, ok := v.groups[g]
+	if !ok {
+		var err error
+		grp, err = v.initGroup(g)
+		if err != nil {
+			v.mu.Unlock()
+			return nil, err
+		}
+		v.groups[g] = grp
+	}
+	v.mu.Unlock()
+	if err := grp.ensureFresh(); err != nil {
+		return nil, err
+	}
+	return grp, nil
+}
+
+// initGroup resolves the group's placement and assembles its directory
+// and client. Called with v.mu held.
+func (v *Volume) initGroup(g uint64) (*group, error) {
+	placed, epoch, err := v.opts.Pool.Place(g, v.opts.N)
+	if err != nil {
+		return nil, fmt.Errorf("volume: place group %d: %w", g, err)
+	}
+	handles := make([]proto.StorageNode, len(placed))
+	for i, site := range placed {
+		h, err := v.opts.OpenShard(site, g, false)
+		if err != nil {
+			return nil, fmt.Errorf("volume: open shard %s/g%d: %w", site.ID, g, err)
+		}
+		handles[i] = h
+	}
+	grp := &group{v: v, id: g, sites: placed}
+	grp.epoch.Store(epoch)
+	dir, err := directory.New(v.layout, handles, nil)
+	if err != nil {
+		return nil, err
+	}
+	dir.Instrument(v.opts.Obs)
+	grp.dir = dir
+	cl, err := core.NewClient(core.Config{
+		ID:         v.opts.ClientID,
+		Code:       v.code,
+		Resolver:   (*groupResolver)(grp),
+		BlockSize:  v.opts.BlockSize,
+		Mode:       v.opts.Mode,
+		TP:         v.opts.TP,
+		Multicast:  v.opts.Multicast,
+		RetryDelay: v.opts.RetryDelay,
+		Retry:      v.opts.Retry,
+		Obs:        v.opts.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	grp.cl = cl
+	v.groupInits.Inc()
+	return grp, nil
+}
+
+// ensureFresh refreshes the cached placement when the pool epoch has
+// moved. The fast path is one atomic load.
+func (g *group) ensureFresh() error {
+	if g.epoch.Load() == g.v.opts.Pool.Epoch() {
+		return nil
+	}
+	return g.refresh()
+}
+
+// refresh re-resolves the group's placement and remaps only the slots
+// whose site changed: surviving sites keep their slots (and their
+// data), incoming sites take the vacated slots with fresh INIT shards
+// that per-stripe recovery then rebuilds. Slot stability matters
+// because the directory's physical indices are baked into the stripe
+// rotation — moving an unaffected site to a different slot would
+// orphan its blocks.
+func (g *group) refresh() error {
+	g.refreshMu.Lock()
+	defer g.refreshMu.Unlock()
+	v := g.v
+
+	placed, epoch, err := v.opts.Pool.Place(g.id, v.opts.N)
+	if err != nil {
+		v.refreshErrors.Inc()
+		return fmt.Errorf("volume: refresh group %d: %w", g.id, err)
+	}
+	if g.epoch.Load() == epoch {
+		return nil
+	}
+
+	g.pmu.Lock()
+	current := append([]placement.Node(nil), g.sites...)
+	g.pmu.Unlock()
+
+	incoming := make(map[string]placement.Node, len(placed))
+	for _, site := range placed {
+		incoming[site.ID] = site
+	}
+	// Sites that keep their slot drop out of `incoming`; the rest of
+	// `incoming`, in rank order, fills the vacated slots.
+	vacated := make([]int, 0, len(current))
+	for slot, site := range current {
+		if _, still := incoming[site.ID]; still {
+			delete(incoming, site.ID)
+		} else {
+			vacated = append(vacated, slot)
+		}
+	}
+	type install struct {
+		slot   int
+		site   placement.Node
+		handle proto.StorageNode
+	}
+	var installs []install
+	i := 0
+	for _, site := range placed {
+		if _, isNew := incoming[site.ID]; !isNew {
+			continue
+		}
+		slot := vacated[i]
+		i++
+		h, err := v.opts.OpenShard(site, g.id, true)
+		if err != nil {
+			// Cannot provision an INIT shard here (e.g. a TCP pool):
+			// keep the old mapping for this slot and stay stale so the
+			// next access retries.
+			v.refreshErrors.Inc()
+			return fmt.Errorf("volume: open replacement shard %s/g%d: %w", site.ID, g.id, err)
+		}
+		installs = append(installs, install{slot: slot, site: site, handle: h})
+	}
+
+	g.pmu.Lock()
+	for _, in := range installs {
+		g.sites[in.slot] = in.site
+	}
+	g.pmu.Unlock()
+	for _, in := range installs {
+		g.dir.ReplaceNode(in.slot, in.handle)
+		v.remappedSlots.Inc()
+	}
+	g.epoch.Store(epoch)
+	return nil
+}
+
+// retire reports that the site serving a physical slot appears dead.
+// The first reporter (across all groups) removes it from the pool;
+// the epoch bump then lazily remaps every affected group, this one
+// included, through the ordinary refresh path.
+func (g *group) retire(phys int, seen proto.StorageNode) {
+	v := g.v
+	if v.opts.NoRemap {
+		return
+	}
+	g.pmu.Lock()
+	if phys < 0 || phys >= len(g.sites) {
+		g.pmu.Unlock()
+		return
+	}
+	site := g.sites[phys]
+	g.pmu.Unlock()
+	// Idempotence: only retire if the reporter was actually using the
+	// handle currently mapped for that slot (mirrors the directory's
+	// own stale-report guard).
+	if h := g.dir.Physical(phys); h != seen {
+		return
+	}
+	_ = v.opts.Pool.Remove(site.ID) // already-gone is fine: someone else retired it
+	_ = g.ensureFresh()             // best effort; errors surface on the next operation
+}
+
+// --- resolver ----------------------------------------------------------------
+
+// groupResolver adapts a group to core.Resolver: resolves through the
+// group's directory and turns failure reports into pool retirement +
+// placement refresh instead of the single-cluster replacer path.
+type groupResolver group
+
+func (r *groupResolver) Node(stripeID uint64, slot int) (proto.StorageNode, error) {
+	g := (*group)(r)
+	// Best-effort refresh: a stale placement still resolves, and the
+	// operation may succeed on surviving sites (a degraded read needs
+	// only k of them).
+	_ = g.ensureFresh()
+	return g.dir.Node(stripeID, slot)
+}
+
+func (r *groupResolver) ReportFailure(stripeID uint64, slot int, seen proto.StorageNode) {
+	g := (*group)(r)
+	// Count the report in the directory's metrics (its replacer is nil,
+	// so this never remaps by itself).
+	g.dir.ReportFailure(stripeID, slot, seen)
+	g.retire(g.dir.Layout().PhysicalNode(stripeID, slot), seen)
+}

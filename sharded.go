@@ -1,0 +1,272 @@
+package ecstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"ecstore/internal/core"
+	"ecstore/internal/placement"
+	"ecstore/internal/proto"
+	"ecstore/internal/rpc"
+	"ecstore/internal/transport"
+	"ecstore/internal/volume"
+)
+
+// ShardedOptions configures a sharded volume: Groups independent AJX
+// stripe groups multiplexed over one site pool, each group placed on N
+// of the sites by weighted rendezvous hashing.
+type ShardedOptions struct {
+	Options
+	// Groups is the number of stripe groups. Required (>= 1).
+	Groups int
+	// BlocksPerGroup sizes each group's extent of the flat address
+	// space (must be a multiple of K). Defaults to K << 20.
+	BlocksPerGroup uint64
+	// ClientID identifies this volume's protocol clients. Defaults 1.
+	ClientID uint32
+	// Sites is the pool size of a local sharded volume. Defaults to N.
+	Sites int
+	// SiteWeights optionally skews placement toward bigger local sites
+	// (len must equal Sites).
+	SiteWeights []float64
+}
+
+// ShardedVolume is a flat block address space striped across many
+// groups. Block addr lives in group addr/BlocksPerGroup; each group
+// runs the unmodified single-group protocol over its assigned sites.
+// Safe for concurrent use.
+type ShardedVolume struct {
+	vol   *volume.Volume
+	local *volume.Local // non-nil when built by NewLocalShardedVolume
+	conns []*rpc.Client // non-nil when built by ConnectShardedVolume
+}
+
+// NewLocalShardedVolume builds an in-process sharded volume over Sites
+// in-memory hosts. A crashed or removed site is retired from the pool
+// and only the groups placed on it remap (to fresh INIT shards that
+// recovery then rebuilds) — the rendezvous hash leaves every other
+// group's placement untouched.
+func NewLocalShardedVolume(opts ShardedOptions) (*ShardedVolume, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	l, err := volume.NewLocal(volume.LocalOptions{
+		K: opts.K, N: opts.N, BlockSize: opts.BlockSize,
+		Groups:         opts.Groups,
+		Sites:          opts.Sites,
+		SiteWeights:    opts.SiteWeights,
+		BlocksPerGroup: opts.BlocksPerGroup,
+		Mode:           opts.Mode,
+		TP:             opts.TP,
+		ClientID:       proto.ClientID(opts.ClientID),
+		Multicast:      transport.Parallel{},
+		LockLease:      opts.LockLease,
+		Obs:            opts.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedVolume{vol: l.Volume, local: l}, nil
+}
+
+// ConnectShardedVolume places Groups stripe groups over a pool of
+// storaged servers, one site per address (the pool may be any size
+// >= N; each group uses the N sites the rendezvous hash assigns it).
+// One connection per address is shared by every group placed on it;
+// group-namespaced stripe IDs keep their key spaces disjoint.
+//
+// Failed sites are not remapped automatically — a TCP pool cannot
+// provision INIT replacement shards on demand. Degraded reads still
+// work; repair the site and the groups pick it back up.
+func ConnectShardedVolume(opts ShardedOptions, addrs []string) (*ShardedVolume, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	if len(addrs) < opts.N {
+		return nil, fmt.Errorf("ecstore: %d addresses cannot host %d-node groups", len(addrs), opts.N)
+	}
+	var rpcm *rpc.Metrics
+	if opts.Obs != nil {
+		rpcm = rpc.NewMetrics(opts.Obs, "rpc")
+	}
+	sv := &ShardedVolume{}
+	sites := make([]placement.Node, len(addrs))
+	conns := make(map[string]*rpc.Client, len(addrs))
+	for i, addr := range addrs {
+		cl := rpc.Dial(addr, rpc.WithMetrics(rpcm))
+		sv.conns = append(sv.conns, cl)
+		conns[addr] = cl
+		sites[i] = placement.Node{ID: addr}
+	}
+	pool, err := placement.NewPool(sites...)
+	if err != nil {
+		for _, c := range sv.conns {
+			_ = c.Close()
+		}
+		return nil, err
+	}
+	v, err := volume.New(volume.Options{
+		K: opts.K, N: opts.N, BlockSize: opts.BlockSize,
+		Groups:         opts.Groups,
+		BlocksPerGroup: opts.BlocksPerGroup,
+		Pool:           pool,
+		OpenShard: func(site placement.Node, group uint64, replacement bool) (proto.StorageNode, error) {
+			if replacement {
+				return nil, errors.New("ecstore: TCP pools cannot provision replacement shards")
+			}
+			return conns[site.ID], nil
+		},
+		NoRemap:   true,
+		ClientID:  proto.ClientID(opts.ClientID),
+		Mode:      opts.Mode,
+		TP:        opts.TP,
+		Multicast: transport.Parallel{},
+		Obs:       opts.Obs,
+	})
+	if err != nil {
+		for _, c := range sv.conns {
+			_ = c.Close()
+		}
+		return nil, err
+	}
+	sv.vol = v
+	return sv, nil
+}
+
+// BlockSize returns the volume's block size in bytes.
+func (v *ShardedVolume) BlockSize() int { return v.vol.BlockSize() }
+
+// Groups returns the configured group count.
+func (v *ShardedVolume) Groups() int { return v.vol.Groups() }
+
+// Capacity returns the number of addressable blocks.
+func (v *ShardedVolume) Capacity() uint64 { return v.vol.Capacity() }
+
+// ReadBlock reads one block. Unwritten blocks read as zeros.
+func (v *ShardedVolume) ReadBlock(ctx context.Context, addr uint64) ([]byte, error) {
+	return v.vol.ReadBlock(ctx, addr)
+}
+
+// WriteBlock writes one block. data must be exactly BlockSize bytes.
+func (v *ShardedVolume) WriteBlock(ctx context.Context, addr uint64, data []byte) error {
+	return v.vol.WriteBlock(ctx, addr, data)
+}
+
+// ReadAt reads len(p) bytes at byte offset off, spanning blocks and
+// groups as needed.
+func (v *ShardedVolume) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
+	return v.vol.ReadAt(ctx, p, off)
+}
+
+// WriteAt writes p at byte offset off. Stripe-aligned spans use the
+// batched stripe write.
+func (v *ShardedVolume) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
+	return v.vol.WriteAt(ctx, p, off)
+}
+
+// Recover forces recovery of the stripe containing addr.
+func (v *ShardedVolume) Recover(ctx context.Context, addr uint64) error {
+	return v.vol.Recover(ctx, addr)
+}
+
+// CollectGarbage runs one GC pass in every touched group.
+func (v *ShardedVolume) CollectGarbage(ctx context.Context) error {
+	return v.vol.CollectGarbage(ctx)
+}
+
+// Monitor probes every touched group's stripes, returning the total
+// recovered.
+func (v *ShardedVolume) Monitor(ctx context.Context, maxAge time.Duration) (int, error) {
+	return v.vol.Monitor(ctx, maxAge)
+}
+
+// Scrub audits every touched group's stripes against the code.
+func (v *ShardedVolume) Scrub(ctx context.Context) (clean, busy, repaired int, err error) {
+	return v.vol.Scrub(ctx)
+}
+
+// GroupSites returns the IDs of the sites currently serving a group,
+// indexed by physical slot.
+func (v *ShardedVolume) GroupSites(g uint64) ([]string, error) {
+	sites, err := v.vol.GroupSites(g)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, len(sites))
+	for i, s := range sites {
+		ids[i] = s.ID
+	}
+	return ids, nil
+}
+
+// GroupStats exposes one group's protocol counters (nil if untouched).
+func (v *ShardedVolume) GroupStats(g uint64) *core.ClientStats { return v.vol.GroupStats(g) }
+
+// CrashSite fail-stops a local site (testing and demos).
+func (v *ShardedVolume) CrashSite(id string) error {
+	if v.local == nil {
+		return errors.New("ecstore: CrashSite only applies to local sharded volumes")
+	}
+	v.local.CrashSite(id)
+	return nil
+}
+
+// AddSite grows a local pool; groups rebalance lazily.
+func (v *ShardedVolume) AddSite(id string, weight float64) error {
+	if v.local == nil {
+		return errors.New("ecstore: AddSite only applies to local sharded volumes")
+	}
+	return v.local.AddSite(id, weight)
+}
+
+// RemoveSite drains a local site; the groups using it remap and
+// recovery rebuilds the moved slots.
+func (v *ShardedVolume) RemoveSite(id string) error {
+	if v.local == nil {
+		return errors.New("ecstore: RemoveSite only applies to local sharded volumes")
+	}
+	return v.local.RemoveSite(id)
+}
+
+// Reader returns an io.Reader streaming nBytes from byte offset off.
+func (v *ShardedVolume) Reader(ctx context.Context, off, nBytes int64) io.Reader {
+	return &shardedReader{v: v, ctx: ctx, off: off, remaining: nBytes}
+}
+
+type shardedReader struct {
+	v         *ShardedVolume
+	ctx       context.Context
+	off       int64
+	remaining int64
+}
+
+func (r *shardedReader) Read(p []byte) (int, error) {
+	if r.remaining <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > r.remaining {
+		p = p[:r.remaining]
+	}
+	n, err := r.v.ReadAt(r.ctx, p, r.off)
+	r.off += int64(n)
+	r.remaining -= int64(n)
+	return n, err
+}
+
+// Close releases the volume's resources: local shards are shut down,
+// TCP connections closed.
+func (v *ShardedVolume) Close() error {
+	if v.local != nil {
+		return v.local.Close()
+	}
+	var first error
+	for _, c := range v.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

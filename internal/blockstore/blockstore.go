@@ -31,6 +31,7 @@ import (
 	"sort"
 	"sync"
 
+	"ecstore/internal/bufpool"
 	"ecstore/internal/obs"
 )
 
@@ -279,14 +280,21 @@ func (f *File) Get(key Key) ([]byte, bool) {
 	}
 	f.gets++
 	if b, ok := f.dirty[key]; ok {
-		return b, true
+		// Serve a copy: dirty buffers are pooled, and flushLocked may
+		// recycle b the moment f.mu is released — the caller's view
+		// must outlive that. Get is the node's cold path (first access
+		// per slot), so the copy is off the steady-state write path.
+		cp := bufpool.Get(f.blockSize)
+		copy(cp, b)
+		return cp, true
 	}
 	off, ok := f.offsets[key]
 	if !ok {
 		return nil, false
 	}
-	buf := make([]byte, f.blockSize)
+	buf := bufpool.Get(f.blockSize)
 	if _, err := f.data.ReadAt(buf, off); err != nil {
+		bufpool.Put(buf)
 		return nil, false
 	}
 	return buf, true
@@ -306,7 +314,16 @@ func (f *File) Put(key Key, block []byte) error {
 	}
 	f.puts++
 	f.obsPuts.Inc()
-	f.dirty[key] = append([]byte(nil), block...)
+	if old, ok := f.dirty[key]; ok {
+		// Re-dirtying a hot block overwrites its buffer in place —
+		// this is the write-back coalescing case, so it is also the
+		// pool's best case: no traffic at all.
+		copy(old, block)
+	} else {
+		cp := bufpool.Get(f.blockSize)
+		copy(cp, block)
+		f.dirty[key] = cp
+	}
 	if len(f.dirty) > f.dirtyLimit {
 		return f.flushLocked()
 	}
@@ -386,6 +403,9 @@ func (f *File) flushLocked() error {
 			f.offsets[key] = off
 		}
 		delete(f.dirty, key)
+		// On disk and out of the map: nothing references the dirty
+		// copy any more (Get hands out copies, never the buffer).
+		bufpool.Put(block)
 	}
 	if err := f.data.Sync(); err != nil {
 		return err

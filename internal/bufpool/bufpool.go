@@ -1,0 +1,194 @@
+// Package bufpool is a size-classed, sync.Pool-backed recycler for the
+// block-sized byte buffers that dominate allocation on the data path:
+// RPC frame bodies, encoded request payloads, decoded block fields,
+// write-back cache copies, and per-write delta scratch.
+//
+// Ownership discipline is opportunistic: Get hands out a buffer the
+// caller owns outright, and Put is an optimisation, never an
+// obligation. A buffer that escapes (a reply block returned to the
+// application, a copy retained by a cache) is simply never Put and the
+// GC reclaims it — forgetting to Put costs an allocation, while a
+// wrong Put (a buffer something still references) costs corruption.
+// Callers therefore only Put buffers whose lifetime they can see end
+// to end; the DESIGN notes list the call sites and their reasoning.
+//
+// Buffers are classed by exact length, matching how the store works:
+// traffic is a handful of fixed sizes (the block size, and each
+// message type's frame size for that block size), so exact classes hit
+// without the waste or complexity of power-of-two rounding. Get
+// returns a buffer with unspecified contents — callers must overwrite
+// it fully before reading.
+//
+// SetDebug(true) (enabled by tests) adds misuse detection: buffers are
+// poisoned on Put so use-after-Put reads garbage instead of stale
+// plausible data, double-Puts and Puts of re-sliced buffers panic.
+package bufpool
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ecstore/internal/obs"
+)
+
+var (
+	classes sync.Map // int (exact length) -> *sync.Pool of *[]byte
+
+	gets      atomic.Uint64 // Get calls (excluding zero-length)
+	hits      atomic.Uint64 // Gets served from a pool
+	puts      atomic.Uint64 // buffers accepted back
+	wrongSize atomic.Uint64 // Puts rejected because len != cap
+
+	debug atomic.Bool
+	dbgMu sync.Mutex
+	// dbgPooled tracks the base pointer of every buffer currently
+	// sitting in a pool, to catch double-Puts. Debug mode only.
+	dbgPooled map[*byte]struct{}
+)
+
+// zeroLen is what Get(0) returns: a non-nil empty slice, so callers
+// that distinguish nil from empty (wire decoding does) see the same
+// shape make([]byte, 0) would give them.
+var zeroLen = make([]byte, 0)
+
+// Get returns a buffer of length n with unspecified contents. The
+// caller owns it; returning it via Put is optional.
+func Get(n int) []byte {
+	if n <= 0 {
+		return zeroLen
+	}
+	gets.Add(1)
+	if p, ok := classes.Load(n); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			hits.Add(1)
+			b := *(v.(*[]byte))
+			if debug.Load() {
+				dbgForget(&b[0])
+			}
+			return b
+		}
+	}
+	return make([]byte, n)
+}
+
+// Put returns a buffer to its size class. b must be exactly as it came
+// from Get: re-sliced buffers (len != cap) are rejected, because a
+// future Get keyed on the shorter length would hand out a buffer whose
+// tail another holder may still reference. Put(nil) and zero-length
+// Puts are no-ops.
+func Put(b []byte) {
+	n := len(b)
+	if n == 0 {
+		return
+	}
+	if n != cap(b) {
+		wrongSize.Add(1)
+		if debug.Load() {
+			panic("bufpool: Put of re-sliced buffer (len != cap)")
+		}
+		return
+	}
+	if debug.Load() {
+		dbgCheckPut(&b[0])
+		poison(b)
+	}
+	puts.Add(1)
+	p, ok := classes.Load(n)
+	if !ok {
+		p, _ = classes.LoadOrStore(n, &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(&b)
+}
+
+// poison overwrites a buffer on its way into the pool so that any
+// holder of a stale reference reads obvious garbage rather than the
+// previous (plausible-looking) contents.
+func poison(b []byte) {
+	for i := range b {
+		b[i] = 0xDB
+	}
+}
+
+func dbgCheckPut(base *byte) {
+	dbgMu.Lock()
+	defer dbgMu.Unlock()
+	if dbgPooled == nil {
+		dbgPooled = make(map[*byte]struct{})
+	}
+	if _, dup := dbgPooled[base]; dup {
+		panic("bufpool: double Put of the same buffer")
+	}
+	dbgPooled[base] = struct{}{}
+}
+
+func dbgForget(base *byte) {
+	dbgMu.Lock()
+	delete(dbgPooled, base)
+	dbgMu.Unlock()
+}
+
+// SetDebug toggles misuse detection (poison-on-Put, double-Put and
+// re-sliced-Put panics). Tests enable it; production builds leave it
+// off — the checks touch every byte on Put.
+//
+// Note sync.Pool may drop poisoned buffers at any GC, so debug mode
+// detects misuse probabilistically, not exhaustively.
+func SetDebug(on bool) {
+	debug.Store(on)
+	if !on {
+		dbgMu.Lock()
+		dbgPooled = nil
+		dbgMu.Unlock()
+	}
+}
+
+// Stats is a snapshot of pool effectiveness counters.
+type Stats struct {
+	Gets      uint64 // Get calls for n > 0
+	Hits      uint64 // Gets served without allocating
+	Puts      uint64 // buffers accepted back into a pool
+	WrongSize uint64 // Puts rejected because len != cap
+}
+
+// Snapshot returns the current counters.
+func Snapshot() Stats {
+	return Stats{
+		Gets:      gets.Load(),
+		Hits:      hits.Load(),
+		Puts:      puts.Load(),
+		WrongSize: wrongSize.Load(),
+	}
+}
+
+// HitRatePct returns the all-time pool hit rate in percent (0 when no
+// Gets have happened yet).
+func HitRatePct() int64 {
+	g := gets.Load()
+	if g == 0 {
+		return 0
+	}
+	return int64(hits.Load() * 100 / g)
+}
+
+// instrumented remembers which registries already carry the bufpool
+// gauges. Func gauges registered twice under one name are *summed* at
+// snapshot time, so Instrument must be idempotent per registry.
+var instrumented sync.Map // *obs.Registry -> struct{}
+
+// Instrument registers the pool's gauges on reg: bufpool.gets,
+// bufpool.hits, bufpool.puts, bufpool.wrong_size and
+// bufpool.hit_rate_pct. Safe to call more than once per registry and
+// with a nil registry.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	if _, dup := instrumented.LoadOrStore(reg, struct{}{}); dup {
+		return
+	}
+	reg.Func("bufpool.gets", func() int64 { return int64(gets.Load()) })
+	reg.Func("bufpool.hits", func() int64 { return int64(hits.Load()) })
+	reg.Func("bufpool.puts", func() int64 { return int64(puts.Load()) })
+	reg.Func("bufpool.wrong_size", func() int64 { return int64(wrongSize.Load()) })
+	reg.Func("bufpool.hit_rate_pct", HitRatePct)
+}

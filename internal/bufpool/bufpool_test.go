@@ -1,0 +1,159 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+
+	"ecstore/internal/obs"
+)
+
+func withDebug(t *testing.T) {
+	t.Helper()
+	SetDebug(true)
+	t.Cleanup(func() { SetDebug(false) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic, got none", what)
+		}
+	}()
+	fn()
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	before := Snapshot()
+	b := Get(4096)
+	if len(b) != 4096 || cap(b) != 4096 {
+		t.Fatalf("Get(4096) returned len=%d cap=%d", len(b), cap(b))
+	}
+	Put(b)
+	// The very next Get of the same class should be served from the
+	// pool. sync.Pool gives no hard guarantee, but with no GC between
+	// Put and Get this holds in practice; tolerate a miss rather than
+	// flake, and assert on the counters instead.
+	_ = Get(4096)
+	after := Snapshot()
+	if after.Gets < before.Gets+2 || after.Puts < before.Puts+1 {
+		t.Fatalf("counters did not advance: before=%+v after=%+v", before, after)
+	}
+}
+
+func TestGetZeroLength(t *testing.T) {
+	b := Get(0)
+	if b == nil || len(b) != 0 {
+		t.Fatalf("Get(0) = %#v, want non-nil empty slice", b)
+	}
+	Put(b) // must be a no-op, not a panic
+	if n := Get(-3); n == nil || len(n) != 0 {
+		t.Fatalf("Get(-3) = %#v, want non-nil empty slice", n)
+	}
+}
+
+func TestDoublePutPanicsUnderDebug(t *testing.T) {
+	withDebug(t)
+	b := Get(512)
+	Put(b)
+	mustPanic(t, "double Put", func() { Put(b) })
+}
+
+func TestWrongSizePutPanicsUnderDebug(t *testing.T) {
+	withDebug(t)
+	b := Get(1024)
+	mustPanic(t, "re-sliced Put", func() { Put(b[:100]) })
+}
+
+func TestWrongSizePutCountedInRelease(t *testing.T) {
+	SetDebug(false)
+	before := Snapshot().WrongSize
+	b := Get(256)
+	Put(b[:16]) // silently rejected
+	if got := Snapshot().WrongSize; got != before+1 {
+		t.Fatalf("wrongSize = %d, want %d", got, before+1)
+	}
+}
+
+func TestPoisonOnPut(t *testing.T) {
+	withDebug(t)
+	b := Get(64)
+	for i := range b {
+		b[i] = 0x42
+	}
+	Put(b)
+	// A holder that wrongly kept its reference across Put must see
+	// poison, not its old bytes.
+	for i, v := range b {
+		if v != 0xDB {
+			t.Fatalf("b[%d] = %#x after Put, want poison 0xDB", i, v)
+		}
+	}
+}
+
+func TestHitRatePct(t *testing.T) {
+	// Only sanity: rate stays within [0, 100] and moves with traffic.
+	for i := 0; i < 8; i++ {
+		Put(Get(2048))
+	}
+	if r := HitRatePct(); r < 0 || r > 100 {
+		t.Fatalf("HitRatePct() = %d, want 0..100", r)
+	}
+}
+
+func TestInstrumentIdempotent(t *testing.T) {
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	Instrument(reg) // second call must not double the Func gauges
+	Put(Get(128))
+	snap := reg.Snapshot()
+	getsAny, ok := snap["bufpool.gets"]
+	if !ok {
+		t.Fatalf("bufpool.gets missing from snapshot: %v", snap)
+	}
+	// Func gauges under one name are summed at snapshot time; if
+	// Instrument registered twice the reading would be exactly double
+	// the true counter.
+	var gauge int64
+	switch v := getsAny.(type) {
+	case int64:
+		gauge = v
+	case float64:
+		gauge = int64(v)
+	default:
+		t.Fatalf("bufpool.gets has unexpected type %T", getsAny)
+	}
+	if truth := int64(Snapshot().Gets); gauge != truth {
+		t.Fatalf("bufpool.gets gauge = %d, counter = %d (double registration?)", gauge, truth)
+	}
+	Instrument(nil) // must not panic
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	// Hammer one size class from many goroutines; under -race this
+	// verifies the pool itself introduces no sharing, and under debug
+	// mode that the bookkeeping is consistent.
+	withDebug(t)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id byte) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := Get(1 << 12)
+				for j := range b {
+					b[j] = id
+				}
+				for j := range b {
+					if b[j] != id {
+						t.Errorf("worker %d observed foreign byte %#x", id, b[j])
+						return
+					}
+				}
+				Put(b)
+			}
+		}(byte(w))
+	}
+	wg.Wait()
+}

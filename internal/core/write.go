@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sync"
 
+	"ecstore/internal/bufpool"
 	"ecstore/internal/erasure"
+	"ecstore/internal/gf"
 	"ecstore/internal/obs"
 	"ecstore/internal/proto"
 	"ecstore/internal/resilience"
@@ -102,6 +104,13 @@ func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte
 	epoch := srep.Epoch
 	otid := srep.OTID
 
+	// Compute v XOR w once into pooled scratch. Every per-slot delta is
+	// alpha_ji * diff, so retry rounds and all update modes scale this
+	// one block instead of re-XORing v and w per slot per round.
+	diff := bufpool.Get(c.cfg.BlockSize)
+	defer bufpool.Put(diff)
+	erasure.RawDeltaInto(diff, v, oldBlk)
+
 	k, n := c.cfg.Code.K(), c.cfg.Code.N()
 	want := newSlotSet(i)
 	for j := k; j < n; j++ {
@@ -128,7 +137,7 @@ func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte
 		// Retry rounds get a per-round deadline covering their adds; the
 		// first round is the fast path and rides the caller's context.
 		actx, cancel := c.retryCtx(ctx, rounds-1)
-		results := c.issueAdds(actx, stripeID, i, v, oldBlk, todo.sorted(), ntid, otid, epoch)
+		results := c.issueAdds(actx, stripeID, i, diff, todo.sorted(), ntid, otid, epoch)
 		cancel()
 
 		retry := newSlotSet()
@@ -221,25 +230,30 @@ type addResult struct {
 
 // issueAdds dispatches add operations to the given redundant slots
 // according to the configured update mode and returns a result per
-// slot.
-func (c *Client) issueAdds(ctx context.Context, stripeID uint64, i int, v, w []byte, slots []int, ntid, otid proto.TID, epoch uint64) map[int]addResult {
+// slot. diff is the caller-owned v XOR w block; per-slot premultiplied
+// deltas are drawn from the buffer pool and recycled as each call
+// completes (every transport joins its goroutines before returning, so
+// the payload is dead once the call strategy returns).
+func (c *Client) issueAdds(ctx context.Context, stripeID uint64, i int, diff []byte, slots []int, ntid, otid proto.TID, epoch uint64) map[int]addResult {
 	switch c.cfg.Mode {
 	case resilience.Serial:
-		return c.addSerial(ctx, stripeID, i, v, w, slots, ntid, otid, epoch)
+		return c.addSerial(ctx, stripeID, i, diff, slots, ntid, otid, epoch)
 	case resilience.Hybrid:
-		return c.addHybrid(ctx, stripeID, i, v, w, slots, ntid, otid, epoch)
+		return c.addHybrid(ctx, stripeID, i, diff, slots, ntid, otid, epoch)
 	case resilience.Broadcast:
-		return c.addBroadcast(ctx, stripeID, i, v, w, slots, ntid, otid, epoch)
+		return c.addBroadcast(ctx, stripeID, i, diff, slots, ntid, otid, epoch)
 	default: // Parallel
-		return c.addParallel(ctx, stripeID, i, v, w, slots, ntid, otid, epoch)
+		return c.addParallel(ctx, stripeID, i, diff, slots, ntid, otid, epoch)
 	}
 }
 
-func (c *Client) addReq(stripeID uint64, i, j int, v, w []byte, ntid, otid proto.TID, epoch uint64) *proto.AddReq {
+func (c *Client) addReq(stripeID uint64, i, j int, diff []byte, ntid, otid proto.TID, epoch uint64) *proto.AddReq {
+	delta := bufpool.Get(len(diff))
+	gf.MulSlice(c.cfg.Code.Coef(j, i), delta, diff)
 	return &proto.AddReq{
 		Stripe:        stripeID,
 		Slot:          int32(j),
-		Delta:         c.cfg.Code.Delta(j, i, v, w),
+		Delta:         delta,
 		DataSlot:      int32(i),
 		Premultiplied: true,
 		NTID:          ntid,
@@ -261,24 +275,28 @@ func (c *Client) addOne(ctx context.Context, stripeID uint64, j int, req *proto.
 // addSerial applies adds one node at a time (AJX-ser): each add is
 // acknowledged before the next is sent, which is what Theorem 1's
 // stronger failure bound relies on.
-func (c *Client) addSerial(ctx context.Context, stripeID uint64, i int, v, w []byte, slots []int, ntid, otid proto.TID, epoch uint64) map[int]addResult {
+func (c *Client) addSerial(ctx context.Context, stripeID uint64, i int, diff []byte, slots []int, ntid, otid proto.TID, epoch uint64) map[int]addResult {
 	out := make(map[int]addResult, len(slots))
 	for _, j := range slots {
-		out[j] = c.addOne(ctx, stripeID, j, c.addReq(stripeID, i, j, v, w, ntid, otid, epoch))
+		req := c.addReq(stripeID, i, j, diff, ntid, otid, epoch)
+		out[j] = c.addOne(ctx, stripeID, j, req)
+		bufpool.Put(req.Delta)
 	}
 	return out
 }
 
 // addParallel applies all adds concurrently (AJX-par): one batch, one
 // round trip.
-func (c *Client) addParallel(ctx context.Context, stripeID uint64, i int, v, w []byte, slots []int, ntid, otid proto.TID, epoch uint64) map[int]addResult {
+func (c *Client) addParallel(ctx context.Context, stripeID uint64, i int, diff []byte, slots []int, ntid, otid proto.TID, epoch uint64) map[int]addResult {
 	results := make([]addResult, len(slots))
 	var wg sync.WaitGroup
 	for idx, j := range slots {
 		wg.Add(1)
 		go func(idx, j int) {
 			defer wg.Done()
-			results[idx] = c.addOne(ctx, stripeID, j, c.addReq(stripeID, i, j, v, w, ntid, otid, epoch))
+			req := c.addReq(stripeID, i, j, diff, ntid, otid, epoch)
+			results[idx] = c.addOne(ctx, stripeID, j, req)
+			bufpool.Put(req.Delta)
 		}(idx, j)
 	}
 	wg.Wait()
@@ -292,12 +310,12 @@ func (c *Client) addParallel(ctx context.Context, stripeID uint64, i int, v, w [
 // addHybrid applies adds in groups: parallel within a group, groups in
 // series (Theorem 3). Group size is bounded by d_serial so the hybrid
 // scheme keeps the serial failure bound at a fraction of its latency.
-func (c *Client) addHybrid(ctx context.Context, stripeID uint64, i int, v, w []byte, slots []int, ntid, otid proto.TID, epoch uint64) map[int]addResult {
+func (c *Client) addHybrid(ctx context.Context, stripeID uint64, i int, diff []byte, slots []int, ntid, otid proto.TID, epoch uint64) map[int]addResult {
 	out := make(map[int]addResult, len(slots))
 	r := resilience.HybridGroupSize(c.cfg.Code.P(), c.cfg.TP)
 	for start := 0; start < len(slots); start += r {
 		end := min(start+r, len(slots))
-		group := c.addParallel(ctx, stripeID, i, v, w, slots[start:end], ntid, otid, epoch)
+		group := c.addParallel(ctx, stripeID, i, diff, slots[start:end], ntid, otid, epoch)
 		for j, res := range group {
 			out[j] = res
 		}
@@ -310,8 +328,10 @@ func (c *Client) addHybrid(ctx context.Context, stripeID uint64, i int, v, w []b
 // a Multicaster-capable transport charges the payload once on the
 // client uplink. Without a multicaster it degrades to parallel unicast
 // of the same raw payload.
-func (c *Client) addBroadcast(ctx context.Context, stripeID uint64, i int, v, w []byte, slots []int, ntid, otid proto.TID, epoch uint64) map[int]addResult {
-	raw := erasure.RawDelta(v, w)
+func (c *Client) addBroadcast(ctx context.Context, stripeID uint64, i int, diff []byte, slots []int, ntid, otid proto.TID, epoch uint64) map[int]addResult {
+	// diff IS the raw (unmultiplied) delta; it stays owned by writeOnce,
+	// so no Put here.
+	raw := diff
 	calls := make([]proto.AddCall, 0, len(slots))
 	nodes := make([]proto.StorageNode, 0, len(slots))
 	resolveErr := make(map[int]addResult)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 
+	"ecstore/internal/bufpool"
+	"ecstore/internal/erasure"
 	"ecstore/internal/gf"
 	"ecstore/internal/proto"
 )
@@ -87,21 +89,33 @@ func (c *Client) writeStripeOnce(ctx context.Context, stripeID uint64, values []
 	}
 
 	// --- combined deltas ---
+	// Scratch comes from the buffer pool; the batch-add retry loop below
+	// re-sends deltas across rounds, so they stay owned by this frame and
+	// are recycled only on return (every transport copies or applies the
+	// payload before the call returns).
 	raws := make([][]byte, k) // v_i XOR w_i
 	for i := range raws {
-		raw := make([]byte, c.cfg.BlockSize)
-		copy(raw, values[i])
-		gf.AddSlice(raw, outs[i].old)
+		raw := bufpool.Get(c.cfg.BlockSize)
+		erasure.RawDeltaInto(raw, values[i], outs[i].old)
 		raws[i] = raw
 	}
 	deltas := make([][]byte, 0, n-k)
 	for j := k; j < n; j++ {
-		d := make([]byte, c.cfg.BlockSize)
+		d := bufpool.Get(c.cfg.BlockSize)
+		clear(d) // pooled buffers carry old contents
 		for i := 0; i < k; i++ {
 			gf.MulAddSlice(c.cfg.Code.Coef(j, i), d, raws[i])
 		}
 		deltas = append(deltas, d)
 	}
+	defer func() {
+		for _, raw := range raws {
+			bufpool.Put(raw)
+		}
+		for _, d := range deltas {
+			bufpool.Put(d)
+		}
+	}()
 	entries := make([]proto.BatchEntry, k)
 	for i := 0; i < k; i++ {
 		entries[i] = proto.BatchEntry{DataSlot: int32(i), NTID: ntids[i], OTID: outs[i].otid}

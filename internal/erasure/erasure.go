@@ -145,26 +145,45 @@ func (c *Code) EncodeStripe(data [][]byte) ([][]byte, error) {
 // redundant block j when data block i changes from w to v. v and w
 // must share a length.
 func (c *Code) Delta(j, i int, v, w []byte) []byte {
-	if len(v) != len(w) {
-		panic("erasure: Delta length mismatch")
-	}
 	d := make([]byte, len(v))
-	copy(d, v)
-	gf.AddSlice(d, w) // v - w (XOR)
-	gf.MulSlice(c.Coef(j, i), d, d)
+	c.DeltaInto(d, j, i, v, w)
 	return d
+}
+
+// DeltaInto computes alpha_ji * (v XOR w) into caller-provided
+// storage, the zero-allocation form of Delta for the steady-state
+// write path. dst, v and w must share a length; dst may alias v or w
+// exactly but must not overlap them partially.
+func (c *Code) DeltaInto(dst []byte, j, i int, v, w []byte) {
+	if len(v) != len(w) || len(dst) != len(v) {
+		panic("erasure: DeltaInto length mismatch")
+	}
+	RawDeltaInto(dst, v, w)
+	gf.MulSlice(c.Coef(j, i), dst, dst)
 }
 
 // RawDelta returns v XOR w, the un-multiplied delta a writer broadcasts
 // when storage nodes apply the coefficient themselves (AJX-bcast).
 func RawDelta(v, w []byte) []byte {
-	if len(v) != len(w) {
-		panic("erasure: RawDelta length mismatch")
-	}
 	d := make([]byte, len(v))
-	copy(d, v)
-	gf.AddSlice(d, w)
+	RawDeltaInto(d, v, w)
 	return d
+}
+
+// RawDeltaInto computes v XOR w into caller-provided storage, the
+// zero-allocation form of RawDelta. dst, v and w must share a length;
+// dst may alias v or w exactly but must not overlap them partially.
+func RawDeltaInto(dst, v, w []byte) {
+	if len(v) != len(w) || len(dst) != len(v) {
+		panic("erasure: RawDeltaInto length mismatch")
+	}
+	if len(dst) > 0 && &dst[0] == &w[0] {
+		// dst aliasing w still works: XOR is commutative, fold v in.
+		gf.AddSlice(dst, v)
+		return
+	}
+	copy(dst, v)
+	gf.AddSlice(dst, w)
 }
 
 // Reconstruct rebuilds the complete stripe from any k available

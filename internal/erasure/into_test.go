@@ -1,0 +1,195 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Round-trip tests for the reusable-destination coding API: the Into
+// variants must match the allocating APIs byte for byte and allocate
+// nothing themselves.
+
+func intoBlocks(t *testing.T, seed int64, count, blockLen int) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	blocks := make([][]byte, count)
+	for i := range blocks {
+		blocks[i] = make([]byte, blockLen)
+		rng.Read(blocks[i])
+	}
+	return blocks
+}
+
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	for _, blockLen := range []int{0, 1, 9, 1024, 16384, 16411} {
+		c := Must(4, 6)
+		data := intoBlocks(t, int64(blockLen)+1, c.K(), blockLen)
+		want, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parity := make([][]byte, c.P())
+		for j := range parity {
+			parity[j] = make([]byte, blockLen)
+			// Dirty the reusable destinations: EncodeInto must fully
+			// overwrite, not accumulate.
+			for b := range parity[j] {
+				parity[j][b] = 0xee
+			}
+		}
+		c.EncodeInto(parity, data)
+		for j := range parity {
+			if !bytes.Equal(parity[j], want[j]) {
+				t.Fatalf("blockLen=%d: EncodeInto parity %d differs from Encode", blockLen, j)
+			}
+		}
+	}
+}
+
+func TestDeltaIntoMatchesDelta(t *testing.T) {
+	c := Must(3, 5)
+	for _, blockLen := range []int{0, 1, 7, 8, 9, 1024, 16384} {
+		v := intoBlocks(t, 77, 1, blockLen)[0]
+		w := intoBlocks(t, 78, 1, blockLen)[0]
+		for j := c.K(); j < c.N(); j++ {
+			for i := 0; i < c.K(); i++ {
+				want := c.Delta(j, i, v, w)
+				dst := make([]byte, blockLen)
+				for b := range dst {
+					dst[b] = 0xee
+				}
+				c.DeltaInto(dst, j, i, v, w)
+				if !bytes.Equal(dst, want) {
+					t.Fatalf("blockLen=%d j=%d i=%d: DeltaInto differs from Delta", blockLen, j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRawDeltaIntoMatchesRawDelta(t *testing.T) {
+	v := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	w := []byte{9, 9, 9, 0, 0, 0, 1, 2, 3, 4, 5}
+	want := RawDelta(v, w)
+
+	dst := make([]byte, len(v))
+	RawDeltaInto(dst, v, w)
+	if !bytes.Equal(dst, want) {
+		t.Fatal("RawDeltaInto differs from RawDelta")
+	}
+
+	// Exact-alias forms: dst == v and dst == w must both work — the
+	// stripe writer XORs old content into a copied buffer in place.
+	dv := append([]byte(nil), v...)
+	RawDeltaInto(dv, dv, w)
+	if !bytes.Equal(dv, want) {
+		t.Fatal("RawDeltaInto with dst aliasing v differs")
+	}
+	dw := append([]byte(nil), w...)
+	RawDeltaInto(dw, v, dw)
+	if !bytes.Equal(dw, want) {
+		t.Fatal("RawDeltaInto with dst aliasing w differs")
+	}
+}
+
+func TestIntoShapePanics(t *testing.T) {
+	c := Must(3, 5)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("DeltaInto short dst", func() {
+		c.DeltaInto(make([]byte, 3), 3, 0, make([]byte, 4), make([]byte, 4))
+	})
+	mustPanic("DeltaInto v/w mismatch", func() {
+		c.DeltaInto(make([]byte, 4), 3, 0, make([]byte, 4), make([]byte, 5))
+	})
+	mustPanic("RawDeltaInto mismatch", func() {
+		RawDeltaInto(make([]byte, 4), make([]byte, 5), make([]byte, 5))
+	})
+}
+
+// TestCodingInnerLoopZeroAllocs is the acceptance gate for the
+// zero-alloc data plane: the steady-state coding operations must not
+// allocate at all once destinations are provided.
+func TestCodingInnerLoopZeroAllocs(t *testing.T) {
+	c := Must(4, 6)
+	const blockLen = 16384
+	data := intoBlocks(t, 5, c.K(), blockLen)
+	parity := intoBlocks(t, 6, c.P(), blockLen)
+	v := intoBlocks(t, 7, 1, blockLen)[0]
+	w := intoBlocks(t, 8, 1, blockLen)[0]
+	dst := make([]byte, blockLen)
+
+	if n := testing.AllocsPerRun(50, func() { c.EncodeInto(parity, data) }); n != 0 {
+		t.Fatalf("EncodeInto allocates %.1f per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { c.DeltaInto(dst, 4, 1, v, w) }); n != 0 {
+		t.Fatalf("DeltaInto allocates %.1f per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { RawDeltaInto(dst, v, w) }); n != 0 {
+		t.Fatalf("RawDeltaInto allocates %.1f per run, want 0", n)
+	}
+}
+
+func BenchmarkEncodeInto16K(b *testing.B) {
+	c := Must(4, 6)
+	const blockLen = 16384
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]byte, c.K())
+	for i := range data {
+		data[i] = make([]byte, blockLen)
+		rng.Read(data[i])
+	}
+	parity := make([][]byte, c.P())
+	for j := range parity {
+		parity[j] = make([]byte, blockLen)
+	}
+	b.SetBytes(int64(c.K() * blockLen))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncodeInto(parity, data)
+	}
+}
+
+func BenchmarkDeltaInto16K(b *testing.B) {
+	c := Must(4, 6)
+	const blockLen = 16384
+	rng := rand.New(rand.NewSource(2))
+	v := make([]byte, blockLen)
+	w := make([]byte, blockLen)
+	dst := make([]byte, blockLen)
+	rng.Read(v)
+	rng.Read(w)
+	b.SetBytes(blockLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.DeltaInto(dst, 4, 1, v, w)
+	}
+}
+
+func BenchmarkDelta16K(b *testing.B) {
+	// The allocating form, kept for the before/after story in
+	// BENCH_kernels.json.
+	c := Must(4, 6)
+	const blockLen = 16384
+	rng := rand.New(rand.NewSource(3))
+	v := make([]byte, blockLen)
+	w := make([]byte, blockLen)
+	rng.Read(v)
+	rng.Read(w)
+	b.SetBytes(blockLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Delta(4, 1, v, w)
+	}
+}

@@ -1,0 +1,56 @@
+//go:build gfdebug
+
+package gf
+
+// Debug-build aliasing enforcement. MulAddSlice reads dst and src at
+// different offsets within one vector step, so partially overlapping
+// arguments silently corrupt the result in release builds; under
+// -tags gfdebug every kernel entry point verifies its documented
+// aliasing contract and panics on violation. Tests and the CI race job
+// run with this tag on.
+
+// DebugChecks reports whether the package was built with -tags gfdebug.
+const DebugChecks = true
+
+// checkMulAlias enforces the MulSlice/AddSlice contract: exact
+// aliasing (same base pointer) is fine, partial overlap is not.
+func checkMulAlias(dst, src []byte) {
+	if len(dst) == 0 || len(src) == 0 {
+		return
+	}
+	if &dst[0] == &src[0] {
+		return
+	}
+	if sliceOverlap(dst, src) {
+		panic("gf: dst and src overlap partially")
+	}
+}
+
+// checkNoAlias enforces the MulAddSlice contract: no overlap at all.
+func checkNoAlias(op string, dst, src []byte) {
+	if len(dst) == 0 || len(src) == 0 {
+		return
+	}
+	if sliceOverlap(dst, src) {
+		panic("gf: " + op + ": dst and src alias")
+	}
+}
+
+// sliceOverlap reports whether a and b share any element. Two slices
+// can only overlap if they view the same backing array, in which case
+// one's first element lies within the other — so an address-equality
+// scan finds it without converting pointers to integers (no unsafe).
+// O(len), which is why this only runs under gfdebug.
+func sliceOverlap(a, b []byte) bool {
+	for i := range a {
+		if &a[i] == &b[0] {
+			return true
+		}
+	}
+	for i := range b {
+		if &b[i] == &a[0] {
+			return true
+		}
+	}
+	return false
+}

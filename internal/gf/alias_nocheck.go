@@ -1,0 +1,12 @@
+//go:build !gfdebug
+
+package gf
+
+// Release builds compile the aliasing checks away entirely; see
+// alias_check.go for the gfdebug versions.
+
+// DebugChecks reports whether the package was built with -tags gfdebug.
+const DebugChecks = false
+
+func checkMulAlias(dst, src []byte)           {}
+func checkNoAlias(op string, dst, src []byte) {}

@@ -1,0 +1,78 @@
+package gf
+
+import "testing"
+
+// Regression tests for the kernel aliasing contracts. The checks only
+// exist under -tags gfdebug (release builds compile them away), so the
+// panic assertions skip themselves in plain builds; CI runs this
+// package with the tag on.
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic, got none", what)
+		}
+	}()
+	fn()
+}
+
+func TestMulAddSliceOverlapPanicsUnderDebug(t *testing.T) {
+	if !DebugChecks {
+		t.Skip("aliasing enforcement requires -tags gfdebug")
+	}
+	buf := make([]byte, 64)
+
+	// Any overlap at all violates the MulAddSlice contract, including
+	// the exact-alias case MulSlice permits.
+	mustPanic(t, "MulAddSlice partial overlap", func() {
+		MulAddSlice(3, buf[:32], buf[16:48])
+	})
+	mustPanic(t, "MulAddSlice exact alias", func() {
+		MulAddSlice(3, buf[:32], buf[:32])
+	})
+	// The c==1 shortcut routes through AddSlice, which allows exact
+	// aliasing but not partial overlap.
+	mustPanic(t, "MulAddSlice c=1 partial overlap", func() {
+		MulAddSlice(1, buf[:32], buf[16:48])
+	})
+}
+
+func TestMulSlicePartialOverlapPanicsUnderDebug(t *testing.T) {
+	if !DebugChecks {
+		t.Skip("aliasing enforcement requires -tags gfdebug")
+	}
+	buf := make([]byte, 64)
+	mustPanic(t, "MulSlice partial overlap", func() {
+		MulSlice(3, buf[:32], buf[16:48])
+	})
+	mustPanic(t, "AddSlice partial overlap", func() {
+		AddSlice(buf[:32], buf[16:48])
+	})
+}
+
+func TestExactAliasAllowedUnderDebug(t *testing.T) {
+	// Exact aliasing must keep working in every build mode — the
+	// erasure Delta path scales blocks in place.
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	MulSlice(7, buf, buf)
+	AddSlice(buf, buf) // x ^ x = 0
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("buf[%d] = %d after self-XOR, want 0", i, v)
+		}
+	}
+}
+
+func TestDisjointHalvesOfOneArrayAllowed(t *testing.T) {
+	// Slices of the same backing array that do not share elements are
+	// legal for every kernel — this is exactly how callers split a
+	// scratch buffer. The debug check must not flag it.
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	MulAddSlice(9, buf[:32], buf[32:])
+	MulSlice(9, buf[:32], buf[32:])
+	AddSlice(buf[:32], buf[32:])
+}

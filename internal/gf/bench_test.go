@@ -1,0 +1,89 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecstore/internal/gf/ref"
+)
+
+// Kernel microbenches at the two block sizes the repo's experiments
+// use: 1 KiB (protocol benches) and 16 KiB (the headline data-path
+// size). The Ref variants measure the byte-at-a-time oracle so the
+// BENCH_kernels.json before/after comparison lives in one run.
+
+func benchBlocks(b *testing.B, n int) (dst, src []byte) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	dst = make([]byte, n)
+	src = make([]byte, n)
+	rng.Read(src)
+	rng.Read(dst)
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	return dst, src
+}
+
+func BenchmarkMulSlice1K(b *testing.B) {
+	dst, src := benchBlocks(b, 1024)
+	for i := 0; i < b.N; i++ {
+		MulSlice(0x8e, dst, src)
+	}
+}
+
+func BenchmarkMulSlice16K(b *testing.B) {
+	dst, src := benchBlocks(b, 16384)
+	for i := 0; i < b.N; i++ {
+		MulSlice(0x8e, dst, src)
+	}
+}
+
+func BenchmarkMulAddSlice1K(b *testing.B) {
+	dst, src := benchBlocks(b, 1024)
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x8e, dst, src)
+	}
+}
+
+func BenchmarkMulAddSlice16K(b *testing.B) {
+	dst, src := benchBlocks(b, 16384)
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x8e, dst, src)
+	}
+}
+
+func BenchmarkAddSlice1K(b *testing.B) {
+	dst, src := benchBlocks(b, 1024)
+	for i := 0; i < b.N; i++ {
+		AddSlice(dst, src)
+	}
+}
+
+func BenchmarkAddSlice16K(b *testing.B) {
+	dst, src := benchBlocks(b, 16384)
+	for i := 0; i < b.N; i++ {
+		AddSlice(dst, src)
+	}
+}
+
+func BenchmarkRefMulSlice16K(b *testing.B) {
+	dst, src := benchBlocks(b, 16384)
+	for i := 0; i < b.N; i++ {
+		ref.MulSlice(0x8e, dst, src)
+	}
+}
+
+func BenchmarkRefMulAddSlice16K(b *testing.B) {
+	dst, src := benchBlocks(b, 16384)
+	for i := 0; i < b.N; i++ {
+		ref.MulAddSlice(0x8e, dst, src)
+	}
+}
+
+func BenchmarkRefAddSlice16K(b *testing.B) {
+	dst, src := benchBlocks(b, 16384)
+	for i := 0; i < b.N; i++ {
+		ref.AddSlice(dst, src)
+	}
+}

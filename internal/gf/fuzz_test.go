@@ -1,0 +1,58 @@
+package gf
+
+import (
+	"bytes"
+	"testing"
+
+	"ecstore/internal/gf/ref"
+)
+
+// Native fuzz targets for the wide kernels, differential against
+// gf/ref. CI runs these for a short -fuzztime in the fuzz-smoke job;
+// without -fuzz they replay the seed corpus as ordinary tests.
+
+func FuzzMulSlice(f *testing.F) {
+	f.Add(byte(0), []byte{})
+	f.Add(byte(1), []byte{7})
+	f.Add(byte(0x8e), []byte("0123456789abcdefghijklmnopqrstuvwxyz"))
+	f.Add(byte(0xff), bytes.Repeat([]byte{0xa5}, 65))
+	f.Fuzz(func(t *testing.T, c byte, src []byte) {
+		want := make([]byte, len(src))
+		ref.MulSlice(c, want, src)
+
+		got := make([]byte, len(src))
+		MulSlice(c, got, src)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("MulSlice c=%#x len=%d diverges from ref", c, len(src))
+		}
+
+		// Exact aliasing is allowed: scaling in place must agree too.
+		inPlace := append([]byte(nil), src...)
+		MulSlice(c, inPlace, inPlace)
+		if !bytes.Equal(inPlace, want) {
+			t.Fatalf("MulSlice c=%#x len=%d aliased diverges from ref", c, len(src))
+		}
+	})
+}
+
+func FuzzMulAddSlice(f *testing.F) {
+	f.Add(byte(0), []byte{})
+	f.Add(byte(2), []byte("abcdefgh12345678ABCDEFGH"))
+	f.Add(byte(0x1d), bytes.Repeat([]byte{0x3c}, 99))
+	f.Fuzz(func(t *testing.T, c byte, data []byte) {
+		// Halve the input into an accumulator and a source so the
+		// fuzzer controls both operands.
+		n := len(data) / 2
+		src := data[:n]
+		dstInit := data[n : 2*n]
+
+		want := append([]byte(nil), dstInit...)
+		ref.MulAddSlice(c, want, src)
+
+		got := append([]byte(nil), dstInit...)
+		MulAddSlice(c, got, src)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("MulAddSlice c=%#x len=%d diverges from ref", c, n)
+		}
+	})
+}

@@ -12,6 +12,16 @@
 // the operations on the hot path of the erasure-coded storage protocol:
 // a client computes Delta = alpha*(v-w) per redundant node, and a
 // storage node folds deltas into its block with XOR.
+//
+// The slice kernels are tiered. On amd64 a nibble-split table kernel
+// (two 16-entry lookup tables per coefficient, applied with PSHUFB /
+// VPSHUFB) processes 16 or 32 bytes per step; everywhere else a
+// portable kernel works on packed uint64 words, 8 bytes per step,
+// using plain shift-and-or loads so the package stays free of unsafe
+// and encoding/binary. The original byte-at-a-time loops live on as
+// package gf/ref, the oracle for the differential tests; build with
+// -tags gfpure to force the portable path on amd64, and -tags gfdebug
+// to enable kernel precondition (aliasing) checks.
 package gf
 
 // Polynomial is the primitive polynomial used to construct the field,
@@ -26,6 +36,14 @@ var (
 	logTable [256]byte      // logTable[x] = log_g(x) for x != 0
 	mulTable [256][256]byte // mulTable[a][b] = a*b
 	invTable [256]byte      // invTable[x] = x^-1 for x != 0
+
+	// nibTable[c] holds the two 16-entry nibble product tables for
+	// coefficient c, back to back: entry n is c*n, entry 16+n is
+	// c*(n<<4). Because multiplication distributes over XOR,
+	// c*x = c*(x&0x0f) ^ c*(x&0xf0), so a full product is two 4-bit
+	// lookups and one XOR. The 32-byte layout is exactly what the
+	// amd64 shuffle kernels broadcast into vector registers.
+	nibTable [256][32]byte
 )
 
 func init() {
@@ -51,6 +69,12 @@ func init() {
 	}
 	for a := 1; a < 256; a++ {
 		invTable[a] = expTable[255-int(logTable[a])]
+	}
+	for c := 0; c < 256; c++ {
+		for n := 0; n < 16; n++ {
+			nibTable[c][n] = mulTable[c][n]
+			nibTable[c][16+n] = mulTable[c][n<<4]
+		}
 	}
 }
 
@@ -122,11 +146,13 @@ func Pow(a byte, e int) byte {
 func MulRow(c byte) *[256]byte { return &mulTable[c] }
 
 // MulSlice sets dst[i] = c*src[i] for every i. dst and src must have
-// the same length; they may alias.
+// the same length; they may alias exactly (same base pointer), but
+// must not overlap partially.
 func MulSlice(c byte, dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf: MulSlice length mismatch")
 	}
+	checkMulAlias(dst, src)
 	switch c {
 	case 0:
 		clear(dst)
@@ -135,19 +161,17 @@ func MulSlice(c byte, dst, src []byte) {
 		copy(dst, src)
 		return
 	}
-	row := &mulTable[c]
-	for i, s := range src {
-		dst[i] = row[s]
-	}
+	mulSlice(c, dst, src)
 }
 
 // MulAddSlice sets dst[i] ^= c*src[i] for every i, accumulating a
 // scaled block into dst. dst and src must have the same length and must
-// not alias.
+// not alias (build with -tags gfdebug to enforce this at runtime).
 func MulAddSlice(c byte, dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf: MulAddSlice length mismatch")
 	}
+	checkNoAlias("MulAddSlice", dst, src)
 	switch c {
 	case 0:
 		return
@@ -155,32 +179,17 @@ func MulAddSlice(c byte, dst, src []byte) {
 		AddSlice(dst, src)
 		return
 	}
-	row := &mulTable[c]
-	for i, s := range src {
-		dst[i] ^= row[s]
-	}
+	mulAddSlice(c, dst, src)
 }
 
 // AddSlice sets dst[i] ^= src[i] for every i. This is both addition and
-// subtraction in the field, applied blockwise.
+// subtraction in the field, applied blockwise. dst and src must have
+// the same length; they may alias exactly, but must not overlap
+// partially.
 func AddSlice(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf: AddSlice length mismatch")
 	}
-	n := len(dst)
-	i := 0
-	// Process 8 bytes at a time; the compiler keeps this in registers.
-	for ; i+8 <= n; i += 8 {
-		dst[i] ^= src[i]
-		dst[i+1] ^= src[i+1]
-		dst[i+2] ^= src[i+2]
-		dst[i+3] ^= src[i+3]
-		dst[i+4] ^= src[i+4]
-		dst[i+5] ^= src[i+5]
-		dst[i+6] ^= src[i+6]
-		dst[i+7] ^= src[i+7]
-	}
-	for ; i < n; i++ {
-		dst[i] ^= src[i]
-	}
+	checkMulAlias(dst, src)
+	addSlice(dst, src)
 }

@@ -1,0 +1,127 @@
+//go:build amd64 && !gfpure
+
+package gf
+
+// amd64 kernel dispatch. The assembly kernels in kernels_amd64.s apply
+// the nibble-split tables with byte shuffles: PSHUFB (SSSE3) does 16
+// parallel 4-bit lookups per instruction, VPSHUFB (AVX2) does 32. The
+// wrappers here run the vector kernel over the aligned prefix and hand
+// the tail (< one vector) to the portable word kernels.
+//
+// Kernel selection happens once at init via CPUID. SSSE3 (2006) is in
+// practice universal on amd64, but the generic tier is kept reachable
+// both for the gfpure build tag and so tests can force every tier.
+
+const (
+	kernelGeneric = iota // portable uint64 word kernels only
+	kernelSSSE3          // 16 B/step PSHUFB
+	kernelAVX2           // 32 B/step VPSHUFB
+)
+
+// kernelLevel is set once at init; tests may override it (serially) to
+// exercise lower tiers on hardware that supports higher ones.
+var kernelLevel = detectKernelLevel()
+
+func detectKernelLevel() int {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 1 {
+		return kernelGeneric
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const (
+		ssse3Bit   = 1 << 9
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	level := kernelGeneric
+	if ecx1&ssse3Bit != 0 {
+		level = kernelSSSE3
+	}
+	// AVX2 needs the CPU feature bit (leaf 7) plus OS support for
+	// saving YMM state (OSXSAVE set and XCR0 bits 1|2 enabled).
+	if ecx1&osxsaveBit != 0 && ecx1&avxBit != 0 && maxID >= 7 {
+		if xcr0, _ := xgetbv0(); xcr0&0x6 == 0x6 {
+			if _, ebx7, _, _ := cpuidex(7, 0); ebx7&(1<<5) != 0 {
+				level = kernelAVX2
+			}
+		}
+	}
+	return level
+}
+
+// Assembly routines. n must be positive and a multiple of the kernel's
+// vector width (16 for SSE/SSSE3, 32 for AVX2). tab points at the
+// 32-byte nibble table pair for the coefficient. dst and src may alias
+// exactly for the Mul kernels; the MulAdd kernels must not alias.
+
+//go:noescape
+func gfMulSSSE3(tab *byte, dst, src *byte, n int)
+
+//go:noescape
+func gfMulAVX2(tab *byte, dst, src *byte, n int)
+
+//go:noescape
+func gfMulAddSSSE3(tab *byte, dst, src *byte, n int)
+
+//go:noescape
+func gfMulAddAVX2(tab *byte, dst, src *byte, n int)
+
+//go:noescape
+func gfXorSSE2(dst, src *byte, n int)
+
+//go:noescape
+func gfXorAVX2(dst, src *byte, n int)
+
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+func mulSlice(c byte, dst, src []byte) {
+	n := len(dst)
+	if kernelLevel >= kernelAVX2 && n >= 32 {
+		m := n &^ 31
+		gfMulAVX2(&nibTable[c][0], &dst[0], &src[0], m)
+		dst, src = dst[m:], src[m:]
+	} else if kernelLevel >= kernelSSSE3 && n >= 16 {
+		m := n &^ 15
+		gfMulSSSE3(&nibTable[c][0], &dst[0], &src[0], m)
+		dst, src = dst[m:], src[m:]
+	}
+	if len(dst) > 0 {
+		mulSliceWord(c, dst, src)
+	}
+}
+
+func mulAddSlice(c byte, dst, src []byte) {
+	n := len(dst)
+	if kernelLevel >= kernelAVX2 && n >= 32 {
+		m := n &^ 31
+		gfMulAddAVX2(&nibTable[c][0], &dst[0], &src[0], m)
+		dst, src = dst[m:], src[m:]
+	} else if kernelLevel >= kernelSSSE3 && n >= 16 {
+		m := n &^ 15
+		gfMulAddSSSE3(&nibTable[c][0], &dst[0], &src[0], m)
+		dst, src = dst[m:], src[m:]
+	}
+	if len(dst) > 0 {
+		mulAddSliceWord(c, dst, src)
+	}
+}
+
+func addSlice(dst, src []byte) {
+	n := len(dst)
+	// SSE2 is baseline on amd64; the level gate only exists so tests
+	// can force the portable tier.
+	if kernelLevel >= kernelAVX2 && n >= 32 {
+		m := n &^ 31
+		gfXorAVX2(&dst[0], &src[0], m)
+		dst, src = dst[m:], src[m:]
+	} else if kernelLevel >= kernelSSSE3 && n >= 16 {
+		m := n &^ 15
+		gfXorSSE2(&dst[0], &src[0], m)
+		dst, src = dst[m:], src[m:]
+	}
+	if len(dst) > 0 {
+		addSliceWord(dst, src)
+	}
+}

@@ -1,0 +1,187 @@
+//go:build amd64 && !gfpure
+
+#include "textflag.h"
+
+// Nibble-split GF(2^8) kernels.
+//
+// Each coefficient c has a 32-byte table pair: bytes 0..15 hold
+// c*n for n in 0..15, bytes 16..31 hold c*(n<<4). A product is then
+//     c*x = lo[x & 0x0f] ^ hi[x >> 4]
+// and PSHUFB/VPSHUFB perform 16/32 of those 4-bit lookups at once.
+//
+// All kernels require n > 0 and n a multiple of the vector width;
+// the Go wrappers guarantee this and handle tails.
+
+DATA nibbleMask<>+0x00(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+0x08(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibbleMask<>(SB), RODATA|NOPTR, $16
+
+// func gfMulSSSE3(tab *byte, dst, src *byte, n int)
+// dst[i] = c*src[i] over n bytes, 16 per iteration. dst may equal src.
+TEXT ·gfMulSSSE3(SB), NOSPLIT, $0-32
+	MOVQ  tab+0(FP), AX
+	MOVQ  dst+8(FP), DI
+	MOVQ  src+16(FP), SI
+	MOVQ  n+24(FP), CX
+	MOVOU (AX), X0              // lo-nibble products
+	MOVOU 16(AX), X1            // hi-nibble products
+	MOVOU nibbleMask<>(SB), X2
+
+mul16:
+	MOVOU  (SI), X3             // x
+	MOVOU  X3, X4
+	PSRLW  $4, X4               // per-word shift; mask below drops strays
+	PAND   X2, X3               // lo nibbles
+	PAND   X2, X4               // hi nibbles
+	MOVOU  X0, X5
+	PSHUFB X3, X5               // lo[x & 0x0f]
+	MOVOU  X1, X6
+	PSHUFB X4, X6               // hi[x >> 4]
+	PXOR   X6, X5
+	MOVOU  X5, (DI)
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	SUBQ   $16, CX
+	JNE    mul16
+	RET
+
+// func gfMulAVX2(tab *byte, dst, src *byte, n int)
+// dst[i] = c*src[i] over n bytes, 32 per iteration. dst may equal src.
+TEXT ·gfMulAVX2(SB), NOSPLIT, $0-32
+	MOVQ           tab+0(FP), AX
+	MOVQ           dst+8(FP), DI
+	MOVQ           src+16(FP), SI
+	MOVQ           n+24(FP), CX
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 16(AX), Y1
+	VBROADCASTI128 nibbleMask<>(SB), Y2
+
+mul32:
+	VMOVDQU (SI), Y3
+	VPSRLW  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPXOR   Y6, Y5, Y5
+	VMOVDQU Y5, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNE     mul32
+	VZEROUPPER
+	RET
+
+// func gfMulAddSSSE3(tab *byte, dst, src *byte, n int)
+// dst[i] ^= c*src[i] over n bytes, 16 per iteration. Must not alias.
+TEXT ·gfMulAddSSSE3(SB), NOSPLIT, $0-32
+	MOVQ  tab+0(FP), AX
+	MOVQ  dst+8(FP), DI
+	MOVQ  src+16(FP), SI
+	MOVQ  n+24(FP), CX
+	MOVOU (AX), X0
+	MOVOU 16(AX), X1
+	MOVOU nibbleMask<>(SB), X2
+
+muladd16:
+	MOVOU  (SI), X3
+	MOVOU  X3, X4
+	PSRLW  $4, X4
+	PAND   X2, X3
+	PAND   X2, X4
+	MOVOU  X0, X5
+	PSHUFB X3, X5
+	MOVOU  X1, X6
+	PSHUFB X4, X6
+	PXOR   X6, X5
+	MOVOU  (DI), X7
+	PXOR   X7, X5
+	MOVOU  X5, (DI)
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	SUBQ   $16, CX
+	JNE    muladd16
+	RET
+
+// func gfMulAddAVX2(tab *byte, dst, src *byte, n int)
+// dst[i] ^= c*src[i] over n bytes, 32 per iteration. Must not alias.
+TEXT ·gfMulAddAVX2(SB), NOSPLIT, $0-32
+	MOVQ           tab+0(FP), AX
+	MOVQ           dst+8(FP), DI
+	MOVQ           src+16(FP), SI
+	MOVQ           n+24(FP), CX
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 16(AX), Y1
+	VBROADCASTI128 nibbleMask<>(SB), Y2
+
+muladd32:
+	VMOVDQU (SI), Y3
+	VPSRLW  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPXOR   Y6, Y5, Y5
+	VPXOR   (DI), Y5, Y5
+	VMOVDQU Y5, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNE     muladd32
+	VZEROUPPER
+	RET
+
+// func gfXorSSE2(dst, src *byte, n int)
+// dst[i] ^= src[i] over n bytes, 16 per iteration.
+TEXT ·gfXorSSE2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+xor16:
+	MOVOU (SI), X0
+	MOVOU (DI), X1
+	PXOR  X0, X1
+	MOVOU X1, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	SUBQ  $16, CX
+	JNE   xor16
+	RET
+
+// func gfXorAVX2(dst, src *byte, n int)
+// dst[i] ^= src[i] over n bytes, 32 per iteration.
+TEXT ·gfXorAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+xor32:
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNE     xor32
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,31 @@
+//go:build amd64 && !gfpure
+
+package gf
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestKernelLevelSweep re-runs the full differential suite at every
+// kernel tier up to the one CPUID detected, so the SSSE3 and generic
+// paths get exercised even on AVX2 hardware. kernelLevel is package
+// state, so the sweep must not run in parallel with other tests that
+// call the kernels — Go runs top-level tests in one goroutine unless
+// they opt into t.Parallel(), and none here do.
+func TestKernelLevelSweep(t *testing.T) {
+	detected := kernelLevel
+	defer func() { kernelLevel = detected }()
+	names := []string{"generic", "ssse3", "avx2"}
+	for lvl := kernelGeneric; lvl <= detected; lvl++ {
+		t.Run(fmt.Sprintf("level=%s", names[lvl]), func(t *testing.T) {
+			kernelLevel = lvl
+			runDifferential(t)
+		})
+	}
+}
+
+func TestDetectedLevelReported(t *testing.T) {
+	names := []string{"generic", "ssse3", "avx2"}
+	t.Logf("kernel tier in use: %s", names[kernelLevel])
+}

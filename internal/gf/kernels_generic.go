@@ -1,0 +1,10 @@
+//go:build !amd64 || gfpure
+
+package gf
+
+// Non-amd64 targets (and amd64 under -tags gfpure) run the portable
+// word kernels directly.
+
+func mulSlice(c byte, dst, src []byte)    { mulSliceWord(c, dst, src) }
+func mulAddSlice(c byte, dst, src []byte) { mulAddSliceWord(c, dst, src) }
+func addSlice(dst, src []byte)            { addSliceWord(dst, src) }

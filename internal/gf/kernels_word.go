@@ -1,0 +1,87 @@
+package gf
+
+// Portable wide kernels. These work on packed uint64 words, 8 bytes
+// per step, with nibble-split table lookups folded per byte. The word
+// loads/stores are written as explicit shift-and-or so the package
+// needs neither unsafe nor encoding/binary; the compiler's memcombine
+// pass fuses each helper into a single 8-byte MOVQ on little-endian
+// targets.
+//
+// They are the only kernels on non-amd64 targets and under the gfpure
+// build tag; on amd64 they handle the tails the vector kernels leave
+// behind.
+
+// load64 reads 8 little-endian bytes from b.
+func load64(b []byte) uint64 {
+	_ = b[7] // one bounds check for all eight loads
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// store64 writes 8 little-endian bytes to b.
+func store64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// mulWord returns the 8 field products c*b for the packed bytes of v,
+// using the two 16-entry nibble tables for c.
+func mulWord(tab *[32]byte, v uint64) uint64 {
+	return uint64(tab[v&0x0f]^tab[16+(v>>4&0x0f)]) |
+		uint64(tab[v>>8&0x0f]^tab[16+(v>>12&0x0f)])<<8 |
+		uint64(tab[v>>16&0x0f]^tab[16+(v>>20&0x0f)])<<16 |
+		uint64(tab[v>>24&0x0f]^tab[16+(v>>28&0x0f)])<<24 |
+		uint64(tab[v>>32&0x0f]^tab[16+(v>>36&0x0f)])<<32 |
+		uint64(tab[v>>40&0x0f]^tab[16+(v>>44&0x0f)])<<40 |
+		uint64(tab[v>>48&0x0f]^tab[16+(v>>52&0x0f)])<<48 |
+		uint64(tab[v>>56&0x0f]^tab[16+(v>>60&0x0f)])<<56
+}
+
+// mulSliceWord is the portable dst[i] = c*src[i] kernel. Callers
+// guarantee equal lengths and c not in {0, 1}.
+func mulSliceWord(c byte, dst, src []byte) {
+	tab := &nibTable[c]
+	for len(src) >= 8 {
+		store64(dst, mulWord(tab, load64(src)))
+		dst = dst[8:]
+		src = src[8:]
+	}
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+// mulAddSliceWord is the portable dst[i] ^= c*src[i] kernel. Callers
+// guarantee equal lengths, no aliasing, and c not in {0, 1}.
+func mulAddSliceWord(c byte, dst, src []byte) {
+	tab := &nibTable[c]
+	for len(src) >= 8 {
+		store64(dst, load64(dst)^mulWord(tab, load64(src)))
+		dst = dst[8:]
+		src = src[8:]
+	}
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// addSliceWord is the portable dst[i] ^= src[i] kernel.
+func addSliceWord(dst, src []byte) {
+	for len(src) >= 8 {
+		store64(dst, load64(dst)^load64(src))
+		dst = dst[8:]
+		src = src[8:]
+	}
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}

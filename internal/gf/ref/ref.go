@@ -1,0 +1,81 @@
+// Package ref holds the byte-at-a-time reference implementation of
+// the GF(2^8) slice kernels. Package gf ships wide kernels (packed
+// uint64 words, and SIMD nibble-split lookups on amd64) on its hot
+// path; this package keeps the original, obviously-correct scalar
+// loops as an independent oracle for differential and fuzz testing.
+//
+// The field construction is duplicated from package gf on purpose —
+// importing gf here would let a table-generation bug cancel itself out
+// in the comparison. The only shared fact is the primitive polynomial,
+// and ref builds its multiplication table by shift-and-reduce rather
+// than through log/exp tables, so even a logarithm-table bug in gf is
+// visible against it.
+package ref
+
+// Polynomial is the primitive polynomial of the field,
+// x^8 + x^4 + x^3 + x^2 + 1, matching gf.Polynomial.
+const Polynomial = 0x11D
+
+var mulTable [256][256]byte
+
+func init() {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			mulTable[a][b] = mulBitwise(byte(a), byte(b))
+		}
+	}
+}
+
+// mulBitwise is carry-less multiplication with polynomial reduction —
+// the definition of the field product, independent of any table.
+func mulBitwise(a, b byte) byte {
+	var prod int
+	for i := 0; i < 8; i++ {
+		if b&(1<<i) != 0 {
+			prod ^= int(a) << i
+		}
+	}
+	for i := 15; i >= 8; i-- {
+		if prod&(1<<i) != 0 {
+			prod ^= Polynomial << (i - 8)
+		}
+	}
+	return byte(prod)
+}
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte { return mulTable[a][b] }
+
+// MulSlice sets dst[i] = c*src[i] for every i, one byte at a time.
+// dst and src must have the same length; they may alias exactly.
+func MulSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf/ref: MulSlice length mismatch")
+	}
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c*src[i] for every i, one byte at a
+// time. dst and src must have the same length and must not alias.
+func MulAddSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf/ref: MulAddSlice length mismatch")
+	}
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// AddSlice sets dst[i] ^= src[i] for every i, one byte at a time.
+func AddSlice(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf/ref: AddSlice length mismatch")
+	}
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}

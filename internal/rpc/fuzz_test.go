@@ -7,6 +7,7 @@ import (
 	"io"
 	"testing"
 
+	"ecstore/internal/bufpool"
 	"ecstore/internal/wire"
 )
 
@@ -41,7 +42,8 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(frameSeed(16, []byte{1, 2, 3}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		mt, id, payload, err := readFrame(bytes.NewReader(data))
+		mt, id, payload, frame, err := readFrame(bytes.NewReader(data))
+		defer bufpool.Put(frame)
 		if err != nil {
 			if len(data) >= 4 {
 				length := binary.BigEndian.Uint32(data[:4])
@@ -60,10 +62,11 @@ func FuzzReadFrame(f *testing.F) {
 		if err := writeFrame(&out, mt, id, payload); err != nil {
 			t.Fatalf("re-framing accepted frame failed: %v", err)
 		}
-		mt2, id2, payload2, err := readFrame(&out)
+		mt2, id2, payload2, frame2, err := readFrame(&out)
 		if err != nil {
 			t.Fatalf("re-reading re-framed frame failed: %v", err)
 		}
+		defer bufpool.Put(frame2)
 		if mt2 != mt || id2 != id || !bytes.Equal(payload, payload2) {
 			t.Fatalf("frame round-trip mismatch: (%d,%d,%x) vs (%d,%d,%x)", mt, id, payload, mt2, id2, payload2)
 		}

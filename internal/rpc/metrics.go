@@ -3,6 +3,7 @@ package rpc
 import (
 	"time"
 
+	"ecstore/internal/bufpool"
 	"ecstore/internal/obs"
 	"ecstore/internal/wire"
 )
@@ -78,6 +79,9 @@ func NewMetrics(reg *obs.Registry, prefix string) *Metrics {
 			Latency: reg.Histogram(prefix + "." + name + ".latency"),
 		}
 	}
+	// Every instrumented endpoint also exports the shared buffer-pool
+	// gauges; Instrument is idempotent per registry and nil-safe.
+	bufpool.Instrument(reg)
 	return m
 }
 

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ecstore/internal/bufpool"
 	"ecstore/internal/obs"
 	"ecstore/internal/proto"
 	"ecstore/internal/wire"
@@ -114,7 +115,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
 	for {
-		mt, id, payload, err := readFrame(r)
+		mt, id, payload, frame, err := readFrame(r)
 		if err != nil {
 			if errors.Is(err, errBadFrame) {
 				s.metrics.noteBadFrame()
@@ -131,33 +132,46 @@ func (s *Server) serveConn(conn net.Conn) {
 				op.Calls.Inc()
 				sp = obs.StartSpan(op.Latency)
 			}
-			reply := s.dispatch(mt, payload)
+			// Decode copies every field it keeps, so the frame goes
+			// back to the pool before the handler even runs.
+			msg, derr := wire.Decode(mt, payload)
+			bufpool.Put(frame)
+			var reply any
+			if derr != nil {
+				reply = derr
+			} else {
+				reply = s.dispatch(msg)
+			}
 			if op != nil {
 				if _, failed := reply.(error); failed {
 					op.noteError()
 				}
 			}
 			wmu.Lock()
-			defer wmu.Unlock()
-			n, err := writeReply(w, id, reply)
-			if err != nil {
+			n, werr := writeReply(w, id, reply)
+			if werr != nil {
+				wmu.Unlock()
 				_ = conn.Close()
 				return
 			}
 			_ = w.Flush()
+			wmu.Unlock()
+			// The handler has returned and the reply is on the wire;
+			// node handlers fold or copy request payloads during the
+			// call (package storage), so the request's pooled block
+			// buffer is dead here.
+			if derr == nil {
+				wire.Recycle(msg)
+			}
 			s.metrics.noteOut(n)
 			sp.End()
 		}()
 	}
 }
 
-// dispatch decodes a request, invokes the node, and returns the reply
-// message (or an error to be sent as TError).
-func (s *Server) dispatch(mt wire.MsgType, payload []byte) any {
-	msg, err := wire.Decode(mt, payload)
-	if err != nil {
-		return err
-	}
+// dispatch invokes the node handler for a decoded request and returns
+// the reply message (or an error to be sent as TError).
+func (s *Server) dispatch(msg any) any {
 	ctx := context.Background()
 	var (
 		rep any
@@ -211,22 +225,27 @@ const frameHeaderSize = 4 + 1 + 8
 // short for a header, or beyond MaxFrame).
 var errBadFrame = errors.New("rpc: bad frame length")
 
-func readFrame(r io.Reader) (wire.MsgType, uint64, []byte, error) {
+// readFrame reads one frame into a pooled buffer. It returns the
+// payload view alongside the whole backing frame: the payload starts 9
+// bytes in, so only the full frame can go back to the pool — the
+// caller must Put frame (not payload) once the payload is dead.
+func readFrame(r io.Reader) (wire.MsgType, uint64, []byte, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, nil, err
 	}
 	length := binary.BigEndian.Uint32(hdr[:])
 	if length < 9 || length > MaxFrame {
-		return 0, 0, nil, fmt.Errorf("%w %d", errBadFrame, length)
+		return 0, 0, nil, nil, fmt.Errorf("%w %d", errBadFrame, length)
 	}
-	body := make([]byte, length)
+	body := bufpool.Get(int(length))
 	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, 0, nil, err
+		bufpool.Put(body)
+		return 0, 0, nil, nil, err
 	}
 	mt := wire.MsgType(body[0])
 	id := binary.BigEndian.Uint64(body[1:9])
-	return mt, id, body[9:], nil
+	return mt, id, body[9:], body, nil
 }
 
 func writeFrame(w io.Writer, mt wire.MsgType, id uint64, payload []byte) error {
@@ -242,17 +261,23 @@ func writeFrame(w io.Writer, mt wire.MsgType, id uint64, payload []byte) error {
 }
 
 // writeReply writes the reply frame and returns its size on the wire.
+// The reply body is serialized into a pooled buffer sized by wire.Size
+// and returned to the pool once written.
 func writeReply(w io.Writer, id uint64, reply any) (int, error) {
 	if err, ok := reply.(error); ok {
 		msg := []byte(err.Error())
 		return frameHeaderSize + len(msg), writeFrame(w, wire.TError, id, msg)
 	}
-	mt, payload, err := wire.Encode(reply)
+	buf := bufpool.Get(wire.Size(reply) - frameHeaderSize)
+	mt, payload, err := wire.EncodeAppend(reply, buf[:0])
 	if err != nil {
+		bufpool.Put(buf)
 		msg := []byte(err.Error())
 		return frameHeaderSize + len(msg), writeFrame(w, wire.TError, id, msg)
 	}
-	return frameHeaderSize + len(payload), writeFrame(w, mt, id, payload)
+	werr := writeFrame(w, mt, id, payload)
+	bufpool.Put(buf)
+	return frameHeaderSize + len(payload), werr
 }
 
 // --- Client ----------------------------------------------------------------
@@ -280,6 +305,7 @@ type Client struct {
 type frameOrErr struct {
 	mt      wire.MsgType
 	payload []byte
+	frame   []byte // pooled backing buffer of payload; Put after use
 	err     error
 }
 
@@ -370,7 +396,7 @@ func (c *Client) TryConnect(ctx context.Context) error {
 func (c *Client) readLoop(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		mt, id, payload, err := readFrame(r)
+		mt, id, payload, frame, err := readFrame(r)
 		if err != nil {
 			c.mu.Lock()
 			if c.conn == conn {
@@ -386,7 +412,11 @@ func (c *Client) readLoop(conn net.Conn) {
 		delete(c.pending, id)
 		c.mu.Unlock()
 		if ok {
-			ch <- frameOrErr{mt: mt, payload: payload}
+			ch <- frameOrErr{mt: mt, payload: payload, frame: frame}
+		} else {
+			// Reply for an abandoned call (timeout); nobody will read
+			// the payload.
+			bufpool.Put(frame)
 		}
 	}
 }
@@ -405,8 +435,10 @@ func (c *Client) call(ctx context.Context, req any) (any, error) {
 		ctx, cancel = context.WithTimeout(ctx, c.callTimeout)
 		defer cancel()
 	}
-	mt, payload, err := wire.Encode(req)
+	ebuf := bufpool.Get(wire.Size(req) - frameHeaderSize)
+	mt, payload, err := wire.EncodeAppend(req, ebuf[:0])
 	if err != nil {
+		bufpool.Put(ebuf)
 		return nil, err
 	}
 	op := c.metrics.Op(mt)
@@ -421,6 +453,7 @@ func (c *Client) call(ctx context.Context, req any) (any, error) {
 	c.mu.Lock()
 	if err := c.ensureConnLocked(ctx); err != nil {
 		c.mu.Unlock()
+		bufpool.Put(ebuf)
 		op.noteError()
 		return nil, err
 	}
@@ -435,6 +468,7 @@ func (c *Client) call(ctx context.Context, req any) (any, error) {
 		c.failAllLocked(proto.ErrNodeDown)
 		c.conn = nil
 		c.mu.Unlock()
+		bufpool.Put(ebuf)
 		if conn != nil {
 			_ = conn.Close()
 		}
@@ -442,6 +476,9 @@ func (c *Client) call(ctx context.Context, req any) (any, error) {
 		return nil, fmt.Errorf("%w: %v", proto.ErrNodeDown, werr)
 	}
 	c.mu.Unlock()
+	// Flushed: the request bytes are on the socket (or in its buffer),
+	// so the encode scratch goes back to the pool.
+	bufpool.Put(ebuf)
 	c.metrics.noteOut(frameHeaderSize + len(payload))
 
 	select {
@@ -449,6 +486,13 @@ func (c *Client) call(ctx context.Context, req any) (any, error) {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		// If the reply raced in just before the delete, reclaim its
+		// frame; a reply that arrives later is recycled by readLoop.
+		select {
+		case f := <-ch:
+			bufpool.Put(f.frame)
+		default:
+		}
 		c.metrics.noteTimeout()
 		op.noteError()
 		return nil, ctx.Err()
@@ -461,9 +505,13 @@ func (c *Client) call(ctx context.Context, req any) (any, error) {
 		sp.End()
 		if f.mt == wire.TError {
 			op.noteError()
-			return nil, &errServer{msg: string(f.payload)}
+			msg := string(f.payload) // copies before the frame is pooled
+			bufpool.Put(f.frame)
+			return nil, &errServer{msg: msg}
 		}
-		return wire.Decode(f.mt, f.payload)
+		rep, err := wire.Decode(f.mt, f.payload)
+		bufpool.Put(f.frame)
+		return rep, err
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ecstore/internal/bufpool"
 	"ecstore/internal/proto"
 )
 
@@ -160,7 +161,10 @@ func (d *decoder) bytes() []byte {
 	if !d.need(n) {
 		return nil
 	}
-	out := make([]byte, n)
+	// Block-sized payload fields dominate decode allocation; draw them
+	// from the buffer pool. The decoded message owns the buffer — see
+	// Recycle for the one place that returns request payloads.
+	out := bufpool.Get(n)
 	copy(out, d.buf[d.off:])
 	d.off += n
 	return out
@@ -212,7 +216,14 @@ func (d *decoder) i32s() []int32 {
 // Encode serializes a protocol message body (no framing) and returns
 // its type tag. It supports every request and reply in package proto.
 func Encode(msg any) (MsgType, []byte, error) {
-	e := &encoder{}
+	return EncodeAppend(msg, nil)
+}
+
+// EncodeAppend is Encode into caller-provided storage: the body is
+// appended to buf (usually buf[:0] of a pooled buffer sized with
+// Size), growing it only if the capacity is short.
+func EncodeAppend(msg any, buf []byte) (MsgType, []byte, error) {
+	e := &encoder{buf: buf}
 	switch m := msg.(type) {
 	case *proto.ReadReq:
 		e.u64(m.Stripe)
@@ -495,6 +506,33 @@ func (d *decoder) tids() []proto.TID {
 		return nil
 	}
 	return out
+}
+
+// Recycle returns the pooled payload buffer of a decoded *request* to
+// the block pool and nils the field. The RPC server calls it once the
+// handler has returned and the reply is on the wire; the storage node
+// handlers fold or copy request payloads during the call and retain no
+// reference (package storage documents this), so the buffer's lifetime
+// is fully visible there.
+//
+// Replies are deliberately not recycled: reply payloads (read blocks,
+// swap old-values) are returned to the caller of the RPC client and
+// escape into application code.
+func Recycle(msg any) {
+	switch m := msg.(type) {
+	case *proto.SwapReq:
+		bufpool.Put(m.Value)
+		m.Value = nil
+	case *proto.AddReq:
+		bufpool.Put(m.Delta)
+		m.Delta = nil
+	case *proto.BatchAddReq:
+		bufpool.Put(m.Delta)
+		m.Delta = nil
+	case *proto.ReconstructReq:
+		bufpool.Put(m.Block)
+		m.Block = nil
+	}
 }
 
 // Size returns the on-wire size of a message including framing,

@@ -1,0 +1,102 @@
+// Bulk-I/O benchmarks behind BENCH_bulkio.json: the same 64-stripe
+// sequential WriteAt/ReadAt span driven through the pipelined engine
+// at window sizes 1 (the strictly sequential path), 4, and 16.
+//
+// The cluster is fully in-process, with every shard handle wrapped in
+// transport.Delayed: a fixed 100 us round trip per RPC and nothing
+// else. That is the quantity pipelining exists to hide — concurrent
+// RPCs overlap their round trips exactly as they would on a wire,
+// while the sequential path pays them end to end — and it is what
+// keeps the window-16/window-1 ratio reproducible on a single-core CI
+// runner, where raw direct-call benchmarks would only measure the
+// (already window-independent) CPU cost of the GF math. Run with
+//
+//	go test -run '^$' -bench 'BenchmarkBulk' -benchtime 2s
+//
+// to regenerate the MB/s table in README.md; scripts/benchcheck gates
+// these against BENCH_bulkio.json's ci_baseline.
+package ecstore_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ecstore/internal/placement"
+	"ecstore/internal/proto"
+	"ecstore/internal/transport"
+	"ecstore/internal/volume"
+)
+
+const (
+	bulkBenchBlock   = 4096
+	bulkBenchStripes = 64 // per span; k=2 => 128 blocks, 512 KiB
+	bulkBenchRTT     = 100 * time.Microsecond
+)
+
+// benchBulkVolume builds an in-process sharded volume (two groups over
+// a six-site pool) whose shard handles each charge one simulated round
+// trip per RPC, with the bulk engine at the given window.
+func benchBulkVolume(b *testing.B, window int) *volume.Local {
+	b.Helper()
+	v, err := volume.NewLocal(volume.LocalOptions{
+		K: 2, N: 4, BlockSize: bulkBenchBlock,
+		Groups: 2, Sites: 6, BlocksPerGroup: 128,
+		MaxInFlight: window,
+		WrapShard: func(site placement.Node, group uint64, n proto.StorageNode) proto.StorageNode {
+			return transport.NewDelayed(n, bulkBenchRTT)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = v.Close() })
+	return v
+}
+
+func benchBulkWriteAt(b *testing.B, window int) {
+	v := benchBulkVolume(b, window)
+	ctx := context.Background()
+	payload := make([]byte, bulkBenchStripes*2*bulkBenchBlock)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n, err := v.WriteAt(ctx, payload, 0); err != nil || n != len(payload) {
+			b.Fatalf("WriteAt = %d, %v", n, err)
+		}
+	}
+	b.StopTimer()
+	if err := v.CollectGarbage(ctx); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBulkWriteAtW1(b *testing.B)  { benchBulkWriteAt(b, 1) }
+func BenchmarkBulkWriteAtW4(b *testing.B)  { benchBulkWriteAt(b, 4) }
+func BenchmarkBulkWriteAtW16(b *testing.B) { benchBulkWriteAt(b, 16) }
+
+func benchBulkReadAt(b *testing.B, window int) {
+	v := benchBulkVolume(b, window)
+	ctx := context.Background()
+	payload := make([]byte, bulkBenchStripes*2*bulkBenchBlock)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if _, err := v.WriteAt(ctx, payload, 0); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, len(payload))
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n, err := v.ReadAt(ctx, buf, 0); err != nil || n != len(buf) {
+			b.Fatalf("ReadAt = %d, %v", n, err)
+		}
+	}
+}
+
+func BenchmarkBulkReadAtW1(b *testing.B)  { benchBulkReadAt(b, 1) }
+func BenchmarkBulkReadAtW16(b *testing.B) { benchBulkReadAt(b, 16) }

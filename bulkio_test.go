@@ -1,0 +1,291 @@
+package ecstore_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore"
+	"ecstore/internal/regcheck"
+)
+
+// TestStoreFacade exercises the unified Store interface over both
+// deployment shapes: a single-group local cluster and a multi-group
+// sharded volume behave identically behind the same surface.
+func TestStoreFacade(t *testing.T) {
+	ctx := ctxT(t)
+	shapes := []struct {
+		name string
+		opts ecstore.Options
+	}{
+		{"single-group", ecstore.Options{K: 2, N: 4, BlockSize: blockSize}},
+		{"sharded", ecstore.Options{K: 2, N: 4, BlockSize: blockSize, Groups: 4, Sites: 8, BlocksPerGroup: 16}},
+	}
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			s, err := ecstore.New(shape.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = s.Close() })
+			if s.BlockSize() != blockSize {
+				t.Fatalf("BlockSize = %d", s.BlockSize())
+			}
+
+			payload := []byte("store facade payload straddling a few blocks: " +
+				string(bytes.Repeat([]byte{0xC3}, 3*blockSize)))
+			off := int64(blockSize - 7)
+			if n, err := s.WriteAt(ctx, payload, off); err != nil || n != len(payload) {
+				t.Fatalf("WriteAt = %d, %v", n, err)
+			}
+			got := make([]byte, len(payload))
+			if _, err := s.ReadAt(ctx, got, off); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("ReadAt diverged")
+			}
+
+			// The streaming Reader sees the same bytes.
+			streamed, err := io.ReadAll(s.Reader(ctx, off, int64(len(payload))))
+			if err != nil || !bytes.Equal(streamed, payload) {
+				t.Fatalf("Reader: %v, %d bytes", err, len(streamed))
+			}
+
+			// Stdlib adapters: io.ReaderAt / io.WriterAt round trip.
+			wa := s.IOWriterAt(ctx)
+			ra := s.IOReaderAt(ctx)
+			if _, err := wa.WriteAt([]byte("adapters"), 3); err != nil {
+				t.Fatal(err)
+			}
+			small := make([]byte, 8)
+			if _, err := ra.ReadAt(small, 3); err != nil {
+				t.Fatal(err)
+			}
+			if string(small) != "adapters" {
+				t.Fatalf("adapter round trip = %q", small)
+			}
+
+			// Maintenance surface is uniform too.
+			if err := s.CollectGarbage(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Monitor(ctx, time.Hour); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, _, err := s.Scrub(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Recover(ctx, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestStoreSentinels pins the typed error surface: out-of-range and
+// short-write conditions match errors.Is against the root sentinels.
+func TestStoreSentinels(t *testing.T) {
+	ctx := ctxT(t)
+	s, err := ecstore.New(ecstore.Options{
+		K: 2, N: 4, BlockSize: blockSize,
+		Groups: 2, Sites: 6, BlocksPerGroup: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	if s.Capacity() != 16 {
+		t.Fatalf("capacity = %d, want 16", s.Capacity())
+	}
+	capBytes := int64(s.Capacity()) * int64(blockSize)
+
+	if _, err := s.WriteAt(ctx, []byte("x"), capBytes); !errors.Is(err, ecstore.ErrOutOfRange) {
+		t.Fatalf("past-capacity write err = %v, want ErrOutOfRange", err)
+	}
+	if _, err := s.WriteAt(ctx, []byte("x"), -1); !errors.Is(err, ecstore.ErrOutOfRange) {
+		t.Fatalf("negative offset err = %v, want ErrOutOfRange", err)
+	}
+	// Bounded reads truncate with io.EOF instead of erroring.
+	buf := make([]byte, 2*blockSize)
+	if n, err := s.ReadAt(ctx, buf, capBytes-int64(blockSize)); err != io.EOF || n != blockSize {
+		t.Fatalf("tail read = %d, %v; want %d, EOF", n, err, blockSize)
+	}
+}
+
+// TestWriteAtWindowEquivalence writes the same pseudo-random span
+// schedule through window 1 (the sequential path) and window 16 (the
+// pipelined path) and demands byte-identical volumes.
+func TestWriteAtWindowEquivalence(t *testing.T) {
+	ctx := ctxT(t)
+	images := make([][]byte, 0, 2)
+	for _, window := range []int{1, 16} {
+		s, err := ecstore.New(ecstore.Options{
+			K: 2, N: 4, BlockSize: blockSize,
+			Groups: 2, Sites: 6, BlocksPerGroup: 32,
+			MaxInFlight: window,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = s.Close() })
+		capBytes := int(s.Capacity()) * blockSize
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 20; i++ {
+			off := rng.Int63n(int64(capBytes - 1))
+			n := 1 + rng.Intn(capBytes-int(off))
+			p := make([]byte, n)
+			rng.Read(p)
+			if wrote, err := s.WriteAt(ctx, p, off); err != nil || wrote != n {
+				t.Fatalf("window %d WriteAt = %d, %v", window, wrote, err)
+			}
+		}
+		img := make([]byte, capBytes)
+		if _, err := s.ReadAt(ctx, img, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		images = append(images, img)
+	}
+	if !bytes.Equal(images[0], images[1]) {
+		t.Fatal("window 1 and window 16 volumes diverged")
+	}
+}
+
+// TestBulkWriteRegularRegisters asserts the engine preserves the
+// protocol's per-block regular-register semantics: concurrent WriteAt
+// writers (distinct client identities) and ReadAt readers on the same
+// block produce a history regcheck accepts.
+func TestBulkWriteRegularRegisters(t *testing.T) {
+	c := localCluster(t, 2, 4)
+	t.Cleanup(func() { _ = c.Close() })
+	ctx := ctxT(t)
+	const (
+		addr    = 3 // contended block
+		writers = 2
+		rounds  = 12
+	)
+	hist := regcheck.New()
+	encode := func(v uint64) []byte {
+		blk := make([]byte, blockSize)
+		binary.BigEndian.PutUint64(blk, v)
+		return blk
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, writers+1)
+	for w := 0; w < writers; w++ {
+		v := vol(t, c, uint32(w+1))
+		wg.Add(1)
+		go func(w int, v *ecstore.Volume) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				val := uint64(1000*(w+1) + r)
+				tok := hist.BeginWrite(val)
+				if _, err := v.WriteAt(ctx, encode(val), addr*blockSize); err != nil {
+					errs[w] = fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+				hist.EndWrite(tok)
+			}
+		}(w, v)
+	}
+	reader := vol(t, c, writers+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, blockSize)
+		for r := 0; r < 3*rounds; r++ {
+			tok := hist.BeginRead()
+			if _, err := reader.ReadAt(ctx, buf, addr*blockSize); err != nil {
+				errs[writers] = fmt.Errorf("reader: %w", err)
+				return
+			}
+			hist.EndRead(tok, binary.BigEndian.Uint64(buf))
+		}
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := hist.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBulkChaosMidSpanCrash is the tentpole's consistency claim under
+// failure: crash a site while a >=64-stripe pipelined WriteAt is in
+// flight. Whatever count WriteAt returns, that prefix must read back
+// intact — no acknowledged stripe may be lost — and a failure must be
+// a typed short write.
+func TestBulkChaosMidSpanCrash(t *testing.T) {
+	// Sweep the crash timing so at least some runs interrupt the span
+	// mid-flight; the invariant must hold at every point.
+	for _, delay := range []time.Duration{0, 100 * time.Microsecond, 500 * time.Microsecond, 2 * time.Millisecond} {
+		t.Run(delay.String(), func(t *testing.T) {
+			ctx := ctxT(t)
+			v, err := ecstore.NewLocalShardedVolume(ecstore.Options{
+				K: 2, N: 4, BlockSize: blockSize,
+				Groups: 4, Sites: 8, BlocksPerGroup: 32,
+				MaxInFlight: 16,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = v.Close() })
+
+			// 128 blocks = 64 stripes spanning all four groups.
+			payload := make([]byte, int(v.Capacity())*blockSize)
+			rand.New(rand.NewSource(99)).Read(payload)
+
+			// Crash a site serving group 1 once the write is under way.
+			sites, err := v.GroupSites(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crashed := make(chan struct{})
+			go func() {
+				defer close(crashed)
+				time.Sleep(delay)
+				_ = v.CrashSite(sites[0])
+			}()
+
+			n, err := v.WriteAt(ctx, payload, 0)
+			<-crashed
+			if err != nil {
+				// A failed span must be a typed short write with a
+				// consistent count.
+				if !errors.Is(err, ecstore.ErrShortWrite) {
+					t.Fatalf("err = %v, want ErrShortWrite", err)
+				}
+				if n < 0 || n > len(payload) {
+					t.Fatalf("count %d out of range", n)
+				}
+			} else if n != len(payload) {
+				t.Fatalf("clean WriteAt returned %d of %d", n, len(payload))
+			}
+			t.Logf("WriteAt acknowledged %d of %d bytes (err=%v)", n, len(payload), err)
+
+			// Every acknowledged byte must survive the crash: the local
+			// pool remaps the dead site and degraded reads rebuild from
+			// survivors.
+			got := make([]byte, n)
+			if _, err := v.ReadAt(ctx, got, 0); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload[:n]) {
+				for i := range got {
+					if got[i] != payload[i] {
+						t.Fatalf("acknowledged byte %d lost (block %d)", i, i/blockSize)
+					}
+				}
+			}
+		})
+	}
+}

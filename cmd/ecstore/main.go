@@ -83,10 +83,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	addrs := strings.Split(*nodes, ",")
 	var vol volumeAPI
 	if *groups > 1 {
-		sv, err := ecstore.ConnectShardedVolume(ecstore.ShardedOptions{
-			Options: ecstore.Options{
-				K: *k, N: *n, BlockSize: *blockSize, Mode: updateMode, Obs: reg,
-			},
+		sv, err := ecstore.ConnectShardedVolume(ecstore.Options{
+			K: *k, N: *n, BlockSize: *blockSize, Mode: updateMode, Obs: reg,
 			Groups:         *groups,
 			BlocksPerGroup: *bpg,
 			ClientID:       uint32(*clientID),

@@ -40,7 +40,7 @@ func main() {
 			"fig9a", "fig9b", "fig9c", "fig9d",
 			"fig10a", "fig10b", "fig10c", "fig10d",
 			"recovery", "latency", "readratio", "space", "ablation",
-			"multigroup",
+			"multigroup", "bulkio",
 		}
 	}
 	var metricsFile *os.File
@@ -208,6 +208,10 @@ var runners = map[string]runner{
 	},
 	"multigroup": func(ctx context.Context, w io.Writer, quick bool) error {
 		t, err := experiments.MultiGroup(ctx, quick)
+		return printTable(w, t, err)
+	},
+	"bulkio": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, err := experiments.BulkIO(ctx, quick)
 		return printTable(w, t, err)
 	},
 	"ablation": func(ctx context.Context, w io.Writer, quick bool) error {

@@ -31,10 +31,10 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
-	"sync"
 	"time"
 
 	"ecstore/internal/blockstore"
+	"ecstore/internal/bulk"
 	"ecstore/internal/core"
 	"ecstore/internal/directory"
 	"ecstore/internal/erasure"
@@ -68,7 +68,11 @@ var (
 	ErrWriteExhausted = core.ErrWriteExhausted
 )
 
-// Options configures a cluster.
+// Options configures a Store (and the deprecated Cluster facade). The
+// single struct covers both shapes of deployment: with Groups == 1
+// (the default) the store is one stripe group exactly as before; with
+// Groups > 1 the flat address space is split into group extents placed
+// over a site pool by rendezvous hashing.
 type Options struct {
 	// K is the number of data blocks per stripe; N the total including
 	// redundancy. Required: 2 <= K < N, and N-K <= K for the
@@ -85,16 +89,43 @@ type Options struct {
 	// deployments without an external failure detector. Local clusters
 	// default to 5 seconds; 0 keeps the default, negative disables.
 	LockLease time.Duration
-	// DataDir, when set on a local cluster, persists every node's
-	// blocks under DataDir/node-<i>. Reopening a cluster on the same
-	// directory restores the data; because a restarting deployment
+	// DataDir, when set on a local single-group store, persists every
+	// node's blocks under DataDir/node-<i>. Reopening a cluster on the
+	// same directory restores the data; because a restarting deployment
 	// provably missed no writes (every node restarts together), blocks
 	// are served as valid.
 	DataDir string
-	// Obs optionally collects metrics from every layer the cluster
-	// touches — protocol clients, the RPC stubs of a TCP cluster, and
-	// the persistent block stores of a local one. Nil (the default)
-	// disables instrumentation entirely.
+
+	// Groups is the number of stripe groups. Default 1 (a single group,
+	// unbounded address space). With Groups > 1 the address space is
+	// bounded at Groups*BlocksPerGroup blocks.
+	Groups int
+	// BlocksPerGroup sizes each group's extent of the flat address
+	// space (must be a multiple of K). Defaults to K << 20. Only
+	// meaningful with Groups > 1.
+	BlocksPerGroup uint64
+	// ClientID identifies this store's protocol clients. Every
+	// concurrent writer should use its own ID. Defaults to 1.
+	ClientID uint32
+	// Sites is the pool size of a local multi-group store. Defaults to
+	// N; must be >= N.
+	Sites int
+	// SiteWeights optionally skews placement toward bigger local sites
+	// (len must equal Sites).
+	SiteWeights []float64
+
+	// MaxInFlight bounds the bulk-I/O pipeline window in stripes: how
+	// many stripes of a large ReadAt/WriteAt span are in flight at
+	// once. Default 16; 1 degrades to the strictly sequential path.
+	MaxInFlight int
+	// ReadAhead is the streaming Reader's prefetch depth in stripes.
+	// Defaults to MaxInFlight.
+	ReadAhead int
+
+	// Obs optionally collects metrics from every layer the store
+	// touches — protocol clients, the bulk engine, the RPC stubs of a
+	// TCP cluster, and the persistent block stores of a local one. Nil
+	// (the default) disables instrumentation entirely.
 	Obs *obs.Registry
 }
 
@@ -113,6 +144,15 @@ func (o *Options) normalize() error {
 	}
 	if o.LockLease < 0 {
 		o.LockLease = 0
+	}
+	if o.Groups == 0 {
+		o.Groups = 1
+	}
+	if o.Groups < 1 {
+		return fmt.Errorf("ecstore: Groups must be >= 1, got %d", o.Groups)
+	}
+	if o.ClientID == 0 {
+		o.ClientID = 1
 	}
 	return nil
 }
@@ -135,6 +175,11 @@ type Cluster struct {
 // NewLocalCluster builds an in-process cluster with N in-memory
 // storage nodes. Crashed nodes are automatically replaced by fresh
 // INIT nodes, which recovery then repopulates.
+//
+// Deprecated: use New, which returns the unified Store facade (and
+// still takes this cluster path when Groups <= 1). NewLocalCluster
+// remains for callers that need the Cluster handle itself (CrashNode,
+// multiple client identities).
 func NewLocalCluster(opts Options) (*Cluster, error) {
 	if err := opts.normalize(); err != nil {
 		return nil, err
@@ -202,6 +247,10 @@ func (c *Cluster) replaceLocal(phys int) proto.StorageNode {
 // addrs must have exactly N entries, in slot order. Failed nodes are
 // not replaced automatically: start a replacement storaged with
 // -replacement and install it with ReplaceNode.
+//
+// Deprecated: use Connect, which returns the unified Store facade.
+// ConnectCluster remains for callers that need the Cluster handle
+// itself (ReplaceNode, multiple client identities).
 func ConnectCluster(opts Options, addrs []string) (*Cluster, error) {
 	if err := opts.normalize(); err != nil {
 		return nil, err
@@ -298,20 +347,43 @@ func (c *Cluster) Volume(clientID uint32) (*Volume, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Volume{cluster: c, cl: cl}, nil
+	v := &Volume{cluster: c, cl: cl}
+	v.engine = bulk.New((*clusterTarget)(v), bulk.Options{
+		MaxInFlight: c.opts.MaxInFlight,
+		ReadAhead:   c.opts.ReadAhead,
+		Obs:         c.opts.Obs,
+	})
+	return v, nil
 }
 
 // Volume is a logical-block view of the cluster for one client
 // identity. Applications address flat logical blocks; striping,
 // rotation, and the erasure code are hidden (Section 2's design goal).
-// Volumes are safe for concurrent use.
+// Volumes are safe for concurrent use and satisfy Store.
 type Volume struct {
 	cluster *Cluster
 	cl      *core.Client
+	engine  *bulk.Engine
+	owns    bool // Close also closes the cluster (Store built via New/Connect)
 }
 
 // BlockSize returns the volume's block size in bytes.
 func (v *Volume) BlockSize() int { return v.cluster.opts.BlockSize }
+
+// Capacity returns 0: a single-group volume's flat address space is
+// unbounded (blocks exist when written; unwritten blocks read as
+// zeros).
+func (v *Volume) Capacity() uint64 { return 0 }
+
+// Close releases the volume. A volume obtained from New or Connect
+// owns its cluster and shuts it down; one obtained from
+// Cluster.Volume leaves the cluster to its owner.
+func (v *Volume) Close() error {
+	if v.owns {
+		return v.cluster.Close()
+	}
+	return nil
+}
 
 // ReadBlock reads one logical block. Unwritten blocks read as zeros.
 func (v *Volume) ReadBlock(ctx context.Context, logical uint64) ([]byte, error) {
@@ -326,118 +398,26 @@ func (v *Volume) WriteBlock(ctx context.Context, logical uint64, data []byte) er
 	return v.cl.WriteBlock(ctx, s, slot, data)
 }
 
-// readAtConcurrency bounds the parallel block fetches of a large
-// ReadAt (each fetch is one round trip; reads never contend on
-// redundant nodes, so fanning out is free parallelism).
-const readAtConcurrency = 8
-
 // ReadAt reads len(p) bytes at byte offset off, spanning blocks as
-// needed. Blocks are fetched concurrently (bounded fan-out), which is
-// what makes large sequential reads pipeline across storage nodes the
-// way Section 3.11 intends.
+// needed. Blocks are fetched concurrently under the bulk engine's
+// pipeline window, which is what makes large sequential reads pipeline
+// across storage nodes the way Section 3.11 intends. On failure the
+// count is the contiguous prefix that definitely succeeded.
 func (v *Volume) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
-	if off < 0 {
-		return 0, errors.New("ecstore: negative offset")
-	}
-	bs := int64(v.cluster.opts.BlockSize)
-
-	// Carve p into per-block spans.
-	type span struct {
-		logical uint64
-		within  int64 // offset inside the block
-		dst     []byte
-	}
-	var spans []span
-	for read := 0; read < len(p); {
-		pos := off + int64(read)
-		within := pos % bs
-		size := int(min(int64(len(p)-read), bs-within))
-		spans = append(spans, span{
-			logical: uint64(pos / bs),
-			within:  within,
-			dst:     p[read : read+size],
-		})
-		read += size
-	}
-
-	sem := make(chan struct{}, readAtConcurrency)
-	errs := make([]error, len(spans))
-	var wg sync.WaitGroup
-	for i := range spans {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			blk, err := v.ReadBlock(ctx, spans[i].logical)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			copy(spans[i].dst, blk[spans[i].within:])
-		}(i)
-	}
-	wg.Wait()
-	// Report the contiguous prefix that definitely succeeded.
-	read := 0
-	for i, err := range errs {
-		if err != nil {
-			return read, err
-		}
-		read += len(spans[i].dst)
-	}
-	return read, nil
+	return v.engine.ReadAt(ctx, p, off)
 }
 
 // WriteAt writes p at byte offset off, spanning blocks as needed.
-// Spans aligned to full stripes go through the batched stripe write
-// (Section 3.11's sequential optimization: k swaps plus one combined
-// parity delta per redundant node). Unaligned head and tail blocks are
-// read-modify-written; the read-modify-write is not atomic with
-// respect to concurrent writers of the same block.
+// Stripe-aligned runs go through the batched stripe write (Section
+// 3.11's sequential optimization: k swaps plus one combined parity
+// delta per redundant node) with up to MaxInFlight stripes in flight
+// and their same-node deltas coalesced into combined RPCs. Unaligned
+// head and tail blocks are read-modify-written; the read-modify-write
+// is not atomic with respect to concurrent writers of the same block.
+// On failure the count is the length of the longest prefix known
+// written.
 func (v *Volume) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
-	if off < 0 {
-		return 0, errors.New("ecstore: negative offset")
-	}
-	bs := int64(v.cluster.opts.BlockSize)
-	k := int64(v.cluster.opts.K)
-	stripeBytes := bs * k
-	written := 0
-	for written < len(p) {
-		pos := off + int64(written)
-		within := pos % bs
-		logical := uint64(pos / bs)
-
-		// Fast path: a stripe-aligned span covering k whole blocks.
-		if within == 0 && pos%stripeBytes == 0 && int64(len(p)-written) >= stripeBytes {
-			values := make([][]byte, k)
-			for i := int64(0); i < k; i++ {
-				values[i] = p[written+int(i*bs) : written+int((i+1)*bs)]
-			}
-			if err := v.cl.WriteStripe(ctx, logical/uint64(k), values); err != nil {
-				return written, err
-			}
-			written += int(stripeBytes)
-			continue
-		}
-
-		var blk []byte
-		if within == 0 && len(p)-written >= int(bs) {
-			blk = p[written : written+int(bs)]
-		} else {
-			old, err := v.ReadBlock(ctx, logical)
-			if err != nil {
-				return written, err
-			}
-			blk = old
-			copy(blk[within:], p[written:])
-		}
-		if err := v.WriteBlock(ctx, logical, blk); err != nil {
-			return written, err
-		}
-		written += int(min(int64(len(p)-written), bs-within))
-	}
-	return written, nil
+	return v.engine.WriteAt(ctx, p, off)
 }
 
 // WriteStripeBlocks writes the k logical blocks of one stripe (those
@@ -490,27 +470,40 @@ func (v *Volume) Scrub(ctx context.Context) (clean, busy, repaired int, err erro
 // Stats exposes protocol event counters (reads, writes, recoveries...).
 func (v *Volume) Stats() *core.ClientStats { return v.cl.Stats() }
 
-// Reader returns an io.Reader streaming nBytes from byte offset off.
+// Reader returns an io.Reader streaming nBytes from byte offset off,
+// prefetching ReadAhead stripes ahead of the consumer. nBytes must be
+// >= 0 on this unbounded volume.
 func (v *Volume) Reader(ctx context.Context, off, nBytes int64) io.Reader {
-	return &volumeReader{v: v, ctx: ctx, off: off, remaining: nBytes}
+	return v.engine.Reader(ctx, off, nBytes)
 }
 
-type volumeReader struct {
-	v         *Volume
-	ctx       context.Context
-	off       int64
-	remaining int64
+// clusterTarget adapts a single-group Volume to bulk.Target: the whole
+// logical address space is one group, stripe s holds logical blocks
+// s*k .. s*k+k-1.
+type clusterTarget Volume
+
+func (t *clusterTarget) BlockSize() int      { return t.cluster.opts.BlockSize }
+func (t *clusterTarget) StripeK() int        { return t.cluster.opts.K }
+func (t *clusterTarget) GroupBlocks() uint64 { return 0 }
+func (t *clusterTarget) Capacity() uint64    { return 0 }
+
+func (t *clusterTarget) ReadBlock(ctx context.Context, addr uint64) ([]byte, error) {
+	return (*Volume)(t).ReadBlock(ctx, addr)
 }
 
-func (r *volumeReader) Read(p []byte) (int, error) {
-	if r.remaining <= 0 {
-		return 0, io.EOF
-	}
-	if int64(len(p)) > r.remaining {
-		p = p[:r.remaining]
-	}
-	n, err := r.v.ReadAt(r.ctx, p, r.off)
-	r.off += int64(n)
-	r.remaining -= int64(n)
-	return n, err
+func (t *clusterTarget) WriteBlock(ctx context.Context, addr uint64, data []byte) error {
+	return (*Volume)(t).WriteBlock(ctx, addr, data)
 }
+
+func (t *clusterTarget) WriteStripes(ctx context.Context, writes []bulk.StripeWrite) ([]error, bulk.WriteStats) {
+	v := (*Volume)(t)
+	k := uint64(v.cluster.opts.K)
+	sw := make([]core.StripeWrite, len(writes))
+	for i, w := range writes {
+		sw[i] = core.StripeWrite{Stripe: w.Addr / k, Values: w.Values}
+	}
+	errs, stats := v.cl.WriteStripes(ctx, sw)
+	return errs, bulk.WriteStats{BatchCalls: stats.BatchCalls, BatchRPCs: stats.BatchRPCs}
+}
+
+var _ bulk.Target = (*clusterTarget)(nil)

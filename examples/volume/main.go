@@ -27,8 +27,8 @@ func run() error {
 	// 8 stripe groups, each a 2-of-4 code, spread over a 12-site pool.
 	// Every group gets the 4 sites its rendezvous hash picks, so the
 	// pool's capacity and load are shared without any central map.
-	vol, err := ecstore.NewLocalShardedVolume(ecstore.ShardedOptions{
-		Options:        ecstore.Options{K: 2, N: 4, BlockSize: 1024},
+	vol, err := ecstore.NewLocalShardedVolume(ecstore.Options{
+		K: 2, N: 4, BlockSize: 1024,
 		Groups:         8,
 		Sites:          12,
 		BlocksPerGroup: 64,

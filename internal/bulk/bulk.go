@@ -1,0 +1,455 @@
+// Package bulk is the windowed, pipelined bulk-I/O engine behind every
+// facade's ReadAt/WriteAt/Reader. The per-operation protocol work —
+// swaps, parity deltas, ordering, recovery — lives below in
+// internal/core; this package only decides *what to keep in flight*:
+//
+//   - a write span is decomposed into partial-block, full-block, and
+//     full-stripe work items, and a bounded window (Options.MaxInFlight,
+//     measured in stripes) of them runs concurrently;
+//   - co-scheduled full stripes are handed to the target in batches, so
+//     the core client can coalesce their redundant-node deltas destined
+//     for the same site into single BatchAdd RPCs;
+//   - reads get the same window, plus sequential readahead feeding the
+//     streaming Reader.
+//
+// Throughput then scales with the window instead of being bounded by
+// per-stripe round-trip latency, while each block individually keeps
+// the protocol's regular-register semantics (items never split a
+// block, and the engine adds no cross-item ordering that the
+// underlying protocol doesn't already provide).
+package bulk
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"ecstore/internal/obs"
+)
+
+// ErrShortWrite reports a WriteAt that could not complete its span;
+// the returned count is the length of the longest prefix known to be
+// durably written. Use errors.Is.
+var ErrShortWrite = errors.New("bulk: short write")
+
+// ErrOutOfRange reports an access beyond a bounded target's capacity.
+// Use errors.Is.
+var ErrOutOfRange = errors.New("bulk: address out of range")
+
+// StripeWrite names one full-stripe write: the k blocks starting at a
+// stripe-aligned block address, in address order.
+type StripeWrite struct {
+	Addr   uint64
+	Values [][]byte
+}
+
+// WriteStats reports how a WriteStripes call's redundant-node traffic
+// was coalesced (see core.BatchStats).
+type WriteStats struct {
+	BatchCalls uint64
+	BatchRPCs  uint64
+}
+
+// Target is the view of an erasure-coded volume the engine drives.
+// Both facades (single-cluster Volume and the sharded volume) adapt to
+// it.
+type Target interface {
+	BlockSize() int
+	// StripeK returns k, the data blocks per stripe.
+	StripeK() int
+	// GroupBlocks returns the stripe-group extent in blocks, or 0 when
+	// the whole address space is one group. When non-zero it must be a
+	// multiple of StripeK (stripes never straddle groups).
+	GroupBlocks() uint64
+	// Capacity returns the addressable block count, or 0 for unbounded.
+	Capacity() uint64
+	ReadBlock(ctx context.Context, addr uint64) ([]byte, error)
+	WriteBlock(ctx context.Context, addr uint64, data []byte) error
+	// WriteStripes writes several full stripes concurrently, one error
+	// slot per stripe. The engine guarantees every stripe in one call
+	// lies in the same group, so implementations route the whole batch
+	// to a single protocol client (which coalesces same-site deltas).
+	WriteStripes(ctx context.Context, writes []StripeWrite) ([]error, WriteStats)
+}
+
+// DefaultMaxInFlight is the write window, in stripes, when Options
+// leaves it zero.
+const DefaultMaxInFlight = 16
+
+// Options configures an Engine.
+type Options struct {
+	// MaxInFlight bounds the in-flight window in stripes (a full-stripe
+	// item costs its stripe count, a block item costs one). 1 degrades
+	// to the strictly sequential path. Default DefaultMaxInFlight.
+	MaxInFlight int
+	// ReadAhead is the Reader's prefetch depth in stripes per chunk.
+	// Defaults to MaxInFlight.
+	ReadAhead int
+	// Obs receives bulk.* metrics; nil disables them.
+	Obs *obs.Registry
+}
+
+// Engine pipelines bulk I/O against one target. It is stateless apart
+// from metrics and safe for concurrent use.
+type Engine struct {
+	t  Target
+	w  int // window, stripes
+	ra int // readahead, stripes
+
+	inflight   *obs.Gauge   // bulk.inflight: window tokens held
+	stalls     *obs.Counter // bulk.window_stalls: dispatches that had to wait
+	batchCalls *obs.Counter // bulk.batch_calls: logical batch-adds issued below
+	batchRPCs  *obs.Counter // bulk.batch_rpcs: physical RPCs they collapsed into
+}
+
+// New builds an engine over t.
+func New(t Target, opts Options) *Engine {
+	w := opts.MaxInFlight
+	if w <= 0 {
+		w = DefaultMaxInFlight
+	}
+	ra := opts.ReadAhead
+	if ra <= 0 {
+		ra = w
+	}
+	e := &Engine{
+		t: t, w: w, ra: ra,
+		inflight:   opts.Obs.Gauge("bulk.inflight"),
+		stalls:     opts.Obs.Counter("bulk.window_stalls"),
+		batchCalls: opts.Obs.Counter("bulk.batch_calls"),
+		batchRPCs:  opts.Obs.Counter("bulk.batch_rpcs"),
+	}
+	// Coalesce ratio in percent: 100 means no coalescing (one RPC per
+	// logical batch-add), 400 means four batch-adds per wire RPC.
+	opts.Obs.Func("bulk.coalesce_ratio_pct", func() int64 {
+		rpcs := e.batchRPCs.Value()
+		if rpcs == 0 {
+			return 0
+		}
+		return int64(100 * e.batchCalls.Value() / rpcs)
+	})
+	return e
+}
+
+// Window returns the configured in-flight window in stripes.
+func (e *Engine) Window() int { return e.w }
+
+// --- window ------------------------------------------------------------------
+
+// window is the engine's token pool. Only the single dispatcher
+// goroutine of one operation acquires (and every item costs at most
+// the full window), so acquisition cannot deadlock; completions
+// release from their own goroutines.
+type window struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	free int
+}
+
+func (e *Engine) newWindow() *window {
+	w := &window{free: e.w}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+func (e *Engine) acquire(w *window, n int) {
+	if n > e.w {
+		n = e.w
+	}
+	w.mu.Lock()
+	if w.free < n {
+		e.stalls.Inc()
+	}
+	for w.free < n {
+		w.cond.Wait()
+	}
+	w.free -= n
+	w.mu.Unlock()
+	e.inflight.Add(int64(n))
+}
+
+func (e *Engine) release(w *window, n int) {
+	if n > e.w {
+		n = e.w
+	}
+	e.inflight.Add(int64(-n))
+	w.mu.Lock()
+	w.free += n
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// --- write path --------------------------------------------------------------
+
+// writeItem is one schedulable unit of a WriteAt span: either a run of
+// full stripes (stripes != nil) or a single whole/partial block.
+type writeItem struct {
+	off     int // offset into p
+	length  int // bytes covered
+	stripes []StripeWrite
+	addr    uint64 // block item: target block
+	within  int    // block item: offset inside the block
+}
+
+func (it *writeItem) cost() int {
+	if len(it.stripes) > 0 {
+		return len(it.stripes)
+	}
+	return 1
+}
+
+// errSkipped marks items never dispatched because an earlier item had
+// already failed; it can never be the first error in item order.
+var errSkipped = errors.New("bulk: skipped after earlier failure")
+
+// WriteAt writes p at byte offset off, keeping up to MaxInFlight
+// stripes of work in flight. The span is decomposed in address order:
+// partial first/last blocks are read-modify-written, interior aligned
+// blocks are written directly, and stripe-aligned runs go through the
+// target's batched stripe write in chunks of up to MaxInFlight stripes
+// (cut at group seams). On failure the returned count is the longest
+// prefix of the span known written — concurrent items past the first
+// failure may also have been written (they are full-block overwrites,
+// so the damage is bounded to "later data also arrived"), but nothing
+// before the count is lost. The error wraps both ErrShortWrite and the
+// underlying cause.
+func (e *Engine) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("%w: negative offset %d", ErrOutOfRange, off)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	bs := e.t.BlockSize()
+	if c := e.t.Capacity(); c > 0 {
+		if end := uint64(off) + uint64(len(p)); end > c*uint64(bs) {
+			return 0, fmt.Errorf("%w: write span [%d,%d) beyond %d-byte capacity", ErrOutOfRange, off, end, c*uint64(bs))
+		}
+	}
+	items := e.decomposeWrite(p, off)
+
+	okBytes := make([]int, len(items)) // bytes confirmed written per item
+	errs := make([]error, len(items))
+	win := e.newWindow()
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	stop := false
+	for i := range items {
+		if stop {
+			errs[i] = errSkipped
+			continue
+		}
+		it := &items[i]
+		e.acquire(win, it.cost())
+		if failed.Load() {
+			// Check after the (possibly blocking) acquire so a failure
+			// during the stall stops the pipeline promptly.
+			e.release(win, it.cost())
+			errs[i] = errSkipped
+			stop = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int, it *writeItem) {
+			defer wg.Done()
+			defer e.release(win, it.cost())
+			okBytes[i], errs[i] = e.runWriteItem(ctx, p, it)
+			if errs[i] != nil {
+				failed.Store(true)
+			}
+		}(i, it)
+	}
+	wg.Wait()
+
+	n := 0
+	for i := range items {
+		if errs[i] == nil {
+			n += items[i].length
+			continue
+		}
+		cause := errs[i]
+		n += okBytes[i]
+		// The first failed item determines the cause; a skipped item can
+		// only follow a real failure, which the loop reports instead.
+		for j := i; j < len(items); j++ {
+			if errs[j] != nil && !errors.Is(errs[j], errSkipped) {
+				cause = errs[j]
+				break
+			}
+		}
+		return n, fmt.Errorf("%w: wrote %d of %d bytes at offset %d: %w", ErrShortWrite, n, len(p), off, cause)
+	}
+	return n, nil
+}
+
+// decomposeWrite carves the span into items in address order.
+func (e *Engine) decomposeWrite(p []byte, off int64) []writeItem {
+	bs := int64(e.t.BlockSize())
+	k := int64(e.t.StripeK())
+	gb := int64(e.t.GroupBlocks())
+	stripeBytes := bs * k
+	var items []writeItem
+	done := 0
+	for done < len(p) {
+		pos := off + int64(done)
+		within := pos % bs
+		addr := pos / bs
+		remaining := int64(len(p) - done)
+		// GroupBlocks is a multiple of k, so addr%k == (addr%gb)%k:
+		// stripe alignment is group-independent.
+		if within == 0 && addr%k == 0 && remaining >= stripeBytes {
+			run := remaining / stripeBytes
+			if gb > 0 {
+				if inGroup := (gb - addr%gb) / k; run > inGroup {
+					run = inGroup
+				}
+			}
+			for run > 0 {
+				chunk := min(run, int64(e.w))
+				sw := make([]StripeWrite, chunk)
+				for s := int64(0); s < chunk; s++ {
+					values := make([][]byte, k)
+					base := done + int(s*stripeBytes)
+					for b := int64(0); b < k; b++ {
+						values[b] = p[base+int(b*bs) : base+int((b+1)*bs)]
+					}
+					sw[s] = StripeWrite{Addr: uint64(addr + s*k), Values: values}
+				}
+				items = append(items, writeItem{off: done, length: int(chunk * stripeBytes), stripes: sw})
+				done += int(chunk * stripeBytes)
+				addr += chunk * k
+				run -= chunk
+			}
+			continue
+		}
+		size := int(min(remaining, bs-within))
+		items = append(items, writeItem{off: done, length: size, addr: uint64(addr), within: int(within)})
+		done += size
+	}
+	return items
+}
+
+// runWriteItem executes one item, returning the bytes of its longest
+// successfully written prefix and the first error.
+func (e *Engine) runWriteItem(ctx context.Context, p []byte, it *writeItem) (int, error) {
+	if len(it.stripes) > 0 {
+		errs, stats := e.t.WriteStripes(ctx, it.stripes)
+		e.batchCalls.Add(stats.BatchCalls)
+		e.batchRPCs.Add(stats.BatchRPCs)
+		stripeBytes := e.t.BlockSize() * e.t.StripeK()
+		for s, err := range errs {
+			if err != nil {
+				return s * stripeBytes, err
+			}
+		}
+		return it.length, nil
+	}
+	bs := e.t.BlockSize()
+	src := p[it.off : it.off+it.length]
+	blk := src
+	if it.length != bs {
+		old, err := e.t.ReadBlock(ctx, it.addr)
+		if err != nil {
+			return 0, err
+		}
+		blk = old
+		copy(blk[it.within:], src)
+	}
+	if err := e.t.WriteBlock(ctx, it.addr, blk); err != nil {
+		return 0, err
+	}
+	return it.length, nil
+}
+
+// --- read path ---------------------------------------------------------------
+
+// readSpan is one block's slice of a ReadAt destination buffer.
+type readSpan struct {
+	addr   uint64
+	within int
+	dst    []byte
+}
+
+// ReadAt reads len(p) bytes at byte offset off. Block fetches fan out
+// under the same stripe-denominated window as writes (each in-flight
+// group of up to k blocks costs one token), which is what makes large
+// sequential reads pipeline across storage nodes. On a bounded target,
+// reads past the end are truncated and return io.EOF with the partial
+// count. On failure the count is the contiguous prefix that
+// definitely succeeded.
+func (e *Engine) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("%w: negative offset %d", ErrOutOfRange, off)
+	}
+	bs := int64(e.t.BlockSize())
+	eof := false
+	if c := e.t.Capacity(); c > 0 {
+		capBytes := int64(c) * bs
+		if off >= capBytes {
+			return 0, io.EOF
+		}
+		if int64(len(p)) > capBytes-off {
+			p = p[:capBytes-off]
+			eof = true
+		}
+	}
+	if len(p) == 0 {
+		if eof {
+			return 0, io.EOF
+		}
+		return 0, nil
+	}
+
+	var spans []readSpan
+	for read := 0; read < len(p); {
+		pos := off + int64(read)
+		within := pos % bs
+		size := int(min(int64(len(p)-read), bs-within))
+		spans = append(spans, readSpan{addr: uint64(pos / bs), within: int(within), dst: p[read : read+size]})
+		read += size
+	}
+
+	k := e.t.StripeK()
+	errs := make([]error, len(spans))
+	win := e.newWindow()
+	var wg sync.WaitGroup
+	for start := 0; start < len(spans); start += k {
+		chunk := spans[start:min(start+k, len(spans))]
+		e.acquire(win, 1)
+		wg.Add(1)
+		go func(start int, chunk []readSpan) {
+			defer wg.Done()
+			defer e.release(win, 1)
+			var cwg sync.WaitGroup
+			for i := range chunk {
+				cwg.Add(1)
+				go func(i int) {
+					defer cwg.Done()
+					blk, err := e.t.ReadBlock(ctx, chunk[i].addr)
+					if err != nil {
+						errs[start+i] = err
+						return
+					}
+					copy(chunk[i].dst, blk[chunk[i].within:])
+				}(i)
+			}
+			cwg.Wait()
+		}(start, chunk)
+	}
+	wg.Wait()
+
+	read := 0
+	for i, err := range errs {
+		if err != nil {
+			return read, err
+		}
+		read += len(spans[i].dst)
+	}
+	if eof {
+		return read, io.EOF
+	}
+	return read, nil
+}

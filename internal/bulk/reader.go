@@ -1,0 +1,122 @@
+package bulk
+
+import (
+	"context"
+	"io"
+
+	"ecstore/internal/bufpool"
+)
+
+// Reader returns an io.Reader streaming nBytes from byte offset off.
+// A negative nBytes streams to the target's capacity (unbounded
+// targets then stream forever). The reader prefetches ReadAhead
+// stripes ahead of the consumer: while one chunk is being drained the
+// next is already in flight, so a steady consumer sees storage at
+// pipeline speed rather than chunk-turnaround speed. Chunks draw from
+// the shared buffer pool and are recycled as they drain.
+//
+// The reader is not safe for concurrent Read calls.
+func (e *Engine) Reader(ctx context.Context, off, nBytes int64) io.Reader {
+	if c := e.t.Capacity(); nBytes < 0 && c > 0 {
+		capBytes := int64(c) * int64(e.t.BlockSize())
+		nBytes = max(capBytes-off, 0)
+	}
+	return &reader{e: e, ctx: ctx, off: off, remaining: nBytes}
+}
+
+type chunkResult struct {
+	buf []byte // pooled; receiver owns it
+	n   int
+	err error
+}
+
+type reader struct {
+	e         *Engine
+	ctx       context.Context
+	off       int64
+	remaining int64 // -1 never occurs here; <0 means unbounded
+
+	buf     []byte // pooled backing of cur
+	cur     []byte // unread slice of buf
+	pending chan chunkResult
+	err     error
+}
+
+// chunkBytes is one prefetch unit: ReadAhead stripes.
+func (r *reader) chunkBytes() int64 {
+	return int64(r.e.ra) * int64(r.e.t.StripeK()) * int64(r.e.t.BlockSize())
+}
+
+// prefetch launches the next chunk fetch at r.off and advances the
+// offset; the result arrives on r.pending.
+func (r *reader) prefetch() {
+	size := r.chunkBytes()
+	if r.remaining >= 0 && size > r.remaining {
+		size = r.remaining
+	}
+	if size <= 0 {
+		r.pending = nil
+		return
+	}
+	ch := make(chan chunkResult, 1)
+	r.pending = ch
+	off := r.off
+	r.off += size
+	if r.remaining >= 0 {
+		r.remaining -= size
+	}
+	go func() {
+		buf := bufpool.Get(int(size))
+		n, err := r.e.ReadAt(r.ctx, buf, off)
+		ch <- chunkResult{buf: buf, n: n, err: err}
+	}()
+}
+
+func (r *reader) Read(p []byte) (int, error) {
+	for len(r.cur) == 0 {
+		if r.err != nil {
+			return 0, r.err
+		}
+		if r.pending == nil {
+			// First read, or fully drained after the last chunk: start
+			// the fetch chain (or finish).
+			r.prefetch()
+			if r.pending == nil {
+				r.err = io.EOF
+				return 0, io.EOF
+			}
+		}
+		res := <-r.pending
+		r.pending = nil
+		// Keep the pipeline full: request the next chunk before the
+		// consumer starts copying this one.
+		if res.err == nil {
+			r.prefetch()
+		}
+		if res.err != nil && (res.err != io.EOF || res.n == 0) {
+			bufpool.Put(res.buf)
+			r.err = res.err
+			return 0, r.err
+		}
+		if res.err == io.EOF {
+			// Bounded target ended early; drain what arrived, then EOF.
+			r.remaining = 0
+			r.pending = nil
+		}
+		r.buf = res.buf
+		r.cur = res.buf[:res.n]
+		if res.n == 0 {
+			bufpool.Put(r.buf)
+			r.buf = nil
+			r.err = io.EOF
+			return 0, io.EOF
+		}
+	}
+	n := copy(p, r.cur)
+	r.cur = r.cur[n:]
+	if len(r.cur) == 0 && r.buf != nil {
+		bufpool.Put(r.buf)
+		r.buf = nil
+	}
+	return n, nil
+}

@@ -1,0 +1,170 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ecstore/internal/cluster"
+	"ecstore/internal/core"
+	"ecstore/internal/proto"
+	"ecstore/internal/transport"
+)
+
+func multiWrites(k, stripes int, base uint64) []core.StripeWrite {
+	out := make([]core.StripeWrite, stripes)
+	for s := range out {
+		out[s] = core.StripeWrite{
+			Stripe: uint64(s),
+			Values: stripeValues(k, base+uint64(100*s)),
+		}
+	}
+	return out
+}
+
+func TestWriteStripesRoundTrip(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 3, N: 5})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	writes := multiWrites(3, 8, 1000)
+	errs, stats := cl.WriteStripes(ctx, writes)
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("stripe %d: %v", s, err)
+		}
+	}
+	if stats.BatchCalls == 0 {
+		t.Fatal("no batch calls recorded")
+	}
+	for s, w := range writes {
+		for i, want := range w.Values {
+			got, err := cl.ReadBlock(ctx, w.Stripe, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("stripe %d slot %d mismatch", s, i)
+			}
+		}
+		mustVerify(t, c, w.Stripe)
+	}
+	if got := cl.Stats().StripeWrites.Load(); got != 8 {
+		t.Fatalf("StripeWrites = %d, want 8", got)
+	}
+}
+
+// TestWriteStripesCoalesces is the tentpole's wire-level claim: the
+// redundant-node deltas of co-scheduled stripes destined for the same
+// node collapse into combined RPCs, so the physical batch-add message
+// count drops below the logical one.
+func TestWriteStripesCoalesces(t *testing.T) {
+	ctr := &transport.Counters{}
+	c := testCluster(t, cluster.Options{K: 3, N: 5, WrapNode: func(phys int, n proto.StorageNode) proto.StorageNode {
+		return transport.NewCounting(n, ctr)
+	}})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	const stripes = 10
+	errs, stats := cl.WriteStripes(ctx, multiWrites(3, stripes, 1000))
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("stripe %d: %v", s, err)
+		}
+	}
+	// 10 stripes x 2 redundant slots = 20 logical batch-adds over 5
+	// nodes: coalescing must need strictly fewer wire calls.
+	if want := uint64(stripes * 2); stats.BatchCalls != want {
+		t.Fatalf("BatchCalls = %d, want %d", stats.BatchCalls, want)
+	}
+	if stats.BatchRPCs >= stats.BatchCalls {
+		t.Fatalf("BatchRPCs = %d, not coalesced below %d calls", stats.BatchRPCs, stats.BatchCalls)
+	}
+	wire := ctr.BatchAdd.Calls.Load() + ctr.BatchAddMulti.Calls.Load()
+	if wire != stats.BatchRPCs {
+		t.Fatalf("wire calls = %d, stats claim %d", wire, stats.BatchRPCs)
+	}
+	if ctr.BatchAddMulti.Calls.Load() == 0 {
+		t.Fatal("no combined batch-add RPC was ever issued")
+	}
+	for s := 0; s < stripes; s++ {
+		mustVerify(t, c, uint64(s))
+	}
+}
+
+// TestWriteStripesSingleUsesPlainRPCs pins the window-1 equivalence at
+// the wire: a 1-element batch must be RPC-identical to the old
+// sequential WriteStripe path — no multi calls at all.
+func TestWriteStripesSingleUsesPlainRPCs(t *testing.T) {
+	ctr := &transport.Counters{}
+	c := testCluster(t, cluster.Options{K: 3, N: 5, WrapNode: func(phys int, n proto.StorageNode) proto.StorageNode {
+		return transport.NewCounting(n, ctr)
+	}})
+	ctx := ctxT(t)
+	if err := c.Clients[0].WriteStripe(ctx, 0, stripeValues(3, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctr.BatchAddMulti.Calls.Load(); got != 0 {
+		t.Fatalf("single-stripe write used %d multi RPCs, want 0", got)
+	}
+	if got := ctr.BatchAdd.Calls.Load(); got != 2 {
+		t.Fatalf("single-stripe write used %d batch-adds, want 2", got)
+	}
+	mustVerify(t, c, 0)
+}
+
+// TestWriteStripesValidationPerStripe: one malformed stripe in a batch
+// fails only its own slot; the rest land.
+func TestWriteStripesValidationPerStripe(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	writes := multiWrites(2, 3, 500)
+	writes[1].Values = writes[1].Values[:1] // wrong block count
+	errs, _ := cl.WriteStripes(ctx, writes)
+	if errs[1] == nil {
+		t.Fatal("malformed stripe accepted")
+	}
+	for _, s := range []int{0, 2} {
+		if errs[s] != nil {
+			t.Fatalf("valid stripe %d failed: %v", s, errs[s])
+		}
+		got, err := cl.ReadBlock(ctx, writes[s].Stripe, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, writes[s].Values[0]) {
+			t.Fatalf("stripe %d lost", s)
+		}
+	}
+}
+
+// TestWriteStripesSurvivesRedundantCrash: a redundant-node crash
+// mid-batch must not lose any stripe — recovery and retry complete
+// every write.
+func TestWriteStripesSurvivesRedundantCrash(t *testing.T) {
+	c := testCluster(t, cluster.Options{K: 2, N: 4})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if errs, _ := cl.WriteStripes(ctx, multiWrites(2, 6, 100)); errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	c.CrashNodeForStripeSlot(0, 3) // a redundant node of stripe 0
+	writes := multiWrites(2, 6, 7000)
+	errs, _ := cl.WriteStripes(ctx, writes)
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("stripe %d after crash: %v", s, err)
+		}
+	}
+	for _, w := range writes {
+		for i, want := range w.Values {
+			got, err := cl.ReadBlock(ctx, w.Stripe, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("stripe %d slot %d lost across crash", w.Stripe, i)
+			}
+		}
+		mustVerify(t, c, w.Stripe)
+	}
+}

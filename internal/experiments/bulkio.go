@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"ecstore/internal/obs"
+	"ecstore/internal/placement"
+	"ecstore/internal/proto"
+	"ecstore/internal/transport"
+	"ecstore/internal/volume"
+)
+
+// BulkIO measures what the windowed bulk engine buys over the
+// sequential path: the same >=64-stripe WriteAt/ReadAt span at window
+// sizes 1, 4, and 16, over an in-process cluster whose shard handles
+// each charge one fixed round trip per RPC (transport.Delayed). The
+// round trip is the quantity the pipeline hides; the table reports
+// MB/s, the speedup over window 1, and how many logical batch-adds the
+// engine coalesced into each wire RPC.
+func BulkIO(ctx context.Context, quick bool) (*Table, error) {
+	const (
+		k, n      = 2, 4
+		sites     = 6
+		groups    = 2
+		blockSize = 4096
+		rtt       = 100 * time.Microsecond
+	)
+	bpg := uint64(128) // 2 groups x 64 stripes
+	if quick {
+		bpg = 32
+	}
+	spanStripes := int(uint64(groups) * bpg / k)
+
+	t := &Table{
+		ID:    "bulkio",
+		Title: fmt.Sprintf("pipelined bulk I/O, %d-stripe span, %v simulated RTT per RPC (%d-of-%d, %d groups)", spanStripes, rtt, k, n, groups),
+		Header: []string{
+			"window", "write MB/s", "speedup", "read MB/s", "speedup",
+			"batch-adds/RPC", "stalls",
+		},
+		Notes: []string{
+			"window: Options.MaxInFlight in stripes; 1 is the strictly sequential path",
+			"transport: in-process nodes behind transport.Delayed (latency only, no bandwidth model)",
+			"batch-adds/RPC: redundant-node deltas coalesced per wire RPC (bulk.coalesce_ratio_pct / 100)",
+		},
+	}
+
+	var baseWrite, baseRead float64
+	for _, window := range []int{1, 4, 16} {
+		reg := obs.NewRegistry()
+		v, err := volume.NewLocal(volume.LocalOptions{
+			K: k, N: n, BlockSize: blockSize,
+			Groups: groups, Sites: sites, BlocksPerGroup: bpg,
+			MaxInFlight: window,
+			Obs:         reg,
+			WrapShard: func(site placement.Node, group uint64, nd proto.StorageNode) proto.StorageNode {
+				return transport.NewDelayed(nd, rtt)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		payload := make([]byte, spanStripes*k*blockSize)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		start := time.Now()
+		if wrote, err := v.WriteAt(ctx, payload, 0); err != nil || wrote != len(payload) {
+			return nil, fmt.Errorf("bulkio window %d: WriteAt = %d, %v", window, wrote, err)
+		}
+		writeMBs := float64(len(payload)) / (1 << 20) / time.Since(start).Seconds()
+
+		got := make([]byte, len(payload))
+		start = time.Now()
+		if _, err := v.ReadAt(ctx, got, 0); err != nil {
+			return nil, fmt.Errorf("bulkio window %d: ReadAt: %v", window, err)
+		}
+		readMBs := float64(len(got)) / (1 << 20) / time.Since(start).Seconds()
+		if !bytes.Equal(got, payload) {
+			return nil, fmt.Errorf("bulkio window %d: readback diverged", window)
+		}
+
+		snap := reg.Snapshot()
+		coalesce := float64(asInt64(snap["bulk.coalesce_ratio_pct"])) / 100
+		stalls := asInt64(snap["bulk.window_stalls"])
+
+		if window == 1 {
+			baseWrite, baseRead = writeMBs, readMBs
+		}
+		t.Rows = append(t.Rows, []string{
+			icell(window),
+			fcell(writeMBs),
+			fcell(writeMBs/baseWrite) + "x",
+			fcell(readMBs),
+			fcell(readMBs/baseRead) + "x",
+			fcell(coalesce),
+			fmt.Sprintf("%d", stalls),
+		})
+		if err := v.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// asInt64 reads a numeric metric out of a registry snapshot.
+func asInt64(v any) int64 {
+	switch x := v.(type) {
+	case int64:
+		return x
+	case uint64:
+		return int64(x)
+	default:
+		return 0
+	}
+}

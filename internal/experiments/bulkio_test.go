@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestBulkIOPipelineSpeedup encodes the tentpole's acceptance floor:
+// at window 16 the pipelined WriteAt must reach at least 3x the
+// sequential-path MB/s over the latency-modelled in-process transport,
+// and the coalescer must be combining more than one batch-add per wire
+// RPC.
+func TestBulkIOPipelineSpeedup(t *testing.T) {
+	tab, err := BulkIO(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	mbs := func(row []string, col int) float64 {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("row %v col %d: %v", row, col, err)
+		}
+		return v
+	}
+	w1, w16 := tab.Rows[0], tab.Rows[2]
+	if w1[0] != "1" || w16[0] != "16" {
+		t.Fatalf("unexpected window order: %v / %v", w1, w16)
+	}
+	seq, pipe := mbs(w1, 1), mbs(w16, 1)
+	if pipe < 3*seq {
+		t.Fatalf("window-16 write %.2f MB/s is under 3x the sequential %.2f MB/s", pipe, seq)
+	}
+	if coalesce := mbs(w16, 5); coalesce <= 1 {
+		t.Fatalf("window 16 coalesced %.2f batch-adds per RPC, want > 1", coalesce)
+	}
+	if !strings.HasSuffix(w16[2], "x") {
+		t.Fatalf("speedup cell %q not formatted", w16[2])
+	}
+}

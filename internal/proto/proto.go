@@ -249,6 +249,51 @@ type BatchAddReply struct {
 	Blockers []int32
 }
 
+// BatchAddMultiReq carries several independent batch-adds destined for
+// the same storage node — the combined deltas of co-scheduled
+// full-stripe writes whose redundant slots happen to live on one site.
+// It exists purely to save round trips and framing: each sub-request
+// is applied with exactly the semantics of a standalone BatchAdd (its
+// own stripe, epoch, and atomicity), and there is NO atomicity across
+// sub-requests.
+type BatchAddMultiReq struct {
+	Adds []*BatchAddReq
+}
+
+// BatchAddMultiReply carries one reply per sub-request, in order.
+type BatchAddMultiReply struct {
+	Replies []*BatchAddReply
+}
+
+// MultiBatcher is an optional node capability (like Multicaster):
+// deliver several batch-adds in one message. Clients probe for it with
+// a type assertion and fall back to parallel unicast BatchAdd calls
+// when the node (or a transport wrapper in front of it) lacks it.
+type MultiBatcher interface {
+	BatchAddMulti(ctx context.Context, req *BatchAddMultiReq) (*BatchAddMultiReply, error)
+}
+
+// BatchAddMulti invokes the capability when node supports it and the
+// request has more than one sub-call; otherwise it applies the
+// sub-requests one at a time. Per-sub-request transport errors are
+// impossible in the fallback-free path (the single RPC either delivers
+// all replies or fails as a whole), so the fallback mirrors that: the
+// first transport error aborts and is returned for the whole call.
+func BatchAddMulti(ctx context.Context, node StorageNode, req *BatchAddMultiReq) (*BatchAddMultiReply, error) {
+	if mb, ok := node.(MultiBatcher); ok && len(req.Adds) > 1 {
+		return mb.BatchAddMulti(ctx, req)
+	}
+	rep := &BatchAddMultiReply{Replies: make([]*BatchAddReply, len(req.Adds))}
+	for i, sub := range req.Adds {
+		r, err := node.BatchAdd(ctx, sub)
+		if err != nil {
+			return nil, err
+		}
+		rep.Replies[i] = r
+	}
+	return rep, nil
+}
+
 // CheckTIDReq asks whether this node still remembers NTID and OTID
 // (garbage-collection-aware ordering, Section 3.9).
 type CheckTIDReq struct {

@@ -10,20 +10,21 @@ import (
 
 // opNames maps each request message type to its metric label.
 var opNames = map[wire.MsgType]string{
-	wire.TRead:        "read",
-	wire.TSwap:        "swap",
-	wire.TAdd:         "add",
-	wire.TBatchAdd:    "batch_add",
-	wire.TCheckTID:    "checktid",
-	wire.TTryLock:     "trylock",
-	wire.TSetLock:     "setlock",
-	wire.TGetState:    "getstate",
-	wire.TGetRecent:   "getrecent",
-	wire.TReconstruct: "reconstruct",
-	wire.TFinalize:    "finalize",
-	wire.TGCOld:       "gc_old",
-	wire.TGCRecent:    "gc_recent",
-	wire.TProbe:       "probe",
+	wire.TRead:          "read",
+	wire.TSwap:          "swap",
+	wire.TAdd:           "add",
+	wire.TBatchAdd:      "batch_add",
+	wire.TBatchAddMulti: "batch_add_multi",
+	wire.TCheckTID:      "checktid",
+	wire.TTryLock:       "trylock",
+	wire.TSetLock:       "setlock",
+	wire.TGetState:      "getstate",
+	wire.TGetRecent:     "getrecent",
+	wire.TReconstruct:   "reconstruct",
+	wire.TFinalize:      "finalize",
+	wire.TGCOld:         "gc_old",
+	wire.TGCRecent:      "gc_recent",
+	wire.TProbe:         "probe",
 }
 
 // OpMetrics instruments one protocol operation.

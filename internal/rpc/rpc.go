@@ -186,6 +186,8 @@ func (s *Server) dispatch(msg any) any {
 		rep, e = s.node.Add(ctx, req)
 	case *proto.BatchAddReq:
 		rep, e = s.node.BatchAdd(ctx, req)
+	case *proto.BatchAddMultiReq:
+		rep, e = proto.BatchAddMulti(ctx, s.node, req)
 	case *proto.CheckTIDReq:
 		rep, e = s.node.CheckTID(ctx, req)
 	case *proto.TryLockReq:
@@ -331,6 +333,7 @@ func Dial(addr string, opts ...Option) *Client {
 }
 
 var _ proto.StorageNode = (*Client)(nil)
+var _ proto.MultiBatcher = (*Client)(nil)
 
 // Close shuts the connection down; subsequent calls fail.
 func (c *Client) Close() error {
@@ -539,6 +542,20 @@ func (c *Client) Add(ctx context.Context, req *proto.AddReq) (*proto.AddReply, e
 }
 func (c *Client) BatchAdd(ctx context.Context, req *proto.BatchAddReq) (*proto.BatchAddReply, error) {
 	return callTyped[*proto.BatchAddReply](c, ctx, req)
+}
+
+// BatchAddMulti implements proto.MultiBatcher: several batch-adds in
+// one frame and one round trip. The server applies the sub-requests
+// independently (no cross-stripe atomicity) and replies in order.
+func (c *Client) BatchAddMulti(ctx context.Context, req *proto.BatchAddMultiReq) (*proto.BatchAddMultiReply, error) {
+	rep, err := callTyped[*proto.BatchAddMultiReply](c, ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if len(rep.Replies) != len(req.Adds) {
+		return nil, fmt.Errorf("rpc: batch-add multi reply count %d, want %d", len(rep.Replies), len(req.Adds))
+	}
+	return rep, nil
 }
 func (c *Client) CheckTID(ctx context.Context, req *proto.CheckTIDReq) (*proto.CheckTIDReply, error) {
 	return callTyped[*proto.CheckTIDReply](c, ctx, req)

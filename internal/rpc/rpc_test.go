@@ -406,3 +406,30 @@ func TestBatchAddOverTCP(t *testing.T) {
 		t.Fatalf("state after TCP batch: %v %+v", err, st)
 	}
 }
+
+func TestBatchAddMultiOverTCP(t *testing.T) {
+	_, cl := startServer(t)
+	ctx := context.Background()
+	// Two stripes' redundant-node deltas combined into one frame: this is
+	// the wire form bulk-write coalescing produces.
+	rep, err := cl.BatchAddMulti(ctx, &proto.BatchAddMultiReq{Adds: []*proto.BatchAddReq{
+		{Stripe: 1, Slot: 3, Delta: blk(2),
+			Entries: []proto.BatchEntry{{DataSlot: 0, NTID: proto.TID{Seq: 1, Block: 0, Client: 1}}}},
+		{Stripe: 2, Slot: 3, Delta: blk(5),
+			Entries: []proto.BatchEntry{{DataSlot: 1, NTID: proto.TID{Seq: 1, Block: 1, Client: 1}}}},
+	}})
+	if err != nil || len(rep.Replies) != 2 {
+		t.Fatalf("batch add multi over TCP: %v %+v", err, rep)
+	}
+	for i, sub := range rep.Replies {
+		if sub.Status != proto.StatusOK {
+			t.Fatalf("sub-reply %d: %+v", i, sub)
+		}
+	}
+	for _, stripe := range []uint64{1, 2} {
+		st, err := cl.GetState(ctx, &proto.GetStateReq{Stripe: stripe, Slot: 3})
+		if err != nil || len(st.RecentList) != 1 {
+			t.Fatalf("stripe %d state after multi batch: %v %+v", stripe, err, st)
+		}
+	}
+}

@@ -238,6 +238,7 @@ func (n *Node) checkUp() error {
 }
 
 var _ proto.StorageNode = (*Node)(nil)
+var _ proto.MultiBatcher = (*Node)(nil)
 
 // Read implements the paper's read operation (Fig. 4).
 func (n *Node) Read(_ context.Context, req *proto.ReadReq) (*proto.ReadReply, error) {
@@ -384,6 +385,25 @@ func (n *Node) BatchAdd(_ context.Context, req *proto.BatchAddReq) (*proto.Batch
 		st.appendRecent(proto.TIDTime{TID: e.NTID, Time: n.tick()})
 	}
 	return &proto.BatchAddReply{Status: proto.StatusOK, OpMode: st.opmode, LockMode: st.lmode}, nil
+}
+
+// BatchAddMulti implements proto.MultiBatcher by applying each
+// sub-request as an independent BatchAdd. Coalescing exists to save
+// round trips on a real transport; at the node there is nothing to
+// save, so this is just the loop — each sub-batch keeps its own
+// atomicity and there is none across sub-batches. A node-level error
+// (crashed, bad delta size) aborts the whole call, mirroring a single
+// multi-frame failing on the wire.
+func (n *Node) BatchAddMulti(ctx context.Context, req *proto.BatchAddMultiReq) (*proto.BatchAddMultiReply, error) {
+	rep := &proto.BatchAddMultiReply{Replies: make([]*proto.BatchAddReply, len(req.Adds))}
+	for i, sub := range req.Adds {
+		r, err := n.BatchAdd(ctx, sub)
+		if err != nil {
+			return nil, err
+		}
+		rep.Replies[i] = r
+	}
+	return rep, nil
 }
 
 // CheckTID implements the paper's checktid operation (Fig. 5 /

@@ -27,6 +27,7 @@ type Counters struct {
 	TryLock, SetLock, GetState          OpCounters
 	GetRecent, Reconstruct, Finalize    OpCounters
 	GCOld, GCRecent, Probe              OpCounters
+	BatchAddMulti                       OpCounters
 	MulticastPayloadSavings             atomic.Uint64 // bytes not re-sent thanks to broadcast
 }
 
@@ -55,6 +56,7 @@ func (c *Counters) all() []*OpCounters {
 		&c.TryLock, &c.SetLock, &c.GetState,
 		&c.GetRecent, &c.Reconstruct, &c.Finalize,
 		&c.GCOld, &c.GCRecent, &c.Probe,
+		&c.BatchAddMulti,
 	}
 }
 
@@ -67,6 +69,7 @@ type Counting struct {
 }
 
 var _ proto.StorageNode = (*Counting)(nil)
+var _ proto.MultiBatcher = (*Counting)(nil)
 
 // NewCounting wraps a node with accounting into ctr.
 func NewCounting(inner proto.StorageNode, ctr *Counters) *Counting {
@@ -105,6 +108,15 @@ func (c *Counting) Add(ctx context.Context, req *proto.AddReq) (*proto.AddReply,
 
 func (c *Counting) BatchAdd(ctx context.Context, req *proto.BatchAddReq) (*proto.BatchAddReply, error) {
 	return account(&c.ctr.BatchAdd, req, func() (*proto.BatchAddReply, error) { return c.inner.BatchAdd(ctx, req) })
+}
+
+// BatchAddMulti accounts the coalesced call as one message each way
+// (that is the point of coalescing) and delegates through the inner
+// node's capability, falling back to its BatchAdd loop when absent.
+func (c *Counting) BatchAddMulti(ctx context.Context, req *proto.BatchAddMultiReq) (*proto.BatchAddMultiReply, error) {
+	return account(&c.ctr.BatchAddMulti, req, func() (*proto.BatchAddMultiReply, error) {
+		return proto.BatchAddMulti(ctx, c.inner, req)
+	})
 }
 
 func (c *Counting) CheckTID(ctx context.Context, req *proto.CheckTIDReq) (*proto.CheckTIDReply, error) {

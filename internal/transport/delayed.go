@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"context"
+	"time"
+
+	"ecstore/internal/proto"
+)
+
+// Delayed wraps an in-process node with a fixed per-RPC round-trip
+// latency and nothing else: no bandwidth ledger, no service-time
+// model. It is the minimal network stand-in for experiments whose
+// subject is *latency hiding* — a pipelined client overlaps the sleeps
+// of concurrent RPCs exactly as real round trips overlap on a wire,
+// even on a single-core machine, while the sequential path pays them
+// end to end.
+//
+// Unlike Shaped, Delayed implements the BatchAddMulti capability: the
+// combined frame costs one round trip regardless of how many sub-adds
+// it carries, which is precisely the economy bulk-write coalescing
+// exists to exploit (fewer round trips, not fewer bytes).
+type Delayed struct {
+	inner proto.StorageNode
+	rtt   time.Duration
+}
+
+// NewDelayed wraps inner with a fixed round-trip latency per RPC.
+func NewDelayed(inner proto.StorageNode, rtt time.Duration) *Delayed {
+	return &Delayed{inner: inner, rtt: rtt}
+}
+
+// Inner returns the wrapped node.
+func (d *Delayed) Inner() proto.StorageNode { return d.inner }
+
+// wait charges one round trip, honouring cancellation.
+func (d *Delayed) wait(ctx context.Context) error {
+	if d.rtt <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d.rtt)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (d *Delayed) Read(ctx context.Context, req *proto.ReadReq) (*proto.ReadReply, error) {
+	if err := d.wait(ctx); err != nil {
+		return nil, err
+	}
+	return d.inner.Read(ctx, req)
+}
+
+func (d *Delayed) Swap(ctx context.Context, req *proto.SwapReq) (*proto.SwapReply, error) {
+	if err := d.wait(ctx); err != nil {
+		return nil, err
+	}
+	return d.inner.Swap(ctx, req)
+}
+
+func (d *Delayed) Add(ctx context.Context, req *proto.AddReq) (*proto.AddReply, error) {
+	if err := d.wait(ctx); err != nil {
+		return nil, err
+	}
+	return d.inner.Add(ctx, req)
+}
+
+func (d *Delayed) BatchAdd(ctx context.Context, req *proto.BatchAddReq) (*proto.BatchAddReply, error) {
+	if err := d.wait(ctx); err != nil {
+		return nil, err
+	}
+	return d.inner.BatchAdd(ctx, req)
+}
+
+// BatchAddMulti forwards the combined frame for a single round trip.
+func (d *Delayed) BatchAddMulti(ctx context.Context, req *proto.BatchAddMultiReq) (*proto.BatchAddMultiReply, error) {
+	if err := d.wait(ctx); err != nil {
+		return nil, err
+	}
+	return proto.BatchAddMulti(ctx, d.inner, req)
+}
+
+func (d *Delayed) CheckTID(ctx context.Context, req *proto.CheckTIDReq) (*proto.CheckTIDReply, error) {
+	if err := d.wait(ctx); err != nil {
+		return nil, err
+	}
+	return d.inner.CheckTID(ctx, req)
+}
+
+func (d *Delayed) TryLock(ctx context.Context, req *proto.TryLockReq) (*proto.TryLockReply, error) {
+	if err := d.wait(ctx); err != nil {
+		return nil, err
+	}
+	return d.inner.TryLock(ctx, req)
+}
+
+func (d *Delayed) SetLock(ctx context.Context, req *proto.SetLockReq) (*proto.SetLockReply, error) {
+	if err := d.wait(ctx); err != nil {
+		return nil, err
+	}
+	return d.inner.SetLock(ctx, req)
+}
+
+func (d *Delayed) GetState(ctx context.Context, req *proto.GetStateReq) (*proto.GetStateReply, error) {
+	if err := d.wait(ctx); err != nil {
+		return nil, err
+	}
+	return d.inner.GetState(ctx, req)
+}
+
+func (d *Delayed) GetRecent(ctx context.Context, req *proto.GetRecentReq) (*proto.GetRecentReply, error) {
+	if err := d.wait(ctx); err != nil {
+		return nil, err
+	}
+	return d.inner.GetRecent(ctx, req)
+}
+
+func (d *Delayed) Reconstruct(ctx context.Context, req *proto.ReconstructReq) (*proto.ReconstructReply, error) {
+	if err := d.wait(ctx); err != nil {
+		return nil, err
+	}
+	return d.inner.Reconstruct(ctx, req)
+}
+
+func (d *Delayed) Finalize(ctx context.Context, req *proto.FinalizeReq) (*proto.FinalizeReply, error) {
+	if err := d.wait(ctx); err != nil {
+		return nil, err
+	}
+	return d.inner.Finalize(ctx, req)
+}
+
+func (d *Delayed) GCOld(ctx context.Context, req *proto.GCOldReq) (*proto.GCReply, error) {
+	if err := d.wait(ctx); err != nil {
+		return nil, err
+	}
+	return d.inner.GCOld(ctx, req)
+}
+
+func (d *Delayed) GCRecent(ctx context.Context, req *proto.GCRecentReq) (*proto.GCReply, error) {
+	if err := d.wait(ctx); err != nil {
+		return nil, err
+	}
+	return d.inner.GCRecent(ctx, req)
+}
+
+func (d *Delayed) Probe(ctx context.Context, req *proto.ProbeReq) (*proto.ProbeReply, error) {
+	if err := d.wait(ctx); err != nil {
+		return nil, err
+	}
+	return d.inner.Probe(ctx, req)
+}
+
+var (
+	_ proto.StorageNode  = (*Delayed)(nil)
+	_ proto.MultiBatcher = (*Delayed)(nil)
+)

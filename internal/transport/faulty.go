@@ -109,6 +109,7 @@ type Faulty struct {
 }
 
 var _ proto.StorageNode = (*Faulty)(nil)
+var _ proto.MultiBatcher = (*Faulty)(nil)
 
 // NewFaulty wraps inner with fault injection.
 func NewFaulty(inner proto.StorageNode, cfg FaultConfig) *Faulty {
@@ -244,6 +245,16 @@ func (f *Faulty) Add(ctx context.Context, req *proto.AddReq) (*proto.AddReply, e
 }
 func (f *Faulty) BatchAdd(ctx context.Context, req *proto.BatchAddReq) (*proto.BatchAddReply, error) {
 	return faultCall(ctx, f, OpBatchAdd, req, func() (*proto.BatchAddReply, error) { return f.inner.BatchAdd(ctx, req) })
+}
+
+// BatchAddMulti rolls the fault dice once for the whole coalesced call
+// — it models one frame on the wire, so a crash or injected error
+// takes down every sub-request together — then delegates through the
+// inner node's capability (or its BatchAdd loop when absent).
+func (f *Faulty) BatchAddMulti(ctx context.Context, req *proto.BatchAddMultiReq) (*proto.BatchAddMultiReply, error) {
+	return faultCall(ctx, f, OpBatchAdd, req, func() (*proto.BatchAddMultiReply, error) {
+		return proto.BatchAddMulti(ctx, f.inner, req)
+	})
 }
 func (f *Faulty) CheckTID(ctx context.Context, req *proto.CheckTIDReq) (*proto.CheckTIDReply, error) {
 	return faultCall(ctx, f, OpCheckTID, req, func() (*proto.CheckTIDReply, error) { return f.inner.CheckTID(ctx, req) })

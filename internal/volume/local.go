@@ -25,9 +25,11 @@ type LocalOptions struct {
 	// SiteWeights optionally assigns per-site placement weights
 	// (len must equal Sites; zero entries mean weight 1).
 	SiteWeights []float64
-	// BlocksPerGroup, Mode, TP, ClientID, Multicast, RetryDelay,
-	// Retry, Obs as in Options.
+	// BlocksPerGroup, MaxInFlight, ReadAhead, Mode, TP, ClientID,
+	// Multicast, RetryDelay, Retry, Obs as in Options.
 	BlocksPerGroup uint64
+	MaxInFlight    int
+	ReadAhead      int
 	Mode           resilience.UpdateMode
 	TP             int
 	ClientID       proto.ClientID
@@ -37,6 +39,10 @@ type LocalOptions struct {
 	// LockLease configures lease-based lock expiry on every shard.
 	LockLease time.Duration
 	Obs       *obs.Registry
+	// WrapShard optionally wraps every shard handle the volume opens
+	// (latency models, fault injection, counting). It sees the site and
+	// group the shard serves.
+	WrapShard func(site placement.Node, group uint64, n proto.StorageNode) proto.StorageNode
 }
 
 // Local is a Volume over an in-process site pool. Each site hosts one
@@ -100,6 +106,8 @@ func NewLocal(opts LocalOptions) (*Local, error) {
 		K: opts.K, N: opts.N, BlockSize: opts.BlockSize,
 		Groups:         opts.Groups,
 		BlocksPerGroup: opts.BlocksPerGroup,
+		MaxInFlight:    opts.MaxInFlight,
+		ReadAhead:      opts.ReadAhead,
 		Pool:           pool,
 		OpenShard:      l.openShard,
 		ClientID:       opts.ClientID,
@@ -139,7 +147,7 @@ func (l *Local) openShard(site placement.Node, group uint64, replacement bool) (
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if sh, ok := s.shards[group]; ok && !replacement {
-		return sh, nil
+		return l.wrapShard(site, group, sh), nil
 	}
 	l.mu.Lock()
 	l.gen[site.ID]++
@@ -160,7 +168,15 @@ func (l *Local) openShard(site placement.Node, group uint64, replacement bool) (
 		node.Crash()
 	}
 	s.shards[group] = node
-	return node, nil
+	return l.wrapShard(site, group, node), nil
+}
+
+// wrapShard applies the configured WrapShard hook, if any.
+func (l *Local) wrapShard(site placement.Node, group uint64, n proto.StorageNode) proto.StorageNode {
+	if l.lopts.WrapShard == nil {
+		return n
+	}
+	return l.lopts.WrapShard(site, group, n)
 }
 
 // CrashSite fail-stops every shard on a site. Groups placed on it

@@ -26,10 +26,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ecstore/internal/bulk"
 	"ecstore/internal/core"
 	"ecstore/internal/directory"
 	"ecstore/internal/erasure"
@@ -70,6 +72,14 @@ type Options struct {
 	// stays mapped and clients keep erroring (degraded reads still
 	// work). Administrative pool changes still refresh placements.
 	NoRemap bool
+
+	// MaxInFlight bounds the bulk-I/O window in stripes (see
+	// bulk.Options). Zero means the engine default; 1 degrades to the
+	// strictly sequential path.
+	MaxInFlight int
+	// ReadAhead is the streaming Reader's prefetch depth in stripes.
+	// Zero means MaxInFlight.
+	ReadAhead int
 
 	// ClientID identifies this volume's protocol clients. Defaults 1.
 	ClientID proto.ClientID
@@ -122,6 +132,7 @@ type Volume struct {
 	opts   Options
 	code   *erasure.Code
 	layout stripe.Layout
+	engine *bulk.Engine
 
 	mu     sync.Mutex
 	groups map[uint64]*group
@@ -158,6 +169,11 @@ func New(opts Options) (*Volume, error) {
 			return int64(len(v.groups))
 		})
 	}
+	v.engine = bulk.New((*volumeTarget)(v), bulk.Options{
+		MaxInFlight: opts.MaxInFlight,
+		ReadAhead:   opts.ReadAhead,
+		Obs:         opts.Obs,
+	})
 	return v, nil
 }
 
@@ -177,7 +193,7 @@ func (v *Volume) Capacity() uint64 {
 func (v *Volume) locate(addr uint64) (g uint64, stripeID uint64, slot int, err error) {
 	g = addr / v.opts.BlocksPerGroup
 	if g >= uint64(v.opts.Groups) {
-		return 0, 0, 0, fmt.Errorf("volume: address %d beyond capacity %d", addr, v.Capacity())
+		return 0, 0, 0, fmt.Errorf("volume: address %d beyond capacity %d: %w", addr, v.Capacity(), bulk.ErrOutOfRange)
 	}
 	local := addr % v.opts.BlocksPerGroup
 	ls, slot := v.layout.Locate(local)
@@ -227,84 +243,87 @@ func (v *Volume) Recover(ctx context.Context, addr uint64) error {
 	return nil
 }
 
-// ReadAt reads len(p) bytes at byte offset off, spanning blocks and
-// groups as needed.
+// ReadAt reads len(p) bytes at byte offset off through the pipelined
+// bulk engine, spanning blocks and groups as needed. Reads past the
+// volume's capacity are truncated and return io.EOF with the partial
+// count.
 func (v *Volume) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
-	if off < 0 {
-		return 0, errors.New("volume: negative offset")
-	}
-	bs := int64(v.opts.BlockSize)
-	read := 0
-	for read < len(p) {
-		pos := off + int64(read)
-		within := pos % bs
-		blk, err := v.ReadBlock(ctx, uint64(pos/bs))
-		if err != nil {
-			return read, err
-		}
-		read += copy(p[read:], blk[within:])
-	}
-	return read, nil
+	return v.engine.ReadAt(ctx, p, off)
 }
 
-// WriteAt writes p at byte offset off. Stripe-aligned full-stripe
-// spans go through the batched stripe write (Section 3.11); partial
-// head and tail blocks are read-modify-written (not atomic against
-// concurrent writers of the same block).
+// WriteAt writes p at byte offset off through the pipelined bulk
+// engine. Stripe-aligned full-stripe runs go through the batched
+// stripe write (Section 3.11) with up to MaxInFlight stripes
+// concurrently in flight and their same-site redundant deltas
+// coalesced; partial head and tail blocks are read-modify-written (not
+// atomic against concurrent writers of the same block). On failure the
+// returned count is the length of the longest prefix known written.
 func (v *Volume) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
-	if off < 0 {
-		return 0, errors.New("volume: negative offset")
-	}
-	bs := int64(v.opts.BlockSize)
-	k := int64(v.opts.K)
-	stripeBytes := bs * k
-	written := 0
-	for written < len(p) {
-		pos := off + int64(written)
-		within := pos % bs
-		addr := uint64(pos / bs)
-
-		// Fast path: a stripe-aligned span of k whole blocks. Group
-		// extents are stripe-aligned (BlocksPerGroup % K == 0), so the
-		// span never straddles groups.
-		if within == 0 && pos%stripeBytes == 0 && int64(len(p)-written) >= stripeBytes {
-			g, stripeID, _, err := v.locate(addr)
-			if err != nil {
-				return written, err
-			}
-			grp, err := v.group(g)
-			if err != nil {
-				return written, err
-			}
-			values := make([][]byte, k)
-			for i := int64(0); i < k; i++ {
-				values[i] = p[written+int(i*bs) : written+int((i+1)*bs)]
-			}
-			if err := grp.cl.WriteStripe(ctx, stripeID, values); err != nil {
-				return written, err
-			}
-			written += int(stripeBytes)
-			continue
-		}
-
-		var blk []byte
-		if within == 0 && len(p)-written >= int(bs) {
-			blk = p[written : written+int(bs)]
-		} else {
-			old, err := v.ReadBlock(ctx, addr)
-			if err != nil {
-				return written, err
-			}
-			blk = old
-			copy(blk[within:], p[written:])
-		}
-		if err := v.WriteBlock(ctx, addr, blk); err != nil {
-			return written, err
-		}
-		written += int(min(int64(len(p)-written), bs-within))
-	}
-	return written, nil
+	return v.engine.WriteAt(ctx, p, off)
 }
+
+// Reader returns an io.Reader streaming nBytes from byte offset off
+// with sequential readahead. A negative nBytes streams to the volume's
+// capacity.
+func (v *Volume) Reader(ctx context.Context, off, nBytes int64) io.Reader {
+	return v.engine.Reader(ctx, off, nBytes)
+}
+
+// --- bulk target -------------------------------------------------------------
+
+// volumeTarget adapts the volume to bulk.Target.
+type volumeTarget Volume
+
+func (t *volumeTarget) BlockSize() int      { return t.opts.BlockSize }
+func (t *volumeTarget) StripeK() int        { return t.opts.K }
+func (t *volumeTarget) GroupBlocks() uint64 { return t.opts.BlocksPerGroup }
+func (t *volumeTarget) Capacity() uint64    { return (*Volume)(t).Capacity() }
+
+func (t *volumeTarget) ReadBlock(ctx context.Context, addr uint64) ([]byte, error) {
+	return (*Volume)(t).ReadBlock(ctx, addr)
+}
+
+func (t *volumeTarget) WriteBlock(ctx context.Context, addr uint64, data []byte) error {
+	return (*Volume)(t).WriteBlock(ctx, addr, data)
+}
+
+// WriteStripes routes one batch — all within one group, per the
+// bulk.Target contract — to that group's protocol client, which
+// coalesces the stripes' same-site redundant deltas into combined
+// RPCs.
+func (t *volumeTarget) WriteStripes(ctx context.Context, writes []bulk.StripeWrite) ([]error, bulk.WriteStats) {
+	v := (*Volume)(t)
+	errs := make([]error, len(writes))
+	fail := func(err error) ([]error, bulk.WriteStats) {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs, bulk.WriteStats{}
+	}
+	if len(writes) == 0 {
+		return errs, bulk.WriteStats{}
+	}
+	g, _, _, err := v.locate(writes[0].Addr)
+	if err != nil {
+		return fail(err)
+	}
+	grp, err := v.group(g)
+	if err != nil {
+		return fail(err)
+	}
+	sw := make([]core.StripeWrite, len(writes))
+	for i, w := range writes {
+		_, stripeID, _, err := v.locate(w.Addr)
+		if err != nil {
+			return fail(err)
+		}
+		sw[i] = core.StripeWrite{Stripe: stripeID, Values: w.Values}
+	}
+	werrs, stats := grp.cl.WriteStripes(ctx, sw)
+	return werrs, bulk.WriteStats{BatchCalls: stats.BatchCalls, BatchRPCs: stats.BatchRPCs}
+}
+
+var _ bulk.Target = (*volumeTarget)(nil)
 
 // CollectGarbage runs one GC pass in every instantiated group.
 func (v *Volume) CollectGarbage(ctx context.Context) error {

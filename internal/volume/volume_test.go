@@ -326,7 +326,7 @@ func TestMaintenanceOpsAcrossGroups(t *testing.T) {
 // every group lands on all of them.
 func TestGroupsShareSitesWithoutCollision(t *testing.T) {
 	ctx := context.Background()
-	l := newLocal(t, 2, 4, nil) // 4 sites, N=4: both groups use every site
+	l := newLocal(t, 2, 4, nil)                              // 4 sites, N=4: both groups use every site
 	if err := l.WriteBlock(ctx, 0, block('A')); err != nil { // group 0, stripe 0
 		t.Fatal(err)
 	}

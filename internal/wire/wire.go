@@ -59,6 +59,8 @@ const (
 	TError // reply carrying a transport-level error string
 	TBatchAdd
 	TBatchAddReply
+	TBatchAddMulti
+	TBatchAddMultiReply
 )
 
 // ErrTruncated reports a frame shorter than its contents require.
@@ -108,6 +110,24 @@ func (e *encoder) i32s(list []int32) {
 	for _, v := range list {
 		e.u32(uint32(v))
 	}
+}
+func (e *encoder) batchAddReq(m *proto.BatchAddReq) {
+	e.u64(m.Stripe)
+	e.u32(uint32(m.Slot))
+	e.bytes(m.Delta)
+	e.u32(uint32(len(m.Entries)))
+	for _, entry := range m.Entries {
+		e.u32(uint32(entry.DataSlot))
+		e.tid(entry.NTID)
+		e.tid(entry.OTID)
+	}
+	e.u64(m.Epoch)
+}
+func (e *encoder) batchAddReply(m *proto.BatchAddReply) {
+	e.u8(uint8(m.Status))
+	e.u8(uint8(m.OpMode))
+	e.u8(uint8(m.LockMode))
+	e.i32s(m.Blockers)
 }
 
 // --- decoder --------------------------------------------------------------
@@ -263,23 +283,23 @@ func EncodeAppend(msg any, buf []byte) (MsgType, []byte, error) {
 		e.u8(uint8(m.LockMode))
 		return TAddReply, e.buf, nil
 	case *proto.BatchAddReq:
-		e.u64(m.Stripe)
-		e.u32(uint32(m.Slot))
-		e.bytes(m.Delta)
-		e.u32(uint32(len(m.Entries)))
-		for _, entry := range m.Entries {
-			e.u32(uint32(entry.DataSlot))
-			e.tid(entry.NTID)
-			e.tid(entry.OTID)
-		}
-		e.u64(m.Epoch)
+		e.batchAddReq(m)
 		return TBatchAdd, e.buf, nil
 	case *proto.BatchAddReply:
-		e.u8(uint8(m.Status))
-		e.u8(uint8(m.OpMode))
-		e.u8(uint8(m.LockMode))
-		e.i32s(m.Blockers)
+		e.batchAddReply(m)
 		return TBatchAddReply, e.buf, nil
+	case *proto.BatchAddMultiReq:
+		e.u32(uint32(len(m.Adds)))
+		for _, sub := range m.Adds {
+			e.batchAddReq(sub)
+		}
+		return TBatchAddMulti, e.buf, nil
+	case *proto.BatchAddMultiReply:
+		e.u32(uint32(len(m.Replies)))
+		for _, sub := range m.Replies {
+			e.batchAddReply(sub)
+		}
+		return TBatchAddMultiReply, e.buf, nil
 	case *proto.CheckTIDReq:
 		e.u64(m.Stripe)
 		e.u32(uint32(m.Slot))
@@ -404,30 +424,45 @@ func Decode(t MsgType, buf []byte) (any, error) {
 	case TAddReply:
 		msg = &proto.AddReply{Status: proto.Status(d.u8()), OpMode: proto.OpMode(d.u8()), LockMode: proto.LockMode(d.u8())}
 	case TBatchAdd:
-		req := &proto.BatchAddReq{Stripe: d.u64(), Slot: int32(d.u32()), Delta: d.bytes()}
+		msg = d.batchAddReq()
+	case TBatchAddReply:
+		msg = d.batchAddReply()
+	case TBatchAddMulti:
+		req := &proto.BatchAddMultiReq{}
 		cnt := int(d.u32())
 		if d.err == nil && cnt > 0 {
 			if cnt > len(d.buf) {
 				d.err = ErrTruncated
 			} else {
-				req.Entries = make([]proto.BatchEntry, 0, cnt)
+				req.Adds = make([]*proto.BatchAddReq, 0, cnt)
 				for i := 0; i < cnt; i++ {
-					req.Entries = append(req.Entries, proto.BatchEntry{
-						DataSlot: int32(d.u32()), NTID: d.tid(), OTID: d.tid(),
-					})
-				}
-				if d.err != nil {
-					req.Entries = nil
+					req.Adds = append(req.Adds, d.batchAddReq())
+					if d.err != nil {
+						req.Adds = nil
+						break
+					}
 				}
 			}
 		}
-		req.Epoch = d.u64()
 		msg = req
-	case TBatchAddReply:
-		msg = &proto.BatchAddReply{
-			Status: proto.Status(d.u8()), OpMode: proto.OpMode(d.u8()),
-			LockMode: proto.LockMode(d.u8()), Blockers: d.i32s(),
+	case TBatchAddMultiReply:
+		rep := &proto.BatchAddMultiReply{}
+		cnt := int(d.u32())
+		if d.err == nil && cnt > 0 {
+			if cnt > len(d.buf) {
+				d.err = ErrTruncated
+			} else {
+				rep.Replies = make([]*proto.BatchAddReply, 0, cnt)
+				for i := 0; i < cnt; i++ {
+					rep.Replies = append(rep.Replies, d.batchAddReply())
+					if d.err != nil {
+						rep.Replies = nil
+						break
+					}
+				}
+			}
 		}
+		msg = rep
 	case TCheckTID:
 		msg = &proto.CheckTIDReq{Stripe: d.u64(), Slot: int32(d.u32()), NTID: d.tid(), OTID: d.tid()}
 	case TCheckTIDReply:
@@ -489,6 +524,35 @@ func Decode(t MsgType, buf []byte) (any, error) {
 	return msg, nil
 }
 
+func (d *decoder) batchAddReq() *proto.BatchAddReq {
+	req := &proto.BatchAddReq{Stripe: d.u64(), Slot: int32(d.u32()), Delta: d.bytes()}
+	cnt := int(d.u32())
+	if d.err == nil && cnt > 0 {
+		if cnt > len(d.buf) {
+			d.err = ErrTruncated
+		} else {
+			req.Entries = make([]proto.BatchEntry, 0, cnt)
+			for i := 0; i < cnt; i++ {
+				req.Entries = append(req.Entries, proto.BatchEntry{
+					DataSlot: int32(d.u32()), NTID: d.tid(), OTID: d.tid(),
+				})
+			}
+			if d.err != nil {
+				req.Entries = nil
+			}
+		}
+	}
+	req.Epoch = d.u64()
+	return req
+}
+
+func (d *decoder) batchAddReply() *proto.BatchAddReply {
+	return &proto.BatchAddReply{
+		Status: proto.Status(d.u8()), OpMode: proto.OpMode(d.u8()),
+		LockMode: proto.LockMode(d.u8()), Blockers: d.i32s(),
+	}
+}
+
 func (d *decoder) tids() []proto.TID {
 	n := int(d.u32())
 	if d.err != nil || n == 0 {
@@ -529,6 +593,11 @@ func Recycle(msg any) {
 	case *proto.BatchAddReq:
 		bufpool.Put(m.Delta)
 		m.Delta = nil
+	case *proto.BatchAddMultiReq:
+		for _, sub := range m.Adds {
+			bufpool.Put(sub.Delta)
+			sub.Delta = nil
+		}
 	case *proto.ReconstructReq:
 		bufpool.Put(m.Block)
 		m.Block = nil
@@ -558,6 +627,16 @@ func Size(msg any) int {
 		body = 12 + 4 + len(m.Delta) + 4 + len(m.Entries)*(4+2*tidSize) + 8
 	case *proto.BatchAddReply:
 		body = 3 + 4 + 4*len(m.Blockers)
+	case *proto.BatchAddMultiReq:
+		body = 4
+		for _, sub := range m.Adds {
+			body += 12 + 4 + len(sub.Delta) + 4 + len(sub.Entries)*(4+2*tidSize) + 8
+		}
+	case *proto.BatchAddMultiReply:
+		body = 4
+		for _, sub := range m.Replies {
+			body += 3 + 4 + 4*len(sub.Blockers)
+		}
 	case *proto.CheckTIDReq:
 		body = 12 + 2*tidSize
 	case *proto.CheckTIDReply:

@@ -22,6 +22,17 @@ func sampleMessages() []any {
 		&proto.SwapReply{OK: true, Block: blk, Epoch: 5, OTID: t2, LockMode: proto.Unlocked},
 		&proto.AddReq{Stripe: 9, Slot: 4, Delta: blk, DataSlot: 1, Premultiplied: true, NTID: t1, OTID: t2, Epoch: 3},
 		&proto.AddReply{Status: proto.StatusOrder, OpMode: proto.Norm, LockMode: proto.L0},
+		&proto.BatchAddReq{Stripe: 9, Slot: 4, Delta: blk, Epoch: 3,
+			Entries: []proto.BatchEntry{{DataSlot: 0, NTID: t1, OTID: t2}, {DataSlot: 1, NTID: t2}}},
+		&proto.BatchAddReply{Status: proto.StatusOrder, OpMode: proto.Norm, LockMode: proto.L0, Blockers: []int32{0, 1}},
+		&proto.BatchAddMultiReq{Adds: []*proto.BatchAddReq{
+			{Stripe: 9, Slot: 4, Delta: blk, Epoch: 3, Entries: []proto.BatchEntry{{DataSlot: 0, NTID: t1}}},
+			{Stripe: 10, Slot: 4, Delta: []byte{9, 8}, Epoch: 4, Entries: []proto.BatchEntry{{DataSlot: 1, NTID: t2, OTID: t1}}},
+		}},
+		&proto.BatchAddMultiReply{Replies: []*proto.BatchAddReply{
+			{Status: proto.StatusOK, OpMode: proto.Norm, LockMode: proto.Unlocked},
+			{Status: proto.StatusOrder, Blockers: []int32{1}},
+		}},
 		&proto.CheckTIDReq{Stripe: 9, Slot: 4, NTID: t1, OTID: t2},
 		&proto.CheckTIDReply{Status: proto.StatusGC},
 		&proto.TryLockReq{Stripe: 9, Slot: 0, Mode: proto.L1, Caller: 3},
@@ -144,7 +155,7 @@ func TestDecodeCorruptCountsDoNotPanic(t *testing.T) {
 	// A hostile or corrupt frame with a huge element count must fail
 	// cleanly rather than allocating or panicking.
 	rng := rand.New(rand.NewSource(1))
-	for _, mt := range []MsgType{TGetStateReply, TGetRecentReply, TGCOld, TGCRecent, TReconstruct} {
+	for _, mt := range []MsgType{TGetStateReply, TGetRecentReply, TGCOld, TGCRecent, TReconstruct, TBatchAdd, TBatchAddMulti, TBatchAddMultiReply} {
 		for trial := 0; trial < 200; trial++ {
 			n := rng.Intn(40)
 			buf := make([]byte, n)

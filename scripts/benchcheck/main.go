@@ -1,12 +1,15 @@
-// Command benchcheck guards the data-plane kernels against performance
-// regressions. It runs the benchmarks named in a committed baseline
-// file (BENCH_kernels.json's "ci_baseline" section), takes the min
-// ns/op over -count runs, and fails if any benchmark is more than
-// -tolerance slower than its recorded baseline.
+// Command benchcheck guards committed performance baselines against
+// regressions. It runs the benchmarks named in each baseline file's
+// "ci_baseline" section, takes the min ns/op over -count runs, and
+// fails if any benchmark is more than -tolerance slower than its
+// recorded baseline.
 //
 // Usage (from the repo root):
 //
-//	go run ./scripts/benchcheck [-baseline BENCH_kernels.json] [-tolerance 0.20]
+//	go run ./scripts/benchcheck [-baseline BENCH_kernels.json,BENCH_bulkio.json] [-tolerance 0.20]
+//
+// -baseline accepts a comma-separated list; every file is checked with
+// the same tolerance and a regression in any of them fails the run.
 //
 // The compare is deliberately one-sided and tolerant: shared CI
 // runners are noisy, so only a sustained slowdown beyond the tolerance
@@ -37,25 +40,45 @@ type baselineFile struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_kernels.json", "baseline JSON with a ci_baseline section")
+	baselinePaths := flag.String("baseline", "BENCH_kernels.json", "comma-separated baseline JSON files, each with a ci_baseline section")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional slowdown before failing (0.20 = +20%)")
 	benchtime := flag.String("benchtime", "200ms", "per-benchmark time passed to go test")
 	count := flag.Int("count", 3, "benchmark repetitions; the min ns/op is compared")
 	flag.Parse()
 
-	raw, err := os.ReadFile(*baselinePath)
+	failed := false
+	for _, path := range strings.Split(*baselinePaths, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		if !checkBaseline(path, *tolerance, *benchtime, *count) {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Println("benchcheck: performance regression beyond tolerance")
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: all benchmarks within tolerance")
+}
+
+// checkBaseline runs one baseline file's benchmarks and reports
+// whether everything stayed within tolerance.
+func checkBaseline(baselinePath string, tolerance float64, benchtime string, count int) bool {
+	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fatalf("read baseline: %v", err)
 	}
 	var bf baselineFile
 	if err := json.Unmarshal(raw, &bf); err != nil {
-		fatalf("parse %s: %v", *baselinePath, err)
+		fatalf("parse %s: %v", baselinePath, err)
 	}
 	if len(bf.CIBaseline) == 0 {
-		fatalf("%s has no ci_baseline section", *baselinePath)
+		fatalf("%s has no ci_baseline section", baselinePath)
 	}
 
-	failed := false
+	ok := true
 	pkgs := make([]string, 0, len(bf.CIBaseline))
 	for pkg := range bf.CIBaseline {
 		if pkg == "comment" {
@@ -69,7 +92,7 @@ func main() {
 		if err := json.Unmarshal(bf.CIBaseline[pkg], &want); err != nil {
 			fatalf("ci_baseline[%q]: %v", pkg, err)
 		}
-		got, err := runBenches(pkg, want, *benchtime, *count)
+		got, err := runBenches(pkg, want, benchtime, count)
 		if err != nil {
 			fatalf("%s: %v", pkg, err)
 		}
@@ -80,26 +103,22 @@ func main() {
 		sort.Strings(names)
 		for _, name := range names {
 			base := want[name]
-			min, ok := got[name]
+			min, ran := got[name]
 			switch {
-			case !ok:
+			case !ran:
 				fmt.Printf("FAIL  %-28s %s: benchmark did not run\n", name, pkg)
-				failed = true
-			case min > base*(1+*tolerance):
+				ok = false
+			case min > base*(1+tolerance):
 				fmt.Printf("FAIL  %-28s %s: %.0f ns/op vs baseline %.0f (+%.0f%% > +%.0f%% allowed)\n",
-					name, pkg, min, base, (min/base-1)*100, *tolerance*100)
-				failed = true
+					name, pkg, min, base, (min/base-1)*100, tolerance*100)
+				ok = false
 			default:
 				fmt.Printf("ok    %-28s %s: %.0f ns/op vs baseline %.0f (%+.0f%%)\n",
 					name, pkg, min, base, (min/base-1)*100)
 			}
 		}
 	}
-	if failed {
-		fmt.Println("benchcheck: performance regression beyond tolerance")
-		os.Exit(1)
-	}
-	fmt.Println("benchcheck: all benchmarks within tolerance")
+	return ok
 }
 
 // runBenches executes the named benchmarks in pkg and returns the min

@@ -15,29 +15,16 @@ import (
 	"ecstore/internal/volume"
 )
 
-// ShardedOptions configures a sharded volume: Groups independent AJX
-// stripe groups multiplexed over one site pool, each group placed on N
-// of the sites by weighted rendezvous hashing.
-type ShardedOptions struct {
-	Options
-	// Groups is the number of stripe groups. Required (>= 1).
-	Groups int
-	// BlocksPerGroup sizes each group's extent of the flat address
-	// space (must be a multiple of K). Defaults to K << 20.
-	BlocksPerGroup uint64
-	// ClientID identifies this volume's protocol clients. Defaults 1.
-	ClientID uint32
-	// Sites is the pool size of a local sharded volume. Defaults to N.
-	Sites int
-	// SiteWeights optionally skews placement toward bigger local sites
-	// (len must equal Sites).
-	SiteWeights []float64
-}
+// ShardedOptions configures a sharded volume.
+//
+// Deprecated: the fields have merged into Options; this alias remains
+// for source compatibility.
+type ShardedOptions = Options
 
 // ShardedVolume is a flat block address space striped across many
 // groups. Block addr lives in group addr/BlocksPerGroup; each group
 // runs the unmodified single-group protocol over its assigned sites.
-// Safe for concurrent use.
+// Safe for concurrent use; satisfies Store.
 type ShardedVolume struct {
 	vol   *volume.Volume
 	local *volume.Local // non-nil when built by NewLocalShardedVolume
@@ -59,6 +46,8 @@ func NewLocalShardedVolume(opts ShardedOptions) (*ShardedVolume, error) {
 		Sites:          opts.Sites,
 		SiteWeights:    opts.SiteWeights,
 		BlocksPerGroup: opts.BlocksPerGroup,
+		MaxInFlight:    opts.MaxInFlight,
+		ReadAhead:      opts.ReadAhead,
 		Mode:           opts.Mode,
 		TP:             opts.TP,
 		ClientID:       proto.ClientID(opts.ClientID),
@@ -112,6 +101,8 @@ func ConnectShardedVolume(opts ShardedOptions, addrs []string) (*ShardedVolume, 
 		K: opts.K, N: opts.N, BlockSize: opts.BlockSize,
 		Groups:         opts.Groups,
 		BlocksPerGroup: opts.BlocksPerGroup,
+		MaxInFlight:    opts.MaxInFlight,
+		ReadAhead:      opts.ReadAhead,
 		Pool:           pool,
 		OpenShard: func(site placement.Node, group uint64, replacement bool) (proto.StorageNode, error) {
 			if replacement {
@@ -156,13 +147,18 @@ func (v *ShardedVolume) WriteBlock(ctx context.Context, addr uint64, data []byte
 }
 
 // ReadAt reads len(p) bytes at byte offset off, spanning blocks and
-// groups as needed.
+// groups as needed, with up to MaxInFlight stripes of fetches in
+// flight. Reads past the volume's capacity are truncated and return
+// io.EOF with the partial count.
 func (v *ShardedVolume) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
 	return v.vol.ReadAt(ctx, p, off)
 }
 
-// WriteAt writes p at byte offset off. Stripe-aligned spans use the
-// batched stripe write.
+// WriteAt writes p at byte offset off through the pipelined bulk
+// engine: stripe-aligned runs use the batched stripe write with up to
+// MaxInFlight stripes in flight and their same-site parity deltas
+// coalesced into combined RPCs. On failure the count is the length of
+// the longest prefix known written.
 func (v *ShardedVolume) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
 	return v.vol.WriteAt(ctx, p, off)
 }
@@ -231,29 +227,11 @@ func (v *ShardedVolume) RemoveSite(id string) error {
 	return v.local.RemoveSite(id)
 }
 
-// Reader returns an io.Reader streaming nBytes from byte offset off.
+// Reader returns an io.Reader streaming nBytes from byte offset off,
+// prefetching ReadAhead stripes ahead of the consumer. A negative
+// nBytes streams to the volume's capacity.
 func (v *ShardedVolume) Reader(ctx context.Context, off, nBytes int64) io.Reader {
-	return &shardedReader{v: v, ctx: ctx, off: off, remaining: nBytes}
-}
-
-type shardedReader struct {
-	v         *ShardedVolume
-	ctx       context.Context
-	off       int64
-	remaining int64
-}
-
-func (r *shardedReader) Read(p []byte) (int, error) {
-	if r.remaining <= 0 {
-		return 0, io.EOF
-	}
-	if int64(len(p)) > r.remaining {
-		p = p[:r.remaining]
-	}
-	n, err := r.v.ReadAt(r.ctx, p, r.off)
-	r.off += int64(n)
-	r.remaining -= int64(n)
-	return n, err
+	return v.vol.Reader(ctx, off, nBytes)
 }
 
 // Close releases the volume's resources: local shards are shut down,

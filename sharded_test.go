@@ -14,8 +14,8 @@ import (
 
 func TestLocalShardedVolume(t *testing.T) {
 	ctx := ctxT(t)
-	v, err := ecstore.NewLocalShardedVolume(ecstore.ShardedOptions{
-		Options:        ecstore.Options{K: 2, N: 4, BlockSize: blockSize},
+	v, err := ecstore.NewLocalShardedVolume(ecstore.Options{
+		K: 2, N: 4, BlockSize: blockSize,
 		Groups:         4,
 		Sites:          10,
 		BlocksPerGroup: 16,
@@ -118,8 +118,8 @@ func TestConnectShardedVolumeOverTCP(t *testing.T) {
 		t.Cleanup(func() { _ = srv.Close() })
 		addrs[i] = srv.Addr().String()
 	}
-	opts := ecstore.ShardedOptions{
-		Options:        ecstore.Options{K: 2, N: 4, BlockSize: blockSize},
+	opts := ecstore.Options{
+		K: 2, N: 4, BlockSize: blockSize,
 		Groups:         6,
 		BlocksPerGroup: 8,
 	}

@@ -1,0 +1,170 @@
+package ecstore
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"ecstore/internal/bulk"
+	"ecstore/internal/core"
+)
+
+// Typed sentinel errors. Match with errors.Is; never by string.
+var (
+	// ErrUnavailable reports that an operation exhausted its retry
+	// budget against unreachable storage nodes.
+	ErrUnavailable = core.ErrUnavailable
+	// ErrShortWrite reports a WriteAt that could not complete its span;
+	// the returned count is the longest prefix known durably written.
+	ErrShortWrite = bulk.ErrShortWrite
+	// ErrOutOfRange reports an access beyond a bounded store's capacity
+	// or at a negative offset.
+	ErrOutOfRange = bulk.ErrOutOfRange
+)
+
+// Store is the unified facade over every deployment shape: a
+// single-group cluster (local or TCP) and a multi-group sharded
+// volume expose the same surface, so code written against Store runs
+// unchanged on either. Obtain one from New or Connect; *Volume and
+// *ShardedVolume both satisfy it.
+//
+// ReadAt, WriteAt, and Reader route through the pipelined bulk engine
+// (Options.MaxInFlight): large spans keep a window of stripes in
+// flight and coalesce same-site parity deltas into combined RPCs, so
+// bulk throughput scales with the window instead of being bounded by
+// per-stripe round-trip latency.
+type Store interface {
+	// BlockSize returns the fixed block size in bytes.
+	BlockSize() int
+	// Capacity returns the addressable block count, or 0 when the
+	// address space is unbounded (single-group stores).
+	Capacity() uint64
+	// ReadBlock reads one block. Unwritten blocks read as zeros.
+	ReadBlock(ctx context.Context, addr uint64) ([]byte, error)
+	// WriteBlock writes one block. data must be exactly BlockSize bytes.
+	WriteBlock(ctx context.Context, addr uint64, data []byte) error
+	// ReadAt reads len(p) bytes at byte offset off. On a bounded store,
+	// reads past the end are truncated and return io.EOF with the
+	// partial count.
+	ReadAt(ctx context.Context, p []byte, off int64) (int, error)
+	// WriteAt writes p at byte offset off. On failure the count is the
+	// length of the longest prefix known written and the error wraps
+	// ErrShortWrite.
+	WriteAt(ctx context.Context, p []byte, off int64) (int, error)
+	// Reader streams nBytes from byte offset off with readahead. On a
+	// bounded store a negative nBytes streams to capacity.
+	Reader(ctx context.Context, off, nBytes int64) io.Reader
+	// Recover forces recovery of the stripe containing addr. Normally
+	// recovery triggers automatically when I/O stumbles on a failure.
+	Recover(ctx context.Context, addr uint64) error
+	// CollectGarbage runs one pass of the two-phase GC protocol over
+	// every touched stripe. Two consecutive passes fully retire
+	// completed writes.
+	CollectGarbage(ctx context.Context) error
+	// Monitor probes touched stripes for stale partial writes and
+	// crashed nodes, returning the number of stripes recovered.
+	Monitor(ctx context.Context, maxAge time.Duration) (int, error)
+	// Scrub audits touched stripes against the erasure code, repairing
+	// localizable damage.
+	Scrub(ctx context.Context) (clean, busy, repaired int, err error)
+	// IOReaderAt adapts the store to the standard library's io.ReaderAt
+	// under a fixed context.
+	IOReaderAt(ctx context.Context) io.ReaderAt
+	// IOWriterAt adapts the store to the standard library's io.WriterAt
+	// under a fixed context.
+	IOWriterAt(ctx context.Context) io.WriterAt
+	// Close releases the store's resources.
+	Close() error
+}
+
+var (
+	_ Store = (*Volume)(nil)
+	_ Store = (*ShardedVolume)(nil)
+)
+
+// New builds an in-process Store. With Groups <= 1 and no Sites it is
+// a single-group cluster of N in-memory nodes (DataDir optionally
+// persists them); with Groups > 1 (or Sites set) it is a sharded
+// volume placing the groups over a pool of Sites in-memory hosts.
+func New(opts Options) (Store, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	if opts.Groups > 1 || opts.Sites > 0 || opts.SiteWeights != nil {
+		return NewLocalShardedVolume(opts)
+	}
+	c, err := NewLocalCluster(opts)
+	if err != nil {
+		return nil, err
+	}
+	v, err := c.Volume(opts.ClientID)
+	if err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	v.owns = true
+	return v, nil
+}
+
+// Connect dials a Store over TCP (cmd/storaged servers). With
+// Groups <= 1 addrs must hold exactly N servers in slot order; with
+// Groups > 1 it is a site pool of any size >= N that the groups are
+// placed over.
+func Connect(opts Options, addrs []string) (Store, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	if opts.Groups > 1 {
+		return ConnectShardedVolume(opts, addrs)
+	}
+	c, err := ConnectCluster(opts, addrs)
+	if err != nil {
+		return nil, err
+	}
+	v, err := c.Volume(opts.ClientID)
+	if err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	v.owns = true
+	return v, nil
+}
+
+// --- stdlib adapters ---------------------------------------------------------
+
+// readAtWriteAt is the slice of Store the adapters need; both concrete
+// facades implement it.
+type readAtWriteAt interface {
+	ReadAt(ctx context.Context, p []byte, off int64) (int, error)
+	WriteAt(ctx context.Context, p []byte, off int64) (int, error)
+}
+
+type ioReaderAt struct {
+	ctx context.Context
+	s   readAtWriteAt
+}
+
+func (r ioReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	return r.s.ReadAt(r.ctx, p, off)
+}
+
+type ioWriterAt struct {
+	ctx context.Context
+	s   readAtWriteAt
+}
+
+func (w ioWriterAt) WriteAt(p []byte, off int64) (int, error) {
+	return w.s.WriteAt(w.ctx, p, off)
+}
+
+// IOReaderAt returns an io.ReaderAt view of the volume under ctx.
+func (v *Volume) IOReaderAt(ctx context.Context) io.ReaderAt { return ioReaderAt{ctx, v} }
+
+// IOWriterAt returns an io.WriterAt view of the volume under ctx.
+func (v *Volume) IOWriterAt(ctx context.Context) io.WriterAt { return ioWriterAt{ctx, v} }
+
+// IOReaderAt returns an io.ReaderAt view of the volume under ctx.
+func (v *ShardedVolume) IOReaderAt(ctx context.Context) io.ReaderAt { return ioReaderAt{ctx, v} }
+
+// IOWriterAt returns an io.WriterAt view of the volume under ctx.
+func (v *ShardedVolume) IOWriterAt(ctx context.Context) io.WriterAt { return ioWriterAt{ctx, v} }

@@ -5,7 +5,8 @@
 //
 //	experiments [-quick] [-metrics-out metrics.jsonl]
 //	            [fig1 fig8a fig8b fig8c fig9a fig9b fig9c
-//	             fig9d fig10a fig10b fig10c fig10d recovery latency space]
+//	             fig9d fig10a fig10b fig10c fig10d recovery latency
+//	             readratio space ablation multigroup bulkio repairstorm]
 //
 // With no arguments it runs everything. -quick shrinks the measurement
 // windows so a full run finishes in well under a minute; drop it for
@@ -40,7 +41,7 @@ func main() {
 			"fig9a", "fig9b", "fig9c", "fig9d",
 			"fig10a", "fig10b", "fig10c", "fig10d",
 			"recovery", "latency", "readratio", "space", "ablation",
-			"multigroup", "bulkio",
+			"multigroup", "bulkio", "repairstorm",
 		}
 	}
 	var metricsFile *os.File
@@ -212,6 +213,10 @@ var runners = map[string]runner{
 	},
 	"bulkio": func(ctx context.Context, w io.Writer, quick bool) error {
 		t, err := experiments.BulkIO(ctx, quick)
+		return printTable(w, t, err)
+	},
+	"repairstorm": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, err := experiments.RepairStorm(ctx, quick)
 		return printTable(w, t, err)
 	},
 	"ablation": func(ctx context.Context, w io.Writer, quick bool) error {

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"ecstore/internal/gf"
 	"ecstore/internal/proto"
 	"ecstore/internal/rpc"
 )
@@ -72,6 +73,58 @@ func TestSetupReplacementMode(t *testing.T) {
 	}
 	if rep.OK {
 		t.Fatal("replacement node served a read from an INIT slot")
+	}
+}
+
+// TestPartialSumOverTCP round-trips the repair scheduler's
+// bandwidth-frugal frame through a real storaged: the reply must carry
+// Coef*block XOR Acc so an aggregation tree can fold survivor
+// contributions across the wire.
+func TestPartialSumOverTCP(t *testing.T) {
+	ctx := context.Background()
+	d, err := setup(config{addr: "127.0.0.1:0", blockSize: 64, k: 2, n: 4, lease: time.Second, id: "ps0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	cl := rpc.Dial(d.srv.Addr().String())
+	defer cl.Close()
+
+	blk := bytes.Repeat([]byte{0x21}, 64)
+	if rep, err := cl.Swap(ctx, &proto.SwapReq{Stripe: 7, Slot: 1, Value: blk, NTID: proto.TID{Seq: 1, Block: 0, Client: 3}}); err != nil || !rep.OK {
+		t.Fatalf("swap: %v %+v", err, rep)
+	}
+	acc := bytes.Repeat([]byte{0x0F}, 64)
+	rep, err := cl.PartialSum(ctx, &proto.PartialSumReq{Stripe: 7, Slot: 1, Coef: 5, Acc: acc})
+	if err != nil {
+		t.Fatalf("partial sum over TCP: %v", err)
+	}
+	if !rep.OK {
+		t.Fatalf("partial sum rejected: %+v", rep)
+	}
+	want := make([]byte, 64)
+	gf.MulSlice(5, want, blk)
+	gf.AddSlice(want, acc)
+	if !bytes.Equal(rep.Sum, want) {
+		t.Fatalf("sum = %x..., want %x...", rep.Sum[:4], want[:4])
+	}
+
+	// A replacement node's INIT slots decline without a transport
+	// error: the coordinator falls back to whole-block recovery, it
+	// does not retry the node.
+	dr, err := setup(config{addr: "127.0.0.1:0", blockSize: 64, replacement: true, id: "ps1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dr.Close()
+	clr := rpc.Dial(dr.srv.Addr().String())
+	defer clr.Close()
+	rep, err = clr.PartialSum(ctx, &proto.PartialSumReq{Stripe: 7, Slot: 1, Coef: 5})
+	if err != nil {
+		t.Fatalf("partial sum on INIT slot: %v", err)
+	}
+	if rep.OK {
+		t.Fatal("INIT slot claimed a partial sum")
 	}
 }
 

@@ -114,6 +114,23 @@ type Options struct {
 	// (len must equal Sites).
 	SiteWeights []float64
 
+	// EnableRepair starts the background repair/rebalance scheduler on
+	// a local sharded store (Groups > 1 or Sites > 0): damaged stripe
+	// groups queue by survivor count — a group one shard from data
+	// loss repairs before a group missing one of many — fed by failure
+	// reports and a periodic sweep, and pool membership changes enqueue
+	// rebalance moves toward the rendezvous-hash ideal placement.
+	EnableRepair bool
+	// RepairBandwidth caps background repair traffic in bytes per
+	// second through a token-bucket governor; 0 means unlimited.
+	RepairBandwidth int64
+	// RepairBurst is the governor's burst allowance in bytes; 0
+	// defaults to one second of RepairBandwidth.
+	RepairBurst int64
+	// RepairInterval paces the scheduler's inspection sweep. Default
+	// 30 seconds.
+	RepairInterval time.Duration
+
 	// MaxInFlight bounds the bulk-I/O pipeline window in stripes: how
 	// many stripes of a large ReadAt/WriteAt span are in flight at
 	// once. Default 16; 1 degrades to the strictly sequential path.

@@ -62,6 +62,14 @@ type Config struct {
 	// Broadcast mode; without it the client falls back to parallel
 	// unicast of unmultiplied deltas.
 	Multicast proto.Multicaster
+	// Aggregate optionally provides partial-sum aggregation for
+	// bandwidth-frugal recovery. With it set, recovery reads state
+	// without block content, tells consistent slots to keep their
+	// blocks in place, and fetches each lost block as one aggregated
+	// alpha*block sum instead of pulling k whole survivor blocks
+	// through this client. Any node or transport lacking the
+	// capability makes recovery fall back to the whole-block path.
+	Aggregate proto.Aggregator
 	// RetryDelay is the base pause between retries of rejected
 	// operations; it seeds Retry.BaseDelay and paces recovery's
 	// progress polling. Defaults to 500 microseconds.
@@ -174,6 +182,8 @@ type ClientStats struct {
 	Recoveries       atomic.Uint64
 	RecoveryPickups  atomic.Uint64 // continuations of a crashed client's recovery
 	RecoveryBusy     atomic.Uint64
+	FrugalRecoveries atomic.Uint64 // recoveries written back via partial-sum aggregation
+	FrugalFallbacks  atomic.Uint64 // frugal attempts that fell back to whole-block recovery
 	OrderWaits       atomic.Uint64
 	GCRounds         atomic.Uint64
 	MonitorTriggered atomic.Uint64

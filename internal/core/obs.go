@@ -65,6 +65,8 @@ func newClientObs(reg *obs.Registry, stats *ClientStats) clientObs {
 		mirror("core.recoveries", &stats.Recoveries)
 		mirror("core.recovery_pickups", &stats.RecoveryPickups)
 		mirror("core.recovery_busy", &stats.RecoveryBusy)
+		mirror("core.frugal_recoveries", &stats.FrugalRecoveries)
+		mirror("core.frugal_fallbacks", &stats.FrugalFallbacks)
 		mirror("core.order_waits", &stats.OrderWaits)
 		mirror("core.gc_rounds", &stats.GCRounds)
 		mirror("core.monitor_triggered", &stats.MonitorTriggered)

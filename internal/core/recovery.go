@@ -119,7 +119,12 @@ func (c *Client) recoverStripe(ctx context.Context, stripeID uint64, exclude slo
 	sp = sp.Next(c.obs.recPhase2)
 
 	// --- Phase 2: running solo; read state from all storage nodes ---
-	states := c.getStates(ctx, stripeID, allSlots(n))
+	// With an aggregator configured we try the bandwidth-frugal path:
+	// get_state skips block content, consistent slots later keep their
+	// blocks in place, and lost blocks arrive as aggregated partial
+	// sums. Any failure along that path falls back to whole blocks.
+	frugal := c.cfg.Aggregate != nil
+	states := c.getStatesOpt(ctx, stripeID, allSlots(n), frugal)
 
 	var cset slotSet
 	pickup := -1
@@ -158,34 +163,59 @@ func (c *Client) recoverStripe(ctx context.Context, stripeID uint64, exclude slo
 
 	// --- Phase 3: decode, write back, finalize ---
 	sp = sp.Next(c.obs.recPhase3)
-	stripeBlocks := make([][]byte, n)
-	for j := range cset {
-		if states[j] == nil || !states[j].BlockValid {
-			release(true)
-			return fmt.Errorf("%w: consistent slot %d has no readable block", ErrUnrecoverable, j)
-		}
-		stripeBlocks[j] = states[j].Block
-	}
-	if err := c.cfg.Code.Reconstruct(stripeBlocks); err != nil {
-		release(true)
-		return fmt.Errorf("core: decode during recovery of stripe %d: %w", stripeID, err)
-	}
-
+	csetSorted := cset.sorted()
 	cset32 := make([]int32, 0, cset.size())
-	for _, j := range cset.sorted() {
+	for _, j := range csetSorted {
 		cset32 = append(cset32, int32(j))
 	}
-	epochs := make([]uint64, n)
-	if err := c.forEachSlot(ctx, n, func(j int) error {
-		rep, err := c.callReconstruct(ctx, stripeID, j, cset32, stripeBlocks[j])
-		if err != nil {
+
+	var epochs []uint64
+	wroteBack := false
+	if frugal {
+		var ferr error
+		epochs, ferr = c.reconstructFrugal(ctx, stripeID, cset, csetSorted, cset32)
+		if ferr == nil {
+			wroteBack = true
+			c.stats.FrugalRecoveries.Add(1)
+		} else {
+			// Fall back to the whole-block path. The NoBlock get_state
+			// sweep left no content behind, so refetch the consistent
+			// slots with blocks; everything stays locked, so content
+			// cannot have moved. In-place reconstructs that already
+			// landed merely set RECONS state the naive write-back
+			// overwrites with identical content.
+			c.stats.FrugalFallbacks.Add(1)
+			fresh := c.getStates(ctx, stripeID, csetSorted)
+			for _, j := range csetSorted {
+				states[j] = fresh[j]
+			}
+		}
+	}
+	if !wroteBack {
+		stripeBlocks := make([][]byte, n)
+		for j := range cset {
+			if states[j] == nil || !states[j].BlockValid {
+				release(true)
+				return fmt.Errorf("%w: consistent slot %d has no readable block", ErrUnrecoverable, j)
+			}
+			stripeBlocks[j] = states[j].Block
+		}
+		if err := c.cfg.Code.Reconstruct(stripeBlocks); err != nil {
+			release(true)
+			return fmt.Errorf("core: decode during recovery of stripe %d: %w", stripeID, err)
+		}
+		epochs = make([]uint64, n)
+		if err := c.forEachSlot(ctx, n, func(j int) error {
+			rep, err := c.callReconstruct(ctx, stripeID, j, cset32, stripeBlocks[j])
+			if err != nil {
+				return err
+			}
+			epochs[j] = rep.Epoch
+			return nil
+		}); err != nil {
+			release(true)
 			return err
 		}
-		epochs[j] = rep.Epoch
-		return nil
-	}); err != nil {
-		release(true)
-		return err
 	}
 	maxEpoch := uint64(0)
 	for _, e := range epochs {
@@ -237,6 +267,13 @@ func (c *Client) tryLockSlot(ctx context.Context, stripeID uint64, j int) (*prot
 // unreachable slot (even after a remap retry) yields a nil entry,
 // which the callers treat like INIT.
 func (c *Client) getStates(ctx context.Context, stripeID uint64, slots []int) []*proto.GetStateReply {
+	return c.getStatesOpt(ctx, stripeID, slots, false)
+}
+
+// getStatesOpt is getStates with an optional NoBlock flag: the frugal
+// recovery path reads write-id lists and modes from every slot but
+// leaves block content on the nodes.
+func (c *Client) getStatesOpt(ctx context.Context, stripeID uint64, slots []int, noBlock bool) []*proto.GetStateReply {
 	states := make([]*proto.GetStateReply, c.cfg.Code.N())
 	var wg sync.WaitGroup
 	for _, j := range slots {
@@ -249,7 +286,7 @@ func (c *Client) getStates(ctx context.Context, stripeID uint64, slots []int) []
 					return
 				}
 				actx, cancel := c.attemptCtx(ctx)
-				rep, err := node.GetState(actx, &proto.GetStateReq{Stripe: stripeID, Slot: int32(j)})
+				rep, err := node.GetState(actx, &proto.GetStateReq{Stripe: stripeID, Slot: int32(j), NoBlock: noBlock})
 				cancel()
 				if err == nil {
 					states[j] = rep
@@ -261,6 +298,88 @@ func (c *Client) getStates(ctx context.Context, stripeID uint64, slots []int) []
 	}
 	wg.Wait()
 	return states
+}
+
+// reconstructFrugal writes recovered stripe content back without
+// pulling any surviving block through this client: consistent slots
+// are told to keep their blocks in place (ReconstructReq.InPlace), and
+// each lost block is fetched as a single aggregated partial sum
+// (Sum over j of alpha_j * block_j) computed along the transport's
+// aggregation tree. The coordinator's link carries one block-sized
+// reply per *lost* block instead of k whole survivor blocks. Any
+// refusal or transport error aborts the attempt; the caller falls
+// back to whole-block write-back.
+func (c *Client) reconstructFrugal(ctx context.Context, stripeID uint64, cset slotSet, csetSorted []int, cset32 []int32) ([]uint64, error) {
+	n := c.cfg.Code.N()
+	k := c.cfg.Code.K()
+	avail := csetSorted[:k]
+	damaged := make([]int, 0, n-len(csetSorted))
+	for j := 0; j < n; j++ {
+		if !cset.has(j) {
+			damaged = append(damaged, j)
+		}
+	}
+	var rows [][]byte
+	if len(damaged) > 0 {
+		var err error
+		rows, err = c.cfg.Code.ReconstructRows(avail, damaged)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rebuilt := make(map[int][]byte, len(damaged))
+	for di, t := range damaged {
+		calls := make([]proto.PartialCall, 0, k)
+		for m, j := range avail {
+			node, err := c.cfg.Resolver.Node(stripeID, j)
+			if err != nil {
+				return nil, fmt.Errorf("core: resolve slot %d: %w", j, err)
+			}
+			calls = append(calls, proto.PartialCall{Node: node, Req: &proto.PartialSumReq{
+				Stripe: stripeID, Slot: int32(j), Coef: rows[di][m],
+			}})
+		}
+		sum, err := c.cfg.Aggregate.AggregateSum(ctx, calls)
+		if err != nil {
+			return nil, fmt.Errorf("core: aggregate block for slot %d: %w", t, err)
+		}
+		if len(sum) != c.cfg.BlockSize {
+			return nil, fmt.Errorf("core: aggregated block for slot %d has %d bytes, want %d", t, len(sum), c.cfg.BlockSize)
+		}
+		rebuilt[t] = sum
+	}
+
+	epochs := make([]uint64, n)
+	if err := c.forEachSlot(ctx, n, func(j int) error {
+		blk, lost := rebuilt[j]
+		if !lost {
+			// Consistent slot: keep the block it already holds. No
+			// remap retry here — a slot that remapped since get_state
+			// is INIT on its replacement and must receive content, so
+			// the error routes the whole attempt to the fallback.
+			node, err := c.cfg.Resolver.Node(stripeID, j)
+			if err != nil {
+				return fmt.Errorf("core: resolve slot %d: %w", j, err)
+			}
+			rep, err := node.Reconstruct(ctx, &proto.ReconstructReq{
+				Stripe: stripeID, Slot: int32(j), CSet: cset32, InPlace: true,
+			})
+			if err != nil {
+				return fmt.Errorf("core: in-place reconstruct slot %d: %w", j, err)
+			}
+			epochs[j] = rep.Epoch
+			return nil
+		}
+		rep, err := c.callReconstruct(ctx, stripeID, j, cset32, blk)
+		if err != nil {
+			return err
+		}
+		epochs[j] = rep.Epoch
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return epochs, nil
 }
 
 // waitForConsistentSet implements Fig. 6 lines 11-20: find a
@@ -323,7 +442,7 @@ func (c *Client) waitForConsistentSet(ctx context.Context, stripeID uint64, stat
 			if err := c.pause(ctx); err != nil {
 				return nil, err
 			}
-			fresh := c.getStates(ctx, stripeID, redundant)
+			fresh := c.getStatesOpt(ctx, stripeID, redundant, c.cfg.Aggregate != nil)
 			for _, j := range redundant {
 				states[j] = fresh[j]
 			}

@@ -286,6 +286,57 @@ func (c *Code) decodeData(stripe [][]byte, avail []int, blockLen int) ([][]byte,
 	return data, nil
 }
 
+// ReconstructRows returns, for each target block index, the row of
+// per-survivor coefficients that rebuilds it from the k blocks named by
+// avail:
+//
+//	block[target] = sum_m rows[t][m] * stripe[avail[m]]
+//
+// avail must name exactly k distinct block indices. This is the
+// coefficient set the bandwidth-frugal repair path ships to survivors:
+// each survivor multiplies its own block by its coefficient locally and
+// the contributions are folded together along an aggregation tree, so
+// one combined block comes back instead of k raw ones.
+func (c *Code) ReconstructRows(avail []int, targets []int) ([][]byte, error) {
+	if len(avail) != c.k {
+		return nil, fmt.Errorf("%w: %d available rows, need exactly k=%d", ErrShape, len(avail), c.k)
+	}
+	for _, idx := range avail {
+		if idx < 0 || idx >= c.n {
+			return nil, fmt.Errorf("%w: available index %d out of range [0,%d)", ErrShape, idx, c.n)
+		}
+	}
+	sub := c.gen.SubMatrix(avail)
+	dec, err := sub.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: decode submatrix singular: %w", err)
+	}
+	rows := make([][]byte, len(targets))
+	for t, target := range targets {
+		if target < 0 || target >= c.n {
+			return nil, fmt.Errorf("%w: target index %d out of range [0,%d)", ErrShape, target, c.n)
+		}
+		row := make([]byte, c.k)
+		if target < c.k {
+			// Data block: its decode row is row `target` of the inverse.
+			copy(row, dec.Row(target))
+		} else {
+			// Redundant block: combine the generator row with the decode
+			// matrix — row[m] = sum_i gen[target][i] * dec[i][m].
+			genRow := c.gen.Row(target)
+			for m := 0; m < c.k; m++ {
+				var acc byte
+				for i := 0; i < c.k; i++ {
+					acc ^= gf.Mul(genRow[i], dec.At(i, m))
+				}
+				row[m] = acc
+			}
+		}
+		rows[t] = row
+	}
+	return rows, nil
+}
+
 // Verify reports whether a complete stripe is internally consistent:
 // every redundant block equals the coded combination of the data
 // blocks. It is used by tests and by the recovery audit path.

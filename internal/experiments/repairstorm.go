@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"ecstore/internal/placement"
+	"ecstore/internal/proto"
+	"ecstore/internal/repair"
+	"ecstore/internal/transport"
+	"ecstore/internal/volume"
+)
+
+// RepairStorm measures what the background scheduler's bandwidth-frugal
+// reconstruction buys: a whole site dies under a sharded volume, the
+// scheduler drains the damage, and we account every content byte that
+// crosses into the repair coordinator. With partial-sum aggregation the
+// survivors fold their alpha*block contributions along the aggregation
+// tree and only the final sum reaches the coordinator (~1 block per
+// lost block); without it every consistent survivor ships its whole
+// block (k blocks per lost block).
+func RepairStorm(ctx context.Context, quick bool) (*Table, error) {
+	const (
+		k, n      = 2, 4
+		groups    = 4
+		sites     = 8
+		blockSize = 4096
+	)
+	blocksPerGroup := uint64(32)
+	if quick {
+		blocksPerGroup = 8
+	}
+
+	t := &Table{
+		ID:    "repairstorm",
+		Title: fmt.Sprintf("repair-storm drain: coordinator ingress per lost byte (%d-of-%d, %d groups / %d sites)", k, n, groups, sites),
+		Header: []string{
+			"recovery path", "stripes repaired", "lost KB",
+			"coord ingress KB", "ingress / lost", "tree KB", "intact",
+		},
+		Notes: []string{
+			fmt.Sprintf("lost KB: one %d B shard per damaged stripe (a single site crashed)", blockSize),
+			"coord ingress: get_state + partial_sum + read reply bytes at the repair coordinator",
+			fmt.Sprintf("naive pulls >= k=%d blocks per lost block; partial sums pull ~1 (plus control replies)", k),
+			"tree KB: accumulator bytes on survivor-to-survivor aggregation edges (never cross the coordinator's link)",
+		},
+	}
+
+	for _, mode := range []struct {
+		name string
+		agg  func(*transport.Counters) proto.Aggregator
+	}{
+		{"partial sums", func(ctr *transport.Counters) proto.Aggregator { return transport.NewCountingAggregator(ctr) }},
+		{"naive", func(*transport.Counters) proto.Aggregator { return nil }},
+	} {
+		ctr := &transport.Counters{}
+		l, err := volume.NewLocal(volume.LocalOptions{
+			K: k, N: n, BlockSize: blockSize,
+			Groups:         groups,
+			Sites:          sites,
+			BlocksPerGroup: blocksPerGroup,
+			RetryDelay:     50 * time.Microsecond,
+			WrapShard: func(site placement.Node, group uint64, nd proto.StorageNode) proto.StorageNode {
+				return transport.NewCounting(nd, ctr)
+			},
+			Aggregate: mode.agg(ctr),
+			Obs:       ObsRegistry(),
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		buf := make([]byte, blockSize)
+		for addr := uint64(0); addr < l.Capacity(); addr++ {
+			for i := range buf {
+				buf[i] = byte(addr*131 + uint64(i)*7)
+			}
+			if err := l.WriteBlock(ctx, addr, buf); err != nil {
+				return nil, err
+			}
+		}
+
+		sched, err := repair.NewScheduler(repair.Options{Source: l.Volume, Interval: time.Hour})
+		if err != nil {
+			return nil, err
+		}
+		victims, err := l.GroupSites(0)
+		if err != nil {
+			return nil, err
+		}
+		l.CrashSite(victims[0].ID)
+
+		before := ctr.GetState.BytesRecvd.Load() + ctr.PartialSum.BytesRecvd.Load() + ctr.Read.BytesRecvd.Load()
+		dctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+		err = sched.Drain(dctx)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("drain (%s): %w", mode.name, err)
+		}
+		ingress := ctr.GetState.BytesRecvd.Load() + ctr.PartialSum.BytesRecvd.Load() + ctr.Read.BytesRecvd.Load() - before
+
+		stripes := sched.Stats().StripesRepaired.Load()
+		lost := stripes * blockSize
+		intact := true
+		for addr := uint64(0); addr < l.Capacity(); addr++ {
+			got, err := l.ReadBlock(ctx, addr)
+			if err != nil {
+				return nil, err
+			}
+			for i := range buf {
+				buf[i] = byte(addr*131 + uint64(i)*7)
+			}
+			if !bytes.Equal(got, buf) {
+				intact = false
+				break
+			}
+		}
+
+		ratio := 0.0
+		if lost > 0 {
+			ratio = float64(ingress) / float64(lost)
+		}
+		t.Rows = append(t.Rows, []string{
+			mode.name,
+			fmt.Sprintf("%d", stripes),
+			fcell(float64(lost) / 1024),
+			fcell(float64(ingress) / 1024),
+			fcell(ratio),
+			fcell(float64(ctr.PartialSumTreeBytes.Load()) / 1024),
+			fmt.Sprintf("%v", intact),
+		})
+		if err := l.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"context"
+	"strconv"
+	"testing"
+)
+
+// TestRepairStormFrugalRatio encodes the headline acceptance bound for
+// the repair tentpole: draining a site's worth of damage with partial
+// sums must pull strictly less than k block payloads per lost block
+// through the coordinator, while the naive path pulls at least k.
+func TestRepairStormFrugalRatio(t *testing.T) {
+	tab, err := RepairStorm(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	cell := func(row []string, col int) float64 {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("row %v col %d: %v", row, col, err)
+		}
+		return v
+	}
+	frugal, naive := tab.Rows[0], tab.Rows[1]
+	if frugal[0] != "partial sums" || naive[0] != "naive" {
+		t.Fatalf("unexpected row order: %v / %v", frugal[0], naive[0])
+	}
+	const k = 2
+	for _, row := range [][]string{frugal, naive} {
+		if cell(row, 1) == 0 {
+			t.Fatalf("%s: no stripes repaired — the storm never reached the scheduler", row[0])
+		}
+		if row[6] != "true" {
+			t.Fatalf("%s: data not intact after drain", row[0])
+		}
+	}
+	if r := cell(frugal, 4); r >= k {
+		t.Fatalf("partial-sum ingress ratio %.2f, want < k = %d", r, k)
+	}
+	if r := cell(naive, 4); r < k {
+		t.Fatalf("naive ingress ratio %.2f, want >= k = %d", r, k)
+	}
+	if cell(frugal, 5) == 0 {
+		t.Fatal("partial-sum drain booked no aggregation-tree bytes")
+	}
+	if cell(naive, 5) != 0 {
+		t.Fatal("naive drain booked aggregation-tree bytes without an aggregator")
+	}
+}

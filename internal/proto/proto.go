@@ -336,10 +336,15 @@ type SetLockReq struct {
 // SetLockReply is empty; the operation always succeeds.
 type SetLockReply struct{}
 
-// GetStateReq reads the full per-slot recovery state.
+// GetStateReq reads the full per-slot recovery state. NoBlock asks the
+// node to omit the block payload from the reply (BlockValid still
+// reports whether one exists) — the bandwidth-frugal recovery path
+// reads state from all n slots but fetches block content through
+// partial sums instead.
 type GetStateReq struct {
-	Stripe uint64
-	Slot   int32
+	Stripe  uint64
+	Slot    int32
+	NoBlock bool
 }
 
 // GetStateReply is the paper's get_state: modes, tid lists, the saved
@@ -371,12 +376,18 @@ type GetRecentReply struct {
 }
 
 // ReconstructReq writes recovered data and records the consistent set
-// used to decode it; the slot enters RECONS mode.
+// used to decode it; the slot enters RECONS mode. With InPlace set the
+// node keeps its current block instead of accepting a shipped one
+// (Block must be empty): the coordinator certifies that the content
+// the node already holds is the recovered value, so shipping it back
+// would waste bandwidth. The coordinator only sends InPlace to slots
+// whose GetState showed a valid block under its lock.
 type ReconstructReq struct {
-	Stripe uint64
-	Slot   int32
-	CSet   []int32
-	Block  []byte
+	Stripe  uint64
+	Slot    int32
+	CSet    []int32
+	Block   []byte
+	InPlace bool
 }
 
 // ReconstructReply returns the slot's current epoch, which the
@@ -415,6 +426,78 @@ type GCRecentReq struct {
 // or not in NORM mode.
 type GCReply struct {
 	Status Status
+}
+
+// PartialSumReq asks a storage node to apply a decode coefficient to
+// its block locally and fold the result into a running sum:
+//
+//	Sum = Coef * block  XOR  Acc
+//
+// over GF(2^8). Acc is the accumulated contribution of upstream
+// survivors along an aggregation tree (nil at the leaf). This is the
+// bandwidth-frugal reconstruction primitive: instead of each of k
+// survivors shipping a full block to the recovery coordinator (k*B
+// bytes into one link), survivors combine coefficient-multiplied
+// contributions along the tree and only the final B-byte sum reaches
+// the coordinator.
+type PartialSumReq struct {
+	Stripe uint64
+	Slot   int32
+	Coef   byte
+	Acc    []byte
+}
+
+// PartialSumReply carries the folded sum, or OK=false when the slot
+// cannot contribute (INIT mode, or Acc length does not match the
+// block).
+type PartialSumReply struct {
+	OK       bool
+	Sum      []byte
+	OpMode   OpMode
+	LockMode LockMode
+}
+
+// PartialSummer is an optional node capability (like MultiBatcher):
+// serve coefficient-multiplied partial sums for frugal reconstruction.
+// Clients probe for it with a type assertion and fall back to shipping
+// whole blocks when the node (or a transport wrapper in front of it)
+// lacks it.
+type PartialSummer interface {
+	PartialSum(ctx context.Context, req *PartialSumReq) (*PartialSumReply, error)
+}
+
+// ErrNoPartialSum reports that a node lacks the PartialSummer
+// capability; callers fall back to fetching whole blocks.
+var ErrNoPartialSum = errors.New("proto: node does not support partial sums")
+
+// PartialSum invokes the capability when node supports it and returns
+// ErrNoPartialSum otherwise. Transport wrappers forward through this
+// helper so a wrapped node's capability (or its absence) shows through
+// the wrapper unchanged.
+func PartialSum(ctx context.Context, node StorageNode, req *PartialSumReq) (*PartialSumReply, error) {
+	if ps, ok := node.(PartialSummer); ok {
+		return ps.PartialSum(ctx, req)
+	}
+	return nil, ErrNoPartialSum
+}
+
+// PartialCall names one survivor's contribution to an aggregated
+// partial-sum: the node and the coefficient it should apply.
+type PartialCall struct {
+	Node StorageNode
+	Req  *PartialSumReq
+}
+
+// Aggregator is an optional transport capability (like Multicaster):
+// execute a chain of partial-sum calls along an aggregation tree the
+// transport itself owns, returning only the final combined sum. The
+// coordinator's link carries the small requests and one block-sized
+// reply; the survivor-to-survivor hops happen inside the transport.
+// Every named node must support PartialSummer; if any leg fails the
+// whole aggregation fails and the caller falls back to fetching whole
+// blocks.
+type Aggregator interface {
+	AggregateSum(ctx context.Context, calls []PartialCall) ([]byte, error)
 }
 
 // ProbeReq supports the monitoring mechanism: a cheap summary of slot

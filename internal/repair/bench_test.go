@@ -1,0 +1,49 @@
+package repair
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkQueueReportPop cycles a full queue: report 256 groups with
+// varying survivor counts, then drain them in priority order. This is
+// the scheduler's whole data-structure hot path.
+func BenchmarkQueueReportPop(b *testing.B) {
+	const groups = 256
+	for i := 0; i < b.N; i++ {
+		q := NewQueue()
+		for g := uint64(0); g < groups; g++ {
+			q.Report(g, int(g%7), false)
+		}
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkQueueReprioritize measures the upsert path: re-reporting
+// already-queued groups with new survivor counts (heap.Fix, no churn).
+func BenchmarkQueueReprioritize(b *testing.B) {
+	const groups = 256
+	q := NewQueue()
+	for g := uint64(0); g < groups; g++ {
+		q.Report(g, int(g%7), false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := uint64(i) % groups
+		q.Report(g, (i+int(g))%7, false)
+	}
+}
+
+// BenchmarkBucketReserve measures the governor's per-charge cost on the
+// uncontended fast path (credit available, no stall computed).
+func BenchmarkBucketReserve(b *testing.B) {
+	tb := newTokenBucket(1<<40, 1<<40, time.Now)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Reserve(4096)
+	}
+}

@@ -1,0 +1,86 @@
+package repair
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// TokenBucket is the scheduler's bandwidth governor: a classic token
+// bucket holding at most Burst bytes of credit that refills at Rate
+// bytes per second. Work is charged as it completes (repair traffic
+// size is only known afterwards), driving the balance negative; the
+// next Wait then stalls until the debt refills. Over any time window
+// [t0, t1] the bytes admitted never exceed burst + rate*(t1-t0),
+// which is the property the governor exists for and the one its tests
+// assert.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second; <= 0 disables limiting
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket builds a governor admitting rate bytes/sec with the
+// given burst allowance. rate <= 0 disables limiting entirely; a
+// non-positive burst defaults to one second of rate so an occasional
+// full-stripe write-back does not stall on a hairline budget.
+func NewTokenBucket(rate, burst int64) *TokenBucket {
+	return newTokenBucket(rate, burst, time.Now)
+}
+
+// newTokenBucket injects the clock, for deterministic tests.
+func newTokenBucket(rate, burst int64, now func() time.Time) *TokenBucket {
+	b := &TokenBucket{rate: float64(rate), burst: float64(burst), now: now}
+	if b.burst <= 0 {
+		b.burst = b.rate
+	}
+	b.tokens = b.burst
+	b.last = now()
+	return b
+}
+
+// Reserve charges n bytes against the bucket and returns how long the
+// caller must wait before the charge is within budget. It never
+// rejects: a charge larger than the burst simply waits out the debt.
+func (b *TokenBucket) Reserve(n int64) time.Duration {
+	if b.rate <= 0 || n <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	b.tokens -= float64(n)
+	if b.tokens >= 0 {
+		return 0
+	}
+	// Round the stall up so a grant never lands before the exact
+	// refill instant.
+	return time.Duration(math.Ceil(-b.tokens / b.rate * float64(time.Second)))
+}
+
+// Wait charges n bytes and sleeps out any resulting debt, honouring
+// cancellation (the debt stays charged either way — the work already
+// happened).
+func (b *TokenBucket) Wait(ctx context.Context, n int64) error {
+	d := b.Reserve(n)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

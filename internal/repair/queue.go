@@ -1,0 +1,145 @@
+// Package repair implements the pool-wide background repair and
+// rebalance scheduler: a priority queue of damaged stripe groups
+// ordered by survivor count (a group one shard from data loss repairs
+// before a group missing one of many), fed by failure reports from the
+// volume layer and a periodic inspection sweep, drained through a
+// token-bucket bandwidth governor so background reconstruction cannot
+// starve foreground traffic. Pool membership changes additionally
+// enqueue low-priority rebalance moves that walk each group back to
+// its rendezvous-hash ideal placement.
+package repair
+
+import "container/heap"
+
+// Item is one queued unit of background work: bring a stripe group
+// back to full health (and, for rebalance moves, back to its ideal
+// placement).
+type Item struct {
+	// Group identifies the stripe group.
+	Group uint64
+	// Survivors is the number of healthy shards backing the group at
+	// report time; lower values drain first. A re-report of the same
+	// group overwrites it (damage estimates go stale in both
+	// directions).
+	Survivors int
+	// Rebalance marks a placement move rather than damage repair.
+	// Rebalance items carry Survivors equal to the full shard count,
+	// so they naturally sort behind every real repair.
+	Rebalance bool
+
+	seq   uint64 // FIFO tiebreak among equal survivor counts
+	index int    // heap position, maintained by the container
+}
+
+// Queue is a priority queue of damaged groups, least survivors first,
+// FIFO among equals. One entry per group: reporting a queued group
+// re-prioritizes it in place (decrease- or increase-key) instead of
+// duplicating it. Not safe for concurrent use; the scheduler
+// serializes access.
+type Queue struct {
+	h       itemHeap
+	byGroup map[uint64]*Item
+	seq     uint64
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue {
+	return &Queue{byGroup: make(map[uint64]*Item)}
+}
+
+// Len returns the number of queued groups.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Report enqueues a group with the given survivor count, or updates
+// the count (and re-sifts) if the group is already queued. The FIFO
+// rank is assigned at first enqueue and kept across re-reports, so a
+// re-prioritized group does not jump ahead of equally damaged groups
+// that were reported before it.
+func (q *Queue) Report(group uint64, survivors int, rebalance bool) {
+	if it, ok := q.byGroup[group]; ok {
+		// A damage report outranks a pending rebalance move for the
+		// same group (repairing refreshes placement anyway); the
+		// reverse never downgrades.
+		if it.Rebalance && !rebalance {
+			it.Rebalance = false
+		}
+		if it.Survivors != survivors {
+			it.Survivors = survivors
+			heap.Fix(&q.h, it.index)
+		}
+		return
+	}
+	q.seq++
+	it := &Item{Group: group, Survivors: survivors, Rebalance: rebalance, seq: q.seq}
+	q.byGroup[group] = it
+	heap.Push(&q.h, it)
+}
+
+// Pop removes and returns the most urgent item.
+func (q *Queue) Pop() (Item, bool) {
+	if len(q.h) == 0 {
+		return Item{}, false
+	}
+	it := heap.Pop(&q.h).(*Item)
+	delete(q.byGroup, it.Group)
+	return *it, true
+}
+
+// Peek returns the most urgent item without removing it.
+func (q *Queue) Peek() (Item, bool) {
+	if len(q.h) == 0 {
+		return Item{}, false
+	}
+	return *q.h[0], true
+}
+
+// Remove drops a group from the queue (it was found healthy again).
+func (q *Queue) Remove(group uint64) bool {
+	it, ok := q.byGroup[group]
+	if !ok {
+		return false
+	}
+	heap.Remove(&q.h, it.index)
+	delete(q.byGroup, group)
+	return true
+}
+
+// Contains reports whether a group is queued.
+func (q *Queue) Contains(group uint64) bool {
+	_, ok := q.byGroup[group]
+	return ok
+}
+
+// --- container/heap plumbing -------------------------------------------------
+
+type itemHeap []*Item
+
+func (h itemHeap) Len() int { return len(h) }
+
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].Survivors != h[j].Survivors {
+		return h[i].Survivors < h[j].Survivors
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h itemHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *itemHeap) Push(x any) {
+	it := x.(*Item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}

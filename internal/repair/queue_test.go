@@ -1,0 +1,136 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestQueueOrdersBySurvivorCount(t *testing.T) {
+	q := NewQueue()
+	q.Report(1, 3, false)
+	q.Report(2, 1, false) // one shard from loss
+	q.Report(3, 2, false)
+	want := []uint64{2, 3, 1}
+	for _, g := range want {
+		it, ok := q.Pop()
+		if !ok || it.Group != g {
+			t.Fatalf("pop order wrong: got group %d ok=%v, want %d", it.Group, ok, g)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue not empty")
+	}
+}
+
+func TestQueueFIFOAmongEquals(t *testing.T) {
+	q := NewQueue()
+	for g := uint64(0); g < 10; g++ {
+		q.Report(g, 2, false)
+	}
+	for g := uint64(0); g < 10; g++ {
+		it, _ := q.Pop()
+		if it.Group != g {
+			t.Fatalf("FIFO broken among equals: got %d, want %d", it.Group, g)
+		}
+	}
+}
+
+func TestQueueReReportRePrioritizes(t *testing.T) {
+	q := NewQueue()
+	q.Report(1, 4, false)
+	q.Report(2, 3, false)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	// Group 1's damage worsens: it must now drain first.
+	q.Report(1, 1, false)
+	if q.Len() != 2 {
+		t.Fatalf("re-report duplicated the entry: Len = %d", q.Len())
+	}
+	it, _ := q.Pop()
+	if it.Group != 1 || it.Survivors != 1 {
+		t.Fatalf("got group %d survivors %d, want group 1 survivors 1", it.Group, it.Survivors)
+	}
+}
+
+func TestQueueDamageReportOutranksRebalance(t *testing.T) {
+	q := NewQueue()
+	q.Report(7, 5, true)
+	q.Report(7, 2, false)
+	it, _ := q.Pop()
+	if it.Rebalance {
+		t.Fatal("damage re-report did not clear the rebalance flag")
+	}
+	if it.Survivors != 2 {
+		t.Fatalf("survivors = %d, want 2", it.Survivors)
+	}
+}
+
+// TestQueuePropertyOrdering is the property test required by the
+// scheduler's priority policy: under random interleavings of enqueue,
+// re-report, remove, and dequeue, every pop returns a group with the
+// minimum survivor count then present, and the queue's bookkeeping
+// (one entry per group, exact membership) matches a naive model.
+func TestQueuePropertyOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		q := NewQueue()
+		model := make(map[uint64]int) // group -> survivors
+		for op := 0; op < 300; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5: // report (new or re-report)
+				g := uint64(rng.Intn(20))
+				s := rng.Intn(8)
+				q.Report(g, s, false)
+				model[g] = s
+			case r < 6: // remove
+				g := uint64(rng.Intn(20))
+				_, inModel := model[g]
+				if got := q.Remove(g); got != inModel {
+					t.Fatalf("Remove(%d) = %v, model says %v", g, got, inModel)
+				}
+				delete(model, g)
+			default: // pop
+				it, ok := q.Pop()
+				if !ok {
+					if len(model) != 0 {
+						t.Fatalf("queue empty but model holds %d groups", len(model))
+					}
+					continue
+				}
+				s, inModel := model[it.Group]
+				if !inModel {
+					t.Fatalf("popped group %d not in model", it.Group)
+				}
+				if s != it.Survivors {
+					t.Fatalf("popped group %d survivors %d, model says %d", it.Group, it.Survivors, s)
+				}
+				for g, ms := range model {
+					if ms < it.Survivors {
+						t.Fatalf("popped survivors=%d while group %d has %d", it.Survivors, g, ms)
+					}
+				}
+				delete(model, it.Group)
+			}
+			if q.Len() != len(model) {
+				t.Fatalf("Len = %d, model size %d", q.Len(), len(model))
+			}
+		}
+		// Drain: survivor counts must come out non-decreasing.
+		last := -1
+		for {
+			it, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if it.Survivors < last {
+				t.Fatalf("drain not monotone: %d after %d", it.Survivors, last)
+			}
+			last = it.Survivors
+			delete(model, it.Group)
+		}
+		if len(model) != 0 {
+			t.Fatalf("%d groups never drained", len(model))
+		}
+	}
+}

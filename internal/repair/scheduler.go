@@ -1,0 +1,323 @@
+package repair
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecstore/internal/obs"
+)
+
+// Source is the scheduler's view of the storage it heals. The volume
+// layer implements it; tests substitute fakes.
+type Source interface {
+	// Groups returns the number of stripe groups.
+	Groups() int
+	// GroupDamage probes one group and returns how many of its shards
+	// are healthy out of the total. survivors == total means healthy.
+	GroupDamage(ctx context.Context, group uint64) (survivors, total int, err error)
+	// RepairGroup restores a group: refreshes its placement and
+	// re-runs recovery over its damaged stripes. It returns the number
+	// of stripes recovered and the nominal bytes of repair traffic the
+	// pass generated, for the bandwidth governor.
+	RepairGroup(ctx context.Context, group uint64) (stripes int, bytes int64, err error)
+	// PoolEpoch returns the placement pool's membership version; a
+	// change signals that rebalance moves may be due.
+	PoolEpoch() uint64
+	// StaleGroups lists groups whose current site assignment differs
+	// from the rendezvous-hash ideal under the present membership.
+	StaleGroups(ctx context.Context) ([]uint64, error)
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	// Source is the storage under repair. Required.
+	Source Source
+	// Bandwidth caps repair traffic in bytes per second; 0 means
+	// unlimited.
+	Bandwidth int64
+	// Burst is the token-bucket burst allowance in bytes; 0 defaults
+	// to one second of Bandwidth.
+	Burst int64
+	// Interval paces the periodic inspection sweep. Defaults to 30s.
+	Interval time.Duration
+	// Obs optionally receives repair.* metrics.
+	Obs *obs.Registry
+}
+
+// Stats counts scheduler events.
+type Stats struct {
+	Sweeps          atomic.Uint64
+	Reports         atomic.Uint64 // external damage reports accepted
+	Repairs         atomic.Uint64 // repair items drained
+	RebalanceMoves  atomic.Uint64 // rebalance items drained
+	StripesRepaired atomic.Uint64
+	BytesRepaired   atomic.Uint64
+	Failures        atomic.Uint64 // probe or repair errors
+}
+
+// Scheduler drains the repair queue in the background. Start it once;
+// Stop blocks until the worker exits. Damage found by the volume layer
+// arrives through Report; everything else is found by the sweep.
+type Scheduler struct {
+	opts   Options
+	bucket *TokenBucket
+
+	mu    sync.Mutex
+	queue *Queue
+
+	reports chan uint64
+	kick    chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+
+	lastEpoch atomic.Uint64
+
+	stats Stats
+}
+
+// NewScheduler builds a scheduler. It does not start the worker.
+func NewScheduler(opts Options) (*Scheduler, error) {
+	if opts.Source == nil {
+		return nil, fmt.Errorf("repair: Options.Source is required")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 30 * time.Second
+	}
+	s := &Scheduler{
+		opts:    opts,
+		bucket:  NewTokenBucket(opts.Bandwidth, opts.Burst),
+		queue:   NewQueue(),
+		reports: make(chan uint64, 1024),
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	s.lastEpoch.Store(opts.Source.PoolEpoch())
+	if reg := opts.Obs; reg != nil {
+		mirror := func(name string, u *atomic.Uint64) {
+			reg.Func(name, func() int64 { return int64(u.Load()) })
+		}
+		mirror("repair.sweeps", &s.stats.Sweeps)
+		mirror("repair.reports", &s.stats.Reports)
+		mirror("repair.repairs", &s.stats.Repairs)
+		mirror("repair.rebalance_moves", &s.stats.RebalanceMoves)
+		mirror("repair.stripes_repaired", &s.stats.StripesRepaired)
+		mirror("repair.bytes_repaired", &s.stats.BytesRepaired)
+		mirror("repair.failures", &s.stats.Failures)
+		reg.Func("repair.queue_depth", func() int64 { return int64(s.QueueDepth()) })
+	}
+	return s, nil
+}
+
+// Stats exposes the scheduler's event counters.
+func (s *Scheduler) Stats() *Stats { return &s.stats }
+
+// QueueDepth returns the number of queued groups.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue.Len()
+}
+
+// Report tells the scheduler a group looks damaged. It never blocks:
+// under a report storm the channel overflows harmlessly — the group is
+// damaged either way and the next sweep finds it.
+func (s *Scheduler) Report(group uint64) {
+	select {
+	case s.reports <- group:
+		s.stats.Reports.Add(1)
+	default:
+	}
+}
+
+// Start launches the background worker. Starting twice is an error.
+func (s *Scheduler) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("repair: scheduler already started")
+	}
+	s.started = true
+	go s.run()
+	return nil
+}
+
+// Stop terminates the worker and waits for it. Safe to call without
+// Start (no-op) and safe to call twice.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.mu.Unlock()
+	<-s.done
+}
+
+// Kick requests an immediate sweep (tests and admin tooling).
+func (s *Scheduler) Kick() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Scheduler) run() {
+	defer close(s.done)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-s.stop
+		cancel()
+	}()
+
+	ticker := time.NewTicker(s.opts.Interval)
+	defer ticker.Stop()
+	for {
+		// Absorb pending reports before choosing work, so a
+		// one-shard-from-loss report that just arrived outranks an
+		// older, healthier item already queued.
+		s.drainReports(ctx)
+		if item, ok := s.popItem(); ok {
+			s.runItem(ctx, item)
+			continue
+		}
+		select {
+		case <-s.stop:
+			return
+		case g := <-s.reports:
+			s.inspect(ctx, g)
+		case <-s.kick:
+			s.sweep(ctx)
+		case <-ticker.C:
+			s.sweep(ctx)
+		}
+	}
+}
+
+func (s *Scheduler) drainReports(ctx context.Context) {
+	for {
+		select {
+		case g := <-s.reports:
+			s.inspect(ctx, g)
+		default:
+			return
+		}
+	}
+}
+
+func (s *Scheduler) popItem() (Item, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue.Pop()
+}
+
+// inspect probes one group and queues (or dequeues) it accordingly.
+func (s *Scheduler) inspect(ctx context.Context, g uint64) {
+	survivors, total, err := s.opts.Source.GroupDamage(ctx, g)
+	if err != nil {
+		s.stats.Failures.Add(1)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if survivors < total {
+		s.queue.Report(g, survivors, false)
+	} else {
+		s.queue.Remove(g)
+	}
+}
+
+// sweep inspects every group and, when the pool membership moved,
+// enqueues rebalance moves for groups off their ideal placement.
+func (s *Scheduler) sweep(ctx context.Context) {
+	s.stats.Sweeps.Add(1)
+	src := s.opts.Source
+	for g := uint64(0); g < uint64(src.Groups()); g++ {
+		if ctx.Err() != nil {
+			return
+		}
+		s.inspect(ctx, g)
+	}
+	if epoch := src.PoolEpoch(); epoch != s.lastEpoch.Load() {
+		s.lastEpoch.Store(epoch)
+		stale, err := src.StaleGroups(ctx)
+		if err != nil {
+			s.stats.Failures.Add(1)
+			return
+		}
+		for _, g := range stale {
+			s.mu.Lock()
+			queued := s.queue.Contains(g)
+			s.mu.Unlock()
+			if queued {
+				continue
+			}
+			// Survivor count = total: a pure placement move never
+			// outranks damage repair.
+			_, total, err := src.GroupDamage(ctx, g)
+			if err != nil {
+				s.stats.Failures.Add(1)
+				continue
+			}
+			s.mu.Lock()
+			s.queue.Report(g, total, true)
+			s.mu.Unlock()
+		}
+	}
+}
+
+// runItem repairs one group, charges the traffic against the
+// bandwidth governor, and re-inspects: a group still damaged after a
+// productive pass goes straight back in the queue; an unproductive
+// pass (nothing repairable yet) defers to the next sweep instead of
+// spinning.
+func (s *Scheduler) runItem(ctx context.Context, item Item) {
+	stripes, bytes, err := s.opts.Source.RepairGroup(ctx, item.Group)
+	if item.Rebalance {
+		s.stats.RebalanceMoves.Add(1)
+	} else {
+		s.stats.Repairs.Add(1)
+	}
+	s.stats.StripesRepaired.Add(uint64(stripes))
+	s.stats.BytesRepaired.Add(uint64(bytes))
+	if err != nil {
+		s.stats.Failures.Add(1)
+		_ = s.bucket.Wait(ctx, bytes)
+		return
+	}
+	_ = s.bucket.Wait(ctx, bytes)
+	if stripes > 0 {
+		s.inspect(ctx, item.Group)
+	}
+}
+
+// Drain runs sweeps and repairs synchronously until the queue is
+// empty and a final sweep finds nothing, or the context expires. It is
+// the foreground form of the scheduler used by tests and experiments;
+// do not call it while the background worker is running.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.drainReports(ctx)
+		item, ok := s.popItem()
+		if !ok {
+			s.sweep(ctx)
+			if item, ok = s.popItem(); !ok {
+				return nil
+			}
+		}
+		s.runItem(ctx, item)
+	}
+}

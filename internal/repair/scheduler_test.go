@@ -1,0 +1,210 @@
+package repair
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestContext(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx, cancel
+}
+
+// fakeSource is a scriptable Source: per-group survivor counts, a
+// repair that heals the group, and a recorded repair order.
+type fakeSource struct {
+	mu        sync.Mutex
+	groups    int
+	total     int
+	survivors map[uint64]int // missing key means healthy
+	epoch     uint64
+	stale     []uint64
+	order     []uint64 // groups in repair order
+	bytesPer  int64
+}
+
+func newFakeSource(groups, total int) *fakeSource {
+	return &fakeSource{groups: groups, total: total, survivors: make(map[uint64]int), bytesPer: 1}
+}
+
+func (f *fakeSource) damage(g uint64, survivors int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.survivors[g] = survivors
+}
+
+func (f *fakeSource) Groups() int { return f.groups }
+
+func (f *fakeSource) GroupDamage(ctx context.Context, g uint64) (int, int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.survivors[g]; ok {
+		return s, f.total, nil
+	}
+	return f.total, f.total, nil
+}
+
+func (f *fakeSource) RepairGroup(ctx context.Context, g uint64) (int, int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.order = append(f.order, g)
+	if _, damaged := f.survivors[g]; !damaged {
+		return 0, 0, nil
+	}
+	delete(f.survivors, g)
+	return 1, f.bytesPer, nil
+}
+
+func (f *fakeSource) PoolEpoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+func (f *fakeSource) StaleGroups(ctx context.Context) ([]uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]uint64(nil), f.stale...), nil
+}
+
+func (f *fakeSource) repairOrder() []uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]uint64(nil), f.order...)
+}
+
+// TestSchedulerRepairsMostDamagedFirst: a one-shard-from-loss group
+// reported last must still drain first.
+func TestSchedulerRepairsMostDamagedFirst(t *testing.T) {
+	src := newFakeSource(8, 5)
+	src.damage(1, 4)
+	src.damage(2, 3)
+	src.damage(3, 2) // one shard from loss (k=2 of 5... lowest survivor count)
+	s, err := NewScheduler(Options{Source: src, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := newTestContext(t)
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	order := src.repairOrder()
+	if len(order) < 3 {
+		t.Fatalf("repaired %d groups, want 3", len(order))
+	}
+	if order[0] != 3 || order[1] != 2 || order[2] != 1 {
+		t.Fatalf("repair order %v, want [3 2 1]", order[:3])
+	}
+	if got := s.Stats().Repairs.Load(); got != 3 {
+		t.Fatalf("Repairs = %d, want 3", got)
+	}
+}
+
+// TestSchedulerBackgroundWorkerDrainsReports: the Start/Stop worker
+// must pick up external damage reports without waiting for a sweep.
+func TestSchedulerBackgroundWorkerDrainsReports(t *testing.T) {
+	src := newFakeSource(4, 5)
+	src.damage(2, 1)
+	s, err := NewScheduler(Options{Source: src, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	s.Report(2)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if len(src.repairOrder()) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background worker never repaired the reported group")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := src.repairOrder()[0]; got != 2 {
+		t.Fatalf("repaired group %d, want 2", got)
+	}
+}
+
+func TestSchedulerStartTwiceFails(t *testing.T) {
+	src := newFakeSource(1, 3)
+	s, err := NewScheduler(Options{Source: src, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err == nil {
+		t.Fatal("second Start did not fail")
+	}
+	s.Stop()
+	s.Stop() // idempotent
+}
+
+// TestSchedulerEnqueuesRebalanceOnEpochChange: a pool epoch bump makes
+// the sweep enqueue stale groups as rebalance moves, after all damage.
+func TestSchedulerEnqueuesRebalanceOnEpochChange(t *testing.T) {
+	src := newFakeSource(6, 5)
+	s, err := NewScheduler(Options{Source: src, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.mu.Lock()
+	src.epoch = 1
+	src.stale = []uint64{4, 5}
+	src.mu.Unlock()
+	src.damage(1, 2)
+
+	ctx, _ := newTestContext(t)
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	order := src.repairOrder()
+	if len(order) != 3 {
+		t.Fatalf("ran %d items, want 3 (1 repair + 2 rebalance): %v", len(order), order)
+	}
+	if order[0] != 1 {
+		t.Fatalf("damage repair did not outrank rebalance: %v", order)
+	}
+	if got := s.Stats().RebalanceMoves.Load(); got != 2 {
+		t.Fatalf("RebalanceMoves = %d, want 2", got)
+	}
+	if got := s.Stats().Repairs.Load(); got != 1 {
+		t.Fatalf("Repairs = %d, want 1", got)
+	}
+}
+
+// TestSchedulerGovernorPacesRepairs: with a tiny bandwidth budget the
+// drain takes at least the time the token bucket mandates.
+func TestSchedulerGovernorPacesRepairs(t *testing.T) {
+	src := newFakeSource(4, 5)
+	src.bytesPer = 1000
+	for g := uint64(0); g < 4; g++ {
+		src.damage(g, 3)
+	}
+	// 10 kB/s with 1 kB burst: 4 repairs x 1000 B = 4000 B, first
+	// 1000 free, remaining 3000 need >= 300ms.
+	s, err := NewScheduler(Options{Source: src, Bandwidth: 10_000, Burst: 1000, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := newTestContext(t)
+	start := time.Now()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 250*time.Millisecond {
+		t.Fatalf("drain finished in %v, governor should have held it ~300ms", elapsed)
+	}
+	if got := s.Stats().BytesRepaired.Load(); got != 4000 {
+		t.Fatalf("BytesRepaired = %d, want 4000", got)
+	}
+}

@@ -25,6 +25,7 @@ var opNames = map[wire.MsgType]string{
 	wire.TGCOld:         "gc_old",
 	wire.TGCRecent:      "gc_recent",
 	wire.TProbe:         "probe",
+	wire.TPartialSum:    "partial_sum",
 }
 
 // OpMetrics instruments one protocol operation.

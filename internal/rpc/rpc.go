@@ -208,6 +208,12 @@ func (s *Server) dispatch(msg any) any {
 		rep, e = s.node.GCRecent(ctx, req)
 	case *proto.ProbeReq:
 		rep, e = s.node.Probe(ctx, req)
+	case *proto.PartialSumReq:
+		if ps, ok := s.node.(proto.PartialSummer); ok {
+			rep, e = ps.PartialSum(ctx, req)
+		} else {
+			e = fmt.Errorf("rpc: node %T does not support partial sums", s.node)
+		}
 	default:
 		e = fmt.Errorf("rpc: unexpected request type %T", msg)
 	}
@@ -334,6 +340,7 @@ func Dial(addr string, opts ...Option) *Client {
 
 var _ proto.StorageNode = (*Client)(nil)
 var _ proto.MultiBatcher = (*Client)(nil)
+var _ proto.PartialSummer = (*Client)(nil)
 
 // Close shuts the connection down; subsequent calls fail.
 func (c *Client) Close() error {
@@ -586,6 +593,12 @@ func (c *Client) GCRecent(ctx context.Context, req *proto.GCRecentReq) (*proto.G
 }
 func (c *Client) Probe(ctx context.Context, req *proto.ProbeReq) (*proto.ProbeReply, error) {
 	return callTyped[*proto.ProbeReply](c, ctx, req)
+}
+
+// PartialSum implements proto.PartialSummer: ship a coefficient (and an
+// optional accumulator) to the node and get the folded sum back.
+func (c *Client) PartialSum(ctx context.Context, req *proto.PartialSumReq) (*proto.PartialSumReply, error) {
+	return callTyped[*proto.PartialSumReply](c, ctx, req)
 }
 
 // IsServerError reports whether err was produced by the remote node

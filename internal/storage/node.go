@@ -82,6 +82,7 @@ type Stats struct {
 	TryLocks, SetLocks, GetStates, GetRecents          uint64
 	Reconstructs, Finalizes, GCOlds, GCRecents, Probes uint64
 	RejectedAdds, OrderRejects, StaleEpochs            uint64
+	PartialSums                                        uint64
 }
 
 type slotKey struct {
@@ -239,6 +240,7 @@ func (n *Node) checkUp() error {
 
 var _ proto.StorageNode = (*Node)(nil)
 var _ proto.MultiBatcher = (*Node)(nil)
+var _ proto.PartialSummer = (*Node)(nil)
 
 // Read implements the paper's read operation (Fig. 4).
 func (n *Node) Read(_ context.Context, req *proto.ReadReq) (*proto.ReadReply, error) {
@@ -487,8 +489,10 @@ func (n *Node) GetState(_ context.Context, req *proto.GetStateReq) (*proto.GetSt
 		RecentList: append([]proto.TIDTime(nil), st.recent...),
 	}
 	if st.opmode != proto.Init {
-		reply.Block = cloneBytes(st.block)
 		reply.BlockValid = true
+		if !req.NoBlock {
+			reply.Block = cloneBytes(st.block)
+		}
 	}
 	return reply, nil
 }
@@ -515,18 +519,31 @@ func (n *Node) Reconstruct(_ context.Context, req *proto.ReconstructReq) (*proto
 	if err := n.checkUp(); err != nil {
 		return nil, err
 	}
-	if len(req.Block) != n.opts.BlockSize {
+	if req.InPlace {
+		if len(req.Block) != 0 {
+			return nil, fmt.Errorf("storage: in-place reconstruct carries a %d-byte block", len(req.Block))
+		}
+	} else if len(req.Block) != n.opts.BlockSize {
 		return nil, fmt.Errorf("storage: reconstruct block has %d bytes, want %d", len(req.Block), n.opts.BlockSize)
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.stats.Reconstructs++
 	st := n.getSlot(req.Stripe, req.Slot)
+	if req.InPlace && st.opmode == proto.Init {
+		// The coordinator certifies existing content as recovered, but
+		// this slot holds garbage: its GetState cannot have shown a valid
+		// block, so the certificate is stale. Fail the call; the
+		// coordinator retries with a shipped block.
+		return nil, fmt.Errorf("storage: in-place reconstruct on INIT slot")
+	}
 	st.opmode = proto.Recons
 	st.reconsSet = append([]int32(nil), req.CSet...)
-	st.block = cloneBytes(req.Block)
-	if err := n.persist(req.Stripe, req.Slot, st.block); err != nil {
-		return nil, err
+	if !req.InPlace {
+		st.block = cloneBytes(req.Block)
+		if err := n.persist(req.Stripe, req.Slot, st.block); err != nil {
+			return nil, err
+		}
 	}
 	return &proto.ReconstructReply{Epoch: st.epoch}, nil
 }
@@ -615,6 +632,34 @@ func (n *Node) GCRecent(_ context.Context, req *proto.GCRecentReq) (*proto.GCRep
 		st.recent = kept
 	}
 	return &proto.GCReply{Status: proto.StatusOK}, nil
+}
+
+// PartialSum implements proto.PartialSummer: multiply this slot's
+// block by the requested coefficient and fold it into the running
+// accumulator, Sum = Coef*block XOR Acc. It serves NORM and RECONS
+// slots regardless of lock mode — the recovery coordinator calls it
+// while holding the stripe's L1 locks, exactly as it reads blocks
+// through GetState on the naive path. INIT slots cannot contribute.
+func (n *Node) PartialSum(_ context.Context, req *proto.PartialSumReq) (*proto.PartialSumReply, error) {
+	if err := n.checkUp(); err != nil {
+		return nil, err
+	}
+	if len(req.Acc) != 0 && len(req.Acc) != n.opts.BlockSize {
+		return nil, fmt.Errorf("storage: partial-sum accumulator has %d bytes, want %d", len(req.Acc), n.opts.BlockSize)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.PartialSums++
+	st := n.getSlot(req.Stripe, req.Slot)
+	if st.opmode == proto.Init {
+		return &proto.PartialSumReply{OK: false, OpMode: st.opmode, LockMode: st.lmode}, nil
+	}
+	sum := make([]byte, n.opts.BlockSize)
+	gf.MulSlice(req.Coef, sum, st.block)
+	if len(req.Acc) > 0 {
+		gf.AddSlice(sum, req.Acc)
+	}
+	return &proto.PartialSumReply{OK: true, Sum: sum, OpMode: st.opmode, LockMode: st.lmode}, nil
 }
 
 // Probe implements the monitoring check of Section 3.10.

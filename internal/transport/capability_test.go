@@ -1,0 +1,299 @@
+package transport
+
+import (
+	"context"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+	"testing"
+
+	"ecstore/internal/proto"
+)
+
+// protoCapabilityMethods parses the proto package's source and returns
+// every method declared on any interface there: the node operation set
+// plus every optional capability (MultiBatcher, PartialSummer,
+// Multicaster, Aggregator, and whatever comes next). This is the
+// ground truth the invoker table below is checked against, so adding a
+// capability to proto without wiring it through the transport wrappers
+// fails this test rather than silently losing the capability behind
+// the first wrapper.
+func protoCapabilityMethods(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, "../proto", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parse proto package: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				it, ok := n.(*ast.InterfaceType)
+				if !ok {
+					return true
+				}
+				for _, field := range it.Methods.List {
+					if _, isFunc := field.Type.(*ast.FuncType); !isFunc {
+						continue // embedded interface, methods counted at its own decl
+					}
+					for _, name := range field.Names {
+						seen[name.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	var names []string
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("found no interface methods in the proto package")
+	}
+	return names
+}
+
+// capInvoker drives one proto capability through a wrapped node handle.
+type capInvoker struct {
+	// call invokes the capability against n with a valid request and
+	// returns the transport-level error. Application-level rejections
+	// travel inside replies and are not errors here.
+	call func(ctx context.Context, n proto.StorageNode) error
+	// counter selects the OpCounters that Counting must bump.
+	counter func(c *Counters) *OpCounters
+}
+
+// capTID hands out unique write identifiers per invocation site.
+func capTID(seq uint64) proto.TID { return proto.TID{Seq: seq, Block: 0, Client: 9} }
+
+// capabilityInvokers is the exhaustive invoker table. Every method
+// name returned by protoCapabilityMethods must have an entry; a
+// missing entry fails TestEveryProtoCapabilityExercised.
+func capabilityInvokers() map[string]capInvoker {
+	return map[string]capInvoker{
+		"Read": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				_, err := n.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.Read },
+		},
+		"Swap": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				_, err := n.Swap(ctx, &proto.SwapReq{Stripe: 1, Slot: 0, Value: blk(), NTID: capTID(101)})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.Swap },
+		},
+		"Add": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				_, err := n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 2, Delta: blk(), Premultiplied: true, NTID: capTID(102)})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.Add },
+		},
+		"BatchAdd": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				_, err := n.BatchAdd(ctx, &proto.BatchAddReq{
+					Stripe: 1, Slot: 2, Delta: blk(),
+					Entries: []proto.BatchEntry{{DataSlot: 0, NTID: capTID(103)}},
+				})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.BatchAdd },
+		},
+		"BatchAddMulti": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				// Two sub-requests: the proto helper only engages the
+				// MultiBatcher capability when there is something to
+				// coalesce.
+				_, err := proto.BatchAddMulti(ctx, n, &proto.BatchAddMultiReq{
+					Adds: []*proto.BatchAddReq{{
+						Stripe: 1, Slot: 3, Delta: blk(),
+						Entries: []proto.BatchEntry{{DataSlot: 0, NTID: capTID(104)}},
+					}, {
+						Stripe: 1, Slot: 2, Delta: blk(),
+						Entries: []proto.BatchEntry{{DataSlot: 1, NTID: capTID(106)}},
+					}},
+				})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.BatchAddMulti },
+		},
+		"CheckTID": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				_, err := n.CheckTID(ctx, &proto.CheckTIDReq{Stripe: 1, Slot: 0, NTID: capTID(101)})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.CheckTID },
+		},
+		"TryLock": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				_, err := n.TryLock(ctx, &proto.TryLockReq{Stripe: 1, Slot: 0, Mode: proto.L1, Caller: 9})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.TryLock },
+		},
+		"SetLock": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				_, err := n.SetLock(ctx, &proto.SetLockReq{Stripe: 1, Slot: 0, Mode: proto.Unlocked, Caller: 9})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.SetLock },
+		},
+		"GetState": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				_, err := n.GetState(ctx, &proto.GetStateReq{Stripe: 1, Slot: 0, NoBlock: true})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.GetState },
+		},
+		"GetRecent": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				_, err := n.GetRecent(ctx, &proto.GetRecentReq{Stripe: 1, Slot: 0, Mode: proto.L1, Caller: 9})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.GetRecent },
+		},
+		"Reconstruct": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				_, err := n.Reconstruct(ctx, &proto.ReconstructReq{Stripe: 1, Slot: 0, CSet: []int32{0, 1}, Block: blk()})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.Reconstruct },
+		},
+		"Finalize": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				_, err := n.Finalize(ctx, &proto.FinalizeReq{Stripe: 1, Slot: 0, Epoch: 1})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.Finalize },
+		},
+		"GCOld": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				_, err := n.GCOld(ctx, &proto.GCOldReq{Stripe: 1, Slot: 0, TIDs: []proto.TID{capTID(101)}})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.GCOld },
+		},
+		"GCRecent": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				_, err := n.GCRecent(ctx, &proto.GCRecentReq{Stripe: 1, Slot: 0, TIDs: []proto.TID{capTID(101)}})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.GCRecent },
+		},
+		"Probe": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				_, err := n.Probe(ctx, &proto.ProbeReq{Stripe: 1, Slot: 0})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.Probe },
+		},
+		"PartialSum": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				_, err := proto.PartialSum(ctx, n, &proto.PartialSumReq{Stripe: 1, Slot: 0, Coef: 3})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.PartialSum },
+		},
+		// Transport-side capabilities: the wrapper under test is the
+		// delivery transport itself, driven against the wrapped node.
+		"MulticastAdd": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				res := Parallel{}.MulticastAdd(ctx, []proto.AddCall{{Node: n, Req: &proto.AddReq{
+					Stripe: 1, Slot: 3, Delta: blk(), Premultiplied: true, NTID: capTID(105),
+				}}})
+				return res[0].Err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.Add },
+		},
+		"AggregateSum": {
+			call: func(ctx context.Context, n proto.StorageNode) error {
+				_, err := Chain{}.AggregateSum(ctx, []proto.PartialCall{{
+					Node: n, Req: &proto.PartialSumReq{Stripe: 1, Slot: 0, Coef: 5},
+				}})
+				return err
+			},
+			counter: func(c *Counters) *OpCounters { return &c.PartialSum },
+		},
+	}
+}
+
+// seedCapNode writes a block so state-dependent capabilities
+// (PartialSum needs a non-INIT slot) have something to work on.
+func seedCapNode(t *testing.T, n proto.StorageNode) {
+	t.Helper()
+	if _, err := n.Swap(context.Background(), &proto.SwapReq{Stripe: 1, Slot: 0, Value: blk(), NTID: capTID(100)}); err != nil {
+		t.Fatalf("seed swap: %v", err)
+	}
+}
+
+// TestEveryProtoCapabilityExercised is the regression gate: the
+// invoker table must cover every interface method in the proto
+// package, each invoker must succeed through Counting with its op
+// counter bumped, and each must fail through a crashed Faulty. A new
+// proto capability without a table entry (and hence without wrapper
+// forwarding) fails here by name.
+func TestEveryProtoCapabilityExercised(t *testing.T) {
+	ctx := context.Background()
+	required := protoCapabilityMethods(t)
+	invokers := capabilityInvokers()
+	for _, name := range required {
+		if _, ok := invokers[name]; !ok {
+			t.Errorf("proto capability %s has no transport-wrapper invoker: add a table entry "+
+				"(and forwarders on Counting/Faulty if it is a node method)", name)
+		}
+	}
+	for name := range invokers {
+		found := false
+		for _, r := range required {
+			if r == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("invoker %s matches no proto interface method (renamed or removed?)", name)
+		}
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Counting must forward and account every capability.
+	for _, name := range required {
+		inv := invokers[name]
+		ctr := &Counters{}
+		counted := NewCounting(newNode(t), ctr)
+		seedCapNode(t, counted)
+		before := inv.counter(ctr).Calls.Load()
+		if err := inv.call(ctx, counted); err != nil {
+			t.Errorf("%s through Counting failed: %v", name, err)
+			continue
+		}
+		if after := inv.counter(ctr).Calls.Load(); after <= before {
+			t.Errorf("%s through Counting did not bump its op counter", name)
+		}
+	}
+
+	// Faulty must fault every capability: a crashed wrapper refuses the
+	// frame no matter which path carries it.
+	for _, name := range required {
+		inv := invokers[name]
+		f := NewFaulty(newNode(t), FaultConfig{})
+		seedCapNode(t, f)
+		f.Crash()
+		if err := inv.call(ctx, f); err == nil {
+			t.Errorf("%s through a crashed Faulty succeeded — the fault wrapper is not covering this capability", name)
+		}
+	}
+}

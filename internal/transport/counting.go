@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -27,8 +28,12 @@ type Counters struct {
 	TryLock, SetLock, GetState          OpCounters
 	GetRecent, Reconstruct, Finalize    OpCounters
 	GCOld, GCRecent, Probe              OpCounters
-	BatchAddMulti                       OpCounters
+	BatchAddMulti, PartialSum           OpCounters
 	MulticastPayloadSavings             atomic.Uint64 // bytes not re-sent thanks to broadcast
+	// PartialSumTreeBytes counts bytes carried on survivor-to-survivor
+	// aggregation-tree edges by CountingAggregator — network traffic
+	// that never enters the repair coordinator's link.
+	PartialSumTreeBytes atomic.Uint64
 }
 
 // TotalMessages sums message counts across operations.
@@ -56,7 +61,7 @@ func (c *Counters) all() []*OpCounters {
 		&c.TryLock, &c.SetLock, &c.GetState,
 		&c.GetRecent, &c.Reconstruct, &c.Finalize,
 		&c.GCOld, &c.GCRecent, &c.Probe,
-		&c.BatchAddMulti,
+		&c.BatchAddMulti, &c.PartialSum,
 	}
 }
 
@@ -70,6 +75,7 @@ type Counting struct {
 
 var _ proto.StorageNode = (*Counting)(nil)
 var _ proto.MultiBatcher = (*Counting)(nil)
+var _ proto.PartialSummer = (*Counting)(nil)
 
 // NewCounting wraps a node with accounting into ctr.
 func NewCounting(inner proto.StorageNode, ctr *Counters) *Counting {
@@ -159,6 +165,16 @@ func (c *Counting) Probe(ctx context.Context, req *proto.ProbeReq) (*proto.Probe
 	return account(&c.ctr.Probe, req, func() (*proto.ProbeReply, error) { return c.inner.Probe(ctx, req) })
 }
 
+// PartialSum accounts the partial-sum call like any unicast op and
+// forwards through the inner node's capability; an inner node without
+// it fails with proto.ErrNoPartialSum before any bytes are charged for
+// the reply.
+func (c *Counting) PartialSum(ctx context.Context, req *proto.PartialSumReq) (*proto.PartialSumReply, error) {
+	return account(&c.ctr.PartialSum, req, func() (*proto.PartialSumReply, error) {
+		return proto.PartialSum(ctx, c.inner, req)
+	})
+}
+
 // CountingMulticaster implements broadcast delivery with Fig. 1's
 // AJX-bcast accounting: the shared delta payload is charged once, and
 // each extra recipient costs only a per-message header. Replies are
@@ -172,6 +188,68 @@ var _ proto.Multicaster = (*CountingMulticaster)(nil)
 // NewCountingMulticaster builds a multicaster accounting into ctr.
 func NewCountingMulticaster(ctr *Counters) *CountingMulticaster {
 	return &CountingMulticaster{ctr: ctr}
+}
+
+// CountingAggregator implements the aggregation-tree partial sum with
+// coordinator-centric accounting, the repair analogue of
+// CountingMulticaster: the coordinator's link is charged one small
+// coefficient request per survivor plus ONE block-sized reply (the
+// final sum), while the accumulator bytes flowing between survivors
+// along the tree's inner edges are booked separately in
+// Counters.PartialSumTreeBytes. This is what makes repair ingress at
+// the coordinator measure below k times the lost data: k survivors
+// contribute, one block arrives.
+type CountingAggregator struct {
+	ctr *Counters
+}
+
+var _ proto.Aggregator = (*CountingAggregator)(nil)
+
+// NewCountingAggregator builds an aggregator accounting into ctr.
+func NewCountingAggregator(ctr *Counters) *CountingAggregator {
+	return &CountingAggregator{ctr: ctr}
+}
+
+// AggregateSum walks the survivors sequentially, threading the
+// accumulator, exactly like Chain, but unwraps Counting handles (the
+// per-hop payloads are accounted here, not per call) and books every
+// byte in its proper place.
+func (a *CountingAggregator) AggregateSum(ctx context.Context, calls []proto.PartialCall) ([]byte, error) {
+	if len(calls) == 0 {
+		return nil, proto.ErrNoPartialSum
+	}
+	var acc []byte
+	for i, call := range calls {
+		// Coordinator -> survivor: the coefficient request, sized
+		// without the accumulator (that travels survivor-to-survivor).
+		small := *call.Req
+		small.Acc = nil
+		a.ctr.PartialSum.Calls.Add(1)
+		a.ctr.PartialSum.Messages.Add(1)
+		a.ctr.PartialSum.BytesSent.Add(uint64(wire.Size(&small)))
+		if i > 0 {
+			// Inner tree edge: the accumulator moves between survivors.
+			a.ctr.PartialSumTreeBytes.Add(uint64(len(acc)))
+		}
+		node := call.Node
+		if cn, ok := node.(*Counting); ok {
+			node = cn.Inner() // accounted above
+		}
+		req := *call.Req
+		req.Acc = acc
+		rep, err := proto.PartialSum(ctx, node, &req)
+		if err != nil {
+			return nil, err
+		}
+		if !rep.OK {
+			return nil, fmt.Errorf("transport: partial sum refused (opmode %v, lock %v)", rep.OpMode, rep.LockMode)
+		}
+		acc = rep.Sum
+	}
+	// Root survivor -> coordinator: the single combined block.
+	a.ctr.PartialSum.Messages.Add(1)
+	a.ctr.PartialSum.BytesRecvd.Add(uint64(wire.Size(&proto.PartialSumReply{OK: true, Sum: acc})))
+	return acc, nil
 }
 
 // MulticastAdd delivers the calls concurrently. The target nodes in

@@ -153,7 +153,17 @@ func (d *Delayed) Probe(ctx context.Context, req *proto.ProbeReq) (*proto.ProbeR
 	return d.inner.Probe(ctx, req)
 }
 
+// PartialSum charges one round trip and forwards through the inner
+// node's capability.
+func (d *Delayed) PartialSum(ctx context.Context, req *proto.PartialSumReq) (*proto.PartialSumReply, error) {
+	if err := d.wait(ctx); err != nil {
+		return nil, err
+	}
+	return proto.PartialSum(ctx, d.inner, req)
+}
+
 var (
-	_ proto.StorageNode  = (*Delayed)(nil)
-	_ proto.MultiBatcher = (*Delayed)(nil)
+	_ proto.StorageNode   = (*Delayed)(nil)
+	_ proto.MultiBatcher  = (*Delayed)(nil)
+	_ proto.PartialSummer = (*Delayed)(nil)
 )

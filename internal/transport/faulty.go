@@ -31,13 +31,14 @@ const (
 	OpGCOld
 	OpGCRecent
 	OpProbe
+	OpPartialSum
 	NumOps // count sentinel
 )
 
 var opNames = [NumOps]string{
 	"read", "swap", "add", "batch_add", "checktid", "trylock", "setlock",
 	"getstate", "getrecent", "reconstruct", "finalize", "gc_old",
-	"gc_recent", "probe",
+	"gc_recent", "probe", "partial_sum",
 }
 
 func (o Op) String() string {
@@ -110,6 +111,7 @@ type Faulty struct {
 
 var _ proto.StorageNode = (*Faulty)(nil)
 var _ proto.MultiBatcher = (*Faulty)(nil)
+var _ proto.PartialSummer = (*Faulty)(nil)
 
 // NewFaulty wraps inner with fault injection.
 func NewFaulty(inner proto.StorageNode, cfg FaultConfig) *Faulty {
@@ -285,6 +287,16 @@ func (f *Faulty) GCRecent(ctx context.Context, req *proto.GCRecentReq) (*proto.G
 }
 func (f *Faulty) Probe(ctx context.Context, req *proto.ProbeReq) (*proto.ProbeReply, error) {
 	return faultCall(ctx, f, OpProbe, req, func() (*proto.ProbeReply, error) { return f.inner.Probe(ctx, req) })
+}
+
+// PartialSum faults the partial-sum frame like any other op, then
+// delegates through the inner node's capability; crash, partition, and
+// seeded errors all apply, so frugal repair sees exactly the failure
+// modes whole-block fetches would.
+func (f *Faulty) PartialSum(ctx context.Context, req *proto.PartialSumReq) (*proto.PartialSumReply, error) {
+	return faultCall(ctx, f, OpPartialSum, req, func() (*proto.PartialSumReply, error) {
+		return proto.PartialSum(ctx, f.inner, req)
+	})
 }
 
 // --- scenarios --------------------------------------------------------------

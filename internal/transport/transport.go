@@ -10,6 +10,7 @@ package transport
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"ecstore/internal/proto"
@@ -37,4 +38,40 @@ func (Parallel) MulticastAdd(ctx context.Context, calls []proto.AddCall) []proto
 	}
 	wg.Wait()
 	return results
+}
+
+// Chain is a proto.Aggregator modeling a linear aggregation tree: the
+// survivors are visited in order, each folding its coefficient-
+// multiplied block into the accumulator received from its predecessor
+// (Sum = Coef*block XOR Acc), and only the last survivor's sum returns
+// to the caller. The inner accumulator hand-offs stand in for the
+// survivor-to-survivor edges of the tree; in-process they are function
+// arguments, on a real deployment they would be node-to-node transfers
+// that never touch the repair coordinator's link.
+type Chain struct{}
+
+var _ proto.Aggregator = Chain{}
+
+// AggregateSum walks the calls sequentially, threading the accumulator.
+// Every node must support proto.PartialSummer and answer OK; any
+// refusal or transport error fails the whole aggregation so the caller
+// can fall back to fetching whole blocks.
+func (Chain) AggregateSum(ctx context.Context, calls []proto.PartialCall) ([]byte, error) {
+	if len(calls) == 0 {
+		return nil, fmt.Errorf("transport: empty aggregation")
+	}
+	var acc []byte
+	for _, call := range calls {
+		req := *call.Req
+		req.Acc = acc
+		rep, err := proto.PartialSum(ctx, call.Node, &req)
+		if err != nil {
+			return nil, err
+		}
+		if !rep.OK {
+			return nil, fmt.Errorf("transport: partial sum refused (opmode %v, lock %v)", rep.OpMode, rep.LockMode)
+		}
+		acc = rep.Sum
+	}
+	return acc, nil
 }

@@ -34,8 +34,13 @@ type LocalOptions struct {
 	TP             int
 	ClientID       proto.ClientID
 	Multicast      proto.Multicaster
-	RetryDelay     time.Duration
-	Retry          core.RetryPolicy
+	// Aggregate enables bandwidth-frugal recovery (see Options).
+	Aggregate  proto.Aggregator
+	RetryDelay time.Duration
+	Retry      core.RetryPolicy
+	// OnDamage is the repair scheduler's fast-path damage feed (see
+	// Options.OnDamage).
+	OnDamage func(group uint64)
 	// LockLease configures lease-based lock expiry on every shard.
 	LockLease time.Duration
 	Obs       *obs.Registry
@@ -114,8 +119,10 @@ func NewLocal(opts LocalOptions) (*Local, error) {
 		Mode:           opts.Mode,
 		TP:             opts.TP,
 		Multicast:      opts.Multicast,
+		Aggregate:      opts.Aggregate,
 		RetryDelay:     opts.RetryDelay,
 		Retry:          opts.Retry,
+		OnDamage:       opts.OnDamage,
 		Obs:            opts.Obs,
 	})
 	if err != nil {

@@ -1,0 +1,129 @@
+package volume
+
+import (
+	"context"
+	"time"
+
+	"ecstore/internal/placement"
+	"ecstore/internal/proto"
+)
+
+// This file implements the repair scheduler's Source view of a volume
+// (see internal/repair): per-group damage probes, a repair pass, and
+// the placement-staleness check feeding rebalance moves.
+
+// damageSampleStripes bounds how many tracked stripes GroupDamage
+// probes when classifying shard health.
+const damageSampleStripes = 4
+
+// repairMaxAge is the recentlist age beyond which a pending write is
+// treated as abandoned during a repair pass (the monitoring
+// mechanism's maxAge); young entries belong to in-flight foreground
+// writes and must not trigger recovery.
+const repairMaxAge = time.Second
+
+// GroupDamage probes the sites serving one group and reports how many
+// of its n shards are healthy. A shard survives if its site answers
+// probes and, when the group holds written data, is not a fresh INIT
+// replacement (reachable but empty means the data it held is lost
+// until repaired). Probing instantiates the group if needed.
+func (v *Volume) GroupDamage(ctx context.Context, g uint64) (survivors, total int, err error) {
+	grp, err := v.group(g)
+	if err != nil {
+		return 0, 0, err
+	}
+	total = v.opts.N
+
+	samples := grp.cl.TrackedStripes()
+	if len(samples) > damageSampleStripes {
+		samples = samples[:damageSampleStripes]
+	}
+	if len(samples) == 0 {
+		samples = []uint64{g << groupShift}
+	}
+
+	reachable := make([]bool, total)
+	nonInit := make([]bool, total)
+	hasData := false
+	for j := 0; j < total; j++ {
+		h := grp.dir.Physical(j)
+		if h == nil {
+			continue
+		}
+		for _, sid := range samples {
+			rep, perr := h.Probe(ctx, &proto.ProbeReq{Stripe: sid, Slot: int32(j)})
+			if perr != nil {
+				reachable[j] = false
+				break
+			}
+			reachable[j] = true
+			if rep.OpMode != proto.Init {
+				nonInit[j] = true
+				hasData = true
+			}
+		}
+	}
+	for j := 0; j < total; j++ {
+		if reachable[j] && (!hasData || nonInit[j]) {
+			survivors++
+		}
+	}
+	return survivors, total, nil
+}
+
+// RepairGroup runs one repair pass over a group: accessing the group
+// refreshes its placement to the pool's current ideal (provisioning
+// INIT shards on incoming sites), then the monitoring mechanism of
+// Section 3.10 probes every tracked stripe and recovers the damaged
+// ones. It returns the stripes recovered and the nominal repair
+// traffic (stripes * n * blocksize — the write-back volume) for the
+// bandwidth governor.
+func (v *Volume) RepairGroup(ctx context.Context, g uint64) (stripes int, bytes int64, err error) {
+	grp, err := v.group(g)
+	if err != nil {
+		return 0, 0, err
+	}
+	report, err := grp.cl.MonitorTracked(ctx, repairMaxAge)
+	stripes = len(report.Recovered)
+	bytes = int64(stripes) * int64(v.opts.N) * int64(v.opts.BlockSize)
+	return stripes, bytes, err
+}
+
+// PoolEpoch returns the placement pool's membership version.
+func (v *Volume) PoolEpoch() uint64 { return v.opts.Pool.Epoch() }
+
+// StaleGroups lists instantiated groups whose cached site set differs
+// from the rendezvous-hash ideal under the current membership. Slot
+// order is ignored: refresh keeps surviving sites in their slots, so
+// only membership drift constitutes staleness. Untouched groups are
+// never stale — they resolve their ideal placement on first access.
+func (v *Volume) StaleGroups(ctx context.Context) ([]uint64, error) {
+	var stale []uint64
+	for _, grp := range v.activeGroups() {
+		if err := ctx.Err(); err != nil {
+			return stale, err
+		}
+		placed, _, err := v.opts.Pool.Place(grp.id, v.opts.N)
+		if err != nil {
+			return stale, err
+		}
+		grp.pmu.Lock()
+		current := append([]placement.Node(nil), grp.sites...)
+		grp.pmu.Unlock()
+		want := make(map[string]struct{}, len(placed))
+		for _, site := range placed {
+			want[site.ID] = struct{}{}
+		}
+		same := len(current) == len(placed)
+		for _, site := range current {
+			if _, ok := want[site.ID]; !ok {
+				same = false
+				break
+			}
+		}
+		if !same {
+			stale = append(stale, grp.id)
+		}
+	}
+	return stale, nil
+}

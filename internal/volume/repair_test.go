@@ -1,0 +1,348 @@
+package volume
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/obs"
+	"ecstore/internal/repair"
+)
+
+// TestRepairSourceDamageAndRepair exercises the volume's repair.Source
+// implementation directly: a crashed site shows up as missing
+// survivors, one RepairGroup pass heals the group, and the damage
+// probe then reports it whole again.
+func TestRepairSourceDamageAndRepair(t *testing.T) {
+	ctx := context.Background()
+	l := newLocal(t, 4, 8, nil)
+	for addr := uint64(0); addr < l.Capacity(); addr++ {
+		if err := l.WriteBlock(ctx, addr, block(byte(addr))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s, n, err := l.GroupDamage(ctx, 0); err != nil || s != n {
+		t.Fatalf("healthy group: survivors=%d/%d err=%v", s, n, err)
+	}
+
+	sites, err := l.GroupSites(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.CrashSite(sites[0].ID)
+	s, n, err := l.GroupDamage(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s >= n {
+		t.Fatalf("crashed site not seen: survivors=%d/%d", s, n)
+	}
+
+	stripes, nbytes, err := l.RepairGroup(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripes == 0 {
+		t.Fatal("repair pass recovered no stripes")
+	}
+	if want := int64(stripes) * int64(4) * int64(testBlockSize); nbytes != want {
+		t.Fatalf("repair bytes = %d, want %d", nbytes, want)
+	}
+	if s, n, err := l.GroupDamage(ctx, 0); err != nil || s != n {
+		t.Fatalf("after repair: survivors=%d/%d err=%v", s, n, err)
+	}
+	for addr := uint64(0); addr < 8; addr++ {
+		got, err := l.ReadBlock(ctx, addr)
+		if err != nil || !bytes.Equal(got, block(byte(addr))) {
+			t.Fatalf("block %d wrong after repair (err=%v)", addr, err)
+		}
+	}
+}
+
+// TestOnDamageHookFires: retiring a site from a failure report must
+// invoke the OnDamage hook with the reporting group — the scheduler's
+// fast path, no sweep involved.
+func TestOnDamageHookFires(t *testing.T) {
+	ctx := context.Background()
+	var mu sync.Mutex
+	var damaged []uint64
+	l, err := NewLocal(LocalOptions{
+		K: 2, N: 4, BlockSize: testBlockSize,
+		Groups: 4, Sites: 8, BlocksPerGroup: 8,
+		RetryDelay: 50 * time.Microsecond,
+		OnDamage: func(g uint64) {
+			mu.Lock()
+			damaged = append(damaged, g)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+
+	if err := l.WriteBlock(ctx, 0, block('a')); err != nil {
+		t.Fatal(err)
+	}
+	sites, err := l.GroupSites(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.CrashSite(sites[0].ID)
+	// A degraded read discovers the crash, reports it, and the retire
+	// path fires the hook.
+	if _, err := l.ReadBlock(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(damaged) == 0 {
+		t.Fatal("OnDamage never fired")
+	}
+	for _, g := range damaged {
+		if g != 0 {
+			t.Fatalf("OnDamage reported group %d, only group 0 was touched", g)
+		}
+	}
+}
+
+// placementIDs snapshots every group's site IDs by slot.
+func placementIDs(t *testing.T, l *Local, groups uint64) map[uint64][]string {
+	t.Helper()
+	out := make(map[uint64][]string, groups)
+	for g := uint64(0); g < groups; g++ {
+		sites, err := l.GroupSites(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]string, len(sites))
+		for i, s := range sites {
+			ids[i] = s.ID
+		}
+		out[g] = ids
+	}
+	return out
+}
+
+// TestRebalanceConvergesToIdeal is the rebalance property test: after
+// random pool membership churn, draining the repair scheduler leaves
+// every group exactly on its rendezvous-hash ideal placement, moving
+// no more slots than the minimal-movement ideal (surviving sites keep
+// their slots), with all data intact and every group fully healthy.
+func TestRebalanceConvergesToIdeal(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(9))
+	const groups, sites = 6, 8
+	for trial := 0; trial < 3; trial++ {
+		l := newLocal(t, groups, sites, obs.NewRegistry())
+		for addr := uint64(0); addr < l.Capacity(); addr++ {
+			if err := l.WriteBlock(ctx, addr, block(byte(addr))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sched, err := repair.NewScheduler(repair.Options{Source: l.Volume, Interval: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := placementIDs(t, l, groups)
+
+		// Churn: grow the pool by two sites, drain one original.
+		for i := 0; i < 2; i++ {
+			if err := l.AddSite(fmt.Sprintf("extra-%d-%d", trial, i), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		victim := fmt.Sprintf("site-%d", rng.Intn(sites))
+		if err := l.RemoveSite(victim); err != nil {
+			t.Fatal(err)
+		}
+
+		dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err = sched.Drain(dctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("trial %d: drain: %v", trial, err)
+		}
+
+		for g := uint64(0); g < groups; g++ {
+			ideal, _, err := l.Pool().Place(g, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idealSet := make(map[string]bool, len(ideal))
+			for _, s := range ideal {
+				idealSet[s.ID] = true
+			}
+			cur, err := l.GroupSites(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for slot, s := range cur {
+				if !idealSet[s.ID] {
+					t.Errorf("trial %d group %d slot %d on %s, not in ideal placement", trial, g, slot, s.ID)
+				}
+				if s.ID != before[g][slot] {
+					moved++
+				}
+			}
+			// Minimal movement: only slots whose old site left the
+			// ideal set may have moved.
+			minimal := 0
+			for _, id := range before[g] {
+				if !idealSet[id] {
+					minimal++
+				}
+			}
+			if moved > minimal {
+				t.Errorf("trial %d group %d moved %d slots, minimal is %d (before=%v after slots on %v)",
+					trial, g, moved, minimal, before[g], cur)
+			}
+			if s, n, err := l.GroupDamage(ctx, g); err != nil || s != n {
+				t.Errorf("trial %d group %d not healed: survivors=%d/%d err=%v", trial, g, s, n, err)
+			}
+		}
+		for addr := uint64(0); addr < l.Capacity(); addr++ {
+			got, err := l.ReadBlock(ctx, addr)
+			if err != nil {
+				t.Fatalf("trial %d: read %d after rebalance: %v", trial, addr, err)
+			}
+			if !bytes.Equal(got, block(byte(addr))) {
+				t.Fatalf("trial %d: block %d corrupted by rebalance", trial, addr)
+			}
+		}
+	}
+}
+
+// recordingSource wraps the volume Source and records repair order.
+type recordingSource struct {
+	repair.Source
+	mu    sync.Mutex
+	order []uint64
+}
+
+func (r *recordingSource) RepairGroup(ctx context.Context, g uint64) (int, int64, error) {
+	r.mu.Lock()
+	r.order = append(r.order, g)
+	r.mu.Unlock()
+	return r.Source.RepairGroup(ctx, g)
+}
+
+// TestRepairOrderPrioritizesWorstGroup drives the scheduler against a
+// real volume and checks the headline policy end to end: a group that
+// lost two of its four shards (zero parity margin left) repairs before
+// a group that lost one.
+func TestRepairOrderPrioritizesWorstGroup(t *testing.T) {
+	ctx := context.Background()
+	const groups, sites = 8, 12
+	l := newLocal(t, groups, sites, nil)
+	for addr := uint64(0); addr < l.Capacity(); addr++ {
+		if err := l.WriteBlock(ctx, addr, block(byte(addr))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	placed := placementIDs(t, l, groups)
+	memberOf := func(g uint64, id string) bool {
+		for _, s := range placed[g] {
+			if s == id {
+				return true
+			}
+		}
+		return false
+	}
+	// Find a crash set {a1, a2, b}: group A loses a1 and a2 (2 of 4),
+	// group B loses only b, and no group loses more than N-K=2 sites
+	// (data must stay recoverable everywhere). Placement is a
+	// deterministic rendezvous hash, so the search is stable.
+	var crashA1, crashA2, crashB string
+	var groupA, groupB uint64
+	found := false
+search:
+	for a := uint64(0); a < groups && !found; a++ {
+		for b := uint64(0); b < groups; b++ {
+			if a == b {
+				continue
+			}
+			a1, a2 := placed[a][0], placed[a][1]
+			if memberOf(b, a1) || memberOf(b, a2) {
+				continue
+			}
+			for _, cb := range placed[b] {
+				if memberOf(a, cb) {
+					continue
+				}
+				ok := true
+				for g := uint64(0); g < groups; g++ {
+					lost := 0
+					for _, id := range []string{a1, a2, cb} {
+						if memberOf(g, id) {
+							lost++
+						}
+					}
+					if lost > 2 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					groupA, groupB = a, b
+					crashA1, crashA2, crashB = a1, a2, cb
+					found = true
+					break search
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no crash set isolates a 2-loss and a 1-loss group under this placement")
+	}
+
+	rec := &recordingSource{Source: l.Volume}
+	sched, err := repair.NewScheduler(repair.Options{Source: rec, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.CrashSite(crashA1)
+	l.CrashSite(crashA2)
+	l.CrashSite(crashB)
+
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	err = sched.Drain(dctx)
+	cancel()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	rec.mu.Lock()
+	order := append([]uint64(nil), rec.order...)
+	rec.mu.Unlock()
+	posA, posB := -1, -1
+	for i, g := range order {
+		if g == groupA && posA < 0 {
+			posA = i
+		}
+		if g == groupB && posB < 0 {
+			posB = i
+		}
+	}
+	if posA < 0 || posB < 0 {
+		t.Fatalf("scheduler never repaired both groups: order=%v A=%d B=%d", order, groupA, groupB)
+	}
+	if posA > posB {
+		t.Fatalf("one-shard-from-loss group %d repaired at %d, after healthier group %d at %d (order %v)",
+			groupA, posA, groupB, posB, order)
+	}
+	for addr := uint64(0); addr < l.Capacity(); addr++ {
+		got, err := l.ReadBlock(ctx, addr)
+		if err != nil {
+			t.Fatalf("read %d after repair: %v", addr, err)
+		}
+		if !bytes.Equal(got, block(byte(addr))) {
+			t.Fatalf("block %d corrupted", addr)
+		}
+	}
+}

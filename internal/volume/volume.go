@@ -72,6 +72,10 @@ type Options struct {
 	// stays mapped and clients keep erroring (degraded reads still
 	// work). Administrative pool changes still refresh placements.
 	NoRemap bool
+	// OnDamage, when set, is called (possibly concurrently) with a
+	// group ID every time a failure report retires one of the group's
+	// sites — the repair scheduler's fast path. It must not block.
+	OnDamage func(group uint64)
 
 	// MaxInFlight bounds the bulk-I/O window in stripes (see
 	// bulk.Options). Zero means the engine default; 1 degrades to the
@@ -83,11 +87,13 @@ type Options struct {
 
 	// ClientID identifies this volume's protocol clients. Defaults 1.
 	ClientID proto.ClientID
-	// Mode, TP, Multicast, RetryDelay, Retry configure each group's
-	// core.Client exactly as in core.Config.
+	// Mode, TP, Multicast, Aggregate, RetryDelay, Retry configure each
+	// group's core.Client exactly as in core.Config. Aggregate enables
+	// bandwidth-frugal recovery through partial sums.
 	Mode       resilience.UpdateMode
 	TP         int
 	Multicast  proto.Multicaster
+	Aggregate  proto.Aggregator
 	RetryDelay time.Duration
 	Retry      core.RetryPolicy
 	// Obs collects metrics across every layer: placement resolves,
@@ -475,6 +481,7 @@ func (v *Volume) initGroup(g uint64) (*group, error) {
 		Mode:       v.opts.Mode,
 		TP:         v.opts.TP,
 		Multicast:  v.opts.Multicast,
+		Aggregate:  v.opts.Aggregate,
 		RetryDelay: v.opts.RetryDelay,
 		Retry:      v.opts.Retry,
 		Obs:        v.opts.Obs,
@@ -595,7 +602,10 @@ func (g *group) retire(phys int, seen proto.StorageNode) {
 		return
 	}
 	_ = v.opts.Pool.Remove(site.ID) // already-gone is fine: someone else retired it
-	_ = g.ensureFresh()             // best effort; errors surface on the next operation
+	if v.opts.OnDamage != nil {
+		v.opts.OnDamage(g.id)
+	}
+	_ = g.ensureFresh() // best effort; errors surface on the next operation
 }
 
 // --- resolver ----------------------------------------------------------------

@@ -28,7 +28,7 @@ func seedMessages() []any {
 		&proto.TryLockReply{OK: true, OldMode: proto.Unlocked},
 		&proto.SetLockReq{Stripe: 1, Slot: 0, Mode: proto.L0, Caller: 5},
 		&proto.SetLockReply{},
-		&proto.GetStateReq{Stripe: 1, Slot: 0},
+		&proto.GetStateReq{Stripe: 1, Slot: 0, NoBlock: true},
 		&proto.GetStateReply{OpMode: proto.Recons, LockMode: proto.L1, Epoch: 3, ReconsSet: []int32{0, 3}, OldList: tt, RecentList: tt, Block: []byte{9}, BlockValid: true},
 		&proto.GetRecentReq{Stripe: 1, Slot: 3, Mode: proto.L1, Caller: 5},
 		&proto.GetRecentReply{RecentList: tt},
@@ -41,7 +41,61 @@ func seedMessages() []any {
 		&proto.GCReply{Status: proto.StatusOK},
 		&proto.ProbeReq{Stripe: 1, Slot: 0},
 		&proto.ProbeReply{OpMode: proto.Norm, LockMode: proto.Unlocked, RecentCount: 1, OldestAge: 12, HasRecent: true, Epoch: 6},
+		&proto.PartialSumReq{Stripe: 1, Slot: 0, Coef: 0x1d, Acc: []byte{11, 12}},
+		&proto.PartialSumReply{OK: true, Sum: []byte{13}, OpMode: proto.Norm, LockMode: proto.L1},
 	}
+}
+
+// FuzzPartialSumFrame targets the partial-sum frames specifically:
+// structured request/reply fields are encoded, decoded, and checked for
+// exact round-trip plus the Size contract, and the raw payload is also
+// thrown at both decoders directly for malformed-input safety.
+func FuzzPartialSumFrame(f *testing.F) {
+	f.Add(uint64(1), int32(0), byte(0x1d), []byte{1, 2, 3}, true)
+	f.Add(uint64(1)<<40|7, int32(4), byte(0), []byte(nil), false)
+	f.Add(uint64(0), int32(-1), byte(255), make([]byte, 64), true)
+
+	f.Fuzz(func(t *testing.T, stripe uint64, slot int32, coef byte, payload []byte, ok bool) {
+		for _, msg := range []any{
+			&proto.PartialSumReq{Stripe: stripe, Slot: slot, Coef: coef, Acc: payload},
+			&proto.PartialSumReply{OK: ok, Sum: payload, OpMode: proto.Norm, LockMode: proto.L1},
+		} {
+			mt, buf, err := Encode(msg)
+			if err != nil {
+				t.Fatalf("encode %T: %v", msg, err)
+			}
+			if Size(msg) != len(buf)+FrameOverhead {
+				t.Fatalf("Size(%T) = %d, want %d", msg, Size(msg), len(buf)+FrameOverhead)
+			}
+			got, err := Decode(mt, buf)
+			if err != nil {
+				t.Fatalf("decode %T: %v", msg, err)
+			}
+			if len(payload) == 0 {
+				// Empty byte fields round-trip as nil; normalize before
+				// comparing.
+				switch m := msg.(type) {
+				case *proto.PartialSumReq:
+					m.Acc = nil
+				case *proto.PartialSumReply:
+					m.Sum = nil
+				}
+			}
+			if !reflect.DeepEqual(msg, got) {
+				t.Fatalf("round-trip mismatch:\n  sent: %#v\n  got:  %#v", msg, got)
+			}
+		}
+		// Malformed-input safety: the raw payload itself must never
+		// panic either decoder; truncations of a valid frame must error.
+		_, _ = Decode(TPartialSum, payload)
+		_, _ = Decode(TPartialSumReply, payload)
+		mt, buf, _ := Encode(&proto.PartialSumReq{Stripe: stripe, Slot: slot, Coef: coef, Acc: payload})
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := Decode(mt, buf[:cut]); err == nil {
+				t.Fatalf("decode of truncated partial-sum frame (%d/%d bytes) succeeded", cut, len(buf))
+			}
+		}
+	})
 }
 
 // FuzzDecode feeds arbitrary (type, payload) pairs through the codec:

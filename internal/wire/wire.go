@@ -61,6 +61,8 @@ const (
 	TBatchAddReply
 	TBatchAddMulti
 	TBatchAddMultiReply
+	TPartialSum
+	TPartialSumReply
 )
 
 // ErrTruncated reports a frame shorter than its contents require.
@@ -330,6 +332,7 @@ func EncodeAppend(msg any, buf []byte) (MsgType, []byte, error) {
 	case *proto.GetStateReq:
 		e.u64(m.Stripe)
 		e.u32(uint32(m.Slot))
+		e.boolean(m.NoBlock)
 		return TGetState, e.buf, nil
 	case *proto.GetStateReply:
 		e.u8(uint8(m.OpMode))
@@ -355,6 +358,7 @@ func EncodeAppend(msg any, buf []byte) (MsgType, []byte, error) {
 		e.u32(uint32(m.Slot))
 		e.i32s(m.CSet)
 		e.bytes(m.Block)
+		e.boolean(m.InPlace)
 		return TReconstruct, e.buf, nil
 	case *proto.ReconstructReply:
 		e.u64(m.Epoch)
@@ -385,6 +389,18 @@ func EncodeAppend(msg any, buf []byte) (MsgType, []byte, error) {
 	case *proto.GCReply:
 		e.u8(uint8(m.Status))
 		return TGCReply, e.buf, nil
+	case *proto.PartialSumReq:
+		e.u64(m.Stripe)
+		e.u32(uint32(m.Slot))
+		e.u8(m.Coef)
+		e.bytes(m.Acc)
+		return TPartialSum, e.buf, nil
+	case *proto.PartialSumReply:
+		e.boolean(m.OK)
+		e.bytes(m.Sum)
+		e.u8(uint8(m.OpMode))
+		e.u8(uint8(m.LockMode))
+		return TPartialSumReply, e.buf, nil
 	case *proto.ProbeReq:
 		e.u64(m.Stripe)
 		e.u32(uint32(m.Slot))
@@ -476,7 +492,7 @@ func Decode(t MsgType, buf []byte) (any, error) {
 	case TSetLockReply:
 		msg = &proto.SetLockReply{}
 	case TGetState:
-		msg = &proto.GetStateReq{Stripe: d.u64(), Slot: int32(d.u32())}
+		msg = &proto.GetStateReq{Stripe: d.u64(), Slot: int32(d.u32()), NoBlock: d.boolean()}
 	case TGetStateReply:
 		msg = &proto.GetStateReply{
 			OpMode: proto.OpMode(d.u8()), LockMode: proto.LockMode(d.u8()), Epoch: d.u64(),
@@ -488,7 +504,7 @@ func Decode(t MsgType, buf []byte) (any, error) {
 	case TGetRecentReply:
 		msg = &proto.GetRecentReply{RecentList: d.tidTimes()}
 	case TReconstruct:
-		msg = &proto.ReconstructReq{Stripe: d.u64(), Slot: int32(d.u32()), CSet: d.i32s(), Block: d.bytes()}
+		msg = &proto.ReconstructReq{Stripe: d.u64(), Slot: int32(d.u32()), CSet: d.i32s(), Block: d.bytes(), InPlace: d.boolean()}
 	case TReconstructReply:
 		msg = &proto.ReconstructReply{Epoch: d.u64()}
 	case TFinalize:
@@ -505,6 +521,10 @@ func Decode(t MsgType, buf []byte) (any, error) {
 		msg = req
 	case TGCReply:
 		msg = &proto.GCReply{Status: proto.Status(d.u8())}
+	case TPartialSum:
+		msg = &proto.PartialSumReq{Stripe: d.u64(), Slot: int32(d.u32()), Coef: d.u8(), Acc: d.bytes()}
+	case TPartialSumReply:
+		msg = &proto.PartialSumReply{OK: d.boolean(), Sum: d.bytes(), OpMode: proto.OpMode(d.u8()), LockMode: proto.LockMode(d.u8())}
 	case TProbe:
 		msg = &proto.ProbeReq{Stripe: d.u64(), Slot: int32(d.u32())}
 	case TProbeReply:
@@ -601,6 +621,9 @@ func Recycle(msg any) {
 	case *proto.ReconstructReq:
 		bufpool.Put(m.Block)
 		m.Block = nil
+	case *proto.PartialSumReq:
+		bufpool.Put(m.Acc)
+		m.Acc = nil
 	}
 }
 
@@ -611,8 +634,10 @@ func Recycle(msg any) {
 func Size(msg any) int {
 	body := 0
 	switch m := msg.(type) {
-	case *proto.ReadReq, *proto.GetStateReq, *proto.ProbeReq:
+	case *proto.ReadReq, *proto.ProbeReq:
 		body = 12
+	case *proto.GetStateReq:
+		body = 13
 	case *proto.ReadReply:
 		body = 1 + 4 + len(m.Block) + 1
 	case *proto.SwapReq:
@@ -655,7 +680,7 @@ func Size(msg any) int {
 	case *proto.GetRecentReply:
 		body = 4 + (tidSize+8)*len(m.RecentList)
 	case *proto.ReconstructReq:
-		body = 12 + 4 + 4*len(m.CSet) + 4 + len(m.Block)
+		body = 12 + 4 + 4*len(m.CSet) + 4 + len(m.Block) + 1
 	case *proto.ReconstructReply:
 		body = 8
 	case *proto.FinalizeReq:
@@ -666,6 +691,10 @@ func Size(msg any) int {
 		body = 12 + 4 + tidSize*len(m.TIDs)
 	case *proto.GCReply:
 		body = 1
+	case *proto.PartialSumReq:
+		body = 12 + 1 + 4 + len(m.Acc)
+	case *proto.PartialSumReply:
+		body = 1 + 4 + len(m.Sum) + 2
 	case *proto.ProbeReply:
 		body = 2 + 4 + 8 + 1 + 8
 	default:

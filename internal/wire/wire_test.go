@@ -39,7 +39,7 @@ func sampleMessages() []any {
 		&proto.TryLockReply{OK: true, OldMode: proto.Expired},
 		&proto.SetLockReq{Stripe: 9, Slot: 0, Mode: proto.L0, Caller: 3},
 		&proto.SetLockReply{},
-		&proto.GetStateReq{Stripe: 9, Slot: 1},
+		&proto.GetStateReq{Stripe: 9, Slot: 1, NoBlock: true},
 		&proto.GetStateReply{
 			OpMode: proto.Recons, LockMode: proto.L1, Epoch: 7,
 			ReconsSet: []int32{0, 1, 3}, OldList: tt, RecentList: tt[:1],
@@ -48,6 +48,7 @@ func sampleMessages() []any {
 		&proto.GetRecentReq{Stripe: 9, Slot: 4, Mode: proto.L1, Caller: 3},
 		&proto.GetRecentReply{RecentList: tt},
 		&proto.ReconstructReq{Stripe: 9, Slot: 1, CSet: []int32{0, 2}, Block: blk},
+		&proto.ReconstructReq{Stripe: 9, Slot: 1, CSet: []int32{0, 2}, InPlace: true},
 		&proto.ReconstructReply{Epoch: 11},
 		&proto.FinalizeReq{Stripe: 9, Slot: 1, Epoch: 12},
 		&proto.FinalizeReply{},
@@ -56,6 +57,8 @@ func sampleMessages() []any {
 		&proto.GCReply{Status: proto.StatusOK},
 		&proto.ProbeReq{Stripe: 9, Slot: 1},
 		&proto.ProbeReply{OpMode: proto.Norm, LockMode: proto.Unlocked, RecentCount: 4, OldestAge: 999, HasRecent: true, Epoch: 2},
+		&proto.PartialSumReq{Stripe: 9, Slot: 1, Coef: 0x53, Acc: blk},
+		&proto.PartialSumReply{OK: true, Sum: blk, OpMode: proto.Norm, LockMode: proto.L1},
 	}
 }
 

@@ -7,9 +7,12 @@ import (
 	"io"
 	"time"
 
+	"sync/atomic"
+
 	"ecstore/internal/core"
 	"ecstore/internal/placement"
 	"ecstore/internal/proto"
+	"ecstore/internal/repair"
 	"ecstore/internal/rpc"
 	"ecstore/internal/transport"
 	"ecstore/internal/volume"
@@ -27,8 +30,9 @@ type ShardedOptions = Options
 // Safe for concurrent use; satisfies Store.
 type ShardedVolume struct {
 	vol   *volume.Volume
-	local *volume.Local // non-nil when built by NewLocalShardedVolume
-	conns []*rpc.Client // non-nil when built by ConnectShardedVolume
+	local *volume.Local     // non-nil when built by NewLocalShardedVolume
+	conns []*rpc.Client     // non-nil when built by ConnectShardedVolume
+	sched *repair.Scheduler // non-nil when Options.EnableRepair
 }
 
 // NewLocalShardedVolume builds an in-process sharded volume over Sites
@@ -40,6 +44,10 @@ func NewLocalShardedVolume(opts ShardedOptions) (*ShardedVolume, error) {
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
+	// The scheduler is built after the volume (it needs the volume as
+	// its Source), but failure reports can fire as soon as the volume
+	// serves traffic — hand the hook a late-bound reference.
+	var schedRef atomic.Pointer[repair.Scheduler]
 	l, err := volume.NewLocal(volume.LocalOptions{
 		K: opts.K, N: opts.N, BlockSize: opts.BlockSize,
 		Groups:         opts.Groups,
@@ -52,13 +60,39 @@ func NewLocalShardedVolume(opts ShardedOptions) (*ShardedVolume, error) {
 		TP:             opts.TP,
 		ClientID:       proto.ClientID(opts.ClientID),
 		Multicast:      transport.Parallel{},
+		Aggregate:      transport.Chain{},
 		LockLease:      opts.LockLease,
 		Obs:            opts.Obs,
+		OnDamage: func(g uint64) {
+			if s := schedRef.Load(); s != nil {
+				s.Report(g)
+			}
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedVolume{vol: l.Volume, local: l}, nil
+	sv := &ShardedVolume{vol: l.Volume, local: l}
+	if opts.EnableRepair {
+		sched, err := repair.NewScheduler(repair.Options{
+			Source:    l.Volume,
+			Bandwidth: opts.RepairBandwidth,
+			Burst:     opts.RepairBurst,
+			Interval:  opts.RepairInterval,
+			Obs:       opts.Obs,
+		})
+		if err != nil {
+			_ = l.Close()
+			return nil, err
+		}
+		if err := sched.Start(); err != nil {
+			_ = l.Close()
+			return nil, err
+		}
+		schedRef.Store(sched)
+		sv.sched = sched
+	}
+	return sv, nil
 }
 
 // ConnectShardedVolume places Groups stripe groups over a pool of
@@ -115,6 +149,7 @@ func ConnectShardedVolume(opts ShardedOptions, addrs []string) (*ShardedVolume, 
 		Mode:      opts.Mode,
 		TP:        opts.TP,
 		Multicast: transport.Parallel{},
+		Aggregate: transport.Chain{},
 		Obs:       opts.Obs,
 	})
 	if err != nil {
@@ -201,6 +236,32 @@ func (v *ShardedVolume) GroupSites(g uint64) ([]string, error) {
 // GroupStats exposes one group's protocol counters (nil if untouched).
 func (v *ShardedVolume) GroupStats(g uint64) *core.ClientStats { return v.vol.GroupStats(g) }
 
+// RepairStats exposes the background repair scheduler's counters, or
+// nil when the store was built without EnableRepair.
+func (v *ShardedVolume) RepairStats() *repair.Stats {
+	if v.sched == nil {
+		return nil
+	}
+	return v.sched.Stats()
+}
+
+// RepairQueueDepth returns the number of groups queued for repair or
+// rebalance (0 when the scheduler is disabled).
+func (v *ShardedVolume) RepairQueueDepth() int {
+	if v.sched == nil {
+		return 0
+	}
+	return v.sched.QueueDepth()
+}
+
+// KickRepair requests an immediate inspection sweep from the repair
+// scheduler. No-op when the scheduler is disabled.
+func (v *ShardedVolume) KickRepair() {
+	if v.sched != nil {
+		v.sched.Kick()
+	}
+}
+
 // CrashSite fail-stops a local site (testing and demos).
 func (v *ShardedVolume) CrashSite(id string) error {
 	if v.local == nil {
@@ -234,9 +295,13 @@ func (v *ShardedVolume) Reader(ctx context.Context, off, nBytes int64) io.Reader
 	return v.vol.Reader(ctx, off, nBytes)
 }
 
-// Close releases the volume's resources: local shards are shut down,
-// TCP connections closed.
+// Close releases the volume's resources: the repair scheduler (if
+// running) is stopped first, then local shards are shut down and TCP
+// connections closed.
 func (v *ShardedVolume) Close() error {
+	if v.sched != nil {
+		v.sched.Stop()
+	}
 	if v.local != nil {
 		return v.local.Close()
 	}

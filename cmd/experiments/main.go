@@ -6,7 +6,7 @@
 //	experiments [-quick] [-metrics-out metrics.jsonl]
 //	            [fig1 fig8a fig8b fig8c fig9a fig9b fig9c
 //	             fig9d fig10a fig10b fig10c fig10d recovery latency
-//	             readratio space ablation multigroup bulkio repairstorm]
+//	             readratio space ablation multigroup bulkio repairstorm graytail]
 //
 // With no arguments it runs everything. -quick shrinks the measurement
 // windows so a full run finishes in well under a minute; drop it for
@@ -41,7 +41,7 @@ func main() {
 			"fig9a", "fig9b", "fig9c", "fig9d",
 			"fig10a", "fig10b", "fig10c", "fig10d",
 			"recovery", "latency", "readratio", "space", "ablation",
-			"multigroup", "bulkio", "repairstorm",
+			"multigroup", "bulkio", "repairstorm", "graytail",
 		}
 	}
 	var metricsFile *os.File
@@ -217,6 +217,10 @@ var runners = map[string]runner{
 	},
 	"repairstorm": func(ctx context.Context, w io.Writer, quick bool) error {
 		t, err := experiments.RepairStorm(ctx, quick)
+		return printTable(w, t, err)
+	},
+	"graytail": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, _, err := experiments.GrayTail(ctx, quick)
 		return printTable(w, t, err)
 	},
 	"ablation": func(ctx context.Context, w io.Writer, quick bool) error {

@@ -40,7 +40,7 @@ func TestRunnerNamesCoverDefaultList(t *testing.T) {
 		"fig9a", "fig9b", "fig9c", "fig9d",
 		"fig10a", "fig10b", "fig10c", "fig10d",
 		"recovery", "latency", "readratio", "space", "ablation",
-		"multigroup", "bulkio", "repairstorm",
+		"multigroup", "bulkio", "repairstorm", "graytail",
 	}
 	for _, name := range defaults {
 		if _, ok := runners[name]; !ok {

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,16 +41,17 @@ import (
 
 // config collects every knob of one storaged instance.
 type config struct {
-	addr        string
-	blockSize   int
-	k, n        int
-	replacement bool
-	lease       time.Duration
-	id          string
-	dataDir     string
-	writeBack   int
-	trust       bool
-	metricsAddr string
+	addr         string
+	blockSize    int
+	k, n         int
+	replacement  bool
+	lease        time.Duration
+	id           string
+	dataDir      string
+	writeBack    int
+	trust        bool
+	metricsAddr  string
+	drainTimeout time.Duration
 }
 
 func main() {
@@ -65,6 +67,7 @@ func main() {
 	flag.IntVar(&cfg.writeBack, "write-back", 64, "dirty blocks buffered before flushing to disk (0: write-through)")
 	flag.BoolVar(&cfg.trust, "trust-data", false, "serve persisted blocks as valid after a restart (only when the node provably missed no writes)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /debug/metrics JSON on this address (empty: metrics disabled)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 5*time.Second, "max wait for in-flight requests on SIGTERM before closing (0: close immediately)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "storaged:", err)
@@ -85,6 +88,10 @@ func run(cfg config) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	log.Printf("storaged %s draining (up to %v)", d.node.ID(), cfg.drainTimeout)
+	if err := d.Drain(cfg.drainTimeout); err != nil {
+		log.Printf("storaged %s drain: %v", d.node.ID(), err)
+	}
 	log.Printf("storaged %s shutting down", d.node.ID())
 	return d.Close()
 }
@@ -107,6 +114,19 @@ func (d *daemon) MetricsAddr() string {
 		return ""
 	}
 	return d.metricsLn.Addr().String()
+}
+
+// Drain puts the RPC server into graceful-shutdown mode: new requests
+// are refused with a typed ErrDraining (clients instantly retire the
+// site and read degraded around it) while in-flight handlers get up to
+// timeout to finish. A zero timeout skips the wait.
+func (d *daemon) Drain(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = time.Nanosecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return d.srv.Drain(ctx)
 }
 
 // Close stops serving and flushes the node's store.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"testing"
@@ -167,5 +168,32 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if got, _ := snap["rpc.bytes_in"].(float64); got <= 0 {
 		t.Fatalf("rpc.bytes_in = %v, want > 0", snap["rpc.bytes_in"])
+	}
+}
+
+// TestDaemonDrainRefusesNewWork: after Drain, the daemon answers new
+// requests with the typed proto.ErrDraining — the departure signal
+// clients use to retire the site instantly — and Close still works.
+func TestDaemonDrainRefusesNewWork(t *testing.T) {
+	d, err := setup(config{addr: "127.0.0.1:0", blockSize: 64, id: "dr0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	cl := rpc.Dial(d.srv.Addr().String())
+	defer cl.Close()
+	ctx := context.Background()
+	blk := bytes.Repeat([]byte{3}, 64)
+	if rep, err := cl.Swap(ctx, &proto.SwapReq{Stripe: 1, Slot: 0, Value: blk, NTID: proto.TID{Seq: 1, Block: 0, Client: 2}}); err != nil || !rep.OK {
+		t.Fatalf("swap before drain: %v %+v", err, rep)
+	}
+	if err := d.Drain(time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !d.srv.Draining() {
+		t.Fatal("server does not report draining")
+	}
+	if _, err := cl.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0}); !errors.Is(err, proto.ErrDraining) {
+		t.Fatalf("read after drain: err = %v, want proto.ErrDraining", err)
 	}
 }

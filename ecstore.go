@@ -131,6 +131,30 @@ type Options struct {
 	// 30 seconds.
 	RepairInterval time.Duration
 
+	// HedgeAfter enables tail-tolerant hedged reads: a read the data
+	// node has not answered after this minimum delay (or the site's
+	// adaptive, latency-tracked delay, whichever is larger) races a
+	// reconstruction from k survivors and takes whichever finishes
+	// first. It also turns on per-site health tracking: slot ranking
+	// away from gray sites and a per-site circuit breaker. 0 (the
+	// default) disables hedging and health tracking.
+	HedgeAfter time.Duration
+	// HedgeBudget caps the steady-state hedge rate in hedges per read
+	// (0.1 = at most ~10% of reads hedge). 0 means 0.1 when hedging
+	// is enabled.
+	HedgeBudget float64
+	// CallDeadline bounds every RPC issued by a TCP deployment and is
+	// propagated to storaged inside each request frame, so servers
+	// shed queued work whose deadline already expired instead of
+	// wasting effort on answers nobody is waiting for. 0 adds none.
+	CallDeadline time.Duration
+	// GrayRetireAfter, when > 0, retires a site whose latency stays
+	// above the gray threshold for this long, exactly as if it had
+	// crashed: its groups remap and repair rebuilds the moved shards.
+	// Local sharded stores only (TCP pools cannot provision
+	// replacement shards). Implies health tracking like HedgeAfter.
+	GrayRetireAfter time.Duration
+
 	// MaxInFlight bounds the bulk-I/O pipeline window in stripes: how
 	// many stripes of a large ReadAt/WriteAt span are in flight at
 	// once. Default 16; 1 degrades to the strictly sequential path.
@@ -172,6 +196,11 @@ func (o *Options) normalize() error {
 		o.ClientID = 1
 	}
 	return nil
+}
+
+// hedgePolicy maps the facade's hedge knobs to the core policy.
+func (o *Options) hedgePolicy() core.HedgePolicy {
+	return core.HedgePolicy{After: o.HedgeAfter, Budget: o.HedgeBudget}
 }
 
 // Cluster is a handle on a deployment: an erasure code, a set of
@@ -286,7 +315,7 @@ func ConnectCluster(opts Options, addrs []string) (*Cluster, error) {
 	}
 	handles := make([]proto.StorageNode, opts.N)
 	for i, addr := range addrs {
-		cl := rpc.Dial(addr, rpc.WithMetrics(c.rpcm))
+		cl := rpc.Dial(addr, rpc.WithMetrics(c.rpcm), rpc.WithCallTimeout(opts.CallDeadline))
 		c.conns = append(c.conns, cl)
 		handles[i] = cl
 	}
@@ -305,7 +334,7 @@ func (c *Cluster) ReplaceNode(phys int, addr string) error {
 	if phys < 0 || phys >= c.opts.N {
 		return fmt.Errorf("ecstore: node index %d out of range [0,%d)", phys, c.opts.N)
 	}
-	cl := rpc.Dial(addr, rpc.WithMetrics(c.rpcm))
+	cl := rpc.Dial(addr, rpc.WithMetrics(c.rpcm), rpc.WithCallTimeout(c.opts.CallDeadline))
 	c.conns = append(c.conns, cl)
 	c.dir.ReplaceNode(phys, cl)
 	return nil
@@ -359,6 +388,7 @@ func (c *Cluster) Volume(clientID uint32) (*Volume, error) {
 		Mode:      c.opts.Mode,
 		TP:        c.opts.TP,
 		Multicast: transport.Parallel{},
+		Hedge:     c.opts.hedgePolicy(),
 		Obs:       c.opts.Obs,
 	})
 	if err != nil {

@@ -49,6 +49,9 @@ type Options struct {
 	RetryDelay time.Duration
 	// Retry overrides the clients' backoff/deadline/budget policy.
 	Retry core.RetryPolicy
+	// Hedge enables speculative reads against gray nodes (off when
+	// zero; see core.HedgePolicy).
+	Hedge core.HedgePolicy
 	// ClientTweak, when set, may adjust each client config before use.
 	ClientTweak func(*core.Config)
 	// Obs optionally collects every client's metrics in one registry.
@@ -131,6 +134,7 @@ func New(opts Options) (*Cluster, error) {
 			Multicast:  opts.Multicast,
 			RetryDelay: opts.RetryDelay,
 			Retry:      opts.Retry,
+			Hedge:      opts.Hedge,
 			Obs:        opts.Obs,
 		}
 		if opts.ClientTweak != nil {

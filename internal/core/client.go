@@ -78,6 +78,11 @@ type Config struct {
 	// retry budget for operations riding through failures. Zero fields
 	// take defaults (see RetryPolicy).
 	Retry RetryPolicy
+	// Hedge governs speculative reads against slow ("gray") data
+	// nodes: a read unanswered after an adaptive delay races a
+	// degraded-style reconstruction, bounded by a token budget. Zero
+	// (Hedge.After == 0) disables hedging. See HedgePolicy.
+	Hedge HedgePolicy
 	// OrderRetryLimit bounds consecutive ORDER rejections tolerated
 	// before the writer suspects a crashed predecessor and starts
 	// recovery ("tired of looping"). Defaults to 8.
@@ -130,6 +135,7 @@ func (c *Config) applyDefaults() {
 		c.RecoveryPollLimit = 256
 	}
 	c.Retry.applyDefaults(c.RetryDelay)
+	c.Hedge.applyDefaults()
 }
 
 // Errors surfaced by the client.
@@ -169,6 +175,11 @@ type Client struct {
 	trackmu sync.Mutex
 	tracked map[uint64]struct{}
 
+	// hedgeTokens is the hedged-read budget bucket: each read earns
+	// Hedge.Budget tokens, each hedge spends one (see HedgePolicy).
+	hedgemu     sync.Mutex
+	hedgeTokens float64
+
 	stats ClientStats
 	obs   clientObs
 }
@@ -189,6 +200,10 @@ type ClientStats struct {
 	MonitorTriggered atomic.Uint64
 	DegradedReads    atomic.Uint64 // reads served by k-survivor reconstruction
 	Unavailable      atomic.Uint64 // operations that exhausted their retry budget
+	HedgedReads      atomic.Uint64 // reads that fired a speculative reconstruction
+	HedgeWins        atomic.Uint64 // hedges that beat the primary read
+	HedgeDenied      atomic.Uint64 // hedge attempts refused by the token budget
+	DrainRetires     atomic.Uint64 // draining nodes treated as instantly retired
 }
 
 type recoveryTicket struct {
@@ -203,11 +218,14 @@ func NewClient(cfg Config) (*Client, error) {
 	}
 	cfg.applyDefaults()
 	c := &Client{
-		cfg:        cfg,
-		recovering: make(map[uint64]*recoveryTicket),
-		gcNew:      make(map[uint64]map[int][]proto.TID),
-		gcAging:    make(map[uint64]map[int][]proto.TID),
-		tracked:    make(map[uint64]struct{}),
+		cfg: cfg,
+		// Start with a full bucket so a site that grays out right away
+		// can be hedged before any income accrues.
+		hedgeTokens: float64(cfg.Hedge.Burst),
+		recovering:  make(map[uint64]*recoveryTicket),
+		gcNew:       make(map[uint64]map[int][]proto.TID),
+		gcAging:     make(map[uint64]map[int][]proto.TID),
+		tracked:     make(map[uint64]struct{}),
 	}
 	c.obs = newClientObs(cfg.Obs, &c.stats)
 	return c, nil
@@ -232,6 +250,13 @@ func (c *Client) Stats() *ClientStats { return &c.stats }
 // fetch any k consistent surviving blocks and decode locally. The
 // retry budget is bounded; an exhausted budget returns ErrUnavailable
 // with the attempt history instead of spinning until ctx cancellation.
+//
+// With Config.Hedge enabled, an attempt whose data node has not
+// answered within the adaptive hedge delay races a degraded-style
+// reconstruction against it (see HedgePolicy); and a node that
+// answers proto.ErrDraining is treated as instantly retired — the
+// read degrades immediately instead of burning DegradedAfter retries
+// against a site that announced its own departure.
 func (c *Client) ReadBlock(ctx context.Context, stripeID uint64, i int) ([]byte, error) {
 	if err := c.checkDataSlot(i); err != nil {
 		return nil, err
@@ -248,12 +273,20 @@ func (c *Client) ReadBlock(ctx context.Context, stripeID uint64, i int) ([]byte,
 			return nil, fmt.Errorf("core: resolve slot %d: %w", i, err)
 		}
 		actx, cancel := c.retryCtx(ctx, attempt)
-		rep, err := node.Read(actx, &proto.ReadReq{Stripe: stripeID, Slot: int32(i)})
+		rep, hedged, err := c.readMaybeHedged(actx, stripeID, i, node)
 		cancel()
+		if hedged != nil {
+			sp.End()
+			return hedged, nil
+		}
 		switch {
 		case err != nil:
 			att.note(err)
 			nodeErrs++
+			if errors.Is(err, proto.ErrDraining) {
+				c.stats.DrainRetires.Add(1)
+				nodeErrs = c.cfg.Retry.DegradedAfter
+			}
 			c.cfg.Resolver.ReportFailure(stripeID, i, node)
 			if nodeErrs >= c.cfg.Retry.DegradedAfter {
 				if blk, derr := c.readDegraded(ctx, stripeID, i); derr == nil {

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"ecstore/internal/proto"
+)
+
+// HedgePolicy governs speculative (hedged) reads: when the data node
+// has not answered after an adaptive delay, the client races a
+// degraded-style reconstruction against it and takes whichever
+// finishes first. Hedging turns a gray site's heavy latency tail into
+// roughly the latency of the k-th fastest survivor, at the price of a
+// bounded amount of extra load.
+type HedgePolicy struct {
+	// After is the minimum wait before hedging a read; zero disables
+	// hedging entirely. When the data node's handle exposes the
+	// HedgeDelay() capability (see internal/health), the larger of the
+	// two is used, so the trigger adapts to each site's observed p95
+	// rather than a global constant.
+	After time.Duration
+	// Budget is the token income per read: each read earns Budget
+	// hedge tokens and each hedge spends one, capping the steady-state
+	// hedge rate at Budget (0.1 = at most ~10% of reads hedge).
+	// Defaults to 0.1.
+	Budget float64
+	// Burst caps the token bucket, bounding how many hedges can fire
+	// back-to-back after an idle stretch. Defaults to 4.
+	Burst int
+	// Stagger is the pause before the hedge's second wave: the hedged
+	// reconstruction contacts the k+1 healthiest slots immediately and
+	// the rest only after Stagger, so a single gray site triggers one
+	// spare RPC, not a full fan-out. Defaults to 500µs.
+	Stagger time.Duration
+}
+
+// Enabled reports whether hedging is switched on.
+func (p *HedgePolicy) Enabled() bool { return p.After > 0 }
+
+func (p *HedgePolicy) applyDefaults() {
+	if !p.Enabled() {
+		return
+	}
+	if p.Budget == 0 {
+		p.Budget = 0.1
+	}
+	if p.Burst == 0 {
+		p.Burst = 4
+	}
+	if p.Stagger == 0 {
+		p.Stagger = 500 * time.Microsecond
+	}
+}
+
+// hedgeDelayer is the adaptive-delay capability exposed by
+// health-tracked node handles.
+type hedgeDelayer interface{ HedgeDelay() time.Duration }
+
+// healthScorer is the slot-ranking capability: lower is healthier.
+type healthScorer interface{ HealthScore() float64 }
+
+// earnHedgeToken credits the bucket for one primary read.
+func (c *Client) earnHedgeToken() {
+	c.hedgemu.Lock()
+	c.hedgeTokens += c.cfg.Hedge.Budget
+	if cap := float64(c.cfg.Hedge.Burst); c.hedgeTokens > cap {
+		c.hedgeTokens = cap
+	}
+	c.hedgemu.Unlock()
+}
+
+// spendHedgeToken takes one token if available; a denied spend is
+// counted so experiments can see budget pressure.
+func (c *Client) spendHedgeToken() bool {
+	c.hedgemu.Lock()
+	ok := c.hedgeTokens >= 1
+	if ok {
+		c.hedgeTokens--
+	}
+	c.hedgemu.Unlock()
+	if !ok {
+		c.stats.HedgeDenied.Add(1)
+		c.obs.hedgeDenied.Inc()
+	}
+	return ok
+}
+
+type primaryRes struct {
+	rep *proto.ReadReply
+	err error
+}
+
+type hedgeRes struct {
+	blk []byte
+	err error
+}
+
+// readMaybeHedged performs one READ attempt against the data node,
+// optionally racing a hedged reconstruction after the adaptive delay.
+// It returns either the node's reply (hedged == nil) or a
+// reconstructed block (hedged != nil) when the hedge won the race.
+// Writes are never hedged — only reads are idempotent and
+// side-effect-free, so a duplicate in flight is harmless.
+func (c *Client) readMaybeHedged(ctx context.Context, stripeID uint64, i int, node proto.StorageNode) (rep *proto.ReadReply, hedged []byte, err error) {
+	req := &proto.ReadReq{Stripe: stripeID, Slot: int32(i)}
+	if !c.cfg.Hedge.Enabled() {
+		rep, err = node.Read(ctx, req)
+		return rep, nil, err
+	}
+	c.earnHedgeToken()
+	delay := c.cfg.Hedge.After
+	if hd, ok := node.(hedgeDelayer); ok {
+		if d := hd.HedgeDelay(); d > delay {
+			delay = d
+		}
+	}
+
+	prim := make(chan primaryRes, 1)
+	go func() {
+		r, e := node.Read(ctx, req)
+		prim <- primaryRes{r, e}
+	}()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case r := <-prim:
+		return r.rep, nil, r.err
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	case <-timer.C:
+	}
+
+	// The primary is past its hedge window. Spend a token and race a
+	// reconstruction; without budget, keep waiting on the primary.
+	if !c.spendHedgeToken() {
+		select {
+		case r := <-prim:
+			return r.rep, nil, r.err
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+	c.stats.HedgedReads.Add(1)
+	c.obs.hedgedReads.Inc()
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel() // cancels straggler GetStates once either side wins
+	hedge := make(chan hedgeRes, 1)
+	go func() {
+		blk, herr := c.readDegradedFast(hctx, stripeID, i)
+		hedge <- hedgeRes{blk, herr}
+	}()
+	select {
+	case r := <-prim:
+		if r.err == nil && r.rep.OK {
+			return r.rep, nil, nil
+		}
+		// The primary lost anyway (error or rejection): the hedge may
+		// still rescue the attempt, so give it its chance before
+		// reporting the primary's outcome to the retry loop.
+		select {
+		case h := <-hedge:
+			if h.err == nil {
+				c.noteHedgeWin()
+				return nil, h.blk, nil
+			}
+			return r.rep, nil, r.err
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	case h := <-hedge:
+		if h.err == nil {
+			c.noteHedgeWin()
+			return nil, h.blk, nil
+		}
+		// Hedge failed (e.g. concurrent write left no consistent k yet):
+		// fall back to the primary.
+		select {
+		case r := <-prim:
+			return r.rep, nil, r.err
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+}
+
+func (c *Client) noteHedgeWin() {
+	c.stats.HedgeWins.Add(1)
+	c.obs.hedgeWins.Inc()
+}
+
+// rankSlots orders all n slots healthiest-first using the
+// HealthScore() capability of their current handles. Handles without
+// the capability score 0 (healthy); the sort is stable so untracked
+// deployments keep slot order.
+func (c *Client) rankSlots(stripeID uint64) []int {
+	n := c.cfg.Code.N()
+	order := allSlots(n)
+	scores := make([]float64, n)
+	tracked := false
+	for _, j := range order {
+		if node, err := c.cfg.Resolver.Node(stripeID, j); err == nil {
+			if hs, ok := node.(healthScorer); ok {
+				scores[j] = hs.HealthScore()
+				tracked = true
+			}
+		}
+	}
+	if tracked {
+		sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	}
+	return order
+}
+
+// readDegradedFast is the hedge-path reconstruction: like readDegraded
+// it decodes block i from any k mutually consistent survivors, but it
+// is built for tail latency rather than thoroughness. Slots are
+// contacted healthiest-first in two waves (k+1 immediately, the rest
+// after the stagger), and the decode is attempted after every arrival
+// — the read completes as soon as the first consistent k answer,
+// instead of waiting out the slowest site in a full fan-out.
+//
+// Regularity is preserved for the same reason as readDegraded:
+// findConsistentK judges a candidate set only by its own members'
+// write lists, so deciding from a subset of arrivals is equivalent to
+// the remaining slots being unreachable.
+func (c *Client) readDegradedFast(ctx context.Context, stripeID uint64, i int) ([]byte, error) {
+	k, n := c.cfg.Code.K(), c.cfg.Code.N()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	order := c.rankSlots(stripeID)
+	type arrival struct {
+		slot int
+		rep  *proto.GetStateReply
+	}
+	arrivals := make(chan arrival, n) // buffered: stragglers never block
+	launch := func(j int) {
+		go func() {
+			node, err := c.cfg.Resolver.Node(stripeID, j)
+			if err != nil {
+				arrivals <- arrival{j, nil}
+				return
+			}
+			rep, err := node.GetState(ctx, &proto.GetStateReq{Stripe: stripeID, Slot: int32(j)})
+			if err != nil {
+				// Don't blame the site for our own cancellation: once a
+				// consistent k has decoded, the stragglers are cut off
+				// mid-call, which says nothing about their health.
+				if ctx.Err() == nil {
+					c.cfg.Resolver.ReportFailure(stripeID, j, node)
+				}
+				arrivals <- arrival{j, nil}
+				return
+			}
+			arrivals <- arrival{j, rep}
+		}()
+	}
+
+	wave := k + 1
+	if wave > n {
+		wave = n
+	}
+	for _, j := range order[:wave] {
+		launch(j)
+	}
+	var stagger <-chan time.Time
+	if wave < n {
+		t := time.NewTimer(c.cfg.Hedge.Stagger)
+		defer t.Stop()
+		stagger = t.C
+	}
+	launchRest := func() {
+		for _, j := range order[wave:] {
+			launch(j)
+		}
+		wave = n
+		stagger = nil
+	}
+
+	states := make([]*proto.GetStateReply, n)
+	for got := 0; got < n; {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-stagger:
+			launchRest()
+			continue
+		case a := <-arrivals:
+			got++
+			states[a.slot] = a.rep
+		}
+		if blk, ok := c.tryDecodeConsistent(states, i, k, n); ok {
+			c.stats.DegradedReads.Add(1)
+			c.obs.degradedReads.Inc()
+			return blk, nil
+		}
+		// Everything launched has answered without a consistent k: the
+		// second wave is the only hope, so fire it early.
+		if got == wave && wave < n {
+			launchRest()
+		}
+	}
+	return nil, fmt.Errorf("core: hedged read of stripe %d slot %d: no consistent %d among %d replies",
+		stripeID, i, k, n)
+}
+
+// tryDecodeConsistent attempts the degraded decode over the states
+// gathered so far; ok is false when they do not yet contain a
+// consistent set of k readable blocks.
+func (c *Client) tryDecodeConsistent(states []*proto.GetStateReply, i, k, n int) ([]byte, bool) {
+	cset := findConsistentK(states, k)
+	if cset.has(i) && states[i] != nil && states[i].BlockValid {
+		return states[i].Block, true
+	}
+	for j := range cset {
+		if states[j] == nil || !states[j].BlockValid {
+			cset.remove(j)
+		}
+	}
+	if cset.size() < k {
+		return nil, false
+	}
+	stripeBlocks := make([][]byte, n)
+	for j := range cset {
+		stripeBlocks[j] = states[j].Block
+	}
+	data, err := c.cfg.Code.DecodeData(stripeBlocks)
+	if err != nil {
+		return nil, false
+	}
+	return data[i], true
+}

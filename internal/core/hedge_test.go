@@ -1,0 +1,260 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"ecstore/internal/cluster"
+	"ecstore/internal/core"
+	"ecstore/internal/proto"
+	"ecstore/internal/transport"
+)
+
+// grayCluster builds a K=2/N=4 cluster where every node sits behind a
+// transport.Faulty wrapper, so tests can turn individual sites gray.
+func grayCluster(t *testing.T, hedge core.HedgePolicy, gray time.Duration) (*cluster.Cluster, []*transport.Faulty) {
+	t.Helper()
+	wrappers := make([]*transport.Faulty, 4)
+	c := testCluster(t, cluster.Options{
+		K: 2, N: 4, NoReplacements: true, Hedge: hedge,
+		WrapNode: func(phys int, n proto.StorageNode) proto.StorageNode {
+			w := transport.NewFaulty(n, transport.FaultConfig{
+				Seed:        int64(phys + 1),
+				GrayLatency: gray,
+			})
+			wrappers[phys] = w
+			return w
+		},
+	})
+	return c, wrappers
+}
+
+// TestHedgedReadBeatsGrayDataNode is the headline tail-tolerance
+// scenario: the data node is gray (alive but 25ms slow) and a hedged
+// read must complete from the survivors in a small fraction of that.
+func TestHedgedReadBeatsGrayDataNode(t *testing.T) {
+	c, wrappers := grayCluster(t, core.HedgePolicy{After: 500 * time.Microsecond}, 25*time.Millisecond)
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WriteBlock(ctx, 0, 1, val(8)); err != nil {
+		t.Fatal(err)
+	}
+	wrappers[c.Layout.PhysicalNode(0, 0)].SetGray(true)
+
+	start := time.Now()
+	got, err := cl.ReadBlock(ctx, 0, 0)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("hedged read: %v", err)
+	}
+	if !bytes.Equal(got, val(7)) {
+		t.Fatal("hedged read returned the wrong block")
+	}
+	if elapsed >= 20*time.Millisecond {
+		t.Fatalf("hedged read took %v, want well under the 25ms gray latency", elapsed)
+	}
+	if cl.Stats().HedgedReads.Load() == 0 {
+		t.Fatal("hedged-read counter did not move")
+	}
+	if cl.Stats().HedgeWins.Load() == 0 {
+		t.Fatal("hedge-win counter did not move")
+	}
+}
+
+// TestHedgeBudgetBoundsHedgeRate: with an empty income stream
+// (Budget≈0) and Burst 1, only the initial token can be spent — later
+// gray reads must wait out the primary instead of hedging.
+func TestHedgeBudgetBoundsHedgeRate(t *testing.T) {
+	c, wrappers := grayCluster(t, core.HedgePolicy{
+		After: 200 * time.Microsecond, Budget: 0.0001, Burst: 1,
+	}, 3*time.Millisecond)
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WriteBlock(ctx, 0, 1, val(2)); err != nil {
+		t.Fatal(err)
+	}
+	wrappers[c.Layout.PhysicalNode(0, 0)].SetGray(true)
+	for i := 0; i < 5; i++ {
+		got, err := cl.ReadBlock(ctx, 0, 0)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, val(1)) {
+			t.Fatalf("read %d returned the wrong block", i)
+		}
+	}
+	if hedged := cl.Stats().HedgedReads.Load(); hedged != 1 {
+		t.Fatalf("HedgedReads = %d, want exactly 1 (Burst 1, near-zero income)", hedged)
+	}
+	if cl.Stats().HedgeDenied.Load() < 3 {
+		t.Fatalf("HedgeDenied = %d, want >= 3", cl.Stats().HedgeDenied.Load())
+	}
+}
+
+// TestHedgeFaultFreeStaysQuiet: without any gray site, in-process
+// primaries answer in microseconds, so a 5ms hedge delay never fires
+// — hedging must cost nothing on the failure-free path.
+func TestHedgeFaultFreeStaysQuiet(t *testing.T) {
+	c, _ := grayCluster(t, core.HedgePolicy{After: 5 * time.Millisecond}, 25*time.Millisecond)
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(3)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := cl.ReadBlock(ctx, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hedged := cl.Stats().HedgedReads.Load(); hedged != 0 {
+		t.Fatalf("fault-free run fired %d hedges, want 0", hedged)
+	}
+}
+
+// slowDelayNode fakes the health HedgeDelay() capability with a huge
+// adaptive delay, which must override a tiny configured After.
+type slowDelayNode struct {
+	proto.StorageNode
+}
+
+func (slowDelayNode) HedgeDelay() time.Duration { return time.Minute }
+
+// TestHedgeDelayCapabilityOverridesAfter: when the node handle exposes
+// an adaptive delay larger than Hedge.After, the larger value governs
+// — a healthy-but-momentarily-slow site is not hedged prematurely.
+func TestHedgeDelayCapabilityOverridesAfter(t *testing.T) {
+	wrappers := make([]*transport.Faulty, 4)
+	c := testCluster(t, cluster.Options{
+		K: 2, N: 4, NoReplacements: true,
+		Hedge: core.HedgePolicy{After: 100 * time.Microsecond},
+		WrapNode: func(phys int, n proto.StorageNode) proto.StorageNode {
+			w := transport.NewFaulty(n, transport.FaultConfig{GrayLatency: 2 * time.Millisecond})
+			wrappers[phys] = w
+			return slowDelayNode{w}
+		},
+	})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(4)); err != nil {
+		t.Fatal(err)
+	}
+	wrappers[c.Layout.PhysicalNode(0, 0)].SetGray(true)
+	got, err := cl.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(4)) {
+		t.Fatal("read returned the wrong block")
+	}
+	if cl.Stats().HedgedReads.Load() != 0 {
+		t.Fatal("hedge fired despite a one-minute adaptive delay")
+	}
+}
+
+// drainingNode refuses reads with proto.ErrDraining, like a storaged
+// that received SIGTERM; every other op passes through.
+type drainingNode struct {
+	proto.StorageNode
+}
+
+func (d drainingNode) Read(ctx context.Context, req *proto.ReadReq) (*proto.ReadReply, error) {
+	return nil, fmt.Errorf("injected: %w", proto.ErrDraining)
+}
+
+// TestDrainingDataNodeRetiresInstantly: an ErrDraining answer is a
+// deliberate departure announcement, so the read must degrade on the
+// first attempt instead of burning DegradedAfter retries and backoff
+// against the draining site.
+func TestDrainingDataNodeRetiresInstantly(t *testing.T) {
+	c := testCluster(t, cluster.Options{
+		K: 2, N: 4, NoReplacements: true,
+		WrapNode: func(phys int, n proto.StorageNode) proto.StorageNode {
+			if phys == 0 {
+				return drainingNode{n}
+			}
+			return n
+		},
+	})
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	// Stripe 0 maps slot j to phys j, so slot 0's data node drains.
+	if err := cl.WriteBlock(ctx, 0, 1, val(9)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.ReadBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatalf("read from draining node: %v", err)
+	}
+	if !bytes.Equal(got, make([]byte, blockSize)) {
+		t.Fatal("read returned the wrong block")
+	}
+	if cl.Stats().DrainRetires.Load() == 0 {
+		t.Fatal("drain-retire counter did not move")
+	}
+	if cl.Stats().DegradedReads.Load() == 0 {
+		t.Fatal("draining node's read was not served degraded")
+	}
+	// Exactly one attempt against the draining node: instant retire,
+	// not a DegradedAfter-long error run.
+	if reads := cl.Stats().Reads.Load(); reads != 1 {
+		t.Fatalf("Reads = %d, want 1", reads)
+	}
+	if retires := cl.Stats().DrainRetires.Load(); retires != 1 {
+		t.Fatalf("DrainRetires = %d, want 1 (one attempt, instant degrade)", retires)
+	}
+}
+
+// TestHedgedReadConsistentUnderWrites races hedged reads against
+// writes to the same stripe: every read must return a value that was
+// actually written (regular-register semantics), never a torn decode.
+func TestHedgedReadConsistentUnderWrites(t *testing.T) {
+	c, wrappers := grayCluster(t, core.HedgePolicy{
+		After: 200 * time.Microsecond, Budget: 1, Burst: 8,
+	}, 2*time.Millisecond)
+	ctx := ctxT(t)
+	cl := c.Clients[0]
+	if err := cl.WriteBlock(ctx, 0, 0, val(0)); err != nil {
+		t.Fatal(err)
+	}
+	wrappers[c.Layout.PhysicalNode(0, 0)].SetGray(true)
+
+	done := make(chan error, 1)
+	go func() {
+		for x := uint64(1); x <= 20; x++ {
+			if err := cl.WriteBlock(ctx, 0, 0, val(x)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	seen := make(map[uint64]bool)
+	for i := 0; i < 40; i++ {
+		got, err := cl.ReadBlock(ctx, 0, 0)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		var x uint64
+		for x = 0; x <= 20; x++ {
+			if bytes.Equal(got, val(x)) {
+				break
+			}
+		}
+		if x > 20 {
+			t.Fatalf("read %d returned a value that was never written", i)
+		}
+		seen[x] = true
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+}

@@ -20,6 +20,13 @@ type clientObs struct {
 	// Retry budgets exhausted (typed ErrUnavailable surfaced).
 	unavailable *obs.Counter
 
+	// Hedged reads: speculative reconstructions fired after the
+	// adaptive delay, how many beat the primary, and how many were
+	// refused by the token budget.
+	hedgedReads *obs.Counter
+	hedgeWins   *obs.Counter
+	hedgeDenied *obs.Counter
+
 	// Write-path breakdown: the swap on the data node vs. the add
 	// deltas on the p redundant nodes (paper Fig. 5).
 	swapCalls   *obs.Counter
@@ -45,6 +52,9 @@ func newClientObs(reg *obs.Registry, stats *ClientStats) clientObs {
 		degradedReads: reg.Counter("core.degraded_reads"),
 		readFallback:  reg.Histogram("core.read_fallback_latency"),
 		unavailable:   reg.Counter("core.unavailable_errors"),
+		hedgedReads:   reg.Counter("core.hedged_reads"),
+		hedgeWins:     reg.Counter("core.hedge_wins"),
+		hedgeDenied:   reg.Counter("core.hedge_denied"),
 		swapCalls:     reg.Counter("core.swap_calls"),
 		swapRetries:   reg.Counter("core.swap_retries"),
 		addCalls:      reg.Counter("core.add_calls"),
@@ -70,6 +80,7 @@ func newClientObs(reg *obs.Registry, stats *ClientStats) clientObs {
 		mirror("core.order_waits", &stats.OrderWaits)
 		mirror("core.gc_rounds", &stats.GCRounds)
 		mirror("core.monitor_triggered", &stats.MonitorTriggered)
+		mirror("core.drain_retires", &stats.DrainRetires)
 	}
 	return o
 }

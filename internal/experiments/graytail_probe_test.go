@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"testing"
+)
+
+func TestGrayTailProbe(t *testing.T) {
+	if os.Getenv("GRAYTAIL_PROBE") == "" {
+		t.Skip("probe")
+	}
+	tab, res, err := GrayTail(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Fprint(os.Stdout)
+	for _, r := range res {
+		t.Logf("%+v", r)
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestGrayTailAcceptance encodes the tail-tolerance acceptance bounds:
+// with one gray site, the unhedged p99 blows up by an order of
+// magnitude over fault-free while the hedged p99 stays within a small
+// factor of it, and the fault-free arm hedges on at most ~10% of
+// reads. The wall-clock ratios are skipped under the race detector —
+// its 5-20x slowdown swamps the injected latencies.
+func TestGrayTailAcceptance(t *testing.T) {
+	_, res, err := GrayTail(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("arms = %d, want 3", len(res))
+	}
+	base, unhedged, hedged := res[0], res[1], res[2]
+	if base.HedgeRate > 0.10+1e-9 {
+		t.Fatalf("fault-free hedge rate = %.3f, want <= 0.10", base.HedgeRate)
+	}
+	if hedged.HedgeWins == 0 {
+		t.Fatal("gray hedged arm never won a hedge")
+	}
+	if raceEnabled {
+		t.Logf("skipping latency ratios under -race: base p99 %v, unhedged %v, hedged %v",
+			base.P99, unhedged.P99, hedged.P99)
+		return
+	}
+	if unhedged.P99 < 10*base.P99 {
+		t.Fatalf("unhedged gray p99 = %v, want >= 10x fault-free %v", unhedged.P99, base.P99)
+	}
+	if hedged.P99 > 3*base.P99 {
+		t.Fatalf("hedged gray p99 = %v, want <= 3x fault-free %v", hedged.P99, base.P99)
+	}
+	if hedged.P99 >= unhedged.P99 {
+		t.Fatal("hedging did not improve the gray tail at all")
+	}
+	if base.P99 > 20*time.Millisecond {
+		t.Fatalf("fault-free p99 = %v, implausibly slow for 1ms ambient", base.P99)
+	}
+}

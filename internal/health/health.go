@@ -1,0 +1,405 @@
+// Package health scores storage sites by observed behavior so the
+// client can route around gray (slow-but-alive) and failing sites
+// instead of discovering them one timeout at a time.
+//
+// A Tracker keeps one Site record per site id. Every call made through
+// a Watch wrapper feeds the record: successful call latencies drive an
+// EWMA mean and deviation (the basis of the adaptive hedge delay —
+// roughly a p95 estimate), and transport errors drive an error-rate
+// EWMA plus a per-site circuit breaker:
+//
+//	closed ──(OpenAfter consecutive errors, or one ErrDraining)──► open
+//	open   ──(Cooloff elapsed; next call admitted as probe)──► half-open
+//	half-open ──(probe succeeds)──► closed
+//	half-open ──(probe fails)──► open
+//
+// While open, calls fail fast with a proto.ErrNodeDown-wrapped error —
+// the flat dial cooldown generalized to any transport. A site whose
+// latency EWMA stays above GrayLatency for GrayAfter is reported once
+// through OnQuarantine, so persistent grayness reaches the repair
+// scheduler the same way a crash does.
+package health
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ecstore/internal/obs"
+	"ecstore/internal/proto"
+)
+
+// ErrBreakerOpen marks calls rejected without touching the site
+// because its circuit breaker is open. It wraps proto.ErrNodeDown so
+// the retry/degraded machinery in core treats it as a transport
+// failure.
+var ErrBreakerOpen = errors.New("health: circuit breaker open")
+
+// BreakerState is the per-site circuit breaker position.
+type BreakerState uint8
+
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Options tunes a Tracker. The zero value picks usable defaults.
+type Options struct {
+	// Alpha is the EWMA weight of the newest sample, in (0, 1].
+	// Default 0.2: roughly the last ~20 calls dominate the estimate.
+	Alpha float64
+	// HedgeFloor and HedgeCeil clamp the adaptive hedge delay. The
+	// floor keeps a very fast site from triggering hedges on scheduler
+	// noise; the ceiling bounds how long a chronically slow site can
+	// postpone its own hedges. Defaults 200µs and 4ms.
+	HedgeFloor, HedgeCeil time.Duration
+	// OpenAfter is the consecutive-transport-error count that opens
+	// the breaker. Default 5. An ErrDraining opens it immediately.
+	OpenAfter int
+	// Cooloff is how long an open breaker rejects before admitting a
+	// single half-open probe call. Default 250ms.
+	Cooloff time.Duration
+	// GrayLatency is the latency EWMA above which a site counts as
+	// gray. Default 20ms.
+	GrayLatency time.Duration
+	// GrayAfter is how long a site must stay gray before it is
+	// quarantined (reported once via OnQuarantine). 0 disables
+	// quarantine.
+	GrayAfter time.Duration
+	// OnQuarantine, if set, is called exactly once per site when its
+	// grayness persists past GrayAfter. It runs without Tracker locks
+	// held; wiring it to a site-retire + repair report is the caller's
+	// business.
+	OnQuarantine func(site string)
+	// Obs, if non-nil, exports tracker-wide gauges and counters
+	// (health.sites, health.open_breakers, health.gray_sites,
+	// health.breaker_opens, health.fast_fails, health.quarantines).
+	Obs *obs.Registry
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Alpha <= 0 || out.Alpha > 1 {
+		out.Alpha = 0.2
+	}
+	if out.HedgeFloor <= 0 {
+		out.HedgeFloor = 200 * time.Microsecond
+	}
+	if out.HedgeCeil <= 0 {
+		out.HedgeCeil = 4 * time.Millisecond
+	}
+	if out.HedgeCeil < out.HedgeFloor {
+		out.HedgeCeil = out.HedgeFloor
+	}
+	if out.OpenAfter <= 0 {
+		out.OpenAfter = 5
+	}
+	if out.Cooloff <= 0 {
+		out.Cooloff = 250 * time.Millisecond
+	}
+	if out.GrayLatency <= 0 {
+		out.GrayLatency = 20 * time.Millisecond
+	}
+	if out.now == nil {
+		out.now = time.Now
+	}
+	return out
+}
+
+// Tracker keeps health state for a set of sites.
+type Tracker struct {
+	opts Options
+
+	mu    sync.Mutex
+	sites map[string]*Site
+
+	breakerOpens *obs.Counter
+	fastFails    *obs.Counter
+	quarantines  *obs.Counter
+}
+
+// NewTracker builds a tracker. A nil options pointer uses defaults.
+func NewTracker(opts Options) *Tracker {
+	t := &Tracker{opts: opts.withDefaults(), sites: make(map[string]*Site)}
+	reg := t.opts.Obs
+	t.breakerOpens = reg.Counter("health.breaker_opens")
+	t.fastFails = reg.Counter("health.fast_fails")
+	t.quarantines = reg.Counter("health.quarantines")
+	if reg != nil {
+		reg.Func("health.sites", func() int64 {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			return int64(len(t.sites))
+		})
+		reg.Func("health.open_breakers", func() int64 {
+			return t.countSites(func(st SiteStatus) bool { return st.State == Open })
+		})
+		reg.Func("health.gray_sites", func() int64 {
+			return t.countSites(func(st SiteStatus) bool { return st.Gray })
+		})
+	}
+	return t
+}
+
+func (t *Tracker) countSites(pred func(SiteStatus) bool) int64 {
+	t.mu.Lock()
+	sites := make([]*Site, 0, len(t.sites))
+	for _, s := range t.sites {
+		sites = append(sites, s)
+	}
+	t.mu.Unlock()
+	var n int64
+	for _, s := range sites {
+		if pred(s.Status()) {
+			n++
+		}
+	}
+	return n
+}
+
+// Site returns the record for a site id, creating it on first use.
+func (t *Tracker) Site(id string) *Site {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sites[id]
+	if !ok {
+		s = &Site{t: t, id: id}
+		t.sites[id] = s
+	}
+	return s
+}
+
+// Site is the per-site health record. All methods are safe for
+// concurrent use.
+type Site struct {
+	t  *Tracker
+	id string
+
+	mu       sync.Mutex
+	mean     float64 // EWMA latency, nanoseconds
+	dev      float64 // EWMA absolute deviation, nanoseconds
+	samples  uint64
+	errRate  float64 // EWMA of the 0/1 error indicator
+	state    BreakerState
+	consec   int // consecutive transport errors
+	openedAt time.Time
+	probing  bool // a half-open probe call is in flight
+
+	graySince   time.Time
+	quarantined bool
+}
+
+// ID returns the site id.
+func (s *Site) ID() string { return s.id }
+
+// SiteStatus is a point-in-time copy of a site's health record.
+type SiteStatus struct {
+	Mean, Dev   time.Duration
+	Samples     uint64
+	ErrRate     float64
+	State       BreakerState
+	Gray        bool
+	Quarantined bool
+}
+
+// Status snapshots the record.
+func (s *Site) Status() SiteStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SiteStatus{
+		Mean:        time.Duration(s.mean),
+		Dev:         time.Duration(s.dev),
+		Samples:     s.samples,
+		ErrRate:     s.errRate,
+		State:       s.state,
+		Gray:        !s.graySince.IsZero(),
+		Quarantined: s.quarantined,
+	}
+}
+
+// Allow gates a call on the circuit breaker: nil means proceed (the
+// caller must Observe the outcome), a non-nil error means fail fast
+// without touching the site. In half-open, exactly one in-flight call
+// is admitted as the probe.
+func (s *Site) Allow() error {
+	s.mu.Lock()
+	switch s.state {
+	case Closed:
+		s.mu.Unlock()
+		return nil
+	case Open:
+		if s.t.opts.now().Sub(s.openedAt) >= s.t.opts.Cooloff {
+			s.state = HalfOpen
+			s.probing = true
+			s.mu.Unlock()
+			return nil
+		}
+	case HalfOpen:
+		if !s.probing {
+			s.probing = true
+			s.mu.Unlock()
+			return nil
+		}
+	}
+	s.mu.Unlock()
+	s.t.fastFails.Inc()
+	return fmt.Errorf("%w: %w: site %s", ErrBreakerOpen, proto.ErrNodeDown, s.id)
+}
+
+// neutralOutcome reports errors that say nothing about the site's
+// health: the caller abandoned the call (hedge cancellation, its own
+// deadline), the server shed it because the caller's budget was
+// already spent, or the node simply lacks an optional capability.
+func neutralOutcome(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, proto.ErrDeadlineExceeded) ||
+		errors.Is(err, proto.ErrNoPartialSum)
+}
+
+// Observe records one call's outcome. d is the call's wall time; err
+// nil means success. Neutral outcomes (cancellations) are ignored.
+func (s *Site) Observe(d time.Duration, err error) {
+	if err != nil && neutralOutcome(err) {
+		// Health-neutral, but if this call held the half-open probe
+		// slot it must give it back or the breaker wedges.
+		s.mu.Lock()
+		if s.state == HalfOpen {
+			s.probing = false
+		}
+		s.mu.Unlock()
+		return
+	}
+	now := s.t.opts.now()
+	var quarantine bool
+	s.mu.Lock()
+	alpha := s.t.opts.Alpha
+	opened := false
+	if err != nil {
+		s.errRate += alpha * (1 - s.errRate)
+		s.consec++
+		switch {
+		case errors.Is(err, proto.ErrDraining):
+			// A draining node told us, politely and in advance, to go
+			// away: open at once rather than burning OpenAfter calls.
+			opened = s.state != Open
+			s.state = Open
+			s.openedAt = now
+			s.probing = false
+		case s.state == HalfOpen:
+			opened = true // probe failed: reopen
+			s.state = Open
+			s.openedAt = now
+			s.probing = false
+		case s.state == Closed && s.consec >= s.t.opts.OpenAfter:
+			opened = true
+			s.state = Open
+			s.openedAt = now
+		}
+	} else {
+		s.errRate -= alpha * s.errRate
+		s.consec = 0
+		if s.state != Closed {
+			s.state = Closed
+			s.probing = false
+		}
+		// Latency feeds the estimator only on success; error paths
+		// often return instantly (or after an unrelated timeout) and
+		// would poison the hedge delay.
+		sample := float64(d)
+		if s.samples == 0 {
+			s.mean = sample
+		} else {
+			s.mean += alpha * (sample - s.mean)
+			diff := sample - s.mean
+			if diff < 0 {
+				diff = -diff
+			}
+			s.dev += alpha * (diff - s.dev)
+		}
+		s.samples++
+		quarantine = s.updateGrayLocked(now)
+	}
+	s.mu.Unlock()
+	if opened {
+		s.t.breakerOpens.Inc()
+	}
+	if quarantine {
+		s.t.quarantines.Inc()
+		if fn := s.t.opts.OnQuarantine; fn != nil {
+			fn(s.id)
+		}
+	}
+}
+
+// updateGrayLocked maintains the gray window and returns true exactly
+// once, when grayness has persisted past GrayAfter.
+func (s *Site) updateGrayLocked(now time.Time) bool {
+	if time.Duration(s.mean) <= s.t.opts.GrayLatency {
+		s.graySince = time.Time{}
+		return false
+	}
+	if s.graySince.IsZero() {
+		s.graySince = now
+	}
+	if s.t.opts.GrayAfter > 0 && !s.quarantined && now.Sub(s.graySince) >= s.t.opts.GrayAfter {
+		s.quarantined = true
+		return true
+	}
+	return false
+}
+
+// HedgeDelay returns the adaptive per-site hedge delay: a p95-ish
+// latency estimate (EWMA mean + 2.5 mean absolute deviations), clamped
+// to [HedgeFloor, HedgeCeil]. A hedged read that waits this long fires
+// only on tail outliers of a healthy site, and within the ceiling on a
+// gray one.
+func (s *Site) HedgeDelay() time.Duration {
+	s.mu.Lock()
+	est := time.Duration(s.mean + 2.5*s.dev)
+	samples := s.samples
+	s.mu.Unlock()
+	if samples < 8 {
+		// Too little signal: be conservative, hedge late.
+		return s.t.opts.HedgeCeil
+	}
+	if est < s.t.opts.HedgeFloor {
+		return s.t.opts.HedgeFloor
+	}
+	if est > s.t.opts.HedgeCeil {
+		return s.t.opts.HedgeCeil
+	}
+	return est
+}
+
+// Score ranks sites for slot selection: lower is healthier. It is the
+// p95-ish latency estimate inflated by the error rate, with an open
+// breaker pushed past any live site.
+func (s *Site) Score() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	score := (s.mean + 2.5*s.dev) * (1 + 10*s.errRate)
+	if s.state == Open {
+		score += 1e15 // an hour, in nanoseconds: after every live site
+	}
+	return score
+}

@@ -1,0 +1,307 @@
+package health
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/obs"
+	"ecstore/internal/proto"
+	"ecstore/internal/storage"
+)
+
+// fakeClock is a manually-advanced clock for deterministic breaker and
+// quarantine timing.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestTracker(clk *fakeClock, opts Options) *Tracker {
+	opts.now = clk.Now
+	return NewTracker(opts)
+}
+
+func TestHedgeDelayTracksLatency(t *testing.T) {
+	clk := newFakeClock()
+	tr := newTestTracker(clk, Options{HedgeFloor: 100 * time.Microsecond, HedgeCeil: 5 * time.Millisecond})
+	s := tr.Site("a")
+	// Before enough samples the delay is the conservative ceiling.
+	if got := s.HedgeDelay(); got != 5*time.Millisecond {
+		t.Fatalf("cold hedge delay = %v, want ceiling", got)
+	}
+	for i := 0; i < 100; i++ {
+		s.Observe(300*time.Microsecond, nil)
+	}
+	d := s.HedgeDelay()
+	if d < 100*time.Microsecond || d > 1*time.Millisecond {
+		t.Fatalf("steady 300µs site: hedge delay = %v, want a few hundred µs", d)
+	}
+	// A chronically slow site is clamped at the ceiling, not unbounded.
+	for i := 0; i < 100; i++ {
+		s.Observe(80*time.Millisecond, nil)
+	}
+	if got := s.HedgeDelay(); got != 5*time.Millisecond {
+		t.Fatalf("gray site hedge delay = %v, want ceiling clamp", got)
+	}
+	// And a very fast one sits at the floor.
+	s2 := tr.Site("b")
+	for i := 0; i < 100; i++ {
+		s2.Observe(2*time.Microsecond, nil)
+	}
+	if got := s2.HedgeDelay(); got != 100*time.Microsecond {
+		t.Fatalf("fast site hedge delay = %v, want floor clamp", got)
+	}
+}
+
+func TestBreakerOpensProbesCloses(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	tr := newTestTracker(clk, Options{OpenAfter: 3, Cooloff: 100 * time.Millisecond, Obs: reg})
+	s := tr.Site("a")
+	boom := fmt.Errorf("%w: injected", proto.ErrNodeDown)
+	for i := 0; i < 3; i++ {
+		if err := s.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected call %d: %v", i, err)
+		}
+		s.Observe(time.Millisecond, boom)
+	}
+	if st := s.Status().State; st != Open {
+		t.Fatalf("state after %d errors = %v, want open", 3, st)
+	}
+	// Open: fail fast, wrapping both sentinels.
+	err := s.Allow()
+	if !errors.Is(err, ErrBreakerOpen) || !errors.Is(err, proto.ErrNodeDown) {
+		t.Fatalf("open breaker error = %v, want ErrBreakerOpen wrapping ErrNodeDown", err)
+	}
+	// After the cooloff exactly one probe is admitted.
+	clk.Advance(150 * time.Millisecond)
+	if err := s.Allow(); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if err := s.Allow(); err == nil {
+		t.Fatal("second concurrent call admitted during half-open probe")
+	}
+	// Failed probe reopens...
+	s.Observe(time.Millisecond, boom)
+	if st := s.Status().State; st != Open {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+	// ...and a successful one closes.
+	clk.Advance(150 * time.Millisecond)
+	if err := s.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	s.Observe(time.Millisecond, nil)
+	if st := s.Status().State; st != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	if err := s.Allow(); err != nil {
+		t.Fatalf("closed breaker rejected call: %v", err)
+	}
+	if got := reg.Snapshot()["health.breaker_opens"]; got.(uint64) != 2 {
+		t.Fatalf("breaker_opens = %v, want 2", got)
+	}
+}
+
+func TestDrainingOpensImmediately(t *testing.T) {
+	clk := newFakeClock()
+	tr := newTestTracker(clk, Options{OpenAfter: 50})
+	s := tr.Site("a")
+	s.Observe(time.Millisecond, fmt.Errorf("refused: %w", proto.ErrDraining))
+	if st := s.Status().State; st != Open {
+		t.Fatalf("state after ErrDraining = %v, want open without waiting for OpenAfter", st)
+	}
+}
+
+func TestNeutralOutcomesDoNotTrip(t *testing.T) {
+	clk := newFakeClock()
+	tr := newTestTracker(clk, Options{OpenAfter: 2})
+	s := tr.Site("a")
+	for i := 0; i < 20; i++ {
+		s.Observe(time.Millisecond, context.Canceled)
+		s.Observe(time.Millisecond, context.DeadlineExceeded)
+		s.Observe(time.Millisecond, proto.ErrDeadlineExceeded)
+	}
+	st := s.Status()
+	if st.State != Closed || st.ErrRate != 0 || st.Samples != 0 {
+		t.Fatalf("neutral outcomes mutated the record: %+v", st)
+	}
+	// A cancelled half-open probe must release the probe slot.
+	boom := fmt.Errorf("%w: x", proto.ErrNodeDown)
+	s.Observe(0, boom)
+	s.Observe(0, boom)
+	clk.Advance(time.Hour)
+	if err := s.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	s.Observe(0, context.Canceled)
+	if err := s.Allow(); err != nil {
+		t.Fatalf("probe slot not released after cancelled probe: %v", err)
+	}
+}
+
+func TestQuarantineFiresOnceOnPersistentGray(t *testing.T) {
+	clk := newFakeClock()
+	var mu sync.Mutex
+	var fired []string
+	tr := newTestTracker(clk, Options{
+		GrayLatency: 5 * time.Millisecond,
+		GrayAfter:   time.Second,
+		OnQuarantine: func(site string) {
+			mu.Lock()
+			fired = append(fired, site)
+			mu.Unlock()
+		},
+	})
+	s := tr.Site("slow")
+	for i := 0; i < 100; i++ {
+		s.Observe(40*time.Millisecond, nil)
+		clk.Advance(50 * time.Millisecond)
+	}
+	mu.Lock()
+	got := len(fired)
+	mu.Unlock()
+	if got != 1 || fired[0] != "slow" {
+		t.Fatalf("quarantine fired %d times (%v), want once for 'slow'", got, fired)
+	}
+	if !s.Status().Quarantined {
+		t.Fatal("site not marked quarantined")
+	}
+	// A healthy site never quarantines.
+	h := tr.Site("fast")
+	for i := 0; i < 100; i++ {
+		h.Observe(100*time.Microsecond, nil)
+		clk.Advance(50 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != 1 {
+		t.Fatalf("healthy site quarantined: %v", fired)
+	}
+}
+
+func TestGrayRecoveryResetsWindow(t *testing.T) {
+	clk := newFakeClock()
+	var fired int
+	tr := newTestTracker(clk, Options{
+		GrayLatency:  5 * time.Millisecond,
+		GrayAfter:    time.Second,
+		OnQuarantine: func(string) { fired++ },
+	})
+	s := tr.Site("flappy")
+	// Gray for less than GrayAfter, then healthy again: no quarantine.
+	// The healthy phase advances the clock gently at first, because the
+	// EWMA needs ~10 samples to decay back under the gray threshold and
+	// the gray window keeps accumulating until it does.
+	for i := 0; i < 5; i++ {
+		s.Observe(40*time.Millisecond, nil)
+		clk.Advance(100 * time.Millisecond)
+	}
+	for i := 0; i < 200; i++ {
+		s.Observe(50*time.Microsecond, nil)
+		clk.Advance(time.Millisecond)
+	}
+	if fired != 0 {
+		t.Fatalf("transiently gray site quarantined %d times", fired)
+	}
+	if s.Status().Gray {
+		t.Fatal("recovered site still marked gray")
+	}
+}
+
+func TestWatchFeedsRecordAndFailsFast(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	tr := newTestTracker(clk, Options{OpenAfter: 2, Cooloff: time.Minute, Obs: reg})
+	inner := storage.MustNew(storage.Options{ID: "s0", BlockSize: 16})
+	n := tr.Watch("s0", inner)
+	ctx := context.Background()
+	if _, err := n.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Site().Status().Samples; got != 1 {
+		t.Fatalf("samples = %d, want 1", got)
+	}
+	inner.Crash()
+	for i := 0; i < 2; i++ {
+		if _, err := n.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0}); err == nil {
+			t.Fatal("crashed node read succeeded")
+		}
+	}
+	// Breaker now open: calls fail fast without reaching the node.
+	_, err := n.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0})
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want fast-fail ErrBreakerOpen", err)
+	}
+	if got := reg.Snapshot()["health.fast_fails"]; got.(uint64) == 0 {
+		t.Fatal("fast fails not counted")
+	}
+	if got := reg.Snapshot()["health.open_breakers"]; got.(int64) != 1 {
+		t.Fatalf("open_breakers gauge = %v, want 1", got)
+	}
+}
+
+func TestScoreRanksGrayAndDeadSitesLast(t *testing.T) {
+	clk := newFakeClock()
+	tr := newTestTracker(clk, Options{OpenAfter: 1})
+	fast, slow, dead := tr.Site("fast"), tr.Site("slow"), tr.Site("dead")
+	for i := 0; i < 50; i++ {
+		fast.Observe(100*time.Microsecond, nil)
+		slow.Observe(30*time.Millisecond, nil)
+	}
+	dead.Observe(0, fmt.Errorf("%w: x", proto.ErrNodeDown))
+	if !(fast.Score() < slow.Score() && slow.Score() < dead.Score()) {
+		t.Fatalf("score order wrong: fast=%g slow=%g dead=%g", fast.Score(), slow.Score(), dead.Score())
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	tr := NewTracker(Options{})
+	s := tr.Site("a")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(300*time.Microsecond, nil)
+	}
+}
+
+func BenchmarkAllowClosed(b *testing.B) {
+	tr := NewTracker(Options{})
+	s := tr.Site("a")
+	s.Observe(time.Millisecond, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Allow(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHedgeDelay(b *testing.B) {
+	tr := NewTracker(Options{})
+	s := tr.Site("a")
+	for i := 0; i < 100; i++ {
+		s.Observe(300*time.Microsecond, nil)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.HedgeDelay()
+	}
+}

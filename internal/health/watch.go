@@ -1,0 +1,125 @@
+package health
+
+import (
+	"context"
+	"time"
+
+	"ecstore/internal/proto"
+)
+
+// Node wraps a proto.StorageNode so every call feeds its site's health
+// record and is gated by the site's circuit breaker. It forwards the
+// optional capabilities (MultiBatcher, PartialSummer) through the
+// proto helpers, and exposes the site's adaptive hedge delay and score
+// as capabilities core can discover by type assertion.
+//
+// Wrap the outermost transport handle (outside fault-injection or
+// shaping wrappers) so the record sees the latency the client actually
+// experiences.
+type Node struct {
+	inner proto.StorageNode
+	site  *Site
+}
+
+var _ proto.StorageNode = (*Node)(nil)
+var _ proto.MultiBatcher = (*Node)(nil)
+var _ proto.PartialSummer = (*Node)(nil)
+
+// Watch wraps inner so its calls feed the record of site id.
+func (t *Tracker) Watch(id string, inner proto.StorageNode) *Node {
+	return &Node{inner: inner, site: t.Site(id)}
+}
+
+// Inner returns the wrapped node.
+func (n *Node) Inner() proto.StorageNode { return n.inner }
+
+// Site returns the health record this wrapper feeds.
+func (n *Node) Site() *Site { return n.site }
+
+// HedgeDelay implements the adaptive-hedge capability: how long a
+// read against this site should wait before hedging.
+func (n *Node) HedgeDelay() time.Duration { return n.site.HedgeDelay() }
+
+// HealthScore implements the slot-ranking capability: lower is
+// healthier.
+func (n *Node) HealthScore() float64 { return n.site.Score() }
+
+func observe[Rep any](n *Node, call func() (Rep, error)) (Rep, error) {
+	if err := n.site.Allow(); err != nil {
+		var zero Rep
+		return zero, err
+	}
+	start := n.site.t.opts.now()
+	rep, err := call()
+	n.site.Observe(n.site.t.opts.now().Sub(start), err)
+	return rep, err
+}
+
+func (n *Node) Read(ctx context.Context, req *proto.ReadReq) (*proto.ReadReply, error) {
+	return observe(n, func() (*proto.ReadReply, error) { return n.inner.Read(ctx, req) })
+}
+
+func (n *Node) Swap(ctx context.Context, req *proto.SwapReq) (*proto.SwapReply, error) {
+	return observe(n, func() (*proto.SwapReply, error) { return n.inner.Swap(ctx, req) })
+}
+
+func (n *Node) Add(ctx context.Context, req *proto.AddReq) (*proto.AddReply, error) {
+	return observe(n, func() (*proto.AddReply, error) { return n.inner.Add(ctx, req) })
+}
+
+func (n *Node) BatchAdd(ctx context.Context, req *proto.BatchAddReq) (*proto.BatchAddReply, error) {
+	return observe(n, func() (*proto.BatchAddReply, error) { return n.inner.BatchAdd(ctx, req) })
+}
+
+// BatchAddMulti forwards the coalescing capability; an inner node
+// without it falls back to the per-stripe loop inside the helper.
+func (n *Node) BatchAddMulti(ctx context.Context, req *proto.BatchAddMultiReq) (*proto.BatchAddMultiReply, error) {
+	return observe(n, func() (*proto.BatchAddMultiReply, error) { return proto.BatchAddMulti(ctx, n.inner, req) })
+}
+
+func (n *Node) CheckTID(ctx context.Context, req *proto.CheckTIDReq) (*proto.CheckTIDReply, error) {
+	return observe(n, func() (*proto.CheckTIDReply, error) { return n.inner.CheckTID(ctx, req) })
+}
+
+func (n *Node) TryLock(ctx context.Context, req *proto.TryLockReq) (*proto.TryLockReply, error) {
+	return observe(n, func() (*proto.TryLockReply, error) { return n.inner.TryLock(ctx, req) })
+}
+
+func (n *Node) SetLock(ctx context.Context, req *proto.SetLockReq) (*proto.SetLockReply, error) {
+	return observe(n, func() (*proto.SetLockReply, error) { return n.inner.SetLock(ctx, req) })
+}
+
+func (n *Node) GetState(ctx context.Context, req *proto.GetStateReq) (*proto.GetStateReply, error) {
+	return observe(n, func() (*proto.GetStateReply, error) { return n.inner.GetState(ctx, req) })
+}
+
+func (n *Node) GetRecent(ctx context.Context, req *proto.GetRecentReq) (*proto.GetRecentReply, error) {
+	return observe(n, func() (*proto.GetRecentReply, error) { return n.inner.GetRecent(ctx, req) })
+}
+
+func (n *Node) Reconstruct(ctx context.Context, req *proto.ReconstructReq) (*proto.ReconstructReply, error) {
+	return observe(n, func() (*proto.ReconstructReply, error) { return n.inner.Reconstruct(ctx, req) })
+}
+
+func (n *Node) Finalize(ctx context.Context, req *proto.FinalizeReq) (*proto.FinalizeReply, error) {
+	return observe(n, func() (*proto.FinalizeReply, error) { return n.inner.Finalize(ctx, req) })
+}
+
+func (n *Node) GCOld(ctx context.Context, req *proto.GCOldReq) (*proto.GCReply, error) {
+	return observe(n, func() (*proto.GCReply, error) { return n.inner.GCOld(ctx, req) })
+}
+
+func (n *Node) GCRecent(ctx context.Context, req *proto.GCRecentReq) (*proto.GCReply, error) {
+	return observe(n, func() (*proto.GCReply, error) { return n.inner.GCRecent(ctx, req) })
+}
+
+func (n *Node) Probe(ctx context.Context, req *proto.ProbeReq) (*proto.ProbeReply, error) {
+	return observe(n, func() (*proto.ProbeReply, error) { return n.inner.Probe(ctx, req) })
+}
+
+// PartialSum forwards the frugal-repair capability; an inner node
+// without it fails with proto.ErrNoPartialSum — a capability miss,
+// not a site failure, so Observe treats it as health-neutral.
+func (n *Node) PartialSum(ctx context.Context, req *proto.PartialSumReq) (*proto.PartialSumReply, error) {
+	return observe(n, func() (*proto.PartialSumReply, error) { return proto.PartialSum(ctx, n.inner, req) })
+}

@@ -156,6 +156,18 @@ type TIDTime struct {
 // distinct from the protocol-level rejections carried in reply fields.
 var ErrNodeDown = errors.New("proto: storage node down")
 
+// ErrDraining is returned by a storage node that is shutting down
+// gracefully: it refuses new work while letting in-flight calls
+// finish. Unlike ErrNodeDown it is a deliberate, advance notice —
+// clients treat it as an instant site-retire (resolve the slot
+// elsewhere now) rather than a retry-with-backoff.
+var ErrDraining = errors.New("proto: storage node draining")
+
+// ErrDeadlineExceeded is returned when a call's propagated deadline
+// budget expired before the node produced a reply: the node sheds the
+// work instead of computing an answer nobody is waiting for.
+var ErrDeadlineExceeded = errors.New("proto: call deadline exceeded")
+
 // --- Requests and replies -----------------------------------------------
 
 // ReadReq asks for the block of one stripe slot.

@@ -74,6 +74,16 @@ type Scheduler struct {
 	done    chan struct{}
 	started bool
 
+	// parked is true while the worker is blocked in its select with an
+	// empty queue; change is closed and replaced on every parked flip
+	// so WaitIdle can block on state transitions instead of polling.
+	// pending counts accepted reports and kicks not yet fully
+	// processed, closing the window where a submission sits in a
+	// channel (or is mid-inspect) while the worker still looks parked.
+	parked  bool
+	change  chan struct{}
+	pending atomic.Int64
+
 	lastEpoch atomic.Uint64
 
 	stats Stats
@@ -95,6 +105,7 @@ func NewScheduler(opts Options) (*Scheduler, error) {
 		kick:    make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+		change:  make(chan struct{}),
 	}
 	s.lastEpoch.Store(opts.Source.PoolEpoch())
 	if reg := opts.Obs; reg != nil {
@@ -129,6 +140,7 @@ func (s *Scheduler) QueueDepth() int {
 func (s *Scheduler) Report(group uint64) {
 	select {
 	case s.reports <- group:
+		s.pending.Add(1)
 		s.stats.Reports.Add(1)
 	default:
 	}
@@ -167,7 +179,46 @@ func (s *Scheduler) Stop() {
 func (s *Scheduler) Kick() {
 	select {
 	case s.kick <- struct{}{}:
+		s.pending.Add(1)
 	default:
+	}
+}
+
+// setParked flips the worker's parked state and wakes WaitIdle
+// callers so they re-evaluate.
+func (s *Scheduler) setParked(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.parked == v {
+		return
+	}
+	s.parked = v
+	close(s.change)
+	s.change = make(chan struct{})
+}
+
+// WaitIdle blocks until the scheduler has no work left: the queue is
+// drained, no item is mid-repair, and no report or kick is pending.
+// Submit work first (Report, Kick), then wait — work submitted
+// concurrently with an in-progress WaitIdle may or may not be
+// awaited. Returns immediately if the scheduler is stopped, and with
+// ctx's error if the context expires first.
+func (s *Scheduler) WaitIdle(ctx context.Context) error {
+	for {
+		s.mu.Lock()
+		idle := s.parked && s.queue.Len() == 0 && s.pending.Load() == 0
+		ch := s.change
+		s.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-s.done:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 }
 
@@ -191,14 +242,20 @@ func (s *Scheduler) run() {
 			s.runItem(ctx, item)
 			continue
 		}
+		s.setParked(true)
 		select {
 		case <-s.stop:
 			return
 		case g := <-s.reports:
+			s.setParked(false)
 			s.inspect(ctx, g)
+			s.pending.Add(-1)
 		case <-s.kick:
+			s.setParked(false)
 			s.sweep(ctx)
+			s.pending.Add(-1)
 		case <-ticker.C:
+			s.setParked(false)
 			s.sweep(ctx)
 		}
 	}
@@ -209,6 +266,7 @@ func (s *Scheduler) drainReports(ctx context.Context) {
 		select {
 		case g := <-s.reports:
 			s.inspect(ctx, g)
+			s.pending.Add(-1)
 		default:
 			return
 		}

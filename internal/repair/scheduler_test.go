@@ -118,18 +118,14 @@ func TestSchedulerBackgroundWorkerDrainsReports(t *testing.T) {
 	}
 	defer s.Stop()
 	s.Report(2)
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if len(src.repairOrder()) > 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("background worker never repaired the reported group")
-		}
-		time.Sleep(time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.WaitIdle(ctx); err != nil {
+		t.Fatalf("background worker never repaired the reported group: %v", err)
 	}
-	if got := src.repairOrder()[0]; got != 2 {
-		t.Fatalf("repaired group %d, want 2", got)
+	order := src.repairOrder()
+	if len(order) == 0 || order[0] != 2 {
+		t.Fatalf("repair order = %v, want [2]", order)
 	}
 }
 
@@ -206,5 +202,51 @@ func TestSchedulerGovernorPacesRepairs(t *testing.T) {
 	}
 	if got := s.Stats().BytesRepaired.Load(); got != 4000 {
 		t.Fatalf("BytesRepaired = %d, want 4000", got)
+	}
+}
+
+// TestWaitIdleSemantics: WaitIdle returns promptly on an idle
+// scheduler, waits out submitted work, honors its context, and
+// returns immediately after Stop.
+func TestWaitIdleSemantics(t *testing.T) {
+	src := newFakeSource(4, 5)
+	s, err := NewScheduler(Options{Source: src, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := newTestContext(t)
+	defer cancel()
+	if err := s.WaitIdle(ctx); err != nil {
+		t.Fatalf("idle scheduler: %v", err)
+	}
+	// A kick with a damaged group queues and drains work; WaitIdle
+	// must observe the full cycle.
+	src.damage(1, 2)
+	s.Kick()
+	if err := s.WaitIdle(ctx); err != nil {
+		t.Fatalf("after kick: %v", err)
+	}
+	if got := src.repairOrder(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("repair order = %v, want [1]", got)
+	}
+	// An expired context surfaces its error instead of hanging.
+	expired, ecancel := context.WithCancel(context.Background())
+	ecancel()
+	src.damage(3, 1)
+	s.Kick()
+	if err := s.WaitIdle(expired); err == nil {
+		// The race between the worker finishing and the canceled ctx
+		// is legal either way; only a hang would be a bug.
+		t.Log("scheduler drained before the canceled context was observed")
+	}
+	if err := s.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	if err := s.WaitIdle(ctx); err != nil {
+		t.Fatalf("stopped scheduler: %v", err)
 	}
 }

@@ -24,30 +24,31 @@ func frameSeed(claim uint32, body []byte) []byte {
 // must never panic and never allocate past MaxFrame, whatever the
 // length prefix claims.
 func FuzzReadFrame(f *testing.F) {
-	// A well-formed frame.
+	// A well-formed frame (with a deadline budget).
 	var good bytes.Buffer
-	if err := writeFrame(&good, wire.TProbe, 42, []byte{1, 2, 3}); err != nil {
+	if err := writeFrame(&good, wire.TProbe, 42, 1500, []byte{1, 2, 3}); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(good.Bytes())
-	// Length-prefix edge cases around the 9-byte minimum and MaxFrame.
+	// Length-prefix edge cases around the frameBodyMin minimum and
+	// MaxFrame.
 	f.Add(frameSeed(0, nil))
-	f.Add(frameSeed(8, make([]byte, 8)))
-	f.Add(frameSeed(9, make([]byte, 9)))
+	f.Add(frameSeed(frameBodyMin-1, make([]byte, frameBodyMin-1)))
+	f.Add(frameSeed(frameBodyMin, make([]byte, frameBodyMin)))
 	f.Add(frameSeed(MaxFrame, make([]byte, 64)))
 	f.Add(frameSeed(MaxFrame+1, make([]byte, 64)))
 	f.Add(frameSeed(^uint32(0), make([]byte, 64)))
 	// Truncated header and truncated body.
 	f.Add([]byte{0x00, 0x00})
-	f.Add(frameSeed(16, []byte{1, 2, 3}))
+	f.Add(frameSeed(20, []byte{1, 2, 3}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		mt, id, payload, frame, err := readFrame(bytes.NewReader(data))
+		mt, id, deadlineUS, payload, frame, err := readFrame(bytes.NewReader(data))
 		defer bufpool.Put(frame)
 		if err != nil {
 			if len(data) >= 4 {
 				length := binary.BigEndian.Uint32(data[:4])
-				if (length < 9 || length > MaxFrame) && !errors.Is(err, errBadFrame) &&
+				if (length < frameBodyMin || length > MaxFrame) && !errors.Is(err, errBadFrame) &&
 					!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
 					t.Fatalf("impossible length %d rejected with unexpected error: %v", length, err)
 				}
@@ -59,16 +60,17 @@ func FuzzReadFrame(f *testing.F) {
 			t.Fatalf("payload of %d bytes exceeds MaxFrame", len(payload))
 		}
 		var out bytes.Buffer
-		if err := writeFrame(&out, mt, id, payload); err != nil {
+		if err := writeFrame(&out, mt, id, deadlineUS, payload); err != nil {
 			t.Fatalf("re-framing accepted frame failed: %v", err)
 		}
-		mt2, id2, payload2, frame2, err := readFrame(&out)
+		mt2, id2, deadline2, payload2, frame2, err := readFrame(&out)
 		if err != nil {
 			t.Fatalf("re-reading re-framed frame failed: %v", err)
 		}
 		defer bufpool.Put(frame2)
-		if mt2 != mt || id2 != id || !bytes.Equal(payload, payload2) {
-			t.Fatalf("frame round-trip mismatch: (%d,%d,%x) vs (%d,%d,%x)", mt, id, payload, mt2, id2, payload2)
+		if mt2 != mt || id2 != id || deadline2 != deadlineUS || !bytes.Equal(payload, payload2) {
+			t.Fatalf("frame round-trip mismatch: (%d,%d,%d,%x) vs (%d,%d,%d,%x)",
+				mt, id, deadlineUS, payload, mt2, id2, deadline2, payload2)
 		}
 	})
 }

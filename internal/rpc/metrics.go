@@ -45,7 +45,7 @@ type OpMetrics struct {
 // a nil *Metrics — the default — is a total no-op.
 type Metrics struct {
 	// BytesIn / BytesOut count framed bytes received / sent, including
-	// the 13-byte frame header.
+	// the 17-byte frame header.
 	BytesIn, BytesOut *obs.Counter
 	// BadFrames counts malformed or oversized frames (MaxFrame).
 	BadFrames *obs.Counter
@@ -56,6 +56,11 @@ type Metrics struct {
 	// fast inside a post-failure dial cooldown window without touching
 	// the network.
 	Dials, DialErrors, DialsSuppressed *obs.Counter
+	// ExpiredSheds counts requests a server shed because their
+	// propagated deadline budget was already spent at dispatch;
+	// DrainRefusals counts requests refused with ErrDraining while the
+	// server was shutting down gracefully.
+	ExpiredSheds, DrainRefusals *obs.Counter
 
 	ops map[wire.MsgType]*OpMetrics
 }
@@ -72,6 +77,8 @@ func NewMetrics(reg *obs.Registry, prefix string) *Metrics {
 		Dials:           reg.Counter(prefix + ".dials"),
 		DialErrors:      reg.Counter(prefix + ".dial_errors"),
 		DialsSuppressed: reg.Counter(prefix + ".dials_suppressed"),
+		ExpiredSheds:    reg.Counter(prefix + ".expired_sheds"),
+		DrainRefusals:   reg.Counter(prefix + ".drain_refusals"),
 		ops:             make(map[wire.MsgType]*OpMetrics, len(opNames)),
 	}
 	for mt, name := range opNames {
@@ -141,6 +148,18 @@ func (m *Metrics) noteDialError() {
 func (m *Metrics) noteDialSuppressed() {
 	if m != nil {
 		m.DialsSuppressed.Inc()
+	}
+}
+
+func (m *Metrics) noteExpired() {
+	if m != nil {
+		m.ExpiredSheds.Inc()
+	}
+}
+
+func (m *Metrics) noteDrainRefusal() {
+	if m != nil {
+		m.DrainRefusals.Inc()
 	}
 }
 

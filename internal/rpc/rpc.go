@@ -4,9 +4,19 @@
 // proto.StorageNode by multiplexing concurrent calls over a single
 // connection with pipelining.
 //
-// Framing (see package wire): u32 frame length (type + id + payload),
-// u8 message type, u64 request id, payload. Replies carry the same
-// request id; a TError frame carries a server-side failure as text.
+// Framing (see package wire): u32 frame length (type + id + deadline +
+// payload), u8 message type, u64 request id, u32 deadline budget in
+// microseconds (0 = none), payload. Replies carry the same request id
+// and a zero deadline; a TError frame carries a server-side failure as
+// a code byte plus text (wire.ErrCode), so typed sentinels like
+// proto.ErrDraining survive the round trip.
+//
+// Clients translate a context deadline into the frame's budget, and
+// the server re-arms it as a context deadline around the handler —
+// work whose caller has already given up is shed with
+// proto.ErrDeadlineExceeded instead of computing a dead reply. A
+// draining server (Server.Drain) refuses new frames with
+// proto.ErrDraining while in-flight handlers finish.
 package rpc
 
 import (
@@ -40,14 +50,17 @@ func (e *errServer) Error() string { return "rpc: server error: " + e.msg }
 
 // Server serves one storage node over a listener.
 type Server struct {
-	node    proto.StorageNode
-	ln      net.Listener
-	metrics *Metrics
+	node     proto.StorageNode
+	ln       net.Listener
+	metrics  *Metrics
+	draining atomic.Bool
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	inflight int           // handler goroutines currently running
+	idle     chan struct{} // closed when inflight drops to zero
+	wg       sync.WaitGroup
 }
 
 // Serve starts serving node on ln. It returns immediately; accept and
@@ -62,6 +75,53 @@ func Serve(ln net.Listener, node proto.StorageNode, opts ...Option) *Server {
 
 // Addr returns the listener address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Drain puts the server into graceful-shutdown mode: new requests are
+// refused with a typed proto.ErrDraining reply (clients treat it as an
+// instant site-retire, not a retry), while in-flight handlers run to
+// completion. It returns once the last in-flight handler has finished
+// or ctx expires; either way the server keeps refusing work until
+// Close. Connections stay open so the refusals can be delivered.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	for {
+		s.mu.Lock()
+		if s.inflight == 0 {
+			s.mu.Unlock()
+			return nil
+		}
+		if s.idle == nil {
+			s.idle = make(chan struct{})
+		}
+		idle := s.idle
+		s.mu.Unlock()
+		select {
+		case <-idle:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Draining reports whether the server is refusing new work.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// beginHandler registers an in-flight handler for Drain accounting.
+func (s *Server) beginHandler() {
+	s.mu.Lock()
+	s.inflight++
+	s.mu.Unlock()
+}
+
+func (s *Server) endHandler() {
+	s.mu.Lock()
+	s.inflight--
+	if s.inflight == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.mu.Unlock()
+}
 
 // Close stops the listener and all connections, then waits for
 // handler goroutines to drain.
@@ -115,32 +175,63 @@ func (s *Server) serveConn(conn net.Conn) {
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
 	for {
-		mt, id, payload, frame, err := readFrame(r)
+		mt, id, deadlineUS, payload, frame, err := readFrame(r)
 		if err != nil {
 			if errors.Is(err, errBadFrame) {
 				s.metrics.noteBadFrame()
 			}
 			return
 		}
+		arrival := time.Now()
 		s.metrics.noteIn(frameHeaderSize + len(payload))
 		handlers.Add(1)
+		s.beginHandler()
 		go func() {
 			defer handlers.Done()
+			defer s.endHandler()
 			op := s.metrics.Op(mt)
 			var sp obs.Span
 			if op != nil {
 				op.Calls.Inc()
 				sp = obs.StartSpan(op.Latency)
 			}
-			// Decode copies every field it keeps, so the frame goes
-			// back to the pool before the handler even runs.
-			msg, derr := wire.Decode(mt, payload)
-			bufpool.Put(frame)
 			var reply any
-			if derr != nil {
-				reply = derr
-			} else {
-				reply = s.dispatch(msg)
+			var msg any
+			switch {
+			case s.draining.Load():
+				// Refuse without decoding: the typed reply tells the
+				// client to retire this site immediately.
+				bufpool.Put(frame)
+				s.metrics.noteDrainRefusal()
+				reply = proto.ErrDraining
+			default:
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if deadlineUS > 0 {
+					deadline := arrival.Add(time.Duration(deadlineUS) * time.Microsecond)
+					ctx, cancel = context.WithDeadline(ctx, deadline)
+				}
+				// Decode copies every field it keeps, so the frame goes
+				// back to the pool before the handler even runs.
+				var derr error
+				msg, derr = wire.Decode(mt, payload)
+				bufpool.Put(frame)
+				switch {
+				case derr != nil:
+					reply = derr
+				case ctx.Err() != nil:
+					// The caller's budget expired while this frame sat
+					// in queues; shed it instead of computing a dead
+					// reply.
+					s.metrics.noteExpired()
+					reply = fmt.Errorf("%w: budget %dµs spent before dispatch",
+						proto.ErrDeadlineExceeded, deadlineUS)
+				default:
+					reply = s.dispatch(ctx, msg)
+				}
+				if cancel != nil {
+					cancel()
+				}
 			}
 			if op != nil {
 				if _, failed := reply.(error); failed {
@@ -160,7 +251,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			// node handlers fold or copy request payloads during the
 			// call (package storage), so the request's pooled block
 			// buffer is dead here.
-			if derr == nil {
+			if msg != nil {
 				wire.Recycle(msg)
 			}
 			s.metrics.noteOut(n)
@@ -170,9 +261,9 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // dispatch invokes the node handler for a decoded request and returns
-// the reply message (or an error to be sent as TError).
-func (s *Server) dispatch(msg any) any {
-	ctx := context.Background()
+// the reply message (or an error to be sent as TError). ctx carries
+// the request's propagated deadline, if any.
+func (s *Server) dispatch(ctx context.Context, msg any) any {
 	var (
 		rep any
 		e   error
@@ -226,41 +317,46 @@ func (s *Server) dispatch(msg any) any {
 // --- framing ---------------------------------------------------------------
 
 // frameHeaderSize is the framed overhead per message: u32 length, u8
-// type, u64 request id.
-const frameHeaderSize = 4 + 1 + 8
+// type, u64 request id, u32 deadline budget (microseconds, 0 = none).
+const frameHeaderSize = 4 + 1 + 8 + 4
+
+// frameBodyMin is the post-length-prefix minimum: type + id + deadline.
+const frameBodyMin = frameHeaderSize - 4
 
 // errBadFrame reports a frame whose length prefix is impossible (too
 // short for a header, or beyond MaxFrame).
 var errBadFrame = errors.New("rpc: bad frame length")
 
 // readFrame reads one frame into a pooled buffer. It returns the
-// payload view alongside the whole backing frame: the payload starts 9
-// bytes in, so only the full frame can go back to the pool — the
+// payload view alongside the whole backing frame: the payload starts
+// 13 bytes in, so only the full frame can go back to the pool — the
 // caller must Put frame (not payload) once the payload is dead.
-func readFrame(r io.Reader) (wire.MsgType, uint64, []byte, []byte, error) {
+func readFrame(r io.Reader) (wire.MsgType, uint64, uint32, []byte, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, nil, nil, err
+		return 0, 0, 0, nil, nil, err
 	}
 	length := binary.BigEndian.Uint32(hdr[:])
-	if length < 9 || length > MaxFrame {
-		return 0, 0, nil, nil, fmt.Errorf("%w %d", errBadFrame, length)
+	if length < frameBodyMin || length > MaxFrame {
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w %d", errBadFrame, length)
 	}
 	body := bufpool.Get(int(length))
 	if _, err := io.ReadFull(r, body); err != nil {
 		bufpool.Put(body)
-		return 0, 0, nil, nil, err
+		return 0, 0, 0, nil, nil, err
 	}
 	mt := wire.MsgType(body[0])
 	id := binary.BigEndian.Uint64(body[1:9])
-	return mt, id, body[9:], body, nil
+	deadlineUS := binary.BigEndian.Uint32(body[9:13])
+	return mt, id, deadlineUS, body[13:], body, nil
 }
 
-func writeFrame(w io.Writer, mt wire.MsgType, id uint64, payload []byte) error {
-	var hdr [13]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(9+len(payload)))
+func writeFrame(w io.Writer, mt wire.MsgType, id uint64, deadlineUS uint32, payload []byte) error {
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(frameBodyMin+len(payload)))
 	hdr[4] = byte(mt)
 	binary.BigEndian.PutUint64(hdr[5:13], id)
+	binary.BigEndian.PutUint32(hdr[13:17], deadlineUS)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -270,20 +366,21 @@ func writeFrame(w io.Writer, mt wire.MsgType, id uint64, payload []byte) error {
 
 // writeReply writes the reply frame and returns its size on the wire.
 // The reply body is serialized into a pooled buffer sized by wire.Size
-// and returned to the pool once written.
+// and returned to the pool once written. Errors travel as TError with
+// a wire.ErrCode prefix so typed sentinels survive.
 func writeReply(w io.Writer, id uint64, reply any) (int, error) {
 	if err, ok := reply.(error); ok {
-		msg := []byte(err.Error())
-		return frameHeaderSize + len(msg), writeFrame(w, wire.TError, id, msg)
+		msg := wire.AppendError(nil, err)
+		return frameHeaderSize + len(msg), writeFrame(w, wire.TError, id, 0, msg)
 	}
 	buf := bufpool.Get(wire.Size(reply) - frameHeaderSize)
 	mt, payload, err := wire.EncodeAppend(reply, buf[:0])
 	if err != nil {
 		bufpool.Put(buf)
-		msg := []byte(err.Error())
-		return frameHeaderSize + len(msg), writeFrame(w, wire.TError, id, msg)
+		msg := wire.AppendError(nil, err)
+		return frameHeaderSize + len(msg), writeFrame(w, wire.TError, id, 0, msg)
 	}
-	werr := writeFrame(w, mt, id, payload)
+	werr := writeFrame(w, mt, id, 0, payload)
 	bufpool.Put(buf)
 	return frameHeaderSize + len(payload), werr
 }
@@ -406,7 +503,7 @@ func (c *Client) TryConnect(ctx context.Context) error {
 func (c *Client) readLoop(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		mt, id, payload, frame, err := readFrame(r)
+		mt, id, _, payload, frame, err := readFrame(r)
 		if err != nil {
 			c.mu.Lock()
 			if c.conn == conn {
@@ -438,12 +535,41 @@ func (c *Client) failAllLocked(err error) {
 	}
 }
 
+// deadlineBudget translates a context deadline into the frame's u32
+// microsecond budget. 0 means "no deadline"; budgets beyond the u32
+// range (~71 minutes) are clamped. A context that is already done
+// reports ok=false so the caller can fail without touching the wire.
+func deadlineBudget(ctx context.Context) (uint32, bool) {
+	dl, has := ctx.Deadline()
+	if !has {
+		return 0, true
+	}
+	rem := time.Until(dl)
+	if rem <= 0 {
+		return 0, false
+	}
+	us := rem.Microseconds()
+	if us <= 0 {
+		us = 1
+	}
+	if us > int64(^uint32(0)) {
+		us = int64(^uint32(0))
+	}
+	return uint32(us), true
+}
+
 // call performs one RPC: write the request frame, wait for the reply.
+// The remaining context budget rides the frame header so the server
+// can shed the work if it expires before dispatch.
 func (c *Client) call(ctx context.Context, req any) (any, error) {
 	if c.callTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.callTimeout)
 		defer cancel()
+	}
+	deadlineUS, ok := deadlineBudget(ctx)
+	if !ok {
+		return nil, context.DeadlineExceeded
 	}
 	ebuf := bufpool.Get(wire.Size(req) - frameHeaderSize)
 	mt, payload, err := wire.EncodeAppend(req, ebuf[:0])
@@ -468,7 +594,7 @@ func (c *Client) call(ctx context.Context, req any) (any, error) {
 		return nil, err
 	}
 	c.pending[id] = ch
-	werr := writeFrame(c.w, mt, id, payload)
+	werr := writeFrame(c.w, mt, id, deadlineUS, payload)
 	if werr == nil {
 		werr = c.w.Flush()
 	}
@@ -515,8 +641,13 @@ func (c *Client) call(ctx context.Context, req any) (any, error) {
 		sp.End()
 		if f.mt == wire.TError {
 			op.noteError()
-			msg := string(f.payload) // copies before the frame is pooled
+			code, msg := wire.ParseError(f.payload) // copies before the frame is pooled
 			bufpool.Put(f.frame)
+			if sentinel := wire.SentinelFor(code); sentinel != nil {
+				// Typed server errors (draining, deadline-expired)
+				// keep their sentinel so errors.Is works end to end.
+				return nil, fmt.Errorf("%w: %s", sentinel, msg)
+			}
 			return nil, &errServer{msg: msg}
 		}
 		rep, err := wire.Decode(f.mt, f.payload)

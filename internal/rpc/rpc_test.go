@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"errors"
@@ -9,9 +10,11 @@ import (
 	"testing"
 	"time"
 
+	"ecstore/internal/bufpool"
 	"ecstore/internal/obs"
 	"ecstore/internal/proto"
 	"ecstore/internal/storage"
+	"ecstore/internal/wire"
 )
 
 const blockSize = 32
@@ -361,7 +364,7 @@ func TestServerRejectsTinyFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	// Length 4 < minimum 9 (type + id).
+	// Length 4 < minimum 13 (type + id + deadline).
 	if _, err := conn.Write([]byte{0, 0, 0, 4, 1, 2, 3, 4}); err != nil {
 		t.Fatal(err)
 	}
@@ -432,4 +435,187 @@ func TestBatchAddMultiOverTCP(t *testing.T) {
 			t.Fatalf("stripe %d state after multi batch: %v %+v", stripe, err, st)
 		}
 	}
+}
+
+// gateNode wraps a storage node so tests can hold a Read open and
+// observe the handler's context.
+type gateNode struct {
+	proto.StorageNode
+	entered  chan struct{}
+	release  chan struct{}
+	deadline chan bool // whether the handler ctx carried a deadline
+}
+
+func (n *gateNode) Read(ctx context.Context, req *proto.ReadReq) (*proto.ReadReply, error) {
+	if n.deadline != nil {
+		_, has := ctx.Deadline()
+		select {
+		case n.deadline <- has:
+		default:
+		}
+	}
+	if n.entered != nil {
+		select {
+		case n.entered <- struct{}{}:
+		default:
+		}
+	}
+	if n.release != nil {
+		<-n.release
+	}
+	return n.StorageNode.Read(ctx, req)
+}
+
+func TestDeadlineReachesHandlerContext(t *testing.T) {
+	inner := storage.MustNew(storage.Options{ID: "dl", BlockSize: blockSize})
+	node := &gateNode{StorageNode: inner, deadline: make(chan bool, 1)}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, node)
+	defer srv.Close()
+	cl := Dial(srv.Addr().String(), WithCallTimeout(5*time.Second))
+	defer cl.Close()
+	if _, err := cl.Read(context.Background(), &proto.ReadReq{Stripe: 1, Slot: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if has := <-node.deadline; !has {
+		t.Fatal("handler context carried no deadline despite a per-call timeout")
+	}
+	// Without any client-side deadline the budget field is 0 and the
+	// handler context is unbounded.
+	cl2 := Dial(srv.Addr().String())
+	defer cl2.Close()
+	if _, err := cl2.Read(context.Background(), &proto.ReadReq{Stripe: 1, Slot: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if has := <-node.deadline; has {
+		t.Fatal("handler context carried a deadline for a budget-less call")
+	}
+}
+
+func TestServerShedsExpiredDeadline(t *testing.T) {
+	// A 2 MiB block makes the decode copy alone last far longer than
+	// the 1µs budget this frame carries, so the post-decode deadline
+	// check reliably fires and the server sheds instead of dispatching.
+	const bigBlock = 2 << 20
+	node := storage.MustNew(storage.Options{ID: "shed", BlockSize: bigBlock})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics(obs.NewRegistry(), "srv")
+	srv := Serve(ln, node, WithMetrics(m))
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := &proto.SwapReq{Stripe: 1, Slot: 0, Value: make([]byte, bigBlock),
+		NTID: proto.TID{Seq: 1, Block: 0, Client: 1}}
+	mt, payload, err := wire.Encode(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, mt, 7, 1 /* µs */, payload); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	rmt, rid, _, rpayload, frame, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bufpool.Put(frame)
+	if rmt != wire.TError || rid != 7 {
+		t.Fatalf("reply = type %d id %d, want TError id 7", rmt, rid)
+	}
+	if rerr := wire.DecodeError(rpayload); !errors.Is(rerr, proto.ErrDeadlineExceeded) {
+		t.Fatalf("shed reply = %v, want ErrDeadlineExceeded", rerr)
+	}
+	// The counter is bumped before the reply is written, so it is
+	// already visible here.
+	if m.ExpiredSheds.Value() != 1 {
+		t.Fatalf("expired sheds = %d, want 1", m.ExpiredSheds.Value())
+	}
+}
+
+func TestDrainRefusesNewWorkWaitsForInflight(t *testing.T) {
+	inner := storage.MustNew(storage.Options{ID: "drain", BlockSize: blockSize})
+	node := &gateNode{StorageNode: inner, entered: make(chan struct{}, 1), release: make(chan struct{})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics(obs.NewRegistry(), "srv")
+	srv := Serve(ln, node, WithMetrics(m))
+	defer srv.Close()
+	cl := Dial(srv.Addr().String())
+	defer cl.Close()
+	ctx := context.Background()
+
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := cl.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0})
+		firstDone <- err
+	}()
+	<-node.entered // the handler is now in flight
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(ctx) }()
+	if !srv.Draining() {
+		// Drain sets the flag before waiting; give it a moment.
+		time.Sleep(10 * time.Millisecond)
+	}
+	// New work is refused with the typed sentinel while draining.
+	_, err = cl.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0})
+	if !errors.Is(err, proto.ErrDraining) {
+		t.Fatalf("read during drain: err = %v, want ErrDraining", err)
+	}
+	if IsServerError(err) {
+		t.Fatal("typed draining error must not look like a generic server error")
+	}
+	// Drain must not return while the first call is still in flight.
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned before in-flight call finished: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(node.release)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("in-flight call failed during drain: %v", err)
+	}
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return after in-flight calls finished")
+	}
+	if m.DrainRefusals.Value() == 0 {
+		t.Fatal("drain refusals not counted")
+	}
+}
+
+func TestDrainRespectsContext(t *testing.T) {
+	inner := storage.MustNew(storage.Options{ID: "drainctx", BlockSize: blockSize})
+	node := &gateNode{StorageNode: inner, entered: make(chan struct{}, 1), release: make(chan struct{})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, node)
+	cl := Dial(srv.Addr().String())
+	go func() { _, _ = cl.Read(context.Background(), &proto.ReadReq{Stripe: 1, Slot: 0}) }()
+	<-node.entered
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with stuck handler = %v, want DeadlineExceeded", err)
+	}
+	close(node.release)
+	_ = cl.Close()
+	_ = srv.Close()
 }

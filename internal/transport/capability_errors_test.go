@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+	"testing"
+
+	"ecstore/internal/proto"
+	"ecstore/internal/wire"
+)
+
+// protoErrorSentinels parses the proto package's source and returns
+// every top-level `var ErrX = errors.New(...)` sentinel, the ground
+// truth for the wire-error gate below.
+func protoErrorSentinels(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, "../proto", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parse proto package: %v", err)
+	}
+	var names []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if strings.HasPrefix(name.Name, "Err") {
+							names = append(names, name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("found no Err* sentinels in the proto package")
+	}
+	return names
+}
+
+// wireExemptSentinels lists proto sentinels that legitimately never
+// cross the wire as typed codes, each with the reason. A new sentinel
+// missing from both this list and wire's errSentinels table fails the
+// gate by name.
+var wireExemptSentinels = map[string]string{
+	// Synthesized client-side when a dial is in cooldown or a breaker
+	// is open; a server never answers with it.
+	"ErrNodeDown": "client-side down-marker, never sent by a server",
+	// Synthesized client-side by the proto.PartialSum helper when the
+	// node lacks the capability; the transport sees only the miss.
+	"ErrNoPartialSum": "client-side capability miss, never sent by a server",
+}
+
+// sentinelByName maps source names to the live sentinel values so the
+// round-trip below exercises the real errors, not reconstructions.
+var sentinelByName = map[string]error{
+	"ErrNodeDown":         proto.ErrNodeDown,
+	"ErrDraining":         proto.ErrDraining,
+	"ErrDeadlineExceeded": proto.ErrDeadlineExceeded,
+	"ErrNoPartialSum":     proto.ErrNoPartialSum,
+}
+
+// TestEveryProtoSentinelSurvivesTheWire is the wire-error half of the
+// capability gate: every typed sentinel the proto package declares
+// must either round-trip through the wire error encoding (so
+// errors.Is works across a TCP hop exactly as in-process — the way
+// clients detect a draining or deadline-shedding storaged) or be
+// explicitly exempted with a reason. Adding a sentinel to proto
+// without extending wire's errSentinels table fails here by name.
+func TestEveryProtoSentinelSurvivesTheWire(t *testing.T) {
+	for _, name := range protoErrorSentinels(t) {
+		sentinel, known := sentinelByName[name]
+		if !known {
+			t.Errorf("proto sentinel %s is not in sentinelByName: add it here and either to "+
+				"wire's errSentinels table or to wireExemptSentinels", name)
+			continue
+		}
+		if reason, exempt := wireExemptSentinels[name]; exempt {
+			if wire.CodeOf(sentinel) != wire.CodeGeneric {
+				t.Errorf("%s is exempt (%s) but has a typed wire code — drop the exemption", name, reason)
+			}
+			continue
+		}
+		wrapped := fmt.Errorf("storaged says: %w", sentinel)
+		payload := wire.AppendError(nil, wrapped)
+		back := wire.DecodeError(payload)
+		if !errors.Is(back, sentinel) {
+			t.Errorf("%s did not survive the wire: decoded %v", name, back)
+		}
+		if !strings.Contains(back.Error(), "storaged says") {
+			t.Errorf("%s lost its message text across the wire: %q", name, back.Error())
+		}
+	}
+}

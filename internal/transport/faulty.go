@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -72,6 +73,44 @@ type FaultConfig struct {
 	// GrayLatency is the extra delay while the node is gray; zero means
 	// DefaultGrayLatency.
 	GrayLatency time.Duration
+	// GrayTail, when set, replaces the fixed GrayLatency with a
+	// heavy-tailed (lognormal) delay drawn per call from the wrapper's
+	// seeded rng — the realistic gray-failure shape where most calls
+	// are a little slow and a few are very slow.
+	GrayTail *TailLatency
+}
+
+// TailLatency is a lognormal latency distribution: each sample is
+// Median * exp(Sigma * N(0,1)), clamped at Cap. Sigma around 1.0-1.5
+// gives production-like tails (p99 roughly 10-30x the median).
+type TailLatency struct {
+	// Median is the distribution's median delay. Required.
+	Median time.Duration
+	// Sigma is the lognormal shape parameter. Defaults to 1.0 when
+	// zero or negative.
+	Sigma float64
+	// Cap bounds a single sample; zero means 100x the median.
+	Cap time.Duration
+}
+
+// sample maps one standard normal draw to a delay.
+func (t *TailLatency) sample(z float64) time.Duration {
+	sigma := t.Sigma
+	if sigma <= 0 {
+		sigma = 1.0
+	}
+	d := time.Duration(float64(t.Median) * math.Exp(sigma*z))
+	cap := t.Cap
+	if cap <= 0 {
+		cap = 100 * t.Median
+	}
+	if d > cap {
+		d = cap
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
 }
 
 // FaultStats counts what the wrapper did, for test assertions.
@@ -191,9 +230,15 @@ func (f *Faulty) roll(op Op) bool {
 func (f *Faulty) delay() time.Duration {
 	d := f.cfg.Latency
 	if f.gray.Load() {
-		if g := f.cfg.GrayLatency; g > 0 {
-			d += g
-		} else {
+		switch {
+		case f.cfg.GrayTail != nil:
+			f.mu.Lock()
+			z := f.rng.NormFloat64()
+			f.mu.Unlock()
+			d += f.cfg.GrayTail.sample(z)
+		case f.cfg.GrayLatency > 0:
+			d += f.cfg.GrayLatency
+		default:
 			d += DefaultGrayLatency
 		}
 	}

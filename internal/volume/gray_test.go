@@ -1,0 +1,249 @@
+package volume
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ecstore/internal/core"
+	"ecstore/internal/health"
+	"ecstore/internal/placement"
+	"ecstore/internal/proto"
+	"ecstore/internal/transport"
+)
+
+// grayLocal builds a local volume whose every shard sits behind a
+// transport.Faulty wrapper, so tests can turn whole sites gray. The
+// returned map is keyed by site ID; it grows as shards open (guarded
+// by mu because replacement shards open on client goroutines).
+func grayLocal(t *testing.T, opts LocalOptions, gray time.Duration) (*Local, *sync.Map) {
+	t.Helper()
+	var wrappers sync.Map // site ID -> []*transport.Faulty
+	var mu sync.Mutex
+	opts.WrapShard = func(site placement.Node, group uint64, n proto.StorageNode) proto.StorageNode {
+		w := transport.NewFaulty(n, transport.FaultConfig{GrayLatency: gray})
+		mu.Lock()
+		defer mu.Unlock()
+		var ws []*transport.Faulty
+		if v, ok := wrappers.Load(site.ID); ok {
+			ws = v.([]*transport.Faulty)
+		}
+		wrappers.Store(site.ID, append(ws, w))
+		return w
+	}
+	l, err := NewLocal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	return l, &wrappers
+}
+
+func setSiteGray(wrappers *sync.Map, site string, v bool) {
+	if ws, ok := wrappers.Load(site); ok {
+		for _, w := range ws.([]*transport.Faulty) {
+			w.SetGray(v)
+		}
+	}
+}
+
+// TestHedgedReadsRouteAroundGraySite: a volume built with a hedge
+// policy must serve reads whose data node is gray from the survivors
+// in a small fraction of the gray latency, and account the hedges in
+// the group's stats.
+func TestHedgedReadsRouteAroundGraySite(t *testing.T) {
+	ctx := context.Background()
+	l, wrappers := grayLocal(t, LocalOptions{
+		K: 2, N: 4, BlockSize: testBlockSize,
+		Groups: 1, Sites: 4, BlocksPerGroup: 8,
+		RetryDelay: 50 * time.Microsecond,
+		Hedge:      core.HedgePolicy{After: 500 * time.Microsecond, Budget: 1, Burst: 8},
+	}, 100*time.Millisecond)
+	if err := l.WriteBlock(ctx, 0, block('a')); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteBlock(ctx, 1, block('b')); err != nil {
+		t.Fatal(err)
+	}
+	sites, err := l.GroupSites(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block 0 is stripe 0, slot 0; stripe 0 maps slot j to phys j, so
+	// sites[0] holds its data block.
+	setSiteGray(wrappers, sites[0].ID, true)
+
+	start := time.Now()
+	got, err := l.ReadBlock(ctx, 0)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("hedged read: %v", err)
+	}
+	if !bytes.Equal(got, block('a')) {
+		t.Fatal("hedged read returned the wrong block")
+	}
+	if elapsed >= 50*time.Millisecond {
+		t.Fatalf("hedged read took %v, want well under the 100ms gray latency", elapsed)
+	}
+	st := l.GroupStats(0)
+	if st == nil || st.HedgedReads.Load() == 0 {
+		t.Fatal("group stats did not account the hedge")
+	}
+}
+
+// TestGrayQuarantineRetiresSite: persistent grayness must flow
+// tracker → OnQuarantine → RetireSite, remapping the site's groups
+// onto a spare exactly like a crash would, with no data loss.
+func TestGrayQuarantineRetiresSite(t *testing.T) {
+	ctx := context.Background()
+	var volRef atomic.Pointer[Volume]
+	var quarantined atomic.Value // string
+	tracker := health.NewTracker(health.Options{
+		Alpha:       0.5,
+		GrayLatency: time.Millisecond,
+		GrayAfter:   5 * time.Millisecond,
+		OnQuarantine: func(site string) {
+			quarantined.Store(site)
+			if v := volRef.Load(); v != nil {
+				go v.RetireSite(site)
+			}
+		},
+	})
+	l, wrappers := grayLocal(t, LocalOptions{
+		K: 2, N: 4, BlockSize: testBlockSize,
+		Groups: 1, Sites: 5, BlocksPerGroup: 8,
+		RetryDelay: 50 * time.Microsecond,
+		Health:     tracker,
+	}, 5*time.Millisecond)
+	volRef.Store(l.Volume)
+	if err := l.WriteBlock(ctx, 0, block('q')); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteBlock(ctx, 1, block('r')); err != nil {
+		t.Fatal(err)
+	}
+	before, err := l.GroupSites(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graySite := before[0].ID
+	setSiteGray(wrappers, graySite, true)
+
+	// Reads against the gray data node are what feed the tracker, so
+	// the loop below both drives and awaits the quarantine.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := l.ReadBlock(ctx, 0); err != nil {
+			t.Fatalf("read during gray period: %v", err)
+		}
+		after, err := l.GroupSites(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slotsContain(after, graySite) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gray site %s was never retired (quarantined=%v)", graySite, quarantined.Load())
+		}
+	}
+	if got, _ := quarantined.Load().(string); got != graySite {
+		t.Fatalf("quarantined site = %q, want %q", quarantined.Load(), graySite)
+	}
+	got, err := l.ReadBlock(ctx, 0)
+	if err != nil {
+		t.Fatalf("read after retire: %v", err)
+	}
+	if !bytes.Equal(got, block('q')) {
+		t.Fatal("block lost across the quarantine remap")
+	}
+}
+
+func slotsContain(sites []placement.Node, id string) bool {
+	for _, s := range sites {
+		if s.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestGraySoakRegisterSemantics is the gray regcheck soak: hedged
+// reads racing writes to the same block, with one gray site, must
+// only ever observe values that were actually written — speculative
+// reconstruction may win the race but never invent a torn state. It
+// also bounds the read tail: with hedging on, the p99 must stay well
+// under the gray latency, and the read path must issue zero mutating
+// RPCs (a hedge is pure speculation, not a repair).
+func TestGraySoakRegisterSemantics(t *testing.T) {
+	ctx := context.Background()
+	const grayLat = 4 * time.Millisecond
+	l, wrappers := grayLocal(t, LocalOptions{
+		K: 2, N: 4, BlockSize: testBlockSize,
+		Groups: 1, Sites: 4, BlocksPerGroup: 8,
+		RetryDelay: 50 * time.Microsecond,
+		Hedge:      core.HedgePolicy{After: 300 * time.Microsecond, Budget: 1, Burst: 8},
+	}, grayLat)
+	val := func(x byte) []byte { return block('A' + x) }
+	if err := l.WriteBlock(ctx, 0, val(0)); err != nil {
+		t.Fatal(err)
+	}
+	sites, err := l.GroupSites(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setSiteGray(wrappers, sites[0].ID, true)
+
+	const writes, reads = 20, 60
+	writerDone := make(chan error, 1)
+	go func() {
+		for x := byte(1); x <= writes; x++ {
+			if err := l.WriteBlock(ctx, 0, val(x)); err != nil {
+				writerDone <- err
+				return
+			}
+		}
+		writerDone <- nil
+	}()
+	st := l.GroupStats(0)
+	writesBefore := st.Writes.Load()
+	lat := make([]time.Duration, 0, reads)
+	for i := 0; i < reads; i++ {
+		start := time.Now()
+		got, err := l.ReadBlock(ctx, 0)
+		lat = append(lat, time.Since(start))
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		ok := false
+		for x := byte(0); x <= writes; x++ {
+			if bytes.Equal(got, val(x)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("read %d observed a value that was never written", i)
+		}
+	}
+	if err := <-writerDone; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	// Zero duplicate side effects: the read soak must not have issued
+	// any extra writes (the concurrent writer accounts for exactly
+	// `writes` of them).
+	if got := st.Writes.Load() - writesBefore; got != writes {
+		t.Fatalf("read soak changed the write counter by %d, want %d (writer only)", got, writes)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[len(lat)*99/100]
+	// Generous flake floor: a hedged read should finish in well under
+	// one gray latency; 3x allows scheduler noise under -race.
+	if p99 > 3*grayLat {
+		t.Fatalf("hedged read p99 = %v, want <= %v", p99, 3*grayLat)
+	}
+}

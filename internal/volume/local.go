@@ -7,6 +7,7 @@ import (
 
 	"ecstore/internal/core"
 	"ecstore/internal/erasure"
+	"ecstore/internal/health"
 	"ecstore/internal/obs"
 	"ecstore/internal/placement"
 	"ecstore/internal/proto"
@@ -38,6 +39,10 @@ type LocalOptions struct {
 	Aggregate  proto.Aggregator
 	RetryDelay time.Duration
 	Retry      core.RetryPolicy
+	// Hedge, Health enable tail-tolerant reads and per-site health
+	// tracking (see Options).
+	Hedge  core.HedgePolicy
+	Health *health.Tracker
 	// OnDamage is the repair scheduler's fast-path damage feed (see
 	// Options.OnDamage).
 	OnDamage func(group uint64)
@@ -122,6 +127,8 @@ func NewLocal(opts LocalOptions) (*Local, error) {
 		Aggregate:      opts.Aggregate,
 		RetryDelay:     opts.RetryDelay,
 		Retry:          opts.Retry,
+		Hedge:          opts.Hedge,
+		Health:         opts.Health,
 		OnDamage:       opts.OnDamage,
 		Obs:            opts.Obs,
 	})

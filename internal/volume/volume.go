@@ -35,6 +35,7 @@ import (
 	"ecstore/internal/core"
 	"ecstore/internal/directory"
 	"ecstore/internal/erasure"
+	"ecstore/internal/health"
 	"ecstore/internal/obs"
 	"ecstore/internal/placement"
 	"ecstore/internal/proto"
@@ -96,6 +97,16 @@ type Options struct {
 	Aggregate  proto.Aggregator
 	RetryDelay time.Duration
 	Retry      core.RetryPolicy
+	// Hedge enables speculative reads against gray sites (see
+	// core.HedgePolicy). Zero disables hedging.
+	Hedge core.HedgePolicy
+	// Health, when set, wraps every shard handle the volume opens so
+	// calls feed per-site latency/error records: slot selection is
+	// biased away from gray sites, hedge delays adapt to each site's
+	// observed tail, and a per-site circuit breaker fails calls fast
+	// while a site is down. Pair its OnQuarantine callback with
+	// RetireSite to treat persistent grayness like a crash.
+	Health *health.Tracker
 	// Obs collects metrics across every layer: placement resolves,
 	// per-group directories (aggregated), protocol clients, and the
 	// volume's own routing counters.
@@ -395,6 +406,49 @@ func (v *Volume) GroupSites(g uint64) ([]placement.Node, error) {
 	return append([]placement.Node(nil), grp.sites...), nil
 }
 
+// watchHandle wraps a shard handle with the health tracker's per-site
+// record, when one is configured. The wrapped handle is what lands in
+// the group directory, so the retire path's identity check still
+// compares the handles clients actually use.
+func (v *Volume) watchHandle(site placement.Node, h proto.StorageNode) proto.StorageNode {
+	if v.opts.Health == nil {
+		return h
+	}
+	return v.opts.Health.Watch(site.ID, h)
+}
+
+// RetireSite removes a site from the pool as if it had crashed: every
+// instantiated group placed on it is reported damaged (OnDamage) and
+// remapped through the ordinary refresh path, so recovery rebuilds the
+// moved slots. It is the health tracker's quarantine hook — wire
+// health.Options.OnQuarantine to it to treat persistent grayness like
+// a crash — and is idempotent: retiring an unknown or already-removed
+// site is a no-op. NoRemap disables it like any other remapping.
+func (v *Volume) RetireSite(siteID string) {
+	if v.opts.NoRemap {
+		return
+	}
+	_ = v.opts.Pool.Remove(siteID) // already gone is fine
+	for _, grp := range v.activeGroups() {
+		grp.pmu.Lock()
+		uses := false
+		for _, s := range grp.sites {
+			if s.ID == siteID {
+				uses = true
+				break
+			}
+		}
+		grp.pmu.Unlock()
+		if !uses {
+			continue
+		}
+		if v.opts.OnDamage != nil {
+			v.opts.OnDamage(grp.id)
+		}
+		_ = grp.ensureFresh() // best effort; errors surface on the next operation
+	}
+}
+
 func (v *Volume) activeGroups() []*group {
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -463,7 +517,7 @@ func (v *Volume) initGroup(g uint64) (*group, error) {
 		if err != nil {
 			return nil, fmt.Errorf("volume: open shard %s/g%d: %w", site.ID, g, err)
 		}
-		handles[i] = h
+		handles[i] = v.watchHandle(site, h)
 	}
 	grp := &group{v: v, id: g, sites: placed}
 	grp.epoch.Store(epoch)
@@ -484,6 +538,7 @@ func (v *Volume) initGroup(g uint64) (*group, error) {
 		Aggregate:  v.opts.Aggregate,
 		RetryDelay: v.opts.RetryDelay,
 		Retry:      v.opts.Retry,
+		Hedge:      v.opts.Hedge,
 		Obs:        v.opts.Obs,
 	})
 	if err != nil {
@@ -563,7 +618,7 @@ func (g *group) refresh() error {
 			v.refreshErrors.Inc()
 			return fmt.Errorf("volume: open replacement shard %s/g%d: %w", site.ID, g.id, err)
 		}
-		installs = append(installs, install{slot: slot, site: site, handle: h})
+		installs = append(installs, install{slot: slot, site: site, handle: v.watchHandle(site, h)})
 	}
 
 	g.pmu.Lock()

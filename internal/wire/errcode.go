@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"ecstore/internal/proto"
+)
+
+// ErrCode classifies the error carried in a TError reply. The code
+// travels as the payload's first byte so typed sentinels survive the
+// wire: a client can errors.Is() against proto.ErrDraining or
+// proto.ErrDeadlineExceeded exactly as if the call had been local.
+// CodeGeneric covers every other server-side failure, carried as text.
+type ErrCode uint8
+
+const (
+	// CodeGeneric is an untyped server-side error (message text only).
+	CodeGeneric ErrCode = iota
+	// CodeDraining maps proto.ErrDraining: the node refuses new work
+	// while shutting down gracefully.
+	CodeDraining
+	// CodeDeadline maps proto.ErrDeadlineExceeded: the call's
+	// propagated deadline budget expired and the node shed the work.
+	CodeDeadline
+)
+
+// errSentinels pairs each typed code with the sentinel it round-trips.
+// Extend this table (and the ErrCode constants) together; the
+// capability gate in internal/transport checks that every typed proto
+// sentinel meant to cross the wire appears here.
+var errSentinels = map[ErrCode]error{
+	CodeDraining: proto.ErrDraining,
+	CodeDeadline: proto.ErrDeadlineExceeded,
+}
+
+// CodeOf classifies an error for the wire. Unrecognized errors are
+// CodeGeneric and travel as text only.
+func CodeOf(err error) ErrCode {
+	for code, sentinel := range errSentinels {
+		if errors.Is(err, sentinel) {
+			return code
+		}
+	}
+	return CodeGeneric
+}
+
+// SentinelFor returns the proto sentinel a typed code decodes to, or
+// nil for CodeGeneric and unknown codes (future peers' codes degrade
+// to generic text errors rather than failing to parse).
+func SentinelFor(code ErrCode) error {
+	return errSentinels[code]
+}
+
+// AppendError serializes err as a TError payload: one code byte, then
+// the message text.
+func AppendError(buf []byte, err error) []byte {
+	buf = append(buf, byte(CodeOf(err)))
+	return append(buf, err.Error()...)
+}
+
+// ParseError splits a TError payload into its code and message text.
+// The message is copied, so the payload's backing buffer may be
+// recycled immediately.
+func ParseError(payload []byte) (ErrCode, string) {
+	if len(payload) == 0 {
+		return CodeGeneric, ""
+	}
+	return ErrCode(payload[0]), string(payload[1:])
+}
+
+// DecodeError reassembles the error a TError payload carries: typed
+// codes come back wrapping their proto sentinel (errors.Is-able),
+// generic ones as plain text errors.
+func DecodeError(payload []byte) error {
+	code, msg := ParseError(payload)
+	if sentinel := SentinelFor(code); sentinel != nil {
+		return fmt.Errorf("%w: %s", sentinel, msg)
+	}
+	return errors.New(msg)
+}

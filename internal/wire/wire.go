@@ -13,7 +13,9 @@
 //	[]int32      u32 count + values
 //
 // Every message is framed as: u32 total length, u8 message type, u64
-// request id, payload.
+// request id, u32 deadline budget in microseconds (0 = none), payload.
+// The deadline rides every request frame so a storage node can shed
+// work whose caller has already given up; replies carry 0.
 package wire
 
 import (
@@ -56,7 +58,7 @@ const (
 	TGCReply
 	TProbe
 	TProbeReply
-	TError // reply carrying a transport-level error string
+	TError // reply carrying an error: u8 ErrCode, then message text
 	TBatchAdd
 	TBatchAddReply
 	TBatchAddMulti
@@ -72,8 +74,8 @@ var ErrTruncated = errors.New("wire: truncated message")
 var ErrBadType = errors.New("wire: unknown message type")
 
 // FrameOverhead is the per-message framing cost in bytes: u32 length,
-// u8 type, u64 request id.
-const FrameOverhead = 4 + 1 + 8
+// u8 type, u64 request id, u32 deadline budget (microseconds).
+const FrameOverhead = 4 + 1 + 8 + 4
 
 const tidSize = 16
 

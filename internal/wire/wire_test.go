@@ -2,8 +2,10 @@ package wire
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"ecstore/internal/proto"
@@ -174,7 +176,43 @@ func TestDecodeCorruptCountsDoNotPanic(t *testing.T) {
 }
 
 func TestFrameOverheadConstant(t *testing.T) {
-	if FrameOverhead != 13 {
+	// 13-byte header + u32 deadline budget (microseconds).
+	if FrameOverhead != 17 {
 		t.Fatalf("FrameOverhead = %d; update the protocol docs if this changes", FrameOverhead)
+	}
+}
+
+func TestErrorCodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		err  error
+		code ErrCode
+	}{
+		{fmt.Errorf("disk on fire"), CodeGeneric},
+		{fmt.Errorf("wrapped: %w", proto.ErrDraining), CodeDraining},
+		{fmt.Errorf("wrapped: %w", proto.ErrDeadlineExceeded), CodeDeadline},
+	}
+	for _, tc := range cases {
+		payload := AppendError(nil, tc.err)
+		if got := ErrCode(payload[0]); got != tc.code {
+			t.Fatalf("CodeOf(%v) on wire = %d, want %d", tc.err, got, tc.code)
+		}
+		back := DecodeError(payload)
+		if sentinel := SentinelFor(tc.code); sentinel != nil {
+			if !errors.Is(back, sentinel) {
+				t.Fatalf("decoded %v does not match sentinel for code %d", back, tc.code)
+			}
+		} else if errors.Is(back, proto.ErrDraining) || errors.Is(back, proto.ErrDeadlineExceeded) {
+			t.Fatalf("generic error decoded as typed: %v", back)
+		}
+		if want := tc.err.Error(); !strings.Contains(back.Error(), want) {
+			t.Fatalf("decoded message %q lost original text %q", back.Error(), want)
+		}
+	}
+	// Unknown future codes degrade to generic text, never a parse failure.
+	if err := DecodeError([]byte{0xEE, 'x'}); err == nil || errors.Is(err, proto.ErrDraining) {
+		t.Fatalf("unknown code decoded unexpectedly: %v", err)
+	}
+	if code, msg := ParseError(nil); code != CodeGeneric || msg != "" {
+		t.Fatalf("ParseError(nil) = %d %q", code, msg)
 	}
 }

@@ -225,26 +225,17 @@ func TestRepairStormSoak(t *testing.T) {
 	}
 	<-stormDone
 
-	// Quiesce: the scheduler has converged once two consecutive sweeps
-	// leave the queue empty (the same condition Drain uses).
+	// Quiesce: kick one final sweep and wait for the scheduler to
+	// drain its queue — event-driven, no sweep-counter polling.
 	stats := v.RepairStats()
 	if stats == nil {
 		t.Fatal("EnableRepair did not start a scheduler")
 	}
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		mark := stats.Sweeps.Load()
-		v.KickRepair()
-		for stats.Sweeps.Load() < mark+2 && time.Now().Before(deadline) {
-			time.Sleep(5 * time.Millisecond)
-			v.KickRepair()
-		}
-		if v.RepairQueueDepth() == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("repair never converged: queue depth %d after deadline", v.RepairQueueDepth())
-		}
+	wctx, wcancel := context.WithTimeout(ctx, 30*time.Second)
+	defer wcancel()
+	v.KickRepair()
+	if err := v.WaitRepairIdle(wctx); err != nil {
+		t.Fatalf("repair never converged: queue depth %d: %v", v.RepairQueueDepth(), err)
 	}
 	if stats.StripesRepaired.Load() == 0 {
 		t.Fatal("background scheduler repaired no stripes — the storm never reached it")

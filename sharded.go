@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"ecstore/internal/core"
+	"ecstore/internal/health"
 	"ecstore/internal/placement"
 	"ecstore/internal/proto"
 	"ecstore/internal/repair"
@@ -46,8 +47,27 @@ func NewLocalShardedVolume(opts ShardedOptions) (*ShardedVolume, error) {
 	}
 	// The scheduler is built after the volume (it needs the volume as
 	// its Source), but failure reports can fire as soon as the volume
-	// serves traffic — hand the hook a late-bound reference.
+	// serves traffic — hand the hook a late-bound reference. The
+	// health tracker's quarantine hook needs the volume the same way.
 	var schedRef atomic.Pointer[repair.Scheduler]
+	var volRef atomic.Pointer[volume.Volume]
+	var tracker *health.Tracker
+	if opts.HedgeAfter > 0 || opts.GrayRetireAfter > 0 {
+		tracker = health.NewTracker(health.Options{
+			GrayAfter: opts.GrayRetireAfter,
+			Obs:       opts.Obs,
+			// Persistent grayness is handled like a crash: retire the
+			// site, which remaps its groups and feeds OnDamage so the
+			// repair scheduler rebuilds the moved shards. Detached: the
+			// hook fires on a client's observation path and RetireSite
+			// re-resolves placements.
+			OnQuarantine: func(site string) {
+				if v := volRef.Load(); v != nil {
+					go v.RetireSite(site)
+				}
+			},
+		})
+	}
 	l, err := volume.NewLocal(volume.LocalOptions{
 		K: opts.K, N: opts.N, BlockSize: opts.BlockSize,
 		Groups:         opts.Groups,
@@ -62,6 +82,8 @@ func NewLocalShardedVolume(opts ShardedOptions) (*ShardedVolume, error) {
 		Multicast:      transport.Parallel{},
 		Aggregate:      transport.Chain{},
 		LockLease:      opts.LockLease,
+		Hedge:          opts.hedgePolicy(),
+		Health:         tracker,
 		Obs:            opts.Obs,
 		OnDamage: func(g uint64) {
 			if s := schedRef.Load(); s != nil {
@@ -72,6 +94,7 @@ func NewLocalShardedVolume(opts ShardedOptions) (*ShardedVolume, error) {
 	if err != nil {
 		return nil, err
 	}
+	volRef.Store(l.Volume)
 	sv := &ShardedVolume{vol: l.Volume, local: l}
 	if opts.EnableRepair {
 		sched, err := repair.NewScheduler(repair.Options{
@@ -119,7 +142,7 @@ func ConnectShardedVolume(opts ShardedOptions, addrs []string) (*ShardedVolume, 
 	sites := make([]placement.Node, len(addrs))
 	conns := make(map[string]*rpc.Client, len(addrs))
 	for i, addr := range addrs {
-		cl := rpc.Dial(addr, rpc.WithMetrics(rpcm))
+		cl := rpc.Dial(addr, rpc.WithMetrics(rpcm), rpc.WithCallTimeout(opts.CallDeadline))
 		sv.conns = append(sv.conns, cl)
 		conns[addr] = cl
 		sites[i] = placement.Node{ID: addr}
@@ -150,6 +173,8 @@ func ConnectShardedVolume(opts ShardedOptions, addrs []string) (*ShardedVolume, 
 		TP:        opts.TP,
 		Multicast: transport.Parallel{},
 		Aggregate: transport.Chain{},
+		Hedge:     opts.hedgePolicy(),
+		Health:    tcpTracker(opts),
 		Obs:       opts.Obs,
 	})
 	if err != nil {
@@ -160,6 +185,17 @@ func ConnectShardedVolume(opts ShardedOptions, addrs []string) (*ShardedVolume, 
 	}
 	sv.vol = v
 	return sv, nil
+}
+
+// tcpTracker builds the per-site health tracker for TCP pools. There
+// is no quarantine hook: a TCP pool cannot remap (NoRemap makes
+// RetireSite a no-op), so a persistently gray server is only scored —
+// reads hedge around it — rather than retired.
+func tcpTracker(opts ShardedOptions) *health.Tracker {
+	if opts.HedgeAfter <= 0 {
+		return nil
+	}
+	return health.NewTracker(health.Options{Obs: opts.Obs})
 }
 
 // BlockSize returns the volume's block size in bytes.
@@ -260,6 +296,17 @@ func (v *ShardedVolume) KickRepair() {
 	if v.sched != nil {
 		v.sched.Kick()
 	}
+}
+
+// WaitRepairIdle blocks until the repair scheduler has drained its
+// queue and has no pending reports or kicks (immediately when the
+// scheduler is disabled). Submit work first — kick, crash, report —
+// then wait.
+func (v *ShardedVolume) WaitRepairIdle(ctx context.Context) error {
+	if v.sched == nil {
+		return nil
+	}
+	return v.sched.WaitIdle(ctx)
 }
 
 // CrashSite fail-stops a local site (testing and demos).

@@ -2,10 +2,12 @@ package ecstore_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"ecstore"
 	"ecstore/internal/rpc"
@@ -176,5 +178,86 @@ func TestConnectShardedVolumeOverTCP(t *testing.T) {
 	// Too-small pools are rejected.
 	if _, err := ecstore.ConnectShardedVolume(opts, addrs[:3]); err == nil {
 		t.Fatal("pool smaller than N accepted")
+	}
+}
+
+// TestTailToleranceKnobsThroughFacade: the hedge/health/deadline knobs
+// must plumb through both constructors without disturbing the
+// fault-free path — reads stay correct, no hedges fire against fast
+// in-process sites, and a drained TCP server is read around.
+func TestTailToleranceKnobsThroughFacade(t *testing.T) {
+	ctx := ctxT(t)
+	lv, err := ecstore.NewLocalShardedVolume(ecstore.Options{
+		K: 2, N: 4, BlockSize: blockSize,
+		Groups: 2, Sites: 6, BlocksPerGroup: 8,
+		HedgeAfter:      5 * time.Millisecond,
+		HedgeBudget:     0.2,
+		GrayRetireAfter: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = lv.Close() })
+	data := bytes.Repeat([]byte{0xEE}, blockSize)
+	if err := lv.WriteBlock(ctx, 3, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lv.ReadBlock(ctx, 3)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("local round trip with hedging enabled: %v", err)
+	}
+	if st := lv.GroupStats(0); st != nil && st.HedgedReads.Load() != 0 {
+		t.Fatal("fault-free local volume fired a hedge")
+	}
+
+	// TCP path: CallDeadline + HedgeAfter through ConnectShardedVolume,
+	// then drain one server — reads must degrade around it instantly.
+	addrs := make([]string, 4)
+	srvs := make([]*rpc.Server, 4)
+	for i := range addrs {
+		node := storage.MustNew(storage.Options{ID: fmt.Sprintf("tt%d", i), BlockSize: blockSize})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[i] = rpc.Serve(ln, node)
+		t.Cleanup(func() { _ = srvs[i].Close() })
+		addrs[i] = srvs[i].Addr().String()
+	}
+	tv, err := ecstore.ConnectShardedVolume(ecstore.Options{
+		K: 2, N: 4, BlockSize: blockSize,
+		Groups: 1, BlocksPerGroup: 8,
+		HedgeAfter:   2 * time.Millisecond,
+		CallDeadline: 2 * time.Second,
+	}, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tv.Close() })
+	if err := tv.WriteBlock(ctx, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	sites, err := tv.GroupSites(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block 0 is stripe 0, slot 0, served by the group's phys-0 site.
+	for _, s := range srvs {
+		if s.Addr().String() != sites[0] {
+			continue
+		}
+		dctx, cancel := context.WithTimeout(ctx, time.Second)
+		err := s.Drain(dctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	}
+	got, err = tv.ReadBlock(ctx, 0)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read around drained site: %v", err)
+	}
+	if st := tv.GroupStats(0); st == nil || st.DrainRetires.Load() == 0 {
+		t.Fatal("drained site was not instantly retired")
 	}
 }

@@ -24,7 +24,9 @@
 //
 // With -stats, a JSON metrics snapshot (per-op RPC counts, latency
 // histograms, protocol counters) is printed to stderr after the
-// command completes.
+// command completes. With -deadline, every RPC carries that budget in
+// its frame so storaged servers shed work whose deadline has already
+// expired instead of answering calls nobody is waiting for.
 package main
 
 import (
@@ -58,6 +60,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		clientID  = fs.Uint("client-id", 1, "unique client identity")
 		mode      = fs.String("mode", "parallel", "update mode: serial|parallel|hybrid|broadcast")
 		timeout   = fs.Duration("timeout", 30*time.Second, "operation timeout")
+		deadline  = fs.Duration("deadline", 0, "per-RPC deadline propagated to storaged so servers shed stale work (0: none)")
 		stats     = fs.Bool("stats", false, "print a JSON metrics snapshot to stderr after the command")
 		groups    = fs.Int("groups", 1, "stripe groups to place over the node pool")
 		bpg       = fs.Uint64("blocks-per-group", 0, "blocks per stripe group (multiple of k; default k<<20)")
@@ -88,6 +91,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			Groups:         *groups,
 			BlocksPerGroup: *bpg,
 			ClientID:       uint32(*clientID),
+			CallDeadline:   *deadline,
 		}, addrs)
 		if err != nil {
 			return err
@@ -97,6 +101,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	} else {
 		cluster, err := ecstore.ConnectCluster(ecstore.Options{
 			K: *k, N: *n, BlockSize: *blockSize, Mode: updateMode, Obs: reg,
+			CallDeadline: *deadline,
 		}, addrs)
 		if err != nil {
 			return err

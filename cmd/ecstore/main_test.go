@@ -207,3 +207,28 @@ func TestCLISharded(t *testing.T) {
 		t.Fatal("pool smaller than n accepted")
 	}
 }
+
+// TestCLIDeadline exercises the -deadline flag: a generous per-RPC
+// deadline leaves commands working, while a nanosecond budget expires
+// before any server can answer and the command fails with the typed
+// deadline error propagated back through the wire.
+func TestCLIDeadline(t *testing.T) {
+	nodes := startCluster(t, 4)
+	if _, err := cli(t, nodes, "deadline ok", "-deadline", "5s", "put", "2"); err != nil {
+		t.Fatalf("put with 5s deadline: %v", err)
+	}
+	out, err := cli(t, nodes, "", "-deadline", "5s", "get", "2")
+	if err != nil {
+		t.Fatalf("get with 5s deadline: %v", err)
+	}
+	if !strings.HasPrefix(out, "deadline ok") {
+		t.Fatalf("get returned %q", out[:16])
+	}
+	_, err = cli(t, nodes, "wont make it", "-deadline", "1ns", "put", "2")
+	if err == nil {
+		t.Fatal("put with 1ns deadline succeeded")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("1ns-deadline error does not name the deadline: %v", err)
+	}
+}

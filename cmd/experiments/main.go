@@ -6,7 +6,8 @@
 //	experiments [-quick] [-metrics-out metrics.jsonl]
 //	            [fig1 fig8a fig8b fig8c fig9a fig9b fig9c
 //	             fig9d fig10a fig10b fig10c fig10d recovery latency
-//	             readratio space ablation multigroup bulkio repairstorm graytail]
+//	             readratio space ablation multigroup bulkio repairstorm graytail
+//	             gatewayqos]
 //
 // With no arguments it runs everything. -quick shrinks the measurement
 // windows so a full run finishes in well under a minute; drop it for
@@ -42,6 +43,7 @@ func main() {
 			"fig10a", "fig10b", "fig10c", "fig10d",
 			"recovery", "latency", "readratio", "space", "ablation",
 			"multigroup", "bulkio", "repairstorm", "graytail",
+			"gatewayqos",
 		}
 	}
 	var metricsFile *os.File
@@ -221,6 +223,10 @@ var runners = map[string]runner{
 	},
 	"graytail": func(ctx context.Context, w io.Writer, quick bool) error {
 		t, _, err := experiments.GrayTail(ctx, quick)
+		return printTable(w, t, err)
+	},
+	"gatewayqos": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, _, err := experiments.GatewayQoS(ctx, quick)
 		return printTable(w, t, err)
 	},
 	"ablation": func(ctx context.Context, w io.Writer, quick bool) error {

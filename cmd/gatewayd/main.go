@@ -1,0 +1,373 @@
+// Command gatewayd runs the front-end object gateway: a multi-tenant
+// HTTP object API (PUT/GET/HEAD/DELETE /o/<key>, tenant in the
+// X-Tenant header) over the erasure-coded block store, with per-tenant
+// QoS token buckets, a global concurrency limiter, and typed
+// backpressure mapped onto HTTP statuses:
+//
+//	429 + Retry-After   tenant over its ops/s or bytes/s budget
+//	503                 gateway at its concurrency limit, or draining
+//	404                 object not found
+//
+// Usage:
+//
+//	gatewayd -addr :7080 -nodes h1:7000,...,h5:7000 -k 3 -n 5
+//	gatewayd -addr :7080 -local -k 3 -n 5 -groups 4
+//	gatewayd -addr :7080 -local -limit acme:100:1048576 -metrics-addr :7071
+//
+// With -nodes the gateway fronts a live storaged cluster; with -local
+// it runs an in-process volume (the paper's RAM-backed evaluation
+// setup), handy for demos and load tests. Each -limit flag caps one
+// tenant as name:ops_per_sec:bytes_per_sec (0 means unlimited on that
+// axis); -default-limit applies to everyone else. On SIGTERM the
+// gateway drains: new requests get 503 while in-flight ones (including
+// streaming GET bodies) finish, up to -drain-timeout.
+//
+// With -metrics-addr set, GET /debug/metrics serves a JSON snapshot of
+// gateway.* counters, latency histograms, and per-tenant throttle
+// counts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ecstore"
+	"ecstore/internal/drainsig"
+	"ecstore/internal/gateway"
+	"ecstore/internal/obs"
+	"ecstore/internal/proto"
+	"ecstore/internal/volume"
+)
+
+// config collects every knob of one gatewayd instance.
+type config struct {
+	addr          string
+	metricsAddr   string
+	nodes         string
+	local         bool
+	k, n          int
+	blockSize     int
+	groups        int
+	clientID      uint
+	maxConcurrent int
+	limits        limitFlags
+	defaultLimit  string
+	drainTimeout  time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":7080", "HTTP listen address")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /debug/metrics JSON on this address (empty: metrics disabled)")
+	flag.StringVar(&cfg.nodes, "nodes", "", "comma-separated storaged addresses (front a live cluster)")
+	flag.BoolVar(&cfg.local, "local", false, "run over an in-process volume instead of a cluster")
+	flag.IntVar(&cfg.k, "k", 3, "erasure code data blocks")
+	flag.IntVar(&cfg.n, "n", 5, "erasure code total blocks")
+	flag.IntVar(&cfg.blockSize, "block-size", 4096, "block size in bytes")
+	flag.IntVar(&cfg.groups, "groups", 1, "stripe groups (with -local or multi-group clusters)")
+	flag.UintVar(&cfg.clientID, "client-id", 1, "client identity for the store connection")
+	flag.IntVar(&cfg.maxConcurrent, "max-concurrent", 0, "global in-flight request cap (0: default, negative: unlimited)")
+	flag.Var(&cfg.limits, "limit", "per-tenant QoS as name:ops_per_sec:bytes_per_sec (repeatable; 0 = unlimited)")
+	flag.StringVar(&cfg.defaultLimit, "default-limit", "", "QoS for unconfigured tenants as ops_per_sec:bytes_per_sec")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Second, "max wait for in-flight requests on SIGTERM")
+	flag.Parse()
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "gatewayd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config) error {
+	d, err := setup(cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("gatewayd serving objects on http://%s/o/<key>", d.ln.Addr())
+	if d.metricsLn != nil {
+		log.Printf("gatewayd metrics on http://%s/debug/metrics", d.metricsLn.Addr())
+	}
+	if err := drainsig.Wait(cfg.drainTimeout, func(ctx context.Context) error {
+		log.Printf("gatewayd draining (up to %v)", cfg.drainTimeout)
+		return d.Drain(ctx)
+	}); err != nil {
+		log.Printf("gatewayd drain: %v", err)
+	}
+	log.Printf("gatewayd shutting down")
+	return d.Close()
+}
+
+// limitFlags parses repeated -limit name:ops:bytes flags.
+type limitFlags struct {
+	m map[string]gateway.TenantLimit
+}
+
+func (l *limitFlags) String() string { return fmt.Sprintf("%v", l.m) }
+
+func (l *limitFlags) Set(s string) error {
+	name, limit, err := parseTenantLimit(s)
+	if err != nil {
+		return err
+	}
+	if l.m == nil {
+		l.m = make(map[string]gateway.TenantLimit)
+	}
+	l.m[name] = limit
+	return nil
+}
+
+// parseTenantLimit parses "name:ops:bytes".
+func parseTenantLimit(s string) (string, gateway.TenantLimit, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 || parts[0] == "" {
+		return "", gateway.TenantLimit{}, fmt.Errorf("limit %q: want name:ops_per_sec:bytes_per_sec", s)
+	}
+	limit, err := parseRates(parts[1], parts[2])
+	if err != nil {
+		return "", gateway.TenantLimit{}, fmt.Errorf("limit %q: %w", s, err)
+	}
+	return parts[0], limit, nil
+}
+
+// parseRates parses "ops:bytes" rate pairs.
+func parseRates(opsS, bytesS string) (gateway.TenantLimit, error) {
+	ops, err := strconv.ParseFloat(opsS, 64)
+	if err != nil {
+		return gateway.TenantLimit{}, fmt.Errorf("ops rate %q: %w", opsS, err)
+	}
+	bts, err := strconv.ParseFloat(bytesS, 64)
+	if err != nil {
+		return gateway.TenantLimit{}, fmt.Errorf("bytes rate %q: %w", bytesS, err)
+	}
+	if ops < 0 || bts < 0 || math.IsNaN(ops) || math.IsNaN(bts) {
+		return gateway.TenantLimit{}, fmt.Errorf("negative rate in %s:%s", opsS, bytesS)
+	}
+	return gateway.TenantLimit{OpsPerSec: ops, BytesPerSec: bts}, nil
+}
+
+// daemon is one running gatewayd: the HTTP server, the gateway, and
+// the store behind it.
+type daemon struct {
+	gw      *gateway.Gateway
+	ln      net.Listener
+	srv     *http.Server
+	store   io.Closer
+	httpErr chan error
+
+	reg       *obs.Registry
+	metricsLn net.Listener
+	metricsWg chan struct{}
+}
+
+// Drain refuses new requests (503) while in-flight ones finish, then
+// stops the HTTP listener.
+func (d *daemon) Drain(ctx context.Context) error {
+	gwErr := d.gw.Drain(ctx)
+	if err := d.srv.Shutdown(ctx); err != nil && gwErr == nil {
+		gwErr = err
+	}
+	return gwErr
+}
+
+// Close stops serving and closes the store connection.
+func (d *daemon) Close() error {
+	_ = d.srv.Close()
+	<-d.httpErr
+	if d.metricsLn != nil {
+		_ = d.metricsLn.Close()
+		<-d.metricsWg
+	}
+	if d.store != nil {
+		return d.store.Close()
+	}
+	return nil
+}
+
+// setup builds the store connection, the gateway, and the HTTP front
+// end; main waits for a signal, tests drive the daemon directly.
+func setup(cfg config) (*daemon, error) {
+	d := &daemon{httpErr: make(chan error, 1)}
+	if cfg.metricsAddr != "" {
+		d.reg = obs.NewRegistry()
+	}
+
+	var backend gateway.Backend
+	switch {
+	case cfg.nodes != "":
+		addrs := strings.Split(cfg.nodes, ",")
+		if cfg.groups > 1 {
+			sv, err := ecstore.ConnectShardedVolume(ecstore.Options{
+				K: cfg.k, N: cfg.n, BlockSize: cfg.blockSize,
+				Groups: cfg.groups, ClientID: uint32(cfg.clientID), Obs: d.reg,
+			}, addrs)
+			if err != nil {
+				return nil, err
+			}
+			backend, d.store = sv, sv
+		} else {
+			cluster, err := ecstore.ConnectCluster(ecstore.Options{
+				K: cfg.k, N: cfg.n, BlockSize: cfg.blockSize, Obs: d.reg,
+			}, addrs)
+			if err != nil {
+				return nil, err
+			}
+			v, err := cluster.Volume(uint32(cfg.clientID))
+			if err != nil {
+				_ = cluster.Close()
+				return nil, err
+			}
+			backend, d.store = v, cluster
+		}
+	case cfg.local:
+		groups := cfg.groups
+		if groups < 1 {
+			groups = 1
+		}
+		local, err := volume.NewLocal(volume.LocalOptions{
+			K: cfg.k, N: cfg.n, BlockSize: cfg.blockSize,
+			Groups: groups, ClientID: proto.ClientID(cfg.clientID), Obs: d.reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		backend, d.store = local, local
+	default:
+		return nil, errors.New("one of -nodes or -local is required")
+	}
+
+	var defLimit gateway.TenantLimit
+	if cfg.defaultLimit != "" {
+		parts := strings.Split(cfg.defaultLimit, ":")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("default-limit %q: want ops_per_sec:bytes_per_sec", cfg.defaultLimit)
+		}
+		var err error
+		if defLimit, err = parseRates(parts[0], parts[1]); err != nil {
+			return nil, fmt.Errorf("default-limit %q: %w", cfg.defaultLimit, err)
+		}
+	}
+	d.gw = gateway.New(backend, gateway.Options{
+		Stripe:        cfg.k,
+		Tenants:       cfg.limits.m,
+		DefaultLimit:  defLimit,
+		MaxConcurrent: cfg.maxConcurrent,
+		Obs:           d.reg,
+	})
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		if d.store != nil {
+			_ = d.store.Close()
+		}
+		return nil, err
+	}
+	d.ln = ln
+	d.srv = &http.Server{Handler: newHandler(d.gw)}
+	go func() { d.httpErr <- d.srv.Serve(ln) }()
+
+	if cfg.metricsAddr != "" {
+		mln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			_ = d.srv.Close()
+			_ = ln.Close()
+			if d.store != nil {
+				_ = d.store.Close()
+			}
+			return nil, err
+		}
+		d.metricsLn = mln
+		d.metricsWg = make(chan struct{})
+		mux := http.NewServeMux()
+		mux.Handle("/debug/metrics", d.reg.Handler())
+		go func() {
+			defer close(d.metricsWg)
+			_ = http.Serve(mln, mux)
+		}()
+	}
+	return d, nil
+}
+
+// newHandler maps the object API onto the gateway.
+func newHandler(gw *gateway.Gateway) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/o/", func(w http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, "/o/")
+		tenant := r.Header.Get("X-Tenant")
+		if tenant == "" {
+			tenant = "default"
+		}
+		switch r.Method {
+		case http.MethodPut:
+			if r.ContentLength < 0 {
+				http.Error(w, "gatewayd: Content-Length required", http.StatusLengthRequired)
+				return
+			}
+			if err := gw.Put(r.Context(), tenant, key, r.Body, r.ContentLength); err != nil {
+				writeErr(w, err)
+				return
+			}
+			w.WriteHeader(http.StatusOK)
+		case http.MethodGet:
+			body, info, err := gw.Get(r.Context(), tenant, key)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			defer body.Close()
+			w.Header().Set("Content-Length", strconv.FormatInt(info.Size, 10))
+			w.Header().Set("X-Object-Version", strconv.FormatUint(info.Version, 10))
+			w.WriteHeader(http.StatusOK)
+			_, _ = io.Copy(w, body)
+		case http.MethodHead:
+			info, err := gw.Stat(r.Context(), tenant, key)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			w.Header().Set("Content-Length", strconv.FormatInt(info.Size, 10))
+			w.Header().Set("X-Object-Version", strconv.FormatUint(info.Version, 10))
+			w.WriteHeader(http.StatusOK)
+		case http.MethodDelete:
+			if err := gw.Delete(r.Context(), tenant, key); err != nil {
+				writeErr(w, err)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "gatewayd: method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}
+
+// writeErr maps the gateway's typed errors onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	var throttle *gateway.ThrottleError
+	switch {
+	case errors.As(err, &throttle):
+		// Retry-After is whole seconds; round up so clients never
+		// retry early.
+		secs := int64(math.Ceil(throttle.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, proto.ErrOverloaded), errors.Is(err, proto.ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, gateway.ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func startDaemon(t *testing.T, cfg config) (*daemon, string) {
+	t.Helper()
+	cfg.addr = "127.0.0.1:0"
+	d, err := setup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = d.Close() })
+	return d, "http://" + d.ln.Addr().String()
+}
+
+func doReq(t *testing.T, method, url, tenant string, body []byte) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPObjectLifecycle(t *testing.T) {
+	_, base := startDaemon(t, config{local: true, k: 3, n: 5, blockSize: 512, groups: 1})
+	body := make([]byte, 10_000)
+	for i := range body {
+		body[i] = byte(i * 3)
+	}
+
+	resp := doReq(t, http.MethodPut, base+"/o/hello", "acme", body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put status = %s", resp.Status)
+	}
+
+	resp = doReq(t, http.MethodGet, base+"/o/hello", "acme", nil)
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, body) {
+		t.Fatalf("get status = %s, body match %v (%d bytes)", resp.Status, bytes.Equal(got, body), len(got))
+	}
+	if v := resp.Header.Get("X-Object-Version"); v != "1" {
+		t.Fatalf("version header = %q", v)
+	}
+
+	resp = doReq(t, http.MethodHead, base+"/o/hello", "acme", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Length") != strconv.Itoa(len(body)) {
+		t.Fatalf("head status = %s, length = %s", resp.Status, resp.Header.Get("Content-Length"))
+	}
+
+	// Tenants are namespaces.
+	resp = doReq(t, http.MethodGet, base+"/o/hello", "other", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cross-tenant get status = %s, want 404", resp.Status)
+	}
+
+	resp = doReq(t, http.MethodDelete, base+"/o/hello", "acme", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status = %s", resp.Status)
+	}
+	resp = doReq(t, http.MethodGet, base+"/o/hello", "acme", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete status = %s, want 404", resp.Status)
+	}
+}
+
+func TestHTTPBackpressureStatuses(t *testing.T) {
+	var lf limitFlags
+	if err := lf.Set("slow:1:0"); err != nil {
+		t.Fatal(err)
+	}
+	_, base := startDaemon(t, config{local: true, k: 2, n: 3, blockSize: 512, groups: 1, limits: lf})
+
+	// Burn the burst (1) plus the post-paid op, then expect 429.
+	var last *http.Response
+	for i := 0; i < 3; i++ {
+		last = doReq(t, http.MethodPut, base+"/o/k", "slow", []byte("x"))
+		io.Copy(io.Discard, last.Body)
+		last.Body.Close()
+	}
+	if last.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third op status = %s, want 429", last.Status)
+	}
+	retry, err := strconv.Atoi(last.Header.Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Fatalf("Retry-After = %q", last.Header.Get("Retry-After"))
+	}
+	// An unconfigured tenant is untouched.
+	resp := doReq(t, http.MethodPut, base+"/o/k", "fast", []byte("y"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unthrottled tenant status = %s", resp.Status)
+	}
+}
+
+func TestHTTPDrainReturns503(t *testing.T) {
+	d, base := startDaemon(t, config{local: true, k: 2, n: 3, blockSize: 512, groups: 1})
+	resp := doReq(t, http.MethodPut, base+"/o/k", "t", []byte("hello"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put status = %s", resp.Status)
+	}
+	// Drain with nothing in flight completes immediately; afterwards the
+	// gateway keeps refusing new work.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.gw.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp = doReq(t, http.MethodGet, base+"/o/k", "t", nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("get during drain status = %s, want 503", resp.Status)
+	}
+}
+
+func TestHTTPMissingLengthRejected(t *testing.T) {
+	_, base := startDaemon(t, config{local: true, k: 2, n: 3, blockSize: 512, groups: 1})
+	// A chunked PUT has no Content-Length; the gateway needs the size
+	// up front to allocate the extent.
+	req, err := http.NewRequest(http.MethodPut, base+"/o/k", io.NopCloser(neverEnding{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = -1
+	req.Header.Set("X-Tenant", "t")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusLengthRequired {
+		t.Fatalf("chunked put status = %s, want 411", resp.Status)
+	}
+}
+
+type neverEnding struct{}
+
+func (neverEnding) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 'z'
+	}
+	return len(p), nil
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	d, base := startDaemon(t, config{
+		local: true, k: 2, n: 3, blockSize: 512, groups: 1, metricsAddr: "127.0.0.1:0",
+	})
+	resp := doReq(t, http.MethodPut, base+"/o/m", "t", []byte("metrics"))
+	resp.Body.Close()
+	mresp, err := http.Get(fmt.Sprintf("http://%s/debug/metrics", d.metricsLn.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var snap map[string]json.RawMessage
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap["gateway.put.calls"]; !ok {
+		t.Fatalf("metrics snapshot missing gateway.put.calls; keys: %d", len(snap))
+	}
+}
+
+func TestParseTenantLimit(t *testing.T) {
+	name, limit, err := parseTenantLimit("acme:100:1048576")
+	if err != nil || name != "acme" || limit.OpsPerSec != 100 || limit.BytesPerSec != 1048576 {
+		t.Fatalf("parse = %q %+v %v", name, limit, err)
+	}
+	for _, bad := range []string{"", "acme", "acme:1", "acme:x:1", ":1:1", "acme:-1:0"} {
+		if _, _, err := parseTenantLimit(bad); err == nil {
+			t.Fatalf("limit %q accepted", bad)
+		}
+	}
+}

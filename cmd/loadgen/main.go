@@ -1,0 +1,266 @@
+// Command loadgen drives the object gateway with an open-loop,
+// multi-tenant workload: Poisson arrivals at a configured offered
+// rate per tenant, Zipfian key popularity (any exponent, including
+// the canonical 0.99), and a configurable read/write mix. Because the
+// loop is open, a shedding or slow gateway does not throttle the
+// generator — queueing shows up in the measured latency, and typed
+// sheds (429/ErrThrottled, 503/ErrOverloaded) are counted separately.
+//
+// Usage:
+//
+//	loadgen -tenants 2 -rate 500 -duration 5s -size 16384 -zipf-s 0.99
+//	loadgen -tenants 2 -limit t1:50:0 -duration 5s -out BENCH_gateway.json
+//	loadgen -url http://127.0.0.1:7080 -tenants 1 -rate 200 -duration 10s
+//
+// By default the generator builds an in-process gateway over a local
+// erasure-coded volume (-k/-n/-block-size/-groups); with -url it
+// drives a running gatewayd over HTTP instead. Tenants are named
+// t0..tN-1; each -limit name:ops_per_sec:bytes_per_sec pins one
+// tenant's QoS budget (in-process mode only). Every tenant's keyspace
+// is preloaded before the clock starts.
+//
+// The per-tenant report (offered/completed/shed counts, achieved
+// throughput, p50/p95/p99/max latency from interpolated histogram
+// quantiles) prints as a table; -out additionally writes it as JSON.
+// If the -out file already exists, its ci_baseline section is
+// preserved, so regenerating BENCH_gateway.json never loses the CI
+// gate numbers.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"ecstore/internal/gateway"
+	"ecstore/internal/loadgen"
+	"ecstore/internal/proto"
+	"ecstore/internal/volume"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		tenants  = fs.Int("tenants", 2, "tenant count (named t0..tN-1)")
+		rate     = fs.Float64("rate", 500, "offered load per tenant, ops/s")
+		readFrac = fs.Float64("read-frac", 0.7, "fraction of ops that are reads")
+		keys     = fs.Int("keys", 256, "keyspace size per tenant")
+		zipfS    = fs.Float64("zipf-s", 0.99, "Zipf popularity exponent (0: uniform)")
+		size     = fs.Int("size", 16<<10, "object size in bytes")
+		duration = fs.Duration("duration", 5*time.Second, "measured window")
+		seed     = fs.Int64("seed", 1, "RNG seed (arrivals, keys, mix)")
+		settle   = fs.Duration("settle", 0, "sleep between preload and the window (refills QoS debt)")
+		maxConc  = fs.Int("max-concurrent", 0, "gateway concurrency cap (0: default, negative: unlimited)")
+		k        = fs.Int("k", 3, "erasure code data blocks (in-process mode)")
+		n        = fs.Int("n", 5, "erasure code total blocks (in-process mode)")
+		bs       = fs.Int("block-size", 4096, "block size in bytes (in-process mode)")
+		groups   = fs.Int("groups", 1, "stripe groups (in-process mode)")
+		url      = fs.String("url", "", "drive a running gatewayd at this base URL instead")
+		defLimit = fs.String("default-limit", "", "QoS for unconfigured tenants as ops:bytes")
+		out      = fs.String("out", "", "also write the report as JSON to this file")
+	)
+	var limits limitFlags
+	fs.Var(&limits, "limit", "per-tenant QoS as name:ops_per_sec:bytes_per_sec (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tenants < 1 {
+		return fmt.Errorf("-tenants %d", *tenants)
+	}
+
+	cfg := loadgen.Config{
+		Duration: *duration,
+		Seed:     *seed,
+		Preload:  true,
+		Settle:   *settle,
+	}
+	for i := 0; i < *tenants; i++ {
+		cfg.Tenants = append(cfg.Tenants, loadgen.TenantConfig{
+			Name:         fmt.Sprintf("t%d", i),
+			Rate:         *rate,
+			ReadFraction: *readFrac,
+			Keys:         *keys,
+			ZipfS:        *zipfS,
+			ObjectSize:   *size,
+		})
+	}
+
+	var tgt loadgen.Target
+	var targetDesc string
+	if *url != "" {
+		tgt = &loadgen.HTTPTarget{BaseURL: strings.TrimRight(*url, "/")}
+		targetDesc = *url
+	} else {
+		local, err := volume.NewLocal(volume.LocalOptions{
+			K: *k, N: *n, BlockSize: *bs, Groups: *groups, ClientID: proto.ClientID(1),
+		})
+		if err != nil {
+			return err
+		}
+		defer local.Close()
+		var def gateway.TenantLimit
+		if *defLimit != "" {
+			parts := strings.Split(*defLimit, ":")
+			if len(parts) != 2 {
+				return fmt.Errorf("-default-limit %q: want ops:bytes", *defLimit)
+			}
+			var err error
+			if def, err = parseRates(parts[0], parts[1]); err != nil {
+				return err
+			}
+		}
+		gw := gateway.New(local, gateway.Options{
+			Stripe:        *k,
+			Tenants:       limits.m,
+			DefaultLimit:  def,
+			MaxConcurrent: *maxConc,
+		})
+		tgt = &loadgen.GatewayTarget{GW: gw}
+		targetDesc = fmt.Sprintf("in-process gateway over local k=%d n=%d volume (%d B blocks, %d group(s))", *k, *n, *bs, *groups)
+	}
+
+	fmt.Fprintf(stdout, "loadgen: %d tenant(s) x %.0f ops/s offered, %d x %d B keys, Zipf(%.2f), %.0f%% reads, %v window\n",
+		*tenants, *rate, *keys, *size, *zipfS, *readFrac*100, *duration)
+	fmt.Fprintf(stdout, "target: %s\n\n", targetDesc)
+
+	results, err := loadgen.Run(context.Background(), cfg, tgt)
+	if err != nil {
+		return err
+	}
+	printTable(stdout, results)
+
+	if *out != "" {
+		if err := writeReport(*out, cfg, results, targetDesc); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nreport written to %s\n", *out)
+	}
+	return nil
+}
+
+func printTable(w io.Writer, results []loadgen.Result) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "tenant\toffered\tok\tthrottled\toverload\terrors\tops/s\tMB/s\tp50\tp95\tp99\tmax")
+	for _, r := range results {
+		mbps := float64(r.Bytes) / r.Elapsed.Seconds() / (1 << 20)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.0f\t%.1f\t%v\t%v\t%v\t%v\n",
+			r.Tenant, r.Offered, r.Completed, r.Throttled, r.Overloaded, r.Errors,
+			r.AchievedOps, mbps,
+			r.P50.Round(10*time.Microsecond), r.P95.Round(10*time.Microsecond),
+			r.P99.Round(10*time.Microsecond), r.Max.Round(10*time.Microsecond))
+	}
+	tw.Flush()
+}
+
+// tenantReport is one tenant's JSON record.
+type tenantReport struct {
+	Tenant      string  `json:"tenant"`
+	Offered     uint64  `json:"offered"`
+	Completed   uint64  `json:"completed"`
+	Throttled   uint64  `json:"throttled"`
+	Overloaded  uint64  `json:"overloaded"`
+	Errors      uint64  `json:"errors"`
+	AchievedOps float64 `json:"achieved_ops_per_sec"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+// writeReport writes the JSON report, preserving an existing file's
+// ci_baseline (and any other unknown top-level sections).
+func writeReport(path string, cfg loadgen.Config, results []loadgen.Result, targetDesc string) error {
+	doc := make(map[string]any)
+	if prev, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(prev, &doc) // best-effort: a broken file is replaced
+	}
+	reports := make([]tenantReport, len(results))
+	for i, r := range results {
+		reports[i] = tenantReport{
+			Tenant:      r.Tenant,
+			Offered:     r.Offered,
+			Completed:   r.Completed,
+			Throttled:   r.Throttled,
+			Overloaded:  r.Overloaded,
+			Errors:      r.Errors,
+			AchievedOps: round2(r.AchievedOps),
+			MBPerSec:    round2(float64(r.Bytes) / r.Elapsed.Seconds() / (1 << 20)),
+			P50Ms:       roundMs(r.P50),
+			P95Ms:       roundMs(r.P95),
+			P99Ms:       roundMs(r.P99),
+			MaxMs:       roundMs(r.Max),
+		}
+	}
+	doc["recorded"] = time.Now().Format("2006-01-02")
+	doc["loadgen_run"] = map[string]any{
+		"target":      targetDesc,
+		"duration":    cfg.Duration.String(),
+		"seed":        cfg.Seed,
+		"tenant_cfgs": cfg.Tenants,
+		"tenants":     reports,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+func roundMs(d time.Duration) float64 {
+	return math.Round(float64(d)/float64(time.Millisecond)*1000) / 1000
+}
+
+// limitFlags parses repeated -limit name:ops:bytes flags.
+type limitFlags struct {
+	m map[string]gateway.TenantLimit
+}
+
+func (l *limitFlags) String() string { return fmt.Sprintf("%v", l.m) }
+
+func (l *limitFlags) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 || parts[0] == "" {
+		return fmt.Errorf("limit %q: want name:ops_per_sec:bytes_per_sec", s)
+	}
+	limit, err := parseRates(parts[1], parts[2])
+	if err != nil {
+		return fmt.Errorf("limit %q: %w", s, err)
+	}
+	if l.m == nil {
+		l.m = make(map[string]gateway.TenantLimit)
+	}
+	l.m[parts[0]] = limit
+	return nil
+}
+
+func parseRates(opsS, bytesS string) (gateway.TenantLimit, error) {
+	ops, err := strconv.ParseFloat(opsS, 64)
+	if err != nil {
+		return gateway.TenantLimit{}, fmt.Errorf("ops rate %q: %w", opsS, err)
+	}
+	bts, err := strconv.ParseFloat(bytesS, 64)
+	if err != nil {
+		return gateway.TenantLimit{}, fmt.Errorf("bytes rate %q: %w", bytesS, err)
+	}
+	if ops < 0 || bts < 0 || math.IsNaN(ops) || math.IsNaN(bts) {
+		return gateway.TenantLimit{}, fmt.Errorf("negative rate in %s:%s", opsS, bytesS)
+	}
+	return gateway.TenantLimit{OpsPerSec: ops, BytesPerSec: bts}, nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCLIRunsAndReports(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "report.json")
+	// Seed the out file with a ci_baseline to check it survives.
+	seeded := `{"ci_baseline": {"internal/gateway": {"BenchmarkAdmit": 123.4}}, "stale": true}`
+	if err := os.WriteFile(outPath, []byte(seeded), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	err := run([]string{
+		"-tenants", "2", "-rate", "300", "-keys", "32", "-size", "2048",
+		"-duration", "300ms", "-k", "2", "-n", "3", "-block-size", "512",
+		"-limit", "t1:20:0",
+		"-out", outPath,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	outStr := buf.String()
+	for _, want := range []string{"t0", "t1", "throttled", "p99", "report written"} {
+		if !strings.Contains(outStr, want) {
+			t.Fatalf("output missing %q:\n%s", want, outStr)
+		}
+	}
+
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if _, ok := doc["loadgen_run"]; !ok {
+		t.Fatal("report missing loadgen_run")
+	}
+	if string(doc["ci_baseline"]) == "" || !strings.Contains(string(doc["ci_baseline"]), "BenchmarkAdmit") {
+		t.Fatalf("ci_baseline not preserved: %s", doc["ci_baseline"])
+	}
+
+	var report struct {
+		Run struct {
+			Tenants []struct {
+				Tenant    string  `json:"tenant"`
+				Offered   uint64  `json:"offered"`
+				Completed uint64  `json:"completed"`
+				Throttled uint64  `json:"throttled"`
+				P99Ms     float64 `json:"p99_ms"`
+			} `json:"tenants"`
+		} `json:"loadgen_run"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Run.Tenants) != 2 {
+		t.Fatalf("report has %d tenants", len(report.Run.Tenants))
+	}
+	var sawThrottle bool
+	for _, tr := range report.Run.Tenants {
+		if tr.Offered == 0 {
+			t.Fatalf("tenant %s offered nothing", tr.Tenant)
+		}
+		if tr.Tenant == "t1" && tr.Throttled > 0 {
+			sawThrottle = true
+		}
+		if tr.Tenant == "t0" && tr.Completed == 0 {
+			t.Fatal("unlimited tenant completed nothing")
+		}
+	}
+	// t1 is capped at 20 ops/s against 300 offered: it must have shed.
+	if !sawThrottle {
+		t.Fatal("capped tenant t1 was never throttled")
+	}
+}
+
+func TestCLIValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-tenants", "0"}, &buf); err == nil {
+		t.Fatal("zero tenants accepted")
+	}
+	if err := run([]string{"-limit", "bogus"}, &buf); err == nil {
+		t.Fatal("malformed -limit accepted")
+	}
+	if err := run([]string{"-default-limit", "5"}, &buf); err == nil {
+		t.Fatal("malformed -default-limit accepted")
+	}
+}

@@ -28,11 +28,10 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"ecstore/internal/blockstore"
+	"ecstore/internal/drainsig"
 	"ecstore/internal/erasure"
 	"ecstore/internal/obs"
 	"ecstore/internal/rpc"
@@ -85,11 +84,10 @@ func run(cfg config) error {
 		log.Printf("storaged %s metrics on http://%s/debug/metrics", d.node.ID(), d.MetricsAddr())
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Printf("storaged %s draining (up to %v)", d.node.ID(), cfg.drainTimeout)
-	if err := d.Drain(cfg.drainTimeout); err != nil {
+	if err := drainsig.Wait(cfg.drainTimeout, func(ctx context.Context) error {
+		log.Printf("storaged %s draining (up to %v)", d.node.ID(), cfg.drainTimeout)
+		return d.srv.Drain(ctx)
+	}); err != nil {
 		log.Printf("storaged %s drain: %v", d.node.ID(), err)
 	}
 	log.Printf("storaged %s shutting down", d.node.ID())
@@ -121,10 +119,7 @@ func (d *daemon) MetricsAddr() string {
 // site and read degraded around it) while in-flight handlers get up to
 // timeout to finish. A zero timeout skips the wait.
 func (d *daemon) Drain(timeout time.Duration) error {
-	if timeout <= 0 {
-		timeout = time.Nanosecond
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := drainsig.Context(timeout)
 	defer cancel()
 	return d.srv.Drain(ctx)
 }

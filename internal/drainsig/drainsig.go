@@ -1,0 +1,49 @@
+// Package drainsig owns the SIGTERM→graceful-drain pattern shared by
+// the long-running daemons (storaged, gatewayd): block until SIGINT or
+// SIGTERM, then run the server's drain under a bounded context so new
+// work is refused with a typed error (proto.ErrDraining) while
+// in-flight requests get a grace period to finish. Keeping the
+// pattern in one place means the daemons cannot drift on the signal
+// set or the zero-timeout semantics.
+package drainsig
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Wait blocks until SIGINT or SIGTERM arrives, then calls drain under
+// a context bounded by timeout (see Context) and returns its error.
+// The signal registration is removed before returning, so a second
+// signal during a slow drain kills the process the default way — the
+// operator's escape hatch.
+func Wait(timeout time.Duration, drain func(context.Context) error) error {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	return WaitOn(sig, timeout, drain)
+}
+
+// WaitOn is Wait with an injectable signal source, for tests and for
+// callers that multiplex their own signal channel.
+func WaitOn(sig <-chan os.Signal, timeout time.Duration, drain func(context.Context) error) error {
+	<-sig
+	ctx, cancel := Context(timeout)
+	defer cancel()
+	return drain(ctx)
+}
+
+// Context returns the drain-bounding context for a grace period. A
+// timeout <= 0 still yields an already-expiring (one nanosecond)
+// deadline rather than an unbounded context: drain implementations
+// poll ctx.Done() to cap their wait, and "no grace period" must mean
+// "refuse new work and return now", not "wait forever".
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		timeout = time.Nanosecond
+	}
+	return context.WithTimeout(context.Background(), timeout)
+}

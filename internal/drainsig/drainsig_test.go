@@ -1,0 +1,91 @@
+package drainsig
+
+import (
+	"context"
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestWaitOnRunsDrainAfterSignal drives the injectable variant: drain
+// must not run before the signal and must see a deadline derived from
+// the timeout.
+func TestWaitOnRunsDrainAfterSignal(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	ran := make(chan time.Time, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- WaitOn(sig, time.Minute, func(ctx context.Context) error {
+			dl, ok := ctx.Deadline()
+			if !ok {
+				t.Error("drain context has no deadline")
+			}
+			ran <- dl
+			return errors.New("drain says hi")
+		})
+	}()
+	select {
+	case <-ran:
+		t.Fatal("drain ran before any signal arrived")
+	case <-time.After(20 * time.Millisecond):
+	}
+	sig <- syscall.SIGTERM
+	dl := <-ran
+	if until := time.Until(dl); until <= 0 || until > time.Minute {
+		t.Fatalf("drain deadline %v from now, want within (0, 1m]", until)
+	}
+	if err := <-done; err == nil || err.Error() != "drain says hi" {
+		t.Fatalf("WaitOn returned %v, want the drain's error", err)
+	}
+}
+
+// TestContextZeroTimeoutExpiresImmediately pins the zero-grace-period
+// semantics both daemons rely on: the context must already be (or
+// instantly become) expired so a drain refuses new work without
+// waiting on stragglers.
+func TestContextZeroTimeoutExpiresImmediately(t *testing.T) {
+	for _, timeout := range []time.Duration{0, -time.Second} {
+		ctx, cancel := Context(timeout)
+		select {
+		case <-ctx.Done():
+		case <-time.After(100 * time.Millisecond):
+			cancel()
+			t.Fatalf("Context(%v) not expired after 100ms", timeout)
+		}
+		cancel()
+	}
+	ctx, cancel := Context(time.Minute)
+	defer cancel()
+	if ctx.Err() != nil {
+		t.Fatalf("Context(1m) already expired: %v", ctx.Err())
+	}
+}
+
+// TestWaitCatchesRealSIGTERM exercises the registered-signal path end
+// to end by delivering a real SIGTERM to the test process.
+func TestWaitCatchesRealSIGTERM(t *testing.T) {
+	done := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		done <- Wait(time.Second, func(ctx context.Context) error {
+			return ctx.Err() // nil: the grace period has not expired
+		})
+	}()
+	<-started
+	// Give Wait a moment to install its handler before the kill.
+	time.Sleep(20 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Wait returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not observe SIGTERM")
+	}
+}

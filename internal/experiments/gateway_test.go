@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestGatewayQoSAcceptance pins the issue's acceptance bounds: gateway
+// p50 overhead <= 15% over direct store access for 16 KiB objects, and
+// a tenant at 10x its budget shed with typed ErrThrottled only while
+// the polite neighbor's p99 stays <= 1.5x its solo baseline.
+func TestGatewayQoSAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("acceptance experiment is seconds-long")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	tbl, rs, err := GatewayQoS(ctx, true)
+	if err != nil {
+		t.Fatalf("GatewayQoS: %v", err)
+	}
+	if tbl == nil || len(tbl.Rows) != len(rs) {
+		t.Fatalf("table rows %v vs %d results", tbl, len(rs))
+	}
+	if len(rs) != 4 {
+		t.Fatalf("want 4 arm results (direct A, gateway A, mixed A, mixed B), got %d", len(rs))
+	}
+	direct, gwSolo, mixedA, mixedB := rs[0], rs[1], rs[2], rs[3]
+	if direct.Tenant != "A" || gwSolo.Tenant != "A" || mixedA.Tenant != "A" || mixedB.Tenant != "B" {
+		t.Fatalf("unexpected tenant order: %q %q %q %q", direct.Tenant, gwSolo.Tenant, mixedA.Tenant, mixedB.Tenant)
+	}
+
+	// Structural facts hold regardless of scheduler noise.
+	for _, r := range []GatewayQoSResult{direct, gwSolo, mixedA} {
+		if r.Completed == 0 || r.P50 <= 0 {
+			t.Fatalf("arm %q tenant %q measured nothing: %+v", r.Arm, r.Tenant, r)
+		}
+		if r.Throttled != 0 || r.Errors != 0 {
+			t.Errorf("arm %q tenant %q: unexpected sheds/errors: %+v", r.Arm, r.Tenant, r)
+		}
+	}
+	// The overloaded tenant must shed — and shed typed, never as a
+	// plain error — while still completing its budgeted share.
+	if mixedB.Throttled == 0 {
+		t.Errorf("tenant B at 10x budget was never throttled: %+v", mixedB)
+	}
+	if mixedB.Errors != 0 || mixedB.Overloaded != 0 {
+		t.Errorf("tenant B sheds must all be typed ErrThrottled: %+v", mixedB)
+	}
+	if mixedB.Completed == 0 {
+		t.Errorf("tenant B should still complete its budgeted share: %+v", mixedB)
+	}
+	// Post-paid buckets admit at most budget*elapsed plus one burst
+	// (a second's worth of budget); the cap must bind even over short
+	// windows once that initial allowance is accounted for.
+	ceiling := mixedB.BudgetOps*mixedB.Elapsed.Seconds() + mixedB.BudgetOps + 20
+	if float64(mixedB.Completed) > ceiling {
+		t.Errorf("tenant B completed %d ops in %v against a %.0f ops/s budget (ceiling %.0f)",
+			mixedB.Completed, mixedB.Elapsed, mixedB.BudgetOps, ceiling)
+	}
+
+	if raceEnabled {
+		t.Logf("race detector on: skipping wall-clock ratio bounds (overhead %.3f, p99 ratio %.3f)",
+			float64(gwSolo.P50)/float64(direct.P50), float64(mixedA.P99)/float64(gwSolo.P99))
+		return
+	}
+
+	// Acceptance bound 1: gateway p50 overhead <= 15% over direct.
+	overhead := float64(gwSolo.P50) / float64(direct.P50)
+	t.Logf("p50 direct %v, gateway %v, overhead %.3fx", direct.P50, gwSolo.P50, overhead)
+	if overhead > 1.15 {
+		t.Errorf("gateway p50 overhead %.3fx > 1.15x (direct %v, gateway %v)", overhead, direct.P50, gwSolo.P50)
+	}
+	// Acceptance bound 2: the polite tenant's p99 with an overloaded
+	// neighbor stays within 1.5x of its solo baseline.
+	iso := float64(mixedA.P99) / float64(gwSolo.P99)
+	t.Logf("tenant A p99 solo %v, with overloaded neighbor %v, ratio %.3fx", gwSolo.P99, mixedA.P99, iso)
+	if iso > 1.5 {
+		t.Errorf("tenant A p99 ratio %.3fx > 1.5x (solo %v, mixed %v)", iso, gwSolo.P99, mixedA.P99)
+	}
+}

@@ -1,0 +1,572 @@
+// Package gateway is the front-end object service (the Access layer,
+// in cubeFS BlobStore's split): a simple multi-tenant object API —
+// Put/Get/Delete/Stat with streaming bodies — over the unified block
+// Store facade. Objects live in an object → block-extent namespace:
+// each Put packs its body into a freshly allocated, stripe-rounded
+// extent of the flat block space through the pipelined bulk engine,
+// then publishes the manifest atomically, so concurrent readers of
+// the previous version keep a consistent extent until they finish
+// (manifests are reference-counted and extents are recycled only once
+// both superseded and unreferenced).
+//
+// The gateway is also where multi-tenant fairness is enforced: each
+// tenant runs behind a post-paid token-bucket pair (ops/s and
+// bytes/s, configurable burst), a global concurrency limiter protects
+// the store itself, and every rejection is a typed backpressure error
+// the front end can map to a transport-level reply — *ThrottleError
+// (wrapping proto.ErrThrottled, with a retry-after hint),
+// proto.ErrOverloaded, and proto.ErrDraining during graceful drain.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecstore/internal/bufpool"
+	"ecstore/internal/bulk"
+	"ecstore/internal/obs"
+	"ecstore/internal/proto"
+)
+
+// ErrNotFound reports a Get/Delete/Stat of an object that does not
+// exist (or was deleted). Use errors.Is.
+var ErrNotFound = errors.New("gateway: object not found")
+
+// Backend is the slice of the Store facade the gateway drives. Both
+// facade shapes (*ecstore.Volume, *ecstore.ShardedVolume) and the
+// internal volume types satisfy it.
+type Backend interface {
+	BlockSize() int
+	// Capacity returns the addressable block count, or 0 when the
+	// block space is unbounded.
+	Capacity() uint64
+	ReadAt(ctx context.Context, p []byte, off int64) (int, error)
+	WriteAt(ctx context.Context, p []byte, off int64) (int, error)
+	Reader(ctx context.Context, off, nBytes int64) io.Reader
+}
+
+// DefaultMaxConcurrent bounds in-flight requests when Options leaves
+// MaxConcurrent zero.
+const DefaultMaxConcurrent = 256
+
+// Options configures a Gateway.
+type Options struct {
+	// Stripe is the backend's data blocks per stripe (the erasure
+	// code's k). Extents round up to stripe multiples so object bodies
+	// take the bulk engine's full-stripe batched write path instead of
+	// read-modify-writing a partial tail block. 0 or 1 rounds extents
+	// to single blocks.
+	Stripe int
+	// Tenants maps tenant names to their QoS budgets. Tenants not in
+	// the map get DefaultLimit.
+	Tenants map[string]TenantLimit
+	// DefaultLimit applies to tenants absent from Tenants. The zero
+	// value is unlimited.
+	DefaultLimit TenantLimit
+	// MaxConcurrent is the global in-flight request cap; a request
+	// arriving with every slot taken is shed with proto.ErrOverloaded.
+	// A Get holds its slot until the body is closed. Default
+	// DefaultMaxConcurrent; negative disables the limiter.
+	MaxConcurrent int
+	// Obs receives gateway.* metrics; nil disables them.
+	Obs *obs.Registry
+}
+
+// ObjectInfo describes one stored object.
+type ObjectInfo struct {
+	Tenant string
+	Key    string
+	// Size is the object's logical length in bytes.
+	Size int64
+	// Version counts Puts of this key, starting at 1.
+	Version uint64
+	// Blocks is the extent length (includes stripe-rounding padding).
+	Blocks uint64
+}
+
+// object is one manifest: where a version of a key lives. Manifests
+// are immutable after publish; refs/dead are guarded by Gateway.mu.
+type object struct {
+	off     int64  // extent start, bytes
+	blocks  uint64 // extent length, blocks
+	size    int64  // logical size, bytes
+	version uint64
+	refs    int  // readers streaming this version
+	dead    bool // superseded or deleted: free the extent at refs==0
+}
+
+// Gateway serves the object API over one Backend. Safe for concurrent
+// use.
+type Gateway struct {
+	b      Backend
+	stripe int
+	qos    *qos
+	sem    chan struct{} // nil: unlimited
+
+	mu      sync.Mutex
+	objects map[string]map[string]*object // tenant → key → manifest
+	alloc   allocator
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	idleMu   sync.Mutex
+	idleCh   chan struct{}
+	pending  int
+
+	m metrics
+}
+
+type metrics struct {
+	putCalls, getCalls, delCalls, statCalls *obs.Counter
+	putLat, getLat                          *obs.Histogram
+	errors                                  *obs.Counter
+	throttled, overloaded, drainRejects     *obs.Counter
+	bytesIn, bytesOut                       *obs.Counter
+	inflight                                *obs.Gauge
+}
+
+// New builds a gateway over b.
+func New(b Backend, opts Options) *Gateway {
+	stripe := opts.Stripe
+	if stripe < 1 {
+		stripe = 1
+	}
+	gw := &Gateway{
+		b:       b,
+		stripe:  stripe,
+		qos:     newQoS(opts.Tenants, opts.DefaultLimit, opts.Obs),
+		objects: make(map[string]map[string]*object),
+		alloc:   allocator{capacity: b.Capacity()},
+		m: metrics{
+			putCalls:     opts.Obs.Counter("gateway.put.calls"),
+			getCalls:     opts.Obs.Counter("gateway.get.calls"),
+			delCalls:     opts.Obs.Counter("gateway.delete.calls"),
+			statCalls:    opts.Obs.Counter("gateway.stat.calls"),
+			putLat:       opts.Obs.Histogram("gateway.put.latency"),
+			getLat:       opts.Obs.Histogram("gateway.get.latency"),
+			errors:       opts.Obs.Counter("gateway.errors"),
+			throttled:    opts.Obs.Counter("gateway.throttled"),
+			overloaded:   opts.Obs.Counter("gateway.overloaded"),
+			drainRejects: opts.Obs.Counter("gateway.drain_rejects"),
+			bytesIn:      opts.Obs.Counter("gateway.bytes_in"),
+			bytesOut:     opts.Obs.Counter("gateway.bytes_out"),
+			inflight:     opts.Obs.Gauge("gateway.inflight"),
+		},
+	}
+	maxc := opts.MaxConcurrent
+	if maxc == 0 {
+		maxc = DefaultMaxConcurrent
+	}
+	if maxc > 0 {
+		gw.sem = make(chan struct{}, maxc)
+	}
+	opts.Obs.Func("gateway.objects", func() int64 {
+		gw.mu.Lock()
+		defer gw.mu.Unlock()
+		var n int64
+		for _, keys := range gw.objects {
+			n += int64(len(keys))
+		}
+		return n
+	})
+	opts.Obs.Func("gateway.allocated_blocks", func() int64 {
+		gw.mu.Lock()
+		defer gw.mu.Unlock()
+		return int64(gw.alloc.allocated)
+	})
+	return gw
+}
+
+// --- admission ---------------------------------------------------------------
+
+// begin runs every request's admission chain: drain check, global
+// concurrency slot, then (when metered) the tenant's QoS charge. On
+// success the caller must call the returned release exactly once (a
+// Get defers it to the body's Close).
+func (gw *Gateway) begin(tenant string, byteCost int64, metered bool) (release func(), err error) {
+	if gw.draining.Load() {
+		gw.m.drainRejects.Inc()
+		return nil, fmt.Errorf("gateway: %w", proto.ErrDraining)
+	}
+	if gw.sem != nil {
+		select {
+		case gw.sem <- struct{}{}:
+		default:
+			gw.m.overloaded.Inc()
+			return nil, fmt.Errorf("gateway: concurrency limit %d: %w", cap(gw.sem), proto.ErrOverloaded)
+		}
+	}
+	if metered {
+		if err := gw.qos.admit(tenant, byteCost); err != nil {
+			if gw.sem != nil {
+				<-gw.sem
+			}
+			gw.m.throttled.Inc()
+			return nil, err
+		}
+	}
+	gw.track(1)
+	gw.m.inflight.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			gw.m.inflight.Add(-1)
+			if gw.sem != nil {
+				<-gw.sem
+			}
+			gw.track(-1)
+		})
+	}, nil
+}
+
+// track maintains the drain accounting (pending count + idle signal).
+func (gw *Gateway) track(delta int) {
+	gw.idleMu.Lock()
+	gw.pending += delta
+	if gw.pending == 0 && gw.idleCh != nil {
+		close(gw.idleCh)
+		gw.idleCh = nil
+	}
+	gw.idleMu.Unlock()
+}
+
+// Drain puts the gateway into graceful shutdown: every new request is
+// refused with proto.ErrDraining while in-flight requests (including
+// Get bodies still streaming) get until ctx expires to finish. The
+// gateway keeps refusing work after Drain returns, mirroring
+// rpc.Server.Drain.
+func (gw *Gateway) Drain(ctx context.Context) error {
+	gw.draining.Store(true)
+	for {
+		gw.idleMu.Lock()
+		if gw.pending == 0 {
+			gw.idleMu.Unlock()
+			return nil
+		}
+		if gw.idleCh == nil {
+			gw.idleCh = make(chan struct{})
+		}
+		idle := gw.idleCh
+		gw.idleMu.Unlock()
+		select {
+		case <-idle:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Draining reports whether the gateway is refusing new work.
+func (gw *Gateway) Draining() bool { return gw.draining.Load() }
+
+// --- object API --------------------------------------------------------------
+
+// putChunkBytes bounds the staging buffer of one streamed Put: big
+// enough to keep the bulk engine's default window full of stripes,
+// small enough to stay pooled.
+const putChunkBytes = 4 << 20
+
+// Put stores size bytes from r as tenant's object key, overwriting
+// any previous version. The body streams into a fresh stripe-rounded
+// extent in chunks (each chunk one pipelined WriteAt), and the
+// manifest is published only after the last byte is durably written —
+// a failed or short body never replaces the old version.
+func (gw *Gateway) Put(ctx context.Context, tenant, key string, r io.Reader, size int64) error {
+	return gw.put(ctx, tenant, key, r, size, true)
+}
+
+// Preload stores an object exactly like Put but without charging the
+// tenant's QoS budget (drain and the global concurrency limit still
+// apply). It exists for warm-up tooling — a load generator preloading
+// a rate-capped tenant's keyspace must not start the measured window
+// with the tenant already in debt.
+func (gw *Gateway) Preload(ctx context.Context, tenant, key string, r io.Reader, size int64) error {
+	return gw.put(ctx, tenant, key, r, size, false)
+}
+
+func (gw *Gateway) put(ctx context.Context, tenant, key string, r io.Reader, size int64, metered bool) error {
+	if err := checkName(tenant, key); err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("gateway: negative object size %d", size)
+	}
+	release, err := gw.begin(tenant, size, metered)
+	if err != nil {
+		return err
+	}
+	defer release()
+	gw.m.putCalls.Inc()
+	start := time.Now()
+
+	bs := int64(gw.b.BlockSize())
+	stripeBytes := bs * int64(gw.stripe)
+	blocks := uint64((size + stripeBytes - 1) / stripeBytes * int64(gw.stripe))
+	if size == 0 {
+		blocks = 0
+	}
+	gw.mu.Lock()
+	extent, err := gw.alloc.take(blocks)
+	gw.mu.Unlock()
+	if err != nil {
+		gw.m.errors.Inc()
+		return err
+	}
+	off := int64(extent) * bs
+
+	// Stream the body: chunks are stripe-rounded (the final one
+	// zero-padded to the extent's stripe boundary) so every WriteAt
+	// stays on the full-stripe batched path and a reused extent's old
+	// bytes are always overwritten.
+	chunkCap := putChunkBytes / stripeBytes * stripeBytes
+	if chunkCap < stripeBytes {
+		chunkCap = stripeBytes
+	}
+	var written int64
+	for written < size {
+		want := min64(size-written, chunkCap)
+		buf := bufpool.Get(int(alignUp(want, stripeBytes)))
+		_, rerr := io.ReadFull(r, buf[:want])
+		if rerr == nil {
+			for i := want; i < int64(len(buf)); i++ {
+				buf[i] = 0
+			}
+			_, rerr = gw.b.WriteAt(ctx, buf, off+written)
+		}
+		bufpool.Put(buf)
+		if rerr != nil {
+			gw.mu.Lock()
+			gw.alloc.give(extent, blocks)
+			gw.mu.Unlock()
+			gw.m.errors.Inc()
+			return fmt.Errorf("gateway: put %s/%s: %w", tenant, key, rerr)
+		}
+		written += want
+	}
+	gw.m.bytesIn.Add(uint64(size))
+
+	gw.mu.Lock()
+	keys, ok := gw.objects[tenant]
+	if !ok {
+		keys = make(map[string]*object)
+		gw.objects[tenant] = keys
+	}
+	version := uint64(1)
+	if old := keys[key]; old != nil {
+		version = old.version + 1
+		old.dead = true
+		gw.reapLocked(old)
+	}
+	keys[key] = &object{off: off, blocks: blocks, size: size, version: version}
+	gw.mu.Unlock()
+	gw.m.putLat.Observe(time.Since(start))
+	return nil
+}
+
+// Get opens tenant's object key for streaming. The returned body
+// reads exactly the object's bytes with the bulk engine's readahead
+// behind it; Close releases the version's extent pin and the
+// gateway's concurrency slot, so callers must always Close (even on
+// early abort). Info is valid immediately.
+func (gw *Gateway) Get(ctx context.Context, tenant, key string) (body io.ReadCloser, info ObjectInfo, err error) {
+	if err := checkName(tenant, key); err != nil {
+		return nil, ObjectInfo{}, err
+	}
+	gw.mu.Lock()
+	obj := gw.objects[tenant][key]
+	gw.mu.Unlock()
+	if obj == nil {
+		return nil, ObjectInfo{}, fmt.Errorf("gateway: %w: %s/%s", ErrNotFound, tenant, key)
+	}
+	release, err := gw.begin(tenant, obj.size, true)
+	if err != nil {
+		return nil, ObjectInfo{}, err
+	}
+	gw.m.getCalls.Inc()
+	start := time.Now()
+
+	// Re-resolve and pin under the lock: the admission wait may have
+	// raced a Delete or an overwrite.
+	gw.mu.Lock()
+	obj = gw.objects[tenant][key]
+	if obj == nil {
+		gw.mu.Unlock()
+		release()
+		return nil, ObjectInfo{}, fmt.Errorf("gateway: %w: %s/%s", ErrNotFound, tenant, key)
+	}
+	obj.refs++
+	gw.mu.Unlock()
+
+	info = ObjectInfo{Tenant: tenant, Key: key, Size: obj.size, Version: obj.version, Blocks: obj.blocks}
+	r := gw.b.Reader(ctx, obj.off, obj.size)
+	return &objectBody{gw: gw, obj: obj, r: r, release: release, start: start}, info, nil
+}
+
+// objectBody streams one pinned object version.
+type objectBody struct {
+	gw      *Gateway
+	obj     *object
+	r       io.Reader
+	release func()
+	start   time.Time
+	read    int64
+	closed  bool
+}
+
+func (b *objectBody) Read(p []byte) (int, error) {
+	if b.closed {
+		return 0, errors.New("gateway: read of closed object body")
+	}
+	n, err := b.r.Read(p)
+	b.read += int64(n)
+	return n, err
+}
+
+func (b *objectBody) Close() error {
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	b.gw.m.bytesOut.Add(uint64(b.read))
+	b.gw.m.getLat.Observe(time.Since(b.start))
+	b.gw.mu.Lock()
+	b.obj.refs--
+	b.gw.reapLocked(b.obj)
+	b.gw.mu.Unlock()
+	b.release()
+	return nil
+}
+
+// Delete removes tenant's object key. The extent is recycled once the
+// last in-flight reader of the version finishes.
+func (gw *Gateway) Delete(ctx context.Context, tenant, key string) error {
+	if err := checkName(tenant, key); err != nil {
+		return err
+	}
+	release, err := gw.begin(tenant, 0, true)
+	if err != nil {
+		return err
+	}
+	defer release()
+	gw.m.delCalls.Inc()
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	obj := gw.objects[tenant][key]
+	if obj == nil {
+		return fmt.Errorf("gateway: %w: %s/%s", ErrNotFound, tenant, key)
+	}
+	delete(gw.objects[tenant], key)
+	obj.dead = true
+	gw.reapLocked(obj)
+	return nil
+}
+
+// Stat returns the object's manifest. It costs one op of the
+// tenant's budget but no bytes.
+func (gw *Gateway) Stat(ctx context.Context, tenant, key string) (ObjectInfo, error) {
+	if err := checkName(tenant, key); err != nil {
+		return ObjectInfo{}, err
+	}
+	release, err := gw.begin(tenant, 0, true)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	defer release()
+	gw.m.statCalls.Inc()
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	obj := gw.objects[tenant][key]
+	if obj == nil {
+		return ObjectInfo{}, fmt.Errorf("gateway: %w: %s/%s", ErrNotFound, tenant, key)
+	}
+	return ObjectInfo{Tenant: tenant, Key: key, Size: obj.size, Version: obj.version, Blocks: obj.blocks}, nil
+}
+
+// reapLocked recycles a manifest's extent once it is both dead and
+// unreferenced. Callers hold gw.mu.
+func (gw *Gateway) reapLocked(obj *object) {
+	if obj.dead && obj.refs == 0 && obj.blocks > 0 {
+		gw.alloc.give(uint64(obj.off)/uint64(gw.b.BlockSize()), obj.blocks)
+		obj.blocks = 0
+	}
+}
+
+func checkName(tenant, key string) error {
+	if tenant == "" {
+		return errors.New("gateway: empty tenant")
+	}
+	if key == "" {
+		return errors.New("gateway: empty key")
+	}
+	return nil
+}
+
+// --- extent allocator --------------------------------------------------------
+
+// extent is one free run of blocks.
+type extent struct{ start, blocks uint64 }
+
+// allocator hands out block extents from the flat address space: a
+// bump pointer plus a first-fit free list fed by deletes. Extents are
+// stripe-rounded by the caller, so workloads with repeating object
+// sizes reuse freed extents exactly; a larger free run is split and
+// the remainder stays on the list. Guarded by Gateway.mu.
+type allocator struct {
+	next      uint64
+	capacity  uint64 // blocks; 0 = unbounded
+	free      []extent
+	allocated uint64 // live blocks, for the gauge
+}
+
+func (a *allocator) take(blocks uint64) (uint64, error) {
+	if blocks == 0 {
+		return 0, nil
+	}
+	for i := range a.free {
+		if a.free[i].blocks >= blocks {
+			start := a.free[i].start
+			a.free[i].start += blocks
+			a.free[i].blocks -= blocks
+			if a.free[i].blocks == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			a.allocated += blocks
+			return start, nil
+		}
+	}
+	if a.capacity > 0 && a.next+blocks > a.capacity {
+		return 0, fmt.Errorf("gateway: extent of %d blocks: %w (capacity %d, high-water %d)",
+			blocks, bulk.ErrOutOfRange, a.capacity, a.next)
+	}
+	start := a.next
+	a.next += blocks
+	a.allocated += blocks
+	return start, nil
+}
+
+func (a *allocator) give(start, blocks uint64) {
+	if blocks == 0 {
+		return
+	}
+	a.allocated -= blocks
+	a.free = append(a.free, extent{start: start, blocks: blocks})
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func alignUp(v, to int64) int64 {
+	if to <= 0 {
+		return v
+	}
+	return (v + to - 1) / to * to
+}

@@ -1,0 +1,384 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/bulk"
+	"ecstore/internal/proto"
+)
+
+// memBackend is an in-memory block space implementing Backend, so the
+// namespace/QoS/drain logic is tested without a cluster underneath.
+type memBackend struct {
+	mu        sync.Mutex
+	data      map[int64][]byte // block index → block
+	blockSize int
+	capacity  uint64
+	delay     time.Duration // per-call latency, for overlap tests
+}
+
+func newMemBackend(blockSize int, capacity uint64) *memBackend {
+	return &memBackend{data: make(map[int64][]byte), blockSize: blockSize, capacity: capacity}
+}
+
+func (m *memBackend) BlockSize() int   { return m.blockSize }
+func (m *memBackend) Capacity() uint64 { return m.capacity }
+
+func (m *memBackend) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
+	if m.delay > 0 {
+		time.Sleep(m.delay)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bs := int64(m.blockSize)
+	for done := 0; done < len(p); {
+		blk, within := (off+int64(done))/bs, (off+int64(done))%bs
+		n := int(min64(int64(len(p)-done), bs-within))
+		b, ok := m.data[blk]
+		if !ok {
+			b = make([]byte, bs)
+			m.data[blk] = b
+		}
+		copy(b[within:], p[done:done+n])
+		done += n
+	}
+	return len(p), nil
+}
+
+func (m *memBackend) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
+	if m.delay > 0 {
+		time.Sleep(m.delay)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bs := int64(m.blockSize)
+	for done := 0; done < len(p); {
+		blk, within := (off+int64(done))/bs, (off+int64(done))%bs
+		n := int(min64(int64(len(p)-done), bs-within))
+		if b, ok := m.data[blk]; ok {
+			copy(p[done:done+n], b[within:within+int64(n)])
+		} else {
+			for i := done; i < done+n; i++ {
+				p[i] = 0
+			}
+		}
+		done += n
+	}
+	return len(p), nil
+}
+
+func (m *memBackend) Reader(ctx context.Context, off, nBytes int64) io.Reader {
+	return &memReader{m: m, ctx: ctx, off: off, remaining: nBytes}
+}
+
+type memReader struct {
+	m         *memBackend
+	ctx       context.Context
+	off       int64
+	remaining int64
+}
+
+func (r *memReader) Read(p []byte) (int, error) {
+	if r.remaining <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > r.remaining {
+		p = p[:r.remaining]
+	}
+	n, err := r.m.ReadAt(r.ctx, p, r.off)
+	r.off += int64(n)
+	r.remaining -= int64(n)
+	return n, err
+}
+
+func payload(seed byte, n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = seed + byte(i*7)
+	}
+	return p
+}
+
+func mustPut(t *testing.T, gw *Gateway, tenant, key string, data []byte) {
+	t.Helper()
+	if err := gw.Put(context.Background(), tenant, key, bytes.NewReader(data), int64(len(data))); err != nil {
+		t.Fatalf("put %s/%s: %v", tenant, key, err)
+	}
+}
+
+func mustGet(t *testing.T, gw *Gateway, tenant, key string) ([]byte, ObjectInfo) {
+	t.Helper()
+	body, info, err := gw.Get(context.Background(), tenant, key)
+	if err != nil {
+		t.Fatalf("get %s/%s: %v", tenant, key, err)
+	}
+	defer body.Close()
+	data, err := io.ReadAll(body)
+	if err != nil {
+		t.Fatalf("read %s/%s: %v", tenant, key, err)
+	}
+	return data, info
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	gw := New(newMemBackend(64, 0), Options{Stripe: 3})
+	ctx := context.Background()
+	sizes := []int{0, 1, 63, 64, 65, 192, 192*3 + 7, 5000}
+	for i, size := range sizes {
+		key := fmt.Sprintf("obj-%d", size)
+		want := payload(byte(i+1), size)
+		mustPut(t, gw, "acme", key, want)
+		got, info := mustGet(t, gw, "acme", key)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("size %d: body mismatch (got %d bytes)", size, len(got))
+		}
+		if info.Size != int64(size) || info.Version != 1 {
+			t.Fatalf("size %d: info = %+v", size, info)
+		}
+		// Extents are stripe-rounded: 3 blocks of 64 bytes per stripe.
+		if size > 0 && info.Blocks%3 != 0 {
+			t.Fatalf("size %d: extent %d blocks not stripe-rounded", size, info.Blocks)
+		}
+		st, err := gw.Stat(ctx, "acme", key)
+		if err != nil || st != info {
+			t.Fatalf("stat = %+v, %v; want %+v", st, err, info)
+		}
+	}
+	// Overwrite bumps the version and changes the content.
+	next := payload(99, 5000)
+	mustPut(t, gw, "acme", "obj-5000", next)
+	got, info := mustGet(t, gw, "acme", "obj-5000")
+	if !bytes.Equal(got, next) || info.Version != 2 {
+		t.Fatalf("overwrite: version %d, match %v", info.Version, bytes.Equal(got, next))
+	}
+	// Delete, then every lookup is a typed not-found.
+	if err := gw.Delete(ctx, "acme", "obj-5000"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := gw.Get(ctx, "acme", "obj-5000"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after delete = %v, want ErrNotFound", err)
+	}
+	if _, err := gw.Stat(ctx, "acme", "obj-5000"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stat after delete = %v, want ErrNotFound", err)
+	}
+	if err := gw.Delete(ctx, "acme", "obj-5000"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v, want ErrNotFound", err)
+	}
+	// Tenants are namespaces: the same key under another tenant is new.
+	if _, _, err := gw.Get(ctx, "other", "obj-1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cross-tenant get = %v, want ErrNotFound", err)
+	}
+}
+
+func TestShortBodyNeverPublishes(t *testing.T) {
+	gw := New(newMemBackend(64, 0), Options{Stripe: 2})
+	ctx := context.Background()
+	mustPut(t, gw, "t", "k", payload(1, 100))
+	// Claim 200 bytes but deliver 10: the Put must fail and the old
+	// version must survive untouched.
+	err := gw.Put(ctx, "t", "k", strings.NewReader("short body"), 200)
+	if err == nil {
+		t.Fatal("short body accepted")
+	}
+	got, info := mustGet(t, gw, "t", "k")
+	if info.Version != 1 || !bytes.Equal(got, payload(1, 100)) {
+		t.Fatalf("old version damaged by failed put: v%d", info.Version)
+	}
+}
+
+func TestExtentReuseAfterDelete(t *testing.T) {
+	gw := New(newMemBackend(64, 0), Options{Stripe: 2})
+	ctx := context.Background()
+	mustPut(t, gw, "t", "a", payload(1, 500))
+	high := gw.alloc.next
+	if err := gw.Delete(ctx, "t", "a"); err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, gw, "t", "b", payload(2, 500))
+	if gw.alloc.next != high {
+		t.Fatalf("same-size put after delete grew the space: high-water %d → %d", high, gw.alloc.next)
+	}
+	if got, _ := mustGet(t, gw, "t", "b"); !bytes.Equal(got, payload(2, 500)) {
+		t.Fatal("reused extent serves stale bytes")
+	}
+}
+
+func TestPinnedReaderSurvivesOverwrite(t *testing.T) {
+	gw := New(newMemBackend(64, 0), Options{Stripe: 2})
+	ctx := context.Background()
+	old := payload(1, 1000)
+	mustPut(t, gw, "t", "k", old)
+	body, info, err := gw.Get(ctx, "t", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("version = %d", info.Version)
+	}
+	// Overwrite twice while the reader is open; the pinned extent must
+	// not be recycled (a same-size put would reuse it immediately).
+	mustPut(t, gw, "t", "k", payload(2, 1000))
+	mustPut(t, gw, "t", "k", payload(3, 1000))
+	got, err := io.ReadAll(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatal("pinned reader saw bytes from a newer version")
+	}
+	if err := body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After the pin drops the old extent recycles: a same-size put no
+	// longer grows the space.
+	high := gw.alloc.next
+	mustPut(t, gw, "t", "k2", payload(4, 1000))
+	if gw.alloc.next != high {
+		t.Fatalf("freed pinned extent not reused: high-water %d → %d", high, gw.alloc.next)
+	}
+}
+
+func TestBoundedCapacityRunsOut(t *testing.T) {
+	// 8 blocks of 64 bytes, stripe 2 → at most 4 stripes.
+	gw := New(newMemBackend(64, 8), Options{Stripe: 2})
+	ctx := context.Background()
+	mustPut(t, gw, "t", "a", payload(1, 300)) // 3 stripes = 6 blocks
+	err := gw.Put(ctx, "t", "b", bytes.NewReader(payload(2, 300)), 300)
+	if !errors.Is(err, bulk.ErrOutOfRange) {
+		t.Fatalf("over-capacity put = %v, want ErrOutOfRange", err)
+	}
+	// The remaining stripe still fits.
+	mustPut(t, gw, "t", "c", payload(3, 100))
+}
+
+func TestThrottleTyped(t *testing.T) {
+	gw := New(newMemBackend(64, 0), Options{
+		Stripe:  2,
+		Tenants: map[string]TenantLimit{"slow": {OpsPerSec: 1, OpBurst: 1}},
+	})
+	ctx := context.Background()
+	mustPut(t, gw, "slow", "k", payload(1, 64))
+	// Post-paid: the burst is spent and one more op is admitted into
+	// debt; after that the tenant must shed with the typed error and a
+	// usable retry-after.
+	if body, _, err := gw.Get(ctx, "slow", "k"); err != nil {
+		t.Fatalf("debt-admitted get: %v", err)
+	} else {
+		body.Close()
+	}
+	var throttle *ThrottleError
+	_, _, err := gw.Get(ctx, "slow", "k")
+	if !errors.Is(err, proto.ErrThrottled) {
+		t.Fatalf("over-budget get = %v, want ErrThrottled", err)
+	}
+	if !errors.As(err, &throttle) {
+		t.Fatalf("over-budget get %v does not carry a *ThrottleError", err)
+	}
+	if throttle.RetryAfter <= 0 || throttle.RetryAfter > 5*time.Second {
+		t.Fatalf("retry-after = %v, want a small positive hint", throttle.RetryAfter)
+	}
+	if throttle.Tenant != "slow" {
+		t.Fatalf("throttle names tenant %q", throttle.Tenant)
+	}
+	// An unconfigured tenant falls back to the (unlimited) default.
+	for i := 0; i < 50; i++ {
+		mustPut(t, gw, "fast", "k", payload(2, 64))
+	}
+}
+
+func TestBytesThrottle(t *testing.T) {
+	gw := New(newMemBackend(64, 0), Options{
+		Stripe:  2,
+		Tenants: map[string]TenantLimit{"t": {BytesPerSec: 1024, ByteBurst: 1024}},
+	})
+	ctx := context.Background()
+	// Post-paid: a body bigger than the burst is admitted once...
+	mustPut(t, gw, "t", "big", payload(1, 4096))
+	// ...and the debt throttles the next op for roughly debt/rate.
+	err := gw.Put(ctx, "t", "next", bytes.NewReader(payload(2, 64)), 64)
+	var throttle *ThrottleError
+	if !errors.As(err, &throttle) {
+		t.Fatalf("post-debt put = %v, want *ThrottleError", err)
+	}
+	if throttle.RetryAfter < time.Second || throttle.RetryAfter > 10*time.Second {
+		t.Fatalf("retry-after = %v, want ~3s of byte debt", throttle.RetryAfter)
+	}
+}
+
+func TestOverloadTyped(t *testing.T) {
+	gw := New(newMemBackend(64, 0), Options{Stripe: 2, MaxConcurrent: 1})
+	ctx := context.Background()
+	mustPut(t, gw, "t", "k", payload(1, 64))
+	// A streaming Get holds its concurrency slot until Close.
+	body, _, err := gw.Get(ctx, "t", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := gw.Get(ctx, "t", "k"); !errors.Is(err, proto.ErrOverloaded) {
+		t.Fatalf("get at the concurrency limit = %v, want ErrOverloaded", err)
+	}
+	if err := gw.Put(ctx, "t", "k2", bytes.NewReader(payload(2, 64)), 64); !errors.Is(err, proto.ErrOverloaded) {
+		t.Fatalf("put at the concurrency limit = %v, want ErrOverloaded", err)
+	}
+	if err := body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, gw, "t", "k2", payload(2, 64))
+}
+
+func TestDrainRefusesNewWork(t *testing.T) {
+	gw := New(newMemBackend(64, 0), Options{Stripe: 2})
+	ctx := context.Background()
+	mustPut(t, gw, "t", "k", payload(1, 64))
+	body, _, err := gw.Get(ctx, "t", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a body still streaming, a bounded drain times out...
+	short, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if err := gw.Drain(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain with open body = %v, want deadline exceeded", err)
+	}
+	// ...while every new request is already refused, typed.
+	if _, _, err := gw.Get(ctx, "t", "k"); !errors.Is(err, proto.ErrDraining) {
+		t.Fatalf("get during drain = %v, want ErrDraining", err)
+	}
+	if err := gw.Put(ctx, "t", "k2", bytes.NewReader(payload(2, 64)), 64); !errors.Is(err, proto.ErrDraining) {
+		t.Fatalf("put during drain = %v, want ErrDraining", err)
+	}
+	if !gw.Draining() {
+		t.Fatal("Draining() = false during drain")
+	}
+	// Closing the body lets a second drain finish cleanly.
+	if err := body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done, cancel2 := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel2()
+	if err := gw.Drain(done); err != nil {
+		t.Fatalf("drain after close = %v", err)
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	gw := New(newMemBackend(64, 0), Options{})
+	ctx := context.Background()
+	if err := gw.Put(ctx, "", "k", strings.NewReader("x"), 1); err == nil {
+		t.Fatal("empty tenant accepted")
+	}
+	if err := gw.Put(ctx, "t", "", strings.NewReader("x"), 1); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := gw.Put(ctx, "t", "k", strings.NewReader("x"), -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}

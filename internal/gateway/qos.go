@@ -1,0 +1,173 @@
+package gateway
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ecstore/internal/obs"
+	"ecstore/internal/proto"
+)
+
+// TenantLimit is one tenant's QoS budget. Zero rates mean unlimited
+// on that axis, so the zero value is "no limits at all".
+type TenantLimit struct {
+	// OpsPerSec caps the tenant's request rate across every operation
+	// (Put, Get, Delete, Stat each cost one op). 0 = unlimited.
+	OpsPerSec float64
+	// BytesPerSec caps the tenant's payload throughput (Put bodies in,
+	// Get bodies out; Delete and Stat are free). 0 = unlimited.
+	BytesPerSec float64
+	// OpBurst is the op bucket's depth. 0 defaults to one second of
+	// OpsPerSec (minimum 1).
+	OpBurst float64
+	// ByteBurst is the byte bucket's depth. 0 defaults to one second
+	// of BytesPerSec.
+	ByteBurst float64
+}
+
+// ThrottleError is the typed rejection for a tenant over its QoS
+// budget. It wraps proto.ErrThrottled (match with errors.Is) and
+// carries the earliest time the request could have been admitted, the
+// client's backoff hint (HTTP 429 Retry-After at the gatewayd front
+// end).
+type ThrottleError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *ThrottleError) Error() string {
+	return fmt.Sprintf("%v: tenant %q over budget, retry after %v", proto.ErrThrottled, e.Tenant, e.RetryAfter)
+}
+
+func (e *ThrottleError) Unwrap() error { return proto.ErrThrottled }
+
+// pool is one post-paid token pool: admission requires a non-negative
+// level, and the admitted cost may drive the level negative (debt that
+// refills at rate). Post-paid admission means an object larger than
+// one burst still goes through — it just makes the tenant wait out
+// the debt — while the long-run rate stays pinned at the configured
+// budget over any window (the same bound internal/repair's bandwidth
+// governor uses).
+type pool struct {
+	rate  float64 // tokens/sec; 0 = unlimited
+	burst float64 // cap on the level
+	level float64
+	last  time.Time
+}
+
+func (p *pool) refill(now time.Time) {
+	if p.rate == 0 {
+		return
+	}
+	if !p.last.IsZero() {
+		p.level += p.rate * now.Sub(p.last).Seconds()
+		if p.level > p.burst {
+			p.level = p.burst
+		}
+	} else {
+		p.level = p.burst
+	}
+	p.last = now
+}
+
+// debt returns how long until the pool is admittable again.
+func (p *pool) debt() time.Duration {
+	if p.rate == 0 || p.level >= 0 {
+		return 0
+	}
+	return time.Duration(-p.level / p.rate * float64(time.Second))
+}
+
+// bucket is one tenant's pair of pools plus throttle accounting.
+type bucket struct {
+	mu        sync.Mutex
+	ops       pool
+	bytes     pool
+	throttled *obs.Counter // gateway.tenant.<name>.throttled
+}
+
+func newBucket(l TenantLimit, throttled *obs.Counter) *bucket {
+	opBurst := l.OpBurst
+	if opBurst <= 0 {
+		opBurst = l.OpsPerSec
+		if opBurst < 1 {
+			opBurst = 1
+		}
+	}
+	byteBurst := l.ByteBurst
+	if byteBurst <= 0 {
+		byteBurst = l.BytesPerSec
+	}
+	return &bucket{
+		ops:       pool{rate: l.OpsPerSec, burst: opBurst},
+		bytes:     pool{rate: l.BytesPerSec, burst: byteBurst},
+		throttled: throttled,
+	}
+}
+
+// admit charges one op plus byteCost bytes, or reports how long the
+// caller should wait before retrying. The charge is all-or-nothing:
+// a request throttled on one axis does not consume the other.
+func (b *bucket) admit(now time.Time, byteCost int64) (time.Duration, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ops.refill(now)
+	b.bytes.refill(now)
+	if wait := max(b.ops.debt(), b.bytes.debt()); wait > 0 {
+		b.throttled.Inc()
+		return wait, false
+	}
+	if b.ops.rate > 0 {
+		b.ops.level--
+	}
+	if b.bytes.rate > 0 {
+		b.bytes.level -= float64(byteCost)
+	}
+	return 0, true
+}
+
+// qos maps tenants to their buckets, creating unknown tenants from
+// the default limit on first sight.
+type qos struct {
+	mu       sync.Mutex
+	buckets  map[string]*bucket
+	limits   map[string]TenantLimit
+	fallback TenantLimit
+	reg      *obs.Registry
+	now      func() time.Time
+}
+
+func newQoS(limits map[string]TenantLimit, fallback TenantLimit, reg *obs.Registry) *qos {
+	return &qos{
+		buckets:  make(map[string]*bucket),
+		limits:   limits,
+		fallback: fallback,
+		reg:      reg,
+		now:      time.Now,
+	}
+}
+
+func (q *qos) bucket(tenant string) *bucket {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		limit, configured := q.limits[tenant]
+		if !configured {
+			limit = q.fallback
+		}
+		b = newBucket(limit, q.reg.Counter("gateway.tenant."+tenant+".throttled"))
+		q.buckets[tenant] = b
+	}
+	return b
+}
+
+// admit charges tenant for one op moving byteCost payload bytes and
+// returns nil, or a *ThrottleError with the retry-after hint.
+func (q *qos) admit(tenant string, byteCost int64) error {
+	if wait, ok := q.bucket(tenant).admit(q.now(), byteCost); !ok {
+		return &ThrottleError{Tenant: tenant, RetryAfter: wait}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package gateway
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ecstore/internal/proto"
+)
+
+// fakeClock drives a qos deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestQoS(limits map[string]TenantLimit, fallback TenantLimit) (*qos, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	q := newQoS(limits, fallback, nil)
+	q.now = clk.now
+	return q, clk
+}
+
+func TestQoSUnlimitedByDefault(t *testing.T) {
+	q, _ := newTestQoS(nil, TenantLimit{})
+	for i := 0; i < 10000; i++ {
+		if err := q.admit("anyone", 1<<20); err != nil {
+			t.Fatalf("unlimited tenant throttled at op %d: %v", i, err)
+		}
+	}
+}
+
+func TestQoSOpsRate(t *testing.T) {
+	q, clk := newTestQoS(map[string]TenantLimit{"t": {OpsPerSec: 10, OpBurst: 5}}, TenantLimit{})
+	// Burst of 5 plus the one post-paid op at level 0 → 6 admitted.
+	admitted := 0
+	for i := 0; i < 20; i++ {
+		if q.admit("t", 0) == nil {
+			admitted++
+		}
+	}
+	if admitted != 6 {
+		t.Fatalf("admitted %d ops from a burst of 5, want 6 (post-paid)", admitted)
+	}
+	// The deficit refills at 10 ops/s.
+	err := q.admit("t", 0)
+	var th *ThrottleError
+	if !errors.As(err, &th) || th.RetryAfter <= 0 {
+		t.Fatalf("throttled admit = %v", err)
+	}
+	clk.advance(2 * time.Second)
+	if err := q.admit("t", 0); err != nil {
+		t.Fatalf("admit after refill window: %v", err)
+	}
+}
+
+func TestQoSBytesRateAndRetryAfter(t *testing.T) {
+	q, clk := newTestQoS(map[string]TenantLimit{"t": {BytesPerSec: 1000, ByteBurst: 1000}}, TenantLimit{})
+	// One 5000-byte op: admitted post-paid, leaving 4000 bytes of debt
+	// that refills at 1000 B/s → the hint should say ~4s.
+	if err := q.admit("t", 5000); err != nil {
+		t.Fatalf("post-paid big op: %v", err)
+	}
+	var th *ThrottleError
+	if err := q.admit("t", 10); !errors.As(err, &th) {
+		t.Fatalf("op during byte debt = %v", err)
+	}
+	if th.RetryAfter < 3900*time.Millisecond || th.RetryAfter > 4100*time.Millisecond {
+		t.Fatalf("retry-after = %v, want ~4s", th.RetryAfter)
+	}
+	if !errors.Is(th, proto.ErrThrottled) {
+		t.Fatal("ThrottleError does not unwrap to proto.ErrThrottled")
+	}
+	clk.advance(th.RetryAfter + time.Millisecond)
+	if err := q.admit("t", 10); err != nil {
+		t.Fatalf("admit after waiting out the hint: %v", err)
+	}
+}
+
+func TestQoSChargeIsAllOrNothing(t *testing.T) {
+	q, clk := newTestQoS(map[string]TenantLimit{
+		"t": {OpsPerSec: 1, OpBurst: 1, BytesPerSec: 100, ByteBurst: 100},
+	}, TenantLimit{})
+	// Exhaust the op bucket (burst 1 → two post-paid admits).
+	q.admit("t", 0)
+	q.admit("t", 0)
+	// A huge op rejected on the op axis must not charge the byte axis:
+	// if it leaked, the tenant would owe ~10000s of byte debt below.
+	if err := q.admit("t", 1_000_000); err == nil {
+		t.Fatal("op-throttled request admitted")
+	}
+	clk.advance(1500 * time.Millisecond)
+	if err := q.admit("t", 0); err != nil {
+		t.Fatalf("byte budget was charged by a rejected request: %v", err)
+	}
+}
+
+func TestQoSBurstDefaults(t *testing.T) {
+	// OpBurst unset defaults to one second of rate, minimum 1.
+	b := newBucket(TenantLimit{OpsPerSec: 0.1}, nil)
+	if b.ops.burst != 1 {
+		t.Fatalf("sub-1 rate burst = %v, want the floor of 1", b.ops.burst)
+	}
+	b = newBucket(TenantLimit{OpsPerSec: 50}, nil)
+	if b.ops.burst != 50 {
+		t.Fatalf("default op burst = %v, want one second of rate", b.ops.burst)
+	}
+	b = newBucket(TenantLimit{BytesPerSec: 4096}, nil)
+	if b.bytes.burst != 4096 {
+		t.Fatalf("default byte burst = %v, want one second of rate", b.bytes.burst)
+	}
+}
+
+func TestQoSTenantsAreIndependent(t *testing.T) {
+	q, _ := newTestQoS(map[string]TenantLimit{"slow": {OpsPerSec: 1, OpBurst: 1}}, TenantLimit{})
+	// Drive "slow" deep into throttle...
+	for i := 0; i < 10; i++ {
+		q.admit("slow", 0)
+	}
+	if err := q.admit("slow", 0); err == nil {
+		t.Fatal("slow tenant not throttled")
+	}
+	// ...while an unconfigured tenant (fallback: unlimited) never sheds.
+	for i := 0; i < 1000; i++ {
+		if err := q.admit("fast", 1<<20); err != nil {
+			t.Fatalf("fast tenant caught slow tenant's throttle: %v", err)
+		}
+	}
+}

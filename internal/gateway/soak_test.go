@@ -1,0 +1,192 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ecstore/internal/proto"
+	"ecstore/internal/regcheck"
+)
+
+// TestGatewaySoakRegcheck hammers one hot key with concurrent Puts and
+// Gets and validates the observed history against the multi-writer
+// regular-register contract (paper §3.1): manifests are published
+// atomically and pinned extents are recycled only after the last
+// reader, so a Get must never see a torn body, a never-written value,
+// or a version that was already strictly overwritten when the read
+// began. Run under -race in CI (gateway-soak job).
+func TestGatewaySoakRegcheck(t *testing.T) {
+	const (
+		writers       = 4
+		readers       = 4
+		putsPerWriter = 150 // bounded so hist.Check() stays cheap
+		getsPerReader = 300
+		objSize       = 1024
+	)
+	gw := New(newMemBackend(64, 0), Options{Stripe: 3, MaxConcurrent: -1})
+	ctx := context.Background()
+	hist := regcheck.New()
+	var next atomic.Uint64 // 0 is regcheck's reserved initial value
+
+	body := func(v uint64) []byte {
+		p := make([]byte, objSize)
+		for off := 0; off+8 <= len(p); off += 8 {
+			binary.BigEndian.PutUint64(p[off:], v)
+		}
+		return p
+	}
+	decode := func(p []byte) (uint64, bool) {
+		if len(p) != objSize {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint64(p)
+		for off := 8; off+8 <= len(p); off += 8 {
+			if binary.BigEndian.Uint64(p[off:]) != v {
+				return 0, false // torn body: two versions interleaved
+			}
+		}
+		return v, true
+	}
+
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < putsPerWriter; i++ {
+				v := next.Add(1)
+				tok := hist.BeginWrite(v)
+				if err := gw.Put(ctx, "soak", "hot", bytes.NewReader(body(v)), objSize); err != nil {
+					t.Errorf("soak put %d: %v", v, err)
+					failed.Store(true)
+					return
+				}
+				hist.EndWrite(tok)
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < getsPerReader; i++ {
+				tok := hist.BeginRead()
+				rc, _, err := gw.Get(ctx, "soak", "hot")
+				if errors.Is(err, ErrNotFound) {
+					continue // before the first put; read never recorded
+				}
+				if err != nil {
+					t.Errorf("soak get: %v", err)
+					failed.Store(true)
+					return
+				}
+				data, err := io.ReadAll(rc)
+				rc.Close()
+				if err != nil {
+					t.Errorf("soak read body: %v", err)
+					failed.Store(true)
+					return
+				}
+				v, ok := decode(data)
+				if !ok {
+					t.Errorf("soak read a torn body: %x...", data[:16])
+					failed.Store(true)
+					return
+				}
+				hist.EndRead(tok, v)
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		t.FailNow()
+	}
+	if err := hist.Check(); err != nil {
+		t.Fatal(err)
+	}
+	nw, nr := hist.Counts()
+	if nw == 0 || nr == 0 {
+		t.Fatalf("soak too quiet: %d writes, %d reads", nw, nr)
+	}
+	t.Logf("soak: %d writes, %d reads, history regular", nw, nr)
+	// Extent hygiene: once quiesced, exactly one live manifest remains
+	// and its blocks are the only allocation.
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	obj := gw.objects["soak"]["hot"]
+	if obj == nil || gw.alloc.allocated != obj.blocks {
+		t.Fatalf("extent leak after soak: allocated %d blocks, live manifest %+v", gw.alloc.allocated, obj)
+	}
+}
+
+// TestQoSIsolationUnderOverload drives one tenant far past its budget
+// while a well-behaved tenant shares the gateway, and checks the
+// behavioral half of the isolation contract: the greedy tenant is shed
+// with typed ErrThrottled (never an un-typed failure), and the polite
+// tenant never sheds at all. The latency half (polite p99 within a
+// pinned ratio of its solo baseline) is the acceptance experiment in
+// internal/experiments.
+func TestQoSIsolationUnderOverload(t *testing.T) {
+	gw := New(newMemBackend(64, 0), Options{
+		Stripe:  2,
+		Tenants: map[string]TenantLimit{"greedy": {OpsPerSec: 20, OpBurst: 5}},
+	})
+	ctx := context.Background()
+	mustPut(t, gw, "greedy", "k", payload(1, 256))
+	mustPut(t, gw, "polite", "k", payload(2, 256))
+
+	const perTenantOps = 300
+	var wg sync.WaitGroup
+	var greedyOK, greedyThrottled, greedyOther atomic.Int64
+	var politeErrs atomic.Int64
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perTenantOps; i++ {
+			rc, _, err := gw.Get(ctx, "greedy", "k")
+			switch {
+			case err == nil:
+				io.Copy(io.Discard, rc)
+				rc.Close()
+				greedyOK.Add(1)
+			case errors.Is(err, proto.ErrThrottled):
+				greedyThrottled.Add(1)
+			default:
+				greedyOther.Add(1)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perTenantOps; i++ {
+			rc, _, err := gw.Get(ctx, "polite", "k")
+			if err != nil {
+				politeErrs.Add(1)
+				continue
+			}
+			io.Copy(io.Discard, rc)
+			rc.Close()
+		}
+	}()
+	wg.Wait()
+
+	if n := politeErrs.Load(); n != 0 {
+		t.Fatalf("well-behaved tenant shed %d times by its neighbor's overload", n)
+	}
+	if greedyThrottled.Load() == 0 {
+		t.Fatal("greedy tenant was never throttled")
+	}
+	if n := greedyOther.Load(); n != 0 {
+		t.Fatalf("greedy tenant saw %d un-typed errors; every shed must be ErrThrottled", n)
+	}
+	if ok := greedyOK.Load(); ok > perTenantOps/2 {
+		t.Fatalf("greedy tenant got %d/%d ops through a 20 op/s budget", ok, perTenantOps)
+	}
+}

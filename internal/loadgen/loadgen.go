@@ -1,0 +1,358 @@
+// Package loadgen is an open-loop load generator for the object
+// gateway. Arrivals are Poisson (exponential inter-arrival times at
+// the offered rate), so a slow or shedding server does not slow the
+// generator down — queueing delay shows up in the measured latency
+// instead of silently throttling the offered load, the classic
+// closed-loop coordinated-omission mistake. Key popularity is Zipfian
+// with a configurable exponent (hand-rolled CDF sampler, so s <= 1 —
+// including the canonical s = 0.99 — works, unlike math/rand's Zipf).
+//
+// Each tenant runs its own arrival process against a Target (the
+// in-process gateway, an HTTP front end, or the raw Store for
+// overhead baselines) and reports latency quantiles from an
+// obs.Histogram plus typed shed counts.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecstore/internal/obs"
+	"ecstore/internal/proto"
+)
+
+// Target is the system under load. Implementations must be safe for
+// concurrent use.
+type Target interface {
+	// Put stores body as tenant's key.
+	Put(ctx context.Context, tenant, key string, body []byte) error
+	// Get reads tenant's key end to end and returns the byte count.
+	Get(ctx context.Context, tenant, key string) (int64, error)
+}
+
+// Preloader is optionally implemented by Targets with an unmetered
+// write path. Preload uses it so warming a rate-capped tenant's
+// keyspace does not start the measured window with the tenant already
+// in QoS debt; targets without one (e.g. HTTP) fall back to metered
+// Puts retried through throttling.
+type Preloader interface {
+	Preload(ctx context.Context, tenant, key string, body []byte) error
+}
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s, for any s >= 0 (s=0 is uniform). It precomputes the
+// CDF once and binary-searches per sample, so construction is O(n)
+// and sampling O(log n).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n keys with exponent s.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("loadgen: zipf over %d keys", n)
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("loadgen: zipf exponent %v", s)
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // exact, despite rounding
+	return &Zipf{cdf: cdf}, nil
+}
+
+// Sample maps a uniform u in [0,1) to a rank.
+func (z *Zipf) Sample(u float64) int {
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the keyspace size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// TenantConfig shapes one tenant's offered load.
+type TenantConfig struct {
+	Name string
+	// Rate is the offered load in ops/s (the Poisson arrival rate).
+	Rate float64
+	// ReadFraction of arrivals are Gets; the rest are Puts. [0,1].
+	ReadFraction float64
+	// Keys is the keyspace size.
+	Keys int
+	// ZipfS is the popularity exponent (0 uniform, 0.99 canonical hot-spot).
+	ZipfS float64
+	// ObjectSize is every object's body length in bytes.
+	ObjectSize int
+}
+
+// Config drives one Run.
+type Config struct {
+	Tenants []TenantConfig
+	// Duration is the measured window.
+	Duration time.Duration
+	// Seed makes arrival times, key picks, and op mixes reproducible.
+	Seed int64
+	// Preload writes every tenant's whole keyspace once before the
+	// clock starts, so Gets never miss.
+	Preload bool
+	// Settle is slept between preload and the measured window, letting
+	// QoS buckets refill the budget the preload spent.
+	Settle time.Duration
+	// MaxOutstanding bounds each tenant's in-flight ops (default 1024).
+	// At the bound the arrival process blocks — the generator degrades
+	// toward closed-loop rather than spawning unbounded goroutines.
+	MaxOutstanding int
+}
+
+// Result is one tenant's measured outcome.
+type Result struct {
+	Tenant  string
+	Elapsed time.Duration
+
+	// Offered counts arrivals; Completed the ops that returned success.
+	Offered, Completed uint64
+	Reads, Writes      uint64
+	// Throttled / Overloaded count typed sheds (proto.ErrThrottled /
+	// proto.ErrOverloaded + ErrDraining); Errors everything else.
+	Throttled, Overloaded, Errors uint64
+	// Bytes moved by completed ops (bodies in plus bodies out).
+	Bytes uint64
+
+	// Latency quantiles over completed ops.
+	P50, P95, P99, Max time.Duration
+
+	// AchievedOps is Completed/Elapsed.
+	AchievedOps float64
+}
+
+// tenantRun is one tenant's live accounting.
+type tenantRun struct {
+	cfg  TenantConfig
+	zipf *Zipf
+
+	offered, completed    atomic.Uint64
+	reads, writes         atomic.Uint64
+	throttled, overloaded atomic.Uint64
+	errs                  atomic.Uint64
+	bytes                 atomic.Uint64
+	maxNs                 atomic.Int64
+
+	lat *obs.Histogram
+}
+
+func (tr *tenantRun) observe(d time.Duration) {
+	tr.lat.Observe(d)
+	for {
+		cur := tr.maxNs.Load()
+		if int64(d) <= cur || tr.maxNs.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Run generates load against tgt and blocks until the window closes
+// and every in-flight op finishes. Cancelling ctx ends the run early;
+// results cover whatever was measured.
+func Run(ctx context.Context, cfg Config, tgt Target) ([]Result, error) {
+	if len(cfg.Tenants) == 0 {
+		return nil, errors.New("loadgen: no tenants")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration %v", cfg.Duration)
+	}
+	maxOut := cfg.MaxOutstanding
+	if maxOut <= 0 {
+		maxOut = 1024
+	}
+	reg := obs.NewRegistry()
+	runs := make([]*tenantRun, len(cfg.Tenants))
+	for i, tc := range cfg.Tenants {
+		if tc.Rate <= 0 {
+			return nil, fmt.Errorf("loadgen: tenant %q rate %v", tc.Name, tc.Rate)
+		}
+		if tc.ObjectSize < 0 || tc.Keys <= 0 {
+			return nil, fmt.Errorf("loadgen: tenant %q size %d keys %d", tc.Name, tc.ObjectSize, tc.Keys)
+		}
+		z, err := NewZipf(tc.Keys, tc.ZipfS)
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = &tenantRun{cfg: tc, zipf: z, lat: reg.Histogram("loadgen." + tc.Name + ".latency")}
+	}
+
+	if cfg.Preload {
+		put := tgt.Put
+		if p, ok := tgt.(Preloader); ok {
+			put = p.Preload
+		}
+		for _, tr := range runs {
+			body := objectBody(tr.cfg.Name, tr.cfg.ObjectSize)
+			for k := 0; k < tr.cfg.Keys; k++ {
+				for {
+					err := put(ctx, tr.cfg.Name, keyName(k), body)
+					if err == nil {
+						break
+					}
+					// Metered fallback path: wait out backpressure.
+					if errors.Is(err, proto.ErrThrottled) || errors.Is(err, proto.ErrOverloaded) {
+						select {
+						case <-time.After(50 * time.Millisecond):
+							continue
+						case <-ctx.Done():
+							return nil, ctx.Err()
+						}
+					}
+					return nil, fmt.Errorf("loadgen: preload %s/%s: %w", tr.cfg.Name, keyName(k), err)
+				}
+			}
+		}
+		if cfg.Settle > 0 {
+			select {
+			case <-time.After(cfg.Settle):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, tr := range runs {
+		wg.Add(1)
+		go func(seed int64, tr *tenantRun) {
+			defer wg.Done()
+			drive(runCtx, tr, tgt, seed, maxOut)
+		}(cfg.Seed+int64(i)*7919, tr)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	out := make([]Result, len(runs))
+	for i, tr := range runs {
+		completed := tr.completed.Load()
+		out[i] = Result{
+			Tenant:      tr.cfg.Name,
+			Elapsed:     elapsed,
+			Offered:     tr.offered.Load(),
+			Completed:   completed,
+			Reads:       tr.reads.Load(),
+			Writes:      tr.writes.Load(),
+			Throttled:   tr.throttled.Load(),
+			Overloaded:  tr.overloaded.Load(),
+			Errors:      tr.errs.Load(),
+			Bytes:       tr.bytes.Load(),
+			P50:         tr.lat.Quantile(0.50),
+			P95:         tr.lat.Quantile(0.95),
+			P99:         tr.lat.Quantile(0.99),
+			Max:         time.Duration(tr.maxNs.Load()),
+			AchievedOps: float64(completed) / elapsed.Seconds(),
+		}
+	}
+	return out, nil
+}
+
+// drive is one tenant's open-loop arrival process.
+func drive(ctx context.Context, tr *tenantRun, tgt Target, seed int64, maxOut int) {
+	rng := rand.New(rand.NewSource(seed))
+	body := objectBody(tr.cfg.Name, tr.cfg.ObjectSize)
+	slots := make(chan struct{}, maxOut)
+	var ops sync.WaitGroup
+	defer ops.Wait()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	// Arrival times follow an absolute virtual clock: each arrival is
+	// the previous one plus an exponential gap. Sleeping until the
+	// scheduled instant (and firing immediately when already past it)
+	// keeps the offered rate honest even when timer granularity or
+	// scheduler overhead exceeds the mean gap.
+	next := time.Now()
+	for {
+		next = next.Add(time.Duration(rng.ExpFloat64() / tr.cfg.Rate * float64(time.Second)))
+		if wait := time.Until(next); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				return
+			case <-timer.C:
+			}
+		} else {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+		key := keyName(tr.zipf.Sample(rng.Float64()))
+		isRead := rng.Float64() < tr.cfg.ReadFraction
+		select {
+		case slots <- struct{}{}:
+		case <-ctx.Done():
+			return
+		}
+		tr.offered.Add(1)
+		ops.Add(1)
+		go func() {
+			defer ops.Done()
+			defer func() { <-slots }()
+			// Ops in flight at the window's edge run to completion:
+			// measuring them against context.Background() keeps the
+			// tail's latency, which is the point of open loop.
+			opStart := time.Now()
+			var err error
+			var n int64
+			if isRead {
+				tr.reads.Add(1)
+				n, err = tgt.Get(context.Background(), tr.cfg.Name, key)
+			} else {
+				tr.writes.Add(1)
+				err = tgt.Put(context.Background(), tr.cfg.Name, key, body)
+				n = int64(len(body))
+			}
+			switch {
+			case err == nil:
+				tr.completed.Add(1)
+				tr.bytes.Add(uint64(n))
+				tr.observe(time.Since(opStart))
+			case errors.Is(err, proto.ErrThrottled):
+				tr.throttled.Add(1)
+			case errors.Is(err, proto.ErrOverloaded), errors.Is(err, proto.ErrDraining):
+				tr.overloaded.Add(1)
+			default:
+				tr.errs.Add(1)
+			}
+		}()
+	}
+}
+
+func keyName(rank int) string { return fmt.Sprintf("k%06d", rank) }
+
+// objectBody builds a deterministic body for one tenant.
+func objectBody(tenant string, size int) []byte {
+	p := make([]byte, size)
+	seed := byte(len(tenant))
+	for _, c := range []byte(tenant) {
+		seed += c
+	}
+	for i := range p {
+		p[i] = seed + byte(i*11)
+	}
+	return p
+}

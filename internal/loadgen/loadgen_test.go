@@ -1,0 +1,212 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ecstore/internal/proto"
+)
+
+func TestZipfDistribution(t *testing.T) {
+	// s=0.99 must work (math/rand.Zipf panics below s=1) and must be
+	// visibly skewed: over 1000 keys the top rank draws ~12% of mass.
+	z, err := NewZipf(1000, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	counts := make([]int, z.N())
+	const samples = 200000
+	for i := 0; i < samples; i++ {
+		counts[z.Sample(rng.Float64())]++
+	}
+	top := float64(counts[0]) / samples
+	if top < 0.08 || top > 0.20 {
+		t.Fatalf("rank-0 mass = %.3f, want ~0.12 for Zipf(0.99) over 1000 keys", top)
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[10] || counts[10] <= counts[500] {
+		t.Fatalf("popularity not monotone: %d, %d, %d, %d", counts[0], counts[1], counts[10], counts[500])
+	}
+	// s=0 degenerates to uniform.
+	u, err := NewZipf(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc := make([]int, u.N())
+	for i := 0; i < samples; i++ {
+		uc[u.Sample(rng.Float64())]++
+	}
+	want := float64(samples) / 100
+	for r, c := range uc {
+		if math.Abs(float64(c)-want) > want/2 {
+			t.Fatalf("uniform rank %d drew %d, want ~%.0f", r, c, want)
+		}
+	}
+}
+
+func TestZipfEdgeCases(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Fatal("empty keyspace accepted")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Fatal("negative exponent accepted")
+	}
+	z, err := NewZipf(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []float64{0, 0.5, 0.999999} {
+		if got := z.Sample(u); got != 0 {
+			t.Fatalf("single-key sample(%v) = %d", u, got)
+		}
+	}
+}
+
+// fakeTarget counts ops and optionally sheds every write.
+type fakeTarget struct {
+	delay      time.Duration
+	shedWrites bool
+	puts, gets atomic.Uint64
+	mu         sync.Mutex
+	keys       map[string]map[string]bool
+}
+
+func newFakeTarget() *fakeTarget {
+	return &fakeTarget{keys: make(map[string]map[string]bool)}
+}
+
+func (f *fakeTarget) Put(ctx context.Context, tenant, key string, body []byte) error {
+	f.puts.Add(1)
+	if f.shedWrites {
+		return &gatewayThrottle{}
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.keys[tenant] == nil {
+		f.keys[tenant] = make(map[string]bool)
+	}
+	f.keys[tenant][key] = true
+	return nil
+}
+
+func (f *fakeTarget) Get(ctx context.Context, tenant, key string) (int64, error) {
+	f.gets.Add(1)
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	return 128, nil
+}
+
+type gatewayThrottle struct{}
+
+func (*gatewayThrottle) Error() string { return "shed" }
+func (*gatewayThrottle) Unwrap() error { return proto.ErrThrottled }
+
+func TestRunOpenLoop(t *testing.T) {
+	tgt := newFakeTarget()
+	res, err := Run(context.Background(), Config{
+		Tenants: []TenantConfig{{
+			Name: "a", Rate: 2000, ReadFraction: 0.7, Keys: 50, ZipfS: 0.99, ObjectSize: 128,
+		}},
+		Duration: 300 * time.Millisecond,
+		Seed:     7,
+		Preload:  true,
+	}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Tenant != "a" || r.Offered == 0 || r.Completed == 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.Offered != r.Reads+r.Writes {
+		t.Fatalf("offered %d != reads %d + writes %d", r.Offered, r.Reads, r.Writes)
+	}
+	// 2000 ops/s for 300ms → ~600 arrivals; Poisson noise is ~±5%,
+	// assert loosely.
+	if r.Offered < 400 || r.Offered > 800 {
+		t.Fatalf("offered %d arrivals, want ~600", r.Offered)
+	}
+	// The 70/30 mix, loosely.
+	readFrac := float64(r.Reads) / float64(r.Offered)
+	if readFrac < 0.55 || readFrac > 0.85 {
+		t.Fatalf("read fraction %.2f, want ~0.70", readFrac)
+	}
+	// Preload wrote the whole keyspace before the window.
+	if got := len(tgt.keys["a"]); got != 50 {
+		t.Fatalf("preload wrote %d keys, want 50", got)
+	}
+	if r.Completed != r.Offered {
+		t.Fatalf("no-shed target: completed %d != offered %d", r.Completed, r.Offered)
+	}
+	if r.P50 <= 0 || r.P99 < r.P50 || r.Max < r.P99 {
+		t.Fatalf("quantiles out of order: p50=%v p99=%v max=%v", r.P50, r.P99, r.Max)
+	}
+	if r.AchievedOps < 1000 {
+		t.Fatalf("achieved %v ops/s against an instant target", r.AchievedOps)
+	}
+}
+
+func TestRunCountsTypedSheds(t *testing.T) {
+	tgt := newFakeTarget()
+	tgt.shedWrites = true
+	res, err := Run(context.Background(), Config{
+		Tenants:  []TenantConfig{{Name: "w", Rate: 1000, ReadFraction: 0, Keys: 10, ObjectSize: 64}},
+		Duration: 200 * time.Millisecond,
+		Seed:     1,
+	}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Throttled == 0 || r.Throttled != r.Offered {
+		t.Fatalf("all-shed run: throttled %d of %d offered", r.Throttled, r.Offered)
+	}
+	if r.Completed != 0 || r.Errors != 0 {
+		t.Fatalf("sheds leaked into completed=%d errors=%d", r.Completed, r.Errors)
+	}
+}
+
+func TestRunOpenLoopDoesNotCoordinate(t *testing.T) {
+	// A slow target must not slow arrivals down: with 20ms service time
+	// and 500 ops/s offered, a closed loop would offer ~50 ops/s.
+	tgt := newFakeTarget()
+	tgt.delay = 20 * time.Millisecond
+	res, err := Run(context.Background(), Config{
+		Tenants:  []TenantConfig{{Name: "s", Rate: 500, ReadFraction: 1, Keys: 10, ObjectSize: 64}},
+		Duration: 400 * time.Millisecond,
+		Seed:     3,
+	}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Offered < 100 {
+		t.Fatalf("open loop coordinated with the slow target: %d arrivals in 400ms at 500/s", r.Offered)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tgt := newFakeTarget()
+	if _, err := Run(context.Background(), Config{Duration: time.Second}, tgt); err == nil {
+		t.Fatal("no tenants accepted")
+	}
+	if _, err := Run(context.Background(), Config{
+		Tenants: []TenantConfig{{Name: "a", Rate: 0, Keys: 1}}, Duration: time.Second,
+	}, tgt); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := Run(context.Background(), Config{
+		Tenants: []TenantConfig{{Name: "a", Rate: 1, Keys: 1}},
+	}, tgt); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}

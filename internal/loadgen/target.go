@@ -1,0 +1,184 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"ecstore/internal/gateway"
+	"ecstore/internal/proto"
+)
+
+// GatewayTarget drives an in-process gateway.
+type GatewayTarget struct {
+	GW *gateway.Gateway
+}
+
+func (t *GatewayTarget) Put(ctx context.Context, tenant, key string, body []byte) error {
+	return t.GW.Put(ctx, tenant, key, bytes.NewReader(body), int64(len(body)))
+}
+
+// Preload writes through the gateway's unmetered path, so warming a
+// rate-capped tenant leaves its QoS budget untouched.
+func (t *GatewayTarget) Preload(ctx context.Context, tenant, key string, body []byte) error {
+	return t.GW.Preload(ctx, tenant, key, bytes.NewReader(body), int64(len(body)))
+}
+
+func (t *GatewayTarget) Get(ctx context.Context, tenant, key string) (int64, error) {
+	rc, _, err := t.GW.Get(ctx, tenant, key)
+	if err != nil {
+		return 0, err
+	}
+	defer rc.Close()
+	return io.Copy(io.Discard, rc)
+}
+
+// StoreTarget drives the raw block store directly, bypassing the
+// gateway entirely: the overhead baseline. Each (tenant, key) maps to
+// a fixed extent sized like the gateway would size it, so byte volume
+// and stripe alignment match the gateway arm exactly.
+type StoreTarget struct {
+	B gateway.Backend
+	// Stripe and ObjectSize mirror the gateway arm's geometry.
+	Stripe     int
+	ObjectSize int
+	// Keys is each tenant's keyspace size (extents are preallocated
+	// tenant-major, key-minor).
+	Keys    int
+	Tenants []string
+}
+
+// slot maps (tenant, key rank) to the extent's byte offset.
+func (t *StoreTarget) slot(tenant, key string) (int64, error) {
+	rank, err := strconv.Atoi(key[1:])
+	if err != nil || rank >= t.Keys {
+		return 0, fmt.Errorf("loadgen: key %q outside the preallocated keyspace", key)
+	}
+	ti := -1
+	for i, name := range t.Tenants {
+		if name == tenant {
+			ti = i
+			break
+		}
+	}
+	if ti < 0 {
+		return 0, fmt.Errorf("loadgen: tenant %q not preallocated", tenant)
+	}
+	stripe := t.Stripe
+	if stripe < 1 {
+		stripe = 1
+	}
+	bs := int64(t.B.BlockSize())
+	stripeBytes := bs * int64(stripe)
+	extentBytes := (int64(t.ObjectSize) + stripeBytes - 1) / stripeBytes * stripeBytes
+	return (int64(ti)*int64(t.Keys) + int64(rank)) * extentBytes, nil
+}
+
+func (t *StoreTarget) Put(ctx context.Context, tenant, key string, body []byte) error {
+	off, err := t.slot(tenant, key)
+	if err != nil {
+		return err
+	}
+	bs := int64(t.B.BlockSize())
+	stripeBytes := bs * int64(t.Stripe)
+	if t.Stripe < 1 {
+		stripeBytes = bs
+	}
+	padded := (int64(len(body)) + stripeBytes - 1) / stripeBytes * stripeBytes
+	buf := make([]byte, padded)
+	copy(buf, body)
+	_, err = t.B.WriteAt(ctx, buf, off)
+	return err
+}
+
+func (t *StoreTarget) Get(ctx context.Context, tenant, key string) (int64, error) {
+	off, err := t.slot(tenant, key)
+	if err != nil {
+		return 0, err
+	}
+	return io.Copy(io.Discard, t.B.Reader(ctx, off, int64(t.ObjectSize)))
+}
+
+// HTTPTarget drives a gatewayd front end over its object API
+// (PUT/GET /o/<key> with the tenant in the X-Tenant header). Typed
+// backpressure survives the hop: 429 maps back to proto.ErrThrottled
+// and 503 to proto.ErrOverloaded, so Result shed counts stay accurate.
+type HTTPTarget struct {
+	// BaseURL is the gatewayd address, e.g. "http://127.0.0.1:7080".
+	BaseURL string
+	// Client defaults to a dedicated client with a generous pool.
+	Client *http.Client
+}
+
+func (t *HTTPTarget) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+func (t *HTTPTarget) objURL(key string) string {
+	return t.BaseURL + "/o/" + url.PathEscape(key)
+}
+
+func (t *HTTPTarget) Put(ctx context.Context, tenant, key string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, t.objURL(key), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Tenant", tenant)
+	req.ContentLength = int64(len(body))
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return statusErr(resp)
+}
+
+func (t *HTTPTarget) Get(ctx context.Context, tenant, key string) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.objURL(key), nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if err := statusErr(resp); err != nil {
+		io.Copy(io.Discard, resp.Body)
+		return 0, err
+	}
+	return io.Copy(io.Discard, resp.Body)
+}
+
+// statusErr maps gatewayd's backpressure statuses back to the typed
+// sentinels.
+func statusErr(resp *http.Response) error {
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		retry := time.Duration(0)
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.ParseFloat(s, 64); err == nil {
+				retry = time.Duration(secs * float64(time.Second))
+			}
+		}
+		return fmt.Errorf("loadgen: http 429 (retry after %v): %w", retry, proto.ErrThrottled)
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return fmt.Errorf("loadgen: http 503: %w", proto.ErrOverloaded)
+	case resp.StatusCode == http.StatusNotFound:
+		return fmt.Errorf("loadgen: http 404: %w", gateway.ErrNotFound)
+	default:
+		return fmt.Errorf("loadgen: http %s", resp.Status)
+	}
+}

@@ -138,9 +138,13 @@ func (h *Histogram) Sum() time.Duration {
 	return time.Duration(h.sum.Load())
 }
 
-// Quantile returns an upper-bound estimate of the q-quantile (0..1):
-// the upper bound of the bucket holding the q-th observation. The
-// overflow bucket reports the largest finite bound.
+// Quantile estimates the q-quantile (0..1) by linear interpolation
+// inside the exponential bucket holding the q-th observation: the
+// bucket's rank fraction positions the estimate between its lower and
+// upper bounds, so p50/p95/p99 are usable programmatically instead of
+// snapping to a power-of-two bucket edge. The overflow bucket has no
+// upper bound and reports the largest finite bound. Quantiles of a
+// clamped q (<0 or >1) use the nearest valid value.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h == nil {
 		return 0
@@ -149,19 +153,36 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if total == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
+	if q < 0 {
+		q = 0
 	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
 	var seen uint64
 	for i := range h.buckets {
-		seen += h.buckets[i].Load()
-		if seen > rank {
-			if i < len(h.bounds) {
-				return time.Duration(h.bounds[i])
-			}
-			return time.Duration(h.bounds[len(h.bounds)-1])
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
 		}
+		if float64(seen+n) >= rank {
+			if i >= len(h.bounds) {
+				// Overflow bucket: unbounded above, report the largest
+				// finite bound as before.
+				return time.Duration(h.bounds[len(h.bounds)-1])
+			}
+			var lo int64
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			// Fraction of this bucket's observations below the target
+			// rank; rank falls in (seen, seen+n].
+			frac := (rank - float64(seen)) / float64(n)
+			return time.Duration(lo + int64(frac*float64(hi-lo)))
+		}
+		seen += n
 	}
 	return time.Duration(h.bounds[len(h.bounds)-1])
 }

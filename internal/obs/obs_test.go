@@ -83,23 +83,97 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
-// TestHistogramQuantile sanity-checks the bucket-bound quantile
-// estimate.
+// TestHistogramQuantile sanity-checks the interpolated quantile
+// estimate: the answer must land inside the bucket holding the target
+// rank, not snap to its upper bound.
 func TestHistogramQuantile(t *testing.T) {
 	h := newHistogram(defaultBounds)
 	for i := 0; i < 99; i++ {
-		h.Observe(time.Microsecond) // first bucket
+		h.Observe(time.Microsecond) // first bucket, (0, 1us]
 	}
 	h.Observe(time.Second)
-	if q := h.Quantile(0.5); q != time.Microsecond {
-		t.Fatalf("p50 = %v, want 1us", q)
+	if q := h.Quantile(0.5); q <= 0 || q > time.Microsecond {
+		t.Fatalf("p50 = %v, want inside (0, 1us]", q)
 	}
-	if q := h.Quantile(0.999); q < time.Second {
-		t.Fatalf("p99.9 = %v, want >= 1s", q)
+	if q := h.Quantile(0.999); q < 512*time.Millisecond || q > time.Second {
+		t.Fatalf("p99.9 = %v, want inside the 1s bucket", q)
 	}
 	var empty *Histogram
 	if empty.Quantile(0.5) != 0 {
 		t.Fatal("nil histogram quantile must be 0")
+	}
+}
+
+// TestHistogramQuantileInterpolation pins the interpolation formula on
+// a single fully-populated bucket: the p-quantile of n identical
+// observations in bucket (lo, hi] must sit at lo + p*(hi-lo).
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := newHistogram(defaultBounds)
+	// 100 observations in the (1us, 2us] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(1500 * time.Nanosecond)
+	}
+	lo, hi := float64(time.Microsecond), float64(2*time.Microsecond)
+	for _, p := range []float64{0.10, 0.50, 0.95, 0.99, 1.0} {
+		want := time.Duration(lo + p*(hi-lo))
+		if got := h.Quantile(p); got != want {
+			t.Fatalf("Quantile(%.2f) = %v, want %v", p, got, want)
+		}
+	}
+	if got := h.Quantile(0); got != time.Microsecond {
+		t.Fatalf("Quantile(0) = %v, want the bucket's lower bound 1us", got)
+	}
+}
+
+// TestHistogramQuantileMonotone checks ordering and range invariants
+// over a spread of buckets: quantiles never decrease in p and always
+// bracket the observed extremes' buckets.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := newHistogram(defaultBounds)
+	durations := []time.Duration{
+		2 * time.Microsecond, 5 * time.Microsecond, 40 * time.Microsecond,
+		300 * time.Microsecond, time.Millisecond, 7 * time.Millisecond,
+		60 * time.Millisecond, 400 * time.Millisecond,
+	}
+	for i, d := range durations {
+		for j := 0; j <= i; j++ { // skewed: later (slower) values are more common
+			h.Observe(d)
+		}
+	}
+	prev := time.Duration(-1)
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("Quantile(%.2f) = %v < Quantile(%.2f) = %v: not monotone", p, q, p-0.05, prev)
+		}
+		prev = q
+	}
+	if min := h.Quantile(0); min > 2*time.Microsecond {
+		t.Fatalf("Quantile(0) = %v, want <= the smallest observation's bucket bound", min)
+	}
+	// 400ms lands in the (2^18us, 2^19us] = (262.144ms, 524.288ms] bucket.
+	if max := h.Quantile(1); max <= 262144*time.Microsecond || max > 524288*time.Microsecond {
+		t.Fatalf("Quantile(1) = %v, want inside the 400ms bucket (262.144ms, 524.288ms]", max)
+	}
+	// Out-of-range p clamps instead of panicking.
+	if h.Quantile(-0.5) != h.Quantile(0) || h.Quantile(1.5) != h.Quantile(1) {
+		t.Fatal("out-of-range quantiles must clamp to [0, 1]")
+	}
+}
+
+// TestHistogramQuantileOverflow keeps the overflow bucket's behavior:
+// with every observation past the largest finite bound, all quantiles
+// report that largest bound rather than inventing an upper edge.
+func TestHistogramQuantileOverflow(t *testing.T) {
+	h := newHistogram(defaultBounds)
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Minute)
+	}
+	want := time.Duration(defaultBounds[len(defaultBounds)-1])
+	for _, p := range []float64{0.5, 0.99} {
+		if got := h.Quantile(p); got != want {
+			t.Fatalf("overflow Quantile(%.2f) = %v, want %v", p, got, want)
+		}
 	}
 }
 

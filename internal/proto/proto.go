@@ -168,6 +168,18 @@ var ErrDraining = errors.New("proto: storage node draining")
 // work instead of computing an answer nobody is waiting for.
 var ErrDeadlineExceeded = errors.New("proto: call deadline exceeded")
 
+// ErrThrottled is returned by an access-layer service (the gateway)
+// when a tenant's request exceeds its QoS budget: the request was shed
+// before touching storage and is safe to retry after backing off.
+// Wrappers may carry a retry-after hint (gateway.ThrottleError).
+var ErrThrottled = errors.New("proto: tenant throttled")
+
+// ErrOverloaded is returned when a service sheds load to protect
+// itself — its global concurrency limit is exhausted regardless of
+// which tenant asks. Unlike ErrThrottled it signals systemic pressure:
+// clients should back off multiplicatively, not per-tenant.
+var ErrOverloaded = errors.New("proto: service overloaded")
+
 // --- Requests and replies -----------------------------------------------
 
 // ReadReq asks for the block of one stripe slot.

@@ -76,6 +76,8 @@ var sentinelByName = map[string]error{
 	"ErrDraining":         proto.ErrDraining,
 	"ErrDeadlineExceeded": proto.ErrDeadlineExceeded,
 	"ErrNoPartialSum":     proto.ErrNoPartialSum,
+	"ErrThrottled":        proto.ErrThrottled,
+	"ErrOverloaded":       proto.ErrOverloaded,
 }
 
 // TestEveryProtoSentinelSurvivesTheWire is the wire-error half of the

@@ -23,6 +23,12 @@ const (
 	// CodeDeadline maps proto.ErrDeadlineExceeded: the call's
 	// propagated deadline budget expired and the node shed the work.
 	CodeDeadline
+	// CodeThrottled maps proto.ErrThrottled: a tenant exceeded its QoS
+	// budget and the request was shed before touching storage.
+	CodeThrottled
+	// CodeOverloaded maps proto.ErrOverloaded: the service shed load to
+	// protect itself, independent of the asking tenant.
+	CodeOverloaded
 )
 
 // errSentinels pairs each typed code with the sentinel it round-trips.
@@ -30,8 +36,10 @@ const (
 // capability gate in internal/transport checks that every typed proto
 // sentinel meant to cross the wire appears here.
 var errSentinels = map[ErrCode]error{
-	CodeDraining: proto.ErrDraining,
-	CodeDeadline: proto.ErrDeadlineExceeded,
+	CodeDraining:   proto.ErrDraining,
+	CodeDeadline:   proto.ErrDeadlineExceeded,
+	CodeThrottled:  proto.ErrThrottled,
+	CodeOverloaded: proto.ErrOverloaded,
 }
 
 // CodeOf classifies an error for the wire. Unrecognized errors are

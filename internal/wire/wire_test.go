@@ -190,6 +190,8 @@ func TestErrorCodeRoundTrip(t *testing.T) {
 		{fmt.Errorf("disk on fire"), CodeGeneric},
 		{fmt.Errorf("wrapped: %w", proto.ErrDraining), CodeDraining},
 		{fmt.Errorf("wrapped: %w", proto.ErrDeadlineExceeded), CodeDeadline},
+		{fmt.Errorf("wrapped: %w", proto.ErrThrottled), CodeThrottled},
+		{fmt.Errorf("wrapped: %w", proto.ErrOverloaded), CodeOverloaded},
 	}
 	for _, tc := range cases {
 		payload := AppendError(nil, tc.err)

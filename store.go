@@ -7,6 +7,7 @@ import (
 
 	"ecstore/internal/bulk"
 	"ecstore/internal/core"
+	"ecstore/internal/proto"
 )
 
 // Typed sentinel errors. Match with errors.Is; never by string.
@@ -20,6 +21,16 @@ var (
 	// ErrOutOfRange reports an access beyond a bounded store's capacity
 	// or at a negative offset.
 	ErrOutOfRange = bulk.ErrOutOfRange
+	// ErrDraining reports a server refusing new work while it shuts
+	// down gracefully (storaged or gatewayd under SIGTERM).
+	ErrDraining = proto.ErrDraining
+	// ErrThrottled reports a request shed by per-tenant QoS at the
+	// gateway; retry after backing off (gateway.ThrottleError carries a
+	// retry-after hint).
+	ErrThrottled = proto.ErrThrottled
+	// ErrOverloaded reports a request shed by the gateway's global
+	// concurrency limit: systemic pressure, back off multiplicatively.
+	ErrOverloaded = proto.ErrOverloaded
 )
 
 // Store is the unified facade over every deployment shape: a

@@ -64,6 +64,10 @@ type config struct {
 	limits        limitFlags
 	defaultLimit  string
 	drainTimeout  time.Duration
+	stripes       int
+	nagle         bool
+	sockReadBuf   int
+	sockWriteBuf  int
 }
 
 func main() {
@@ -81,6 +85,10 @@ func main() {
 	flag.Var(&cfg.limits, "limit", "per-tenant QoS as name:ops_per_sec:bytes_per_sec (repeatable; 0 = unlimited)")
 	flag.StringVar(&cfg.defaultLimit, "default-limit", "", "QoS for unconfigured tenants as ops_per_sec:bytes_per_sec")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Second, "max wait for in-flight requests on SIGTERM")
+	flag.IntVar(&cfg.stripes, "stripes", 1, "pipelined TCP connections per storaged endpoint")
+	flag.BoolVar(&cfg.nagle, "nagle", false, "re-enable Nagle's algorithm (default keeps TCP_NODELAY on)")
+	flag.IntVar(&cfg.sockReadBuf, "sock-read-buffer", 0, "SO_RCVBUF per storaged connection in bytes (0: kernel default)")
+	flag.IntVar(&cfg.sockWriteBuf, "sock-write-buffer", 0, "SO_SNDBUF per storaged connection in bytes (0: kernel default)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "gatewayd:", err)
@@ -209,6 +217,8 @@ func setup(cfg config) (*daemon, error) {
 			sv, err := ecstore.ConnectShardedVolume(ecstore.Options{
 				K: cfg.k, N: cfg.n, BlockSize: cfg.blockSize,
 				Groups: cfg.groups, ClientID: uint32(cfg.clientID), Obs: d.reg,
+				Stripes: cfg.stripes, Nagle: cfg.nagle,
+				SockReadBuffer: cfg.sockReadBuf, SockWriteBuffer: cfg.sockWriteBuf,
 			}, addrs)
 			if err != nil {
 				return nil, err
@@ -217,6 +227,8 @@ func setup(cfg config) (*daemon, error) {
 		} else {
 			cluster, err := ecstore.ConnectCluster(ecstore.Options{
 				K: cfg.k, N: cfg.n, BlockSize: cfg.blockSize, Obs: d.reg,
+				Stripes: cfg.stripes, Nagle: cfg.nagle,
+				SockReadBuffer: cfg.sockReadBuf, SockWriteBuffer: cfg.sockWriteBuf,
 			}, addrs)
 			if err != nil {
 				return nil, err

@@ -51,6 +51,9 @@ type config struct {
 	trust        bool
 	metricsAddr  string
 	drainTimeout time.Duration
+	nagle        bool
+	sockReadBuf  int
+	sockWriteBuf int
 }
 
 func main() {
@@ -67,6 +70,9 @@ func main() {
 	flag.BoolVar(&cfg.trust, "trust-data", false, "serve persisted blocks as valid after a restart (only when the node provably missed no writes)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /debug/metrics JSON on this address (empty: metrics disabled)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 5*time.Second, "max wait for in-flight requests on SIGTERM before closing (0: close immediately)")
+	flag.BoolVar(&cfg.nagle, "nagle", false, "re-enable Nagle's algorithm (default keeps TCP_NODELAY on)")
+	flag.IntVar(&cfg.sockReadBuf, "sock-read-buffer", 0, "SO_RCVBUF per accepted connection in bytes (0: kernel default)")
+	flag.IntVar(&cfg.sockWriteBuf, "sock-write-buffer", 0, "SO_SNDBUF per accepted connection in bytes (0: kernel default)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "storaged:", err)
@@ -185,7 +191,11 @@ func setup(cfg config) (*daemon, error) {
 	if d.reg != nil {
 		rpcm = rpc.NewMetrics(d.reg, "rpc")
 	}
-	d.srv = rpc.Serve(ln, node, rpc.WithMetrics(rpcm))
+	d.srv = rpc.Serve(ln, node,
+		rpc.WithMetrics(rpcm),
+		rpc.WithNoDelay(!cfg.nagle),
+		rpc.WithSocketBuffers(cfg.sockReadBuf, cfg.sockWriteBuf),
+	)
 
 	if cfg.metricsAddr != "" {
 		mln, err := net.Listen("tcp", cfg.metricsAddr)

@@ -163,6 +163,20 @@ type Options struct {
 	// Defaults to MaxInFlight.
 	ReadAhead int
 
+	// Stripes spreads each storaged endpoint's calls over this many
+	// pipelined TCP connections (request ids hashed across them), so
+	// bulk transfers are not capped by a single flow's bandwidth
+	// ceiling. TCP deployments only. Default 1.
+	Stripes int
+	// Nagle re-enables Nagle's algorithm on TCP connections. The
+	// default (false) sets TCP_NODELAY, which the request/response
+	// protocol wants: every frame is a complete message.
+	Nagle bool
+	// SockReadBuffer and SockWriteBuffer set SO_RCVBUF / SO_SNDBUF on
+	// every TCP connection, in bytes. 0 keeps the kernel defaults.
+	SockReadBuffer  int
+	SockWriteBuffer int
+
 	// Obs optionally collects metrics from every layer the store
 	// touches — protocol clients, the bulk engine, the RPC stubs of a
 	// TCP cluster, and the persistent block stores of a local one. Nil
@@ -195,7 +209,24 @@ func (o *Options) normalize() error {
 	if o.ClientID == 0 {
 		o.ClientID = 1
 	}
+	if o.Stripes == 0 {
+		o.Stripes = 1
+	}
+	if o.Stripes < 1 {
+		return fmt.Errorf("ecstore: Stripes must be >= 1, got %d", o.Stripes)
+	}
 	return nil
+}
+
+// rpcDialOpts maps the facade's transport knobs to rpc.Dial options.
+func (o *Options) rpcDialOpts(m *rpc.Metrics) []rpc.Option {
+	return []rpc.Option{
+		rpc.WithMetrics(m),
+		rpc.WithCallTimeout(o.CallDeadline),
+		rpc.WithStripes(o.Stripes),
+		rpc.WithNoDelay(!o.Nagle),
+		rpc.WithSocketBuffers(o.SockReadBuffer, o.SockWriteBuffer),
+	}
 }
 
 // hedgePolicy maps the facade's hedge knobs to the core policy.
@@ -315,7 +346,7 @@ func ConnectCluster(opts Options, addrs []string) (*Cluster, error) {
 	}
 	handles := make([]proto.StorageNode, opts.N)
 	for i, addr := range addrs {
-		cl := rpc.Dial(addr, rpc.WithMetrics(c.rpcm), rpc.WithCallTimeout(opts.CallDeadline))
+		cl := rpc.Dial(addr, opts.rpcDialOpts(c.rpcm)...)
 		c.conns = append(c.conns, cl)
 		handles[i] = cl
 	}
@@ -334,7 +365,7 @@ func (c *Cluster) ReplaceNode(phys int, addr string) error {
 	if phys < 0 || phys >= c.opts.N {
 		return fmt.Errorf("ecstore: node index %d out of range [0,%d)", phys, c.opts.N)
 	}
-	cl := rpc.Dial(addr, rpc.WithMetrics(c.rpcm), rpc.WithCallTimeout(c.opts.CallDeadline))
+	cl := rpc.Dial(addr, c.opts.rpcDialOpts(c.rpcm)...)
 	c.conns = append(c.conns, cl)
 	c.dir.ReplaceNode(phys, cl)
 	return nil

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ecstore"
+	"ecstore/internal/obs"
 	"ecstore/internal/rpc"
 	"ecstore/internal/storage"
 )
@@ -302,6 +303,52 @@ func TestConnectClusterOverTCP(t *testing.T) {
 	}
 	if err := c.ReplaceNode(99, "x"); err == nil {
 		t.Error("out-of-range ReplaceNode accepted")
+	}
+}
+
+// TestConnectClusterStriped proves the facade's transport knobs reach
+// the RPC layer: with Stripes=3 every endpoint ends up with three
+// pipelined connections (request ids hashed across them), visible as
+// exactly 3 dials per node in the shared metrics registry.
+func TestConnectClusterStriped(t *testing.T) {
+	const k, n = 2, 4
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		node := storage.MustNew(storage.Options{ID: "tcps", BlockSize: blockSize})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := rpc.Serve(ln, node)
+		t.Cleanup(func() { _ = srv.Close() })
+		addrs[i] = srv.Addr().String()
+	}
+	reg := obs.NewRegistry()
+	c, err := ecstore.ConnectCluster(ecstore.Options{
+		K: k, N: n, BlockSize: blockSize,
+		Stripes: 3, SockReadBuffer: 64 << 10, SockWriteBuffer: 64 << 10,
+		Obs: reg,
+	}, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	v := vol(t, c, 1)
+	ctx := ctxT(t)
+	for blk := uint64(0); blk < 8; blk++ {
+		data := bytes.Repeat([]byte{byte(blk + 1)}, blockSize)
+		if err := v.WriteBlock(ctx, blk, data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := v.ReadBlock(ctx, blk)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("striped round trip block %d failed: %v", blk, err)
+		}
+	}
+	// Enough calls hit every node that all three stripes of each
+	// endpoint have dialed; healthy stripes never redial.
+	if dials := reg.Counter("rpc.dials").Value(); dials != 3*n {
+		t.Fatalf("got %d dials, want %d (3 stripes x %d nodes)", dials, 3*n, n)
 	}
 }
 

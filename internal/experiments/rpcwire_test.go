@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"context"
+	"strconv"
+	"testing"
+)
+
+// TestRPCWireQuick smoke-runs the rpcwire experiment at the quick
+// window and sanity-checks its shape; the shaped striped-vs-single
+// ratio itself is gated (with a proper window) by rpc's
+// TestStripedThroughputAcceptance.
+func TestRPCWireQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab, err := RPCWire(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rpcwire produced %d rows, want 8", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		mbps, err := strconv.ParseFloat(row[5], 64)
+		if err != nil || mbps <= 0 {
+			t.Fatalf("row %v: bad throughput %q (%v)", row, row[5], err)
+		}
+		if _, err := strconv.ParseFloat(row[3], 64); err != nil {
+			t.Fatalf("row %v: bad p50 %q", row, row[3])
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/proto"
+	"ecstore/internal/storage"
+	"ecstore/internal/transport"
+)
+
+// benchEndpoint builds a loopback server with the given block size and
+// a client with the given stripe count and dialer.
+func benchEndpoint(tb testing.TB, blockSize, stripes int, dialer DialFunc) *Client {
+	tb.Helper()
+	node := storage.MustNew(storage.Options{ID: "bench0", BlockSize: blockSize})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv := Serve(ln, node)
+	tb.Cleanup(func() { _ = srv.Close() })
+	opts := []Option{WithStripes(stripes)}
+	if dialer != nil {
+		opts = append(opts, WithDialer(dialer))
+	}
+	cl := Dial(srv.Addr().String(), opts...)
+	tb.Cleanup(func() { _ = cl.Close() })
+	return cl
+}
+
+// benchAddCall runs one premultiplied Add carrying a payload-sized
+// delta: the canonical hot-path RPC (the paper's redundant-node write).
+func benchAddCall(ctx context.Context, cl *Client, stripe uint64, seq *uint64, delta []byte) error {
+	*seq++
+	rep, err := cl.Add(ctx, &proto.AddReq{
+		Stripe: stripe, Slot: 3, Delta: delta, Premultiplied: true,
+		NTID: proto.TID{Seq: *seq, Block: 0, Client: proto.ClientID(stripe + 1)},
+	})
+	if err != nil {
+		return err
+	}
+	if rep.Status != proto.StatusOK {
+		return fmt.Errorf("add status %v", rep.Status)
+	}
+	return nil
+}
+
+func benchRPCAdd(b *testing.B, payload int) {
+	cl := benchEndpoint(b, payload, 1, nil)
+	ctx := context.Background()
+	delta := make([]byte, payload)
+	for i := range delta {
+		delta[i] = byte(i)
+	}
+	var seq uint64
+	if err := benchAddCall(ctx, cl, 0, &seq, delta); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(payload))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := benchAddCall(ctx, cl, 0, &seq, delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Single-connection round-trip cost at the three canonical payload
+// sizes; ns/op is the p50-ish closed-loop call latency, MB/s the
+// single-stream loopback throughput. Gated by BENCH_rpc.json.
+func BenchmarkRPCAdd1KiB(b *testing.B)  { benchRPCAdd(b, 1<<10) }
+func BenchmarkRPCAdd16KiB(b *testing.B) { benchRPCAdd(b, 16<<10) }
+func BenchmarkRPCAdd1MiB(b *testing.B)  { benchRPCAdd(b, 1<<20) }
+
+// BenchmarkRPCAdd1MiBStriped4 drives 1 MiB adds from parallel workers
+// over 4 connection stripes — the configuration the striped-throughput
+// acceptance test holds to >= 2x a single shaped connection.
+func BenchmarkRPCAdd1MiBStriped4(b *testing.B) {
+	const payload = 1 << 20
+	cl := benchEndpoint(b, payload, 4, nil)
+	ctx := context.Background()
+	var seed uint64
+	if err := benchAddCall(ctx, cl, 0, &seed, make([]byte, payload)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(payload)
+	var worker atomic64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		stripe := worker.next()
+		delta := make([]byte, payload)
+		var seq uint64
+		for pb.Next() {
+			if err := benchAddCall(ctx, cl, stripe, &seq, delta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+type atomic64 struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (a *atomic64) next() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+	return a.n
+}
+
+// measureShapedAddThroughput runs a closed-loop 1 MiB add workload
+// against a loopback server with every client connection capped at
+// perConnBps by transport.ShapedConn, and returns MB/s.
+func measureShapedAddThroughput(t *testing.T, stripes, workers, opsPerWorker int, perConnBps float64) float64 {
+	t.Helper()
+	const payload = 1 << 20
+	dialer := func(ctx context.Context, addr string) (net.Conn, error) {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return transport.NewShapedConn(conn, perConnBps), nil
+	}
+	cl := benchEndpoint(t, payload, stripes, dialer)
+	ctx := context.Background()
+
+	// Warm every stripe: conns dialed, pools and scratch grown.
+	var warmSeq uint64
+	warm := make([]byte, payload)
+	for i := 0; i < stripes; i++ {
+		if err := benchAddCall(ctx, cl, uint64(workers+i), &warmSeq, warm); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			delta := make([]byte, payload)
+			var seq uint64
+			for it := 0; it < opsPerWorker; it++ {
+				if err := benchAddCall(ctx, cl, uint64(w), &seq, delta); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	totalBytes := float64(workers) * float64(opsPerWorker) * payload
+	return totalBytes / elapsed.Seconds() / (1 << 20)
+}
+
+// TestStripedThroughputAcceptance is the acceptance gate for striping:
+// with each connection capped at 64 MiB/s (transport.ShapedConn models
+// the per-flow ceiling a single TCP stream hits — fair queuing, window
+// limits — which raw single-core loopback cannot exhibit), spreading
+// 1 MiB payloads over 4 stripes must deliver at least 2x the
+// single-connection throughput. Skipped under the race detector, whose
+// slowdown turns the workload CPU-bound and voids the bandwidth model.
+func TestStripedThroughputAcceptance(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock throughput ratios are meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const (
+		perConnBps = 64 << 20
+		workers    = 8
+		ops        = 5 // x 8 workers x 1 MiB = 40 MiB per configuration
+	)
+	single := measureShapedAddThroughput(t, 1, workers, ops, perConnBps)
+	striped := measureShapedAddThroughput(t, 4, workers, ops, perConnBps)
+	t.Logf("shaped 1 MiB add throughput: single=%.1f MB/s, striped-4=%.1f MB/s (%.2fx)", single, striped, striped/single)
+	if striped < 2*single {
+		t.Fatalf("striped-4 throughput %.1f MB/s < 2x single-connection %.1f MB/s", striped, single)
+	}
+}

@@ -1,0 +1,260 @@
+package rpc
+
+import (
+	"context"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"net"
+	"sort"
+	"strings"
+	"testing"
+
+	"ecstore/internal/obs"
+	"ecstore/internal/proto"
+	"ecstore/internal/storage"
+	"ecstore/internal/transport"
+)
+
+// rpcProtoMethods parses the proto package's source and returns every
+// method declared on any interface there — the same ground truth the
+// transport capability gate uses, applied here to the wire: every
+// capability must survive a real encode/decode round trip through the
+// vectored, striped client, so a new proto RPC without codec + client
+// + dispatch support fails this test by name.
+func rpcProtoMethods(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, "../proto", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parse proto package: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				it, ok := n.(*ast.InterfaceType)
+				if !ok {
+					return true
+				}
+				for _, field := range it.Methods.List {
+					if _, isFunc := field.Type.(*ast.FuncType); !isFunc {
+						continue // embedded interface, counted at its own decl
+					}
+					for _, name := range field.Names {
+						seen[name.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	var names []string
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("found no interface methods in the proto package")
+	}
+	return names
+}
+
+// capBlockSize is sized above vectoredMinPayload so every
+// block-carrying request rides the writev path during the sweep.
+const capBlockSize = 8 << 10
+
+func capBlk(fill byte) []byte {
+	b := make([]byte, capBlockSize)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func rpcCapTID(seq uint64) proto.TID { return proto.TID{Seq: seq, Block: 0, Client: 9} }
+
+// rpcCapInvoker drives one proto capability through the TCP client.
+type rpcCapInvoker struct {
+	call func(ctx context.Context, n proto.StorageNode) error
+	// vectored marks capabilities whose request carries a block-sized
+	// payload: the call must go out on the client's vectored path.
+	vectored bool
+}
+
+// rpcCapabilityInvokers is the exhaustive invoker table; every method
+// name from rpcProtoMethods must have an entry. Transport-layer
+// capabilities (MulticastAdd, AggregateSum) are driven through the
+// transport combinators with the rpc client as the underlying node, so
+// their frames cross the same wire.
+func rpcCapabilityInvokers() map[string]rpcCapInvoker {
+	return map[string]rpcCapInvoker{
+		"Read": {call: func(ctx context.Context, n proto.StorageNode) error {
+			_, err := n.Read(ctx, &proto.ReadReq{Stripe: 1, Slot: 0})
+			return err
+		}},
+		"Swap": {vectored: true, call: func(ctx context.Context, n proto.StorageNode) error {
+			_, err := n.Swap(ctx, &proto.SwapReq{Stripe: 1, Slot: 0, Value: capBlk(0x21), NTID: rpcCapTID(201)})
+			return err
+		}},
+		"Add": {vectored: true, call: func(ctx context.Context, n proto.StorageNode) error {
+			_, err := n.Add(ctx, &proto.AddReq{Stripe: 1, Slot: 2, Delta: capBlk(0x22), Premultiplied: true, NTID: rpcCapTID(202)})
+			return err
+		}},
+		"BatchAdd": {vectored: true, call: func(ctx context.Context, n proto.StorageNode) error {
+			_, err := n.BatchAdd(ctx, &proto.BatchAddReq{
+				Stripe: 1, Slot: 2, Delta: capBlk(0x23),
+				Entries: []proto.BatchEntry{{DataSlot: 0, NTID: rpcCapTID(203)}},
+			})
+			return err
+		}},
+		"BatchAddMulti": {vectored: true, call: func(ctx context.Context, n proto.StorageNode) error {
+			_, err := proto.BatchAddMulti(ctx, n, &proto.BatchAddMultiReq{
+				Adds: []*proto.BatchAddReq{{
+					Stripe: 1, Slot: 3, Delta: capBlk(0x24),
+					Entries: []proto.BatchEntry{{DataSlot: 0, NTID: rpcCapTID(204)}},
+				}, {
+					Stripe: 1, Slot: 2, Delta: capBlk(0x25),
+					Entries: []proto.BatchEntry{{DataSlot: 1, NTID: rpcCapTID(205)}},
+				}},
+			})
+			return err
+		}},
+		"CheckTID": {call: func(ctx context.Context, n proto.StorageNode) error {
+			_, err := n.CheckTID(ctx, &proto.CheckTIDReq{Stripe: 1, Slot: 0, NTID: rpcCapTID(210)})
+			return err
+		}},
+		"TryLock": {call: func(ctx context.Context, n proto.StorageNode) error {
+			_, err := n.TryLock(ctx, &proto.TryLockReq{Stripe: 1, Slot: 0, Mode: proto.L1, Caller: 9})
+			return err
+		}},
+		"SetLock": {call: func(ctx context.Context, n proto.StorageNode) error {
+			_, err := n.SetLock(ctx, &proto.SetLockReq{Stripe: 1, Slot: 0, Mode: proto.Unlocked, Caller: 9})
+			return err
+		}},
+		"GetState": {call: func(ctx context.Context, n proto.StorageNode) error {
+			// NoBlock=false: the reply hauls the 8 KiB block back, which
+			// must ride the server's vectored path.
+			_, err := n.GetState(ctx, &proto.GetStateReq{Stripe: 1, Slot: 0})
+			return err
+		}},
+		"GetRecent": {call: func(ctx context.Context, n proto.StorageNode) error {
+			_, err := n.GetRecent(ctx, &proto.GetRecentReq{Stripe: 1, Slot: 0, Mode: proto.L1, Caller: 9})
+			return err
+		}},
+		"Reconstruct": {vectored: true, call: func(ctx context.Context, n proto.StorageNode) error {
+			_, err := n.Reconstruct(ctx, &proto.ReconstructReq{Stripe: 1, Slot: 0, CSet: []int32{0, 1}, Block: capBlk(0x26)})
+			return err
+		}},
+		"Finalize": {call: func(ctx context.Context, n proto.StorageNode) error {
+			_, err := n.Finalize(ctx, &proto.FinalizeReq{Stripe: 1, Slot: 0, Epoch: 1})
+			return err
+		}},
+		"GCOld": {call: func(ctx context.Context, n proto.StorageNode) error {
+			_, err := n.GCOld(ctx, &proto.GCOldReq{Stripe: 1, Slot: 0, TIDs: []proto.TID{rpcCapTID(201)}})
+			return err
+		}},
+		"GCRecent": {call: func(ctx context.Context, n proto.StorageNode) error {
+			_, err := n.GCRecent(ctx, &proto.GCRecentReq{Stripe: 1, Slot: 0, TIDs: []proto.TID{rpcCapTID(201)}})
+			return err
+		}},
+		"Probe": {call: func(ctx context.Context, n proto.StorageNode) error {
+			_, err := n.Probe(ctx, &proto.ProbeReq{Stripe: 1, Slot: 0})
+			return err
+		}},
+		"PartialSum": {vectored: true, call: func(ctx context.Context, n proto.StorageNode) error {
+			// A block-sized accumulator makes the request itself vector.
+			_, err := proto.PartialSum(ctx, n, &proto.PartialSumReq{Stripe: 1, Slot: 0, Coef: 3, Acc: capBlk(0x27)})
+			return err
+		}},
+		"MulticastAdd": {vectored: true, call: func(ctx context.Context, n proto.StorageNode) error {
+			res := transport.Parallel{}.MulticastAdd(ctx, []proto.AddCall{{Node: n, Req: &proto.AddReq{
+				Stripe: 1, Slot: 3, Delta: capBlk(0x28), Premultiplied: true, NTID: rpcCapTID(206),
+			}}})
+			return res[0].Err
+		}},
+		"AggregateSum": {vectored: true, call: func(ctx context.Context, n proto.StorageNode) error {
+			// Two chained calls: the second hop ships the first hop's
+			// 8 KiB accumulator, so the chain vectors on the wire.
+			_, err := transport.Chain{}.AggregateSum(ctx, []proto.PartialCall{
+				{Node: n, Req: &proto.PartialSumReq{Stripe: 1, Slot: 0, Coef: 5}},
+				{Node: n, Req: &proto.PartialSumReq{Stripe: 1, Slot: 0, Coef: 7}},
+			})
+			return err
+		}},
+	}
+}
+
+// TestEveryProtoCapabilityOverVectoredClient is the wire-level
+// counterpart of transport's capability gate: every proto interface
+// method must round-trip through a striped TCP client against a real
+// server, and every block-carrying request must take the vectored
+// (writev) client path — so a future RPC added to proto without codec,
+// client-stub, dispatch, or vectored-payload support fails here by
+// name instead of silently copying or falling over at runtime.
+func TestEveryProtoCapabilityOverVectoredClient(t *testing.T) {
+	required := rpcProtoMethods(t)
+	invokers := rpcCapabilityInvokers()
+	for _, name := range required {
+		if _, ok := invokers[name]; !ok {
+			t.Errorf("proto capability %s has no rpc invoker: add a table entry (codec, client stub, and server dispatch)", name)
+		}
+	}
+	for name := range invokers {
+		found := false
+		for _, r := range required {
+			if r == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("invoker %s matches no proto interface method (renamed or removed?)", name)
+		}
+	}
+	if t.Failed() {
+		return
+	}
+
+	node := storage.MustNew(storage.Options{ID: "cap0", BlockSize: capBlockSize})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := NewMetrics(obs.NewRegistry(), "srv")
+	srv := Serve(ln, node, WithMetrics(sm))
+	defer srv.Close()
+	cm := NewMetrics(obs.NewRegistry(), "cli")
+	cl := Dial(srv.Addr().String(), WithStripes(4), WithMetrics(cm))
+	defer cl.Close()
+
+	ctx := context.Background()
+	// Seed so state-dependent capabilities (PartialSum needs a non-INIT
+	// slot) have something to fold.
+	if _, err := cl.Swap(ctx, &proto.SwapReq{Stripe: 1, Slot: 0, Value: capBlk(0x11), NTID: rpcCapTID(200)}); err != nil {
+		t.Fatalf("seed swap: %v", err)
+	}
+
+	for _, name := range required {
+		inv := invokers[name]
+		before := cm.VecWrites.Value()
+		if err := inv.call(ctx, cl); err != nil {
+			t.Errorf("%s over the striped TCP client failed: %v", name, err)
+			continue
+		}
+		if after := cm.VecWrites.Value(); inv.vectored && after <= before {
+			t.Errorf("%s carries a block payload but did not take the vectored client path", name)
+		}
+	}
+	// The sweep pulled blocks back (Read, GetState, PartialSum replies):
+	// the server's reply path must have vectored too.
+	if sm.VecWrites.Value() == 0 {
+		t.Error("no server reply took the vectored path during the capability sweep")
+	}
+	if cl.PendingCalls() != 0 {
+		t.Errorf("capability sweep left %d pending calls", cl.PendingCalls())
+	}
+}

@@ -1,0 +1,195 @@
+package rpc
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"ecstore/internal/bufpool"
+	"ecstore/internal/proto"
+	"ecstore/internal/wire"
+)
+
+// vectoredFuzzMsg builds one payload-bearing message of the given kind
+// around the fuzz-chosen payload, covering every shape the vectored
+// encoder splices: single payload early, single payload late, payload
+// between variable-length meta fields, and multi-payload frames.
+func vectoredFuzzMsg(kind byte, payload []byte) any {
+	tid := proto.TID{Seq: 3, Block: 2, Client: 1}
+	half := payload[:len(payload)/2]
+	switch kind % 8 {
+	case 0:
+		return &proto.SwapReq{Stripe: 1, Slot: 2, Value: payload, NTID: tid}
+	case 1:
+		return &proto.AddReq{Stripe: 7, Slot: 0, Delta: payload, DataSlot: 1, Premultiplied: true, NTID: tid, OTID: tid, Epoch: 9}
+	case 2:
+		return &proto.ReadReply{OK: true, Block: payload, LockMode: proto.L1}
+	case 3:
+		return &proto.GetStateReply{OpMode: proto.Recons, LockMode: proto.L0, Epoch: 4,
+			ReconsSet: []int32{0, 2}, OldList: []proto.TIDTime{{TID: tid}},
+			Block: payload, BlockValid: len(payload) > 0}
+	case 4:
+		return &proto.PartialSumReq{Stripe: 2, Slot: 3, Coef: 0x1D, Acc: payload}
+	case 5:
+		return &proto.BatchAddMultiReq{Adds: []*proto.BatchAddReq{
+			{Stripe: 1, Slot: 3, Delta: payload, Entries: []proto.BatchEntry{{DataSlot: 0, NTID: tid}}, Epoch: 1},
+			{Stripe: 2, Slot: 3, Delta: nil, Epoch: 1},
+			{Stripe: 3, Slot: 4, Delta: half, Epoch: 2},
+		}}
+	case 6:
+		return &proto.SwapReply{OK: true, Block: payload, Epoch: 7, OTID: tid, LockMode: proto.L1}
+	default:
+		return &proto.ReconstructReq{Stripe: 5, Slot: 1, CSet: []int32{0, 1, 3}, Block: payload, InPlace: true}
+	}
+}
+
+// lcgReader yields the frame in pseudo-random small chunks so the
+// decoder sees arbitrary short-read boundaries, including mid-header
+// and mid-length-prefix splits.
+type lcgReader struct {
+	data []byte
+	seed uint64
+}
+
+func (r *lcgReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	r.seed = r.seed*6364136223846793005 + 1442695040888963407
+	n := 1 + int((r.seed>>33)%29)
+	if n > len(r.data) {
+		n = len(r.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// decodeOneFrame runs the server/client read path over r and returns
+// the decoded header fields and message; the pooled frame is returned
+// before this helper does.
+func decodeOneFrame(t *testing.T, r io.Reader) (wire.MsgType, uint64, uint32, any) {
+	t.Helper()
+	mt, id, deadlineUS, payload, frame, err := readFrame(r)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if mt == wire.TError {
+		bufpool.Put(frame)
+		t.Fatalf("unexpected TError frame")
+	}
+	msg, derr := wire.Decode(mt, payload)
+	bufpool.Put(frame)
+	if derr != nil {
+		t.Fatalf("decode %v: %v", mt, derr)
+	}
+	return mt, id, deadlineUS, msg
+}
+
+// FuzzVectoredFrameRoundTrip holds the zero-copy write path and the
+// classic copying path byte-identical and decode-identical: a frame
+// emitted as a vectored segment list, split-written to the decoder at
+// segment boundaries and at arbitrary short-read boundaries, must
+// decode exactly like the single-buffer writeFrame framing.
+func FuzzVectoredFrameRoundTrip(f *testing.F) {
+	f.Add(byte(0), uint32(0), byte(0xA5), uint64(1), uint32(0), uint64(1))
+	f.Add(byte(1), uint32(1), byte(0x00), uint64(1<<40), uint32(123456), uint64(7))
+	f.Add(byte(2), uint32(17), byte(0xFF), uint64(0), uint32(1), uint64(99))
+	f.Add(byte(3), uint32(4096), byte(0x3C), uint64(12345), uint32(1<<30), uint64(3))
+	f.Add(byte(4), uint32(31), byte(0x11), uint64(2), uint32(2), uint64(0xdead))
+	f.Add(byte(5), uint32(65536), byte(0x77), uint64(1<<63), uint32(0), uint64(42))
+	f.Add(byte(6), uint32(513), byte(0x08), uint64(3), uint32(777), uint64(5))
+	f.Add(byte(7), uint32(1024), byte(0x42), uint64(4), uint32(88), uint64(6))
+	f.Fuzz(func(t *testing.T, kind byte, plen uint32, fill byte, id uint64, deadlineUS uint32, splitSeed uint64) {
+		plen %= 1 << 17
+		payload := make([]byte, plen)
+		for i := range payload {
+			payload[i] = fill ^ byte(i*13)
+		}
+		msg := vectoredFuzzMsg(kind, payload)
+		if wire.Size(msg) > MaxFrame {
+			t.Skip("frame over MaxFrame")
+		}
+
+		// Reference: the contiguous copying framing.
+		mt, body, err := wire.Encode(msg)
+		if err != nil {
+			t.Fatalf("encode %T: %v", msg, err)
+		}
+		var contig bytes.Buffer
+		if err := writeFrame(&contig, mt, id, deadlineUS, body); err != nil {
+			t.Fatal(err)
+		}
+
+		// Vectored framing must concatenate to the same bytes.
+		var fr wire.Frame
+		meta := make([]byte, wire.MetaSize(msg))
+		if err := wire.EncodeFrame(&fr, msg, id, deadlineUS, meta); err != nil {
+			t.Fatalf("EncodeFrame %T: %v", msg, err)
+		}
+		joined := bytes.Join(fr.Segs, nil)
+		if !bytes.Equal(joined, contig.Bytes()) {
+			t.Fatalf("%T: vectored framing differs from contiguous framing", msg)
+		}
+
+		// Decode the single-buffer path as the reference message.
+		wantMT, wantID, wantDL, wantMsg := decodeOneFrame(t, bytes.NewReader(contig.Bytes()))
+
+		// Split-write exactly at every segment boundary (what a writev
+		// delivers in the worst case of per-segment TCP pushes) ...
+		parts := make([]io.Reader, 0, len(fr.Segs))
+		for _, seg := range fr.Segs {
+			parts = append(parts, bytes.NewReader(seg))
+		}
+		segMT, segID, segDL, segMsg := decodeOneFrame(t, io.MultiReader(parts...))
+		// ... and at arbitrary short-read boundaries.
+		lcgMT, lcgID, lcgDL, lcgMsg := decodeOneFrame(t, &lcgReader{data: joined, seed: splitSeed})
+
+		for _, got := range []struct {
+			mt  wire.MsgType
+			id  uint64
+			dl  uint32
+			msg any
+		}{{segMT, segID, segDL, segMsg}, {lcgMT, lcgID, lcgDL, lcgMsg}} {
+			if got.mt != wantMT || got.id != wantID || got.dl != wantDL {
+				t.Fatalf("header mismatch: got (%v,%d,%d), want (%v,%d,%d)",
+					got.mt, got.id, got.dl, wantMT, wantID, wantDL)
+			}
+			if !reflect.DeepEqual(got.msg, wantMsg) {
+				t.Fatalf("%T: split-written decode differs from single-buffer decode", msg)
+			}
+		}
+	})
+}
+
+// TestVectoredFrameSplitAtEveryBoundary is the deterministic core of
+// the fuzz target: one multi-payload frame, split-written at every
+// single byte boundary, must decode identically each time.
+func TestVectoredFrameSplitAtEveryBoundary(t *testing.T) {
+	payload := make([]byte, 96)
+	for i := range payload {
+		payload[i] = byte(i*31 + 7)
+	}
+	msg := vectoredFuzzMsg(5, payload) // BatchAddMultiReq: three sub-deltas
+	var fr wire.Frame
+	meta := make([]byte, wire.MetaSize(msg))
+	if err := wire.EncodeFrame(&fr, msg, 77, 42, meta); err != nil {
+		t.Fatal(err)
+	}
+	joined := bytes.Join(fr.Segs, nil)
+	_, _, _, want := decodeOneFrame(t, bytes.NewReader(joined))
+	for cut := 1; cut < len(joined); cut++ {
+		r := io.MultiReader(bytes.NewReader(joined[:cut]), bytes.NewReader(joined[cut:]))
+		mt, id, dl, got := decodeOneFrame(t, r)
+		if mt != fr.Type || id != 77 || dl != 42 {
+			t.Fatalf("cut %d: header (%v,%d,%d)", cut, mt, id, dl)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cut %d: decode differs", cut)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/bufpool"
+	"ecstore/internal/proto"
+	"ecstore/internal/storage"
+)
+
+// stallNode blocks every Read on a per-batch gate, signalling `entered`
+// when the handler is running, so the test can cancel the caller while
+// the reply is guaranteed not to have been sent yet.
+type stallNode struct {
+	proto.StorageNode
+	mu      sync.Mutex
+	gate    chan struct{}
+	entered chan struct{}
+}
+
+func (n *stallNode) newBatch(size int) {
+	n.mu.Lock()
+	n.gate = make(chan struct{})
+	n.entered = make(chan struct{}, size)
+	n.mu.Unlock()
+}
+
+func (n *stallNode) release() {
+	n.mu.Lock()
+	close(n.gate)
+	n.mu.Unlock()
+}
+
+func (n *stallNode) Read(ctx context.Context, req *proto.ReadReq) (*proto.ReadReply, error) {
+	n.mu.Lock()
+	gate, entered := n.gate, n.entered
+	n.mu.Unlock()
+	entered <- struct{}{}
+	<-gate
+	return n.StorageNode.Read(ctx, req)
+}
+
+// TestCancelledCallsLeakNothing is the pending-map hygiene regression
+// test: a call abandoned by context cancellation must remove its
+// pending entry immediately, and the late reply — which the server
+// still sends — must have its pooled frame recycled by the read loop.
+// Across 10k cancelled calls the pool's outstanding-buffer balance
+// (Gets - Puts) must return to its baseline: a leaked reply frame per
+// call would show up as ~10k unreturned buffers.
+func TestCancelledCallsLeakNothing(t *testing.T) {
+	bufpool.SetDebug(true) // poison + double-Put detection on
+	defer bufpool.SetDebug(false)
+	node := &stallNode{StorageNode: storage.MustNew(storage.Options{ID: "hyg0", BlockSize: blockSize})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, node)
+	defer srv.Close()
+	cl := Dial(srv.Addr().String(), WithStripes(2))
+	defer cl.Close()
+
+	// Connect and seed outside the gate.
+	node.newBatch(1)
+	warm := make(chan error, 1)
+	go func() {
+		_, err := cl.Read(context.Background(), &proto.ReadReq{Stripe: 0, Slot: 0})
+		warm <- err
+	}()
+	<-node.entered
+	node.release()
+	if err := <-warm; err != nil {
+		t.Fatal(err)
+	}
+
+	start := bufpool.Snapshot()
+	base := int64(start.Gets) - int64(start.Puts)
+
+	const (
+		batches   = 40
+		batchSize = 256 // 40 * 256 = 10240 cancelled calls
+	)
+	for b := 0; b < batches; b++ {
+		node.newBatch(batchSize)
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		for i := 0; i < batchSize; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, err := cl.Read(ctx, &proto.ReadReq{Stripe: 0, Slot: 0})
+				if !errors.Is(err, context.Canceled) {
+					t.Errorf("cancelled call returned %v, want context.Canceled", err)
+				}
+			}()
+		}
+		// Every handler is inside the gate: the requests are on the
+		// server, no reply has been written. Cancel the whole batch.
+		for i := 0; i < batchSize; i++ {
+			<-node.entered
+		}
+		cancel()
+		wg.Wait()
+		if n := cl.PendingCalls(); n != 0 {
+			t.Fatalf("batch %d: %d pending entries survived cancellation", b, n)
+		}
+		// Now let the late replies flow; the read loop must Put every
+		// orphaned reply frame back.
+		node.release()
+	}
+
+	// Quiesce: wait for the server to finish writing the last replies,
+	// then for the pool balance to return to baseline.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		t.Fatalf("server did not quiesce: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := bufpool.Snapshot()
+		out := int64(s.Gets) - int64(s.Puts) - base
+		if out <= 2 { // transient slack: a frame still in flight in a read loop
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool balance off by %d buffers after 10k cancelled calls (late reply frames leaked)", out)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

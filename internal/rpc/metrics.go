@@ -1,6 +1,8 @@
 package rpc
 
 import (
+	"context"
+	"net"
 	"time"
 
 	"ecstore/internal/bufpool"
@@ -61,6 +63,10 @@ type Metrics struct {
 	// DrainRefusals counts requests refused with ErrDraining while the
 	// server was shutting down gracefully.
 	ExpiredSheds, DrainRefusals *obs.Counter
+	// VecWrites counts frames sent through the vectored (writev)
+	// zero-copy fast path; VecBytes the payload bytes those frames
+	// referenced in place instead of copying into a frame buffer.
+	VecWrites, VecBytes *obs.Counter
 
 	ops map[wire.MsgType]*OpMetrics
 }
@@ -79,6 +85,8 @@ func NewMetrics(reg *obs.Registry, prefix string) *Metrics {
 		DialsSuppressed: reg.Counter(prefix + ".dials_suppressed"),
 		ExpiredSheds:    reg.Counter(prefix + ".expired_sheds"),
 		DrainRefusals:   reg.Counter(prefix + ".drain_refusals"),
+		VecWrites:       reg.Counter(prefix + ".vec_writes"),
+		VecBytes:        reg.Counter(prefix + ".vec_bytes"),
 		ops:             make(map[wire.MsgType]*OpMetrics, len(opNames)),
 	}
 	for mt, name := range opNames {
@@ -163,6 +171,13 @@ func (m *Metrics) noteDrainRefusal() {
 	}
 }
 
+func (m *Metrics) noteVectored(payloadBytes int) {
+	if m != nil {
+		m.VecWrites.Inc()
+		m.VecBytes.Add(uint64(payloadBytes))
+	}
+}
+
 // DefaultDialCooldown is the post-failure dial backoff applied to
 // clients that don't override it with WithDialCooldown.
 const DefaultDialCooldown = 100 * time.Millisecond
@@ -170,11 +185,21 @@ const DefaultDialCooldown = 100 * time.Millisecond
 // Option configures a Server or Client.
 type Option func(*options)
 
+// DialFunc overrides how a client establishes a connection. Tests and
+// shaped benchmarks use it to wrap the socket; the default dials TCP
+// and applies the client's socket tuning.
+type DialFunc func(ctx context.Context, addr string) (net.Conn, error)
+
 type options struct {
 	metrics         *Metrics
 	dialCooldown    time.Duration
 	dialCooldownSet bool
 	callTimeout     time.Duration
+	stripes         int
+	noDelay         bool
+	readBuf         int
+	writeBuf        int
+	dialer          DialFunc
 }
 
 // WithDialCooldown sets the client's post-failure dial backoff: after
@@ -201,8 +226,48 @@ func WithMetrics(m *Metrics) Option {
 	return func(o *options) { o.metrics = m }
 }
 
+// WithStripes spreads a client's calls across n pipelined connections
+// (request ids hashed across the stripes, each with its own read
+// loop). Striping lifts per-connection throughput ceilings — kernel
+// socket buffers, per-flow fair queuing, a blocked 1 MiB writev
+// serializing smaller frames behind it — at the cost of n sockets per
+// endpoint. n < 1 is treated as 1. Servers ignore it.
+func WithStripes(n int) Option {
+	return func(o *options) {
+		if n < 1 {
+			n = 1
+		}
+		o.stripes = n
+	}
+}
+
+// WithNoDelay sets TCP_NODELAY on the endpoint's connections. Go's own
+// default is on (Nagle off) — matching latency-sensitive RPC — so this
+// option exists mainly as WithNoDelay(false) to re-enable Nagle's
+// coalescing for bandwidth-bound bulk deployments.
+func WithNoDelay(on bool) Option {
+	return func(o *options) { o.noDelay = on }
+}
+
+// WithSocketBuffers sets the kernel read/write buffer sizes
+// (SO_RCVBUF/SO_SNDBUF) in bytes on the endpoint's connections; 0
+// keeps the kernel default. Larger buffers keep 1 MiB-frame pipelines
+// from stalling on buffer-full round trips at high
+// bandwidth-delay-product links.
+func WithSocketBuffers(read, write int) Option {
+	return func(o *options) { o.readBuf = read; o.writeBuf = write }
+}
+
+// WithDialer replaces the client's TCP dialer. The returned conn is
+// used as-is (no socket tuning is applied); a non-*net.TCPConn makes
+// writev degrade to sequential per-segment writes, which is still
+// copy-free. Servers ignore it.
+func WithDialer(fn DialFunc) Option {
+	return func(o *options) { o.dialer = fn }
+}
+
 func applyOptions(opts []Option) options {
-	var o options
+	o := options{stripes: 1, noDelay: true}
 	for _, fn := range opts {
 		fn(&o)
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package rpc
+
+// raceEnabled reports that the race detector is active; wall-clock
+// throughput assertions are meaningless under its 5-20x slowdown.
+const raceEnabled = true

@@ -1,8 +1,9 @@
 // Package rpc carries the AJX storage protocol over TCP. It mirrors
 // the paper's implementation choice of user-mode RPC on TCP: a Server
 // exposes one storage node on a listener, and a Client implements
-// proto.StorageNode by multiplexing concurrent calls over a single
-// connection with pipelining.
+// proto.StorageNode by multiplexing concurrent calls over one or more
+// pipelined connections (WithStripes) with out-of-order reply matching
+// on request ids.
 //
 // Framing (see package wire): u32 frame length (type + id + deadline +
 // payload), u8 message type, u64 request id, u32 deadline budget in
@@ -10,6 +11,19 @@
 // and a zero deadline; a TError frame carries a server-side failure as
 // a code byte plus text (wire.ErrCode), so typed sentinels like
 // proto.ErrDraining survive the round trip.
+//
+// Write paths are zero-copy for block payloads: at or above
+// vectoredMinPayload, both the client request path and the server
+// reply path encode the header and fixed fields into a small
+// per-connection meta scratch buffer and hand the payload to the
+// kernel with a vectored write
+// (net.Buffers → writev on TCP), so a 1 MiB block never lands in an
+// intermediate frame buffer. Below the threshold, frames take the
+// classic copy-into-pooled-buffer path, which batches better and costs
+// less than iovec bookkeeping for small messages. The payload buffers
+// are only borrowed for the duration of the write — the writev
+// completes before the call's send phase returns, so caller ownership
+// (per proto.StorageNode's contract) is preserved.
 //
 // Clients translate a context deadline into the frame's budget, and
 // the server re-arms it as a context deadline around the handler —
@@ -41,6 +55,14 @@ import (
 // from forcing huge allocations (16 MiB covers any sane block size).
 const MaxFrame = 16 << 20
 
+// vectoredMinPayload is the referenced-payload size at or above which
+// a frame is sent with a vectored write (writev) instead of being
+// copied into a pooled frame buffer. Below it the copy wins: the frame
+// coalesces with its neighbors in the connection's bufio buffer and
+// goes out in one syscall, where a writev would pay per-segment iovec
+// bookkeeping to save a sub-page memcpy.
+const vectoredMinPayload = 4 << 10
+
 // errServer wraps a remote error string delivered in a TError frame.
 type errServer struct{ msg string }
 
@@ -53,6 +75,9 @@ type Server struct {
 	node     proto.StorageNode
 	ln       net.Listener
 	metrics  *Metrics
+	noDelay  bool
+	readBuf  int
+	writeBuf int
 	draining atomic.Bool
 
 	mu       sync.Mutex
@@ -67,7 +92,11 @@ type Server struct {
 // request handling run on background goroutines until Close.
 func Serve(ln net.Listener, node proto.StorageNode, opts ...Option) *Server {
 	o := applyOptions(opts)
-	s := &Server{node: node, ln: ln, metrics: o.metrics, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		node: node, ln: ln, metrics: o.metrics,
+		noDelay: o.noDelay, readBuf: o.readBuf, writeBuf: o.writeBuf,
+		conns: make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -148,6 +177,7 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
+		tuneConn(conn, s.noDelay, s.readBuf, s.writeBuf)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -161,6 +191,91 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// tuneConn applies socket tuning to a TCP connection: TCP_NODELAY
+// (Go's own default is on; noDelay=false re-enables Nagle for
+// bandwidth-bound deployments that prefer coalescing) and, when
+// non-zero, explicit kernel read/write buffer sizes.
+func tuneConn(conn net.Conn, noDelay bool, readBuf, writeBuf int) {
+	tc, ok := conn.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	_ = tc.SetNoDelay(noDelay)
+	if readBuf > 0 {
+		_ = tc.SetReadBuffer(readBuf)
+	}
+	if writeBuf > 0 {
+		_ = tc.SetWriteBuffer(writeBuf)
+	}
+}
+
+// replyWriter serializes reply frames onto one server connection.
+// Large reply payloads (read blocks, swap old-values — always owned
+// copies, see storage's cloneBytes) go out with a vectored write; the
+// Frame and meta scratch live here so the steady state is
+// allocation-free.
+type replyWriter struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	w     *bufio.Writer
+	frame wire.Frame
+	vec   net.Buffers
+	meta  []byte // vectored meta scratch; only borrowed until WriteTo returns
+}
+
+// write sends one reply frame (flushing it) and returns its wire size.
+// Errors travel as TError frames with a wire.ErrCode prefix so typed
+// sentinels survive; vectored reports whether the payload was sent by
+// reference.
+func (rw *replyWriter) write(id uint64, reply any) (n int, vectored bool, err error) {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if e, ok := reply.(error); ok {
+		return rw.writeError(id, e)
+	}
+	if pb := wire.PayloadBytes(reply); pb >= vectoredMinPayload {
+		if need := wire.MetaSize(reply); cap(rw.meta) < need {
+			rw.meta = make([]byte, need)
+		}
+		if eerr := wire.EncodeFrame(&rw.frame, reply, id, 0, rw.meta); eerr != nil {
+			n, _, err = rw.writeError(id, eerr)
+			return n, false, err
+		}
+		// Flush buffered small frames first so the segments land in
+		// order, then hand the segment list to writev. The payload
+		// segments alias the reply's buffers; nothing below may recycle
+		// or mutate them until WriteTo returns.
+		werr := rw.w.Flush()
+		if werr == nil {
+			rw.vec = net.Buffers(rw.frame.Segs)
+			_, werr = rw.vec.WriteTo(rw.conn)
+		}
+		return rw.frame.Wire, true, werr
+	}
+	buf := bufpool.Get(wire.Size(reply) - frameHeaderSize)
+	mt, payload, eerr := wire.EncodeAppend(reply, buf[:0])
+	if eerr != nil {
+		bufpool.Put(buf)
+		n, _, err = rw.writeError(id, eerr)
+		return n, false, err
+	}
+	werr := writeFrame(rw.w, mt, id, 0, payload)
+	if werr == nil {
+		werr = rw.w.Flush()
+	}
+	bufpool.Put(buf)
+	return frameHeaderSize + len(payload), false, werr
+}
+
+func (rw *replyWriter) writeError(id uint64, e error) (int, bool, error) {
+	msg := wire.AppendError(nil, e)
+	werr := writeFrame(rw.w, wire.TError, id, 0, msg)
+	if werr == nil {
+		werr = rw.w.Flush()
+	}
+	return frameHeaderSize + len(msg), false, werr
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -170,8 +285,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = conn.Close()
 	}()
 	r := bufio.NewReaderSize(conn, 64<<10)
-	var wmu sync.Mutex
-	w := bufio.NewWriterSize(conn, 64<<10)
+	rw := &replyWriter{conn: conn, w: bufio.NewWriterSize(conn, 64<<10)}
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
 	for {
@@ -238,15 +352,14 @@ func (s *Server) serveConn(conn net.Conn) {
 					op.noteError()
 				}
 			}
-			wmu.Lock()
-			n, werr := writeReply(w, id, reply)
+			n, vectored, werr := rw.write(id, reply)
 			if werr != nil {
-				wmu.Unlock()
 				_ = conn.Close()
 				return
 			}
-			_ = w.Flush()
-			wmu.Unlock()
+			if vectored {
+				s.metrics.noteVectored(wire.PayloadBytes(reply))
+			}
 			// The handler has returned and the reply is on the wire;
 			// node handlers fold or copy request payloads during the
 			// call (package storage), so the request's pooled block
@@ -364,47 +477,49 @@ func writeFrame(w io.Writer, mt wire.MsgType, id uint64, deadlineUS uint32, payl
 	return err
 }
 
-// writeReply writes the reply frame and returns its size on the wire.
-// The reply body is serialized into a pooled buffer sized by wire.Size
-// and returned to the pool once written. Errors travel as TError with
-// a wire.ErrCode prefix so typed sentinels survive.
-func writeReply(w io.Writer, id uint64, reply any) (int, error) {
-	if err, ok := reply.(error); ok {
-		msg := wire.AppendError(nil, err)
-		return frameHeaderSize + len(msg), writeFrame(w, wire.TError, id, 0, msg)
-	}
-	buf := bufpool.Get(wire.Size(reply) - frameHeaderSize)
-	mt, payload, err := wire.EncodeAppend(reply, buf[:0])
-	if err != nil {
-		bufpool.Put(buf)
-		msg := wire.AppendError(nil, err)
-		return frameHeaderSize + len(msg), writeFrame(w, wire.TError, id, 0, msg)
-	}
-	werr := writeFrame(w, mt, id, 0, payload)
-	bufpool.Put(buf)
-	return frameHeaderSize + len(payload), werr
-}
-
 // --- Client ----------------------------------------------------------------
 
 // Client is a proto.StorageNode stub over TCP. It is safe for
-// concurrent use; calls are pipelined over one connection. A broken
-// connection fails in-flight calls with ErrNodeDown and is re-dialed
-// lazily on the next call.
+// concurrent use; calls are pipelined and multiplexed out of order by
+// request id. With WithStripes(n) the client spreads request ids
+// across n connections, each with its own read loop, so one stripe's
+// large in-flight payload never head-of-line blocks another's; the
+// stripes share the endpoint's dial-cooldown state. A broken
+// connection fails that stripe's in-flight calls with ErrNodeDown and
+// is re-dialed lazily on the next call routed to it.
 type Client struct {
 	addr        string
 	metrics     *Metrics
 	cooldown    time.Duration
 	callTimeout time.Duration
+	noDelay     bool
+	readBuf     int
+	writeBuf    int
+	dialer      DialFunc
 	nextID      atomic.Uint64
+	stripes     []*stripeConn
 
-	mu          sync.Mutex
-	conn        net.Conn
-	w           *bufio.Writer
-	pending     map[uint64]chan frameOrErr
+	// dialMu guards the shared dial-cooldown state and the closed flag.
+	// Lock order: stripeConn.mu before dialMu; never the reverse.
+	dialMu      sync.Mutex
 	closed      bool
 	lastDialErr error     // cause of the most recent failed dial
 	lastDialAt  time.Time // when that dial failed (zero: none pending)
+}
+
+// stripeConn is one pipelined connection of a client: its own socket,
+// write buffer, pending-reply map, read loop, and vectored-encode
+// scratch. All fields are guarded by mu except the read loop's
+// transient use of the conn it was started with.
+type stripeConn struct {
+	c       *Client
+	mu      sync.Mutex
+	conn    net.Conn
+	w       *bufio.Writer
+	frame   wire.Frame  // vectored-encode scratch, reused under mu
+	vec     net.Buffers // writev cursor; WriteTo consumes it, frame.Segs stays intact
+	meta    []byte      // vectored meta scratch; only borrowed until WriteTo returns
+	pending map[uint64]chan frameOrErr
 }
 
 type frameOrErr struct {
@@ -414,110 +529,181 @@ type frameOrErr struct {
 	err     error
 }
 
-// Dial creates a client for the given address. The connection is
+// Dial creates a client for the given address. Connections are
 // established lazily on first use; after a failed dial the client
 // backs off for a cooldown window (DefaultDialCooldown unless
 // overridden by WithDialCooldown) during which calls fail fast
 // without touching the network — a dead node costs one dial attempt
-// per window, not one per RPC.
+// per window, not one per RPC. The cooldown is shared across stripes:
+// one stripe's failed dial suppresses the others' attempts too.
 func Dial(addr string, opts ...Option) *Client {
 	o := applyOptions(opts)
 	cooldown := DefaultDialCooldown
 	if o.dialCooldownSet {
 		cooldown = o.dialCooldown
 	}
-	return &Client{
+	c := &Client{
 		addr:        addr,
 		metrics:     o.metrics,
 		cooldown:    cooldown,
 		callTimeout: o.callTimeout,
-		pending:     make(map[uint64]chan frameOrErr),
+		noDelay:     o.noDelay,
+		readBuf:     o.readBuf,
+		writeBuf:    o.writeBuf,
+		dialer:      o.dialer,
 	}
+	c.stripes = make([]*stripeConn, o.stripes)
+	for i := range c.stripes {
+		c.stripes[i] = &stripeConn{c: c, pending: make(map[uint64]chan frameOrErr)}
+	}
+	return c
 }
 
 var _ proto.StorageNode = (*Client)(nil)
 var _ proto.MultiBatcher = (*Client)(nil)
 var _ proto.PartialSummer = (*Client)(nil)
 
-// Close shuts the connection down; subsequent calls fail.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	c.closed = true
-	conn := c.conn
-	c.failAllLocked(proto.ErrNodeDown)
-	c.conn = nil
-	c.mu.Unlock()
-	if conn != nil {
-		return conn.Close()
+// Stripes reports the number of connection stripes this client spreads
+// request ids across.
+func (c *Client) Stripes() int { return len(c.stripes) }
+
+// PendingCalls reports the number of in-flight (registered, unreplied)
+// calls across all stripes. It exists for hygiene tests and
+// introspection; a quiesced client must report 0.
+func (c *Client) PendingCalls() int {
+	total := 0
+	for _, sc := range c.stripes {
+		sc.mu.Lock()
+		total += len(sc.pending)
+		sc.mu.Unlock()
 	}
-	return nil
+	return total
 }
 
-// ensureConnLocked dials if needed, honoring the post-failure dial
-// cooldown: within cooldown of a failed dial, calls fail fast with
-// the cached cause instead of dialing again. Caller must hold c.mu.
-func (c *Client) ensureConnLocked(ctx context.Context) error {
-	if c.closed {
-		return proto.ErrNodeDown
+// Close shuts all stripe connections down; subsequent calls fail.
+func (c *Client) Close() error {
+	c.dialMu.Lock()
+	c.closed = true
+	c.dialMu.Unlock()
+	var err error
+	for _, sc := range c.stripes {
+		sc.mu.Lock()
+		conn := sc.conn
+		sc.failAllLocked(proto.ErrNodeDown)
+		sc.conn = nil
+		sc.mu.Unlock()
+		if conn != nil {
+			if cerr := conn.Close(); err == nil {
+				err = cerr
+			}
+		}
 	}
-	if c.conn != nil {
-		return nil
+	return err
+}
+
+// dialConn establishes one stripe's connection using the configured
+// dialer (or TCP with socket tuning applied).
+func (c *Client) dialConn(ctx context.Context) (net.Conn, error) {
+	if c.dialer != nil {
+		return c.dialer(ctx, c.addr)
 	}
-	if c.cooldown > 0 && !c.lastDialAt.IsZero() && time.Since(c.lastDialAt) < c.cooldown {
-		c.metrics.noteDialSuppressed()
-		return fmt.Errorf("%w: %s in dial cooldown after: %v", proto.ErrNodeDown, c.addr, c.lastDialErr)
-	}
-	c.metrics.noteDial()
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
+		return nil, err
+	}
+	tuneConn(conn, c.noDelay, c.readBuf, c.writeBuf)
+	return conn, nil
+}
+
+// ensureConnLocked dials this stripe if needed, honoring the client's
+// shared post-failure dial cooldown: within cooldown of any stripe's
+// failed dial, calls fail fast with the cached cause instead of
+// dialing again. Caller must hold sc.mu (not dialMu).
+func (sc *stripeConn) ensureConnLocked(ctx context.Context) error {
+	c := sc.c
+	c.dialMu.Lock()
+	if c.closed {
+		c.dialMu.Unlock()
+		return proto.ErrNodeDown
+	}
+	if sc.conn != nil {
+		c.dialMu.Unlock()
+		return nil
+	}
+	if c.cooldown > 0 && !c.lastDialAt.IsZero() && time.Since(c.lastDialAt) < c.cooldown {
+		c.dialMu.Unlock()
+		c.metrics.noteDialSuppressed()
+		return fmt.Errorf("%w: %s in dial cooldown after: %v", proto.ErrNodeDown, c.addr, c.lastDialErr)
+	}
+	c.dialMu.Unlock()
+	c.metrics.noteDial()
+	conn, err := c.dialConn(ctx)
+	if err != nil {
 		c.metrics.noteDialError()
+		c.dialMu.Lock()
 		c.lastDialErr = err
 		c.lastDialAt = time.Now()
+		c.dialMu.Unlock()
 		return fmt.Errorf("%w: %v", proto.ErrNodeDown, err)
 	}
+	c.dialMu.Lock()
 	c.lastDialErr = nil
 	c.lastDialAt = time.Time{}
-	c.conn = conn
-	c.w = bufio.NewWriterSize(conn, 64<<10)
-	go c.readLoop(conn)
+	closed := c.closed
+	c.dialMu.Unlock()
+	if closed {
+		_ = conn.Close()
+		return proto.ErrNodeDown
+	}
+	sc.conn = conn
+	sc.w = bufio.NewWriterSize(conn, 64<<10)
+	go sc.readLoop(conn)
 	return nil
 }
 
-// Connected reports whether a TCP connection is currently up.
+// Connected reports whether any stripe's TCP connection is up.
 func (c *Client) Connected() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn != nil
+	for _, sc := range c.stripes {
+		sc.mu.Lock()
+		up := sc.conn != nil
+		sc.mu.Unlock()
+		if up {
+			return true
+		}
+	}
+	return false
 }
 
 // TryConnect is a reconnect-aware health probe: it ensures a live
-// connection, dialing (subject to the cooldown) if none exists, and
-// sends nothing. A nil return means the transport is up.
+// connection on the first stripe, dialing (subject to the cooldown) if
+// none exists, and sends nothing. A nil return means the transport is
+// up.
 func (c *Client) TryConnect(ctx context.Context) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ensureConnLocked(ctx)
+	sc := c.stripes[0]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.ensureConnLocked(ctx)
 }
 
-func (c *Client) readLoop(conn net.Conn) {
+func (sc *stripeConn) readLoop(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 64<<10)
 	for {
 		mt, id, _, payload, frame, err := readFrame(r)
 		if err != nil {
-			c.mu.Lock()
-			if c.conn == conn {
-				c.failAllLocked(fmt.Errorf("%w: %v", proto.ErrNodeDown, err))
-				c.conn = nil
+			sc.mu.Lock()
+			if sc.conn == conn {
+				sc.failAllLocked(fmt.Errorf("%w: %v", proto.ErrNodeDown, err))
+				sc.conn = nil
 			}
-			c.mu.Unlock()
+			sc.mu.Unlock()
 			_ = conn.Close()
 			return
 		}
-		c.mu.Lock()
-		ch, ok := c.pending[id]
-		delete(c.pending, id)
-		c.mu.Unlock()
+		sc.mu.Lock()
+		ch, ok := sc.pending[id]
+		delete(sc.pending, id)
+		sc.mu.Unlock()
 		if ok {
 			ch <- frameOrErr{mt: mt, payload: payload, frame: frame}
 		} else {
@@ -528,11 +714,79 @@ func (c *Client) readLoop(conn net.Conn) {
 	}
 }
 
-func (c *Client) failAllLocked(err error) {
-	for id, ch := range c.pending {
-		delete(c.pending, id)
+func (sc *stripeConn) failAllLocked(err error) {
+	for id, ch := range sc.pending {
+		delete(sc.pending, id)
 		ch <- frameOrErr{err: err}
 	}
+}
+
+// send performs the write phase of one call on this stripe: ensure the
+// connection, register ch under id, and put the frame on the wire. At
+// or above vectoredMinPayload the frame goes out as a vectored write
+// whose payload segments alias req's own buffers — they are borrowed
+// only until the writev returns (still inside send, under sc.mu), so
+// no payload buffer can be recycled while the writev references it.
+// Below the threshold the frame is encoded into a pooled buffer and
+// written through the stripe's bufio writer. Returns the frame's wire
+// size and whether the vectored path carried it.
+func (sc *stripeConn) send(ctx context.Context, id uint64, deadlineUS uint32, req any, ch chan frameOrErr) (n int, vectored bool, err error) {
+	pb := wire.PayloadBytes(req)
+	sc.mu.Lock()
+	if cerr := sc.ensureConnLocked(ctx); cerr != nil {
+		sc.mu.Unlock()
+		return 0, false, cerr
+	}
+	sc.pending[id] = ch
+	var werr error
+	if pb >= vectoredMinPayload {
+		vectored = true
+		if need := wire.MetaSize(req); cap(sc.meta) < need {
+			sc.meta = make([]byte, need)
+		}
+		if eerr := wire.EncodeFrame(&sc.frame, req, id, deadlineUS, sc.meta); eerr != nil {
+			delete(sc.pending, id)
+			sc.mu.Unlock()
+			return 0, false, eerr
+		}
+		n = sc.frame.Wire
+		// Drain buffered small frames first so segments land in order,
+		// then writev the segment list. WriteTo consumes sc.vec (and may
+		// trim segment views); sc.frame.Segs is reset on the next encode.
+		werr = sc.w.Flush()
+		if werr == nil {
+			sc.vec = net.Buffers(sc.frame.Segs)
+			_, werr = sc.vec.WriteTo(sc.conn)
+		}
+	} else {
+		ebuf := bufpool.Get(wire.Size(req) - frameHeaderSize)
+		mt, payload, eerr := wire.EncodeAppend(req, ebuf[:0])
+		if eerr != nil {
+			delete(sc.pending, id)
+			sc.mu.Unlock()
+			bufpool.Put(ebuf)
+			return 0, false, eerr
+		}
+		n = frameHeaderSize + len(payload)
+		werr = writeFrame(sc.w, mt, id, deadlineUS, payload)
+		if werr == nil {
+			werr = sc.w.Flush()
+		}
+		bufpool.Put(ebuf)
+	}
+	if werr != nil {
+		delete(sc.pending, id)
+		conn := sc.conn
+		sc.failAllLocked(proto.ErrNodeDown)
+		sc.conn = nil
+		sc.mu.Unlock()
+		if conn != nil {
+			_ = conn.Close()
+		}
+		return 0, false, fmt.Errorf("%w: %v", proto.ErrNodeDown, werr)
+	}
+	sc.mu.Unlock()
+	return n, vectored, nil
 }
 
 // deadlineBudget translates a context deadline into the frame's u32
@@ -558,9 +812,10 @@ func deadlineBudget(ctx context.Context) (uint32, bool) {
 	return uint32(us), true
 }
 
-// call performs one RPC: write the request frame, wait for the reply.
-// The remaining context budget rides the frame header so the server
-// can shed the work if it expires before dispatch.
+// call performs one RPC: write the request frame on the stripe its id
+// hashes to, wait for the reply. The remaining context budget rides
+// the frame header so the server can shed the work if it expires
+// before dispatch.
 func (c *Client) call(ctx context.Context, req any) (any, error) {
 	if c.callTimeout > 0 {
 		var cancel context.CancelFunc
@@ -571,11 +826,9 @@ func (c *Client) call(ctx context.Context, req any) (any, error) {
 	if !ok {
 		return nil, context.DeadlineExceeded
 	}
-	ebuf := bufpool.Get(wire.Size(req) - frameHeaderSize)
-	mt, payload, err := wire.EncodeAppend(req, ebuf[:0])
-	if err != nil {
-		bufpool.Put(ebuf)
-		return nil, err
+	mt, known := wire.TypeOf(req)
+	if !known {
+		return nil, fmt.Errorf("wire: cannot encode %T", req)
 	}
 	op := c.metrics.Op(mt)
 	var sp obs.Span
@@ -584,44 +837,23 @@ func (c *Client) call(ctx context.Context, req any) (any, error) {
 		sp = obs.StartSpan(op.Latency)
 	}
 	id := c.nextID.Add(1)
+	sc := c.stripes[id%uint64(len(c.stripes))]
 	ch := make(chan frameOrErr, 1)
-
-	c.mu.Lock()
-	if err := c.ensureConnLocked(ctx); err != nil {
-		c.mu.Unlock()
-		bufpool.Put(ebuf)
+	n, vectored, err := sc.send(ctx, id, deadlineUS, req, ch)
+	if err != nil {
 		op.noteError()
 		return nil, err
 	}
-	c.pending[id] = ch
-	werr := writeFrame(c.w, mt, id, deadlineUS, payload)
-	if werr == nil {
-		werr = c.w.Flush()
+	c.metrics.noteOut(n)
+	if vectored {
+		c.metrics.noteVectored(wire.PayloadBytes(req))
 	}
-	if werr != nil {
-		delete(c.pending, id)
-		conn := c.conn
-		c.failAllLocked(proto.ErrNodeDown)
-		c.conn = nil
-		c.mu.Unlock()
-		bufpool.Put(ebuf)
-		if conn != nil {
-			_ = conn.Close()
-		}
-		op.noteError()
-		return nil, fmt.Errorf("%w: %v", proto.ErrNodeDown, werr)
-	}
-	c.mu.Unlock()
-	// Flushed: the request bytes are on the socket (or in its buffer),
-	// so the encode scratch goes back to the pool.
-	bufpool.Put(ebuf)
-	c.metrics.noteOut(frameHeaderSize + len(payload))
 
 	select {
 	case <-ctx.Done():
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+		sc.mu.Lock()
+		delete(sc.pending, id)
+		sc.mu.Unlock()
 		// If the reply raced in just before the delete, reclaim its
 		// frame; a reply that arrives later is recycled by readLoop.
 		select {

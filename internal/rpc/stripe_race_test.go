@@ -1,0 +1,118 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"ecstore/internal/bufpool"
+	"ecstore/internal/proto"
+	"ecstore/internal/storage"
+)
+
+// TestStripedVectoredNoRecycleWhileWritevInFlight is the ownership
+// hazard test the zero-copy path introduces: payload buffers are
+// handed to the kernel by reference (writev), so recycling or reusing
+// one while a write still references it would put poison or another
+// call's data on the wire. Concurrent callers hammer a striped client
+// with block payloads above vectoredMinPayload — every request and
+// every block-carrying reply rides writev — with bufpool poison mode
+// on. If any buffer were recycled while a writev referenced it, the
+// server would observe poisoned values (read-back mismatch), a reply
+// received earlier would mutate, or the debug pool would panic on a
+// double Put.
+func TestStripedVectoredNoRecycleWhileWritevInFlight(t *testing.T) {
+	bufpool.SetDebug(true)
+	t.Cleanup(func() { bufpool.SetDebug(false) })
+
+	const vecBlock = 16 << 10 // 4x vectoredMinPayload
+	node := storage.MustNew(storage.Options{ID: "vrace0", BlockSize: vecBlock})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, node)
+	t.Cleanup(func() { _ = srv.Close() })
+	cl := Dial(srv.Addr().String(), WithStripes(4))
+	t.Cleanup(func() { _ = cl.Close() })
+
+	vblk := func(fill byte) []byte {
+		b := make([]byte, vecBlock)
+		for i := range b {
+			b[i] = fill
+		}
+		return b
+	}
+
+	ctx := context.Background()
+	const (
+		workers = 8
+		iters   = 25
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var prevReply []byte
+			var prevFill byte
+			for it := 0; it < iters; it++ {
+				fill := byte(w*31 + it + 1)
+				stripe := uint64(w)
+				nt := proto.TID{Seq: uint64(it + 1), Block: 0, Client: proto.ClientID(w + 1)}
+
+				val := vblk(fill)
+				if _, err := cl.Swap(ctx, &proto.SwapReq{Stripe: stripe, Slot: 0, Value: val, NTID: nt}); err != nil {
+					errCh <- fmt.Errorf("worker %d iter %d: swap: %w", w, it, err)
+					return
+				}
+				// The writev borrowed val; after the call returns,
+				// ownership is back with us and the bytes are untouched.
+				for i, b := range val {
+					if b != fill {
+						errCh <- fmt.Errorf("worker %d iter %d: request buffer mutated at %d: %#x", w, it, i, b)
+						return
+					}
+				}
+
+				// A premultiplied add: its 16 KiB delta also rides writev
+				// and is recycled server-side after the reply.
+				if rep, err := cl.Add(ctx, &proto.AddReq{Stripe: stripe, Slot: 3, Delta: vblk(fill), Premultiplied: true, NTID: nt}); err != nil || rep.Status != proto.StatusOK {
+					errCh <- fmt.Errorf("worker %d iter %d: add: %v %+v", w, it, err, rep)
+					return
+				}
+
+				rrep, err := cl.Read(ctx, &proto.ReadReq{Stripe: stripe, Slot: 0})
+				if err != nil || !rrep.OK {
+					errCh <- fmt.Errorf("worker %d iter %d: read: %v %+v", w, it, err, rrep)
+					return
+				}
+				for i, b := range rrep.Block {
+					if b != fill {
+						errCh <- fmt.Errorf("worker %d iter %d: read back %#x at %d, want %#x (poisoned payload hit the wire)", w, it, b, i, fill)
+						return
+					}
+				}
+
+				// The server's reply blocks crossed its writev by
+				// reference too; an earlier reply must survive all later
+				// traffic on the shared stripes.
+				for i, b := range prevReply {
+					if b != prevFill {
+						errCh <- fmt.Errorf("worker %d iter %d: earlier reply corrupted at %d: %#x, want %#x", w, it, i, b, prevFill)
+						return
+					}
+				}
+				prevReply, prevFill = rrep.Block, fill
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

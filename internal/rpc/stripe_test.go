@@ -1,0 +1,188 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/obs"
+	"ecstore/internal/proto"
+	"ecstore/internal/storage"
+)
+
+// startStripedServer is startServer with a metrics-instrumented client
+// spreading calls across n connection stripes.
+func startStripedServer(t *testing.T, n int) (*Server, *Client, *Metrics) {
+	t.Helper()
+	node := storage.MustNew(storage.Options{ID: "striped0", BlockSize: blockSize})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, node)
+	t.Cleanup(func() { _ = srv.Close() })
+	m := NewMetrics(obs.NewRegistry(), "cli")
+	cl := Dial(srv.Addr().String(), WithStripes(n), WithMetrics(m))
+	t.Cleanup(func() { _ = cl.Close() })
+	return srv, cl, m
+}
+
+// TestStripedClientDialsOneConnPerStripe: sequential calls walk the
+// request-id hash across all stripes, so every stripe dials exactly
+// once and stays connected.
+func TestStripedClientDialsOneConnPerStripe(t *testing.T) {
+	_, cl, m := startStripedServer(t, 4)
+	if cl.Stripes() != 4 {
+		t.Fatalf("Stripes() = %d, want 4", cl.Stripes())
+	}
+	ctx := context.Background()
+	for i := 0; i < 12; i++ {
+		if _, err := cl.Probe(ctx, &proto.ProbeReq{}); err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+	}
+	if got := m.Dials.Value(); got != 4 {
+		t.Fatalf("client made %d dials for 12 calls over 4 stripes, want 4", got)
+	}
+	for i, sc := range cl.stripes {
+		sc.mu.Lock()
+		up := sc.conn != nil
+		sc.mu.Unlock()
+		if !up {
+			t.Fatalf("stripe %d never connected", i)
+		}
+	}
+	if cl.PendingCalls() != 0 {
+		t.Fatalf("quiesced client has %d pending calls", cl.PendingCalls())
+	}
+}
+
+// TestStripedClientCorrectness runs a read/write workload concurrently
+// over every stripe and checks the answers, i.e. striping changes the
+// transport layout but not the protocol.
+func TestStripedClientCorrectness(t *testing.T) {
+	_, cl, _ := startStripedServer(t, 3)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stripe := uint64(w)
+			for it := 0; it < 20; it++ {
+				fill := byte(w*31 + it + 1)
+				nt := proto.TID{Seq: uint64(it + 1), Block: 0, Client: proto.ClientID(w + 1)}
+				if _, err := cl.Swap(ctx, &proto.SwapReq{Stripe: stripe, Slot: 0, Value: blk(fill), NTID: nt}); err != nil {
+					errc <- err
+					return
+				}
+				rep, err := cl.Read(ctx, &proto.ReadReq{Stripe: stripe, Slot: 0})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !rep.OK || !bytes.Equal(rep.Block, blk(fill)) {
+					errc <- errors.New("striped read returned the wrong block")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDialCooldownSharedAcrossStripes: one stripe's failed dial puts
+// every stripe in cooldown — a dead endpoint costs one dial attempt
+// per window no matter how wide the client is.
+func TestDialCooldownSharedAcrossStripes(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close() // nothing listens here anymore
+	m := NewMetrics(obs.NewRegistry(), "cli")
+	cl := Dial(addr, WithStripes(4), WithMetrics(m), WithDialCooldown(time.Minute))
+	defer cl.Close()
+	ctx := context.Background()
+	for i := 0; i < 25; i++ {
+		if _, err := cl.Probe(ctx, &proto.ProbeReq{}); !errors.Is(err, proto.ErrNodeDown) {
+			t.Fatalf("call %d: err = %v, want ErrNodeDown", i, err)
+		}
+	}
+	if got := m.Dials.Value(); got != 1 {
+		t.Fatalf("dials = %d, want 1 (cooldown shared across stripes)", got)
+	}
+	if got := m.DialsSuppressed.Value(); got != 24 {
+		t.Fatalf("suppressed = %d, want 24", got)
+	}
+}
+
+// TestStripedClientCloseFailsAllStripes: Close fails calls on every
+// stripe and further calls fail fast without dialing.
+func TestStripedClientCloseFailsAllStripes(t *testing.T) {
+	_, cl, m := startStripedServer(t, 2)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := cl.Probe(ctx, &proto.ProbeReq{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dials := m.Dials.Value()
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Probe(ctx, &proto.ProbeReq{}); !errors.Is(err, proto.ErrNodeDown) {
+		t.Fatalf("post-Close call: %v, want ErrNodeDown", err)
+	}
+	if got := m.Dials.Value(); got != dials {
+		t.Fatalf("closed client dialed again (%d -> %d)", dials, got)
+	}
+}
+
+// TestStripedClientReconnectsPerStripe: killing the server's side of
+// every conn fails in-flight state per stripe, and the next call on
+// each stripe re-dials lazily once the server is back.
+func TestStripedClientReconnectsPerStripe(t *testing.T) {
+	node := storage.MustNew(storage.Options{ID: "striped-re", BlockSize: blockSize})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv := Serve(ln, node)
+	cl := Dial(addr, WithStripes(2), WithDialCooldown(0))
+	defer cl.Close()
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := cl.Probe(ctx, &proto.ProbeReq{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = srv.Close()
+	// Wait for both stripes to notice the hangup.
+	deadline := time.Now().Add(2 * time.Second)
+	for cl.Connected() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	srv2 := Serve(ln2, node)
+	defer srv2.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := cl.Probe(ctx, &proto.ProbeReq{}); err != nil {
+			t.Fatalf("post-restart probe %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// ShapedConn wraps a real net.Conn with a per-connection bandwidth cap,
+// modelling the per-flow ceiling a single TCP stream hits in practice
+// (fair queuing, per-flow policers, window limits on long paths). It
+// uses the same transmission-ledger idea as Host: each Write books
+// wire time proportional to its size and sleeps until its slot has
+// drained, so sustained throughput converges on BytesPerSec without
+// per-byte timers.
+//
+// It deliberately is not a *net.TCPConn, so net.Buffers.WriteTo
+// degrades from a single writev to sequential per-segment writes —
+// still copy-free, and exactly the degradation mode DESIGN §16
+// documents. rpc clients inject it with WithDialer; striping across n
+// ShapedConns multiplies the available bandwidth n-fold, which is what
+// the striped throughput acceptance test measures.
+type ShapedConn struct {
+	net.Conn
+	bytesPerSec float64
+
+	mu   sync.Mutex
+	free time.Time // ledger: when bytes written so far have drained
+}
+
+// NewShapedConn caps conn at bytesPerSec per direction of Write.
+// bytesPerSec <= 0 means unshaped.
+func NewShapedConn(conn net.Conn, bytesPerSec float64) *ShapedConn {
+	return &ShapedConn{Conn: conn, bytesPerSec: bytesPerSec}
+}
+
+func (s *ShapedConn) Write(b []byte) (int, error) {
+	n, err := s.Conn.Write(b)
+	if n > 0 && s.bytesPerSec > 0 {
+		cost := time.Duration(float64(n) / s.bytesPerSec * float64(time.Second))
+		s.mu.Lock()
+		now := time.Now()
+		if s.free.Before(now) {
+			s.free = now
+		}
+		s.free = s.free.Add(cost)
+		wait := s.free.Sub(now)
+		s.mu.Unlock()
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+	return n, err
+}

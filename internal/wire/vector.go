@@ -1,0 +1,322 @@
+// Vectored (zero-copy) frame encoding. EncodeFrame produces a Frame:
+// an ordered segment list ready for a writev (net.Buffers) in which
+// the frame header and every fixed-width field live in one small
+// caller-provided meta buffer, while block payloads — SwapReq.Value,
+// AddReq.Delta, BatchAdd(Multi) deltas, ReconstructReq.Block,
+// PartialSumReq.Acc, and the block fields of Read/Swap/GetState/
+// PartialSum replies — are referenced in place. A 1 MiB block crosses
+// the write path without ever being copied into a frame buffer; the
+// concatenation of the segments is byte-identical to the contiguous
+// framing writeFrame+EncodeAppend would produce (FuzzVectoredFrameRoundTrip
+// holds the two paths equal).
+//
+// Ownership rules:
+//
+//   - The meta buffer backs every non-payload segment. It must have
+//     capacity MetaSize(msg) and must not be recycled or reused until
+//     the writev referencing the Frame has returned.
+//   - Payload segments alias the message's own buffers. The encoder
+//     borrows them; it never copies, mutates, or recycles them. The
+//     caller must keep them alive and unmodified until the writev
+//     returns — after that, ownership reverts to the caller.
+//   - Frame.Segs is scratch owned by the Frame; EncodeFrame resets and
+//     refills it, so a long-lived Frame makes the encode allocation-free.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ecstore/internal/proto"
+)
+
+// Frame is the zero-copy view of one framed message: the segment list
+// a writev sends, in wire order. Segment 0 always starts with the
+// 17-byte frame header (FrameOverhead); payload-bearing messages
+// alternate meta spans with payload segments, everything else is a
+// single contiguous segment.
+type Frame struct {
+	// Type is the message's wire type tag (also encoded in the header).
+	Type MsgType
+	// Segs is the ordered segment list; its backing array is reused
+	// across EncodeFrame calls on the same Frame.
+	Segs [][]byte
+	// Payload counts the bytes referenced in place (aliasing the
+	// message), as opposed to encoded into the meta buffer.
+	Payload int
+	// Wire is the total framed size: the sum of all segment lengths,
+	// equal to Size(msg).
+	Wire int
+}
+
+// PayloadBytes returns the number of payload bytes EncodeFrame would
+// reference in place (not copy) for msg: the block-sized fields of the
+// payload-bearing requests and replies, 0 for everything else. Like
+// Size it is allocation-free, so write paths can use it to pick
+// between the vectored and the copying encoder per call.
+func PayloadBytes(msg any) int {
+	switch m := msg.(type) {
+	case *proto.SwapReq:
+		return len(m.Value)
+	case *proto.AddReq:
+		return len(m.Delta)
+	case *proto.BatchAddReq:
+		return len(m.Delta)
+	case *proto.BatchAddMultiReq:
+		total := 0
+		for _, sub := range m.Adds {
+			total += len(sub.Delta)
+		}
+		return total
+	case *proto.ReconstructReq:
+		return len(m.Block)
+	case *proto.PartialSumReq:
+		return len(m.Acc)
+	case *proto.ReadReply:
+		return len(m.Block)
+	case *proto.SwapReply:
+		return len(m.Block)
+	case *proto.GetStateReply:
+		return len(m.Block)
+	case *proto.PartialSumReply:
+		return len(m.Sum)
+	}
+	return 0
+}
+
+// MetaSize returns the exact meta-buffer capacity EncodeFrame needs
+// for msg: the frame header plus every encoded byte that is not a
+// referenced payload.
+func MetaSize(msg any) int {
+	return Size(msg) - PayloadBytes(msg)
+}
+
+// TypeOf returns the wire type tag a message encodes to without
+// serializing it, and whether the message type is known.
+func TypeOf(msg any) (MsgType, bool) {
+	switch msg.(type) {
+	case *proto.ReadReq:
+		return TRead, true
+	case *proto.ReadReply:
+		return TReadReply, true
+	case *proto.SwapReq:
+		return TSwap, true
+	case *proto.SwapReply:
+		return TSwapReply, true
+	case *proto.AddReq:
+		return TAdd, true
+	case *proto.AddReply:
+		return TAddReply, true
+	case *proto.BatchAddReq:
+		return TBatchAdd, true
+	case *proto.BatchAddReply:
+		return TBatchAddReply, true
+	case *proto.BatchAddMultiReq:
+		return TBatchAddMulti, true
+	case *proto.BatchAddMultiReply:
+		return TBatchAddMultiReply, true
+	case *proto.CheckTIDReq:
+		return TCheckTID, true
+	case *proto.CheckTIDReply:
+		return TCheckTIDReply, true
+	case *proto.TryLockReq:
+		return TTryLock, true
+	case *proto.TryLockReply:
+		return TTryLockReply, true
+	case *proto.SetLockReq:
+		return TSetLock, true
+	case *proto.SetLockReply:
+		return TSetLockReply, true
+	case *proto.GetStateReq:
+		return TGetState, true
+	case *proto.GetStateReply:
+		return TGetStateReply, true
+	case *proto.GetRecentReq:
+		return TGetRecent, true
+	case *proto.GetRecentReply:
+		return TGetRecentReply, true
+	case *proto.ReconstructReq:
+		return TReconstruct, true
+	case *proto.ReconstructReply:
+		return TReconstructReply, true
+	case *proto.FinalizeReq:
+		return TFinalize, true
+	case *proto.FinalizeReply:
+		return TFinalizeReply, true
+	case *proto.GCOldReq:
+		return TGCOld, true
+	case *proto.GCRecentReq:
+		return TGCRecent, true
+	case *proto.GCReply:
+		return TGCReply, true
+	case *proto.PartialSumReq:
+		return TPartialSum, true
+	case *proto.PartialSumReply:
+		return TPartialSumReply, true
+	case *proto.ProbeReq:
+		return TProbe, true
+	case *proto.ProbeReply:
+		return TProbeReply, true
+	}
+	return 0, false
+}
+
+// vecEncoder appends fixed-width fields to the meta buffer (via the
+// embedded encoder) and splices payload segments into the segment list
+// without copying them. The meta buffer's capacity is checked up front
+// and asserted afterwards: a growth-triggering append would silently
+// dangle every earlier meta span, so it is an encode error instead.
+type vecEncoder struct {
+	encoder
+	segs      [][]byte
+	spanStart int
+	payload   int
+}
+
+// block encodes a bytes field: the u32 length goes into the meta
+// buffer; a non-empty body is spliced in as its own segment, closing
+// the current meta span.
+func (e *vecEncoder) block(b []byte) {
+	e.u32(uint32(len(b)))
+	if len(b) == 0 {
+		return
+	}
+	e.segs = append(e.segs, e.buf[e.spanStart:len(e.buf):len(e.buf)], b)
+	e.spanStart = len(e.buf)
+	e.payload += len(b)
+}
+
+// closeSpan flushes the trailing meta span, if any, into the segment list.
+func (e *vecEncoder) closeSpan() {
+	if len(e.buf) > e.spanStart {
+		e.segs = append(e.segs, e.buf[e.spanStart:len(e.buf):len(e.buf)])
+		e.spanStart = len(e.buf)
+	}
+}
+
+func (e *vecEncoder) vecBatchAddReq(m *proto.BatchAddReq) {
+	e.u64(m.Stripe)
+	e.u32(uint32(m.Slot))
+	e.block(m.Delta)
+	e.u32(uint32(len(m.Entries)))
+	for _, entry := range m.Entries {
+		e.u32(uint32(entry.DataSlot))
+		e.tid(entry.NTID)
+		e.tid(entry.OTID)
+	}
+	e.u64(m.Epoch)
+}
+
+// EncodeFrame encodes msg with its full frame header (length, type,
+// request id, deadline budget) into f, drawing meta bytes from meta —
+// which must have capacity at least MetaSize(msg) and stays borrowed
+// until the caller's writev returns — and referencing payload fields
+// in place. f.Segs is reset and reused. See the package comment at the
+// top of this file for the ownership rules.
+func EncodeFrame(f *Frame, msg any, id uint64, deadlineUS uint32, meta []byte) error {
+	need := Size(msg)
+	metaNeed := need - PayloadBytes(msg)
+	if cap(meta) < metaNeed {
+		return fmt.Errorf("wire: meta buffer cap %d short of %d for %T", cap(meta), metaNeed, msg)
+	}
+	e := vecEncoder{segs: f.Segs[:0]}
+	// Reserve the header; it is patched once the switch has settled the
+	// type tag. Reslicing (not appending) keeps the base pointer stable.
+	e.buf = meta[:0][:FrameOverhead]
+
+	var mt MsgType
+	switch m := msg.(type) {
+	case *proto.SwapReq:
+		e.u64(m.Stripe)
+		e.u32(uint32(m.Slot))
+		e.block(m.Value)
+		e.tid(m.NTID)
+		mt = TSwap
+	case *proto.AddReq:
+		e.u64(m.Stripe)
+		e.u32(uint32(m.Slot))
+		e.block(m.Delta)
+		e.u32(uint32(m.DataSlot))
+		e.boolean(m.Premultiplied)
+		e.tid(m.NTID)
+		e.tid(m.OTID)
+		e.u64(m.Epoch)
+		mt = TAdd
+	case *proto.BatchAddReq:
+		e.vecBatchAddReq(m)
+		mt = TBatchAdd
+	case *proto.BatchAddMultiReq:
+		e.u32(uint32(len(m.Adds)))
+		for _, sub := range m.Adds {
+			e.vecBatchAddReq(sub)
+		}
+		mt = TBatchAddMulti
+	case *proto.ReconstructReq:
+		e.u64(m.Stripe)
+		e.u32(uint32(m.Slot))
+		e.i32s(m.CSet)
+		e.block(m.Block)
+		e.boolean(m.InPlace)
+		mt = TReconstruct
+	case *proto.PartialSumReq:
+		e.u64(m.Stripe)
+		e.u32(uint32(m.Slot))
+		e.u8(m.Coef)
+		e.block(m.Acc)
+		mt = TPartialSum
+	case *proto.ReadReply:
+		e.boolean(m.OK)
+		e.block(m.Block)
+		e.u8(uint8(m.LockMode))
+		mt = TReadReply
+	case *proto.SwapReply:
+		e.boolean(m.OK)
+		e.block(m.Block)
+		e.u64(m.Epoch)
+		e.tid(m.OTID)
+		e.u8(uint8(m.LockMode))
+		mt = TSwapReply
+	case *proto.GetStateReply:
+		e.u8(uint8(m.OpMode))
+		e.u8(uint8(m.LockMode))
+		e.u64(m.Epoch)
+		e.i32s(m.ReconsSet)
+		e.tidTimes(m.OldList)
+		e.tidTimes(m.RecentList)
+		e.block(m.Block)
+		e.boolean(m.BlockValid)
+		mt = TGetStateReply
+	case *proto.PartialSumReply:
+		e.boolean(m.OK)
+		e.block(m.Sum)
+		e.u8(uint8(m.OpMode))
+		e.u8(uint8(m.LockMode))
+		mt = TPartialSumReply
+	default:
+		// No referenced payload: fall back to the contiguous encoder,
+		// still into the meta buffer, yielding a single segment.
+		var err error
+		mt, e.buf, err = EncodeAppend(msg, e.buf)
+		if err != nil {
+			return err
+		}
+	}
+	if len(e.buf) != metaNeed {
+		// A mismatch against Size means either a new field missed one of
+		// the two encoders or a growth-triggering append moved the meta
+		// backing out from under earlier spans. Refuse the frame rather
+		// than send a corrupt one.
+		return fmt.Errorf("wire: vectored meta %d bytes, want %d for %T", len(e.buf), metaNeed, msg)
+	}
+	binary.BigEndian.PutUint32(e.buf[0:4], uint32(need-4))
+	e.buf[4] = byte(mt)
+	binary.BigEndian.PutUint64(e.buf[5:13], id)
+	binary.BigEndian.PutUint32(e.buf[13:17], deadlineUS)
+	e.closeSpan()
+
+	f.Type = mt
+	f.Segs = e.segs
+	f.Payload = e.payload
+	f.Wire = need
+	return nil
+}

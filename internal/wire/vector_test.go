@@ -1,0 +1,157 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"ecstore/internal/proto"
+)
+
+// contiguousFrame builds the reference framing the copying write path
+// produces: a 17-byte header followed by the EncodeAppend body.
+func contiguousFrame(t testing.TB, msg any, id uint64, deadlineUS uint32) (MsgType, []byte) {
+	t.Helper()
+	mt, body, err := Encode(msg)
+	if err != nil {
+		t.Fatalf("encode %T: %v", msg, err)
+	}
+	frame := make([]byte, FrameOverhead, FrameOverhead+len(body))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(FrameOverhead-4+len(body)))
+	frame[4] = byte(mt)
+	binary.BigEndian.PutUint64(frame[5:13], id)
+	binary.BigEndian.PutUint32(frame[13:17], deadlineUS)
+	return mt, append(frame, body...)
+}
+
+// vectorCases is seedMessages plus payload-heavy variants: large
+// blocks, empty blocks, and multi-payload frames, so both the span
+// splicing and the fallback path are exercised.
+func vectorCases() []any {
+	tid := proto.TID{Seq: 9, Block: 1, Client: 4}
+	big := make([]byte, 64<<10)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	cases := seedMessages()
+	cases = append(cases,
+		&proto.SwapReq{Stripe: 5, Slot: 2, Value: big, NTID: tid},
+		&proto.SwapReq{Stripe: 5, Slot: 2, NTID: tid}, // empty payload stays in meta
+		&proto.AddReq{Stripe: 5, Slot: 3, Delta: big, DataSlot: 1, NTID: tid, OTID: tid, Epoch: 2},
+		&proto.ReadReply{OK: true, Block: big, LockMode: proto.L0},
+		&proto.SwapReply{OK: true, Block: big, Epoch: 7, OTID: tid, LockMode: proto.L1},
+		&proto.GetStateReply{OpMode: proto.Norm, Epoch: 1, Block: big, BlockValid: true},
+		&proto.PartialSumReq{Stripe: 1, Slot: 4, Coef: 0x53, Acc: big},
+		&proto.PartialSumReply{OK: true, Sum: big},
+		&proto.ReconstructReq{Stripe: 2, Slot: 0, CSet: []int32{0, 2, 3}, Block: big, InPlace: true},
+		&proto.BatchAddMultiReq{Adds: []*proto.BatchAddReq{
+			{Stripe: 1, Slot: 3, Delta: big, Entries: []proto.BatchEntry{{DataSlot: 0, NTID: tid}}, Epoch: 1},
+			{Stripe: 2, Slot: 3, Delta: nil, Epoch: 1},
+			{Stripe: 3, Slot: 4, Delta: big[:17], Epoch: 2},
+		}},
+	)
+	return cases
+}
+
+func TestEncodeFrameMatchesContiguousFraming(t *testing.T) {
+	var f Frame
+	for _, msg := range vectorCases() {
+		const id, deadlineUS = 0xfeedbeefcafe, 123456
+		mt, want := contiguousFrame(t, msg, id, deadlineUS)
+		meta := make([]byte, MetaSize(msg))
+		if err := EncodeFrame(&f, msg, id, deadlineUS, meta); err != nil {
+			t.Fatalf("EncodeFrame %T: %v", msg, err)
+		}
+		got := bytes.Join(f.Segs, nil)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%T: vectored frame differs from contiguous framing\n  vec:  %x\n  want: %x", msg, got, want)
+		}
+		if f.Type != mt {
+			t.Errorf("%T: frame type %d, want %d", msg, f.Type, mt)
+		}
+		if f.Wire != len(want) || f.Wire != Size(msg) {
+			t.Errorf("%T: frame wire size %d, want %d (Size %d)", msg, f.Wire, len(want), Size(msg))
+		}
+		if f.Payload != PayloadBytes(msg) {
+			t.Errorf("%T: frame payload %d, want PayloadBytes %d", msg, f.Payload, PayloadBytes(msg))
+		}
+		if tt, ok := TypeOf(msg); !ok || tt != mt {
+			t.Errorf("TypeOf(%T) = %d,%v, want %d,true", msg, tt, ok, mt)
+		}
+	}
+}
+
+// TestEncodeFramePayloadSegmentsAlias pins the zero-copy property: the
+// payload segments are the message's own buffers, not copies.
+func TestEncodeFramePayloadSegmentsAlias(t *testing.T) {
+	value := make([]byte, 1<<20)
+	value[0], value[len(value)-1] = 0xA5, 0x5A
+	msg := &proto.SwapReq{Stripe: 1, Slot: 0, Value: value, NTID: proto.TID{Seq: 1, Client: 2}}
+	var f Frame
+	meta := make([]byte, MetaSize(msg))
+	if err := EncodeFrame(&f, msg, 1, 0, meta); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, seg := range f.Segs {
+		if len(seg) == len(value) && &seg[0] == &value[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no segment aliases the 1 MiB payload: the encoder copied it")
+	}
+	if f.Payload != len(value) {
+		t.Fatalf("payload accounting %d, want %d", f.Payload, len(value))
+	}
+}
+
+func TestEncodeFrameRejectsShortMeta(t *testing.T) {
+	msg := &proto.SwapReq{Stripe: 1, Slot: 0, Value: make([]byte, 64), NTID: proto.TID{Seq: 1}}
+	var f Frame
+	if err := EncodeFrame(&f, msg, 1, 0, make([]byte, MetaSize(msg)-1)); err == nil {
+		t.Fatal("EncodeFrame accepted an undersized meta buffer")
+	}
+	if err := EncodeFrame(&f, struct{ x int }{}, 1, 0, make([]byte, 64)); err == nil {
+		t.Fatal("EncodeFrame accepted an unknown message type")
+	}
+}
+
+// TestEncodeFrameZeroAlloc holds the steady-state contract the RPC
+// write path depends on: with the Frame and meta buffer reused, a
+// 1 MiB payload frame encodes with zero allocations.
+func TestEncodeFrameZeroAlloc(t *testing.T) {
+	var msg any = &proto.SwapReq{Stripe: 1, Slot: 0, Value: make([]byte, 1<<20), NTID: proto.TID{Seq: 1, Client: 3}}
+	var f Frame
+	meta := make([]byte, MetaSize(msg))
+	if err := EncodeFrame(&f, msg, 1, 0, meta); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := EncodeFrame(&f, msg, 42, 7, meta); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeFrame allocates %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+// TestTypeOfCoversEveryMessage keeps the pre-encode type lookup in
+// lockstep with the codec: every encodable message must resolve.
+func TestTypeOfCoversEveryMessage(t *testing.T) {
+	for _, msg := range seedMessages() {
+		mt, buf, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("encode %T: %v", msg, err)
+		}
+		_ = buf
+		got, ok := TypeOf(msg)
+		if !ok || got != mt {
+			t.Errorf("TypeOf(%T) = %d,%v, want %d,true", msg, got, ok, mt)
+		}
+	}
+	if _, ok := TypeOf(42); ok {
+		t.Error("TypeOf accepted a non-message")
+	}
+}

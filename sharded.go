@@ -142,7 +142,7 @@ func ConnectShardedVolume(opts ShardedOptions, addrs []string) (*ShardedVolume, 
 	sites := make([]placement.Node, len(addrs))
 	conns := make(map[string]*rpc.Client, len(addrs))
 	for i, addr := range addrs {
-		cl := rpc.Dial(addr, rpc.WithMetrics(rpcm), rpc.WithCallTimeout(opts.CallDeadline))
+		cl := rpc.Dial(addr, opts.rpcDialOpts(rpcm)...)
 		sv.conns = append(sv.conns, cl)
 		conns[addr] = cl
 		sites[i] = placement.Node{ID: addr}

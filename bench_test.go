@@ -341,14 +341,11 @@ func BenchmarkFig10_SimPoint(b *testing.B) {
 
 // BenchmarkVolume_WriteAt exercises the public facade end to end.
 func BenchmarkVolume_WriteAt(b *testing.B) {
-	c, err := ecstore.NewLocalCluster(ecstore.Options{K: 3, N: 5, BlockSize: benchBlock})
+	vol, err := ecstore.New(ecstore.Options{K: 3, N: 5, BlockSize: benchBlock})
 	if err != nil {
 		b.Fatal(err)
 	}
-	vol, err := c.Volume(1)
-	if err != nil {
-		b.Fatal(err)
-	}
+	defer vol.Close()
 	ctx := context.Background()
 	payload := make([]byte, 4*benchBlock)
 	rand.New(rand.NewSource(8)).Read(payload)

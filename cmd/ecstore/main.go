@@ -21,6 +21,7 @@
 //	monitor                     probe touched stripes and repair
 //	scrub                       audit stripes against the code, repair damage
 //	gc                          run one garbage-collection pass
+//	flush                       merge staged small writes into home blocks
 //
 // With -stats, a JSON metrics snapshot (per-op RPC counts, latency
 // histograms, protocol counters) is printed to stderr after the
@@ -64,12 +65,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		stats     = fs.Bool("stats", false, "print a JSON metrics snapshot to stderr after the command")
 		groups    = fs.Int("groups", 1, "stripe groups to place over the node pool")
 		bpg       = fs.Uint64("blocks-per-group", 0, "blocks per stripe group (multiple of k; default k<<20)")
+		cacheB    = fs.Int64("cache-bytes", 0, "client-side hot-read cache budget in bytes (0: disabled)")
+		smallW    = fs.Bool("small-write", false, "stage sub-block writes in the erasure-coded small-write tier")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("missing command; see package doc (put|get|store|fetch|recover|monitor|scrub|gc)")
+		return fmt.Errorf("missing command; see package doc (put|get|store|fetch|recover|monitor|scrub|gc|flush)")
 	}
 	if *nodes == "" {
 		return fmt.Errorf("-nodes is required")
@@ -84,35 +87,19 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		defer func() { _ = reg.WriteJSON(os.Stderr) }()
 	}
 	addrs := strings.Split(*nodes, ",")
-	var vol volumeAPI
-	if *groups > 1 {
-		sv, err := ecstore.ConnectShardedVolume(ecstore.Options{
-			K: *k, N: *n, BlockSize: *blockSize, Mode: updateMode, Obs: reg,
-			Groups:         *groups,
-			BlocksPerGroup: *bpg,
-			ClientID:       uint32(*clientID),
-			CallDeadline:   *deadline,
-		}, addrs)
-		if err != nil {
-			return err
-		}
-		defer sv.Close()
-		vol = sv
-	} else {
-		cluster, err := ecstore.ConnectCluster(ecstore.Options{
-			K: *k, N: *n, BlockSize: *blockSize, Mode: updateMode, Obs: reg,
-			CallDeadline: *deadline,
-		}, addrs)
-		if err != nil {
-			return err
-		}
-		defer cluster.Close()
-		v, err := cluster.Volume(uint32(*clientID))
-		if err != nil {
-			return err
-		}
-		vol = v
+	vol, err := ecstore.Connect(ecstore.Options{
+		K: *k, N: *n, BlockSize: *blockSize, Mode: updateMode, Obs: reg,
+		Groups:         *groups,
+		BlocksPerGroup: *bpg,
+		ClientID:       uint32(*clientID),
+		CallDeadline:   *deadline,
+		CacheBytes:     *cacheB,
+		SmallWriteTier: *smallW,
+	}, addrs)
+	if err != nil {
+		return err
 	}
+	defer vol.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
@@ -195,22 +182,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		fmt.Fprintln(stdout, "garbage collection pass complete")
 		return nil
+	case "flush":
+		if err := vol.Flush(ctx); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "small-write tier flushed")
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
-}
-
-// volumeAPI is the command surface shared by a single-group
-// *ecstore.Volume and a multi-group *ecstore.ShardedVolume.
-type volumeAPI interface {
-	ReadBlock(ctx context.Context, logical uint64) ([]byte, error)
-	WriteBlock(ctx context.Context, logical uint64, data []byte) error
-	WriteAt(ctx context.Context, p []byte, off int64) (int, error)
-	Reader(ctx context.Context, off, nBytes int64) io.Reader
-	Recover(ctx context.Context, logical uint64) error
-	Monitor(ctx context.Context, maxAge time.Duration) (int, error)
-	Scrub(ctx context.Context) (clean, busy, repaired int, err error)
-	CollectGarbage(ctx context.Context) error
 }
 
 func parseMode(s string) (ecstore.UpdateMode, error) {

@@ -7,7 +7,7 @@
 //	            [fig1 fig8a fig8b fig8c fig9a fig9b fig9c
 //	             fig9d fig10a fig10b fig10c fig10d recovery latency
 //	             readratio space ablation multigroup bulkio repairstorm graytail
-//	             gatewayqos rpcwire]
+//	             gatewayqos rpcwire smallwrite]
 //
 // With no arguments it runs everything. -quick shrinks the measurement
 // windows so a full run finishes in well under a minute; drop it for
@@ -43,7 +43,7 @@ func main() {
 			"fig10a", "fig10b", "fig10c", "fig10d",
 			"recovery", "latency", "readratio", "space", "ablation",
 			"multigroup", "bulkio", "repairstorm", "graytail",
-			"gatewayqos", "rpcwire",
+			"gatewayqos", "rpcwire", "smallwrite",
 		}
 	}
 	var metricsFile *os.File
@@ -231,6 +231,10 @@ var runners = map[string]runner{
 	},
 	"rpcwire": func(ctx context.Context, w io.Writer, quick bool) error {
 		t, err := experiments.RPCWire(ctx, quick)
+		return printTable(w, t, err)
+	},
+	"smallwrite": func(ctx context.Context, w io.Writer, quick bool) error {
+		t, _, err := experiments.SmallWrite(ctx, quick)
 		return printTable(w, t, err)
 	},
 	"ablation": func(ctx context.Context, w io.Writer, quick bool) error {

@@ -41,7 +41,7 @@ func TestRunnerNamesCoverDefaultList(t *testing.T) {
 		"fig10a", "fig10b", "fig10c", "fig10d",
 		"recovery", "latency", "readratio", "space", "ablation",
 		"multigroup", "bulkio", "repairstorm", "graytail",
-		"gatewayqos", "rpcwire",
+		"gatewayqos", "rpcwire", "smallwrite",
 	}
 	for _, name := range defaults {
 		if _, ok := runners[name]; !ok {

@@ -47,7 +47,6 @@ import (
 	"ecstore/internal/gateway"
 	"ecstore/internal/obs"
 	"ecstore/internal/proto"
-	"ecstore/internal/volume"
 )
 
 // config collects every knob of one gatewayd instance.
@@ -68,6 +67,8 @@ type config struct {
 	nagle         bool
 	sockReadBuf   int
 	sockWriteBuf  int
+	cacheBytes    int64
+	smallWrite    bool
 }
 
 func main() {
@@ -89,6 +90,8 @@ func main() {
 	flag.BoolVar(&cfg.nagle, "nagle", false, "re-enable Nagle's algorithm (default keeps TCP_NODELAY on)")
 	flag.IntVar(&cfg.sockReadBuf, "sock-read-buffer", 0, "SO_RCVBUF per storaged connection in bytes (0: kernel default)")
 	flag.IntVar(&cfg.sockWriteBuf, "sock-write-buffer", 0, "SO_SNDBUF per storaged connection in bytes (0: kernel default)")
+	flag.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "client-side hot-read cache budget in bytes (0: disabled)")
+	flag.BoolVar(&cfg.smallWrite, "small-write", false, "stage sub-block object tails in the erasure-coded small-write tier")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "gatewayd:", err)
@@ -209,50 +212,28 @@ func setup(cfg config) (*daemon, error) {
 		d.reg = obs.NewRegistry()
 	}
 
+	opts := ecstore.Options{
+		K: cfg.k, N: cfg.n, BlockSize: cfg.blockSize,
+		Groups: cfg.groups, ClientID: uint32(cfg.clientID), Obs: d.reg,
+		Stripes: cfg.stripes, Nagle: cfg.nagle,
+		SockReadBuffer: cfg.sockReadBuf, SockWriteBuffer: cfg.sockWriteBuf,
+		CacheBytes:     cfg.cacheBytes,
+		SmallWriteTier: cfg.smallWrite,
+	}
 	var backend gateway.Backend
 	switch {
 	case cfg.nodes != "":
-		addrs := strings.Split(cfg.nodes, ",")
-		if cfg.groups > 1 {
-			sv, err := ecstore.ConnectShardedVolume(ecstore.Options{
-				K: cfg.k, N: cfg.n, BlockSize: cfg.blockSize,
-				Groups: cfg.groups, ClientID: uint32(cfg.clientID), Obs: d.reg,
-				Stripes: cfg.stripes, Nagle: cfg.nagle,
-				SockReadBuffer: cfg.sockReadBuf, SockWriteBuffer: cfg.sockWriteBuf,
-			}, addrs)
-			if err != nil {
-				return nil, err
-			}
-			backend, d.store = sv, sv
-		} else {
-			cluster, err := ecstore.ConnectCluster(ecstore.Options{
-				K: cfg.k, N: cfg.n, BlockSize: cfg.blockSize, Obs: d.reg,
-				Stripes: cfg.stripes, Nagle: cfg.nagle,
-				SockReadBuffer: cfg.sockReadBuf, SockWriteBuffer: cfg.sockWriteBuf,
-			}, addrs)
-			if err != nil {
-				return nil, err
-			}
-			v, err := cluster.Volume(uint32(cfg.clientID))
-			if err != nil {
-				_ = cluster.Close()
-				return nil, err
-			}
-			backend, d.store = v, cluster
-		}
-	case cfg.local:
-		groups := cfg.groups
-		if groups < 1 {
-			groups = 1
-		}
-		local, err := volume.NewLocal(volume.LocalOptions{
-			K: cfg.k, N: cfg.n, BlockSize: cfg.blockSize,
-			Groups: groups, ClientID: proto.ClientID(cfg.clientID), Obs: d.reg,
-		})
+		store, err := ecstore.Connect(opts, strings.Split(cfg.nodes, ","))
 		if err != nil {
 			return nil, err
 		}
-		backend, d.store = local, local
+		backend, d.store = store, store
+	case cfg.local:
+		store, err := ecstore.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		backend, d.store = store, store
 	default:
 		return nil, errors.New("one of -nodes or -local is required")
 	}
@@ -273,6 +254,7 @@ func setup(cfg config) (*daemon, error) {
 		Tenants:       cfg.limits.m,
 		DefaultLimit:  defLimit,
 		MaxConcurrent: cfg.maxConcurrent,
+		SmallWrite:    cfg.smallWrite,
 		Obs:           d.reg,
 	})
 

@@ -13,16 +13,18 @@
 //
 // # Quick start
 //
-//	cluster, _ := ecstore.NewLocalCluster(ecstore.Options{
+//	store, _ := ecstore.New(ecstore.Options{
 //		K: 3, N: 5, BlockSize: 1024,
 //	})
-//	vol, _ := cluster.Volume(1)
-//	_ = vol.WriteBlock(ctx, 42, data)
-//	got, _ := vol.ReadBlock(ctx, 42)
+//	defer store.Close()
+//	_ = store.WriteBlock(ctx, 42, data)
+//	got, _ := store.ReadBlock(ctx, 42)
 //
-// NewLocalCluster runs everything in-process (development, testing,
-// experiments). ConnectCluster speaks the same protocol to storaged
-// servers over TCP (cmd/storaged).
+// New runs everything in-process (development, testing, experiments).
+// Connect speaks the same protocol to storaged servers over TCP
+// (cmd/storaged). Both return the unified Store facade; see MIGRATION.md
+// if you are coming from the removed NewLocalCluster/ConnectCluster
+// API.
 package ecstore
 
 import (
@@ -40,10 +42,13 @@ import (
 	"ecstore/internal/erasure"
 	"ecstore/internal/obs"
 	"ecstore/internal/proto"
+	"ecstore/internal/readcache"
 	"ecstore/internal/resilience"
 	"ecstore/internal/rpc"
+	"ecstore/internal/smallwrite"
 	"ecstore/internal/storage"
 	"ecstore/internal/stripe"
+	"ecstore/internal/tier"
 	"ecstore/internal/transport"
 )
 
@@ -155,6 +160,26 @@ type Options struct {
 	// replacement shards). Implies health tracking like HedgeAfter.
 	GrayRetireAfter time.Duration
 
+	// SmallWriteTier enables the staged small-write tier: sub-block
+	// WriteAt spans are absorbed into a group-committed, erasure-coded
+	// staging segment (durable on acknowledge) instead of paying a
+	// read-modify-write swap round each, and merge into their home
+	// blocks on Flush or when the segment fills. Requires ClientID in
+	// [1,16] — each client identity owns a disjoint staging extent. On
+	// a bounded store the staging region is carved off the top of the
+	// capacity, so Capacity() shrinks accordingly.
+	SmallWriteTier bool
+	// SmallWriteStaging is the per-client staging segment length in
+	// blocks. Default 256. Advanced; only meaningful with
+	// SmallWriteTier.
+	SmallWriteStaging uint64
+	// CacheBytes bounds the client-side hot-read cache in payload
+	// bytes; 0 (the default) disables it. The cache is invalidated by
+	// the write identifiers that flow on every protocol reply — no
+	// TTLs — and fills only from failure-free direct reads, which keeps
+	// cached reads regular-register safe (see DESIGN.md section 17).
+	CacheBytes int64
+
 	// MaxInFlight bounds the bulk-I/O pipeline window in stripes: how
 	// many stripes of a large ReadAt/WriteAt span are in flight at
 	// once. Default 16; 1 degrades to the strictly sequential path.
@@ -215,7 +240,29 @@ func (o *Options) normalize() error {
 	if o.Stripes < 1 {
 		return fmt.Errorf("ecstore: Stripes must be >= 1, got %d", o.Stripes)
 	}
+	if o.SmallWriteTier && (o.ClientID < 1 || o.ClientID > tier.StagingSlots) {
+		return fmt.Errorf("ecstore: SmallWriteTier requires ClientID in [1,%d], got %d",
+			tier.StagingSlots, o.ClientID)
+	}
 	return nil
+}
+
+// tierOptions maps the facade knobs to the tier layer's options for
+// one client identity over the given stamped base. cache, when
+// non-nil, is the cluster-wide shared hot-read cache (all client
+// handles of one cluster must form one coherence domain).
+func (o *Options) tierOptions(base tier.Stamped, clientID uint32, cache *readcache.Cache) tier.Options {
+	return tier.Options{
+		Base:          base,
+		SmallWrite:    o.SmallWriteTier,
+		StagingBlocks: o.SmallWriteStaging,
+		ClientSlot:    int((clientID - 1) % tier.StagingSlots),
+		CacheBytes:    o.CacheBytes,
+		Cache:         cache,
+		MaxInFlight:   o.MaxInFlight,
+		ReadAhead:     o.ReadAhead,
+		Obs:           o.Obs,
+	}
 }
 
 // rpcDialOpts maps the facade's transport knobs to rpc.Dial options.
@@ -234,10 +281,11 @@ func (o *Options) hedgePolicy() core.HedgePolicy {
 	return core.HedgePolicy{After: o.HedgeAfter, Budget: o.HedgeBudget}
 }
 
-// Cluster is a handle on a deployment: an erasure code, a set of
-// storage nodes, and a directory mapping stripes to nodes. Obtain
-// Volumes from it to do I/O.
-type Cluster struct {
+// cluster is a handle on a deployment: an erasure code, a set of
+// storage nodes, and a directory mapping stripes to nodes. The Store
+// facade (New/Connect) wraps it; tests reach it for multi-identity
+// clients.
+type cluster struct {
 	opts   Options
 	code   *erasure.Code
 	layout stripe.Layout
@@ -247,17 +295,27 @@ type Cluster struct {
 	conns []*rpc.Client   // non-nil for TCP clusters
 	rpcm  *rpc.Metrics    // shared by all TCP stubs (nil when Obs unset)
 	gen   int
+
+	// cache is the hot-read cache shared by every Volume of this
+	// cluster (nil when Options.CacheBytes is 0): one coherence domain
+	// per process, so one client's write installs/invalidations are
+	// visible to every other handle's reads.
+	cache *readcache.Cache
 }
 
-// NewLocalCluster builds an in-process cluster with N in-memory
+// newCache builds the cluster-wide shared read cache, or nil when
+// disabled.
+func (o *Options) newCache() *readcache.Cache {
+	if o.CacheBytes <= 0 {
+		return nil
+	}
+	return readcache.New(o.CacheBytes, o.Obs)
+}
+
+// newLocalCluster builds an in-process cluster with N in-memory
 // storage nodes. Crashed nodes are automatically replaced by fresh
 // INIT nodes, which recovery then repopulates.
-//
-// Deprecated: use New, which returns the unified Store facade (and
-// still takes this cluster path when Groups <= 1). NewLocalCluster
-// remains for callers that need the Cluster handle itself (CrashNode,
-// multiple client identities).
-func NewLocalCluster(opts Options) (*Cluster, error) {
+func newLocalCluster(opts Options) (*cluster, error) {
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
@@ -266,7 +324,7 @@ func NewLocalCluster(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	layout := stripe.MustLayout(opts.K, opts.N)
-	c := &Cluster{opts: opts, code: code, layout: layout}
+	c := &cluster{opts: opts, code: code, layout: layout, cache: opts.newCache()}
 
 	handles := make([]proto.StorageNode, opts.N)
 	c.local = make([]*storage.Node, opts.N)
@@ -306,7 +364,7 @@ func NewLocalCluster(opts Options) (*Cluster, error) {
 	return c, nil
 }
 
-func (c *Cluster) replaceLocal(phys int) proto.StorageNode {
+func (c *cluster) replaceLocal(phys int) proto.StorageNode {
 	c.gen++
 	node := storage.MustNew(storage.Options{
 		ID:          fmt.Sprintf("local-%d.%d", phys, c.gen),
@@ -320,15 +378,11 @@ func (c *Cluster) replaceLocal(phys int) proto.StorageNode {
 	return node
 }
 
-// ConnectCluster dials N storaged servers (cmd/storaged) over TCP.
+// connectCluster dials N storaged servers (cmd/storaged) over TCP.
 // addrs must have exactly N entries, in slot order. Failed nodes are
 // not replaced automatically: start a replacement storaged with
-// -replacement and install it with ReplaceNode.
-//
-// Deprecated: use Connect, which returns the unified Store facade.
-// ConnectCluster remains for callers that need the Cluster handle
-// itself (ReplaceNode, multiple client identities).
-func ConnectCluster(opts Options, addrs []string) (*Cluster, error) {
+// -replacement and install it with Volume.ReplaceNode.
+func connectCluster(opts Options, addrs []string) (*cluster, error) {
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
@@ -340,7 +394,7 @@ func ConnectCluster(opts Options, addrs []string) (*Cluster, error) {
 		return nil, err
 	}
 	layout := stripe.MustLayout(opts.K, opts.N)
-	c := &Cluster{opts: opts, code: code, layout: layout}
+	c := &cluster{opts: opts, code: code, layout: layout, cache: opts.newCache()}
 	if opts.Obs != nil {
 		c.rpcm = rpc.NewMetrics(opts.Obs, "rpc")
 	}
@@ -361,7 +415,7 @@ func ConnectCluster(opts Options, addrs []string) (*Cluster, error) {
 
 // ReplaceNode points physical node index phys at a replacement
 // storaged server (TCP clusters).
-func (c *Cluster) ReplaceNode(phys int, addr string) error {
+func (c *cluster) ReplaceNode(phys int, addr string) error {
 	if phys < 0 || phys >= c.opts.N {
 		return fmt.Errorf("ecstore: node index %d out of range [0,%d)", phys, c.opts.N)
 	}
@@ -373,7 +427,7 @@ func (c *Cluster) ReplaceNode(phys int, addr string) error {
 
 // CrashNode fail-stops a local node (testing and demos). It returns an
 // error for TCP clusters — crash those by stopping the server.
-func (c *Cluster) CrashNode(phys int) error {
+func (c *cluster) CrashNode(phys int) error {
 	if c.local == nil {
 		return errors.New("ecstore: CrashNode only applies to local clusters")
 	}
@@ -386,7 +440,7 @@ func (c *Cluster) CrashNode(phys int) error {
 
 // Close releases TCP connections and flushes/close-marks any
 // persistent local stores.
-func (c *Cluster) Close() error {
+func (c *cluster) Close() error {
 	var first error
 	for _, conn := range c.conns {
 		if err := conn.Close(); err != nil && first == nil {
@@ -402,15 +456,15 @@ func (c *Cluster) Close() error {
 }
 
 // BlockSize returns the configured block size.
-func (c *Cluster) BlockSize() int { return c.opts.BlockSize }
+func (c *cluster) BlockSize() int { return c.opts.BlockSize }
 
 // Code returns (k, n).
-func (c *Cluster) Code() (k, n int) { return c.opts.K, c.opts.N }
+func (c *cluster) Code() (k, n int) { return c.opts.K, c.opts.N }
 
 // Volume opens a client handle with the given non-zero client ID.
 // Every concurrent writer (process or thread pool) should use its own
 // ID; IDs are embedded in write identifiers for ordering and recovery.
-func (c *Cluster) Volume(clientID uint32) (*Volume, error) {
+func (c *cluster) Volume(clientID uint32) (*Volume, error) {
 	cl, err := core.NewClient(core.Config{
 		ID:        proto.ClientID(clientID),
 		Code:      c.code,
@@ -426,54 +480,75 @@ func (c *Cluster) Volume(clientID uint32) (*Volume, error) {
 		return nil, err
 	}
 	v := &Volume{cluster: c, cl: cl}
-	v.engine = bulk.New((*clusterTarget)(v), bulk.Options{
-		MaxInFlight: c.opts.MaxInFlight,
-		ReadAhead:   c.opts.ReadAhead,
-		Obs:         c.opts.Obs,
-	})
+	layer, err := tier.NewLayer(c.opts.tierOptions((*clusterTarget)(v), clientID, c.cache))
+	if err != nil {
+		return nil, err
+	}
+	v.layer = layer
 	return v, nil
 }
 
 // Volume is a logical-block view of the cluster for one client
 // identity. Applications address flat logical blocks; striping,
 // rotation, and the erasure code are hidden (Section 2's design goal).
-// Volumes are safe for concurrent use and satisfy Store.
+// All I/O flows through the tier layer: the hot-read cache and the
+// staged small-write tier (when enabled by Options) sit between these
+// methods and the protocol client. Volumes are safe for concurrent use
+// and satisfy Store.
 type Volume struct {
-	cluster *Cluster
+	cluster *cluster
 	cl      *core.Client
-	engine  *bulk.Engine
+	layer   *tier.Layer
 	owns    bool // Close also closes the cluster (Store built via New/Connect)
 }
 
 // BlockSize returns the volume's block size in bytes.
 func (v *Volume) BlockSize() int { return v.cluster.opts.BlockSize }
 
+// Code returns the erasure code's (k, n).
+func (v *Volume) Code() (k, n int) { return v.cluster.Code() }
+
+// NewClient opens a sibling volume over the same cluster under a
+// different client identity. Every concurrent writer must use its own
+// non-zero ID (IDs are embedded in write timestamps for ordering and
+// recovery); with SmallWriteTier enabled the ID also selects the
+// client's staging extent, so it must stay within [1, 16]. The sibling
+// has its own cache and staging segment and must be Closed, but closing
+// it never shuts down the shared cluster — that remains the original
+// volume's job.
+func (v *Volume) NewClient(clientID uint32) (*Volume, error) {
+	return v.cluster.Volume(clientID)
+}
+
 // Capacity returns 0: a single-group volume's flat address space is
 // unbounded (blocks exist when written; unwritten blocks read as
 // zeros).
 func (v *Volume) Capacity() uint64 { return 0 }
 
-// Close releases the volume. A volume obtained from New or Connect
-// owns its cluster and shuts it down; one obtained from
-// Cluster.Volume leaves the cluster to its owner.
+// Close flushes any staged small writes, then releases the volume. A
+// volume obtained from New or Connect owns its cluster and shuts it
+// down; one obtained from a shared cluster leaves it to its owner.
 func (v *Volume) Close() error {
+	err := v.layer.Close()
 	if v.owns {
-		return v.cluster.Close()
+		if cerr := v.cluster.Close(); err == nil {
+			err = cerr
+		}
 	}
-	return nil
+	return err
 }
 
 // ReadBlock reads one logical block. Unwritten blocks read as zeros.
+// With CacheBytes set, hot blocks are served from the client-side
+// cache; staged small writes are patched over the result either way.
 func (v *Volume) ReadBlock(ctx context.Context, logical uint64) ([]byte, error) {
-	s, slot := v.cluster.layout.Locate(logical)
-	return v.cl.ReadBlock(ctx, s, slot)
+	return v.layer.ReadBlock(ctx, logical)
 }
 
 // WriteBlock writes one logical block. data must be exactly BlockSize
 // bytes.
 func (v *Volume) WriteBlock(ctx context.Context, logical uint64, data []byte) error {
-	s, slot := v.cluster.layout.Locate(logical)
-	return v.cl.WriteBlock(ctx, s, slot, data)
+	return v.layer.WriteBlock(ctx, logical, data)
 }
 
 // ReadAt reads len(p) bytes at byte offset off, spanning blocks as
@@ -482,7 +557,7 @@ func (v *Volume) WriteBlock(ctx context.Context, logical uint64, data []byte) er
 // across storage nodes the way Section 3.11 intends. On failure the
 // count is the contiguous prefix that definitely succeeded.
 func (v *Volume) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
-	return v.engine.ReadAt(ctx, p, off)
+	return v.layer.ReadAt(ctx, p, off)
 }
 
 // WriteAt writes p at byte offset off, spanning blocks as needed.
@@ -493,16 +568,28 @@ func (v *Volume) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
 // head and tail blocks are read-modify-written; the read-modify-write
 // is not atomic with respect to concurrent writers of the same block.
 // On failure the count is the length of the longest prefix known
-// written.
+// written. With SmallWriteTier enabled, sub-block head and tail spans
+// are absorbed by the staged small-write tier instead of paying a
+// read-modify-write swap round each.
 func (v *Volume) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
-	return v.engine.WriteAt(ctx, p, off)
+	return v.layer.WriteAt(ctx, p, off)
+}
+
+// Flush merges every staged small write into its home block and resets
+// the staging segment: a barrier after which all acknowledged bytes
+// are in their final erasure-coded blocks. A no-op without
+// SmallWriteTier.
+func (v *Volume) Flush(ctx context.Context) error {
+	return v.layer.Flush(ctx)
 }
 
 // WriteStripeBlocks writes the k logical blocks of one stripe (those
 // with logical indices stripe*k .. stripe*k+k-1) in a single batched
 // operation.
 func (v *Volume) WriteStripeBlocks(ctx context.Context, stripe uint64, values [][]byte) error {
-	return v.cl.WriteStripe(ctx, stripe, values)
+	k := uint64(v.cluster.opts.K)
+	errs, _ := v.layer.WriteStripes(ctx, []bulk.StripeWrite{{Addr: stripe * k, Values: values}})
+	return errs[0]
 }
 
 // Recover runs the recovery procedure for the stripe containing the
@@ -548,11 +635,29 @@ func (v *Volume) Scrub(ctx context.Context) (clean, busy, repaired int, err erro
 // Stats exposes protocol event counters (reads, writes, recoveries...).
 func (v *Volume) Stats() *core.ClientStats { return v.cl.Stats() }
 
+// CacheStats exposes the hot-read cache's counters, or nil when
+// Options.CacheBytes was 0.
+func (v *Volume) CacheStats() *readcache.Stats { return v.layer.CacheStats() }
+
+// TierStats exposes the small-write tier's counters, or nil when
+// Options.SmallWriteTier was off.
+func (v *Volume) TierStats() *smallwrite.Stats { return v.layer.TierStats() }
+
+// CrashNode fail-stops physical node phys (testing and demos). Local
+// stores only; crash a TCP deployment by stopping its server.
+func (v *Volume) CrashNode(phys int) error { return v.cluster.CrashNode(phys) }
+
+// ReplaceNode points physical node index phys at a replacement
+// storaged server (TCP deployments).
+func (v *Volume) ReplaceNode(phys int, addr string) error {
+	return v.cluster.ReplaceNode(phys, addr)
+}
+
 // Reader returns an io.Reader streaming nBytes from byte offset off,
 // prefetching ReadAhead stripes ahead of the consumer. nBytes must be
 // >= 0 on this unbounded volume.
 func (v *Volume) Reader(ctx context.Context, off, nBytes int64) io.Reader {
-	return v.engine.Reader(ctx, off, nBytes)
+	return v.layer.Reader(ctx, off, nBytes)
 }
 
 // clusterTarget adapts a single-group Volume to bulk.Target: the whole
@@ -566,11 +671,23 @@ func (t *clusterTarget) GroupBlocks() uint64 { return 0 }
 func (t *clusterTarget) Capacity() uint64    { return 0 }
 
 func (t *clusterTarget) ReadBlock(ctx context.Context, addr uint64) ([]byte, error) {
-	return (*Volume)(t).ReadBlock(ctx, addr)
+	s, slot := t.cluster.layout.Locate(addr)
+	return t.cl.ReadBlock(ctx, s, slot)
 }
 
 func (t *clusterTarget) WriteBlock(ctx context.Context, addr uint64, data []byte) error {
-	return (*Volume)(t).WriteBlock(ctx, addr, data)
+	s, slot := t.cluster.layout.Locate(addr)
+	return t.cl.WriteBlock(ctx, s, slot, data)
+}
+
+func (t *clusterTarget) ReadBlockStamped(ctx context.Context, addr uint64) ([]byte, core.ReadStamp, error) {
+	s, slot := t.cluster.layout.Locate(addr)
+	return t.cl.ReadBlockStamped(ctx, s, slot)
+}
+
+func (t *clusterTarget) WriteBlockStamped(ctx context.Context, addr uint64, data []byte) (proto.TID, proto.TID, error) {
+	s, slot := t.cluster.layout.Locate(addr)
+	return t.cl.WriteBlockStamped(ctx, s, slot, data)
 }
 
 func (t *clusterTarget) WriteStripes(ctx context.Context, writes []bulk.StripeWrite) ([]error, bulk.WriteStats) {
@@ -584,4 +701,4 @@ func (t *clusterTarget) WriteStripes(ctx context.Context, writes []bulk.StripeWr
 	return errs, bulk.WriteStats{BatchCalls: stats.BatchCalls, BatchRPCs: stats.BatchRPCs}
 }
 
-var _ bulk.Target = (*clusterTarget)(nil)
+var _ tier.Stamped = (*clusterTarget)(nil)

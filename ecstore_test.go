@@ -18,21 +18,30 @@ import (
 
 const blockSize = 256
 
-func localCluster(t *testing.T, k, n int) *ecstore.Cluster {
+// localCluster builds a local in-memory store and returns its facade
+// volume (client 1), which owns the underlying cluster.
+func localCluster(t *testing.T, k, n int) *ecstore.Volume {
 	t.Helper()
-	c, err := ecstore.NewLocalCluster(ecstore.Options{K: k, N: n, BlockSize: blockSize})
+	s, err := ecstore.New(ecstore.Options{K: k, N: n, BlockSize: blockSize})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return c
+	t.Cleanup(func() { _ = s.Close() })
+	return s.(*ecstore.Volume)
 }
 
-func vol(t *testing.T, c *ecstore.Cluster, id uint32) *ecstore.Volume {
+// vol opens a sibling client handle over c's cluster; id 1 is the
+// cluster-owning volume itself.
+func vol(t *testing.T, c *ecstore.Volume, id uint32) *ecstore.Volume {
 	t.Helper()
-	v, err := c.Volume(id)
+	if id == 1 {
+		return c
+	}
+	v, err := c.NewClient(id)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { _ = v.Close() })
 	return v
 }
 
@@ -50,7 +59,7 @@ func TestOptionsValidation(t *testing.T) {
 		{K: 2, N: 4, BlockSize: 0},
 	}
 	for _, opts := range bad {
-		if _, err := ecstore.NewLocalCluster(opts); err == nil {
+		if _, err := ecstore.New(opts); err == nil {
 			t.Errorf("options %+v accepted", opts)
 		}
 	}
@@ -228,18 +237,18 @@ func TestMultipleVolumesShareData(t *testing.T) {
 
 func TestVolumeZeroClientIDRejected(t *testing.T) {
 	c := localCluster(t, 2, 4)
-	if _, err := c.Volume(0); err == nil {
+	if _, err := c.NewClient(0); err == nil {
 		t.Fatal("client ID 0 accepted")
 	}
 }
 
 func TestAllModesThroughFacade(t *testing.T) {
 	for _, mode := range []ecstore.UpdateMode{ecstore.Serial, ecstore.Parallel, ecstore.Hybrid, ecstore.Broadcast} {
-		c, err := ecstore.NewLocalCluster(ecstore.Options{K: 2, N: 5, BlockSize: blockSize, Mode: mode, TP: 1})
+		v, err := ecstore.New(ecstore.Options{K: 2, N: 5, BlockSize: blockSize, Mode: mode, TP: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		v := vol(t, c, 1)
+		t.Cleanup(func() { _ = v.Close() })
 		ctx := ctxT(t)
 		data := bytes.Repeat([]byte{byte(mode)}, blockSize)
 		if err := v.WriteBlock(ctx, 1, data); err != nil {
@@ -267,12 +276,12 @@ func TestConnectClusterOverTCP(t *testing.T) {
 		addrs[i] = srv.Addr().String()
 		nodes[i] = node
 	}
-	c, err := ecstore.ConnectCluster(ecstore.Options{K: k, N: n, BlockSize: blockSize}, addrs)
+	s, err := ecstore.Connect(ecstore.Options{K: k, N: n, BlockSize: blockSize}, addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { _ = c.Close() })
-	v := vol(t, c, 1)
+	t.Cleanup(func() { _ = s.Close() })
+	v := s.(*ecstore.Volume)
 	ctx := ctxT(t)
 	data := bytes.Repeat([]byte{0xCD}, blockSize)
 	if err := v.WriteBlock(ctx, 9, data); err != nil {
@@ -291,17 +300,17 @@ func TestConnectClusterOverTCP(t *testing.T) {
 	}
 	srv := rpc.Serve(ln, repl)
 	t.Cleanup(func() { _ = srv.Close() })
-	if err := c.ReplaceNode(1, srv.Addr().String()); err != nil {
+	if err := v.ReplaceNode(1, srv.Addr().String()); err != nil {
 		t.Fatal(err)
 	}
 	got, err = v.ReadBlock(ctx, 9)
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("read after TCP node replacement failed: %v", err)
 	}
-	if err := c.CrashNode(0); err == nil {
+	if err := v.CrashNode(0); err == nil {
 		t.Error("CrashNode on a TCP cluster should error")
 	}
-	if err := c.ReplaceNode(99, "x"); err == nil {
+	if err := v.ReplaceNode(99, "x"); err == nil {
 		t.Error("out-of-range ReplaceNode accepted")
 	}
 }
@@ -324,7 +333,7 @@ func TestConnectClusterStriped(t *testing.T) {
 		addrs[i] = srv.Addr().String()
 	}
 	reg := obs.NewRegistry()
-	c, err := ecstore.ConnectCluster(ecstore.Options{
+	v, err := ecstore.Connect(ecstore.Options{
 		K: k, N: n, BlockSize: blockSize,
 		Stripes: 3, SockReadBuffer: 64 << 10, SockWriteBuffer: 64 << 10,
 		Obs: reg,
@@ -332,8 +341,7 @@ func TestConnectClusterStriped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { _ = c.Close() })
-	v := vol(t, c, 1)
+	t.Cleanup(func() { _ = v.Close() })
 	ctx := ctxT(t)
 	for blk := uint64(0); blk < 8; blk++ {
 		data := bytes.Repeat([]byte{byte(blk + 1)}, blockSize)
@@ -353,7 +361,7 @@ func TestConnectClusterStriped(t *testing.T) {
 }
 
 func TestConnectClusterAddressCount(t *testing.T) {
-	_, err := ecstore.ConnectCluster(ecstore.Options{K: 2, N: 4, BlockSize: 64}, []string{"a"})
+	_, err := ecstore.Connect(ecstore.Options{K: 2, N: 4, BlockSize: 64}, []string{"a"})
 	if err == nil {
 		t.Fatal("wrong address count accepted")
 	}
@@ -422,11 +430,7 @@ func TestLocalClusterPersistence(t *testing.T) {
 	ctx := ctxT(t)
 	opts := ecstore.Options{K: 2, N: 4, BlockSize: blockSize, DataDir: dir}
 
-	c1, err := ecstore.NewLocalCluster(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	v1, err := c1.Volume(1)
+	v1, err := ecstore.New(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -436,20 +440,17 @@ func TestLocalClusterPersistence(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := c1.Close(); err != nil {
+	if err := v1.Close(); err != nil {
 		t.Fatal(err)
 	}
 
 	// Reopen on the same directory: data persists.
-	c2, err := ecstore.NewLocalCluster(opts)
+	opts.ClientID = 2
+	v2, err := ecstore.New(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer c2.Close()
-	v2, err := c2.Volume(2)
-	if err != nil {
-		t.Fatal(err)
-	}
+	defer v2.Close()
 	for i := uint64(0); i < 6; i++ {
 		got, err := v2.ReadBlock(ctx, i)
 		if err != nil {

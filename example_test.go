@@ -9,26 +9,24 @@ import (
 	"ecstore"
 )
 
-// ExampleNewLocalCluster shows the smallest complete program: write a
-// block, lose a node, read the block back.
-func ExampleNewLocalCluster() {
+// ExampleNew shows the smallest complete program: write a block, lose
+// a node, read the block back.
+func ExampleNew() {
 	ctx := context.Background()
-	cluster, err := ecstore.NewLocalCluster(ecstore.Options{
+	store, err := ecstore.New(ecstore.Options{
 		K: 2, N: 4, BlockSize: 512,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	vol, err := cluster.Volume(1)
-	if err != nil {
-		log.Fatal(err)
-	}
+	defer store.Close()
+	vol := store.(*ecstore.Volume) // admin surface: CrashNode etc.
 
 	block := bytes.Repeat([]byte("x"), 512)
 	if err := vol.WriteBlock(ctx, 0, block); err != nil {
 		log.Fatal(err)
 	}
-	_ = cluster.CrashNode(0) // lose a storage node
+	_ = vol.CrashNode(0) // lose a storage node
 
 	got, err := vol.ReadBlock(ctx, 0) // online recovery kicks in
 	if err != nil {
@@ -42,53 +40,81 @@ func ExampleNewLocalCluster() {
 // stripe-aligned spans automatically use batched full-stripe writes.
 func ExampleVolume_WriteAt() {
 	ctx := context.Background()
-	cluster, err := ecstore.NewLocalCluster(ecstore.Options{
+	store, err := ecstore.New(ecstore.Options{
 		K: 2, N: 4, BlockSize: 256,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	vol, err := cluster.Volume(1)
-	if err != nil {
-		log.Fatal(err)
-	}
+	defer store.Close()
 
 	payload := []byte("erasure-coded and crash-tolerant")
-	if _, err := vol.WriteAt(ctx, payload, 1000); err != nil {
+	if _, err := store.WriteAt(ctx, payload, 1000); err != nil {
 		log.Fatal(err)
 	}
 	buf := make([]byte, len(payload))
-	if _, err := vol.ReadAt(ctx, buf, 1000); err != nil {
+	if _, err := store.ReadAt(ctx, buf, 1000); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(string(buf))
 	// Output: erasure-coded and crash-tolerant
 }
 
+// ExampleNew_smallWriteTier enables the staged small-write tier and
+// the hot-read cache: sub-block writes are absorbed by a parity-logged
+// staging segment (no read-modify-write round) and hot reads are
+// served from the client cache; Flush is the durability barrier that
+// merges staged bytes into their erasure-coded home blocks.
+func ExampleNew_smallWriteTier() {
+	ctx := context.Background()
+	store, err := ecstore.New(ecstore.Options{
+		K: 2, N: 4, BlockSize: 512,
+		SmallWriteTier: true,     // stage sub-block writes
+		CacheBytes:     64 << 10, // 64 KiB hot-read cache
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// A 5-byte write at an odd offset: staged, not read-modify-written.
+	if _, err := store.WriteAt(ctx, []byte("hello"), 700); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := store.ReadAt(ctx, buf, 700); err != nil {
+		log.Fatal(err)
+	}
+	// Merge staged bytes into their home blocks.
+	if err := store.Flush(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(buf))
+	// Output: hello
+}
+
 // ExampleVolume_Scrub audits stripes against the erasure code and
 // repairs what it can localize.
 func ExampleVolume_Scrub() {
 	ctx := context.Background()
-	cluster, err := ecstore.NewLocalCluster(ecstore.Options{
+	store, err := ecstore.New(ecstore.Options{
 		K: 2, N: 4, BlockSize: 256,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	vol, err := cluster.Volume(1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := vol.WriteBlock(ctx, 0, make([]byte, 256)); err != nil {
+	defer store.Close()
+
+	if err := store.WriteBlock(ctx, 0, make([]byte, 256)); err != nil {
 		log.Fatal(err)
 	}
 	// Retire the write's bookkeeping so the stripe is quiescent.
 	for pass := 0; pass < 2; pass++ {
-		if err := vol.CollectGarbage(ctx); err != nil {
+		if err := store.CollectGarbage(ctx); err != nil {
 			log.Fatal(err)
 		}
 	}
-	clean, busy, repaired, err := vol.Scrub(ctx)
+	clean, busy, repaired, err := store.Scrub(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -35,16 +35,14 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
-	cluster, err := ecstore.NewLocalCluster(ecstore.Options{
+	store, err := ecstore.New(ecstore.Options{
 		K: 4, N: 6, BlockSize: blockSize, Mode: ecstore.Parallel,
 	})
 	if err != nil {
 		return err
 	}
-	vol, err := cluster.Volume(1)
-	if err != nil {
-		return err
-	}
+	defer store.Close()
+	vol := store.(*ecstore.Volume)
 
 	// Fabricate a "file" and remember its digest.
 	file := make([]byte, fileSize)
@@ -70,7 +68,7 @@ func run() error {
 
 	// Lose two of six nodes — the code's full tolerance.
 	for _, phys := range []int{1, 4} {
-		if err := cluster.CrashNode(phys); err != nil {
+		if err := vol.CrashNode(phys); err != nil {
 			return err
 		}
 	}

@@ -29,20 +29,17 @@ func run() error {
 	// A 3-of-5 Reed-Solomon code: 3 data blocks + 2 redundant blocks
 	// per stripe, tolerating 2 simultaneous storage-node crashes with
 	// only 67% space overhead (3-way replication would cost 200%).
-	// NewLocalCluster keeps the Cluster handle around for node
-	// administration; Cluster.Volume hands out an ecstore.Store — the
-	// same interface ecstore.New returns for every deployment shape.
-	cluster, err := ecstore.NewLocalCluster(ecstore.Options{
+	// ecstore.New returns the unified Store facade; the concrete
+	// *ecstore.Volume behind it adds node administration (CrashNode)
+	// and protocol counters.
+	store, err := ecstore.New(ecstore.Options{
 		K: 3, N: 5, BlockSize: 1024,
 	})
 	if err != nil {
 		return err
 	}
-	vol, err := cluster.Volume(1)
-	if err != nil {
-		return err
-	}
-	var store ecstore.Store = vol
+	defer store.Close()
+	vol := store.(*ecstore.Volume)
 
 	// Write a few blocks. Each write is a swap at the data node plus
 	// two parity deltas — two round trips, no locks.
@@ -72,7 +69,7 @@ func run() error {
 
 	// Crash two storage nodes — the maximum this code tolerates.
 	for _, phys := range []int{0, 3} {
-		if err := cluster.CrashNode(phys); err != nil {
+		if err := vol.CrashNode(phys); err != nil {
 			return err
 		}
 		fmt.Printf("crashed storage node %d\n", phys)

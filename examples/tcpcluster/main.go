@@ -61,17 +61,14 @@ func run() error {
 	}
 	fmt.Printf("started %d storage servers on loopback TCP\n", n)
 
-	cluster, err := ecstore.ConnectCluster(ecstore.Options{
+	store, err := ecstore.Connect(ecstore.Options{
 		K: k, N: n, BlockSize: blockSize,
 	}, addrs)
 	if err != nil {
 		return err
 	}
-	defer cluster.Close()
-	vol, err := cluster.Volume(1)
-	if err != nil {
-		return err
-	}
+	defer store.Close()
+	vol := store.(*ecstore.Volume)
 
 	blocks := 9
 	for i := 0; i < blocks; i++ {
@@ -95,7 +92,7 @@ func run() error {
 		return err
 	}
 	defer repl.Close()
-	if err := cluster.ReplaceNode(2, repl.Addr().String()); err != nil {
+	if err := vol.ReplaceNode(2, repl.Addr().String()); err != nil {
 		return err
 	}
 	fmt.Printf("installed replacement server at %s\n", repl.Addr())

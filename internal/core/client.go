@@ -258,8 +258,30 @@ func (c *Client) Stats() *ClientStats { return &c.stats }
 // read degrades immediately instead of burning DegradedAfter retries
 // against a site that announced its own departure.
 func (c *Client) ReadBlock(ctx context.Context, stripeID uint64, i int) ([]byte, error) {
+	blk, _, err := c.ReadBlockStamped(ctx, stripeID, i)
+	return blk, err
+}
+
+// ReadStamp describes the provenance of a block returned by
+// ReadBlockStamped. Primary is true only when the block came straight
+// from the data node's reply on the failure-free path; hedged,
+// degraded, and locally reconstructed reads report Primary=false. TID
+// identifies the write whose content the primary reply carried (the
+// newest recentlist entry at the node) and is the zero TID when the
+// node's recentlist was empty — e.g. never written, or all write ids
+// already garbage-collected. Client-side caches must only install
+// blocks with Primary set, and must treat a zero TID conservatively.
+type ReadStamp struct {
+	TID     proto.TID
+	Primary bool
+}
+
+// ReadBlockStamped is ReadBlock plus the provenance stamp the
+// client-side read cache needs for regular-register-safe invalidation.
+// See ReadBlock for the retry/degradation behavior.
+func (c *Client) ReadBlockStamped(ctx context.Context, stripeID uint64, i int) ([]byte, ReadStamp, error) {
 	if err := c.checkDataSlot(i); err != nil {
-		return nil, err
+		return nil, ReadStamp{}, err
 	}
 	c.track(stripeID)
 	c.stats.Reads.Add(1)
@@ -270,14 +292,14 @@ func (c *Client) ReadBlock(ctx context.Context, stripeID uint64, i int) ([]byte,
 	for attempt := 0; attempt < c.cfg.Retry.MaxAttempts; attempt++ {
 		node, err := c.cfg.Resolver.Node(stripeID, i)
 		if err != nil {
-			return nil, fmt.Errorf("core: resolve slot %d: %w", i, err)
+			return nil, ReadStamp{}, fmt.Errorf("core: resolve slot %d: %w", i, err)
 		}
 		actx, cancel := c.retryCtx(ctx, attempt)
 		rep, hedged, err := c.readMaybeHedged(actx, stripeID, i, node)
 		cancel()
 		if hedged != nil {
 			sp.End()
-			return hedged, nil
+			return hedged, ReadStamp{}, nil
 		}
 		switch {
 		case err != nil:
@@ -291,16 +313,16 @@ func (c *Client) ReadBlock(ctx context.Context, stripeID uint64, i int) ([]byte,
 			if nodeErrs >= c.cfg.Retry.DegradedAfter {
 				if blk, derr := c.readDegraded(ctx, stripeID, i); derr == nil {
 					sp.End()
-					return blk, nil
+					return blk, ReadStamp{}, nil
 				} else if ctx.Err() != nil {
-					return nil, ctx.Err()
+					return nil, ReadStamp{}, ctx.Err()
 				} else {
 					att.note(derr)
 				}
 			}
 		case rep.OK:
 			sp.End()
-			return rep.Block, nil
+			return rep.Block, ReadStamp{TID: rep.TID, Primary: true}, nil
 		case rep.LockMode == proto.Unlocked || rep.LockMode == proto.Expired:
 			nodeErrs = 0
 			// Nobody is running recovery: we do it (line 4 of Fig. 4).
@@ -310,19 +332,19 @@ func (c *Client) ReadBlock(ctx context.Context, stripeID uint64, i int) ([]byte,
 				// only k consistent blocks, which may still exist.
 				if blk, derr := c.readDegraded(ctx, stripeID, i); derr == nil {
 					sp.End()
-					return blk, nil
+					return blk, ReadStamp{}, nil
 				}
-				return nil, rerr
+				return nil, ReadStamp{}, rerr
 			}
 		default:
 			// Locked by a recovery in progress: wait and retry.
 			nodeErrs = 0
 		}
 		if err := bo.pause(ctx); err != nil {
-			return nil, err
+			return nil, ReadStamp{}, err
 		}
 	}
-	return nil, c.unavailable(att)
+	return nil, ReadStamp{}, c.unavailable(att)
 }
 
 func (c *Client) checkDataSlot(i int) error {

@@ -18,11 +18,24 @@ import (
 // the redundant nodes — two round trips with parallel updates, no
 // locks, no old-version logging, even under concurrent writers.
 func (c *Client) WriteBlock(ctx context.Context, stripeID uint64, i int, v []byte) error {
+	_, _, err := c.WriteBlockStamped(ctx, stripeID, i, v)
+	return err
+}
+
+// WriteBlockStamped is WriteBlock plus the identifiers the client-side
+// read cache needs to chain this write onto its predecessor: ntid is
+// the identifier the completed write was recorded under, and otid is
+// the identifier of the write it replaced at the data node (the swap's
+// OTID — zero when the slot had no recentlist entry). A cache holding
+// an entry stamped otid can replace it with this write's value under
+// ntid; any other cached stamp is stale in an unprovable way and must
+// be invalidated.
+func (c *Client) WriteBlockStamped(ctx context.Context, stripeID uint64, i int, v []byte) (ntid, otid proto.TID, err error) {
 	if err := c.checkDataSlot(i); err != nil {
-		return err
+		return proto.TID{}, proto.TID{}, err
 	}
 	if len(v) != c.cfg.BlockSize {
-		return fmt.Errorf("core: write value has %d bytes, want %d", len(v), c.cfg.BlockSize)
+		return proto.TID{}, proto.TID{}, fmt.Errorf("core: write value has %d bytes, want %d", len(v), c.cfg.BlockSize)
 	}
 	c.track(stripeID)
 	c.stats.Writes.Add(1)
@@ -34,21 +47,24 @@ func (c *Client) WriteBlock(ctx context.Context, stripeID uint64, i int, v []byt
 		if attempt > 0 {
 			c.stats.WriteRestarts.Add(1)
 		}
-		done, err := c.writeOnce(ctx, stripeID, i, v)
+		done, ntid, otid, err := c.writeOnce(ctx, stripeID, i, v)
 		if err != nil {
-			return err
+			return proto.TID{}, proto.TID{}, err
 		}
 		if done {
 			sp.End()
-			return nil
+			return ntid, otid, nil
 		}
 	}
-	return fmt.Errorf("%w (stripe %d, slot %d)", ErrWriteExhausted, stripeID, i)
+	return proto.TID{}, proto.TID{}, fmt.Errorf("%w (stripe %d, slot %d)", ErrWriteExhausted, stripeID, i)
 }
 
 // writeOnce performs one swap-and-update round. It reports done=false
-// when the write must be restarted from the swap.
-func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte) (bool, error) {
+// when the write must be restarted from the swap. On done=true it also
+// returns the write's own identifier and the identifier the swap
+// displaced — the ORIGINAL swap OTID, not the working copy that the
+// checkTIDs loop zeroes once ordering is globally satisfied.
+func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte) (bool, proto.TID, proto.TID, error) {
 	ntid := c.nextTID(i)
 
 	// --- swap v into the data node (Fig. 5 lines 3-6) ---
@@ -57,16 +73,16 @@ func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte
 	att := newAttempts("swap", stripeID, i)
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return false, err
+			return false, proto.TID{}, proto.TID{}, err
 		}
 		if attempt > c.cfg.RecoveryPollLimit {
 			// Liveness backstop: the stripe is not becoming available
 			// (e.g. it is unrecoverable); surface the restart loop.
-			return false, nil
+			return false, proto.TID{}, proto.TID{}, nil
 		}
 		node, err := c.cfg.Resolver.Node(stripeID, i)
 		if err != nil {
-			return false, fmt.Errorf("core: resolve slot %d: %w", i, err)
+			return false, proto.TID{}, proto.TID{}, fmt.Errorf("core: resolve slot %d: %w", i, err)
 		}
 		c.obs.swapCalls.Inc()
 		actx, cancel := c.retryCtx(ctx, attempt)
@@ -79,10 +95,10 @@ func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte
 			if att.count >= c.cfg.Retry.MaxAttempts {
 				// The data node keeps erroring (not rejecting): the
 				// budget is spent; surface the typed failure.
-				return false, c.unavailable(att)
+				return false, proto.TID{}, proto.TID{}, c.unavailable(att)
 			}
 			if err := bo.pause(ctx); err != nil {
-				return false, err
+				return false, proto.TID{}, proto.TID{}, err
 			}
 			continue
 		}
@@ -96,13 +112,16 @@ func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte
 			c.StartRecovery(ctx, stripeID)
 		}
 		if err := bo.pause(ctx); err != nil {
-			return false, err
+			return false, proto.TID{}, proto.TID{}, err
 		}
 	}
 
 	oldBlk := srep.Block
 	epoch := srep.Epoch
 	otid := srep.OTID
+	// The adds loop zeroes otid once checkTIDs proves the predecessor
+	// completed everywhere; the stamp must keep the original chain link.
+	swapOTID := srep.OTID
 
 	// Compute v XOR w once into pooled scratch. Every per-slot delta is
 	// alpha_ji * diff, so retry rounds and all update modes scale this
@@ -128,11 +147,11 @@ func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte
 	abo := c.newBackoff()
 	for todo.size() > 0 && done.size() > 0 {
 		if err := ctx.Err(); err != nil {
-			return false, err
+			return false, proto.TID{}, proto.TID{}, err
 		}
 		if rounds++; rounds > c.cfg.RecoveryPollLimit {
 			// Liveness backstop: restart the write from the swap.
-			return false, nil
+			return false, proto.TID{}, proto.TID{}, nil
 		}
 		// Retry rounds get a per-round deadline covering their adds; the
 		// first round is the fast path and rides the caller's context.
@@ -191,7 +210,7 @@ func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte
 			// lost nodes (Fig. 5 lines 15-19).
 			collected, lost, err := c.checkTIDs(ctx, stripeID, done.sorted(), ntid, otid)
 			if err != nil {
-				return false, err
+				return false, proto.TID{}, proto.TID{}, err
 			}
 			if collected {
 				otid = proto.TID{} // ordering satisfied everywhere
@@ -203,21 +222,21 @@ func (c *Client) writeOnce(ctx context.Context, stripeID uint64, i int, v []byte
 		todo = retry
 		if todo.size() > 0 {
 			if err := abo.pause(ctx); err != nil {
-				return false, err
+				return false, proto.TID{}, proto.TID{}, err
 			}
 		}
 	}
 
 	if done.size() != want.size() {
-		return false, nil // restart from swap (outer repeat)
+		return false, proto.TID{}, proto.TID{}, nil // restart from swap (outer repeat)
 	}
 	for j := range want {
 		if !done.has(j) {
-			return false, nil
+			return false, proto.TID{}, proto.TID{}, nil
 		}
 	}
 	c.recordGC(stripeID, ntid, done)
-	return true, nil
+	return true, ntid, swapOTID, nil
 }
 
 // addResult pairs an add outcome with the node it was sent to, keyed

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSmallWriteTierAcceptance encodes the PR's acceptance floors: the
+// small-write tier must land 128-byte writes at >= 10x the block-swap
+// path's throughput over the latency-modelled transport, and the
+// hot-spot read workload must need fewer than 0.1 protocol READ RPCs
+// per application read through the TID-chained cache.
+func TestSmallWriteTierAcceptance(t *testing.T) {
+	tab, res, err := SmallWrite(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	// RPC/read is a count ratio, not a timing: it holds under -race.
+	if res.RPCPerRead >= 0.1 {
+		t.Fatalf("hot-spot reads cost %.3f RPC/read, want < 0.1", res.RPCPerRead)
+	}
+	if res.CacheHitRate < 0.9 {
+		t.Fatalf("cache hit rate %.2f, want >= 0.9", res.CacheHitRate)
+	}
+	if raceEnabled {
+		t.Logf("skipping throughput ratio under -race: swap %.0f ops/s, staged %.0f ops/s (%.1fx)",
+			res.SwapWritesPerSec, res.StagedWritesPerSec, res.Speedup)
+		return
+	}
+	if res.Speedup < 10 {
+		t.Fatalf("staged 128 B writes %.0f ops/s vs swap %.0f ops/s: %.1fx, want >= 10x",
+			res.StagedWritesPerSec, res.SwapWritesPerSec, res.Speedup)
+	}
+}

@@ -73,6 +73,15 @@ type Options struct {
 	// A Get holds its slot until the body is closed. Default
 	// DefaultMaxConcurrent; negative disables the limiter.
 	MaxConcurrent int
+	// SmallWrite routes each object's sub-stripe tail through the
+	// backend's byte-granular WriteAt instead of zero-padding it to a
+	// stripe multiple. On a backend with a small-write tier
+	// (ecstore.Options.SmallWriteTier) the tail is absorbed by the
+	// staging segment — one parity-logged append instead of a
+	// read-modify-write per tail block. Extents stay stripe-rounded
+	// either way; reads never see the padding because Get serves
+	// exactly the object's size.
+	SmallWrite bool
 	// Obs receives gateway.* metrics; nil disables them.
 	Obs *obs.Registry
 }
@@ -103,10 +112,11 @@ type object struct {
 // Gateway serves the object API over one Backend. Safe for concurrent
 // use.
 type Gateway struct {
-	b      Backend
-	stripe int
-	qos    *qos
-	sem    chan struct{} // nil: unlimited
+	b          Backend
+	stripe     int
+	smallWrite bool
+	qos        *qos
+	sem        chan struct{} // nil: unlimited
 
 	mu      sync.Mutex
 	objects map[string]map[string]*object // tenant → key → manifest
@@ -137,11 +147,12 @@ func New(b Backend, opts Options) *Gateway {
 		stripe = 1
 	}
 	gw := &Gateway{
-		b:       b,
-		stripe:  stripe,
-		qos:     newQoS(opts.Tenants, opts.DefaultLimit, opts.Obs),
-		objects: make(map[string]map[string]*object),
-		alloc:   allocator{capacity: b.Capacity()},
+		b:          b,
+		stripe:     stripe,
+		smallWrite: opts.SmallWrite,
+		qos:        newQoS(opts.Tenants, opts.DefaultLimit, opts.Obs),
+		objects:    make(map[string]map[string]*object),
+		alloc:      allocator{capacity: b.Capacity()},
 		m: metrics{
 			putCalls:     opts.Obs.Counter("gateway.put.calls"),
 			getCalls:     opts.Obs.Counter("gateway.get.calls"),
@@ -322,7 +333,11 @@ func (gw *Gateway) put(ctx context.Context, tenant, key string, r io.Reader, siz
 	// Stream the body: chunks are stripe-rounded (the final one
 	// zero-padded to the extent's stripe boundary) so every WriteAt
 	// stays on the full-stripe batched path and a reused extent's old
-	// bytes are always overwritten.
+	// bytes are always overwritten. With Options.SmallWrite the final
+	// chunk writes exact bytes instead: a sub-stripe tail becomes one
+	// staged append in the store's small-write tier rather than a
+	// padded read-modify-write, and the padding region of a reused
+	// extent is never read back (Get serves exactly size bytes).
 	chunkCap := putChunkBytes / stripeBytes * stripeBytes
 	if chunkCap < stripeBytes {
 		chunkCap = stripeBytes
@@ -333,10 +348,15 @@ func (gw *Gateway) put(ctx context.Context, tenant, key string, r io.Reader, siz
 		buf := bufpool.Get(int(alignUp(want, stripeBytes)))
 		_, rerr := io.ReadFull(r, buf[:want])
 		if rerr == nil {
-			for i := want; i < int64(len(buf)); i++ {
-				buf[i] = 0
+			span := buf
+			if gw.smallWrite {
+				span = buf[:want]
+			} else {
+				for i := want; i < int64(len(buf)); i++ {
+					buf[i] = 0
+				}
 			}
-			_, rerr = gw.b.WriteAt(ctx, buf, off+written)
+			_, rerr = gw.b.WriteAt(ctx, span, off+written)
 		}
 		bufpool.Put(buf)
 		if rerr != nil {

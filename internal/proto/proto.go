@@ -189,11 +189,17 @@ type ReadReq struct {
 }
 
 // ReadReply carries a block, or OK=false (bottom) with the lock mode
-// that explains the rejection.
+// that explains the rejection. TID identifies the most recent write
+// this node has seen for the slot (the newest recentlist entry) at the
+// moment the block was read; it is the zero TID when the recentlist is
+// empty (all writes garbage-collected, or the slot was never written).
+// Client-side caches use it to decide whether a cached block is still
+// provably current.
 type ReadReply struct {
 	OK       bool
 	Block    []byte
 	LockMode LockMode
+	TID      TID
 }
 
 // SwapReq atomically replaces the block of a data slot, returning the

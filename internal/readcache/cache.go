@@ -1,0 +1,302 @@
+// Package readcache is the client-side hot-read cache of the
+// small-write tier: a sharded, byte-bounded LRU over block addresses
+// whose invalidation is driven by the write identifiers (TIDs) that
+// flow on every protocol reply, not by TTLs.
+//
+// Regular-register safety rests on three rules:
+//
+//  1. Only PRIMARY reads fill the cache — blocks that came straight
+//     from the data node's reply, stamped with the newest recentlist
+//     TID the node held at read time. Hedged, degraded, and
+//     reconstructed reads never fill (their content is correct but
+//     carries no stamp to chain later writes onto).
+//  2. A completed write W(ntid, otid) may REPLACE a cached entry only
+//     when the entry's stamp equals otid — the node itself serialized
+//     W directly after the cached content, so the replacement is
+//     provably the successor even when completion notifications arrive
+//     out of node order. Any other stamp invalidates, and a write that
+//     finds no entry installs NOTHING: with no cached predecessor to
+//     chain onto there is no proof a newer write hasn't already been
+//     serialized (and chain-broken its way through) since, so only
+//     stamped reads may (re)populate an empty slot.
+//  3. A fill that was in flight while any write or invalidation
+//     touched the same address is poisoned and discarded: the fetched
+//     block may predate the write, and committing it would resurrect
+//     stale content.
+//
+// The cache is scoped to one process (all handles of a Store share
+// it), which is exactly the coherence domain the stamps can prove
+// things about; cross-process writers are caught by rule 2's mismatch
+// path the next time any local write or primary read touches the
+// address.
+package readcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"ecstore/internal/obs"
+	"ecstore/internal/proto"
+)
+
+const nShards = 16
+
+// Stats counts cache events, readable concurrently.
+type Stats struct {
+	Hits          atomic.Uint64
+	Misses        atomic.Uint64
+	Fills         atomic.Uint64
+	FillsPoisoned atomic.Uint64
+	ChainInstalls atomic.Uint64 // write replaced its provable predecessor in place
+	ChainBreaks   atomic.Uint64 // write found an unprovable stamp and invalidated
+	ChainOrphans  atomic.Uint64 // write found no entry; nothing installed (only reads fill)
+	Invalidations atomic.Uint64
+	Evictions     atomic.Uint64
+}
+
+type entry struct {
+	addr uint64
+	val  []byte
+	tid  proto.TID
+	ele  *list.Element
+}
+
+type fillState struct {
+	gen  uint64 // bumped by every Install/Invalidate on the address
+	refs int
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[uint64]*entry
+	lru     *list.List // front = most recent
+	bytes   int64
+	fills   map[uint64]*fillState
+}
+
+// Cache is a TID-chained LRU block cache. All methods are safe for
+// concurrent use.
+type Cache struct {
+	shards   [nShards]shard
+	capShard int64
+	stats    Stats
+	bytes    atomic.Int64
+	count    atomic.Int64
+}
+
+// FillTicket is an in-flight fill registration: it pins the address's
+// poison generation observed when the read was issued.
+type FillTicket struct {
+	addr uint64
+	gen  uint64
+	ok   bool
+}
+
+// New returns a cache bounded to roughly capacityBytes of block
+// payload (split evenly across shards). Metrics are registered under
+// readcache.* when reg is non-nil.
+func New(capacityBytes int64, reg *obs.Registry) *Cache {
+	c := &Cache{capShard: capacityBytes / nShards}
+	if c.capShard <= 0 {
+		c.capShard = 1
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[uint64]*entry)
+		c.shards[i].lru = list.New()
+		c.shards[i].fills = make(map[uint64]*fillState)
+	}
+	if reg != nil {
+		reg.Func("readcache.hits", func() int64 { return int64(c.stats.Hits.Load()) })
+		reg.Func("readcache.misses", func() int64 { return int64(c.stats.Misses.Load()) })
+		reg.Func("readcache.fills", func() int64 { return int64(c.stats.Fills.Load()) })
+		reg.Func("readcache.fills_poisoned", func() int64 { return int64(c.stats.FillsPoisoned.Load()) })
+		reg.Func("readcache.chain_installs", func() int64 { return int64(c.stats.ChainInstalls.Load()) })
+		reg.Func("readcache.chain_breaks", func() int64 { return int64(c.stats.ChainBreaks.Load()) })
+		reg.Func("readcache.chain_orphans", func() int64 { return int64(c.stats.ChainOrphans.Load()) })
+		reg.Func("readcache.invalidations", func() int64 { return int64(c.stats.Invalidations.Load()) })
+		reg.Func("readcache.evictions", func() int64 { return int64(c.stats.Evictions.Load()) })
+		reg.Func("readcache.bytes", func() int64 { return c.bytes.Load() })
+		reg.Func("readcache.entries", func() int64 { return c.count.Load() })
+	}
+	return c
+}
+
+// Stats exposes the cache's event counters.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// Bytes returns the cached payload bytes.
+func (c *Cache) Bytes() int64 { return c.bytes.Load() }
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int { return int(c.count.Load()) }
+
+func (c *Cache) shard(addr uint64) *shard {
+	// Multiplicative hash: sequential block addresses spread across
+	// shards instead of clustering.
+	h := addr * 0x9e3779b97f4a7c15
+	return &c.shards[h>>60&(nShards-1)]
+}
+
+// Get returns a copy of the cached block for addr, with the stamp it
+// was cached under. Callers own the returned slice (the bulk engine
+// mutates read results in place during sub-block merges).
+func (c *Cache) Get(addr uint64) ([]byte, proto.TID, bool) {
+	s := c.shard(addr)
+	s.mu.Lock()
+	e, ok := s.entries[addr]
+	if !ok {
+		s.mu.Unlock()
+		c.stats.Misses.Add(1)
+		return nil, proto.TID{}, false
+	}
+	s.lru.MoveToFront(e.ele)
+	out := make([]byte, len(e.val))
+	copy(out, e.val)
+	tid := e.tid
+	s.mu.Unlock()
+	c.stats.Hits.Add(1)
+	return out, tid, true
+}
+
+// BeginFill registers an in-flight read-miss fill for addr. The caller
+// must finish the ticket with exactly one CommitFill or AbortFill.
+func (c *Cache) BeginFill(addr uint64) FillTicket {
+	s := c.shard(addr)
+	s.mu.Lock()
+	fs, ok := s.fills[addr]
+	if !ok {
+		fs = &fillState{}
+		s.fills[addr] = fs
+	}
+	fs.refs++
+	t := FillTicket{addr: addr, gen: fs.gen, ok: true}
+	s.mu.Unlock()
+	return t
+}
+
+func (s *shard) releaseFill(addr uint64) *fillState {
+	fs := s.fills[addr]
+	if fs == nil {
+		return nil
+	}
+	if fs.refs--; fs.refs <= 0 {
+		delete(s.fills, addr)
+	}
+	return fs
+}
+
+// CommitFill installs the fetched block under the ticket, unless a
+// write or invalidation touched the address while the read was in
+// flight (the ticket is poisoned and the value discarded). It reports
+// whether the value was installed.
+func (c *Cache) CommitFill(t FillTicket, val []byte, tid proto.TID) bool {
+	if !t.ok {
+		return false
+	}
+	s := c.shard(t.addr)
+	s.mu.Lock()
+	fs := s.releaseFill(t.addr)
+	if fs == nil || fs.gen != t.gen {
+		s.mu.Unlock()
+		c.stats.FillsPoisoned.Add(1)
+		return false
+	}
+	c.install(s, t.addr, val, tid)
+	s.mu.Unlock()
+	c.stats.Fills.Add(1)
+	return true
+}
+
+// AbortFill releases the ticket without installing anything.
+func (c *Cache) AbortFill(t FillTicket) {
+	if !t.ok {
+		return
+	}
+	s := c.shard(t.addr)
+	s.mu.Lock()
+	s.releaseFill(t.addr)
+	s.mu.Unlock()
+}
+
+// Install records the value of a write that completed with identifier
+// ntid, chained onto predecessor otid (the swap's OTID). The entry is
+// replaced in place when its stamp equals otid and invalidated on any
+// other stamp — an unprovable ordering must never survive in the
+// cache. A write that finds no entry installs nothing: a delayed
+// completion could otherwise repopulate a slot its own successor
+// already chain-broke, resurrecting an overwritten value. Empty slots
+// refill only from stamped reads (in-flight fills are still poisoned
+// here, since the fill's content may predate this write).
+func (c *Cache) Install(addr uint64, val []byte, ntid, otid proto.TID) {
+	s := c.shard(addr)
+	s.mu.Lock()
+	if fs := s.fills[addr]; fs != nil {
+		fs.gen++
+	}
+	e, ok := s.entries[addr]
+	switch {
+	case ok && e.tid == otid:
+		c.install(s, addr, val, ntid)
+		s.mu.Unlock()
+		c.stats.ChainInstalls.Add(1)
+	case ok:
+		c.remove(s, e)
+		s.mu.Unlock()
+		c.stats.ChainBreaks.Add(1)
+	default:
+		s.mu.Unlock()
+		c.stats.ChainOrphans.Add(1)
+	}
+}
+
+// Invalidate drops any cached entry for addr and poisons in-flight
+// fills. Used when a write's outcome is unknown (errored mid-flight),
+// when bulk stripe writes land without per-write stamps, and when the
+// small-write tier flushes staged bytes into the base store.
+func (c *Cache) Invalidate(addr uint64) {
+	s := c.shard(addr)
+	s.mu.Lock()
+	if fs := s.fills[addr]; fs != nil {
+		fs.gen++
+	}
+	if e, ok := s.entries[addr]; ok {
+		c.remove(s, e)
+		s.mu.Unlock()
+		c.stats.Invalidations.Add(1)
+		return
+	}
+	s.mu.Unlock()
+}
+
+// install inserts or replaces under the shard lock, then evicts from
+// the LRU tail past capacity.
+func (c *Cache) install(s *shard, addr uint64, val []byte, tid proto.TID) {
+	if e, ok := s.entries[addr]; ok {
+		c.bytes.Add(int64(len(val) - len(e.val)))
+		s.bytes += int64(len(val) - len(e.val))
+		e.val = append(e.val[:0], val...)
+		e.tid = tid
+		s.lru.MoveToFront(e.ele)
+	} else {
+		e := &entry{addr: addr, val: append([]byte(nil), val...), tid: tid}
+		e.ele = s.lru.PushFront(e)
+		s.entries[addr] = e
+		s.bytes += int64(len(val))
+		c.bytes.Add(int64(len(val)))
+		c.count.Add(1)
+	}
+	for s.bytes > c.capShard && s.lru.Len() > 1 {
+		tail := s.lru.Back()
+		c.remove(s, tail.Value.(*entry))
+		c.stats.Evictions.Add(1)
+	}
+}
+
+func (c *Cache) remove(s *shard, e *entry) {
+	s.lru.Remove(e.ele)
+	delete(s.entries, e.addr)
+	s.bytes -= int64(len(e.val))
+	c.bytes.Add(-int64(len(e.val)))
+	c.count.Add(-1)
+}

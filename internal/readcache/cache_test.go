@@ -1,0 +1,312 @@
+package readcache
+
+import (
+	"sync"
+	"testing"
+
+	"ecstore/internal/obs"
+	"ecstore/internal/proto"
+)
+
+func tid(seq uint64) proto.TID {
+	return proto.TID{Seq: seq, Block: 0, Client: 7}
+}
+
+func blk(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func TestFillAndHit(t *testing.T) {
+	c := New(1<<20, nil)
+	if _, _, ok := c.Get(3); ok {
+		t.Fatal("hit on empty cache")
+	}
+	tk := c.BeginFill(3)
+	if !c.CommitFill(tk, blk('a', 64), tid(1)) {
+		t.Fatal("clean fill refused")
+	}
+	v, st, ok := c.Get(3)
+	if !ok || string(v) != string(blk('a', 64)) || st != tid(1) {
+		t.Fatalf("got %q/%v/%v", v, st, ok)
+	}
+	// Returned slice is a copy: mutating it must not poison the cache.
+	v[0] = 'Z'
+	v2, _, _ := c.Get(3)
+	if v2[0] != 'a' {
+		t.Fatal("Get returned an aliased slice")
+	}
+	if c.Stats().Hits.Load() != 2 || c.Stats().Misses.Load() != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Stats().Hits.Load(), c.Stats().Misses.Load())
+	}
+}
+
+func TestChainInstallReplacesProvableSuccessor(t *testing.T) {
+	c := New(1<<20, nil)
+	tk := c.BeginFill(9)
+	c.CommitFill(tk, blk('a', 32), tid(1))
+	// Write chained directly onto the cached stamp: replaced in place.
+	c.Install(9, blk('b', 32), tid(2), tid(1))
+	v, st, ok := c.Get(9)
+	if !ok || v[0] != 'b' || st != tid(2) {
+		t.Fatalf("chain install: got %q/%v/%v", v, st, ok)
+	}
+	if c.Stats().ChainInstalls.Load() != 1 {
+		t.Fatal("chain install not counted")
+	}
+}
+
+func TestChainBreakInvalidates(t *testing.T) {
+	c := New(1<<20, nil)
+	tk := c.BeginFill(9)
+	c.CommitFill(tk, blk('a', 32), tid(5))
+	// otid does not match the cached stamp: ordering unprovable, the
+	// entry must go, and the write's value must NOT be served.
+	c.Install(9, blk('b', 32), tid(7), tid(6))
+	if _, _, ok := c.Get(9); ok {
+		t.Fatal("entry survived an unprovable install")
+	}
+	if c.Stats().ChainBreaks.Load() != 1 {
+		t.Fatal("chain break not counted")
+	}
+}
+
+func TestOutOfOrderCompletionsNeverLeaveStaleValue(t *testing.T) {
+	// Node serialization: P(tid=1), then W1(ntid=2,otid=1), then
+	// W2(ntid=3,otid=2). Completion notifications arrive inverted: W2
+	// first (chain break empties the slot), then the overwritten W1 —
+	// which must NOT repopulate the empty slot.
+	c := New(1<<20, nil)
+	tk := c.BeginFill(4)
+	c.CommitFill(tk, blk('p', 16), tid(1))
+	c.Install(4, blk('2', 16), tid(3), tid(2)) // W2 lands first: unprovable, break
+	if _, _, ok := c.Get(4); ok {
+		t.Fatal("entry survived an unprovable install")
+	}
+	c.Install(4, blk('1', 16), tid(2), tid(1)) // stale W1 arrives late
+	if v, _, ok := c.Get(4); ok {
+		t.Fatalf("stale write %q repopulated the slot its successor emptied", v)
+	}
+	if c.Stats().ChainOrphans.Load() != 1 {
+		t.Fatalf("chain orphans = %d, want 1", c.Stats().ChainOrphans.Load())
+	}
+}
+
+func TestInFlightFillPoisonedByWrite(t *testing.T) {
+	c := New(1<<20, nil)
+	tk := c.BeginFill(11)
+	// A write completes while the fill's read is in flight: the fill's
+	// value may predate the write and must be discarded. The write
+	// itself installs nothing (no cached predecessor), so the slot
+	// stays empty until a later stamped read.
+	c.Install(11, blk('w', 16), tid(9), proto.TID{})
+	if c.CommitFill(tk, blk('r', 16), proto.TID{}) {
+		t.Fatal("poisoned fill committed")
+	}
+	if _, _, ok := c.Get(11); ok {
+		t.Fatal("orphan write's value must not be served")
+	}
+	if c.Stats().FillsPoisoned.Load() != 1 {
+		t.Fatal("poisoned fill not counted")
+	}
+}
+
+func TestInFlightFillPoisonedByInvalidate(t *testing.T) {
+	c := New(1<<20, nil)
+	tk := c.BeginFill(11)
+	c.Invalidate(11)
+	if c.CommitFill(tk, blk('r', 16), tid(1)) {
+		t.Fatal("fill committed across an invalidation")
+	}
+	if _, _, ok := c.Get(11); ok {
+		t.Fatal("cache should be empty")
+	}
+}
+
+func TestAbortFillReleasesTicket(t *testing.T) {
+	c := New(1<<20, nil)
+	tk := c.BeginFill(2)
+	c.AbortFill(tk)
+	// A later clean fill must succeed (no leaked poison state).
+	tk2 := c.BeginFill(2)
+	if !c.CommitFill(tk2, blk('x', 8), tid(1)) {
+		t.Fatal("fill after abort refused")
+	}
+	s := c.shard(2)
+	s.mu.Lock()
+	n := len(s.fills)
+	s.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("fill registry leaked %d entries", n)
+	}
+}
+
+func TestConcurrentFillsOnlyOneGeneration(t *testing.T) {
+	c := New(1<<20, nil)
+	t1 := c.BeginFill(5)
+	t2 := c.BeginFill(5)
+	if !c.CommitFill(t1, blk('a', 8), tid(1)) {
+		t.Fatal("first fill refused")
+	}
+	// Same generation: the second fill raced no write, committing its
+	// (equally valid) value is fine.
+	if !c.CommitFill(t2, blk('a', 8), tid(1)) {
+		t.Fatal("sibling fill refused")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(1<<20, nil)
+	tk := c.BeginFill(1)
+	c.CommitFill(tk, blk('a', 8), tid(1))
+	c.Invalidate(1)
+	if _, _, ok := c.Get(1); ok {
+		t.Fatal("entry survived invalidation")
+	}
+	if c.Stats().Invalidations.Load() != 1 {
+		t.Fatal("invalidation not counted")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	const bs = 1024
+	// Budget for ~4 blocks per shard; all addresses below map through
+	// the same shard only probabilistically, so drive one shard
+	// directly by using addresses that hash to it.
+	c := New(nShards*4*bs, nil)
+	target := c.shard(0)
+	addrs := []uint64{}
+	for a := uint64(0); len(addrs) < 8; a++ {
+		if c.shard(a) == target {
+			addrs = append(addrs, a)
+		}
+	}
+	for i, a := range addrs {
+		tk := c.BeginFill(a)
+		c.CommitFill(tk, blk(byte(i), bs), tid(uint64(i+1)))
+	}
+	if c.Stats().Evictions.Load() == 0 {
+		t.Fatal("no evictions past capacity")
+	}
+	// The most recently touched address must survive.
+	if _, _, ok := c.Get(addrs[len(addrs)-1]); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	target.mu.Lock()
+	over := target.bytes > c.capShard
+	target.mu.Unlock()
+	if over {
+		t.Fatalf("shard bytes %d over budget %d", target.bytes, c.capShard)
+	}
+}
+
+func TestObsRegistration(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(1<<20, reg)
+	tk := c.BeginFill(1)
+	c.CommitFill(tk, blk('a', 100), tid(1))
+	c.Get(1)
+	snap := reg.Snapshot()
+	if snap["readcache.hits"].(int64) != 1 {
+		t.Fatalf("readcache.hits = %v", snap["readcache.hits"])
+	}
+	if snap["readcache.bytes"].(int64) != 100 {
+		t.Fatalf("readcache.bytes = %v", snap["readcache.bytes"])
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	c := New(1<<16, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				addr := uint64(i % 37)
+				switch g % 4 {
+				case 0:
+					c.Get(addr)
+				case 1:
+					tk := c.BeginFill(addr)
+					if i%2 == 0 {
+						c.CommitFill(tk, blk(byte(i), 64), tid(uint64(i)))
+					} else {
+						c.AbortFill(tk)
+					}
+				case 2:
+					c.Install(addr, blk(byte(i), 64), tid(uint64(i+1)), tid(uint64(i)))
+				default:
+					c.Invalidate(addr)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Accounting must still balance.
+	var bytes int64
+	var count int
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		var sb int64
+		for _, e := range s.entries {
+			sb += int64(len(e.val))
+		}
+		if sb != s.bytes {
+			s.mu.Unlock()
+			t.Fatalf("shard %d bytes drifted: %d != %d", i, sb, s.bytes)
+		}
+		bytes += sb
+		count += len(s.entries)
+		if len(s.fills) != 0 {
+			s.mu.Unlock()
+			t.Fatalf("shard %d leaked %d fill registrations", i, len(s.fills))
+		}
+		s.mu.Unlock()
+	}
+	if bytes != c.Bytes() || count != c.Len() {
+		t.Fatalf("global accounting drifted: %d/%d vs %d/%d", bytes, count, c.Bytes(), c.Len())
+	}
+}
+
+func BenchmarkCacheHit(b *testing.B) {
+	c := New(64<<20, nil)
+	const bs = 4096
+	for a := uint64(0); a < 64; a++ {
+		tk := c.BeginFill(a)
+		c.CommitFill(tk, blk(byte(a), bs), tid(a+1))
+	}
+	b.SetBytes(bs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := c.Get(uint64(i) % 64); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkCacheInstall(b *testing.B) {
+	// Measures the chain-install path: every Install's otid matches the
+	// entry's current stamp, so each replaces its predecessor in place.
+	c := New(64<<20, nil)
+	const bs = 4096
+	last := make([]uint64, 64)
+	for a := uint64(0); a < 64; a++ {
+		tk := c.BeginFill(a)
+		c.CommitFill(tk, blk(byte(a), bs), tid(a))
+		last[a] = a
+	}
+	v := blk('x', bs)
+	b.SetBytes(bs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := uint64(i) % 64
+		nt := uint64(64 + i)
+		c.Install(a, v, tid(nt), tid(last[a]))
+		last[a] = nt
+	}
+}

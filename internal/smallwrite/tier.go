@@ -1,0 +1,645 @@
+// Package smallwrite is the write half of the small-I/O tier: it
+// absorbs sub-block writes into a parity-logged staging segment inside
+// the erasure-coded store itself, so a 128-byte write costs its share
+// of one group-committed, block-aligned append instead of a full
+// swap+deltas round on its home block.
+//
+// Mechanics:
+//
+//   - Writers enqueue records and elect a commit leader (first waiter
+//     wins): the leader encodes every pending record into one
+//     checksummed batch, appends it to the staging segment through a
+//     dedicated bulk engine, and wakes the group. No background
+//     goroutines; latency is one staging append shared by the batch.
+//   - Committed records live in an in-memory overlay keyed by home
+//     block address; reads patch them over base-store content in
+//     sequence order, so acknowledged bytes are visible immediately.
+//   - When the segment fills (or on an explicit Flush barrier) the
+//     tier merges the overlay into home blocks — one read-modify-write
+//     per dirty block under a striped per-block lock — then resets the
+//     segment. Direct full-block writes to a dirty address supersede
+//     the staged records they overwrite.
+//   - The staging segment is erasure-coded like everything else, so an
+//     acknowledged small write already has EC durability. After a
+//     client crash, Salvage replays whole batches from the segment
+//     before the tier serves traffic.
+//
+// The tier sits below the read cache and above the bulk engine; the
+// facade's tier layer (internal/tier) wires the three together.
+package smallwrite
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ecstore/internal/bulk"
+	"ecstore/internal/obs"
+)
+
+// ErrClosed reports a write against a closed tier.
+var ErrClosed = errors.New("smallwrite: tier closed")
+
+// ErrCorruptSegment reports a salvage scan that found a batch header
+// with a valid magic but inconsistent framing or checksum.
+var ErrCorruptSegment = errors.New("smallwrite: corrupt staging segment")
+
+const (
+	batchMagic  = 0x53575431 // "SWT1"
+	headerSize  = 24         // magic u32, gen u64, count u32, payload u32, crc u32
+	recHdrSize  = 16         // addr u64, off u32, len u32
+	nAddrLocks  = 64
+	defMaxBatch = 256
+)
+
+var crcTab = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Tier.
+type Options struct {
+	// Base is the erasure-coded store the tier stages into and flushes
+	// onto. Required.
+	Base bulk.Target
+	// StagingBase is the block address of the staging segment's first
+	// block. The segment must not overlap addresses served to callers.
+	StagingBase uint64
+	// StagingBlocks is the segment length in blocks. Required >= 4.
+	StagingBlocks uint64
+	// MaxBatch bounds the records one group commit may carry. Default
+	// 256.
+	MaxBatch int
+	// MaxInFlight is the staging-append engine's window in stripes.
+	// Zero takes the bulk engine default.
+	MaxInFlight int
+	// OnApply, when non-nil, is called with each home-block address the
+	// flusher has merged staged bytes into (while the block's tier lock
+	// is held). The tier layer uses it to invalidate the read cache.
+	OnApply func(addr uint64)
+	// Obs receives smallwrite.* metrics; nil disables them.
+	Obs *obs.Registry
+}
+
+// Stats counts tier events, readable concurrently.
+type Stats struct {
+	Writes           atomic.Uint64 // accepted sub-block writes
+	Commits          atomic.Uint64 // group commits (batches appended)
+	CommitRecords    atomic.Uint64 // records across all commits
+	CommitBlocks     atomic.Uint64 // staging blocks consumed
+	Flushes          atomic.Uint64 // full overlay merges (explicit or segment-full)
+	SegmentFullFlush atomic.Uint64 // flushes forced by a full segment
+	FlushedBlocks    atomic.Uint64 // home blocks rewritten by flushes
+	PatchedReads     atomic.Uint64 // reads that had staged bytes applied
+	Supersedes       atomic.Uint64 // staged records dropped under direct writes
+	Salvaged         atomic.Uint64 // records replayed from the segment
+}
+
+type record struct {
+	addr uint64
+	off  int
+	data []byte
+	seq  uint64
+	done bool
+	err  error
+}
+
+// Tier is a group-committed small-write stage. All methods are safe
+// for concurrent use.
+type Tier struct {
+	base    bulk.Target
+	eng     *bulk.Engine
+	bs      int
+	sBase   uint64
+	sBlocks uint64
+	maxRecs int
+	onApply func(uint64)
+
+	// Striped per-home-block locks serialize flush RMW against direct
+	// full-block writes. Lock order everywhere: addr lock before mu.
+	locks [nAddrLocks]sync.Mutex
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	seq     uint64
+	pending []*record
+	overlay map[uint64][]*record
+	// busy marks a leader commit or a flush in progress; cursor and gen
+	// are only touched while it is held.
+	busy        bool
+	closed      bool
+	cursor      uint64 // staging blocks consumed since last reset
+	gen         uint64
+	liveBytes   atomic.Int64
+	liveRecords atomic.Int64
+
+	stats Stats
+}
+
+// New validates the options and returns a Tier.
+func New(o Options) (*Tier, error) {
+	if o.Base == nil {
+		return nil, errors.New("smallwrite: Options.Base is required")
+	}
+	if o.StagingBlocks < 4 {
+		return nil, fmt.Errorf("smallwrite: StagingBlocks must be >= 4, got %d", o.StagingBlocks)
+	}
+	if cap := o.Base.Capacity(); cap != 0 && o.StagingBase+o.StagingBlocks > cap {
+		return nil, fmt.Errorf("smallwrite: staging extent [%d,%d) beyond capacity %d",
+			o.StagingBase, o.StagingBase+o.StagingBlocks, cap)
+	}
+	maxRecs := o.MaxBatch
+	if maxRecs <= 0 {
+		maxRecs = defMaxBatch
+	}
+	t := &Tier{
+		base:    o.Base,
+		eng:     bulk.New(o.Base, bulk.Options{MaxInFlight: o.MaxInFlight}),
+		bs:      o.Base.BlockSize(),
+		sBase:   o.StagingBase,
+		sBlocks: o.StagingBlocks,
+		maxRecs: maxRecs,
+		onApply: o.OnApply,
+		overlay: make(map[uint64][]*record),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	if reg := o.Obs; reg != nil {
+		reg.Func("smallwrite.writes", func() int64 { return int64(t.stats.Writes.Load()) })
+		reg.Func("smallwrite.commits", func() int64 { return int64(t.stats.Commits.Load()) })
+		reg.Func("smallwrite.commit_records", func() int64 { return int64(t.stats.CommitRecords.Load()) })
+		reg.Func("smallwrite.commit_blocks", func() int64 { return int64(t.stats.CommitBlocks.Load()) })
+		reg.Func("smallwrite.flushes", func() int64 { return int64(t.stats.Flushes.Load()) })
+		reg.Func("smallwrite.segment_full_flushes", func() int64 { return int64(t.stats.SegmentFullFlush.Load()) })
+		reg.Func("smallwrite.flushed_blocks", func() int64 { return int64(t.stats.FlushedBlocks.Load()) })
+		reg.Func("smallwrite.patched_reads", func() int64 { return int64(t.stats.PatchedReads.Load()) })
+		reg.Func("smallwrite.supersedes", func() int64 { return int64(t.stats.Supersedes.Load()) })
+		reg.Func("smallwrite.salvaged", func() int64 { return int64(t.stats.Salvaged.Load()) })
+		reg.Func("smallwrite.staged_bytes", t.liveBytes.Load)
+		reg.Func("smallwrite.staged_records", t.liveRecords.Load)
+	}
+	return t, nil
+}
+
+// Stats exposes the tier's event counters.
+func (t *Tier) Stats() *Stats { return &t.stats }
+
+// StagedRecords returns the number of committed-but-unflushed records.
+func (t *Tier) StagedRecords() int { return int(t.liveRecords.Load()) }
+
+// StagedBytes returns the payload bytes of committed-but-unflushed
+// records.
+func (t *Tier) StagedBytes() int64 { return t.liveBytes.Load() }
+
+func (t *Tier) lockIdx(addr uint64) int {
+	return int((addr * 0x9e3779b97f4a7c15) >> 58 & (nAddrLocks - 1))
+}
+
+// LockAddrs takes the tier locks covering the given home-block
+// addresses (deduplicated, in index order — safe against concurrent
+// multi-address holders) and returns a sequence snapshot: staged
+// records with seq below it are the ones a direct write performed
+// under this lock will supersede. Callers must invoke unlock exactly
+// once.
+func (t *Tier) LockAddrs(addrs ...uint64) (seq uint64, unlock func()) {
+	idxSet := make(map[int]struct{}, len(addrs))
+	for _, a := range addrs {
+		idxSet[t.lockIdx(a)] = struct{}{}
+	}
+	idxs := make([]int, 0, len(idxSet))
+	for i := range idxSet {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		t.locks[i].Lock()
+	}
+	t.mu.Lock()
+	t.seq++
+	seq = t.seq
+	t.mu.Unlock()
+	return seq, func() {
+		for i := len(idxs) - 1; i >= 0; i-- {
+			t.locks[idxs[i]].Unlock()
+		}
+	}
+}
+
+// Supersede drops staged records for addr with sequence below
+// beforeSeq (a LockAddrs snapshot): a direct full-block write that
+// succeeded under the tier lock has durably overwritten them. Must be
+// called while holding the covering tier lock, and only after the
+// direct write SUCCEEDED — a failed write leaves the staged records as
+// the freshest acknowledged content.
+func (t *Tier) Supersede(addr uint64, beforeSeq uint64) {
+	t.mu.Lock()
+	recs := t.overlay[addr]
+	kept := recs[:0]
+	dropped := 0
+	for _, r := range recs {
+		if r.seq < beforeSeq {
+			t.liveBytes.Add(-int64(len(r.data)))
+			t.liveRecords.Add(-1)
+			dropped++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) == 0 {
+		delete(t.overlay, addr)
+	} else {
+		t.overlay[addr] = kept
+	}
+	t.mu.Unlock()
+	if dropped > 0 {
+		t.stats.Supersedes.Add(uint64(dropped))
+	}
+}
+
+// HasStaged reports whether addr has committed-but-unflushed bytes.
+func (t *Tier) HasStaged(addr uint64) bool {
+	t.mu.Lock()
+	_, ok := t.overlay[addr]
+	t.mu.Unlock()
+	return ok
+}
+
+// Patch applies the staged records for addr onto blk (base-store
+// content) in sequence order and reports whether anything was applied.
+func (t *Tier) Patch(addr uint64, blk []byte) bool {
+	t.mu.Lock()
+	recs := t.overlay[addr]
+	if len(recs) == 0 {
+		t.mu.Unlock()
+		return false
+	}
+	for _, r := range recs {
+		if r.off+len(r.data) <= len(blk) {
+			copy(blk[r.off:], r.data)
+		}
+	}
+	t.mu.Unlock()
+	t.stats.PatchedReads.Add(1)
+	return true
+}
+
+// Write stages a sub-block write of data at byte offset off within
+// home block addr. It returns once the record is durably appended to
+// the staging segment (riding a group commit shared with concurrent
+// writers). The commit IO runs with cancellation stripped from ctx so
+// one canceled writer cannot fail a batch other writers are riding;
+// retry budgets below still bound it.
+func (t *Tier) Write(ctx context.Context, addr uint64, off int, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	if off < 0 || off+len(data) > t.bs {
+		return fmt.Errorf("smallwrite: record [%d,%d) outside block of %d bytes", off, off+len(data), t.bs)
+	}
+	if addr >= t.sBase && addr < t.sBase+t.sBlocks {
+		return fmt.Errorf("smallwrite: address %d lies in the staging extent", addr)
+	}
+	if cap := t.base.Capacity(); cap != 0 && addr >= cap {
+		return fmt.Errorf("smallwrite: address %d beyond capacity %d: %w", addr, cap, bulk.ErrOutOfRange)
+	}
+	rec := &record{addr: addr, off: off, data: append([]byte(nil), data...)}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	t.seq++
+	rec.seq = t.seq
+	t.pending = append(t.pending, rec)
+	for !rec.done {
+		if t.busy {
+			t.cond.Wait()
+			continue
+		}
+		// Become the commit leader for everything pending.
+		t.busy = true
+		batch := t.takeBatchLocked()
+		t.mu.Unlock()
+
+		err := t.commit(ctx, batch)
+
+		t.mu.Lock()
+		for _, r := range batch {
+			r.done = true
+			r.err = err
+			if err == nil {
+				t.overlay[r.addr] = append(t.overlay[r.addr], r)
+				t.liveBytes.Add(int64(len(r.data)))
+				t.liveRecords.Add(1)
+			}
+		}
+		t.busy = false
+		t.cond.Broadcast()
+	}
+	err := rec.err
+	t.mu.Unlock()
+	if err == nil {
+		t.stats.Writes.Add(1)
+	}
+	return err
+}
+
+// takeBatchLocked removes the leading run of pending records that fits
+// one batch. Caller holds mu.
+func (t *Tier) takeBatchLocked() []*record {
+	budget := int(t.sBlocks) * t.bs
+	size := headerSize
+	n := 0
+	for _, r := range t.pending {
+		sz := recHdrSize + len(r.data)
+		if n >= t.maxRecs || (n > 0 && size+sz > budget) {
+			break
+		}
+		size += sz
+		n++
+	}
+	batch := t.pending[:n:n]
+	t.pending = append([]*record(nil), t.pending[n:]...)
+	return batch
+}
+
+// commit encodes and appends one batch. Caller holds busy (not mu).
+func (t *Tier) commit(ctx context.Context, batch []*record) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	payload := 0
+	for _, r := range batch {
+		payload += recHdrSize + len(r.data)
+	}
+	need := uint64((headerSize + payload + t.bs - 1) / t.bs)
+	if t.cursor+need > t.sBlocks {
+		t.stats.SegmentFullFlush.Add(1)
+		if err := t.flushHeld(ctx); err != nil {
+			return fmt.Errorf("smallwrite: segment-full flush: %w", err)
+		}
+		if t.cursor+need > t.sBlocks {
+			return fmt.Errorf("smallwrite: batch of %d bytes exceeds staging segment", headerSize+payload)
+		}
+	}
+
+	buf := make([]byte, int(need)*t.bs)
+	binary.BigEndian.PutUint32(buf[0:], batchMagic)
+	binary.BigEndian.PutUint64(buf[4:], t.gen)
+	binary.BigEndian.PutUint32(buf[12:], uint32(len(batch)))
+	binary.BigEndian.PutUint32(buf[16:], uint32(payload))
+	p := headerSize
+	for _, r := range batch {
+		binary.BigEndian.PutUint64(buf[p:], r.addr)
+		binary.BigEndian.PutUint32(buf[p+8:], uint32(r.off))
+		binary.BigEndian.PutUint32(buf[p+12:], uint32(len(r.data)))
+		copy(buf[p+recHdrSize:], r.data)
+		p += recHdrSize + len(r.data)
+	}
+	binary.BigEndian.PutUint32(buf[20:], crc32.Checksum(buf[headerSize:headerSize+payload], crcTab))
+
+	// The batch carries other writers' acknowledged-to-be bytes: strip
+	// this leader's cancellation so its death cannot fail the group.
+	wctx := context.WithoutCancel(ctx)
+	if _, err := t.eng.WriteAt(wctx, buf, int64(t.sBase+t.cursor)*int64(t.bs)); err != nil {
+		return fmt.Errorf("smallwrite: staging append: %w", err)
+	}
+	t.cursor += need
+	t.stats.Commits.Add(1)
+	t.stats.CommitRecords.Add(uint64(len(batch)))
+	t.stats.CommitBlocks.Add(need)
+	return nil
+}
+
+// Flush merges every staged record into its home block and resets the
+// staging segment — the Store.Flush barrier. It waits for any commit
+// in progress, then holds the commit gate for the whole merge.
+func (t *Tier) Flush(ctx context.Context) error {
+	t.mu.Lock()
+	for t.busy {
+		t.cond.Wait()
+	}
+	t.busy = true
+	t.mu.Unlock()
+
+	err := t.flushHeld(ctx)
+
+	t.mu.Lock()
+	t.busy = false
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	return err
+}
+
+// flushHeld merges the overlay into home blocks. Caller holds busy
+// (not mu). Commits are gated out, so the overlay only shrinks
+// (Supersede under direct writes) while this runs; each block's merge
+// runs under its tier lock, serializing against direct writers.
+func (t *Tier) flushHeld(ctx context.Context) error {
+	t.mu.Lock()
+	addrs := make([]uint64, 0, len(t.overlay))
+	for a := range t.overlay {
+		addrs = append(addrs, a)
+	}
+	t.mu.Unlock()
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	for _, addr := range addrs {
+		if err := t.flushBlock(ctx, addr); err != nil {
+			return err
+		}
+	}
+
+	t.mu.Lock()
+	drained := len(t.overlay) == 0
+	t.mu.Unlock()
+	if drained {
+		// Reset the segment. A tombstone header keeps a post-crash
+		// Salvage from replaying batches this flush already applied.
+		if t.cursor > 0 {
+			if err := t.base.WriteBlock(context.WithoutCancel(ctx), t.sBase, make([]byte, t.bs)); err != nil {
+				return fmt.Errorf("smallwrite: segment tombstone: %w", err)
+			}
+		}
+		t.cursor = 0
+		t.gen++
+		t.stats.Flushes.Add(1)
+	}
+	return nil
+}
+
+func (t *Tier) flushBlock(ctx context.Context, addr uint64) error {
+	li := t.lockIdx(addr)
+	t.locks[li].Lock()
+	defer t.locks[li].Unlock()
+
+	t.mu.Lock()
+	recs := append([]*record(nil), t.overlay[addr]...)
+	t.mu.Unlock()
+	if len(recs) == 0 {
+		return nil // superseded while we walked the address list
+	}
+	blk, err := t.base.ReadBlock(ctx, addr)
+	if err != nil {
+		return fmt.Errorf("smallwrite: flush read block %d: %w", addr, err)
+	}
+	if len(blk) != t.bs {
+		return fmt.Errorf("smallwrite: flush read block %d: got %d bytes, want %d", addr, len(blk), t.bs)
+	}
+	for _, r := range recs {
+		copy(blk[r.off:], r.data)
+	}
+	if err := t.base.WriteBlock(ctx, addr, blk); err != nil {
+		return fmt.Errorf("smallwrite: flush write block %d: %w", addr, err)
+	}
+
+	// Drop what we applied. Records newer than our snapshot cannot
+	// exist (commits are gated), but Supersede may have removed some.
+	maxSeq := recs[len(recs)-1].seq
+	t.mu.Lock()
+	cur := t.overlay[addr]
+	kept := cur[:0]
+	for _, r := range cur {
+		if r.seq <= maxSeq {
+			t.liveBytes.Add(-int64(len(r.data)))
+			t.liveRecords.Add(-1)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) == 0 {
+		delete(t.overlay, addr)
+	} else {
+		t.overlay[addr] = kept
+	}
+	t.mu.Unlock()
+
+	t.stats.FlushedBlocks.Add(1)
+	if t.onApply != nil {
+		t.onApply(addr)
+	}
+	return nil
+}
+
+// Salvage replays whole batches left in the staging segment by a
+// crashed client: it scans from the segment head, applies every record
+// of every batch whose generation matches the first batch's (later
+// generations belong to interrupted epochs and are ignored, exactly as
+// a torn tail would be), then tombstones the segment. Call it on a
+// freshly constructed Tier BEFORE serving traffic; acknowledged small
+// writes that were staged but never flushed become visible in the base
+// store again. Returns the number of records replayed.
+func (t *Tier) Salvage(ctx context.Context) (int, error) {
+	t.mu.Lock()
+	for t.busy {
+		t.cond.Wait()
+	}
+	t.busy = true
+	t.mu.Unlock()
+	n, err := t.salvageHeld(ctx)
+	t.mu.Lock()
+	t.busy = false
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	return n, err
+}
+
+func (t *Tier) salvageHeld(ctx context.Context) (int, error) {
+	var recs []*record
+	var gen uint64
+	pos := uint64(0)
+	for pos < t.sBlocks {
+		head, err := t.base.ReadBlock(ctx, t.sBase+pos)
+		if err != nil {
+			return 0, fmt.Errorf("smallwrite: salvage read: %w", err)
+		}
+		if len(head) < headerSize || binary.BigEndian.Uint32(head[0:]) != batchMagic {
+			break
+		}
+		bgen := binary.BigEndian.Uint64(head[4:])
+		if pos == 0 {
+			gen = bgen
+		} else if bgen != gen {
+			break
+		}
+		count := int(binary.BigEndian.Uint32(head[12:]))
+		payload := int(binary.BigEndian.Uint32(head[16:]))
+		sum := binary.BigEndian.Uint32(head[20:])
+		need := uint64((headerSize + payload + t.bs - 1) / t.bs)
+		if payload <= 0 || pos+need > t.sBlocks {
+			return 0, fmt.Errorf("%w: batch at block %d claims %d payload bytes", ErrCorruptSegment, pos, payload)
+		}
+		buf := make([]byte, 0, int(need)*t.bs)
+		buf = append(buf, head...)
+		for b := uint64(1); b < need; b++ {
+			blk, err := t.base.ReadBlock(ctx, t.sBase+pos+b)
+			if err != nil {
+				return 0, fmt.Errorf("smallwrite: salvage read: %w", err)
+			}
+			buf = append(buf, blk...)
+		}
+		body := buf[headerSize : headerSize+payload]
+		if crc32.Checksum(body, crcTab) != sum {
+			return 0, fmt.Errorf("%w: batch at block %d fails checksum", ErrCorruptSegment, pos)
+		}
+		p := 0
+		for i := 0; i < count; i++ {
+			if p+recHdrSize > payload {
+				return 0, fmt.Errorf("%w: batch at block %d truncated at record %d", ErrCorruptSegment, pos, i)
+			}
+			addr := binary.BigEndian.Uint64(body[p:])
+			off := int(binary.BigEndian.Uint32(body[p+8:]))
+			ln := int(binary.BigEndian.Uint32(body[p+12:]))
+			if ln < 0 || p+recHdrSize+ln > payload || off < 0 || off+ln > t.bs {
+				return 0, fmt.Errorf("%w: batch at block %d record %d out of bounds", ErrCorruptSegment, pos, i)
+			}
+			recs = append(recs, &record{addr: addr, off: off, data: append([]byte(nil), body[p+recHdrSize:p+recHdrSize+ln]...)})
+			p += recHdrSize + ln
+		}
+		pos += need
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+
+	// Replay grouped by home block, preserving append order within it.
+	byAddr := make(map[uint64][]*record)
+	order := make([]uint64, 0)
+	for _, r := range recs {
+		if _, ok := byAddr[r.addr]; !ok {
+			order = append(order, r.addr)
+		}
+		byAddr[r.addr] = append(byAddr[r.addr], r)
+	}
+	for _, addr := range order {
+		blk, err := t.base.ReadBlock(ctx, addr)
+		if err != nil {
+			return 0, fmt.Errorf("smallwrite: salvage apply read %d: %w", addr, err)
+		}
+		for _, r := range byAddr[addr] {
+			copy(blk[r.off:], r.data)
+		}
+		if err := t.base.WriteBlock(ctx, addr, blk); err != nil {
+			return 0, fmt.Errorf("smallwrite: salvage apply write %d: %w", addr, err)
+		}
+		if t.onApply != nil {
+			t.onApply(addr)
+		}
+	}
+	if err := t.base.WriteBlock(ctx, t.sBase, make([]byte, t.bs)); err != nil {
+		return len(recs), fmt.Errorf("smallwrite: salvage tombstone: %w", err)
+	}
+	t.stats.Salvaged.Add(uint64(len(recs)))
+	return len(recs), nil
+}
+
+// Close flushes staged records and refuses further writes.
+func (t *Tier) Close(ctx context.Context) error {
+	err := t.Flush(ctx)
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	return err
+}

@@ -254,7 +254,13 @@ func (n *Node) Read(_ context.Context, req *proto.ReadReq) (*proto.ReadReply, er
 	if st.opmode != proto.Norm || st.lmode != proto.Unlocked {
 		return &proto.ReadReply{OK: false, LockMode: st.lmode}, nil
 	}
-	return &proto.ReadReply{OK: true, Block: cloneBytes(st.block), LockMode: st.lmode}, nil
+	var tid proto.TID
+	if len(st.recent) > 0 {
+		// Entries are appended with strictly increasing times, so the
+		// last one identifies the write that produced this content.
+		tid = st.recent[len(st.recent)-1].TID
+	}
+	return &proto.ReadReply{OK: true, Block: cloneBytes(st.block), LockMode: st.lmode, TID: tid}, nil
 }
 
 // Swap implements the paper's swap operation (Fig. 5): atomically

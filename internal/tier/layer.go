@@ -1,0 +1,450 @@
+// Package tier composes the two halves of the small-I/O tier — the
+// hot-read cache (internal/readcache) and the group-committed
+// small-write stage (internal/smallwrite) — with the pipelined bulk
+// engine, behind one Layer that the facades embed.
+//
+// Placement of the pieces:
+//
+//	ReadBlock  -> cache (fill on primary stamped reads) -> base
+//	             ... then staged bytes patched over the result
+//	WriteBlock -> base (stamped swap) -> supersede staged -> cache install
+//	WriteAt    -> sub-block head/tail -> small-write stage
+//	             aligned middle       -> bulk engine (stripe batches)
+//	Flush      -> merge staged bytes into home blocks (read barrier)
+//
+// The staging segment lives inside the erasure-coded address space
+// itself: on a bounded store the Layer carves StagingSlots per-client
+// extents off the top of the capacity (callers see the reduced
+// capacity); on an unbounded store the extents sit at a fixed high
+// address far beyond any practical working set.
+package tier
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"ecstore/internal/bulk"
+	"ecstore/internal/core"
+	"ecstore/internal/obs"
+	"ecstore/internal/proto"
+	"ecstore/internal/readcache"
+	"ecstore/internal/smallwrite"
+)
+
+// StagingSlots is the number of disjoint per-client staging extents a
+// store reserves when the small-write tier is enabled. Each protocol
+// client identity (which the AJX protocol already requires to be
+// unique per concurrent writer) owns one slot, so two Store handles
+// never append into each other's segment.
+const StagingSlots = 16
+
+// unboundedStagingBase positions the staging region on stores with an
+// unbounded address space: block 2^44, beyond any practical working
+// set (16 TiB of 1-byte blocks).
+const unboundedStagingBase uint64 = 1 << 44
+
+// DefaultStagingBlocks is the per-client staging segment length when
+// Options leaves it zero.
+const DefaultStagingBlocks = 256
+
+// Stamped is the view of an erasure-coded store the Layer composes
+// over: the plain bulk target plus block operations that carry AJX
+// write identifiers. The stamps are what make the cache's invalidation
+// provable — see internal/readcache.
+type Stamped interface {
+	bulk.Target
+	// ReadBlockStamped reads one block with the newest write identifier
+	// the serving node held (see core.ReadStamp).
+	ReadBlockStamped(ctx context.Context, addr uint64) ([]byte, core.ReadStamp, error)
+	// WriteBlockStamped writes one block, returning the write's own
+	// identifier and the identifier of the write it was serialized
+	// directly after.
+	WriteBlockStamped(ctx context.Context, addr uint64, data []byte) (ntid, otid proto.TID, err error)
+}
+
+// Options configures a Layer.
+type Options struct {
+	// Base is the stamped erasure-coded store. Required.
+	Base Stamped
+	// SmallWrite enables the staged small-write tier.
+	SmallWrite bool
+	// StagingBlocks is the per-client staging segment length in blocks.
+	// Default DefaultStagingBlocks. Only meaningful with SmallWrite.
+	StagingBlocks uint64
+	// ClientSlot selects this handle's staging extent, in [0,
+	// StagingSlots). Facades derive it from the protocol client ID.
+	ClientSlot int
+	// CacheBytes bounds the hot-read cache; 0 disables it.
+	CacheBytes int64
+	// Cache, when non-nil, is a pre-built cache shared with sibling
+	// layers (all client handles of one cluster form one coherence
+	// domain — a write's install/invalidate must be visible to every
+	// reader in the process). Overrides CacheBytes.
+	Cache *readcache.Cache
+	// MaxBatch bounds the records per small-write group commit.
+	MaxBatch int
+	// MaxInFlight and ReadAhead configure the bulk engine (see
+	// bulk.Options).
+	MaxInFlight int
+	ReadAhead   int
+	// NoSalvage skips the startup staging-segment replay (tests).
+	NoSalvage bool
+	// Obs receives readcache.*, smallwrite.*, and bulk.* metrics.
+	Obs *obs.Registry
+}
+
+// Layer is the tier-aware I/O front of a Store facade. It is safe for
+// concurrent use.
+type Layer struct {
+	base   Stamped
+	cache  *readcache.Cache // nil when CacheBytes == 0
+	tier   *smallwrite.Tier // nil when !SmallWrite
+	engine *bulk.Engine
+	bs     int
+
+	// usable is the capacity visible to callers: the base capacity
+	// minus the staging region on bounded stores, 0 when unbounded.
+	usable uint64
+	// regionStart/regionEnd bound the whole staging region (all slots),
+	// rejected from caller addresses on unbounded stores.
+	regionStart, regionEnd uint64
+}
+
+// NewLayer validates the options, carves the staging region, and (when
+// the small-write tier is enabled) salvages this client's staging
+// segment before serving traffic.
+func NewLayer(o Options) (*Layer, error) {
+	if o.Base == nil {
+		return nil, errors.New("tier: Options.Base is required")
+	}
+	if o.ClientSlot < 0 || o.ClientSlot >= StagingSlots {
+		return nil, fmt.Errorf("tier: ClientSlot %d out of range [0,%d)", o.ClientSlot, StagingSlots)
+	}
+	l := &Layer{base: o.Base, bs: o.Base.BlockSize(), usable: o.Base.Capacity()}
+	if o.Cache != nil {
+		l.cache = o.Cache
+	} else if o.CacheBytes > 0 {
+		l.cache = readcache.New(o.CacheBytes, o.Obs)
+	}
+	if o.SmallWrite {
+		blocks := o.StagingBlocks
+		if blocks == 0 {
+			blocks = DefaultStagingBlocks
+		}
+		region := StagingSlots * blocks
+		var sBase uint64
+		if cap := o.Base.Capacity(); cap != 0 {
+			if region >= cap {
+				return nil, fmt.Errorf("tier: staging region %d blocks exceeds capacity %d", region, cap)
+			}
+			l.usable = cap - region
+			l.regionStart, l.regionEnd = l.usable, cap
+			sBase = l.usable + uint64(o.ClientSlot)*blocks
+		} else {
+			l.regionStart = unboundedStagingBase
+			l.regionEnd = unboundedStagingBase + region
+			sBase = unboundedStagingBase + uint64(o.ClientSlot)*blocks
+		}
+		t, err := smallwrite.New(smallwrite.Options{
+			Base:          o.Base,
+			StagingBase:   sBase,
+			StagingBlocks: blocks,
+			MaxBatch:      o.MaxBatch,
+			MaxInFlight:   o.MaxInFlight,
+			OnApply: func(addr uint64) {
+				if l.cache != nil {
+					l.cache.Invalidate(addr)
+				}
+			},
+			Obs: o.Obs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		l.tier = t
+		if !o.NoSalvage {
+			if _, err := t.Salvage(context.Background()); err != nil {
+				return nil, fmt.Errorf("tier: salvage staging segment: %w", err)
+			}
+		}
+	}
+	l.engine = bulk.New((*engineTarget)(l), bulk.Options{
+		MaxInFlight: o.MaxInFlight,
+		ReadAhead:   o.ReadAhead,
+		Obs:         o.Obs,
+	})
+	return l, nil
+}
+
+// BlockSize returns the block size in bytes.
+func (l *Layer) BlockSize() int { return l.bs }
+
+// Capacity returns the addressable block count visible to callers: the
+// base capacity minus the staging region, or 0 when unbounded.
+func (l *Layer) Capacity() uint64 { return l.usable }
+
+// CacheStats exposes the hot-read cache's counters, or nil when the
+// cache is disabled.
+func (l *Layer) CacheStats() *readcache.Stats {
+	if l.cache == nil {
+		return nil
+	}
+	return l.cache.Stats()
+}
+
+// TierStats exposes the small-write tier's counters, or nil when the
+// tier is disabled.
+func (l *Layer) TierStats() *smallwrite.Stats {
+	if l.tier == nil {
+		return nil
+	}
+	return l.tier.Stats()
+}
+
+// checkAddr rejects caller addresses that fall in the staging region.
+func (l *Layer) checkAddr(addr uint64) error {
+	if l.usable != 0 && addr >= l.usable {
+		return fmt.Errorf("tier: address %d beyond capacity %d: %w", addr, l.usable, bulk.ErrOutOfRange)
+	}
+	if l.usable == 0 && addr >= l.regionStart && addr < l.regionEnd {
+		return fmt.Errorf("tier: address %d inside the staging region: %w", addr, bulk.ErrOutOfRange)
+	}
+	return nil
+}
+
+// ReadBlock reads one block: cache first, base on a miss (filling the
+// cache only from primary stamped replies), then staged small-write
+// bytes patched over the result.
+func (l *Layer) ReadBlock(ctx context.Context, addr uint64) ([]byte, error) {
+	if err := l.checkAddr(addr); err != nil {
+		return nil, err
+	}
+	blk, err := l.readBase(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	if l.tier != nil {
+		l.tier.Patch(addr, blk)
+	}
+	return blk, nil
+}
+
+// readBase reads the base-store content of addr through the cache.
+// The returned slice is caller-owned.
+func (l *Layer) readBase(ctx context.Context, addr uint64) ([]byte, error) {
+	if l.cache == nil {
+		return l.base.ReadBlock(ctx, addr)
+	}
+	if v, _, ok := l.cache.Get(addr); ok {
+		return v, nil
+	}
+	tk := l.cache.BeginFill(addr)
+	blk, st, err := l.base.ReadBlockStamped(ctx, addr)
+	if err != nil {
+		l.cache.AbortFill(tk)
+		return nil, err
+	}
+	if st.Primary {
+		l.cache.CommitFill(tk, blk, st.TID)
+	} else {
+		// Hedged, degraded, or reconstructed read: correct content but
+		// no stamp to chain later writes onto — never fill.
+		l.cache.AbortFill(tk)
+	}
+	return blk, nil
+}
+
+// WriteBlock writes one full block through the stamped protocol path,
+// superseding any staged small writes it overwrites and installing the
+// value in the cache under its write identifier.
+func (l *Layer) WriteBlock(ctx context.Context, addr uint64, data []byte) error {
+	if err := l.checkAddr(addr); err != nil {
+		return err
+	}
+	if l.tier == nil && l.cache == nil {
+		return l.base.WriteBlock(ctx, addr, data)
+	}
+	var seq uint64
+	if l.tier != nil {
+		var unlock func()
+		seq, unlock = l.tier.LockAddrs(addr)
+		defer unlock()
+	}
+	ntid, otid, err := l.base.WriteBlockStamped(ctx, addr, data)
+	if err != nil {
+		if l.cache != nil {
+			// Outcome unknown: the swap may have landed. Never serve a
+			// value we cannot order against it.
+			l.cache.Invalidate(addr)
+		}
+		return err
+	}
+	if l.tier != nil {
+		// Only records staged before the lock snapshot are overwritten;
+		// a concurrent small write sequenced after it survives.
+		l.tier.Supersede(addr, seq)
+	}
+	if l.cache != nil {
+		l.cache.Install(addr, data, ntid, otid)
+	}
+	return nil
+}
+
+// Write stages one sub-block write (len(data) bytes at byte offset off
+// inside block addr) in the small-write tier. The tier must be
+// enabled.
+func (l *Layer) Write(ctx context.Context, addr uint64, off int, data []byte) error {
+	if l.tier == nil {
+		return errors.New("tier: small-write tier disabled")
+	}
+	if err := l.checkAddr(addr); err != nil {
+		return err
+	}
+	return l.tier.Write(ctx, addr, off, data)
+}
+
+// writeStripes routes the engine's stripe batches to the base store,
+// then reconciles the tier and cache for every block the batch
+// covered. Stripe writes carry no per-write stamps, so cached entries
+// are invalidated rather than chained.
+func (l *Layer) writeStripes(ctx context.Context, writes []bulk.StripeWrite) ([]error, bulk.WriteStats) {
+	if l.tier == nil && l.cache == nil {
+		return l.base.WriteStripes(ctx, writes)
+	}
+	var seq uint64
+	if l.tier != nil {
+		addrs := make([]uint64, 0, len(writes)*l.base.StripeK())
+		for _, w := range writes {
+			for j := range w.Values {
+				addrs = append(addrs, w.Addr+uint64(j))
+			}
+		}
+		var unlock func()
+		seq, unlock = l.tier.LockAddrs(addrs...)
+		defer unlock()
+	}
+	errs, stats := l.base.WriteStripes(ctx, writes)
+	for i, w := range writes {
+		for j := range w.Values {
+			a := w.Addr + uint64(j)
+			if l.tier != nil && errs[i] == nil {
+				l.tier.Supersede(a, seq)
+			}
+			if l.cache != nil {
+				l.cache.Invalidate(a)
+			}
+		}
+	}
+	return errs, stats
+}
+
+// WriteStripes writes full stripes through the base store with tier
+// and cache reconciliation (see writeStripes). Facade batch entry
+// points route through it.
+func (l *Layer) WriteStripes(ctx context.Context, writes []bulk.StripeWrite) ([]error, bulk.WriteStats) {
+	return l.writeStripes(ctx, writes)
+}
+
+// ReadAt reads len(p) bytes at byte offset off through the bulk engine
+// (whose block reads go through the cache and staged-byte patching).
+func (l *Layer) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
+	return l.engine.ReadAt(ctx, p, off)
+}
+
+// WriteAt writes p at byte offset off. With the small-write tier
+// enabled, the sub-block head and tail are absorbed by the tier (one
+// group-committed staging append instead of a read-modify-write swap
+// round each) and only the block-aligned middle takes the engine's
+// stripe path. Staged bytes are durable when WriteAt returns — the
+// staging segment is erasure-coded like everything else — and reach
+// their home blocks at the next Flush or segment-full merge.
+func (l *Layer) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
+	if l.tier == nil {
+		return l.engine.WriteAt(ctx, p, off)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("tier: negative offset %d: %w", off, bulk.ErrOutOfRange)
+	}
+	if l.usable != 0 && off+int64(len(p)) > int64(l.usable)*int64(l.bs) {
+		return 0, fmt.Errorf("tier: write [%d,%d) beyond capacity: %w", off, off+int64(len(p)), bulk.ErrOutOfRange)
+	}
+	bs := int64(l.bs)
+	n := 0
+	if r := off % bs; r != 0 && len(p) > 0 {
+		want := int(bs - r)
+		if want > len(p) {
+			want = len(p)
+		}
+		if err := l.tier.Write(ctx, uint64(off/bs), int(r), p[:want]); err != nil {
+			return n, fmt.Errorf("%w: staging head: %w", bulk.ErrShortWrite, err)
+		}
+		n += want
+		p = p[want:]
+		off += int64(want)
+	}
+	if mid := (len(p) / l.bs) * l.bs; mid > 0 {
+		m, err := l.engine.WriteAt(ctx, p[:mid], off)
+		n += m
+		if err != nil {
+			return n, err
+		}
+		p = p[mid:]
+		off += int64(mid)
+	}
+	if len(p) > 0 {
+		if err := l.tier.Write(ctx, uint64(off/bs), 0, p); err != nil {
+			return n, fmt.Errorf("%w: staging tail: %w", bulk.ErrShortWrite, err)
+		}
+		n += len(p)
+	}
+	return n, nil
+}
+
+// Reader streams nBytes from byte offset off with readahead.
+func (l *Layer) Reader(ctx context.Context, off, nBytes int64) io.Reader {
+	return l.engine.Reader(ctx, off, nBytes)
+}
+
+// Flush merges every staged small write into its home block and resets
+// the staging segment: a barrier after which all acknowledged bytes
+// are in their final blocks. A no-op when the tier is disabled.
+func (l *Layer) Flush(ctx context.Context) error {
+	if l.tier == nil {
+		return nil
+	}
+	return l.tier.Flush(ctx)
+}
+
+// Close flushes the small-write tier and refuses further staged
+// writes.
+func (l *Layer) Close() error {
+	if l.tier == nil {
+		return nil
+	}
+	return l.tier.Close(context.Background())
+}
+
+// engineTarget adapts the Layer to bulk.Target so engine I/O flows
+// through the cache and tier reconciliation paths.
+type engineTarget Layer
+
+func (t *engineTarget) BlockSize() int      { return t.bs }
+func (t *engineTarget) StripeK() int        { return t.base.StripeK() }
+func (t *engineTarget) GroupBlocks() uint64 { return t.base.GroupBlocks() }
+func (t *engineTarget) Capacity() uint64    { return t.usable }
+
+func (t *engineTarget) ReadBlock(ctx context.Context, addr uint64) ([]byte, error) {
+	return (*Layer)(t).ReadBlock(ctx, addr)
+}
+
+func (t *engineTarget) WriteBlock(ctx context.Context, addr uint64, data []byte) error {
+	return (*Layer)(t).WriteBlock(ctx, addr, data)
+}
+
+func (t *engineTarget) WriteStripes(ctx context.Context, writes []bulk.StripeWrite) ([]error, bulk.WriteStats) {
+	return (*Layer)(t).writeStripes(ctx, writes)
+}
+
+var _ bulk.Target = (*engineTarget)(nil)

@@ -1,0 +1,338 @@
+package tier
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ecstore/internal/bulk"
+	"ecstore/internal/core"
+	"ecstore/internal/proto"
+)
+
+// fakeBase is an in-memory Stamped store with a controllable read
+// provenance: primary=false models hedged/degraded/reconstructed reads
+// (correct content, no usable stamp).
+type fakeBase struct {
+	mu     sync.Mutex
+	bs     int
+	cap    uint64
+	blocks map[uint64][]byte
+	tids   map[uint64]proto.TID
+	seq    uint64
+
+	primary    atomic.Bool
+	failWrites atomic.Bool
+	reads      atomic.Uint64
+	writes     atomic.Uint64
+}
+
+func newFake(bs int, capBlocks uint64) *fakeBase {
+	f := &fakeBase{
+		bs: bs, cap: capBlocks,
+		blocks: make(map[uint64][]byte),
+		tids:   make(map[uint64]proto.TID),
+	}
+	f.primary.Store(true)
+	return f
+}
+
+func (f *fakeBase) BlockSize() int      { return f.bs }
+func (f *fakeBase) StripeK() int        { return 2 }
+func (f *fakeBase) GroupBlocks() uint64 { return 0 }
+func (f *fakeBase) Capacity() uint64    { return f.cap }
+
+func (f *fakeBase) get(addr uint64) []byte {
+	out := make([]byte, f.bs)
+	copy(out, f.blocks[addr])
+	return out
+}
+
+func (f *fakeBase) ReadBlock(ctx context.Context, addr uint64) ([]byte, error) {
+	blk, _, err := f.ReadBlockStamped(ctx, addr)
+	return blk, err
+}
+
+func (f *fakeBase) ReadBlockStamped(_ context.Context, addr uint64) ([]byte, core.ReadStamp, error) {
+	f.reads.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.get(addr), core.ReadStamp{TID: f.tids[addr], Primary: f.primary.Load()}, nil
+}
+
+func (f *fakeBase) WriteBlock(ctx context.Context, addr uint64, data []byte) error {
+	_, _, err := f.WriteBlockStamped(ctx, addr, data)
+	return err
+}
+
+func (f *fakeBase) WriteBlockStamped(_ context.Context, addr uint64, data []byte) (ntid, otid proto.TID, err error) {
+	f.writes.Add(1)
+	if f.failWrites.Load() {
+		return proto.TID{}, proto.TID{}, errors.New("fakeBase: injected write failure")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	otid = f.tids[addr]
+	f.seq++
+	ntid = proto.TID{Seq: f.seq, Block: uint32(addr), Client: 1}
+	f.tids[addr] = ntid
+	f.blocks[addr] = append([]byte(nil), data...)
+	return ntid, otid, nil
+}
+
+func (f *fakeBase) WriteStripes(ctx context.Context, writes []bulk.StripeWrite) ([]error, bulk.WriteStats) {
+	errs := make([]error, len(writes))
+	for i, w := range writes {
+		for j, v := range w.Values {
+			if err := f.WriteBlock(ctx, w.Addr+uint64(j), v); err != nil {
+				errs[i] = err
+				break
+			}
+		}
+	}
+	return errs, bulk.WriteStats{}
+}
+
+var _ Stamped = (*fakeBase)(nil)
+
+const bs = 64
+
+func newCachedLayer(t *testing.T, f *fakeBase) *Layer {
+	t.Helper()
+	l, err := NewLayer(Options{Base: f, CacheBytes: 1 << 20, NoSalvage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func pat(b byte) []byte { return bytes.Repeat([]byte{b}, bs) }
+
+func TestPrimaryReadFillsAndHits(t *testing.T) {
+	f := newFake(bs, 0)
+	l := newCachedLayer(t, f)
+	ctx := context.Background()
+	must(t, f.WriteBlock(ctx, 5, pat('a')))
+	f.writes.Store(0)
+
+	for i := 0; i < 3; i++ {
+		got, err := l.ReadBlock(ctx, 5)
+		if err != nil || !bytes.Equal(got, pat('a')) {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if f.reads.Load() != 1 {
+		t.Fatalf("base reads = %d, want 1 (fill) for 3 ReadBlocks", f.reads.Load())
+	}
+	st := l.CacheStats()
+	if st.Fills.Load() != 1 || st.Hits.Load() != 2 {
+		t.Fatalf("fills=%d hits=%d", st.Fills.Load(), st.Hits.Load())
+	}
+}
+
+func TestDegradedReadNeverFills(t *testing.T) {
+	f := newFake(bs, 0)
+	l := newCachedLayer(t, f)
+	ctx := context.Background()
+	must(t, f.WriteBlock(ctx, 5, pat('d')))
+	f.primary.Store(false) // every read is now degraded/reconstructed
+
+	for i := 0; i < 3; i++ {
+		got, err := l.ReadBlock(ctx, 5)
+		if err != nil || !bytes.Equal(got, pat('d')) {
+			t.Fatalf("degraded read %d: %v", i, err)
+		}
+	}
+	// Content was correct every time, but none of it was cacheable.
+	if f.reads.Load() != 3 {
+		t.Fatalf("base reads = %d, want 3 (no caching)", f.reads.Load())
+	}
+	if st := l.CacheStats(); st.Fills.Load() != 0 || st.Hits.Load() != 0 {
+		t.Fatalf("degraded reads filled the cache: fills=%d hits=%d", st.Fills.Load(), st.Hits.Load())
+	}
+	// Back to primary: the next read fills, the one after hits.
+	f.primary.Store(true)
+	_, _ = l.ReadBlock(ctx, 5)
+	_, _ = l.ReadBlock(ctx, 5)
+	if st := l.CacheStats(); st.Fills.Load() != 1 || st.Hits.Load() != 1 {
+		t.Fatalf("recovery to primary: fills=%d hits=%d", st.Fills.Load(), st.Hits.Load())
+	}
+}
+
+func TestWriteChainsOntoCachedEntry(t *testing.T) {
+	f := newFake(bs, 0)
+	l := newCachedLayer(t, f)
+	ctx := context.Background()
+	must(t, f.WriteBlock(ctx, 9, pat('a')))
+	if _, err := l.ReadBlock(ctx, 9); err != nil { // fill
+		t.Fatal(err)
+	}
+	must(t, l.WriteBlock(ctx, 9, pat('b')))
+	if st := l.CacheStats(); st.ChainInstalls.Load() != 1 {
+		t.Fatalf("chain installs = %d", st.ChainInstalls.Load())
+	}
+	f.reads.Store(0)
+	got, err := l.ReadBlock(ctx, 9)
+	if err != nil || !bytes.Equal(got, pat('b')) {
+		t.Fatalf("read after chained write: %v", err)
+	}
+	if f.reads.Load() != 0 {
+		t.Fatal("chained write's value not served from cache")
+	}
+}
+
+func TestOrphanWriteDoesNotPopulateCache(t *testing.T) {
+	f := newFake(bs, 0)
+	l := newCachedLayer(t, f)
+	ctx := context.Background()
+	// No cached predecessor: the write must not install its value.
+	must(t, l.WriteBlock(ctx, 3, pat('w')))
+	if st := l.CacheStats(); st.ChainOrphans.Load() != 1 {
+		t.Fatalf("chain orphans = %d", st.ChainOrphans.Load())
+	}
+	f.reads.Store(0)
+	if _, err := l.ReadBlock(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if f.reads.Load() != 1 {
+		t.Fatal("orphan write populated the cache")
+	}
+}
+
+func TestErroredWriteInvalidatesCache(t *testing.T) {
+	f := newFake(bs, 0)
+	l := newCachedLayer(t, f)
+	ctx := context.Background()
+	must(t, f.WriteBlock(ctx, 7, pat('a')))
+	if _, err := l.ReadBlock(ctx, 7); err != nil { // fill
+		t.Fatal(err)
+	}
+	f.failWrites.Store(true)
+	if err := l.WriteBlock(ctx, 7, pat('b')); err == nil {
+		t.Fatal("injected failure did not surface")
+	}
+	f.failWrites.Store(false)
+	// Outcome of the failed swap is unknown: the cached value must be
+	// gone, and the next read must consult the base store.
+	f.reads.Store(0)
+	if _, err := l.ReadBlock(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	if f.reads.Load() != 1 {
+		t.Fatal("stale entry survived an errored write")
+	}
+}
+
+func TestStripeWritesInvalidate(t *testing.T) {
+	f := newFake(bs, 0)
+	l := newCachedLayer(t, f)
+	ctx := context.Background()
+	must(t, f.WriteBlock(ctx, 0, pat('a')))
+	must(t, f.WriteBlock(ctx, 1, pat('b')))
+	_, _ = l.ReadBlock(ctx, 0)
+	_, _ = l.ReadBlock(ctx, 1)
+
+	errs, _ := l.WriteStripes(ctx, []bulk.StripeWrite{{Addr: 0, Values: [][]byte{pat('x'), pat('y')}}})
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	// Stripe writes carry no stamps: both blocks must have been
+	// invalidated, so the next reads hit the base store.
+	f.reads.Store(0)
+	g0, _ := l.ReadBlock(ctx, 0)
+	g1, _ := l.ReadBlock(ctx, 1)
+	if !bytes.Equal(g0, pat('x')) || !bytes.Equal(g1, pat('y')) {
+		t.Fatal("stripe write content lost")
+	}
+	if f.reads.Load() != 2 {
+		t.Fatalf("base reads = %d, want 2 after invalidation", f.reads.Load())
+	}
+}
+
+func TestSharedCacheCoherentAcrossLayers(t *testing.T) {
+	// Two handles (layers) over one base share one cache: a write
+	// through one must never leave the other serving the old value.
+	f := newFake(bs, 0)
+	l1, err := NewLayer(Options{Base: f, CacheBytes: 1 << 20, NoSalvage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := NewLayer(Options{Base: f, CacheBytes: 1 << 20, Cache: l1.cache, NoSalvage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	must(t, l1.WriteBlock(ctx, 4, pat('1')))
+	if got, _ := l2.ReadBlock(ctx, 4); !bytes.Equal(got, pat('1')) { // fills shared cache
+		t.Fatalf("got %q", got)
+	}
+	must(t, l1.WriteBlock(ctx, 4, pat('2'))) // chains in the shared cache
+	got, err := l2.ReadBlock(ctx, 4)
+	if err != nil || !bytes.Equal(got, pat('2')) {
+		t.Fatalf("sibling served stale value %q (%v)", got[:1], err)
+	}
+}
+
+func TestStagingRegionCarvedFromBoundedCapacity(t *testing.T) {
+	f := newFake(bs, 4096)
+	l, err := NewLayer(Options{Base: f, SmallWrite: true, StagingBlocks: 8, NoSalvage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(4096 - StagingSlots*8)
+	if l.Capacity() != want {
+		t.Fatalf("capacity = %d, want %d", l.Capacity(), want)
+	}
+	ctx := context.Background()
+	if err := l.Write(ctx, want, 0, []byte("x")); err == nil {
+		t.Fatal("write into the staging region accepted")
+	}
+	if _, err := l.ReadBlock(ctx, want); err == nil {
+		t.Fatal("read of the staging region accepted")
+	}
+}
+
+func TestSubBlockWriteAtRoutesThroughTier(t *testing.T) {
+	f := newFake(bs, 0)
+	l, err := NewLayer(Options{Base: f, SmallWrite: true, StagingBlocks: 8, NoSalvage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Head, aligned middle, tail: 3 blocks + change.
+	payload := bytes.Repeat([]byte{0xEE}, 3*bs)
+	n, err := l.WriteAt(ctx, payload, 10)
+	if err != nil || n != len(payload) {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := l.ReadAt(ctx, got, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("sub-block span round trip failed")
+	}
+	// The base store's home blocks must NOT have been read-modify-
+	// written for the head/tail before a flush: only the aligned middle
+	// landed directly.
+	if ts := l.TierStats(); ts.Commits.Load() == 0 {
+		t.Fatal("no staged commits for the sub-block head/tail")
+	}
+	must(t, l.Flush(ctx))
+	if _, err := l.ReadAt(ctx, got, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip failed after flush")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -243,6 +243,40 @@ func (v *Volume) WriteBlock(ctx context.Context, addr uint64, data []byte) error
 	return grp.cl.WriteBlock(ctx, stripeID, slot, data)
 }
 
+// ReadBlockStamped reads one block together with the newest write
+// identifier the serving node held (see core.ReadStamp); the tier
+// layer's read cache fills from primary stamped replies only.
+func (v *Volume) ReadBlockStamped(ctx context.Context, addr uint64) ([]byte, core.ReadStamp, error) {
+	g, stripeID, slot, err := v.locate(addr)
+	if err != nil {
+		return nil, core.ReadStamp{}, err
+	}
+	grp, err := v.group(g)
+	if err != nil {
+		return nil, core.ReadStamp{}, err
+	}
+	return grp.cl.ReadBlockStamped(ctx, stripeID, slot)
+}
+
+// WriteBlockStamped writes one block, returning the write's identifier
+// and that of the write it was serialized directly after.
+func (v *Volume) WriteBlockStamped(ctx context.Context, addr uint64, data []byte) (ntid, otid proto.TID, err error) {
+	g, stripeID, slot, err := v.locate(addr)
+	if err != nil {
+		return proto.TID{}, proto.TID{}, err
+	}
+	grp, err := v.group(g)
+	if err != nil {
+		return proto.TID{}, proto.TID{}, err
+	}
+	return grp.cl.WriteBlockStamped(ctx, stripeID, slot, data)
+}
+
+// BulkTarget exposes the volume's raw (cache- and tier-free) bulk
+// target. The dynamic type also implements the tier layer's Stamped
+// interface; facades compose a tier.Layer over it.
+func (v *Volume) BulkTarget() bulk.Target { return (*volumeTarget)(v) }
+
 // Recover forces recovery of the stripe containing addr. A recovery
 // already running elsewhere is not an error.
 func (v *Volume) Recover(ctx context.Context, addr uint64) error {
@@ -302,6 +336,14 @@ func (t *volumeTarget) ReadBlock(ctx context.Context, addr uint64) ([]byte, erro
 
 func (t *volumeTarget) WriteBlock(ctx context.Context, addr uint64, data []byte) error {
 	return (*Volume)(t).WriteBlock(ctx, addr, data)
+}
+
+func (t *volumeTarget) ReadBlockStamped(ctx context.Context, addr uint64) ([]byte, core.ReadStamp, error) {
+	return (*Volume)(t).ReadBlockStamped(ctx, addr)
+}
+
+func (t *volumeTarget) WriteBlockStamped(ctx context.Context, addr uint64, data []byte) (proto.TID, proto.TID, error) {
+	return (*Volume)(t).WriteBlockStamped(ctx, addr, data)
 }
 
 // WriteStripes routes one batch — all within one group, per the

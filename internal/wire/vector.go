@@ -268,6 +268,7 @@ func EncodeFrame(f *Frame, msg any, id uint64, deadlineUS uint32, meta []byte) e
 		e.boolean(m.OK)
 		e.block(m.Block)
 		e.u8(uint8(m.LockMode))
+		e.tid(m.TID)
 		mt = TReadReply
 	case *proto.SwapReply:
 		e.boolean(m.OK)

@@ -257,6 +257,7 @@ func EncodeAppend(msg any, buf []byte) (MsgType, []byte, error) {
 		e.boolean(m.OK)
 		e.bytes(m.Block)
 		e.u8(uint8(m.LockMode))
+		e.tid(m.TID)
 		return TReadReply, e.buf, nil
 	case *proto.SwapReq:
 		e.u64(m.Stripe)
@@ -428,7 +429,7 @@ func Decode(t MsgType, buf []byte) (any, error) {
 	case TRead:
 		msg = &proto.ReadReq{Stripe: d.u64(), Slot: int32(d.u32())}
 	case TReadReply:
-		msg = &proto.ReadReply{OK: d.boolean(), Block: d.bytes(), LockMode: proto.LockMode(d.u8())}
+		msg = &proto.ReadReply{OK: d.boolean(), Block: d.bytes(), LockMode: proto.LockMode(d.u8()), TID: d.tid()}
 	case TSwap:
 		msg = &proto.SwapReq{Stripe: d.u64(), Slot: int32(d.u32()), Value: d.bytes(), NTID: d.tid()}
 	case TSwapReply:
@@ -641,7 +642,7 @@ func Size(msg any) int {
 	case *proto.GetStateReq:
 		body = 13
 	case *proto.ReadReply:
-		body = 1 + 4 + len(m.Block) + 1
+		body = 1 + 4 + len(m.Block) + 1 + tidSize
 	case *proto.SwapReq:
 		body = 12 + 4 + len(m.Value) + tidSize
 	case *proto.SwapReply:

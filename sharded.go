@@ -13,27 +13,38 @@ import (
 	"ecstore/internal/health"
 	"ecstore/internal/placement"
 	"ecstore/internal/proto"
+	"ecstore/internal/readcache"
 	"ecstore/internal/repair"
 	"ecstore/internal/rpc"
+	"ecstore/internal/smallwrite"
+	"ecstore/internal/tier"
 	"ecstore/internal/transport"
 	"ecstore/internal/volume"
 )
 
-// ShardedOptions configures a sharded volume.
-//
-// Deprecated: the fields have merged into Options; this alias remains
-// for source compatibility.
-type ShardedOptions = Options
-
 // ShardedVolume is a flat block address space striped across many
 // groups. Block addr lives in group addr/BlocksPerGroup; each group
 // runs the unmodified single-group protocol over its assigned sites.
-// Safe for concurrent use; satisfies Store.
+// All I/O flows through the tier layer: the hot-read cache and the
+// staged small-write tier (when enabled by Options) sit between these
+// methods and the per-group protocol clients. Safe for concurrent
+// use; satisfies Store.
 type ShardedVolume struct {
 	vol   *volume.Volume
+	layer *tier.Layer
 	local *volume.Local     // non-nil when built by NewLocalShardedVolume
 	conns []*rpc.Client     // non-nil when built by ConnectShardedVolume
 	sched *repair.Scheduler // non-nil when Options.EnableRepair
+}
+
+// newShardedLayer composes the tier layer over a volume's raw bulk
+// target.
+func newShardedLayer(opts Options, vol *volume.Volume) (*tier.Layer, error) {
+	base, ok := vol.BulkTarget().(tier.Stamped)
+	if !ok {
+		return nil, errors.New("ecstore: volume target lacks stamped block ops")
+	}
+	return tier.NewLayer(opts.tierOptions(base, opts.ClientID, nil))
 }
 
 // NewLocalShardedVolume builds an in-process sharded volume over Sites
@@ -41,7 +52,7 @@ type ShardedVolume struct {
 // and only the groups placed on it remap (to fresh INIT shards that
 // recovery then rebuilds) — the rendezvous hash leaves every other
 // group's placement untouched.
-func NewLocalShardedVolume(opts ShardedOptions) (*ShardedVolume, error) {
+func NewLocalShardedVolume(opts Options) (*ShardedVolume, error) {
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
@@ -95,7 +106,12 @@ func NewLocalShardedVolume(opts ShardedOptions) (*ShardedVolume, error) {
 		return nil, err
 	}
 	volRef.Store(l.Volume)
-	sv := &ShardedVolume{vol: l.Volume, local: l}
+	layer, err := newShardedLayer(opts, l.Volume)
+	if err != nil {
+		_ = l.Close()
+		return nil, err
+	}
+	sv := &ShardedVolume{vol: l.Volume, layer: layer, local: l}
 	if opts.EnableRepair {
 		sched, err := repair.NewScheduler(repair.Options{
 			Source:    l.Volume,
@@ -127,7 +143,7 @@ func NewLocalShardedVolume(opts ShardedOptions) (*ShardedVolume, error) {
 // Failed sites are not remapped automatically — a TCP pool cannot
 // provision INIT replacement shards on demand. Degraded reads still
 // work; repair the site and the groups pick it back up.
-func ConnectShardedVolume(opts ShardedOptions, addrs []string) (*ShardedVolume, error) {
+func ConnectShardedVolume(opts Options, addrs []string) (*ShardedVolume, error) {
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
@@ -184,6 +200,14 @@ func ConnectShardedVolume(opts ShardedOptions, addrs []string) (*ShardedVolume, 
 		return nil, err
 	}
 	sv.vol = v
+	layer, err := newShardedLayer(opts, v)
+	if err != nil {
+		for _, c := range sv.conns {
+			_ = c.Close()
+		}
+		return nil, err
+	}
+	sv.layer = layer
 	return sv, nil
 }
 
@@ -191,7 +215,7 @@ func ConnectShardedVolume(opts ShardedOptions, addrs []string) (*ShardedVolume, 
 // is no quarantine hook: a TCP pool cannot remap (NoRemap makes
 // RetireSite a no-op), so a persistently gray server is only scored —
 // reads hedge around it — rather than retired.
-func tcpTracker(opts ShardedOptions) *health.Tracker {
+func tcpTracker(opts Options) *health.Tracker {
 	if opts.HedgeAfter <= 0 {
 		return nil
 	}
@@ -204,17 +228,21 @@ func (v *ShardedVolume) BlockSize() int { return v.vol.BlockSize() }
 // Groups returns the configured group count.
 func (v *ShardedVolume) Groups() int { return v.vol.Groups() }
 
-// Capacity returns the number of addressable blocks.
-func (v *ShardedVolume) Capacity() uint64 { return v.vol.Capacity() }
+// Capacity returns the number of addressable blocks visible to
+// callers. With SmallWriteTier enabled the staging region carved off
+// the top of the volume is excluded.
+func (v *ShardedVolume) Capacity() uint64 { return v.layer.Capacity() }
 
-// ReadBlock reads one block. Unwritten blocks read as zeros.
+// ReadBlock reads one block. Unwritten blocks read as zeros. With
+// CacheBytes set, hot blocks are served from the client-side cache;
+// staged small writes are patched over the result either way.
 func (v *ShardedVolume) ReadBlock(ctx context.Context, addr uint64) ([]byte, error) {
-	return v.vol.ReadBlock(ctx, addr)
+	return v.layer.ReadBlock(ctx, addr)
 }
 
 // WriteBlock writes one block. data must be exactly BlockSize bytes.
 func (v *ShardedVolume) WriteBlock(ctx context.Context, addr uint64, data []byte) error {
-	return v.vol.WriteBlock(ctx, addr, data)
+	return v.layer.WriteBlock(ctx, addr, data)
 }
 
 // ReadAt reads len(p) bytes at byte offset off, spanning blocks and
@@ -222,16 +250,26 @@ func (v *ShardedVolume) WriteBlock(ctx context.Context, addr uint64, data []byte
 // flight. Reads past the volume's capacity are truncated and return
 // io.EOF with the partial count.
 func (v *ShardedVolume) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
-	return v.vol.ReadAt(ctx, p, off)
+	return v.layer.ReadAt(ctx, p, off)
 }
 
 // WriteAt writes p at byte offset off through the pipelined bulk
 // engine: stripe-aligned runs use the batched stripe write with up to
 // MaxInFlight stripes in flight and their same-site parity deltas
 // coalesced into combined RPCs. On failure the count is the length of
-// the longest prefix known written.
+// the longest prefix known written. With SmallWriteTier enabled,
+// sub-block head and tail spans are absorbed by the staged small-write
+// tier instead of paying a read-modify-write swap round each.
 func (v *ShardedVolume) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
-	return v.vol.WriteAt(ctx, p, off)
+	return v.layer.WriteAt(ctx, p, off)
+}
+
+// Flush merges every staged small write into its home block and resets
+// the staging segment: a barrier after which all acknowledged bytes
+// are in their final erasure-coded blocks. A no-op without
+// Options.SmallWriteTier.
+func (v *ShardedVolume) Flush(ctx context.Context) error {
+	return v.layer.Flush(ctx)
 }
 
 // Recover forces recovery of the stripe containing addr.
@@ -271,6 +309,14 @@ func (v *ShardedVolume) GroupSites(g uint64) ([]string, error) {
 
 // GroupStats exposes one group's protocol counters (nil if untouched).
 func (v *ShardedVolume) GroupStats(g uint64) *core.ClientStats { return v.vol.GroupStats(g) }
+
+// CacheStats exposes the hot-read cache's counters, or nil when
+// Options.CacheBytes was 0.
+func (v *ShardedVolume) CacheStats() *readcache.Stats { return v.layer.CacheStats() }
+
+// TierStats exposes the small-write tier's counters, or nil when
+// Options.SmallWriteTier was off.
+func (v *ShardedVolume) TierStats() *smallwrite.Stats { return v.layer.TierStats() }
 
 // RepairStats exposes the background repair scheduler's counters, or
 // nil when the store was built without EnableRepair.
@@ -339,13 +385,14 @@ func (v *ShardedVolume) RemoveSite(id string) error {
 // prefetching ReadAhead stripes ahead of the consumer. A negative
 // nBytes streams to the volume's capacity.
 func (v *ShardedVolume) Reader(ctx context.Context, off, nBytes int64) io.Reader {
-	return v.vol.Reader(ctx, off, nBytes)
+	return v.layer.Reader(ctx, off, nBytes)
 }
 
-// Close releases the volume's resources: the repair scheduler (if
-// running) is stopped first, then local shards are shut down and TCP
-// connections closed.
+// Close releases the volume's resources: staged small writes are
+// flushed and the repair scheduler (if running) stopped first, then
+// local shards are shut down and TCP connections closed.
 func (v *ShardedVolume) Close() error {
+	_ = v.layer.Close()
 	if v.sched != nil {
 		v.sched.Stop()
 	}

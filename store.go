@@ -65,6 +65,11 @@ type Store interface {
 	// Reader streams nBytes from byte offset off with readahead. On a
 	// bounded store a negative nBytes streams to capacity.
 	Reader(ctx context.Context, off, nBytes int64) io.Reader
+	// Flush merges every staged small write into its home block and
+	// resets the staging segment: a barrier after which all acknowledged
+	// bytes are in their final erasure-coded blocks. A no-op without
+	// Options.SmallWriteTier.
+	Flush(ctx context.Context) error
 	// Recover forces recovery of the stripe containing addr. Normally
 	// recovery triggers automatically when I/O stumbles on a failure.
 	Recover(ctx context.Context, addr uint64) error
@@ -104,7 +109,7 @@ func New(opts Options) (Store, error) {
 	if opts.Groups > 1 || opts.Sites > 0 || opts.SiteWeights != nil {
 		return NewLocalShardedVolume(opts)
 	}
-	c, err := NewLocalCluster(opts)
+	c, err := newLocalCluster(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +133,7 @@ func Connect(opts Options, addrs []string) (Store, error) {
 	if opts.Groups > 1 {
 		return ConnectShardedVolume(opts, addrs)
 	}
-	c, err := ConnectCluster(opts, addrs)
+	c, err := connectCluster(opts, addrs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,161 @@
+package ecstore_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ecstore"
+	"ecstore/internal/regcheck"
+)
+
+// TestCachedReadRegcheckSoak hammers one hot block with 4 concurrent
+// writers while 4 readers serve from the shared hot-read cache, then
+// checks every observed value against multi-writer regular-register
+// semantics. A single stale cached read is a violation.
+func TestCachedReadRegcheckSoak(t *testing.T) {
+	s, err := ecstore.New(ecstore.Options{K: 2, N: 4, BlockSize: blockSize, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.(*ecstore.Volume)
+	t.Cleanup(func() { _ = c.Close() })
+
+	const (
+		nWriters        = 4
+		nReaders        = 4
+		writesPerWriter = 50
+		readsPerReader  = 500
+		hotAddr         = uint64(3)
+	)
+	writers := make([]*ecstore.Volume, nWriters)
+	readers := make([]*ecstore.Volume, nReaders)
+	for i := range writers {
+		writers[i] = vol(t, c, uint32(i+1))
+	}
+	for i := range readers {
+		readers[i] = vol(t, c, uint32(nWriters+i+1))
+	}
+
+	ctx := ctxT(t)
+	h := regcheck.New()
+	errs := make(chan error, nWriters+nReaders)
+	var wg sync.WaitGroup
+	for w := 0; w < nWriters; w++ {
+		wg.Add(1)
+		go func(w int, v *ecstore.Volume) {
+			defer wg.Done()
+			blk := make([]byte, blockSize)
+			for i := 0; i < writesPerWriter; i++ {
+				val := uint64(w+1)<<32 | uint64(i+1)
+				binary.BigEndian.PutUint64(blk, val)
+				tok := h.BeginWrite(val)
+				if err := v.WriteBlock(ctx, hotAddr, blk); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+				h.EndWrite(tok)
+			}
+		}(w, writers[w])
+	}
+	for r := 0; r < nReaders; r++ {
+		wg.Add(1)
+		go func(r int, v *ecstore.Volume) {
+			defer wg.Done()
+			for i := 0; i < readsPerReader; i++ {
+				tok := h.BeginRead()
+				blk, err := v.ReadBlock(ctx, hotAddr)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				h.EndRead(tok, binary.BigEndian.Uint64(blk))
+			}
+		}(r, readers[r])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := h.Check(); err != nil {
+		t.Fatalf("cached reads violated regularity: %v", err)
+	}
+
+	st := c.CacheStats()
+	hits, misses := st.Hits.Load(), st.Misses.Load()
+	rate := float64(hits) / float64(hits+misses)
+	t.Logf("cache: %d hits / %d misses (%.2f), %d chain installs, %d breaks, %d poisoned fills",
+		hits, misses, rate, st.ChainInstalls.Load(), st.ChainBreaks.Load(), st.FillsPoisoned.Load())
+	if rate < 0.3 {
+		t.Fatalf("hot-read hit rate %.2f below floor 0.3", rate)
+	}
+}
+
+// TestStagingSiteCrashSalvage stages sub-block writes without flushing,
+// crashes the maximum tolerable number of storage nodes, and then
+// recovers the staged bytes from a fresh client handle: the
+// parity-logged staging segment is erasure-coded like everything else,
+// so an acknowledged small write survives both the client that staged
+// it and the loss of n-k sites.
+func TestStagingSiteCrashSalvage(t *testing.T) {
+	s, err := ecstore.New(ecstore.Options{
+		K: 2, N: 4, BlockSize: blockSize,
+		SmallWriteTier: true, SmallWriteStaging: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.(*ecstore.Volume)
+	t.Cleanup(func() { _ = v.Close() })
+	ctx := ctxT(t)
+
+	const nSpans = 8
+	payload := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('A' + i)}, 24)
+	}
+	for i := 0; i < nSpans; i++ {
+		off := int64(i)*blockSize + 40 // sub-block: staged, not swapped
+		if _, err := v.WriteAt(ctx, payload(i), off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Flush: the bytes exist only in the staging segment. Lose two
+	// of the four sites (the n-k tolerance bound).
+	if err := v.CrashNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.CrashNode(1); err != nil {
+		t.Fatal(err)
+	}
+	// A recovering client with the same identity salvages the segment;
+	// the segment blocks themselves now need reconstruction.
+	v2, err := v.NewClient(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = v2.Close() })
+	if got := v2.TierStats().Salvaged.Load(); got != nSpans {
+		t.Fatalf("salvaged %d records, want %d", got, nSpans)
+	}
+	check := func(label string, h *ecstore.Volume) {
+		for i := 0; i < nSpans; i++ {
+			got := make([]byte, 24)
+			if _, err := h.ReadAt(ctx, got, int64(i)*blockSize+40); err != nil {
+				t.Fatalf("%s: span %d: %v", label, i, err)
+			}
+			if !bytes.Equal(got, payload(i)) {
+				t.Fatalf("%s: span %d lost: got %q", label, i, got)
+			}
+		}
+	}
+	check("salvaged", v2)
+	// Flush merges the staged bytes into their home blocks; the data
+	// must survive the transition too.
+	if err := v2.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	check("flushed", v2)
+}

@@ -240,23 +240,37 @@ func (o *Options) normalize() error {
 	if o.Stripes < 1 {
 		return fmt.Errorf("ecstore: Stripes must be >= 1, got %d", o.Stripes)
 	}
-	if o.SmallWriteTier && (o.ClientID < 1 || o.ClientID > tier.StagingSlots) {
+	return o.checkTierClientID(o.ClientID)
+}
+
+// checkTierClientID rejects client identities that cannot own a
+// staging slot. The mapping is clientID-1 with no wrapping: a modulo
+// would let, say, ID 17 silently share slot 0 with ID 1, and the
+// construction-time Salvage would replay and tombstone the live
+// sibling client's active staging segment.
+func (o *Options) checkTierClientID(clientID uint32) error {
+	if o.SmallWriteTier && (clientID < 1 || clientID > tier.StagingSlots) {
 		return fmt.Errorf("ecstore: SmallWriteTier requires ClientID in [1,%d], got %d",
-			tier.StagingSlots, o.ClientID)
+			tier.StagingSlots, clientID)
 	}
 	return nil
 }
 
 // tierOptions maps the facade knobs to the tier layer's options for
-// one client identity over the given stamped base. cache, when
-// non-nil, is the cluster-wide shared hot-read cache (all client
-// handles of one cluster must form one coherence domain).
+// one client identity (validated by checkTierClientID when the tier is
+// enabled) over the given stamped base. cache, when non-nil, is the
+// cluster-wide shared hot-read cache (all client handles of one
+// cluster must form one coherence domain).
 func (o *Options) tierOptions(base tier.Stamped, clientID uint32, cache *readcache.Cache) tier.Options {
+	slot := 0
+	if o.SmallWriteTier {
+		slot = int(clientID) - 1
+	}
 	return tier.Options{
 		Base:          base,
 		SmallWrite:    o.SmallWriteTier,
 		StagingBlocks: o.SmallWriteStaging,
-		ClientSlot:    int((clientID - 1) % tier.StagingSlots),
+		ClientSlot:    slot,
 		CacheBytes:    o.CacheBytes,
 		Cache:         cache,
 		MaxInFlight:   o.MaxInFlight,
@@ -464,7 +478,13 @@ func (c *cluster) Code() (k, n int) { return c.opts.K, c.opts.N }
 // Volume opens a client handle with the given non-zero client ID.
 // Every concurrent writer (process or thread pool) should use its own
 // ID; IDs are embedded in write identifiers for ordering and recovery.
+// With SmallWriteTier enabled the ID must lie in [1, tier.StagingSlots]
+// — it selects the client's staging extent, and an out-of-range ID must
+// never silently alias another client's slot.
 func (c *cluster) Volume(clientID uint32) (*Volume, error) {
+	if err := c.opts.checkTierClientID(clientID); err != nil {
+		return nil, err
+	}
 	cl, err := core.NewClient(core.Config{
 		ID:        proto.ClientID(clientID),
 		Code:      c.code,

@@ -242,6 +242,39 @@ func TestVolumeZeroClientIDRejected(t *testing.T) {
 	}
 }
 
+func TestTierClientIDOutOfRangeRejected(t *testing.T) {
+	// With the small-write tier on, client identities select disjoint
+	// staging extents: an out-of-range ID must be rejected, never
+	// silently aliased onto another client's slot (whose segment the
+	// construction-time salvage would replay and tombstone).
+	if _, err := ecstore.New(ecstore.Options{
+		K: 2, N: 4, BlockSize: blockSize,
+		SmallWriteTier: true, SmallWriteStaging: 16, ClientID: 17,
+	}); err == nil {
+		t.Fatal("ClientID 17 accepted with SmallWriteTier")
+	}
+	s, err := ecstore.New(ecstore.Options{
+		K: 2, N: 4, BlockSize: blockSize,
+		SmallWriteTier: true, SmallWriteStaging: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	v := s.(*ecstore.Volume)
+	if _, err := v.NewClient(17); err == nil {
+		t.Fatal("sibling client ID 17 accepted with SmallWriteTier")
+	}
+	if _, err := v.NewClient(0); err == nil {
+		t.Fatal("sibling client ID 0 accepted with SmallWriteTier")
+	}
+	v2, err := v.NewClient(16) // top of the valid range
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = v2.Close()
+}
+
 func TestAllModesThroughFacade(t *testing.T) {
 	for _, mode := range []ecstore.UpdateMode{ecstore.Serial, ecstore.Parallel, ecstore.Hybrid, ecstore.Broadcast} {
 		v, err := ecstore.New(ecstore.Options{K: 2, N: 5, BlockSize: blockSize, Mode: mode, TP: 1})

@@ -14,11 +14,13 @@
 //     when the entry's stamp equals otid — the node itself serialized
 //     W directly after the cached content, so the replacement is
 //     provably the successor even when completion notifications arrive
-//     out of node order. Any other stamp invalidates, and a write that
-//     finds no entry installs NOTHING: with no cached predecessor to
-//     chain onto there is no proof a newer write hasn't already been
-//     serialized (and chain-broken its way through) since, so only
-//     stamped reads may (re)populate an empty slot.
+//     out of node order. Zero stamps never match (the zero TID means
+//     "no identifier", so zero==zero proves nothing). Any other stamp
+//     invalidates, and a write that finds no entry installs NOTHING:
+//     with no cached predecessor to chain onto there is no proof a
+//     newer write hasn't already been serialized (and chain-broken its
+//     way through) since, so only stamped reads may (re)populate an
+//     empty slot.
 //  3. A fill that was in flight while any write or invalidation
 //     touched the same address is poisoned and discarded: the fetched
 //     block may predate the write, and committing it would resurrect
@@ -223,11 +225,16 @@ func (c *Cache) AbortFill(t FillTicket) {
 // ntid, chained onto predecessor otid (the swap's OTID). The entry is
 // replaced in place when its stamp equals otid and invalidated on any
 // other stamp — an unprovable ordering must never survive in the
-// cache. A write that finds no entry installs nothing: a delayed
-// completion could otherwise repopulate a slot its own successor
-// already chain-broke, resurrecting an overwritten value. Empty slots
-// refill only from stamped reads (in-flight fills are still poisoned
-// here, since the fill's content may predate this write).
+// cache. A zero otid or a zero cached stamp is a chain BREAK, never a
+// match: the zero TID is the protocol's "no identifier" value (an
+// unwritten block, or a recentlist trimmed by GC), so zero==zero
+// proves nothing — in particular it must not chain across a
+// cross-process writer whose TID the recentlist already dropped. A
+// write that finds no entry installs nothing: a delayed completion
+// could otherwise repopulate a slot its own successor already
+// chain-broke, resurrecting an overwritten value. Empty slots refill
+// only from stamped reads (in-flight fills are still poisoned here,
+// since the fill's content may predate this write).
 func (c *Cache) Install(addr uint64, val []byte, ntid, otid proto.TID) {
 	s := c.shard(addr)
 	s.mu.Lock()
@@ -236,7 +243,7 @@ func (c *Cache) Install(addr uint64, val []byte, ntid, otid proto.TID) {
 	}
 	e, ok := s.entries[addr]
 	switch {
-	case ok && e.tid == otid:
+	case ok && !otid.IsZero() && !e.tid.IsZero() && e.tid == otid:
 		c.install(s, addr, val, ntid)
 		s.mu.Unlock()
 		c.stats.ChainInstalls.Add(1)

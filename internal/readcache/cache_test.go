@@ -44,6 +44,26 @@ func TestFillAndHit(t *testing.T) {
 	}
 }
 
+func TestZeroStampsNeverChain(t *testing.T) {
+	c := New(1<<20, nil)
+	// An entry cached under the zero stamp (e.g. a fill the caller
+	// should have skipped) must not chain-match a write whose OTID is
+	// also zero: zero means "no identifier", so zero==zero proves
+	// nothing about serialization order.
+	tk := c.BeginFill(3)
+	if !c.CommitFill(tk, blk('a', 32), proto.TID{}) {
+		t.Fatal("fill refused")
+	}
+	c.Install(3, blk('b', 32), tid(1), proto.TID{})
+	if c.Stats().ChainBreaks.Load() != 1 || c.Stats().ChainInstalls.Load() != 0 {
+		t.Fatalf("zero==zero treated as a provable chain: breaks=%d installs=%d",
+			c.Stats().ChainBreaks.Load(), c.Stats().ChainInstalls.Load())
+	}
+	if _, _, ok := c.Get(3); ok {
+		t.Fatal("entry survived an unprovable install")
+	}
+}
+
 func TestChainInstallReplacesProvableSuccessor(t *testing.T) {
 	c := New(1<<20, nil)
 	tk := c.BeginFill(9)

@@ -18,11 +18,14 @@
 //     tier merges the overlay into home blocks — one read-modify-write
 //     per dirty block under a striped per-block lock — then resets the
 //     segment. Direct full-block writes to a dirty address supersede
-//     the staged records they overwrite.
+//     the staged records they overwrite and append a durable supersede
+//     tombstone to the segment before they are acknowledged, so a
+//     post-crash Salvage cannot replay the overwritten records over
+//     the newer full-block content.
 //   - The staging segment is erasure-coded like everything else, so an
 //     acknowledged small write already has EC durability. After a
 //     client crash, Salvage replays whole batches from the segment
-//     before the tier serves traffic.
+//     (honoring supersede tombstones) before the tier serves traffic.
 //
 // The tier sits below the read cache and above the bulk engine; the
 // facade's tier layer (internal/tier) wires the three together.
@@ -50,11 +53,17 @@ var ErrClosed = errors.New("smallwrite: tier closed")
 var ErrCorruptSegment = errors.New("smallwrite: corrupt staging segment")
 
 const (
-	batchMagic  = 0x53575431 // "SWT1"
+	batchMagic  = 0x53575432 // "SWT2"
 	headerSize  = 24         // magic u32, gen u64, count u32, payload u32, crc u32
-	recHdrSize  = 16         // addr u64, off u32, len u32
+	recHdrSize  = 24         // addr u64, seq u64, off u32, len u32
 	nAddrLocks  = 64
 	defMaxBatch = 256
+
+	// supersedeOff in a record's off field marks a supersede tombstone:
+	// a direct full-block write durably overwrote every record for addr
+	// with sequence below the value in the seq field. Salvage must not
+	// replay those records over the direct write's content.
+	supersedeOff = ^uint32(0)
 )
 
 var crcTab = crc32.MakeTable(crc32.Castagnoli)
@@ -94,6 +103,7 @@ type Stats struct {
 	FlushedBlocks    atomic.Uint64 // home blocks rewritten by flushes
 	PatchedReads     atomic.Uint64 // reads that had staged bytes applied
 	Supersedes       atomic.Uint64 // staged records dropped under direct writes
+	SupersedeMarks   atomic.Uint64 // durable supersede tombstones appended
 	Salvaged         atomic.Uint64 // records replayed from the segment
 }
 
@@ -102,8 +112,13 @@ type record struct {
 	off  int
 	data []byte
 	seq  uint64
-	done bool
-	err  error
+	// marker records are durable supersede tombstones: bound is the
+	// sequence below which addr's earlier segment records are void.
+	// They ride group commits but never enter the overlay.
+	marker bool
+	bound  uint64
+	done   bool
+	err    error
 }
 
 // Tier is a group-committed small-write stage. All methods are safe
@@ -126,6 +141,12 @@ type Tier struct {
 	seq     uint64
 	pending []*record
 	overlay map[uint64][]*record
+	// epochFlushed marks addresses whose records a flush already merged
+	// into the base store while the segment has not been reset yet: a
+	// direct write to such an address still needs a durable supersede
+	// marker (the merged records are still in the segment and a
+	// post-crash Salvage would replay them over the direct write).
+	epochFlushed map[uint64]struct{}
 	// busy marks a leader commit or a flush in progress; cursor and gen
 	// are only touched while it is held.
 	busy        bool
@@ -155,14 +176,15 @@ func New(o Options) (*Tier, error) {
 		maxRecs = defMaxBatch
 	}
 	t := &Tier{
-		base:    o.Base,
-		eng:     bulk.New(o.Base, bulk.Options{MaxInFlight: o.MaxInFlight}),
-		bs:      o.Base.BlockSize(),
-		sBase:   o.StagingBase,
-		sBlocks: o.StagingBlocks,
-		maxRecs: maxRecs,
-		onApply: o.OnApply,
-		overlay: make(map[uint64][]*record),
+		base:         o.Base,
+		eng:          bulk.New(o.Base, bulk.Options{MaxInFlight: o.MaxInFlight}),
+		bs:           o.Base.BlockSize(),
+		sBase:        o.StagingBase,
+		sBlocks:      o.StagingBlocks,
+		maxRecs:      maxRecs,
+		onApply:      o.OnApply,
+		overlay:      make(map[uint64][]*record),
+		epochFlushed: make(map[uint64]struct{}),
 	}
 	t.cond = sync.NewCond(&t.mu)
 	if reg := o.Obs; reg != nil {
@@ -175,6 +197,7 @@ func New(o Options) (*Tier, error) {
 		reg.Func("smallwrite.flushed_blocks", func() int64 { return int64(t.stats.FlushedBlocks.Load()) })
 		reg.Func("smallwrite.patched_reads", func() int64 { return int64(t.stats.PatchedReads.Load()) })
 		reg.Func("smallwrite.supersedes", func() int64 { return int64(t.stats.Supersedes.Load()) })
+		reg.Func("smallwrite.supersede_marks", func() int64 { return int64(t.stats.SupersedeMarks.Load()) })
 		reg.Func("smallwrite.salvaged", func() int64 { return int64(t.stats.Salvaged.Load()) })
 		reg.Func("smallwrite.staged_bytes", t.liveBytes.Load)
 		reg.Func("smallwrite.staged_records", t.liveRecords.Load)
@@ -232,7 +255,15 @@ func (t *Tier) LockAddrs(addrs ...uint64) (seq uint64, unlock func()) {
 // called while holding the covering tier lock, and only after the
 // direct write SUCCEEDED — a failed write leaves the staged records as
 // the freshest acknowledged content.
-func (t *Tier) Supersede(addr uint64, beforeSeq uint64) {
+//
+// The in-memory drop alone is not crash-safe: the dropped records are
+// still in the durable staging segment, and a post-crash Salvage would
+// replay their stale bytes over the direct write. Supersede reports
+// whether such records exist (dropped now, or merged by a flush whose
+// segment reset has not happened yet); when it returns true the caller
+// must append a durable supersede marker with SupersedeDurable — after
+// releasing the tier locks — before acknowledging the direct write.
+func (t *Tier) Supersede(addr uint64, beforeSeq uint64) (needMark bool) {
 	t.mu.Lock()
 	recs := t.overlay[addr]
 	kept := recs[:0]
@@ -251,10 +282,41 @@ func (t *Tier) Supersede(addr uint64, beforeSeq uint64) {
 	} else {
 		t.overlay[addr] = kept
 	}
+	_, flushed := t.epochFlushed[addr]
 	t.mu.Unlock()
 	if dropped > 0 {
 		t.stats.Supersedes.Add(uint64(dropped))
 	}
+	return dropped > 0 || flushed
+}
+
+// SupersedeMark identifies staged records a completed direct write
+// overwrote: those for Addr with sequence below BeforeSeq (the
+// LockAddrs snapshot the write ran under).
+type SupersedeMark struct {
+	Addr      uint64
+	BeforeSeq uint64
+}
+
+// SupersedeDurable appends supersede tombstones to the staging segment
+// (riding a group commit) so a post-crash Salvage does not replay the
+// superseded records over the direct writes' content. Call it after
+// releasing the tier locks taken for the direct write — a segment-full
+// flush inside the append acquires them — and before acknowledging the
+// write to the caller.
+func (t *Tier) SupersedeDurable(ctx context.Context, marks []SupersedeMark) error {
+	if len(marks) == 0 {
+		return nil
+	}
+	recs := make([]*record, len(marks))
+	for i, m := range marks {
+		recs[i] = &record{addr: m.Addr, marker: true, bound: m.BeforeSeq}
+	}
+	if err := t.stage(ctx, recs); err != nil {
+		return err
+	}
+	t.stats.SupersedeMarks.Add(uint64(len(marks)))
+	return nil
 }
 
 // HasStaged reports whether addr has committed-but-unflushed bytes.
@@ -263,6 +325,39 @@ func (t *Tier) HasStaged(addr uint64) bool {
 	_, ok := t.overlay[addr]
 	t.mu.Unlock()
 	return ok
+}
+
+// Snapshot is a point-in-time copy of one address's staged records.
+// Readers take it BEFORE issuing the base-store read and Apply it over
+// the result: a concurrent flush may merge the records into the base
+// block and drop them from the overlay mid-read, and a read that
+// fetched pre-merge content but patched post-drop would silently lose
+// acknowledged bytes. Because the flusher writes the merged block
+// before dropping records, applying a snapshot over post-merge content
+// just rewrites identical bytes.
+type Snapshot struct {
+	recs []*record
+}
+
+// Snapshot captures addr's staged records as they are now.
+func (t *Tier) Snapshot(addr uint64) Snapshot {
+	t.mu.Lock()
+	recs := append([]*record(nil), t.overlay[addr]...)
+	t.mu.Unlock()
+	return Snapshot{recs: recs}
+}
+
+// Apply patches the snapshot's records onto blk in sequence order and
+// reports whether anything was applied.
+func (s Snapshot) Apply(blk []byte) bool {
+	applied := false
+	for _, r := range s.recs {
+		if r.off+len(r.data) <= len(blk) {
+			copy(blk[r.off:], r.data)
+			applied = true
+		}
+	}
+	return applied
 }
 
 // Patch applies the staged records for addr onto blk (base-store
@@ -304,16 +399,30 @@ func (t *Tier) Write(ctx context.Context, addr uint64, off int, data []byte) err
 		return fmt.Errorf("smallwrite: address %d beyond capacity %d: %w", addr, cap, bulk.ErrOutOfRange)
 	}
 	rec := &record{addr: addr, off: off, data: append([]byte(nil), data...)}
+	if err := t.stage(ctx, []*record{rec}); err != nil {
+		return err
+	}
+	t.stats.Writes.Add(1)
+	return nil
+}
 
+// stage enqueues recs (contiguously, in order) and rides the group
+// commit until all of them are durably appended. Batches consume the
+// pending queue as leading runs, so once the last of recs is done the
+// earlier ones are too.
+func (t *Tier) stage(ctx context.Context, recs []*record) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return ErrClosed
 	}
-	t.seq++
-	rec.seq = t.seq
-	t.pending = append(t.pending, rec)
-	for !rec.done {
+	for _, r := range recs {
+		t.seq++
+		r.seq = t.seq
+		t.pending = append(t.pending, r)
+	}
+	last := recs[len(recs)-1]
+	for !last.done {
 		if t.busy {
 			t.cond.Wait()
 			continue
@@ -329,7 +438,7 @@ func (t *Tier) Write(ctx context.Context, addr uint64, off int, data []byte) err
 		for _, r := range batch {
 			r.done = true
 			r.err = err
-			if err == nil {
+			if err == nil && !r.marker {
 				t.overlay[r.addr] = append(t.overlay[r.addr], r)
 				t.liveBytes.Add(int64(len(r.data)))
 				t.liveRecords.Add(1)
@@ -338,11 +447,14 @@ func (t *Tier) Write(ctx context.Context, addr uint64, off int, data []byte) err
 		t.busy = false
 		t.cond.Broadcast()
 	}
-	err := rec.err
-	t.mu.Unlock()
-	if err == nil {
-		t.stats.Writes.Add(1)
+	var err error
+	for _, r := range recs {
+		if r.err != nil {
+			err = r.err
+			break
+		}
 	}
+	t.mu.Unlock()
 	return err
 }
 
@@ -393,9 +505,16 @@ func (t *Tier) commit(ctx context.Context, batch []*record) error {
 	p := headerSize
 	for _, r := range batch {
 		binary.BigEndian.PutUint64(buf[p:], r.addr)
-		binary.BigEndian.PutUint32(buf[p+8:], uint32(r.off))
-		binary.BigEndian.PutUint32(buf[p+12:], uint32(len(r.data)))
-		copy(buf[p+recHdrSize:], r.data)
+		if r.marker {
+			binary.BigEndian.PutUint64(buf[p+8:], r.bound)
+			binary.BigEndian.PutUint32(buf[p+16:], supersedeOff)
+			binary.BigEndian.PutUint32(buf[p+20:], 0)
+		} else {
+			binary.BigEndian.PutUint64(buf[p+8:], r.seq)
+			binary.BigEndian.PutUint32(buf[p+16:], uint32(r.off))
+			binary.BigEndian.PutUint32(buf[p+20:], uint32(len(r.data)))
+			copy(buf[p+recHdrSize:], r.data)
+		}
 		p += recHdrSize + len(r.data)
 	}
 	binary.BigEndian.PutUint32(buf[20:], crc32.Checksum(buf[headerSize:headerSize+payload], crcTab))
@@ -465,6 +584,9 @@ func (t *Tier) flushHeld(ctx context.Context) error {
 		}
 		t.cursor = 0
 		t.gen++
+		t.mu.Lock()
+		t.epochFlushed = make(map[uint64]struct{})
+		t.mu.Unlock()
 		t.stats.Flushes.Add(1)
 	}
 	return nil
@@ -495,8 +617,19 @@ func (t *Tier) flushBlock(ctx context.Context, addr uint64) error {
 		return fmt.Errorf("smallwrite: flush write block %d: %w", addr, err)
 	}
 
+	// Reconcile the cache (OnApply invalidates and poisons in-flight
+	// fills) BEFORE dropping the overlay records: a reader that finds
+	// the overlay empty must not be able to pick up pre-merge cached
+	// content afterwards.
+	if t.onApply != nil {
+		t.onApply(addr)
+	}
+
 	// Drop what we applied. Records newer than our snapshot cannot
 	// exist (commits are gated), but Supersede may have removed some.
+	// The merged records stay in the segment until the epoch resets:
+	// remember the address so a direct write meanwhile still appends a
+	// durable supersede marker (see Supersede).
 	maxSeq := recs[len(recs)-1].seq
 	t.mu.Lock()
 	cur := t.overlay[addr]
@@ -514,12 +647,10 @@ func (t *Tier) flushBlock(ctx context.Context, addr uint64) error {
 	} else {
 		t.overlay[addr] = kept
 	}
+	t.epochFlushed[addr] = struct{}{}
 	t.mu.Unlock()
 
 	t.stats.FlushedBlocks.Add(1)
-	if t.onApply != nil {
-		t.onApply(addr)
-	}
 	return nil
 }
 
@@ -590,12 +721,32 @@ func (t *Tier) salvageHeld(ctx context.Context) (int, error) {
 				return 0, fmt.Errorf("%w: batch at block %d truncated at record %d", ErrCorruptSegment, pos, i)
 			}
 			addr := binary.BigEndian.Uint64(body[p:])
-			off := int(binary.BigEndian.Uint32(body[p+8:]))
-			ln := int(binary.BigEndian.Uint32(body[p+12:]))
+			seq := binary.BigEndian.Uint64(body[p+8:])
+			rawOff := binary.BigEndian.Uint32(body[p+16:])
+			ln := int(binary.BigEndian.Uint32(body[p+20:]))
+			if rawOff == supersedeOff {
+				// Supersede tombstone: a direct write durably overwrote
+				// addr's records below seq. Void the ones collected so
+				// far; records appended after the marker stand.
+				if ln != 0 {
+					return 0, fmt.Errorf("%w: batch at block %d marker %d carries payload", ErrCorruptSegment, pos, i)
+				}
+				kept := recs[:0]
+				for _, r := range recs {
+					if r.addr == addr && r.seq < seq {
+						continue
+					}
+					kept = append(kept, r)
+				}
+				recs = kept
+				p += recHdrSize
+				continue
+			}
+			off := int(rawOff)
 			if ln < 0 || p+recHdrSize+ln > payload || off < 0 || off+ln > t.bs {
 				return 0, fmt.Errorf("%w: batch at block %d record %d out of bounds", ErrCorruptSegment, pos, i)
 			}
-			recs = append(recs, &record{addr: addr, off: off, data: append([]byte(nil), body[p+recHdrSize:p+recHdrSize+ln]...)})
+			recs = append(recs, &record{addr: addr, seq: seq, off: off, data: append([]byte(nil), body[p+recHdrSize:p+recHdrSize+ln]...)})
 			p += recHdrSize + ln
 		}
 		pos += need

@@ -232,6 +232,110 @@ func TestSupersedeDropsOnlyOlderRecords(t *testing.T) {
 	}
 }
 
+func TestSupersedeDurableSurvivesCrash(t *testing.T) {
+	m := newMem(bs, 4, 1024)
+	tr := newTier(t, m, 16)
+	ctx := context.Background()
+	must(t, tr.Write(ctx, 9, 0, []byte("old")))
+	must(t, tr.Write(ctx, 6, 0, []byte("keep")))
+
+	seq, unlock := tr.LockAddrs(9)
+	full := bytes.Repeat([]byte{'F'}, bs)
+	must(t, m.WriteBlock(ctx, 9, full)) // the direct write, under the lock
+	needMark := tr.Supersede(9, seq)
+	unlock()
+	if !needMark {
+		t.Fatal("supersede of staged records did not request a durable mark")
+	}
+	must(t, tr.SupersedeDurable(ctx, []SupersedeMark{{Addr: 9, BeforeSeq: seq}}))
+	if tr.Stats().SupersedeMarks.Load() != 1 {
+		t.Fatalf("marks=%d", tr.Stats().SupersedeMarks.Load())
+	}
+
+	// Client crashes: the overlay is gone, the segment survives. The
+	// tombstoned record must NOT be replayed over the acknowledged
+	// direct write; block 6's record must still be recovered.
+	tr2 := newTier(t, m, 16)
+	n, err := tr2.Salvage(ctx)
+	must(t, err)
+	if n != 1 {
+		t.Fatalf("salvaged %d records, want 1", n)
+	}
+	if got := m.get(9); got[0] != 'F' {
+		t.Fatalf("stale staged bytes replayed over the direct write: %q", got[:4])
+	}
+	if got := m.get(6); string(got[:4]) != "keep" {
+		t.Fatalf("unrelated record lost: %q", got[:4])
+	}
+}
+
+func TestSupersedeMarkerSparesNewerRecords(t *testing.T) {
+	m := newMem(bs, 4, 1024)
+	tr := newTier(t, m, 16)
+	ctx := context.Background()
+	must(t, tr.Write(ctx, 9, 0, []byte("old")))
+
+	seq, unlock := tr.LockAddrs(9)
+	// Sequenced after the direct write's snapshot (concurrent writer):
+	// staged into the segment BEFORE the marker, but must survive it.
+	must(t, tr.Write(ctx, 9, 100, []byte("new")))
+	full := bytes.Repeat([]byte{'F'}, bs)
+	must(t, m.WriteBlock(ctx, 9, full))
+	tr.Supersede(9, seq)
+	unlock()
+	must(t, tr.SupersedeDurable(ctx, []SupersedeMark{{Addr: 9, BeforeSeq: seq}}))
+
+	tr2 := newTier(t, m, 16)
+	n, err := tr2.Salvage(ctx)
+	must(t, err)
+	if n != 1 {
+		t.Fatalf("salvaged %d records, want 1 (the post-snapshot one)", n)
+	}
+	got := m.get(9)
+	if string(got[100:103]) != "new" {
+		t.Fatal("post-snapshot record lost to the supersede marker")
+	}
+	if string(got[:3]) == "old" {
+		t.Fatal("superseded record resurfaced")
+	}
+}
+
+func TestSupersedeAfterFlushWindowNeedsDurableMark(t *testing.T) {
+	m := newMem(bs, 4, 1024)
+	tr := newTier(t, m, 16)
+	ctx := context.Background()
+	must(t, tr.Write(ctx, 9, 0, []byte("old")))
+
+	// Fail only the segment tombstone: the flush merges the record into
+	// its home block and drops it from the overlay, but the segment
+	// still holds the batch — the window in which a direct write sees
+	// nothing to supersede in memory yet still needs a durable mark.
+	m.failOne.Store(true)
+	m.failAddr.Store(1024 - 16)
+	if err := tr.Flush(ctx); err == nil {
+		t.Fatal("tombstone failure did not surface")
+	}
+	m.failOne.Store(false)
+
+	seq, unlock := tr.LockAddrs(9)
+	full := bytes.Repeat([]byte{'F'}, bs)
+	must(t, m.WriteBlock(ctx, 9, full))
+	needMark := tr.Supersede(9, seq)
+	unlock()
+	if !needMark {
+		t.Fatal("flushed-but-unreset records did not request a durable mark")
+	}
+	must(t, tr.SupersedeDurable(ctx, []SupersedeMark{{Addr: 9, BeforeSeq: seq}}))
+
+	tr2 := newTier(t, m, 16)
+	if n, err := tr2.Salvage(ctx); err != nil || n != 0 {
+		t.Fatalf("salvage: n=%d err=%v", n, err)
+	}
+	if got := m.get(9); got[0] != 'F' {
+		t.Fatalf("flushed record replayed over the direct write: %q", got[:4])
+	}
+}
+
 func TestFailedDirectWriteKeepsStagedRecords(t *testing.T) {
 	m := newMem(bs, 4, 1024)
 	tr := newTier(t, m, 16)

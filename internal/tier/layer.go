@@ -214,18 +214,51 @@ func (l *Layer) checkAddr(addr uint64) error {
 	return nil
 }
 
+// checkSpan rejects byte spans that touch the staging region of an
+// unbounded store. WriteAt needs it as a whole-span check: its staged
+// head/tail and the engine's stripe fast path do not re-run checkAddr
+// per block the way ReadBlock/WriteBlock do, and a span landing inside
+// the region would corrupt a client's staging segment. (On bounded
+// stores the region sits beyond Capacity and the capacity check covers
+// it.)
+func (l *Layer) checkSpan(off int64, n int) error {
+	if n == 0 || l.usable != 0 || l.regionEnd == l.regionStart {
+		return nil
+	}
+	first := uint64(off) / uint64(l.bs)
+	last := (uint64(off) + uint64(n) - 1) / uint64(l.bs)
+	if first < l.regionEnd && last >= l.regionStart {
+		return fmt.Errorf("tier: span [%d,%d) overlaps the staging region: %w", off, off+int64(n), bulk.ErrOutOfRange)
+	}
+	return nil
+}
+
 // ReadBlock reads one block: cache first, base on a miss (filling the
 // cache only from primary stamped replies), then staged small-write
 // bytes patched over the result.
+//
+// The staged records are snapshotted BEFORE the base read: a flush
+// running concurrently merges records into the base block and then
+// drops them from the overlay, and a read that fetched pre-merge
+// content but patched post-drop would return a block missing
+// acknowledged bytes. With the snapshot, either interleaving yields
+// correct bytes — the flusher writes the merged block before dropping,
+// so re-applying flushed records over post-merge content is idempotent.
 func (l *Layer) ReadBlock(ctx context.Context, addr uint64) ([]byte, error) {
 	if err := l.checkAddr(addr); err != nil {
 		return nil, err
+	}
+	var snap smallwrite.Snapshot
+	if l.tier != nil {
+		snap = l.tier.Snapshot(addr)
 	}
 	blk, err := l.readBase(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
 	if l.tier != nil {
+		snap.Apply(blk)
+		// Records staged while the base read was in flight.
 		l.tier.Patch(addr, blk)
 	}
 	return blk, nil
@@ -247,10 +280,16 @@ func (l *Layer) readBase(ctx context.Context, addr uint64) ([]byte, error) {
 		return nil, err
 	}
 	if st.Primary {
+		// A zero TID on a primary reply is ReadStamp's "no identifier"
+		// value (unwritten block, or a recentlist trimmed by GC). The
+		// content is still a valid read of the register, so it is safe
+		// to cache — the cache treats a zero stamp as unprovable, so a
+		// later write can only chain-break (invalidate) the entry,
+		// never chain-install over it.
 		l.cache.CommitFill(tk, blk, st.TID)
 	} else {
-		// Hedged, degraded, or reconstructed read: correct content but
-		// no stamp to chain later writes onto — never fill.
+		// Hedged, degraded, or reconstructed reads carry no usable
+		// stamp and may not reflect the primary's content — never fill.
 		l.cache.AbortFill(tk)
 	}
 	return blk, nil
@@ -259,6 +298,14 @@ func (l *Layer) readBase(ctx context.Context, addr uint64) ([]byte, error) {
 // WriteBlock writes one full block through the stamped protocol path,
 // superseding any staged small writes it overwrites and installing the
 // value in the cache under its write identifier.
+//
+// Ordering matters twice here. The cache install happens BEFORE the
+// overlay drop, so a reader that finds the overlay empty can only see
+// post-write cache or base content. And when staged records were
+// dropped, a durable supersede tombstone is appended to the staging
+// segment — after the tier locks are released, since a segment-full
+// flush inside the append needs them — before the write returns, so a
+// post-crash Salvage cannot replay the overwritten records.
 func (l *Layer) WriteBlock(ctx context.Context, addr uint64, data []byte) error {
 	if err := l.checkAddr(addr); err != nil {
 		return err
@@ -267,10 +314,9 @@ func (l *Layer) WriteBlock(ctx context.Context, addr uint64, data []byte) error 
 		return l.base.WriteBlock(ctx, addr, data)
 	}
 	var seq uint64
+	var unlock func()
 	if l.tier != nil {
-		var unlock func()
 		seq, unlock = l.tier.LockAddrs(addr)
-		defer unlock()
 	}
 	ntid, otid, err := l.base.WriteBlockStamped(ctx, addr, data)
 	if err != nil {
@@ -279,15 +325,27 @@ func (l *Layer) WriteBlock(ctx context.Context, addr uint64, data []byte) error 
 			// value we cannot order against it.
 			l.cache.Invalidate(addr)
 		}
+		if unlock != nil {
+			unlock()
+		}
 		return err
-	}
-	if l.tier != nil {
-		// Only records staged before the lock snapshot are overwritten;
-		// a concurrent small write sequenced after it survives.
-		l.tier.Supersede(addr, seq)
 	}
 	if l.cache != nil {
 		l.cache.Install(addr, data, ntid, otid)
+	}
+	needMark := false
+	if l.tier != nil {
+		// Only records staged before the lock snapshot are overwritten;
+		// a concurrent small write sequenced after it survives.
+		needMark = l.tier.Supersede(addr, seq)
+	}
+	if unlock != nil {
+		unlock()
+	}
+	if needMark {
+		if err := l.tier.SupersedeDurable(ctx, []smallwrite.SupersedeMark{{Addr: addr, BeforeSeq: seq}}); err != nil {
+			return fmt.Errorf("tier: durable supersede: %w", err)
+		}
 	}
 	return nil
 }
@@ -308,12 +366,16 @@ func (l *Layer) Write(ctx context.Context, addr uint64, off int, data []byte) er
 // writeStripes routes the engine's stripe batches to the base store,
 // then reconciles the tier and cache for every block the batch
 // covered. Stripe writes carry no per-write stamps, so cached entries
-// are invalidated rather than chained.
+// are invalidated rather than chained; like WriteBlock, the cache is
+// reconciled before the overlay drop, and dropped staged records get a
+// durable supersede tombstone (after the tier locks are released)
+// before the affected writes are reported as succeeded.
 func (l *Layer) writeStripes(ctx context.Context, writes []bulk.StripeWrite) ([]error, bulk.WriteStats) {
 	if l.tier == nil && l.cache == nil {
 		return l.base.WriteStripes(ctx, writes)
 	}
 	var seq uint64
+	var unlock func()
 	if l.tier != nil {
 		addrs := make([]uint64, 0, len(writes)*l.base.StripeK())
 		for _, w := range writes {
@@ -321,19 +383,33 @@ func (l *Layer) writeStripes(ctx context.Context, writes []bulk.StripeWrite) ([]
 				addrs = append(addrs, w.Addr+uint64(j))
 			}
 		}
-		var unlock func()
 		seq, unlock = l.tier.LockAddrs(addrs...)
-		defer unlock()
 	}
 	errs, stats := l.base.WriteStripes(ctx, writes)
+	var marks []smallwrite.SupersedeMark
+	var markIdx []int // writes index each mark belongs to
 	for i, w := range writes {
 		for j := range w.Values {
 			a := w.Addr + uint64(j)
-			if l.tier != nil && errs[i] == nil {
-				l.tier.Supersede(a, seq)
-			}
 			if l.cache != nil {
 				l.cache.Invalidate(a)
+			}
+			if l.tier != nil && errs[i] == nil && l.tier.Supersede(a, seq) {
+				marks = append(marks, smallwrite.SupersedeMark{Addr: a, BeforeSeq: seq})
+				markIdx = append(markIdx, i)
+			}
+		}
+	}
+	if unlock != nil {
+		unlock()
+	}
+	if len(marks) > 0 {
+		if err := l.tier.SupersedeDurable(ctx, marks); err != nil {
+			err = fmt.Errorf("tier: durable supersede: %w", err)
+			for _, i := range markIdx {
+				if errs[i] == nil {
+					errs[i] = err
+				}
 			}
 		}
 	}
@@ -342,8 +418,21 @@ func (l *Layer) writeStripes(ctx context.Context, writes []bulk.StripeWrite) ([]
 
 // WriteStripes writes full stripes through the base store with tier
 // and cache reconciliation (see writeStripes). Facade batch entry
-// points route through it.
+// points route through it; every covered block address is validated
+// against the staging region first (the engine's internal stripe
+// batches skip this — their spans were validated at WriteAt).
 func (l *Layer) WriteStripes(ctx context.Context, writes []bulk.StripeWrite) ([]error, bulk.WriteStats) {
+	for _, w := range writes {
+		for j := range w.Values {
+			if err := l.checkAddr(w.Addr + uint64(j)); err != nil {
+				errs := make([]error, len(writes))
+				for i := range errs {
+					errs[i] = err
+				}
+				return errs, bulk.WriteStats{}
+			}
+		}
+	}
 	return l.writeStripes(ctx, writes)
 }
 
@@ -369,6 +458,9 @@ func (l *Layer) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
 	}
 	if l.usable != 0 && off+int64(len(p)) > int64(l.usable)*int64(l.bs) {
 		return 0, fmt.Errorf("tier: write [%d,%d) beyond capacity: %w", off, off+int64(len(p)), bulk.ErrOutOfRange)
+	}
+	if err := l.checkSpan(off, len(p)); err != nil {
+		return 0, err
 	}
 	bs := int64(l.bs)
 	n := 0

@@ -28,6 +28,15 @@ type fakeBase struct {
 	failWrites atomic.Bool
 	reads      atomic.Uint64
 	writes     atomic.Uint64
+
+	// When armed, the first stamped read of gateAddr parks AFTER
+	// computing its (possibly about-to-be-stale) result: tests use it
+	// to interleave a flush between a reader's base fetch and its
+	// staged-byte patch.
+	gateAddr   uint64
+	gateArmed  atomic.Bool
+	gateParked chan struct{}
+	gateGo     chan struct{}
 }
 
 func newFake(bs int, capBlocks uint64) *fakeBase {
@@ -59,8 +68,14 @@ func (f *fakeBase) ReadBlock(ctx context.Context, addr uint64) ([]byte, error) {
 func (f *fakeBase) ReadBlockStamped(_ context.Context, addr uint64) ([]byte, core.ReadStamp, error) {
 	f.reads.Add(1)
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.get(addr), core.ReadStamp{TID: f.tids[addr], Primary: f.primary.Load()}, nil
+	blk := f.get(addr)
+	st := core.ReadStamp{TID: f.tids[addr], Primary: f.primary.Load()}
+	f.mu.Unlock()
+	if addr == f.gateAddr && f.gateArmed.CompareAndSwap(true, false) {
+		f.gateParked <- struct{}{}
+		<-f.gateGo
+	}
+	return blk, st, nil
 }
 
 func (f *fakeBase) WriteBlock(ctx context.Context, addr uint64, data []byte) error {
@@ -327,6 +342,104 @@ func TestSubBlockWriteAtRoutesThroughTier(t *testing.T) {
 	}
 	if !bytes.Equal(got, payload) {
 		t.Fatal("round trip failed after flush")
+	}
+}
+
+func TestReadDoesNotLoseStagedBytesAcrossFlush(t *testing.T) {
+	f := newFake(bs, 4096)
+	f.gateParked = make(chan struct{})
+	f.gateGo = make(chan struct{})
+	l, err := NewLayer(Options{Base: f, SmallWrite: true, StagingBlocks: 8, NoSalvage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	must(t, l.Write(ctx, 7, 3, []byte("hot"))) // staged, acknowledged
+
+	// Park a reader after it fetched the PRE-merge base block, run a
+	// full flush (merge staged bytes, drop the overlay), then let the
+	// reader patch and return: the acknowledged bytes must be there.
+	f.gateAddr = 7
+	f.gateArmed.Store(true)
+	type res struct {
+		blk []byte
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		blk, err := l.ReadBlock(ctx, 7)
+		done <- res{blk, err}
+	}()
+	<-f.gateParked
+	must(t, l.Flush(ctx))
+	close(f.gateGo)
+	r := <-done
+	must(t, r.err)
+	if string(r.blk[3:6]) != "hot" {
+		t.Fatalf("read across flush lost acknowledged staged bytes: %q", r.blk[:8])
+	}
+}
+
+func TestWriteAtRejectsStagingRegionOnUnbounded(t *testing.T) {
+	f := newFake(bs, 0)
+	l, err := NewLayer(Options{Base: f, SmallWrite: true, StagingBlocks: 8, NoSalvage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Sub-block head landing inside another client's staging slot.
+	off := int64(l.regionStart)*int64(bs) + 5
+	if _, err := l.WriteAt(ctx, []byte("oops"), off); !errors.Is(err, bulk.ErrOutOfRange) {
+		t.Fatalf("sub-block write into the staging region: %v", err)
+	}
+	// Block-aligned span overlapping the region's first block.
+	if _, err := l.WriteAt(ctx, make([]byte, 2*bs), int64(l.regionStart-1)*int64(bs)); !errors.Is(err, bulk.ErrOutOfRange) {
+		t.Fatalf("aligned span overlapping the staging region: %v", err)
+	}
+	// Facade stripe writes are validated per covered block.
+	errs, _ := l.WriteStripes(ctx, []bulk.StripeWrite{{Addr: l.regionStart, Values: [][]byte{pat('x'), pat('y')}}})
+	if !errors.Is(errs[0], bulk.ErrOutOfRange) {
+		t.Fatalf("stripe write into the staging region: %v", errs[0])
+	}
+	// The block just below the region is still writable.
+	if _, err := l.WriteAt(ctx, []byte("ok"), int64(l.regionStart-1)*int64(bs)+1); err != nil {
+		t.Fatalf("write below the region rejected: %v", err)
+	}
+}
+
+func TestZeroStampFillNeverChains(t *testing.T) {
+	f := newFake(bs, 0)
+	l := newCachedLayer(t, f)
+	ctx := context.Background()
+	// Block 11 was never written: primary reads return zeros under the
+	// zero TID. The content is a valid read, so it caches — cold
+	// working sets must not pay one RPC per read forever.
+	for i := 0; i < 3; i++ {
+		if _, err := l.ReadBlock(ctx, 11); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.reads.Load() != 1 {
+		t.Fatalf("base reads = %d, want 1 (zero-stamp fill not cached)", f.reads.Load())
+	}
+	// But the zero stamp proves nothing: the first write to the block
+	// (otid zero) must chain-break the entry, not install over it —
+	// zero==zero is not evidence of serialization order.
+	must(t, l.WriteBlock(ctx, 11, pat('w')))
+	st := l.CacheStats()
+	if st.ChainInstalls.Load() != 0 || st.ChainBreaks.Load() != 1 {
+		t.Fatalf("zero==zero treated as a chain: installs=%d breaks=%d",
+			st.ChainInstalls.Load(), st.ChainBreaks.Load())
+	}
+	blk, err := l.ReadBlock(ctx, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blk, pat('w')) {
+		t.Fatalf("post-write read = %q...", blk[:8])
+	}
+	if f.reads.Load() != 2 {
+		t.Fatalf("base reads = %d, want 2 (write should evict, next read refills)", f.reads.Load())
 	}
 }
 
